@@ -1,0 +1,268 @@
+(* Bechamel micro-benchmarks, one group per paper artifact (DESIGN.md
+   §4).  These are the per-operation latency counterparts of the
+   throughput experiments in bin/experiments.ml:
+
+   - fig1.*      — the per-op costs behind Fig. 1's hold model:
+                   steady-state read (ARC's RMW-free fast path),
+                   write, and a write+read pair (a guaranteed
+                   read-miss), per algorithm and register size;
+   - fig2.*      — the §1/§3.2 motivation behind Fig. 2: RMW
+                   instructions cost more than plain atomic loads;
+   - fig3.*      — fixed-work virtual-scheduler slices (every fiber
+                   completes a quota of operations): wall time is
+                   proportional to the algorithm's total
+                   shared-memory traffic, the Fig. 3 cost model;
+   - rmw.*       — Table E4's statement as latencies: ARC read-hit
+                   (0 RMW) vs RF read (1 RMW) vs ARC write+read-miss
+                   (3 RMW);
+   - ablation.*  — E5: write latency with parked readers, §3.4 hint
+                   on vs off;
+   - mrmw.*      — the (M,N) extension's operation costs. *)
+
+open Bechamel
+open Toolkit
+module Real = Arc_mem.Real_mem
+module P = Arc_workload.Payload.Make (Arc_mem.Real_mem)
+module Sched = Arc_vsched.Sched
+module Strategy = Arc_vsched.Strategy
+
+let stamped ~seq ~len =
+  let a = Array.make len 0 in
+  P.stamp a ~seq ~len;
+  a
+
+(* --- fig1: read-hit / write / write+read per algorithm and size ----- *)
+
+module Ops_of (R : Arc_core.Register_intf.S with module Mem = Arc_mem.Real_mem) =
+struct
+  let make ~size =
+    let reg = R.create ~readers:2 ~capacity:size ~init:(stamped ~seq:0 ~len:size) in
+    let rd = R.reader reg 0 in
+    let src = stamped ~seq:1 ~len:size in
+    R.write reg ~src ~len:size;
+    ignore (R.read_with rd ~f:(fun _ _ -> ()));
+    let read_hit () = R.read_with rd ~f:(fun _buffer _len -> ()) in
+    let write () = R.write reg ~src ~len:size in
+    let write_read () =
+      R.write reg ~src ~len:size;
+      R.read_with rd ~f:(fun _buffer _len -> ())
+    in
+    (read_hit, write, write_read)
+end
+
+module Arc_ops = Ops_of (Arc_core.Arc.Make (Arc_mem.Real_mem))
+module Arc_dyn_ops = Ops_of (Arc_core.Arc_dynamic.Make (Arc_mem.Real_mem))
+module Rf_ops = Ops_of (Arc_baselines.Rf.Make (Arc_mem.Real_mem))
+module Peterson_ops = Ops_of (Arc_baselines.Peterson.Make (Arc_mem.Real_mem))
+module Rwlock_ops = Ops_of (Arc_baselines.Rwlock_reg.Make (Arc_mem.Real_mem))
+module Seqlock_ops = Ops_of (Arc_baselines.Seqlock_reg.Make (Arc_mem.Real_mem))
+module Lamport_ops = Ops_of (Arc_baselines.Lamport_reg.Make (Arc_mem.Real_mem))
+
+let fig1_tests =
+  let sizes = [ ("4KB", 512); ("128KB", 16384) ] in
+  let algos =
+    [
+      ("arc", Arc_ops.make);
+      ("arc-dynamic", Arc_dyn_ops.make);
+      ("rf", Rf_ops.make);
+      ("peterson", Peterson_ops.make);
+      ("rwlock", Rwlock_ops.make);
+      ("seqlock", Seqlock_ops.make);
+      ("lamport77", Lamport_ops.make);
+    ]
+  in
+  List.concat_map
+    (fun (size_name, size) ->
+      List.concat_map
+        (fun (algo, make) ->
+          let read_hit, write, write_read = make ~size in
+          [
+            Test.make
+              ~name:(Printf.sprintf "fig1/read-hit/%s/%s" algo size_name)
+              (Staged.stage read_hit);
+            Test.make
+              ~name:(Printf.sprintf "fig1/write/%s/%s" algo size_name)
+              (Staged.stage write);
+            Test.make
+              ~name:(Printf.sprintf "fig1/write+read/%s/%s" algo size_name)
+              (Staged.stage write_read);
+          ])
+        algos)
+    sizes
+
+(* --- fig2: RMW vs plain-load primitive costs ------------------------ *)
+
+let fig2_tests =
+  let a = Atomic.make 0 in
+  [
+    Test.make ~name:"fig2/primitive/plain-load"
+      (Staged.stage (fun () -> ignore (Atomic.get a)));
+    Test.make ~name:"fig2/primitive/plain-store"
+      (Staged.stage (fun () -> Atomic.set a 1));
+    Test.make ~name:"fig2/primitive/fetch-and-add"
+      (Staged.stage (fun () -> ignore (Atomic.fetch_and_add a 1)));
+    Test.make ~name:"fig2/primitive/exchange"
+      (Staged.stage (fun () -> ignore (Atomic.exchange a 2)));
+    Test.make ~name:"fig2/primitive/compare-and-set"
+      (Staged.stage (fun () -> ignore (Atomic.compare_and_set a 2 2)));
+    Test.make ~name:"fig2/primitive/fetch-or-via-cas"
+      (Staged.stage (fun () -> ignore (Real.fetch_and_or a 0)));
+  ]
+
+(* --- fig3: fixed-work simulated slices ------------------------------ *)
+
+let sim_slice (type t r)
+    (module R : Arc_core.Register_intf.S
+      with type t = t
+       and type reader = r
+       and type Mem.buffer = Arc_vsched.Sim_mem.buffer) ~fibers () =
+  let size = 64 in
+  let init = Array.make size 0 in
+  let reg = R.create ~readers:fibers ~capacity:size ~init in
+  let src = Array.make size 0 in
+  let ops = 20 in
+  let writer () =
+    for _ = 1 to ops do
+      R.write reg ~src ~len:size
+    done
+  in
+  let reader i () =
+    let rd = R.reader reg i in
+    for _ = 1 to ops do
+      ignore (R.read_with rd ~f:(fun _ _ -> ()))
+    done
+  in
+  let all =
+    Array.init (fibers + 1) (fun i -> if i = 0 then writer else reader (i - 1))
+  in
+  ignore (Sched.run ~strategy:(Strategy.random ~seed:7) all)
+
+module Arc_sim = Arc_core.Arc.Make (Arc_vsched.Sim_mem)
+module Peterson_sim = Arc_baselines.Peterson.Make (Arc_vsched.Sim_mem)
+module Rwlock_sim = Arc_baselines.Rwlock_reg.Make (Arc_vsched.Sim_mem)
+
+let fig3_tests =
+  List.concat_map
+    (fun fibers ->
+      [
+        Test.make
+          ~name:(Printf.sprintf "fig3/sim-fixed-work/arc/%dfibers" fibers)
+          (Staged.stage (sim_slice (module Arc_sim) ~fibers));
+        Test.make
+          ~name:(Printf.sprintf "fig3/sim-fixed-work/peterson/%dfibers" fibers)
+          (Staged.stage (sim_slice (module Peterson_sim) ~fibers));
+        Test.make
+          ~name:(Printf.sprintf "fig3/sim-fixed-work/rwlock/%dfibers" fibers)
+          (Staged.stage (sim_slice (module Rwlock_sim) ~fibers));
+      ])
+    [ 16; 128 ]
+
+(* --- rmw: the E4 statement as latencies ----------------------------- *)
+
+module Arc_real = Arc_core.Arc.Make (Arc_mem.Real_mem)
+module Rf_real = Arc_baselines.Rf.Make (Arc_mem.Real_mem)
+
+let rmw_tests =
+  let size = 512 in
+  let arc = Arc_real.create ~readers:2 ~capacity:size ~init:(stamped ~seq:0 ~len:size) in
+  let arc_rd = Arc_real.reader arc 0 in
+  let rf = Rf_real.create ~readers:2 ~capacity:size ~init:(stamped ~seq:0 ~len:size) in
+  let rf_rd = Rf_real.reader rf 0 in
+  let src = stamped ~seq:1 ~len:size in
+  Arc_real.write arc ~src ~len:size;
+  ignore (Arc_real.read_with arc_rd ~f:(fun _ _ -> ()));
+  Rf_real.write rf ~src ~len:size;
+  let arc2 = Arc_real.create ~readers:2 ~capacity:size ~init:(stamped ~seq:0 ~len:size) in
+  let miss_rd = Arc_real.reader arc2 0 in
+  let miss_write_then_read () =
+    Arc_real.write arc2 ~src ~len:size;
+    Arc_real.read_with miss_rd ~f:(fun _ _ -> ())
+  in
+  [
+    Test.make ~name:"rmw/arc-read-hit-0rmw"
+      (Staged.stage (fun () -> Arc_real.read_with arc_rd ~f:(fun _ _ -> ())));
+    Test.make ~name:"rmw/rf-read-1rmw"
+      (Staged.stage (fun () -> Rf_real.read_with rf_rd ~f:(fun _ _ -> ())));
+    Test.make ~name:"rmw/arc-write+read-miss-3rmw"
+      (Staged.stage miss_write_then_read);
+  ]
+
+(* --- ablation: §3.4 hint under parked readers ----------------------- *)
+
+let parked_writer ~use_hint =
+  let readers = 64 in
+  let capacity = 16 in
+  let reg =
+    Arc_real.create_with ~use_hint ~readers ~capacity
+      ~init:(stamped ~seq:0 ~len:capacity)
+  in
+  let handles = Array.init readers (Arc_real.reader reg) in
+  let src = stamped ~seq:1 ~len:capacity in
+  for seq = 1 to readers do
+    Arc_real.write reg ~src ~len:capacity;
+    ignore (Arc_real.read_with handles.(seq - 1) ~f:(fun _ _ -> ()))
+  done;
+  let active = handles.(0) in
+  fun () ->
+    ignore (Arc_real.read_with active ~f:(fun _ _ -> ()));
+    Arc_real.write reg ~src ~len:capacity
+
+let ablation_tests =
+  [
+    Test.make ~name:"ablation/write-parked64/arc-hint"
+      (Staged.stage (parked_writer ~use_hint:true));
+    Test.make ~name:"ablation/write-parked64/arc-nohint"
+      (Staged.stage (parked_writer ~use_hint:false));
+  ]
+
+(* --- mrmw: the (M,N) extension -------------------------------------- *)
+
+module Mn = Arc_mrmw.Mn_register.Make (Arc_core.Arc) (Arc_mem.Real_mem)
+
+let mrmw_tests =
+  let reg = Mn.create ~writers:4 ~readers:4 ~capacity:64 ~init:(Array.make 64 1) in
+  let w = Mn.writer reg 0 in
+  let rd = Mn.reader reg 0 in
+  let src = Array.make 64 2 in
+  let dst = Array.make 64 0 in
+  Mn.write w ~src ~len:64;
+  [
+    Test.make ~name:"mrmw/write-4writers"
+      (Staged.stage (fun () -> Mn.write w ~src ~len:64));
+    Test.make ~name:"mrmw/read-4writers"
+      (Staged.stage (fun () -> ignore (Mn.read_into rd ~dst)));
+  ]
+
+(* --- runner ---------------------------------------------------------- *)
+
+let benchmark tests =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~stabilize:false ~kde:None ()
+  in
+  let grouped = Test.make_grouped ~name:"arc" tests in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  Analyze.all ols instance raw
+
+let () =
+  Printf.printf "arc_register benchmarks — %s\n" (Arc_util.Cpu.describe ());
+  Printf.printf "%-50s %14s %8s\n" "benchmark" "ns/op" "r^2";
+  print_endline (String.make 74 '-');
+  let tests =
+    fig1_tests @ fig2_tests @ fig3_tests @ rmw_tests @ ablation_tests @ mrmw_tests
+  in
+  let results = benchmark tests in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> nan
+        in
+        let r2 = Option.value (Analyze.OLS.r_square ols) ~default:nan in
+        (name, ns, r2) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, ns, r2) -> Printf.printf "%-50s %14.1f %8.4f\n" name ns r2)
+    (List.sort (fun (a, _, _) (b, _, _) -> compare a b) rows)

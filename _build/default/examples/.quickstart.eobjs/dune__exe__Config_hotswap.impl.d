@@ -1,0 +1,1 @@
+examples/config_hotswap.ml: Arc_core Arc_mem Array Domain List Printf Unix

@@ -1,0 +1,1 @@
+examples/market_feed.ml: Arc_core Arc_mem Arc_util Array Domain Int64 List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arc_core Arc_mem Array Domain Fun List Printf

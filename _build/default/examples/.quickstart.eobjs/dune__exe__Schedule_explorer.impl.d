@@ -1,0 +1,1 @@
+examples/schedule_explorer.ml: Arc_core Arc_trace Arc_vsched Arc_workload Array Format Printf

@@ -1,0 +1,1 @@
+examples/telemetry_hub.ml: Arc_core Arc_mem Arc_mrmw Array Atomic Domain List Printf

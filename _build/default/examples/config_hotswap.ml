@@ -1,0 +1,94 @@
+(* Hot-swappable configuration — the read-mostly extreme.
+
+   Worker threads consult a shared configuration on every request;
+   an operator thread occasionally publishes a new configuration of a
+   *different size* (ARC supports variable-length snapshots, §3.3).
+   Because readers of an unchanged register take ARC's RMW-free fast
+   path, consulting the config costs two plain atomic loads — no
+   coordination traffic at all between reloads.
+
+     dune exec examples/config_hotswap.exe *)
+
+module Arc = Arc_core.Arc.Make (Arc_mem.Real_mem)
+module Mem = Arc_mem.Real_mem
+
+(* A config is ⟨version; n; n key-value pairs⟩. *)
+let encode ~version pairs =
+  let n = List.length pairs in
+  let src = Array.make (2 + (2 * n)) 0 in
+  src.(0) <- version;
+  src.(1) <- n;
+  List.iteri
+    (fun i (k, v) ->
+      src.(2 + (2 * i)) <- k;
+      src.(3 + (2 * i)) <- v)
+    pairs;
+  src
+
+let lookup buffer key =
+  let n = Mem.read_word buffer 1 in
+  let rec go i =
+    if i >= n then None
+    else if Mem.read_word buffer (2 + (2 * i)) = key then
+      Some (Mem.read_word buffer (3 + (2 * i)))
+    else go (i + 1)
+  in
+  go 0
+
+let key_timeout = 1
+let key_limit = 2
+let key_burst = 3
+
+let () =
+  let workers = 3 in
+  let reloads = 50 in
+  let capacity = 64 in
+  let init = encode ~version:0 [ (key_timeout, 30); (key_limit, 100) ] in
+  let cfg = Arc.create ~readers:workers ~capacity ~init in
+
+  let operator () =
+    for version = 1 to reloads do
+      (* Every other reload also adds a key: sizes differ across
+         writes. *)
+      let pairs =
+        (key_timeout, 30 + version)
+        :: (key_limit, 100 + version)
+        :: (if version mod 2 = 0 then [ (key_burst, version) ] else [])
+      in
+      let src = encode ~version pairs in
+      Arc.write cfg ~src ~len:(Array.length src);
+      Unix.sleepf 0.001
+    done
+  in
+
+  let worker id () =
+    let rd = Arc.reader cfg id in
+    let requests = ref 0 in
+    let version_changes = ref 0 in
+    let last_version = ref 0 in
+    let missing = ref 0 in
+    while !last_version < reloads do
+      incr requests;
+      Arc.read_with rd ~f:(fun buffer _len ->
+          let version = Mem.read_word buffer 0 in
+          if version <> !last_version then incr version_changes;
+          last_version := version;
+          (* Consistency: timeout and limit always belong to the same
+             config generation. *)
+          match (lookup buffer key_timeout, lookup buffer key_limit) with
+          | Some t, Some l ->
+            if l - t <> 70 then
+              failwith "torn configuration: keys from different generations"
+          | _ -> incr missing)
+    done;
+    Printf.printf
+      "worker %d: %d config consultations, %d reload observations, %d lookup misses\n"
+      id !requests !version_changes !missing;
+    assert (!missing = 0)
+  in
+
+  let domains =
+    Domain.spawn operator :: List.init workers (fun i -> Domain.spawn (worker i))
+  in
+  List.iter Domain.join domains;
+  print_endline "config_hotswap: all workers saw only complete configurations"

@@ -1,0 +1,1 @@
+lib/baselines/lamport_reg.ml: Arc_mem Array

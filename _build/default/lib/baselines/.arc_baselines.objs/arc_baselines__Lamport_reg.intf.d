@@ -1,0 +1,1 @@
+lib/baselines/lamport_reg.mli: Arc_core Arc_mem

@@ -1,0 +1,1 @@
+lib/baselines/peterson.ml: Arc_mem Array

@@ -1,0 +1,1 @@
+lib/baselines/peterson.mli: Arc_core Arc_mem

@@ -1,0 +1,1 @@
+lib/baselines/rf.ml: Arc_mem Arc_util Array Printf Sys

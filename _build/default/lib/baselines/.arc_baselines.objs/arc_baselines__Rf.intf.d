@@ -1,0 +1,1 @@
+lib/baselines/rf.mli: Arc_core Arc_mem

@@ -1,0 +1,1 @@
+lib/baselines/rwlock_reg.ml: Arc_mem Array

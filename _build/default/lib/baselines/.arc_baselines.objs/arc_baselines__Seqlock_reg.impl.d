@@ -1,0 +1,1 @@
+lib/baselines/seqlock_reg.ml: Arc_mem Array

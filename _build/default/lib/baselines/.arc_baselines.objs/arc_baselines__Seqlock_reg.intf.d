@@ -1,0 +1,1 @@
+lib/baselines/seqlock_reg.mli: Arc_core Arc_mem

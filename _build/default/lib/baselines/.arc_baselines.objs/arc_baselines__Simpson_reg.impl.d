@@ -1,0 +1,1 @@
+lib/baselines/simpson_reg.ml: Arc_mem Array

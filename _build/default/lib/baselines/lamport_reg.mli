@@ -1,0 +1,20 @@
+(** Lamport's concurrent reading and writing register (CACM 1977) —
+    the paper's reference [5], the historical starting point of the
+    (1,N) register literature.
+
+    Two version counters sandwich the data: the writer bumps [v1]
+    {e before} the copy and sets [v2 := v1] {e after}; a reader reads
+    [v2] first, copies, reads [v1] last, and accepts only when
+    [v1 = v2].  Writes are wait-free; reads merely lock-free — the
+    writer "can force slow-running readers to retry their read
+    operations indefinitely" (§2), the very weakness Peterson, RF and
+    ARC successively repair.  Retries are counted so experiments can
+    display the starvation. *)
+
+val algorithm : string
+
+module Make (M : Arc_mem.Mem_intf.S) : sig
+  include Arc_core.Register_intf.S with module Mem = M
+
+  val retries : reader -> int
+end

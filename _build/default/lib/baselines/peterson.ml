@@ -1,0 +1,138 @@
+let algorithm = "peterson"
+
+module Make (M : Arc_mem.Mem_intf.S) = struct
+  module Mem = M
+
+  type shared_buf = { size : M.atomic; content : M.buffer }
+
+  type t = {
+    buff1 : shared_buf;
+    buff2 : shared_buf;
+    copybuff : shared_buf array;  (* one per reader *)
+    wflag : M.atomic;  (* 1 while the writer is between buff1 start and switch drop *)
+    switch : M.atomic;  (* toggles once per write *)
+    reading : M.atomic array;  (* handshake: reader announces by toggling *)
+    writing : M.atomic array;  (* writer acknowledges by matching *)
+    readers : int;
+    capacity : int;
+  }
+
+  type reader = {
+    reg : t;
+    id : int;
+    scratch1 : M.buffer;  (* private copies of buff1 / buff2 *)
+    scratch2 : M.buffer;
+    mutable scratch1_len : int;
+    mutable scratch2_len : int;
+  }
+
+  let algorithm = algorithm
+  let wait_free = true
+  let max_readers ~capacity_words:_ = None
+
+  let fresh_buf capacity = { size = M.atomic 0; content = M.alloc capacity }
+
+  let create ~readers ~capacity ~init =
+    if readers < 1 then invalid_arg "Peterson.create: need at least one reader";
+    if capacity < 1 then invalid_arg "Peterson.create: capacity must be positive";
+    if Array.length init > capacity then invalid_arg "Peterson.create: init too long";
+    let fill b =
+      M.write_words b.content ~src:init ~len:(Array.length init);
+      M.store b.size (Array.length init)
+    in
+    let reg =
+      {
+        buff1 = fresh_buf capacity;
+        buff2 = fresh_buf capacity;
+        copybuff = Array.init readers (fun _ -> fresh_buf capacity);
+        wflag = M.atomic 0;
+        switch = M.atomic 0;
+        reading = Array.init readers (fun _ -> M.atomic 0);
+        writing = Array.init readers (fun _ -> M.atomic 0);
+        readers;
+        capacity;
+      }
+    in
+    fill reg.buff1;
+    fill reg.buff2;
+    Array.iter fill reg.copybuff;
+    reg
+
+  let reader reg i =
+    if i < 0 || i >= reg.readers then
+      invalid_arg "Peterson.reader: identity out of range";
+    {
+      reg;
+      id = i;
+      scratch1 = M.alloc reg.capacity;
+      scratch2 = M.alloc reg.capacity;
+      scratch1_len = 0;
+      scratch2_len = 0;
+    }
+
+  (* Copy a possibly-being-written shared buffer into a private
+     scratch.  The copied words may be torn; the caller's dirtiness
+     protocol decides whether the copy is usable.  The size word is
+     sampled first and clamped so a torn size can never overrun. *)
+  let unsafe_copy (src : shared_buf) dst capacity =
+    let len = M.load src.size in
+    let len = if len < 0 then 0 else if len > capacity then capacity else len in
+    M.blit src.content dst ~len;
+    len
+
+  let read_with rd ~f =
+    let reg = rd.reg in
+    let my_reading = reg.reading.(rd.id) in
+    let my_writing = reg.writing.(rd.id) in
+    (* Announce: make reading ≠ writing so an overlapping writer must
+       acknowledge us (and refresh our copybuff first). *)
+    M.store my_reading (1 - M.load my_writing);
+    let wf1 = M.load reg.wflag in
+    let sw1 = M.load reg.switch in
+    rd.scratch1_len <- unsafe_copy reg.buff1 rd.scratch1 reg.capacity;
+    let wf2 = M.load reg.wflag in
+    let sw2 = M.load reg.switch in
+    rd.scratch2_len <- unsafe_copy reg.buff2 rd.scratch2 reg.capacity;
+    if M.load my_writing = M.load my_reading then begin
+      (* A complete write overlapped this read and acknowledged the
+         announce; its private copy is stable until we announce again. *)
+      let cb = reg.copybuff.(rd.id) in
+      let len = unsafe_copy cb rd.scratch1 reg.capacity in
+      rd.scratch1_len <- len;
+      f rd.scratch1 len
+    end
+    else if sw1 <> sw2 || wf1 = 1 || wf2 = 1 then
+      (* The buff1 copy raced a writer; at most one write overlapped
+         (no acknowledge), so the later buff2 copy is clean. *)
+      f rd.scratch2 rd.scratch2_len
+    else f rd.scratch1 rd.scratch1_len
+
+  let read_into rd ~dst =
+    read_with rd ~f:(fun buffer len ->
+        if Array.length dst < len then invalid_arg "Peterson.read_into: dst too short";
+        M.read_words buffer ~dst ~len;
+        len)
+
+  let write reg ~src ~len =
+    if len < 0 || len > Array.length src then invalid_arg "Peterson.write: bad length";
+    if len > reg.capacity then invalid_arg "Peterson.write: exceeds capacity";
+    M.store reg.wflag 1;
+    M.write_words reg.buff1.content ~src ~len;
+    M.store reg.buff1.size len;
+    M.store reg.switch (1 - M.load reg.switch);
+    M.store reg.wflag 0;
+    for i = 0 to reg.readers - 1 do
+      let announced = M.load reg.reading.(i) in
+      if announced <> M.load reg.writing.(i) then begin
+        (* Reader i is mid-read: refresh its private copy, then
+           acknowledge.  Order matters — the reader only trusts the
+           copy after seeing the acknowledge. *)
+        M.write_words reg.copybuff.(i).content ~src ~len;
+        M.store reg.copybuff.(i).size len;
+        M.store reg.writing.(i) announced
+      end;
+      M.cede ()
+    done;
+    M.write_words reg.buff2.content ~src ~len;
+    M.store reg.buff2.size len
+end

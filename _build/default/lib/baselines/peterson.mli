@@ -1,0 +1,36 @@
+(** Peterson's wait-free (1,N) atomic register ("Concurrent Reading
+    While Writing", TOPLAS 1983) — the classical construction the
+    paper compares against, built from plain single-word reads and
+    writes only (no RMW instructions; the original requires sequential
+    consistency, which OCaml atomics provide).
+
+    Structure: two shared data buffers [buff1]/[buff2] the writer
+    always refreshes, one private [copybuff] per reader the writer
+    refreshes only for readers it catches mid-read, a dirtiness
+    protocol ([wflag], [switch]) letting a reader detect that a write
+    overlapped its buffer copies, and a per-reader handshake
+    ([reading.(i)] toggled by the reader, acknowledged into
+    [writing.(i)] by the writer).
+
+    - {b read} by reader [i]: announce by making
+      [reading.(i) ≠ writing.(i)]; sample [wflag]/[switch]; copy
+      [buff1]; resample; copy [buff2]; then return the first of —
+      [copybuff.(i)] if the writer acknowledged the handshake (two
+      complete writes overlapped, so both buffer copies are suspect
+      but the acknowledged copy is stable), the [buff2] copy if the
+      samples flagged dirtiness, else the [buff1] copy.
+    - {b write}: raise [wflag]; write [buff1]; toggle [switch]; drop
+      [wflag]; for every reader with a pending announce, refresh its
+      [copybuff] {e then} acknowledge; finally write [buff2].
+
+    Every read thus performs one or two full-buffer copies (plus the
+    writer's extra per-reader copies) — the multiple-copy cost the
+    paper's §1/§5 attributes to classical register constructions, and
+    the reason Peterson's throughput collapses as the register size
+    grows (Fig. 1–3). *)
+
+val algorithm : string
+
+module Make (M : Arc_mem.Mem_intf.S) : sig
+  include Arc_core.Register_intf.S with module Mem = M
+end

@@ -1,0 +1,35 @@
+(** RF — the Readers-Field wait-free (1,N) register of Larsson,
+    Gidenstam, Ha, Papatriantafilou and Tsigas ("Multiword atomic
+    read/write registers on multiprocessor systems", JEA 2009): the
+    paper's closest competitor (its reference [2]).
+
+    A single synchronization word packs a buffer pointer (high bits)
+    with one {e trace bit per reader} (low bits):
+
+    - {b read} by reader [i]: one [FetchAndOr] setting bit [i] and
+      returning the pointer atomically — an RMW on {e every} read,
+      which is precisely the cost ARC's fast path avoids;
+    - {b write}: pick a buffer not equal to the published one and not
+      traced for any reader, copy the value, [AtomicExchange] the sync
+      word to the new pointer with all trace bits cleared, then for
+      every bit set in the old word record "reader [i] may still be
+      using the old buffer" in a writer-private trace table — the
+      O(N) write-time component the paper attributes to RF.
+
+    Reader capacity is bounded by the word: [readers + ceil_log2
+    (readers + 2) <= word bits].  On the paper's 64-bit C platform
+    that is 58 readers; with OCaml's 63-bit int it is 57 (DESIGN.md
+    §2).  N+2 buffers, wait-free, zero-copy reads like ARC. *)
+
+val algorithm : string
+
+val max_readers_for_word : word_bits:int -> int
+(** Largest [n] with [n + ceil_log2 (n + 2) <= word_bits]. *)
+
+module Make (M : Arc_mem.Mem_intf.S) : sig
+  include Arc_core.Register_intf.S with module Mem = M
+
+  val read_view : reader -> M.buffer * int
+  (** Zero-copy read; stable until this reader's next read, as the
+      writer-private trace table protects the slot. *)
+end

@@ -1,0 +1,17 @@
+(** The classical lock-based register of the paper's evaluation: one
+    shared buffer guarded by a read/write spin-lock built from RMW
+    instructions (CAS).  Not wait-free — a reader or the writer can
+    spin unboundedly while the lock is held, which is exactly the
+    behaviour Fig. 2 exposes under hypervisor CPU-steal and Fig. 3
+    under heavy time-sharing.
+
+    Lock word encoding: [-1] = writer holds; [0] = free; [k > 0] =
+    [k] readers hold.  Readers and the writer acquire with CAS retry
+    loops ([cede] between attempts so simulated schedulers can
+    preempt there). *)
+
+val algorithm : string
+
+module Make (M : Arc_mem.Mem_intf.S) : sig
+  include Arc_core.Register_intf.S with module Mem = M
+end

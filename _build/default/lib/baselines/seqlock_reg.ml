@@ -1,0 +1,82 @@
+let algorithm = "seqlock"
+
+module Make (M : Arc_mem.Mem_intf.S) = struct
+  module Mem = M
+
+  type t = {
+    version : M.atomic;
+    size : M.atomic;
+    content : M.buffer;
+    capacity : int;
+    readers : int;
+  }
+  type reader = { reg : t; scratch : M.buffer; mutable retries : int }
+
+  let algorithm = algorithm
+  let wait_free = false
+  let max_readers ~capacity_words:_ = None
+
+  let create ~readers ~capacity ~init =
+    if readers < 1 then invalid_arg "Seqlock_reg.create: need at least one reader";
+    if capacity < 1 then invalid_arg "Seqlock_reg.create: capacity must be positive";
+    if Array.length init > capacity then invalid_arg "Seqlock_reg.create: init too long";
+    let reg =
+      {
+        version = M.atomic 0;
+        size = M.atomic 0;
+        content = M.alloc capacity;
+        capacity;
+        readers;
+      }
+    in
+    M.write_words reg.content ~src:init ~len:(Array.length init);
+    M.store reg.size (Array.length init);
+    reg
+
+  let reader reg i =
+    if i < 0 || i >= reg.readers then
+      invalid_arg "Seqlock_reg.reader: identity out of range";
+    { reg; scratch = M.alloc reg.capacity; retries = 0 }
+  let retries rd = rd.retries
+
+  let read_with rd ~f =
+    let reg = rd.reg in
+    let rec attempt () =
+      let v1 = M.load reg.version in
+      if v1 land 1 = 1 then begin
+        rd.retries <- rd.retries + 1;
+        M.cede ();
+        attempt ()
+      end
+      else begin
+        let len = M.load reg.size in
+        let len = if len < 0 then 0 else if len > reg.capacity then reg.capacity else len in
+        M.blit reg.content rd.scratch ~len;
+        let v2 = M.load reg.version in
+        if v1 = v2 then (rd.scratch, len)
+        else begin
+          rd.retries <- rd.retries + 1;
+          M.cede ();
+          attempt ()
+        end
+      end
+    in
+    let buffer, len = attempt () in
+    f buffer len
+
+  let read_into rd ~dst =
+    read_with rd ~f:(fun buffer len ->
+        if Array.length dst < len then
+          invalid_arg "Seqlock_reg.read_into: dst too short";
+        M.read_words buffer ~dst ~len;
+        len)
+
+  let write reg ~src ~len =
+    if len < 0 || len > Array.length src then invalid_arg "Seqlock_reg.write: bad length";
+    if len > M.capacity reg.content then
+      invalid_arg "Seqlock_reg.write: exceeds capacity";
+    M.store reg.version (M.load reg.version + 1) (* odd: write in progress *);
+    M.write_words reg.content ~src ~len;
+    M.store reg.size len;
+    M.store reg.version (M.load reg.version + 1) (* even: stable *)
+end

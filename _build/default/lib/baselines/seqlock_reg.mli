@@ -1,0 +1,20 @@
+(** Sequence-lock register — an additional baseline beyond the paper's
+    set, included as the canonical {e lock-free but not wait-free}
+    point in the design space (DESIGN.md §5, ablation 4): writes are
+    wait-free and cheap (no reader coordination at all), but a reader
+    must retry whenever a write overlaps its copy, so a fast writer
+    can starve readers indefinitely — the property separating
+    lock-freedom from the wait-freedom ARC provides.
+
+    Protocol: a version word is odd while the writer is copying;
+    readers copy the buffer into a private scratch and accept the copy
+    only if the version was even and unchanged around the copy. *)
+
+val algorithm : string
+
+module Make (M : Arc_mem.Mem_intf.S) : sig
+  include Arc_core.Register_intf.S with module Mem = M
+
+  val retries : reader -> int
+  (** Total failed validation attempts by this reader so far. *)
+end

@@ -1,0 +1,75 @@
+let algorithm = "simpson"
+
+module Make (M : Arc_mem.Mem_intf.S) = struct
+  module Mem = M
+
+  type slot = { size : M.atomic; content : M.buffer }
+
+  type t = {
+    data : slot array array;  (* 2 pairs × 2 slots *)
+    slot_of : M.atomic array;  (* per pair: which slot holds its freshest value *)
+    latest : M.atomic;  (* pair holding the most recent write *)
+    reading : M.atomic;  (* pair the reader announced *)
+  }
+
+  type reader = t
+
+  let algorithm = algorithm
+  let wait_free = true
+  let max_readers ~capacity_words:_ = Some 1
+
+  let create ~readers ~capacity ~init =
+    if readers <> 1 then
+      invalid_arg "Simpson_reg.create: a four-slot register has exactly one reader";
+    if capacity < 1 then invalid_arg "Simpson_reg.create: capacity must be positive";
+    if Array.length init > capacity then invalid_arg "Simpson_reg.create: init too long";
+    let fresh () = { size = M.atomic 0; content = M.alloc capacity } in
+    let reg =
+      {
+        data = Array.init 2 (fun _ -> Array.init 2 (fun _ -> fresh ()));
+        slot_of = [| M.atomic 0; M.atomic 0 |];
+        latest = M.atomic 0;
+        reading = M.atomic 0;
+      }
+    in
+    (* Every slot starts with the initial value, so any interleaving
+       of the very first operations reads something well-formed. *)
+    Array.iter
+      (fun pair ->
+        Array.iter
+          (fun s ->
+            M.write_words s.content ~src:init ~len:(Array.length init);
+            M.store s.size (Array.length init))
+          pair)
+      reg.data;
+    reg
+
+  let reader reg i =
+    if i <> 0 then invalid_arg "Simpson_reg.reader: identity out of range";
+    reg
+
+  let write reg ~src ~len =
+    if len < 0 || len > Array.length src then invalid_arg "Simpson_reg.write: bad length";
+    let pair = 1 - M.load reg.reading in
+    let index = 1 - M.load reg.slot_of.(pair) in
+    let s = reg.data.(pair).(index) in
+    if len > M.capacity s.content then invalid_arg "Simpson_reg.write: exceeds capacity";
+    M.write_words s.content ~src ~len;
+    M.store s.size len;
+    M.store reg.slot_of.(pair) index;
+    M.store reg.latest pair
+
+  let read_with reg ~f =
+    let pair = M.load reg.latest in
+    M.store reg.reading pair;
+    let index = M.load reg.slot_of.(pair) in
+    let s = reg.data.(pair).(index) in
+    f s.content (M.load s.size)
+
+  let read_into reg ~dst =
+    read_with reg ~f:(fun buffer len ->
+        if Array.length dst < len then
+          invalid_arg "Simpson_reg.read_into: dst too short";
+        M.read_words buffer ~dst ~len;
+        len)
+end

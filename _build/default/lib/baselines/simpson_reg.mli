@@ -1,0 +1,21 @@
+(** Simpson's four-slot fully asynchronous communication mechanism
+    (IEE Proceedings 1990) — the paper's reference [12]: the classic
+    wait-free multi-word atomic {e (1,1)} register, from plain
+    single-word reads/writes only.
+
+    Four data slots arranged as two pairs.  The writer always writes
+    into the pair the reader is {e not} announcing ([pair := ¬reading])
+    and within it the slot it last left free; the reader follows
+    [latest]/[slot] and announces the pair it is using.  Neither side
+    ever waits, yet reader and writer can never collide on a slot.
+
+    Included to complete the historical ladder the paper's §2 walks —
+    (1,1) [12] → (1,N) [11] → RMW-based (1,N) [2, ARC] — and as the
+    one-reader special case in the comparative experiments.
+    [max_readers] is [Some 1]. *)
+
+val algorithm : string
+
+module Make (M : Arc_mem.Mem_intf.S) : sig
+  include Arc_core.Register_intf.S with module Mem = M
+end

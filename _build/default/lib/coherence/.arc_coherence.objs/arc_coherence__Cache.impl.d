@@ -1,0 +1,1 @@
+lib/coherence/cache.ml: Array Format Hashtbl

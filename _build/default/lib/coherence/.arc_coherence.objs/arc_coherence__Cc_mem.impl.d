@@ -1,0 +1,1 @@
+lib/coherence/cc_mem.ml: Arc_vsched Array Cache

@@ -1,0 +1,1 @@
+lib/coherence/cc_mem.mli: Arc_mem Cache

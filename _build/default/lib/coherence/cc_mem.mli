@@ -1,0 +1,27 @@
+(** Coherence-modelled simulated memory: an {!Arc_mem.Mem_intf.S}
+    instance whose every access consults an installed {!Cache},
+    charging the returned cost as the scheduler-step weight and
+    attributing the access to the running fiber's cache.
+
+    Layout: every synchronization variable gets a private cache line
+    (as a careful implementation would pad it); buffers span
+    [words_per_line]-word lines.  With no cache installed, operations
+    degrade to {!Arc_vsched.Sim_mem}-like unit costs, so registers
+    built over this instance still work in plain unit tests.
+
+    Usage (see {!Arc_harness.Coherence_exp}): [install] a fresh cache
+    sized to the fiber count + 1 (the extra agent owns setup-time
+    accesses), build registers, run fibers under {!Arc_vsched.Sched},
+    then read {!Cache.stats}.  Not reentrant across overlapping runs
+    — one installed cache per domain at a time. *)
+
+val words_per_line : int
+
+val install : Cache.t -> unit
+(** Also resets the line allocator so consecutive experiments are
+    independent. *)
+
+val uninstall : unit -> unit
+val installed : unit -> Cache.t option
+
+include Arc_mem.Mem_intf.S

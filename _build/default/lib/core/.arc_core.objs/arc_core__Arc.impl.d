@@ -1,0 +1,1 @@
+lib/core/arc.ml: Arc_mem Arc_util Array

@@ -1,0 +1,1 @@
+lib/core/arc.mli: Arc_mem Register_intf

@@ -1,0 +1,1 @@
+lib/core/arc_dynamic.mli: Arc_mem Register_intf

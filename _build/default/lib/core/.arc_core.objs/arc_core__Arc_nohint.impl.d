@@ -1,0 +1,1 @@
+lib/core/arc_nohint.ml: Arc Arc_mem

@@ -1,0 +1,1 @@
+lib/core/arc_nohint.mli: Arc_mem Register_intf

@@ -1,0 +1,1 @@
+lib/core/register_intf.ml: Arc_mem

@@ -1,0 +1,1 @@
+lib/core/typed.ml: Arc_mem Array Register_intf

@@ -1,0 +1,1 @@
+lib/core/typed.mli: Arc_mem Register_intf

@@ -1,0 +1,190 @@
+let algorithm = "arc"
+
+module Packed = Arc_util.Packed
+
+module Make (M : Arc_mem.Mem_intf.S) = struct
+  module Mem = M
+
+  type slot = {
+    size : M.atomic;  (* words of the snapshot currently in [content] *)
+    r_start : M.atomic;  (* reads started on this slot since its last update *)
+    r_end : M.atomic;  (* reads completed on this slot since its last update *)
+    content : M.buffer;
+  }
+
+  type t = {
+    slots : slot array;  (* N + 2, the classical lower bound *)
+    current : M.atomic;  (* packed ⟨index, count⟩ — the synchronization word *)
+    readers : int;
+    use_hint : bool;
+    hint : M.atomic;  (* §3.4 free-slot proposal; -1 when empty *)
+    (* Writer-private state: accessed only by the single writer thread. *)
+    mutable last_slot : int;
+    mutable probes : int;
+    mutable writes : int;
+  }
+
+  type reader = { reg : t; mutable last_index : int }
+
+  let algorithm = algorithm
+  let wait_free = true
+  let max_readers ~capacity_words:_ = Some (Packed.max_count - 1)
+
+  let create_with ~use_hint ~readers ~capacity ~init =
+    if readers < 1 then invalid_arg "Arc.create: need at least one reader";
+    if readers > Packed.max_count - 1 then
+      invalid_arg "Arc.create: readers exceed the 2^32 - 2 capacity";
+    if capacity < 1 then invalid_arg "Arc.create: capacity must be positive";
+    if Array.length init > capacity then
+      invalid_arg "Arc.create: init longer than capacity";
+    let nslots = readers + 2 in
+    if nslots - 1 > Packed.max_index then
+      invalid_arg "Arc.create: slot count exceeds index field";
+    let fresh_slot () =
+      {
+        size = M.atomic 0;
+        r_start = M.atomic 0;
+        r_end = M.atomic 0;
+        content = M.alloc capacity;
+      }
+    in
+    let slots = Array.init nslots (fun _ -> fresh_slot ()) in
+    (* I1: the initial value lives in slot 0 and [current] starts as
+       ⟨index = 0, count = N⟩ — as if every reader had already
+       subscribed to slot 0; reader handles start with last_index = 0
+       accordingly, so a first read of an unchanged register is
+       already on the RMW-free fast path. *)
+    M.write_words slots.(0).content ~src:init ~len:(Array.length init);
+    M.store slots.(0).size (Array.length init);
+    {
+      slots;
+      current = M.atomic (Packed.make ~index:0 ~count:readers);
+      readers;
+      use_hint;
+      hint = M.atomic (-1);
+      last_slot = 0;
+      probes = 0;
+      writes = 0;
+    }
+
+  let create ~readers ~capacity ~init = create_with ~use_hint:true ~readers ~capacity ~init
+
+  let reader reg i =
+    if i < 0 || i >= reg.readers then invalid_arg "Arc.reader: identity out of range";
+    { reg; last_index = 0 }
+
+  (* Algorithm 2.  The fast path (R2) performs a single plain load of
+     [current]; only when a newer value was published does the reader
+     pay two RMWs (R3 release + R4 subscribe). *)
+  let read_view rd =
+    let reg = rd.reg in
+    let index = Packed.index (M.load reg.current) (* R1 *) in
+    if rd.last_index <> index then begin
+      let released = reg.slots.(rd.last_index) in
+      M.incr released.r_end (* R3 *);
+      if reg.use_hint then begin
+        (* §3.4: if this release made the slot reusable, propose it to
+           the writer.  Plain loads/stores suffice: a stale proposal is
+           re-validated by the writer before use. *)
+        let fin = M.load released.r_end in
+        if fin = M.load released.r_start then M.store reg.hint rd.last_index
+      end;
+      let now = M.add_and_fetch reg.current 1 (* R4 *) in
+      rd.last_index <- Packed.index now (* R5 *)
+    end;
+    let entry = reg.slots.(rd.last_index) in
+    (entry.content, M.load entry.size)
+
+  let read_with rd ~f =
+    let buffer, len = read_view rd in
+    f buffer len
+
+  let read_into rd ~dst =
+    read_with rd ~f:(fun buffer len ->
+        if Array.length dst < len then invalid_arg "Arc.read_into: dst too short";
+        M.read_words buffer ~dst ~len;
+        len)
+
+  let slot_free reg j =
+    j <> reg.last_slot && M.load reg.slots.(j).r_start = M.load reg.slots.(j).r_end
+
+  (* W1: free-slot search.  Try the readers' proposal first (O(1)
+     amortized), then scan — Lemma 4.1 guarantees a free slot exists
+     among the N+2 within one sweep. *)
+  let find_free reg =
+    let proposal =
+      if not reg.use_hint then -1
+      else begin
+        let h = M.load reg.hint in
+        if h >= 0 then M.store reg.hint (-1);
+        h
+      end
+    in
+    if proposal >= 0 && proposal < Array.length reg.slots && slot_free reg proposal
+    then begin
+      reg.probes <- reg.probes + 1;
+      proposal
+    end
+    else begin
+      let n = Array.length reg.slots in
+      let rec scan step =
+        if step > n then failwith "Arc.write: no free slot (invariant violated)"
+        else begin
+          let j = (reg.last_slot + step) mod n in
+          reg.probes <- reg.probes + 1;
+          M.cede ();
+          if slot_free reg j then j else scan (step + 1)
+        end
+      in
+      scan 1
+    end
+
+  (* Algorithm 3. *)
+  let write reg ~src ~len =
+    if len < 0 || len > Array.length src then invalid_arg "Arc.write: bad length";
+    let slot = find_free reg (* W1 *) in
+    let entry = reg.slots.(slot) in
+    if len > M.capacity entry.content then invalid_arg "Arc.write: exceeds capacity";
+    M.write_words entry.content ~src ~len;
+    M.store entry.size len;
+    M.store entry.r_start 0;
+    M.store entry.r_end 0;
+    let old = M.exchange reg.current (Packed.of_index slot) (* W2 *) in
+    let old_slot = Packed.index old in
+    (* W3: freeze the readers-presence of the superseded slot into its
+       r_start; it becomes free again once the laggards' R3 increments
+       bring r_end up to this value. *)
+    M.store reg.slots.(old_slot).r_start (Packed.count old);
+    reg.last_slot <- slot;
+    reg.writes <- reg.writes + 1
+
+  let write_probes reg = reg.probes
+  let writes reg = reg.writes
+
+  module Debug = struct
+    let slots reg = Array.length reg.slots
+    let current reg = M.load reg.current
+    let r_start reg j = M.load reg.slots.(j).r_start
+    let r_end reg j = M.load reg.slots.(j).r_end
+    let slot_size reg j = M.load reg.slots.(j).size
+
+    let presence_bound_holds reg =
+      let frozen = ref 0 in
+      Array.iter
+        (fun s -> frozen := !frozen + (M.load s.r_start - M.load s.r_end))
+        reg.slots;
+      !frozen + Packed.count (M.load reg.current) = reg.readers
+
+    let free_slot_exists reg =
+      let published = Packed.index (M.load reg.current) in
+      let n = Array.length reg.slots in
+      let rec go j =
+        if j >= n then false
+        else if
+          j <> published && M.load reg.slots.(j).r_start = M.load reg.slots.(j).r_end
+        then true
+        else go (j + 1)
+      in
+      go 0
+  end
+end

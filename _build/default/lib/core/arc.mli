@@ -1,0 +1,75 @@
+(** Anonymous Readers Counting — the paper's contribution (§3).
+
+    A wait-free multi-word atomic (1,N) register using N+2 slots and a
+    single packed synchronization word
+    [current = ⟨index, count⟩] (see {!Arc_util.Packed}):
+
+    - {b read} (Algorithm 2): load [current] (R1); if the slot index
+      equals the reader's private [last_index], return the already
+      subscribed slot with {e no RMW at all} (R2) — the fast path that
+      differentiates ARC from RF.  Otherwise release the old slot with
+      an atomic increment of its [r_end] (R3), subscribe to the
+      current slot with [AtomicAddAndFetch (current, 1)] (R4), and
+      remember it (R5).
+    - {b write} (Algorithm 3): find a free slot — one that is not
+      [last_slot] and has [r_start = r_end] (W1) — copy the new value
+      into it, reset its counters, publish it with
+      [AtomicExchange (current, ⟨slot, 0⟩)] (W2), and freeze the old
+      slot's readers-presence count into its [r_start] (W3).
+    - {b free-slot hint} (§3.4): a reader that observes
+      [r_start = r_end] right after its R3 release posts the slot
+      index as a proposal; the writer validates and consumes it,
+      making the free-slot search O(1) amortized instead of O(N).
+
+    Reads are O(1); a read performs 0 RMW on the fast path and 2 RMW
+    (R3 + R4) otherwise.  Writes perform exactly 1 RMW (W2).
+
+    Capacity: up to [2^32 - 2] concurrent readers (the packed count
+    field keeps the paper's full 32 bits) and [2^31 - 1] slots. *)
+
+val algorithm : string
+
+module Make (M : Arc_mem.Mem_intf.S) : sig
+  include Register_intf.S with module Mem = M
+
+  val create_with : use_hint:bool -> readers:int -> capacity:int -> init:int array -> t
+  (** Like {!create} but choosing whether the §3.4 free-slot hint is
+      used ({!create} enables it).  [use_hint:false] is the ablation
+      arm of experiment E5. *)
+
+  val read_view : reader -> M.buffer * int
+  (** The raw zero-copy read: returns the slot buffer and the snapshot
+      length.  Stronger guarantee than {!read_with}: the view stays
+      stable until this same reader's {e next} read (the slot cannot
+      be recycled while this reader's presence is accounted on it). *)
+
+  val write_probes : t -> int
+  (** Total slots examined by all {!write} free-slot searches so far
+      (writer-thread view).  With the hint enabled this grows as
+      O(1) per write; without it as O(N) in adverse cases — the
+      measured quantity of experiment E5. *)
+
+  val writes : t -> int
+  (** Number of completed writes (writer-thread view). *)
+
+  (** White-box access for tests: the §4 lemmas as executable
+      checks. *)
+  module Debug : sig
+    val slots : t -> int
+    val current : t -> int
+    (** Packed ⟨index, count⟩ word; decode with {!Arc_util.Packed}. *)
+
+    val r_start : t -> int -> int
+    val r_end : t -> int -> int
+    val slot_size : t -> int -> int
+
+    val presence_bound_holds : t -> bool
+    (** Lemma 4.1's ledger: [Σ_j (r_start(j) - r_end(j)) + count(current)]
+        never exceeds the number of readers.  Quiescent-state check
+        (call while no operation is in flight). *)
+
+    val free_slot_exists : t -> bool
+    (** Lemma 4.1: at least one slot other than the published one has
+        [r_start = r_end].  Quiescent-state check. *)
+  end
+end

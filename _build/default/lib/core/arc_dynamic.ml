@@ -1,0 +1,157 @@
+let algorithm = "arc-dynamic"
+
+module Packed = Arc_util.Packed
+
+module Make (M : Arc_mem.Mem_intf.S) = struct
+  module Mem = M
+
+  type slot = {
+    size : M.atomic;
+    r_start : M.atomic;
+    r_end : M.atomic;
+    mutable content : M.buffer;
+        (* Written only by the writer, and only while the slot is
+           free; published to readers by the exchange on [current]
+           (same happens-before edge as the slot's data). *)
+  }
+
+  type t = {
+    slots : slot array;
+    current : M.atomic;
+    readers : int;
+    capacity : int;
+    hint : M.atomic;
+    mutable last_slot : int;
+    mutable reallocations : int;
+    mutable writes : int;
+  }
+
+  type reader = { reg : t; mutable last_index : int }
+
+  let algorithm = algorithm
+  let wait_free = true
+  let max_readers ~capacity_words:_ = Some (Packed.max_count - 1)
+
+  let create ~readers ~capacity ~init =
+    if readers < 1 then invalid_arg "Arc_dynamic.create: need at least one reader";
+    if readers > Packed.max_count - 1 then
+      invalid_arg "Arc_dynamic.create: readers exceed the 2^32 - 2 capacity";
+    if capacity < 1 then invalid_arg "Arc_dynamic.create: capacity must be positive";
+    if Array.length init > capacity then
+      invalid_arg "Arc_dynamic.create: init longer than capacity";
+    let nslots = readers + 2 in
+    if nslots - 1 > Packed.max_index then
+      invalid_arg "Arc_dynamic.create: slot count exceeds index field";
+    let fresh_slot words =
+      {
+        size = M.atomic 0;
+        r_start = M.atomic 0;
+        r_end = M.atomic 0;
+        content = M.alloc words;
+      }
+    in
+    (* Empty slots start with zero-word buffers: the whole point of
+       the dynamic variant is paying only for what is stored. *)
+    let slots =
+      Array.init nslots (fun i -> fresh_slot (if i = 0 then Array.length init else 0))
+    in
+    M.write_words slots.(0).content ~src:init ~len:(Array.length init);
+    M.store slots.(0).size (Array.length init);
+    {
+      slots;
+      current = M.atomic (Packed.make ~index:0 ~count:readers);
+      readers;
+      capacity;
+      hint = M.atomic (-1);
+      last_slot = 0;
+      reallocations = 0;
+      writes = 0;
+    }
+
+  let reader reg i =
+    if i < 0 || i >= reg.readers then
+      invalid_arg "Arc_dynamic.reader: identity out of range";
+    { reg; last_index = 0 }
+
+  let read_view rd =
+    let reg = rd.reg in
+    let index = Packed.index (M.load reg.current) in
+    if rd.last_index <> index then begin
+      let released = reg.slots.(rd.last_index) in
+      M.incr released.r_end;
+      let fin = M.load released.r_end in
+      if fin = M.load released.r_start then M.store reg.hint rd.last_index;
+      let now = M.add_and_fetch reg.current 1 in
+      rd.last_index <- Packed.index now
+    end;
+    let entry = reg.slots.(rd.last_index) in
+    (entry.content, M.load entry.size)
+
+  let read_with rd ~f =
+    let buffer, len = read_view rd in
+    f buffer len
+
+  let read_into rd ~dst =
+    read_with rd ~f:(fun buffer len ->
+        if Array.length dst < len then
+          invalid_arg "Arc_dynamic.read_into: dst too short";
+        M.read_words buffer ~dst ~len;
+        len)
+
+  let slot_free reg j =
+    j <> reg.last_slot && M.load reg.slots.(j).r_start = M.load reg.slots.(j).r_end
+
+  let find_free reg =
+    let proposal =
+      let h = M.load reg.hint in
+      if h >= 0 then M.store reg.hint (-1);
+      h
+    in
+    if proposal >= 0 && proposal < Array.length reg.slots && slot_free reg proposal
+    then proposal
+    else begin
+      let n = Array.length reg.slots in
+      let rec scan step =
+        if step > n then failwith "Arc_dynamic.write: no free slot (invariant violated)"
+        else begin
+          let j = (reg.last_slot + step) mod n in
+          M.cede ();
+          if slot_free reg j then j else scan (step + 1)
+        end
+      in
+      scan 1
+    end
+
+  (* Grow always; shrink only below half to avoid thrashing on
+     small size oscillations. *)
+  let needs_realloc entry len =
+    let cap = M.capacity entry.content in
+    len > cap || len * 2 < cap
+
+  let write reg ~src ~len =
+    if len < 0 || len > Array.length src then invalid_arg "Arc_dynamic.write: bad length";
+    if len > reg.capacity then invalid_arg "Arc_dynamic.write: exceeds capacity";
+    let slot = find_free reg in
+    let entry = reg.slots.(slot) in
+    if needs_realloc entry len then begin
+      (* The slot is free: no reader presence is accounted on it, so
+         swapping the buffer races with nobody.  Readers holding views
+         of the old buffer keep it alive via the GC. *)
+      entry.content <- M.alloc len;
+      reg.reallocations <- reg.reallocations + 1
+    end;
+    M.write_words entry.content ~src ~len;
+    M.store entry.size len;
+    M.store entry.r_start 0;
+    M.store entry.r_end 0;
+    let old = M.exchange reg.current (Packed.of_index slot) in
+    let old_slot = Packed.index old in
+    M.store reg.slots.(old_slot).r_start (Packed.count old);
+    reg.last_slot <- slot;
+    reg.writes <- reg.writes + 1
+
+  let footprint_words reg =
+    Array.fold_left (fun acc s -> acc + M.capacity s.content) 0 reg.slots
+
+  let reallocations reg = reg.reallocations
+end

@@ -1,0 +1,36 @@
+(** ARC with dynamic per-write buffer sizing — the §3.3 implementation
+    note made concrete: "in any real implementation of our register
+    algorithm, dynamic buffer allocation/release, with each buffer
+    made up by the amount of bytes fitting the size of the register
+    value to be stored upon write operations could be employed."
+
+    Identical synchronization to {!Arc}; the only difference is buffer
+    management: a write replaces the target slot's buffer with an
+    exactly-sized fresh one when the new length exceeds the buffer or
+    is under half of it (grow always, shrink with hysteresis).  This
+    is safe precisely because the slot is free — no standing readers —
+    when rewritten, and, an OCaml dividend, a reader still holding a
+    view of the slot's {e previous} buffer keeps that buffer alive
+    through the GC: the explicit reclamation a C implementation would
+    need here comes for free.
+
+    Worth its footprint when snapshot sizes vary wildly: N+2 buffers
+    of the {e maximum} size become N+2 buffers near their actual
+    sizes.  {!footprint_words} exposes the current total for the
+    memory experiments. *)
+
+val algorithm : string
+
+module Make (M : Arc_mem.Mem_intf.S) : sig
+  include Register_intf.S with module Mem = M
+
+  val read_view : reader -> M.buffer * int
+  (** Zero-copy view, stable until this reader's next read, exactly as
+      in {!Arc}. *)
+
+  val footprint_words : t -> int
+  (** Total words currently allocated across all slot buffers. *)
+
+  val reallocations : t -> int
+  (** Number of buffer replacements performed by writes so far. *)
+end

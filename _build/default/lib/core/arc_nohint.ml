@@ -1,0 +1,23 @@
+let algorithm = "arc-nohint"
+
+module Make (M : Arc_mem.Mem_intf.S) = struct
+  module Inner = Arc.Make (M)
+  module Mem = M
+
+  type t = Inner.t
+  type reader = Inner.reader
+
+  let algorithm = algorithm
+  let wait_free = true
+  let max_readers = Inner.max_readers
+
+  let create ~readers ~capacity ~init =
+    Inner.create_with ~use_hint:false ~readers ~capacity ~init
+
+  let reader = Inner.reader
+  let write = Inner.write
+  let read_with = Inner.read_with
+  let read_into = Inner.read_into
+  let write_probes = Inner.write_probes
+  let writes = Inner.writes
+end

@@ -1,0 +1,13 @@
+(** ARC with the §3.4 free-slot hint disabled — the ablation arm of
+    experiment E5.  Reads never post proposals and every write
+    free-slot search is a linear scan (O(N) worst case, as the paper
+    notes writes would be without the optimization). *)
+
+val algorithm : string
+
+module Make (M : Arc_mem.Mem_intf.S) : sig
+  include Register_intf.S with module Mem = M
+
+  val write_probes : t -> int
+  val writes : t -> int
+end

@@ -1,0 +1,79 @@
+(** The common interface of every multi-word (1,N) register in this
+    repository — ARC and all baselines implement it, so the test
+    suites, the atomicity checker and the benchmark harness are
+    written once and instantiated per algorithm.
+
+    Semantics. A register holds a multi-word snapshot (an [int array]
+    prefix of up to [capacity] words; each write may have a different
+    length, as in the paper §3.3).  Exactly {b one} thread may call
+    {!S.write}; up to [readers] threads may read, each through its own
+    {!S.reader} handle (a handle must not be shared between threads).
+
+    Reading is exposed as {!S.read_with}: the algorithm materializes a
+    consistent snapshot and runs the callback on it.  The buffer
+    passed to the callback is only guaranteed stable for the duration
+    of the callback — wait-free algorithms such as ARC give stronger
+    guarantees (stable until the same reader's next read), which they
+    expose as extra functions outside this signature.  This formulation
+    keeps the comparison honest: ARC runs the callback directly on the
+    shared slot (zero copies), Peterson and the seqlock run it on a
+    validated private copy, and the lock-based register runs it inside
+    the critical section. *)
+
+module type S = sig
+  module Mem : Arc_mem.Mem_intf.S
+
+  type t
+  type reader
+
+  val algorithm : string
+  (** Short name used in reports: "arc", "rf", "peterson", "rwlock",
+      "seqlock". *)
+
+  val wait_free : bool
+  (** Whether both operations complete in a bounded number of steps
+      regardless of the scheduler (true for ARC, RF, Peterson; false
+      for the lock-based and seqlock baselines). *)
+
+  val max_readers : capacity_words:int -> int option
+  (** Hard bound on the number of reader threads, if the algorithm has
+      one.  RF returns the word-size-dependent bound the paper
+      discusses (58 on 64-bit C; 57 with OCaml's 63-bit ints); ARC
+      returns [Some (2^32 - 2)]; others [None]. *)
+
+  val create : readers:int -> capacity:int -> init:int array -> t
+  (** [create ~readers ~capacity ~init] builds a register for
+      [readers] reader threads holding snapshots of at most [capacity]
+      words, initialized to the full contents of [init].
+      @raise Invalid_argument if [readers] exceeds the algorithm's
+      bound, or [init] is longer than [capacity], or a size is
+      non-positive. *)
+
+  val reader : t -> int -> reader
+  (** [reader t i] is the handle for reader identity [i] in
+      [0, readers).  Each identity must be claimed by at most one
+      thread, and a handle used by exactly one thread. *)
+
+  val write : t -> src:int array -> len:int -> unit
+  (** Publish the snapshot [src.(0..len-1)].  Single-writer: must only
+      ever be called from one thread. *)
+
+  val read_with : reader -> f:(Mem.buffer -> int -> 'a) -> 'a
+  (** [read_with rd ~f] obtains the most recent consistent snapshot
+      and applies [f buffer len] to it.  [f] must not retain [buffer]
+      past its own return and must not write to it. *)
+
+  val read_into : reader -> dst:int array -> int
+  (** Copy the snapshot into [dst], returning its length.  Derived
+      from {!read_with}; convenient for tests.
+      @raise Invalid_argument if [dst] is shorter than the snapshot. *)
+end
+
+(** A register algorithm packaged as a functor over the memory
+    substrate, so one implementation serves real execution, counting,
+    and simulation. *)
+module type ALGORITHM = sig
+  val algorithm : string
+
+  module Make (M : Arc_mem.Mem_intf.S) : S with module Mem = M
+end

@@ -1,0 +1,40 @@
+module type CODEC = sig
+  type t
+
+  val max_words : int
+  val encode : t -> int array
+  val decode : int array -> len:int -> t
+end
+
+module Make
+    (A : Register_intf.ALGORITHM)
+    (M : Arc_mem.Mem_intf.S)
+    (C : CODEC) =
+struct
+  module R = A.Make (M)
+
+  type t = R.t
+  type reader = { handle : R.reader; scratch : int array; mutable reads : int }
+
+  let create ~readers ~init =
+    let words = C.encode init in
+    if Array.length words < 1 || Array.length words > C.max_words then
+      invalid_arg "Typed.create: init encoding out of bounds";
+    R.create ~readers ~capacity:C.max_words ~init:words
+
+  let publish t value =
+    let words = C.encode value in
+    let len = Array.length words in
+    if len < 1 || len > C.max_words then
+      invalid_arg "Typed.publish: encoding out of bounds";
+    R.write t ~src:words ~len
+
+  let reader t i = { handle = R.reader t i; scratch = Array.make C.max_words 0; reads = 0 }
+
+  let get rd =
+    rd.reads <- rd.reads + 1;
+    let len = R.read_into rd.handle ~dst:rd.scratch in
+    C.decode rd.scratch ~len
+
+  let reads rd = rd.reads
+end

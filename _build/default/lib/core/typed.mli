@@ -1,0 +1,47 @@
+(** Typed convenience layer: publish and read OCaml values through any
+    register algorithm, given a codec to/from machine words.
+
+    This is API sugar for adopters — encoding and decoding
+    necessarily copy, so the zero-copy property of {!Arc.Make.read_view}
+    is traded for type safety.  The register's guarantees
+    (atomicity, wait-freedom, snapshot consistency) carry over
+    unchanged: a reader always decodes a complete snapshot from a
+    single write. *)
+
+(** How to lay a value out in register words. *)
+module type CODEC = sig
+  type t
+
+  val max_words : int
+  (** Upper bound on the encoding length; the register's capacity. *)
+
+  val encode : t -> int array
+  (** Must return at most {!max_words} words, at least one. *)
+
+  val decode : int array -> len:int -> t
+  (** Inverse of {!encode} on its image; [len] is the snapshot
+      length.  May raise on corrupt input (which the register
+      guarantees never to produce). *)
+end
+
+module Make
+    (_ : Register_intf.ALGORITHM)
+    (_ : Arc_mem.Mem_intf.S)
+    (C : CODEC) : sig
+  type t
+  type reader
+
+  val create : readers:int -> init:C.t -> t
+  (** @raise Invalid_argument if the encoding of [init] is empty or
+      oversized, or the algorithm cannot host [readers]. *)
+
+  val publish : t -> C.t -> unit
+  (** Single-writer, like the underlying register. *)
+
+  val get : reader -> C.t
+  (** Decode the freshest snapshot. *)
+
+  val reader : t -> int -> reader
+  val reads : reader -> int
+  (** Operations performed through this handle (for tests/metrics). *)
+end

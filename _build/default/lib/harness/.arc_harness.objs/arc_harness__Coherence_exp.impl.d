@@ -1,0 +1,1 @@
+lib/harness/coherence_exp.ml: Arc_baselines Arc_coherence Arc_core Arc_report Arc_vsched Arc_workload Array Experiment List Printf

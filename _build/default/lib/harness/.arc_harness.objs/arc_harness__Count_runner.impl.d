@@ -1,0 +1,1 @@
+lib/harness/count_runner.ml: Arc_core Arc_mem Arc_workload Array Format

@@ -1,0 +1,1 @@
+lib/harness/count_runner.mli: Arc_core Arc_mem Format

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Arc_core Arc_mem Arc_report Arc_trace Arc_util Arc_vsched Arc_workload Array Config Count_runner Filename List Printf Registry Sys

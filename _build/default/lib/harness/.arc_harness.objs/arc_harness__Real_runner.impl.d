@@ -1,0 +1,1 @@
+lib/harness/real_runner.ml: Arc_core Arc_trace Arc_util Arc_workload Array Atomic Barrier Config Domain Int64 Option Printf Thread Unix

@@ -1,0 +1,1 @@
+lib/harness/real_runner.mli: Arc_core Config

@@ -1,0 +1,1 @@
+lib/harness/registry.ml: Arc_baselines Arc_core Arc_mem Arc_vsched Config Count_runner List Real_runner Sim_runner

@@ -1,0 +1,1 @@
+lib/harness/registry.mli: Arc_vsched Config Count_runner

@@ -1,0 +1,1 @@
+lib/harness/sim_runner.ml: Arc_core Arc_trace Arc_vsched Arc_workload Array Config Option Printf

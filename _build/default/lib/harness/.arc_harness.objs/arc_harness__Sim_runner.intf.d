@@ -1,0 +1,1 @@
+lib/harness/sim_runner.mli: Arc_core Arc_vsched Config

@@ -1,0 +1,29 @@
+type t = {
+  parties : int;
+  arrived : int Atomic.t;
+  sense : bool Atomic.t;
+  claimed : int Atomic.t;
+}
+
+type handle = { barrier : t; mutable local_sense : bool }
+
+let create ~parties =
+  if parties < 1 then invalid_arg "Barrier.create: parties < 1";
+  { parties; arrived = Atomic.make 0; sense = Atomic.make false; claimed = Atomic.make 0 }
+
+let join barrier =
+  if Atomic.fetch_and_add barrier.claimed 1 >= barrier.parties then
+    failwith "Barrier.join: too many parties";
+  { barrier; local_sense = false }
+
+let wait h =
+  let b = h.barrier in
+  h.local_sense <- not h.local_sense;
+  if Atomic.fetch_and_add b.arrived 1 = b.parties - 1 then begin
+    Atomic.set b.arrived 0;
+    Atomic.set b.sense h.local_sense
+  end
+  else
+    while Atomic.get b.sense <> h.local_sense do
+      Domain.cpu_relax ()
+    done

@@ -1,0 +1,18 @@
+(** Sense-reversing spin barrier for aligning the start of measured
+    loops across domains/threads, so no participant gets a head start
+    on the throughput window. *)
+
+type t
+type handle
+
+val create : parties:int -> t
+(** @raise Invalid_argument if [parties < 1]. *)
+
+val join : t -> handle
+(** Claim one party's handle (each party calls [join] once, from any
+    thread, before the first [wait]).
+    @raise Failure if more than [parties] handles are claimed. *)
+
+val wait : handle -> unit
+(** Block (spinning, with [Domain.cpu_relax]) until all parties have
+    arrived; reusable for successive rounds. *)

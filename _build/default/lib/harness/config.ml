@@ -1,0 +1,99 @@
+(** Run configurations and results shared by the runners.
+
+    [workload] mirrors the paper's two experimental modes plus a
+    checking mode:
+    - [Hold]: the hold-model of §5 — operations do nothing but run
+      the register algorithm (writes copy a fixed buffer, reads touch
+      only the snapshot pointer), maximizing contention;
+    - [Processing]: writes generate fresh data, reads scan the whole
+      snapshot (§5's second experiment set);
+    - [Verify]: like [Processing] but every snapshot is validated
+      word-by-word and operations can be recorded into a history for
+      the atomicity checker — the correctness-stress mode. *)
+
+type workload = Hold | Processing | Verify
+
+let workload_name = function
+  | Hold -> "hold"
+  | Processing -> "processing"
+  | Verify -> "verify"
+
+(** Hypervisor CPU-steal injection for real runs (DESIGN.md §2): with
+    [probability], an operation is followed — or, on the reader side,
+    interrupted mid-snapshot-access — by a [pause_us] sleep that
+    yields the core, modelling the vCPU being scheduled out.  The
+    simulator's {!Arc_vsched.Strategy.steal} provides the
+    anywhere-preemption version. *)
+type steal = { probability : float; pause_us : float }
+
+type real = {
+  readers : int;
+  size_words : int;
+  duration_s : float;
+  workload : workload;
+  steal : steal option;
+  record : int;  (** events recorded per thread; 0 disables recording *)
+  seed : int;
+  parallelism : [ `Domains | `Threads ];
+      (** [`Domains]: one domain per thread (true parallelism, bounded
+          by the runtime's domain limit).  [`Threads]: systhreads on
+          one domain — pure time-sharing, the Fig. 3 regime, feasible
+          for thousands of threads. *)
+}
+
+let default_real =
+  {
+    readers = 3;
+    size_words = 512;
+    duration_s = 0.2;
+    workload = Hold;
+    steal = None;
+    record = 0;
+    seed = 42;
+    parallelism = `Domains;
+  }
+
+type sim = {
+  sim_readers : int;
+  sim_size_words : int;
+  max_steps : int;
+  sim_workload : workload;
+  sim_record : int;
+  sim_seed : int;
+}
+
+let default_sim =
+  {
+    sim_readers = 3;
+    sim_size_words = 64;
+    max_steps = 200_000;
+    sim_workload = Hold;
+    sim_record = 0;
+    sim_seed = 42;
+  }
+
+type result = {
+  reads : int;
+  writes : int;
+  duration : float;  (** seconds (real) or simulated steps (sim) *)
+  total_throughput : float;
+  read_throughput : float;
+  write_throughput : float;
+  torn : int;  (** payload validation failures observed (Verify mode) *)
+  history : Arc_trace.History.t option;
+  dropped_events : int;
+}
+
+let mk_result ~reads ~writes ~duration ~torn ~history ~dropped_events =
+  let per x = if duration > 0. then float_of_int x /. duration else 0. in
+  {
+    reads;
+    writes;
+    duration;
+    total_throughput = per (reads + writes);
+    read_throughput = per reads;
+    write_throughput = per writes;
+    torn;
+    history;
+    dropped_events;
+  }

@@ -1,0 +1,74 @@
+(** Drivers regenerating every figure and table of the paper's
+    evaluation (§5), per the experiment index in DESIGN.md §4.
+
+    Every driver returns report structures; the [bin/experiments]
+    CLI renders and optionally dumps them as CSV.  Absolute numbers
+    are machine-dependent — EXPERIMENTS.md records the shape
+    comparisons (orderings, ratios, crossovers) against the paper. *)
+
+type opts = {
+  reps : int;  (** repetitions per real-mode point (paper: 10) *)
+  duration_s : float;  (** measured window per real-mode point *)
+  sim_steps : int;  (** simulated-step budget per sim-mode point *)
+  quick : bool;  (** shrink grids for smoke runs *)
+  seed : int;
+}
+
+val default : opts
+val quick : opts
+
+(** {1 E1 — Fig. 1: throughput vs thread count, three sizes} *)
+
+val fig1_real : opts -> Arc_report.Series.t list
+(** Real domains (time-shared on small hosts); one series figure per
+    register size, thread counts 2..32, algorithms arc/rf/peterson/
+    rwlock.  Throughput in ops/s. *)
+
+val fig1_sim : opts -> Arc_report.Series.t list
+(** Virtual scheduler, throughput in ops per 1000 simulated steps —
+    the concurrency-scaling shape carrier. *)
+
+(** {1 E2 — Fig. 2: the virtualized (CPU-steal) platform} *)
+
+val fig2_real : opts -> Arc_report.Series.t list
+val fig2_sim : opts -> Arc_report.Series.t list
+
+(** {1 E3 — Fig. 3: largely-increased thread counts} *)
+
+val fig3_sim : opts -> Arc_report.Series.t list
+(** Up to 4096 fibers; RF excluded (reader bound), as in the paper. *)
+
+val fig3_real_threads : opts -> Arc_report.Series.t list
+(** Oversubscribed systhreads on one domain — real time-sharing. *)
+
+(** {1 E4 — RMW instructions per operation} *)
+
+val rmw_table : opts -> Arc_report.Table.t
+
+(** {1 E5 — §3.4 free-slot hint ablation} *)
+
+val ablation_hint : opts -> Arc_report.Table.t
+
+(** {1 E6 — processing workload} *)
+
+val processing_real : opts -> Arc_report.Series.t list
+
+(** {1 E7 — read-latency distributions (extension)} *)
+
+val latency_table : opts -> Arc_report.Table.t
+
+(** {1 E8 — dynamic-allocation footprint (§3.3 note, extension)} *)
+
+val ablation_dynamic : opts -> Arc_report.Table.t
+
+(** {1 Measurement-noise quantification} *)
+
+val variability_table : opts -> Arc_report.Table.t
+
+(** {1 Utilities} *)
+
+val run_all : opts -> out_dir:string option -> unit
+(** Run everything, print tables and charts, optionally dump CSVs. *)
+
+val dump_csv : out_dir:string option -> name:string -> string -> unit
+(** Write [contents] to [out_dir/name.csv] if a directory was given. *)

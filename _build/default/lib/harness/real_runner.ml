@@ -1,0 +1,157 @@
+module Splitmix = Arc_util.Splitmix
+module Cpu = Arc_util.Cpu
+module History = Arc_trace.History
+
+module Make (R : Arc_core.Register_intf.S) = struct
+  module P = Arc_workload.Payload.Make (R.Mem)
+
+  type out = { mutable ops : int; mutable torn : int }
+
+  let now_ns () = Int64.to_int (Cpu.now_ns ())
+
+  let make_steal cfg ~salt =
+    match cfg.Config.steal with
+    | None -> fun () -> ()
+    | Some s ->
+      let rng = Splitmix.of_int (cfg.Config.seed + salt) in
+      fun () ->
+        if Splitmix.bernoulli rng s.Config.probability then
+          Unix.sleepf (s.Config.pause_us *. 1e-6)
+
+  let reader_body ~reg ~id ~(cfg : Config.real) ~stop ~handle ~recorder ~out () =
+    let rd = R.reader reg id in
+    let maybe_steal = make_steal cfg ~salt:((id * 7919) + 1) in
+    let record kind seq invoked returned =
+      match recorder with
+      | None -> ()
+      | Some r ->
+        History.Recorder.record r ~thread:(id + 1) kind ~seq ~invoked ~returned
+    in
+    Barrier.wait handle;
+    (match cfg.workload with
+    | Config.Hold ->
+      while not (Atomic.get stop) do
+        R.read_with rd ~f:(fun _buffer _len -> maybe_steal ());
+        out.ops <- out.ops + 1
+      done
+    | Config.Processing ->
+      while not (Atomic.get stop) do
+        let (_ : int) =
+          R.read_with rd ~f:(fun buffer len ->
+              maybe_steal ();
+              P.scan buffer ~len)
+        in
+        out.ops <- out.ops + 1
+      done
+    | Config.Verify ->
+      while not (Atomic.get stop) do
+        let invoked = now_ns () in
+        let seq =
+          R.read_with rd ~f:(fun buffer len ->
+              maybe_steal ();
+              match P.validate buffer ~len with
+              | Ok seq -> seq
+              | Error _ ->
+                out.torn <- out.torn + 1;
+                P.decode_seq buffer)
+        in
+        record History.Read seq invoked (now_ns ());
+        out.ops <- out.ops + 1
+      done);
+    ()
+
+  let writer_body ~reg ~(cfg : Config.real) ~stop ~handle ~recorder ~out () =
+    let size = cfg.size_words in
+    let src = Array.make size 0 in
+    let maybe_steal = make_steal cfg ~salt:7 in
+    let record seq invoked returned =
+      match recorder with
+      | None -> ()
+      | Some r -> History.Recorder.record r ~thread:0 History.Write ~seq ~invoked ~returned
+    in
+    P.stamp src ~seq:0 ~len:size;
+    Barrier.wait handle;
+    let seq = ref 0 in
+    (match cfg.workload with
+    | Config.Hold ->
+      (* Hold model: every write copies the same content (§5). *)
+      while not (Atomic.get stop) do
+        R.write reg ~src ~len:size;
+        maybe_steal ();
+        out.ops <- out.ops + 1
+      done
+    | Config.Processing ->
+      while not (Atomic.get stop) do
+        incr seq;
+        P.stamp src ~seq:!seq ~len:size;
+        R.write reg ~src ~len:size;
+        maybe_steal ();
+        out.ops <- out.ops + 1
+      done
+    | Config.Verify ->
+      while not (Atomic.get stop) do
+        incr seq;
+        P.stamp src ~seq:!seq ~len:size;
+        let invoked = now_ns () in
+        R.write reg ~src ~len:size;
+        record !seq invoked (now_ns ());
+        maybe_steal ();
+        out.ops <- out.ops + 1
+      done);
+    ()
+
+  let run (cfg : Config.real) : Config.result =
+    if cfg.readers < 1 then invalid_arg "Real_runner.run: need at least one reader";
+    if cfg.size_words < 1 then invalid_arg "Real_runner.run: empty register";
+    (match R.max_readers ~capacity_words:cfg.size_words with
+    | Some bound when cfg.readers > bound ->
+      invalid_arg
+        (Printf.sprintf "Real_runner.run: %s supports at most %d readers"
+           R.algorithm bound)
+    | _ -> ());
+    let init = Array.make cfg.size_words 0 in
+    P.stamp init ~seq:0 ~len:cfg.size_words;
+    let reg = R.create ~readers:cfg.readers ~capacity:cfg.size_words ~init in
+    let stop = Atomic.make false in
+    let parties = cfg.readers + 2 (* readers, writer, coordinator *) in
+    let barrier = Barrier.create ~parties in
+    let recorder =
+      if cfg.record > 0 then
+        Some (History.Recorder.create ~threads:(cfg.readers + 1) ~capacity:cfg.record)
+      else None
+    in
+    let outs = Array.init (cfg.readers + 1) (fun _ -> { ops = 0; torn = 0 }) in
+    let bodies =
+      Array.init (cfg.readers + 1) (fun i ->
+          let handle = Barrier.join barrier in
+          if i = 0 then writer_body ~reg ~cfg ~stop ~handle ~recorder ~out:outs.(0)
+          else
+            reader_body ~reg ~id:(i - 1) ~cfg ~stop ~handle ~recorder ~out:outs.(i))
+    in
+    let coordinator_handle = Barrier.join barrier in
+    let joiners =
+      match cfg.parallelism with
+      | `Domains ->
+        let domains = Array.map Domain.spawn bodies in
+        fun () -> Array.iter Domain.join domains
+      | `Threads ->
+        let threads = Array.map (fun b -> Thread.create b ()) bodies in
+        fun () -> Array.iter Thread.join threads
+    in
+    Barrier.wait coordinator_handle;
+    let t0 = Cpu.now_ns () in
+    Unix.sleepf cfg.duration_s;
+    Atomic.set stop true;
+    let t1 = Cpu.now_ns () in
+    joiners ();
+    let elapsed = Cpu.seconds_of_ns (Int64.sub t1 t0) in
+    let reads = ref 0 and torn = ref 0 in
+    Array.iteri (fun i o -> if i > 0 then reads := !reads + o.ops) outs;
+    Array.iter (fun o -> torn := !torn + o.torn) outs;
+    let history = Option.map History.Recorder.history recorder in
+    let dropped =
+      match recorder with None -> 0 | Some r -> History.Recorder.dropped r
+    in
+    Config.mk_result ~reads:!reads ~writes:outs.(0).ops ~duration:elapsed ~torn:!torn
+      ~history ~dropped_events:dropped
+end

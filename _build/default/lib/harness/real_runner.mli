@@ -1,0 +1,16 @@
+(** Duration-bounded throughput runner on real parallelism: one writer
+    thread plus N reader threads hammer a register for a fixed wall
+    -clock window behind a start barrier, reproducing the measurement
+    protocol of the paper's §5 (continuous operations, one writer,
+    all other threads readers).
+
+    Two spawning modes (see {!Config.real}): [`Domains] for true
+    parallelism up to the runtime's domain limit, [`Threads]
+    (systhreads, one domain) for the heavily time-shared Fig. 3
+    regime with thousands of threads. *)
+
+module Make (_ : Arc_core.Register_intf.S) : sig
+  val run : Config.real -> Config.result
+  (** @raise Invalid_argument on nonsensical configurations (no
+      readers, readers above the algorithm's bound, bad sizes). *)
+end

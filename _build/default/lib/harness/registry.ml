@@ -1,0 +1,65 @@
+module Real = Arc_mem.Real_mem
+module Counting_real = Arc_mem.Counting.Make (Arc_mem.Real_mem)
+module Sim = Arc_vsched.Sim_mem
+
+type entry = {
+  name : string;
+  wait_free : bool;
+  max_readers : capacity_words:int -> int option;
+  run_real : Config.real -> Config.result;
+  run_sim : ?strategy:Arc_vsched.Strategy.t -> Config.sim -> Config.result;
+  count :
+    readers:int ->
+    size_words:int ->
+    rounds:int ->
+    reads_per_write:int ->
+    Count_runner.per_op;
+}
+
+module Entry_of (A : Arc_core.Register_intf.ALGORITHM) = struct
+  module R_real = A.Make (Real)
+  module R_cnt = A.Make (Counting_real)
+  module R_sim = A.Make (Sim)
+  module Run_real = Real_runner.Make (R_real)
+  module Run_sim = Sim_runner.Make (R_sim)
+  module Count = Count_runner.Make (Counting_real) (R_cnt)
+
+  let entry =
+    {
+      name = A.algorithm;
+      wait_free = R_real.wait_free;
+      max_readers = R_real.max_readers;
+      run_real = Run_real.run;
+      run_sim = Run_sim.run;
+      count = Count.measure;
+    }
+end
+
+module Arc_entry = Entry_of (Arc_core.Arc)
+module Arc_nohint_entry = Entry_of (Arc_core.Arc_nohint)
+module Arc_dynamic_entry = Entry_of (Arc_core.Arc_dynamic)
+module Rf_entry = Entry_of (Arc_baselines.Rf)
+module Peterson_entry = Entry_of (Arc_baselines.Peterson)
+module Rwlock_entry = Entry_of (Arc_baselines.Rwlock_reg)
+module Seqlock_entry = Entry_of (Arc_baselines.Seqlock_reg)
+module Lamport_entry = Entry_of (Arc_baselines.Lamport_reg)
+module Simpson_entry = Entry_of (Arc_baselines.Simpson_reg)
+
+let all =
+  [
+    Arc_entry.entry;
+    Arc_nohint_entry.entry;
+    Arc_dynamic_entry.entry;
+    Rf_entry.entry;
+    Peterson_entry.entry;
+    Rwlock_entry.entry;
+    Seqlock_entry.entry;
+    Lamport_entry.entry;
+    Simpson_entry.entry;
+  ]
+
+let paper_set =
+  [ Arc_entry.entry; Rf_entry.entry; Peterson_entry.entry; Rwlock_entry.entry ]
+
+let find name = List.find (fun e -> e.name = name) all
+let names = List.map (fun e -> e.name) all

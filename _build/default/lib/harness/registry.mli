@@ -1,0 +1,33 @@
+(** All algorithm × memory-instance combinations, pre-instantiated and
+    exposed behind one uniform record, so experiment drivers and the
+    CLI can iterate over algorithms as data. *)
+
+type entry = {
+  name : string;
+  wait_free : bool;
+  max_readers : capacity_words:int -> int option;
+  run_real : Config.real -> Config.result;
+      (** on {!Arc_mem.Real_mem} via {!Real_runner} *)
+  run_sim : ?strategy:Arc_vsched.Strategy.t -> Config.sim -> Config.result;
+      (** on {!Arc_vsched.Sim_mem} via {!Sim_runner} *)
+  count :
+    readers:int ->
+    size_words:int ->
+    rounds:int ->
+    reads_per_write:int ->
+    Count_runner.per_op;
+      (** on a counting instance via {!Count_runner} *)
+}
+
+val all : entry list
+(** arc, arc-nohint, arc-dynamic, rf, peterson, rwlock, seqlock,
+    lamport77, simpson. *)
+
+val paper_set : entry list
+(** The four algorithms of the paper's figures: arc, rf, peterson,
+    rwlock. *)
+
+val find : string -> entry
+(** @raise Not_found for unknown names. *)
+
+val names : string list

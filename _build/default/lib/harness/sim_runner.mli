@@ -1,0 +1,17 @@
+(** Throughput runner on the virtual scheduler: the same one-writer /
+    N-readers protocol as {!Real_runner}, but each thread is a fiber
+    of {!Arc_vsched.Sched} and "time" is the weighted count of
+    shared-memory accesses.
+
+    Use with registers instantiated over {!Arc_vsched.Sim_mem} —
+    throughput is then operations per simulated step, deterministic
+    and replayable.  This runner carries the experiments a 1-core
+    container cannot run natively: Fig. 1's concurrency scaling shape,
+    Fig. 2 with anywhere-preemption steal, and Fig. 3's
+    thousands-of-threads regime. *)
+
+module Make (_ : Arc_core.Register_intf.S) : sig
+  val run : ?strategy:Arc_vsched.Strategy.t -> Config.sim -> Config.result
+  (** Default strategy: [Strategy.random ~seed:cfg.sim_seed].
+      @raise Invalid_argument on nonsensical configurations. *)
+end

@@ -1,0 +1,1 @@
+lib/mem/counting.ml: Domain List Mem_intf Mutex

@@ -1,0 +1,1 @@
+lib/mem/real_mem.ml: Array Atomic Domain

@@ -1,0 +1,1 @@
+lib/mem/real_mem.mli: Atomic Mem_intf

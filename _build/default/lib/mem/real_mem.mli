@@ -1,0 +1,10 @@
+(** Hardware instance of {!Mem_intf.S}: OCaml 5 atomics (sequentially
+    consistent, strictly stronger than the TSO fragments the paper's
+    §4 proofs need) and native [int array] buffers.
+
+    [fetch_and_or]/[fetch_and_and] are CAS-retry emulations — OCaml
+    has no native fetch-or — as recorded in DESIGN.md §2; each retry
+    costs one real RMW and is charged as such by {!Counting}. *)
+
+include
+  Mem_intf.S with type atomic = int Atomic.t and type buffer = int array

@@ -1,0 +1,1 @@
+lib/mrmw/mn_register.ml: Arc_core Arc_mem Array Fun List Printf

@@ -1,0 +1,1 @@
+lib/mrmw/mn_register.mli: Arc_core Arc_mem

@@ -1,0 +1,47 @@
+(** (M,N) multi-writer register built from (1,N) registers — the
+    paper's §1 motivation for optimizing (1,N) registers ("they
+    constitute building blocks to realize more general (M,N)
+    registers", citing Li–Tromp–Vitányi).
+
+    Classic unbounded-timestamp construction: each writer owns one
+    (1, M−1+N) sub-register (readable by every other writer and every
+    reader) holding ⟨timestamp, writer-id, value⟩.
+
+    - {b write} by writer [w]: collect the timestamps of all other
+      sub-registers, pick [1 + max] (including [w]'s own last, kept
+      locally), and publish ⟨ts, w, value⟩ in [w]'s sub-register —
+      one collect plus one (1,N) write.
+    - {b read}: collect all sub-registers, keeping the snapshot with
+      the lexicographically largest ⟨timestamp, writer-id⟩.
+
+    Wait-freedom is inherited from the underlying register (ARC), at
+    O(M) operations per access.  Each snapshot carries a 2-word
+    header, so capacity costs 2 extra words per sub-register. *)
+
+module Make (_ : Arc_core.Register_intf.ALGORITHM) (_ : Arc_mem.Mem_intf.S) : sig
+  type t
+  type writer
+  type reader
+
+  val create : writers:int -> readers:int -> capacity:int -> init:int array -> t
+  (** @raise Invalid_argument on non-positive counts/sizes or when the
+      underlying algorithm cannot host [writers - 1 + readers]
+      subscribers. *)
+
+  val writer : t -> int -> writer
+  (** Writer identity [i] in [0, writers); one thread per identity. *)
+
+  val reader : t -> int -> reader
+  (** Reader identity [i] in [0, readers); one thread per identity. *)
+
+  val write : writer -> src:int array -> len:int -> unit
+
+  val read_into : reader -> dst:int array -> int
+  (** Copies the winning snapshot's value into [dst], returns its
+      length. *)
+
+  val last_timestamp : reader -> int
+  (** Timestamp of the last snapshot returned by {!read_into} on this
+      handle (0 before any read) — lets tests check timestamp
+      monotonicity per reader. *)
+end

@@ -1,0 +1,1 @@
+lib/report/markdown.ml: List Printf Series String Table

@@ -1,0 +1,1 @@
+lib/report/series.ml: Buffer Float Hashtbl List Printf String Table

@@ -1,0 +1,19 @@
+let escape_cell cell =
+  String.concat "\\|" (String.split_on_char '|' cell)
+  |> String.split_on_char '\n'
+  |> String.concat " "
+
+let render ~title ~header ~body =
+  let line cells = "| " ^ String.concat " | " (List.map escape_cell cells) ^ " |" in
+  let rule = "|" ^ String.concat "|" (List.map (fun _ -> " --- ") header) ^ "|" in
+  String.concat "\n"
+    ((Printf.sprintf "**%s**" (escape_cell title) :: "" :: line header :: rule
+     :: List.map line body)
+    @ [ "" ])
+
+let of_table t =
+  render ~title:(Table.title t) ~header:(Table.columns t) ~body:(Table.body t)
+
+let of_series s =
+  let t = Series.to_table s in
+  of_table t

@@ -1,0 +1,12 @@
+(** GitHub-flavoured markdown rendering of tables and series, used to
+    keep EXPERIMENTS.md regenerable from the same data the CLI
+    prints. *)
+
+val of_table : Table.t -> string
+(** Title as a bold paragraph, then a markdown pipe table. *)
+
+val of_series : Series.t -> string
+(** The series as a markdown pipe table (x column first). *)
+
+val escape_cell : string -> string
+(** Escape [|] and newlines so arbitrary cell text is table-safe. *)

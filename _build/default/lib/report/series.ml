@@ -1,0 +1,73 @@
+type t = {
+  title : string;
+  x_label : string;
+  mutable names : string list;  (* insertion order *)
+  points : (string * float, float) Hashtbl.t;
+  mutable xs : float list;
+}
+
+let create ~title ~x_label =
+  { title; x_label; names = []; points = Hashtbl.create 64; xs = [] }
+
+let add t ~series ~x ~y =
+  if not (List.mem series t.names) then t.names <- t.names @ [ series ];
+  if not (List.mem x t.xs) then t.xs <- t.xs @ [ x ];
+  Hashtbl.replace t.points (series, x) y
+
+let series_names t = t.names
+
+let sorted_xs t = List.sort compare t.xs
+
+let format_x x =
+  if Float.is_integer x then string_of_int (int_of_float x)
+  else Printf.sprintf "%.3g" x
+
+let to_table t =
+  let table = Table.create ~title:t.title ~columns:(t.x_label :: t.names) in
+  List.iter
+    (fun x ->
+      let cells =
+        List.map
+          (fun name ->
+            match Hashtbl.find_opt t.points (name, x) with
+            | Some y -> Printf.sprintf "%.4g" y
+            | None -> "-")
+          t.names
+      in
+      Table.add_row table (format_x x :: cells))
+    (sorted_xs t);
+  table
+
+let render_chart ?(width = 50) ?(log_y = true) t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (t.title ^ "\n");
+  let values = Hashtbl.fold (fun _ y acc -> y :: acc) t.points [] in
+  match values with
+  | [] -> Buffer.contents buf
+  | _ ->
+    let transform y = if log_y then log (max y 1e-12) else y in
+    let lo = List.fold_left min infinity (List.map transform values) in
+    let hi = List.fold_left max neg_infinity (List.map transform values) in
+    let span = if hi -. lo < 1e-9 then 1. else hi -. lo in
+    let label_width =
+      List.fold_left (fun acc n -> max acc (String.length n)) 0 t.names
+    in
+    List.iter
+      (fun x ->
+        Buffer.add_string buf (Printf.sprintf "%s = %s\n" t.x_label (format_x x));
+        List.iter
+          (fun name ->
+            match Hashtbl.find_opt t.points (name, x) with
+            | None -> ()
+            | Some y ->
+              let frac = (transform y -. lo) /. span in
+              let bar = int_of_float (frac *. float_of_int width) in
+              Buffer.add_string buf
+                (Printf.sprintf "  %-*s |%s %.4g\n" label_width name
+                   (String.make (max bar 0) '#')
+                   y))
+          t.names)
+      (sorted_xs t);
+    Buffer.contents buf
+
+let to_csv t = Table.to_csv (to_table t)

@@ -1,0 +1,20 @@
+(** Figure-style data: one x-axis (e.g. thread count) and several
+    named series (e.g. one per algorithm), as in the paper's
+    throughput plots.  Rendered as a table with one column per series
+    plus, optionally, an ASCII log-scale chart — enough to eyeball
+    the orderings and crossovers the reproduction is judged on. *)
+
+type t
+
+val create : title:string -> x_label:string -> t
+val add : t -> series:string -> x:float -> y:float -> unit
+val series_names : t -> string list
+
+val to_table : t -> Table.t
+(** Rows sorted by x; missing points rendered as "-". *)
+
+val render_chart : ?width:int -> ?log_y:bool -> t -> string
+(** ASCII chart: one line per (x, series) bar.  [log_y] (default
+    true) matches the paper's log-scale throughput axes. *)
+
+val to_csv : t -> string

@@ -1,0 +1,56 @@
+type t = { title : string; columns : string list; mutable body : string list list }
+
+let create ~title ~columns =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  { title; columns; body = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: width mismatch";
+  t.body <- row :: t.body
+
+let add_float_row t ~label values =
+  add_row t (label :: List.map (Printf.sprintf "%.4g") values)
+
+let rows t = List.length t.body
+let title t = t.title
+let columns t = t.columns
+let body t = List.rev t.body
+
+let render t =
+  let body = List.rev t.body in
+  let all = t.columns :: body in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  let render_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  render_row t.columns;
+  Buffer.add_string buf
+    (String.make (Array.fold_left ( + ) (2 * (ncols - 1)) widths) '-');
+  Buffer.add_char buf '\n';
+  List.iter render_row body;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let quote cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let line row = String.concat "," (List.map quote row) in
+  String.concat "\n" (line t.columns :: List.rev_map line t.body) ^ "\n"

@@ -1,0 +1,26 @@
+(** Plain-text tables for experiment output — aligned columns, a
+    header rule, and optional per-cell formatting, so every
+    regenerated figure/table prints in a shape directly comparable to
+    the paper's. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** @raise Invalid_argument on an empty column list. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val add_float_row : t -> label:string -> float list -> unit
+(** Convenience: a label cell followed by ["%.3g"]-formatted floats. *)
+
+val rows : t -> int
+val title : t -> string
+val columns : t -> string list
+val body : t -> string list list
+(** Rows in insertion order. *)
+
+val render : t -> string
+val print : t -> unit
+val to_csv : t -> string
+(** Comma-separated form (with minimal quoting) of the same data. *)

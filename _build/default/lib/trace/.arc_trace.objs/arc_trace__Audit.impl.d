@@ -1,0 +1,1 @@
+lib/trace/audit.ml: Arc_util Array Format History List

@@ -1,0 +1,1 @@
+lib/trace/audit.mli: Format History

@@ -1,0 +1,1 @@
+lib/trace/checker.ml: Array Format Hashtbl History List Option Result

@@ -1,0 +1,1 @@
+lib/trace/history.ml: Array Format List

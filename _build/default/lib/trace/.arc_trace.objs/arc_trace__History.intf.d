@@ -1,0 +1,1 @@
+lib/trace/history.mli: Format

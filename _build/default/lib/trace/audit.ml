@@ -1,0 +1,52 @@
+type op_stats = {
+  count : int;
+  max_duration : int;
+  mean_duration : float;
+  p99_duration : float;
+}
+
+let pp_op_stats ppf s =
+  Format.fprintf ppf "@[<h>n=%d, max=%d, mean=%.1f, p99=%.1f@]" s.count
+    s.max_duration s.mean_duration s.p99_duration
+
+type t = { reads : op_stats; writes : op_stats }
+
+let zero = { count = 0; max_duration = 0; mean_duration = 0.; p99_duration = 0. }
+
+let stats_of events =
+  match events with
+  | [] -> zero
+  | _ ->
+    let durations =
+      Array.of_list
+        (List.map
+           (fun (e : History.event) -> float_of_int (e.returned - e.invoked))
+           events)
+    in
+    {
+      count = Array.length durations;
+      max_duration = int_of_float (Array.fold_left max durations.(0) durations);
+      mean_duration = Arc_util.Stats.mean durations;
+      p99_duration = Arc_util.Stats.percentile durations 99.;
+    }
+
+let of_history h =
+  { reads = stats_of (History.reads h); writes = stats_of (History.writes h) }
+
+let bounded h ~kind ~bound =
+  let events =
+    match kind with History.Read -> History.reads h | History.Write -> History.writes h
+  in
+  match
+    List.find_opt (fun (e : History.event) -> e.returned - e.invoked > bound) events
+  with
+  | None -> Ok ()
+  | Some worst ->
+    (* Report the single worst offender, not just the first over. *)
+    let worst =
+      List.fold_left
+        (fun (acc : History.event) (e : History.event) ->
+          if e.returned - e.invoked > acc.returned - acc.invoked then e else acc)
+        worst events
+    in
+    Error worst

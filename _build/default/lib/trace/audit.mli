@@ -1,0 +1,28 @@
+(** Operation-latency audit over recorded histories.
+
+    An operation's recorded duration is its {e response time} on the
+    history's clock (simulated steps, or nanoseconds for real runs) —
+    own work plus time spent descheduled.  Under a fair scheduler
+    with [n] fibers a wait-free operation's response time is bounded
+    by (own steps) × n plus injected pauses, so it separates cleanly
+    from blocking algorithms, whose readers inherit the writer's
+    delays unboundedly (the Fig. 2/3 mechanism).  Tests assert such
+    bounds; experiments report the tails. *)
+
+type op_stats = {
+  count : int;
+  max_duration : int;
+  mean_duration : float;
+  p99_duration : float;
+}
+
+val pp_op_stats : Format.formatter -> op_stats -> unit
+
+type t = { reads : op_stats; writes : op_stats }
+
+val of_history : History.t -> t
+(** Empty classes yield zeroed stats. *)
+
+val bounded : History.t -> kind:History.kind -> bound:int -> (unit, History.event) result
+(** [Ok] if every operation of [kind] lasted at most [bound] clock
+    units; otherwise the worst offender. *)

@@ -1,0 +1,144 @@
+type violation =
+  | Malformed of string
+  | Stale_read of { read : History.event; low : int }
+  | Future_read of { read : History.event; high : int }
+  | New_old_inversion of { earlier : History.event; later : History.event }
+
+let pp_violation ppf = function
+  | Malformed msg -> Format.fprintf ppf "malformed history: %s" msg
+  | Stale_read { read; low } ->
+    Format.fprintf ppf
+      "stale read: %a but write %d had already completed before it started"
+      History.pp_event read low
+  | Future_read { read; high } ->
+    Format.fprintf ppf
+      "impossible read: %a but the newest write invoked before it returned is %d"
+      History.pp_event read high
+  | New_old_inversion { earlier; later } ->
+    Format.fprintf ppf "new-old inversion: %a precedes %a" History.pp_event earlier
+      History.pp_event later
+
+type report = { reads_checked : int; writes_checked : int; fast_path_candidates : int }
+
+let ( let* ) = Result.bind
+
+let well_formed h =
+  let writes = Array.of_list (History.writes h) in
+  let k = Array.length writes in
+  let rec check_writes i prev_end =
+    if i >= k then Ok ()
+    else begin
+      let w = writes.(i) in
+      if w.History.seq <> i + 1 then
+        Error
+          (Malformed
+             (Format.asprintf "write sequence gap: expected %d, got %a" (i + 1)
+                History.pp_event w))
+      else if w.History.invoked < prev_end then
+        Error
+          (Malformed
+             (Format.asprintf "writer not sequential at %a" History.pp_event w))
+      else check_writes (i + 1) w.History.returned
+    end
+  in
+  let* () = check_writes 0 min_int in
+  let bad_read =
+    List.find_opt (fun (r : History.event) -> r.seq < 0 || r.seq > k) (History.reads h)
+  in
+  match bad_read with
+  | Some r ->
+    Error
+      (Malformed
+         (Format.asprintf "read of never-written value: %a (writes: %d)"
+            History.pp_event r k))
+  | None -> Ok writes
+
+(* Largest i with key.(i) < x, plus one — i.e. how many entries are
+   strictly below x — over a non-decreasing array. *)
+let count_below keys x =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if keys.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let regularity h writes =
+  let write_ends = Array.map (fun (w : History.event) -> w.returned) writes in
+  let write_starts = Array.map (fun (w : History.event) -> w.invoked) writes in
+  let rec go = function
+    | [] -> Ok ()
+    | (r : History.event) :: rest ->
+      let low = count_below write_ends r.invoked in
+      let high = count_below write_starts r.returned in
+      if r.seq < low then Error (Stale_read { read = r; low })
+      else if r.seq > high then Error (Future_read { read = r; high })
+      else go rest
+  in
+  go (History.reads h)
+
+let no_new_old_inversion h =
+  let by_returned =
+    List.sort
+      (fun (a : History.event) b -> compare a.returned b.returned)
+      (History.reads h)
+  in
+  let by_invoked = History.reads h (* already sorted by invocation *) in
+  (* Sweep reads in invocation order; [completed] walks reads in
+     return order, maintaining the maximum seq among reads that
+     returned strictly before the current read was invoked. *)
+  let completed = ref by_returned in
+  let max_seq = ref (-1) in
+  let max_ev = ref None in
+  let rec advance bound =
+    match !completed with
+    | (c : History.event) :: rest when c.returned < bound ->
+      if c.seq > !max_seq then begin
+        max_seq := c.seq;
+        max_ev := Some c
+      end;
+      completed := rest;
+      advance bound
+    | _ -> ()
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | (r : History.event) :: rest ->
+      advance r.invoked;
+      if r.seq < !max_seq then
+        Error
+          (New_old_inversion { earlier = Option.get !max_ev; later = r })
+      else go rest
+  in
+  go by_invoked
+
+let fast_path_candidates h =
+  let last : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.fold_left
+    (fun acc (r : History.event) ->
+      let hit =
+        match Hashtbl.find_opt last r.thread with
+        | Some prev -> prev = r.seq
+        | None -> false
+      in
+      Hashtbl.replace last r.thread r.seq;
+      if hit then acc + 1 else acc)
+    0 (History.reads h)
+
+let report h =
+  {
+    reads_checked = List.length (History.reads h);
+    writes_checked = List.length (History.writes h);
+    fast_path_candidates = fast_path_candidates h;
+  }
+
+let check_regular_only h =
+  let* writes = well_formed h in
+  let* () = regularity h writes in
+  Ok (report h)
+
+let check h =
+  let* writes = well_formed h in
+  let* () = regularity h writes in
+  let* () = no_new_old_inversion h in
+  Ok (report h)

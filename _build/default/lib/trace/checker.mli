@@ -1,0 +1,51 @@
+(** Executable form of the paper's correctness criteria (§3.1, §4).
+
+    For a single-writer register, writes are totally ordered by their
+    sequence numbers, which makes checking a recorded history
+    tractable (O(n log n)) without any linearization search:
+
+    - {b well-formedness}: writer operations are sequential and their
+      sequence numbers are exactly 1..k in order; every read returns
+      an existing sequence number;
+    - {b regularity} (Theorem 4.3 / the no-past property): a read
+      must return either the last write that completed before it
+      started, or some write concurrent with it — formally, its value
+      [v] must satisfy [low r <= v <= high r] where [low r] is the
+      largest seq whose write returned strictly before [r] was
+      invoked and [high r] the largest seq whose write was invoked
+      strictly before [r] returned;
+    - {b atomicity} (Criterion 1 / Theorem 4.4): additionally no
+      new-old inversion — for reads [r1 → r2] (r1 returned strictly
+      before r2 was invoked, across {e all} readers),
+      [seq r2 >= seq r1].
+
+    Events with equal timestamps are treated as concurrent, which can
+    only make the check more permissive, never report a false
+    violation. *)
+
+type violation =
+  | Malformed of string
+  | Stale_read of { read : History.event; low : int }
+      (** regularity broken: returned seq < newest completed write *)
+  | Future_read of { read : History.event; high : int }
+      (** returned a seq not yet being written *)
+  | New_old_inversion of { earlier : History.event; later : History.event }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type report = {
+  reads_checked : int;
+  writes_checked : int;
+  fast_path_candidates : int;
+      (** reads returning the same seq as the previous read of the
+          same thread — an ARC fast-path frequency indicator *)
+}
+
+val check : History.t -> (report, violation) result
+(** Full check: well-formedness, regularity, atomicity.  Returns the
+    first violation found (events included for diagnosis). *)
+
+val check_regular_only : History.t -> (report, violation) result
+(** Same but skipping the new-old-inversion pass — used by tests that
+    demonstrate the checker can tell regular-but-not-atomic histories
+    apart. *)

@@ -1,0 +1,92 @@
+type kind = Read | Write
+
+type event = {
+  kind : kind;
+  thread : int;
+  seq : int;
+  invoked : int;
+  returned : int;
+}
+
+let event kind ~thread ~seq ~invoked ~returned =
+  if returned < invoked then invalid_arg "History.event: returned before invoked";
+  if seq < 0 then invalid_arg "History.event: negative sequence";
+  { kind; thread; seq; invoked; returned }
+
+let pp_event ppf e =
+  Format.fprintf ppf "@[<h>%s(thread=%d, seq=%d, [%d,%d])@]"
+    (match e.kind with Read -> "read" | Write -> "write")
+    e.thread e.seq e.invoked e.returned
+
+type t = { all : event list; rds : event list; wrs : event list }
+
+let by_invocation a b =
+  match compare a.invoked b.invoked with 0 -> compare a.returned b.returned | c -> c
+
+let by_seq a b = compare a.seq b.seq
+
+let of_events evs =
+  let all = List.sort by_invocation evs in
+  let rds = List.filter (fun e -> e.kind = Read) all in
+  let wrs = List.sort by_seq (List.filter (fun e -> e.kind = Write) all) in
+  { all; rds; wrs }
+
+let events t = t.all
+let reads t = t.rds
+let writes t = t.wrs
+let size t = List.length t.all
+
+module Recorder = struct
+  type cell = {
+    kinds : kind array;
+    seqs : int array;
+    invokes : int array;
+    returns : int array;
+    mutable len : int;
+    mutable dropped : int;
+  }
+
+  type recorder = { cells : cell array; capacity : int }
+
+  let create ~threads ~capacity =
+    if threads < 1 then invalid_arg "Recorder.create: no threads";
+    if capacity < 1 then invalid_arg "Recorder.create: no capacity";
+    let fresh () =
+      {
+        kinds = Array.make capacity Read;
+        seqs = Array.make capacity 0;
+        invokes = Array.make capacity 0;
+        returns = Array.make capacity 0;
+        len = 0;
+        dropped = 0;
+      }
+    in
+    { cells = Array.init threads (fun _ -> fresh ()); capacity }
+
+  let record r ~thread kind ~seq ~invoked ~returned =
+    let c = r.cells.(thread) in
+    if c.len >= r.capacity then c.dropped <- c.dropped + 1
+    else begin
+      let i = c.len in
+      c.kinds.(i) <- kind;
+      c.seqs.(i) <- seq;
+      c.invokes.(i) <- invoked;
+      c.returns.(i) <- returned;
+      c.len <- i + 1
+    end
+
+  let dropped r = Array.fold_left (fun acc c -> acc + c.dropped) 0 r.cells
+
+  let history r =
+    let evs = ref [] in
+    Array.iteri
+      (fun thread c ->
+        for i = c.len - 1 downto 0 do
+          evs :=
+            event c.kinds.(i) ~thread ~seq:c.seqs.(i) ~invoked:c.invokes.(i)
+              ~returned:c.returns.(i)
+            :: !evs
+        done)
+      r.cells;
+    of_events !evs
+end

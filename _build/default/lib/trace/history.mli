@@ -1,0 +1,59 @@
+(** Histories of register operations, in the §3.1 sense: each
+    operation is an interval [⟨invoked, returned⟩] on a global clock
+    (nanoseconds for real runs, simulated steps for scheduler runs)
+    carrying the sequence number of the register value it wrote or
+    returned.
+
+    Values are identified by the writer's sequence number: write k
+    publishes value k (k ≥ 1), and 0 identifies the initial value, so
+    checking never depends on payload contents — workloads stamp the
+    sequence number into the payload (see {!Arc_workload.Payload}) and
+    the read side extracts it. *)
+
+type kind = Read | Write
+
+type event = {
+  kind : kind;
+  thread : int;  (** writer thread or reader identity *)
+  seq : int;  (** value written / value observed *)
+  invoked : int;
+  returned : int;
+}
+
+val event : kind -> thread:int -> seq:int -> invoked:int -> returned:int -> event
+(** @raise Invalid_argument if [returned < invoked] or [seq < 0]. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+type t
+(** An immutable history. *)
+
+val of_events : event list -> t
+(** Builds a history; events need not be sorted. *)
+
+val events : t -> event list
+(** All events, sorted by invocation time. *)
+
+val reads : t -> event list
+val writes : t -> event list
+(** Writes sorted by sequence number. *)
+
+val size : t -> int
+
+(** Mutable per-thread recorder with preallocated storage, so
+    recording perturbs measured runs as little as possible.  Each
+    thread must only append to its own index; merging happens after
+    the threads are joined. *)
+module Recorder : sig
+  type recorder
+
+  val create : threads:int -> capacity:int -> recorder
+  (** [capacity] events per thread; further events are dropped and
+      counted. *)
+
+  val record :
+    recorder -> thread:int -> kind -> seq:int -> invoked:int -> returned:int -> unit
+
+  val dropped : recorder -> int
+  val history : recorder -> t
+end

@@ -1,0 +1,1 @@
+lib/util/cpu.ml: Domain Int64 Monotonic_clock Printf Sys

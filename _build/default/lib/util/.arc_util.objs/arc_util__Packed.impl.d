@@ -1,0 +1,1 @@
+lib/util/packed.ml: Format Int Printf Sys

@@ -1,0 +1,1 @@
+lib/util/packed.mli: Format

@@ -1,0 +1,37 @@
+let popcount w =
+  let rec go acc w = if w = 0 then acc else go (acc + (w land 1)) (w lsr 1) in
+  go 0 w
+
+let lowest_set w =
+  if w = 0 then invalid_arg "Bits.lowest_set: zero";
+  let rec go i w = if w land 1 = 1 then i else go (i + 1) (w lsr 1) in
+  go 0 w
+
+let iter_set f w =
+  let rec go i w =
+    if w <> 0 then begin
+      if w land 1 = 1 then f i;
+      go (i + 1) (w lsr 1)
+    end
+  in
+  go 0 w
+
+let fold_set f acc w =
+  let rec go acc i w =
+    if w = 0 then acc
+    else
+      let acc = if w land 1 = 1 then f acc i else acc in
+      go acc (i + 1) (w lsr 1)
+  in
+  go acc 0 w
+
+let ceil_log2 n =
+  if n <= 0 then invalid_arg "Bits.ceil_log2: non-positive";
+  let rec go k p = if p >= n then k else go (k + 1) (p * 2) in
+  go 0 1
+
+let mask k =
+  if k < 0 || k >= Sys.int_size then invalid_arg "Bits.mask: width out of range";
+  (1 lsl k) - 1
+
+let test w i = (w lsr i) land 1 = 1

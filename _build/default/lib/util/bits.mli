@@ -1,0 +1,28 @@
+(** Bit-manipulation helpers used by the RF (Readers-Field) baseline,
+    which keeps a per-reader trace bit inside a single machine word
+    (Larsson et al., JEA 2009). *)
+
+val popcount : int -> int
+(** Number of set bits (treating the int as [Sys.int_size] bits). *)
+
+val lowest_set : int -> int
+(** Index of the least-significant set bit.
+    @raise Invalid_argument on 0. *)
+
+val iter_set : (int -> unit) -> int -> unit
+(** [iter_set f w] applies [f] to the index of every set bit of [w],
+    in increasing order. *)
+
+val fold_set : ('a -> int -> 'a) -> 'a -> int -> 'a
+(** Left fold over set-bit indices in increasing order. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 n] is the smallest [k] with [2^k >= n].
+    @raise Invalid_argument if [n <= 0]. *)
+
+val mask : int -> int
+(** [mask k] is [2^k - 1]; [mask 0 = 0].
+    @raise Invalid_argument if [k] is negative or [>= Sys.int_size]. *)
+
+val test : int -> int -> bool
+(** [test w i] is whether bit [i] of [w] is set. *)

@@ -1,0 +1,9 @@
+let hardware_domains () = Domain.recommended_domain_count ()
+let word_bits = Sys.int_size
+
+let describe () =
+  Printf.sprintf "os=%s, word=%d-bit int, hardware domains=%d, ocaml=%s"
+    Sys.os_type word_bits (hardware_domains ()) Sys.ocaml_version
+
+let now_ns () = Monotonic_clock.now ()
+let seconds_of_ns ns = Int64.to_float ns *. 1e-9

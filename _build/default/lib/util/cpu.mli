@@ -1,0 +1,18 @@
+(** Platform facts the harness needs to interpret its own results. *)
+
+val hardware_domains : unit -> int
+(** Best available estimate of hardware parallelism
+    ([Domain.recommended_domain_count]). *)
+
+val word_bits : int
+(** [Sys.int_size]: width in bits of a native OCaml int (63 on 64-bit
+    platforms), which bounds the synchronization-word packing. *)
+
+val describe : unit -> string
+(** One-line platform description for experiment reports. *)
+
+val now_ns : unit -> int64
+(** Monotonic wall-clock in nanoseconds, comparable across domains.
+    Backed by the OS monotonic clock. *)
+
+val seconds_of_ns : int64 -> float

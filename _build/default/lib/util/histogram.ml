@@ -1,0 +1,65 @@
+(* Bucket b holds samples v with 2^(b-1) <= v < 2^b (bucket 0: v <= 0,
+   bucket 1: v = 1, ...). *)
+
+let nbuckets = Sys.int_size + 1
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable max_value : int;
+}
+
+let create () = { counts = Array.make nbuckets 0; total = 0; max_value = 0 }
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let rec go b x = if x = 0 then b else go (b + 1) (x lsr 1) in
+    go 0 v
+  end
+
+let record t v =
+  let b = bucket_of v in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.total <- t.total + 1;
+  if v > t.max_value then t.max_value <- v
+
+let count t = t.total
+let max_value t = t.max_value
+
+let bucket_hi b = if b = 0 then 0 else (1 lsl b) - 1
+let bucket_lo b = if b <= 1 then b else (1 lsl (b - 1))
+
+let percentile t p =
+  if t.total = 0 then invalid_arg "Histogram.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Histogram.percentile: p out of [0,100]";
+  let rank =
+    int_of_float (ceil (p /. 100. *. float_of_int t.total)) |> max 1
+  in
+  let rec go b seen =
+    if b >= nbuckets then t.max_value
+    else begin
+      let seen = seen + t.counts.(b) in
+      if seen >= rank then min (bucket_hi b) t.max_value else go (b + 1) seen
+    end
+  in
+  go 0 0
+
+let merge_into ~src ~dst =
+  Array.iteri (fun b c -> dst.counts.(b) <- dst.counts.(b) + c) src.counts;
+  dst.total <- dst.total + src.total;
+  if src.max_value > dst.max_value then dst.max_value <- src.max_value
+
+let buckets t =
+  let acc = ref [] in
+  for b = nbuckets - 1 downto 0 do
+    if t.counts.(b) > 0 then acc := (bucket_lo b, bucket_hi b, t.counts.(b)) :: !acc
+  done;
+  !acc
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (lo, hi, c) -> Format.fprintf ppf "[%d..%d]: %d@ " lo hi c)
+    (buckets t);
+  Format.fprintf ppf "total=%d, max=%d@]" t.total t.max_value

@@ -1,0 +1,32 @@
+(** Power-of-two bucketed histogram for latency-style measurements:
+    O(1) recording with no allocation on the hot path, wide dynamic
+    range (1ns..seconds in 63 buckets), and percentile queries with
+    bounded relative error — sufficient for the latency-tail
+    comparisons (wait-free vs blocking) the experiments report. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** Record a non-negative sample; negative samples count into
+    bucket 0. *)
+
+val count : t -> int
+val max_value : t -> int
+(** Largest recorded sample (exact). *)
+
+val percentile : t -> float -> int
+(** [percentile t p]: an upper bound on the [p]-th percentile, exact
+    up to the bucket's factor-of-two width.
+    @raise Invalid_argument on an empty histogram or [p] outside
+    [0, 100]. *)
+
+val merge_into : src:t -> dst:t -> unit
+(** Add all of [src]'s counts into [dst] (per-thread histograms merged
+    after a run). *)
+
+val buckets : t -> (int * int * int) list
+(** Non-empty buckets as [(lo, hi, count)], ascending. *)
+
+val pp : Format.formatter -> t -> unit

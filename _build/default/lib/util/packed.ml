@@ -1,0 +1,24 @@
+let count_bits = 32
+let index_bits = Sys.int_size - count_bits
+let max_index = (1 lsl index_bits) - 1
+let max_count = (1 lsl count_bits) - 1
+let count_mask = max_count
+
+let make ~index ~count =
+  if index < 0 || index > max_index then
+    invalid_arg (Printf.sprintf "Packed.make: index %d out of range" index);
+  if count < 0 || count > max_count then
+    invalid_arg (Printf.sprintf "Packed.make: count %d out of range" count);
+  (index lsl count_bits) lor count
+
+let index w = (w lsr count_bits) land max_index
+let count w = w land count_mask
+let of_index i = make ~index:i ~count:0
+
+let succ_count w =
+  if count w = max_count then invalid_arg "Packed.succ_count: count overflow";
+  w + 1
+
+let pp ppf w = Format.fprintf ppf "@[<h>⟨index=%d,@ count=%d⟩@]" (index w) (count w)
+let equal = Int.equal
+let to_string w = Format.asprintf "%a" pp w

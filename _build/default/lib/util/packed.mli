@@ -1,0 +1,53 @@
+(** Packing of the ARC synchronization word [current].
+
+    The paper (§3.3) uses a 64-bit word split into a 32-bit slot
+    [index] (high half) and a 32-bit readers-presence [count] (low
+    half).  OCaml's native [int] is 63-bit on 64-bit platforms, so the
+    index field here is [Sys.int_size - 32] = 31 bits wide; the count
+    field keeps the paper's full 32 bits, preserving the 2^32 - 2
+    concurrent-readers capacity claim.
+
+    All register algorithms manipulate packed words only through this
+    module, so the packing discipline is tested in one place. *)
+
+val count_bits : int
+(** Width of the count field (32, as in the paper). *)
+
+val index_bits : int
+(** Width of the index field ([Sys.int_size - count_bits]). *)
+
+val max_index : int
+(** Largest representable slot index. *)
+
+val max_count : int
+(** Largest representable readers count, [2^32 - 1].  The paper admits
+    up to [2^32 - 2] concurrent readers so that the count can never
+    saturate between two writes. *)
+
+val make : index:int -> count:int -> int
+(** [make ~index ~count] packs the two fields.
+    @raise Invalid_argument if either field is out of range. *)
+
+val index : int -> int
+(** [index w] extracts the slot index (the [w >> 32] of the paper,
+    statements R1/R5/W3). *)
+
+val count : int -> int
+(** [count w] extracts the readers-presence count
+    (the [w land (2^32 - 1)] of statement W3). *)
+
+val of_index : int -> int
+(** [of_index i] is [make ~index:i ~count:0] — the value the writer
+    installs with [AtomicExchange] at statement W2. *)
+
+val succ_count : int -> int
+(** [succ_count w] is the packed word with the count field incremented
+    — what [AtomicAddAndFetch (current, 1)] (statement R4) produces.
+    @raise Invalid_argument on count overflow (cannot occur when the
+    number of readers respects {!max_count}). *)
+
+val pp : Format.formatter -> int -> unit
+(** Prints as [⟨index=i, count=c⟩] for debugging and test failures. *)
+
+val equal : int -> int -> bool
+val to_string : int -> string

@@ -1,0 +1,46 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = seed }
+let of_int seed = create (Int64.of_int seed)
+let copy t = { state = t.state }
+
+let next64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = create (next64 t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: non-positive bound";
+  (* Rejection sampling over the top 62 bits to avoid modulo bias. *)
+  let mask = max_int in
+  let rec draw () =
+    let r = Int64.to_int (next64 t) land mask in
+    let v = r mod bound in
+    if r - v > mask - bound + 1 then draw () else v
+  in
+  draw ()
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let float t =
+  (* 53 random bits into [0, 1). *)
+  let bits = Int64.(to_int (shift_right_logical (next64 t) 11)) in
+  float_of_int bits *. 0x1p-53
+
+let bernoulli t p = float t < p
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,41 @@
+(** SplitMix64 pseudo-random number generator (Steele, Lea, Flood;
+    OOPSLA 2014).
+
+    Deterministic, seedable, and cheap — used everywhere randomness is
+    needed so that every experiment and every schedule exploration is
+    reproducible from a printed seed.  Each generator is an
+    independent stream; [split] derives a new statistically
+    independent stream, which lets each fiber / domain own a private
+    generator without contention. *)
+
+type t
+
+val create : int64 -> t
+(** Fresh generator from a 64-bit seed. *)
+
+val of_int : int -> t
+(** Convenience seeding from a native int. *)
+
+val copy : t -> t
+(** Independent copy with the same current state. *)
+
+val split : t -> t
+(** Derive a statistically independent child stream, advancing the
+    parent. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is true with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

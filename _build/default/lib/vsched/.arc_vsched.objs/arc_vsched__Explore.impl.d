@@ -1,0 +1,1 @@
+lib/vsched/explore.ml: Array List Sched Strategy

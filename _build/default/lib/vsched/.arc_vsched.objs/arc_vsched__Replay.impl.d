@@ -1,0 +1,1 @@
+lib/vsched/replay.ml: Array Fun List Printf Strategy

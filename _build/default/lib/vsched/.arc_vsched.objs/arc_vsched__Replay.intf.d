@@ -1,0 +1,1 @@
+lib/vsched/replay.mli: Strategy

@@ -1,0 +1,1 @@
+lib/vsched/sched.ml: Array Domain Effect List Strategy

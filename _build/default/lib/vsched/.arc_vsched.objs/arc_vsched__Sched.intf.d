@@ -1,0 +1,1 @@
+lib/vsched/sched.mli: Strategy

@@ -1,0 +1,1 @@
+lib/vsched/sim_mem.ml: Array Sched

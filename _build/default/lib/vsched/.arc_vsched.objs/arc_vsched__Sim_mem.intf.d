@@ -1,0 +1,1 @@
+lib/vsched/sim_mem.mli: Arc_mem

@@ -1,0 +1,1 @@
+lib/vsched/strategy.ml: Arc_util Array List Printf String

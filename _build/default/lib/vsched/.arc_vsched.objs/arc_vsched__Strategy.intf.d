@@ -1,0 +1,1 @@
+lib/vsched/strategy.mli:

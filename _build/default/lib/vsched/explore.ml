@@ -1,0 +1,58 @@
+type outcome = { schedules : int; exhausted : bool; max_decision_depth : int }
+
+(* One schedule = the sequence of runnable-array indices chosen at
+   each decision.  Execute following [prefix]; beyond it, always pick
+   index 0 while recording how many alternatives existed, so the
+   backtracking step can advance the deepest choice with an untried
+   sibling.  Re-execution is the price of not snapshotting state —
+   acceptable for micro-scenarios. *)
+
+let exhaustive ?(max_schedules = 1_000_000) ~scenario () =
+  let prefix : int list ref = ref [] in
+  let schedules = ref 0 in
+  let max_depth = ref 0 in
+  let continue = ref true in
+  let exhausted = ref false in
+  while !continue && !schedules < max_schedules do
+    (* choices.(d) = (picked, available) at decision d of this run *)
+    let taken = ref [] in
+    let pending = ref !prefix in
+    let strategy =
+      Strategy.custom ~name:"exhaustive-dfs" (fun ~step:_ ~runnable ->
+          let ids, count = runnable () in
+          let choice =
+            match !pending with
+            | c :: rest ->
+              pending := rest;
+              (* A stale prefix entry can exceed the current count only
+                 if the scenario is not reproducible. *)
+              if c >= count then
+                failwith "Explore.exhaustive: scenario is not deterministic";
+              c
+            | [] -> 0
+          in
+          taken := (choice, count) :: !taken;
+          Strategy.Run ids.(choice))
+    in
+    let fibers, check = scenario () in
+    let (_ : Sched.outcome) = Sched.run ~strategy fibers in
+    incr schedules;
+    check ();
+    let depth = List.length !taken in
+    if depth > !max_depth then max_depth := depth;
+    (* Backtrack: drop decisions with no untried sibling, then advance
+       the deepest one that has. *)
+    let rec advance = function
+      | [] -> None
+      | (choice, count) :: shallower ->
+        if choice + 1 < count then Some ((choice + 1, count) :: shallower)
+        else advance shallower
+    in
+    match advance !taken with
+    | None ->
+      continue := false;
+      exhausted := true
+    | Some reversed_choices ->
+      prefix := List.rev_map fst reversed_choices
+  done;
+  { schedules = !schedules; exhausted = !exhausted; max_decision_depth = !max_depth }

@@ -1,0 +1,60 @@
+type trace = Strategy.decision array
+
+let length = Array.length
+let decisions = Fun.id
+
+type recorder = Strategy.decision list ref
+
+(* Strategy.t is abstract with a [decide] entry point; build wrappers
+   through a custom pick function by re-entering via Strategy.decide. *)
+
+let recording base =
+  let log : recorder = ref [] in
+  let strategy =
+    Strategy.custom
+      ~name:(Printf.sprintf "recording(%s)" (Strategy.name base))
+      (fun ~step ~runnable ->
+        let d = Strategy.decide base ~step ~runnable in
+        log := d :: !log;
+        d)
+  in
+  (log, strategy)
+
+let captured log = Array.of_list (List.rev !log)
+
+type replayer = { mutable cursor : int; mutable diverged : bool }
+
+let replaying trace ~fallback =
+  let state = { cursor = 0; diverged = false } in
+  let runnable_has runnable id =
+    let ids, count = runnable () in
+    let rec go i = i < count && (ids.(i) = id || go (i + 1)) in
+    go 0
+  in
+  let strategy =
+    Strategy.custom
+      ~name:(Printf.sprintf "replay(%d decisions)" (Array.length trace))
+      (fun ~step ~runnable ->
+        if state.diverged || state.cursor >= Array.length trace then begin
+          if state.cursor >= Array.length trace then state.diverged <- true;
+          Strategy.decide fallback ~step ~runnable
+        end
+        else begin
+          let d = trace.(state.cursor) in
+          let ok =
+            match d with
+            | Strategy.Run id | Strategy.Postpone (id, _) -> runnable_has runnable id
+          in
+          if ok then begin
+            state.cursor <- state.cursor + 1;
+            d
+          end
+          else begin
+            state.diverged <- true;
+            Strategy.decide fallback ~step ~runnable
+          end
+        end)
+  in
+  (state, strategy)
+
+let diverged state = state.diverged

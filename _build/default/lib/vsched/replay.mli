@@ -1,0 +1,37 @@
+(** Schedule recording and exact replay.
+
+    Wrap any strategy in {!recording} to capture the decision
+    sequence of a run; {!replaying} feeds a captured trace back,
+    reproducing the identical interleaving — including on a build with
+    extra logging, under a debugger, or after a code change that does
+    not alter the shared-access structure.  If the program under
+    replay diverges from the trace (different runnable sets), the
+    replay falls back to the supplied strategy and flags it, so stale
+    traces degrade loudly rather than silently. *)
+
+type trace
+
+val length : trace -> int
+val decisions : trace -> Strategy.decision array
+
+(** {2 Capture} *)
+
+type recorder
+
+val recording : Strategy.t -> recorder * Strategy.t
+(** [recording base] returns a recorder and a strategy that behaves
+    exactly like [base] while logging every decision. *)
+
+val captured : recorder -> trace
+
+(** {2 Replay} *)
+
+type replayer
+
+val replaying : trace -> fallback:Strategy.t -> replayer * Strategy.t
+(** Strategy that re-issues the trace decision by decision; once the
+    trace is exhausted, or if a recorded fiber is no longer runnable,
+    it switches permanently to [fallback]. *)
+
+val diverged : replayer -> bool
+(** Whether replay ever had to fall back. *)

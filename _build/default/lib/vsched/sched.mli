@@ -1,0 +1,61 @@
+(** Deterministic cooperative scheduler for virtual threads (fibers),
+    built on OCaml 5 effects.
+
+    This is the repository's stand-in for the paper's large multicore
+    testbeds (DESIGN.md §2): register algorithms instantiated over
+    {!Sim_mem} yield to the scheduler at {e every shared-memory
+    access}, so
+
+    - a strategy ({!Strategy.t}) fully controls the interleaving —
+      thousands of seeded schedules per test, plus adversarial
+      (starvation, CPU-steal) schedules;
+    - executions are deterministic and replayable from a seed;
+    - thousands of fibers are cheap, enabling the paper's Fig. 3
+      regime (up to 4000 threads) on any machine;
+    - simulated time = weighted count of shared-memory accesses
+      (an RMW costs {!Sim_mem.rmw_weight} plain accesses), so
+      "throughput" in simulation is ops per simulated step, a cost
+      model matching the paper's RMW-centric accounting.
+
+    The scheduler runs on the calling domain; nothing here is
+    parallel.  A fiber that raises terminates the whole run with that
+    exception (after which the scheduler is unusable), which is what
+    the test suites want. *)
+
+type t
+
+type outcome = {
+  steps : int;  (** weighted scheduling points consumed *)
+  completed : int;  (** fibers that ran to completion *)
+  unfinished : int;  (** fibers still alive when the budget ran out *)
+}
+
+val run :
+  ?max_steps:int ->
+  strategy:Strategy.t ->
+  (unit -> unit) array ->
+  outcome
+(** [run ~max_steps ~strategy fibers] executes the fibers under the
+    strategy until all complete or the weighted step budget is
+    exhausted (default: no budget).  Must not be called from inside a
+    fiber. *)
+
+(** {2 Called from inside fibers} *)
+
+val cede : ?weight:int -> unit -> unit
+(** Offer a scheduling point of the given cost (default 1).  Outside
+    any scheduler this is a no-op, so code instrumented with [cede]
+    also runs standalone. *)
+
+val self : unit -> int
+(** Id of the running fiber (its index in the [run] array).
+    @raise Failure outside a fiber. *)
+
+val current_fiber : unit -> int option
+(** Like {!self} but [None] outside a fiber. *)
+
+val now : unit -> int
+(** Current weighted step count of the enclosing run; 0 outside. *)
+
+val fiber_count : unit -> int
+(** Number of fibers in the enclosing run; 0 outside. *)

@@ -1,0 +1,24 @@
+(** Simulated shared memory: the {!Arc_mem.Mem_intf.S} instance whose
+    every operation is a scheduling point of the enclosing
+    {!Sched} run.
+
+    Cost model.  Each plain access (load, store, one buffer word)
+    consumes one simulated step; each RMW consumes {!rmw_weight}
+    steps, reflecting the paper's observation (§1, §3.2) that RMW
+    instructions are substantially more expensive than plain loads on
+    real interconnects (cache-line exclusivity, QPI messaging).
+    Simulated throughput — operations per step — therefore reproduces
+    the paper's cost accounting: ARC's RMW-free read fast path is
+    cheap, RF pays one RMW per read, Peterson pays per-word copies,
+    and the spin-lock pays RMW retries.
+
+    Buffers interleave at word granularity, so a simulated schedule
+    can expose torn multi-word reads if an algorithm under test is
+    buggy — the checker's job to catch. *)
+
+val rmw_weight : int ref
+(** Simulated cost of one RMW in plain-access units.  Default 4.
+    Read at each operation, so sweeps can vary it between runs (never
+    during one). *)
+
+include Arc_mem.Mem_intf.S

@@ -1,0 +1,196 @@
+module Splitmix = Arc_util.Splitmix
+
+type decision = Run of int | Postpone of int * int
+
+type t = {
+  name : string;
+  pick : step:int -> runnable:(unit -> int array * int) -> decision;
+}
+
+let name t = t.name
+let decide t ~step ~runnable = t.pick ~step ~runnable
+let custom ~name pick = { name; pick }
+
+let pct ~seed ~fibers ~depth ~expected_steps =
+  if fibers < 1 then invalid_arg "Strategy.pct: fibers < 1";
+  if depth < 1 then invalid_arg "Strategy.pct: depth < 1";
+  if expected_steps < 1 then invalid_arg "Strategy.pct: expected_steps < 1";
+  let rng = Splitmix.of_int seed in
+  (* Distinct initial priorities: a random permutation of
+     [depth .. depth + fibers - 1]; demotions use the reserved band
+     [1 .. depth - 1] so a demoted fiber sits below every
+     never-demoted one, and later demotions sit even lower. *)
+  let priorities =
+    let p = Array.init fibers (fun i -> depth + i) in
+    Splitmix.shuffle rng p;
+    p
+  in
+  let change_points =
+    Array.init (depth - 1) (fun _ -> 1 + Splitmix.int rng expected_steps)
+  in
+  Array.sort compare change_points;
+  let next_change = ref 0 in
+  let next_demotion = ref (depth - 1) in
+  {
+    name =
+      Printf.sprintf "pct(seed=%d,fibers=%d,depth=%d,steps=%d)" seed fibers depth
+        expected_steps;
+    pick =
+      (fun ~step ~runnable ->
+        let ids, count = runnable () in
+        let best = ref ids.(0) in
+        for i = 1 to count - 1 do
+          let id = ids.(i) in
+          let in_range id = id >= 0 && id < fibers in
+          let prio id = if in_range id then priorities.(id) else -1 in
+          if prio id > prio !best then best := id
+        done;
+        (* Consume due change points: demote the fiber about to run. *)
+        while
+          !next_change < Array.length change_points
+          && step >= change_points.(!next_change)
+        do
+          if !best >= 0 && !best < fibers && !next_demotion >= 1 then begin
+            priorities.(!best) <- !next_demotion;
+            decr next_demotion
+          end;
+          incr next_change;
+          (* Re-pick after the demotion. *)
+          let best' = ref ids.(0) in
+          for i = 1 to count - 1 do
+            let id = ids.(i) in
+            if
+              id >= 0 && id < fibers && !best' >= 0 && !best' < fibers
+              && priorities.(id) > priorities.(!best')
+            then best' := id
+          done;
+          best := !best'
+        done;
+        Run !best);
+  }
+
+let round_robin () =
+  (* Rotate over fiber ids, not runnable-array positions, so every
+     live fiber runs within one revolution. *)
+  let cursor = ref (-1) in
+  {
+    name = "round-robin";
+    pick =
+      (fun ~step:_ ~runnable ->
+        let ids, count = runnable () in
+        (* Smallest id strictly greater than the cursor, wrapping. *)
+        let best = ref (-1) and smallest = ref (-1) in
+        for i = 0 to count - 1 do
+          let id = ids.(i) in
+          if !smallest < 0 || id < !smallest then smallest := id;
+          if id > !cursor && (!best < 0 || id < !best) then best := id
+        done;
+        let chosen = if !best >= 0 then !best else !smallest in
+        cursor := chosen;
+        Run chosen);
+  }
+
+let random ~seed =
+  let rng = Splitmix.of_int seed in
+  {
+    name = Printf.sprintf "random(seed=%d)" seed;
+    pick =
+      (fun ~step:_ ~runnable ->
+        let ids, count = runnable () in
+        Run ids.(Splitmix.int rng count));
+  }
+
+let random_burst ~seed ~max_burst =
+  if max_burst < 1 then invalid_arg "Strategy.random_burst: max_burst < 1";
+  let rng = Splitmix.of_int seed in
+  let current = ref (-1) in
+  let remaining = ref 0 in
+  {
+    name = Printf.sprintf "random-burst(seed=%d,max=%d)" seed max_burst;
+    pick =
+      (fun ~step:_ ~runnable ->
+        let ids, count = runnable () in
+        let still_runnable id =
+          let rec go i = i < count && (ids.(i) = id || go (i + 1)) in
+          go 0
+        in
+        if !remaining > 0 && still_runnable !current then begin
+          decr remaining;
+          Run !current
+        end
+        else begin
+          let chosen = ids.(Splitmix.int rng count) in
+          current := chosen;
+          remaining := Splitmix.int rng max_burst;
+          Run chosen
+        end);
+  }
+
+let steal ~seed ~base ~probability ~min_pause ~max_pause =
+  if probability < 0. || probability > 1. then
+    invalid_arg "Strategy.steal: probability out of [0,1]";
+  if min_pause < 1 || max_pause < min_pause then
+    invalid_arg "Strategy.steal: bad pause range";
+  let rng = Splitmix.of_int seed in
+  {
+    name =
+      Printf.sprintf "steal(p=%.3f,pause=%d..%d,base=%s)" probability min_pause
+        max_pause base.name;
+    pick =
+      (fun ~step ~runnable ->
+        match base.pick ~step ~runnable with
+        | Postpone _ as d -> d
+        | Run id ->
+          if Splitmix.bernoulli rng probability then begin
+            let pause = min_pause + Splitmix.int rng (max_pause - min_pause + 1) in
+            Postpone (id, step + pause)
+          end
+          else Run id);
+  }
+
+let steal_fibers ~seed ~victims ~base ~probability ~min_pause ~max_pause =
+  if probability < 0. || probability > 1. then
+    invalid_arg "Strategy.steal_fibers: probability out of [0,1]";
+  if min_pause < 1 || max_pause < min_pause then
+    invalid_arg "Strategy.steal_fibers: bad pause range";
+  let rng = Splitmix.of_int seed in
+  {
+    name =
+      Printf.sprintf "steal-fibers([%s],p=%.3f,pause=%d..%d,base=%s)"
+        (String.concat ";" (List.map string_of_int victims))
+        probability min_pause max_pause base.name;
+    pick =
+      (fun ~step ~runnable ->
+        match base.pick ~step ~runnable with
+        | Postpone _ as d -> d
+        | Run id when List.mem id victims && Splitmix.bernoulli rng probability ->
+          let pause = min_pause + Splitmix.int rng (max_pause - min_pause + 1) in
+          Postpone (id, step + pause)
+        | Run _ as d -> d);
+  }
+
+let starve ~victims ~until_step ~base =
+  {
+    name =
+      Printf.sprintf "starve([%s],until=%d,base=%s)"
+        (String.concat ";" (List.map string_of_int victims))
+        until_step base.name;
+    pick =
+      (fun ~step ~runnable ->
+        if step >= until_step then base.pick ~step ~runnable
+        else begin
+          let ids, count = runnable () in
+          let victim id = List.mem id victims in
+          let nonvictims = ref 0 in
+          for i = 0 to count - 1 do
+            if not (victim ids.(i)) then incr nonvictims
+          done;
+          if !nonvictims = 0 then base.pick ~step ~runnable
+          else begin
+            match base.pick ~step ~runnable with
+            | Postpone _ as d -> d
+            | Run id when not (victim id) -> Run id
+            | Run id -> Postpone (id, step + 1)
+          end
+        end);
+  }

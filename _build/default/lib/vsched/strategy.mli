@@ -1,0 +1,83 @@
+(** Scheduling strategies for the virtual scheduler.
+
+    A strategy decides, at every scheduling point, which runnable
+    fiber runs next.  Deterministic strategies (given their seed) make
+    every simulated execution replayable from a printed seed, which is
+    what lets the test suite explore thousands of distinct
+    interleavings of the register algorithms and shrink failures.
+
+    The adversarial strategies model the two hostile environments of
+    the paper's evaluation: [steal] reproduces hypervisor CPU-steal
+    (Fig. 2 — a fiber disappears for a while {e at any point},
+    including inside a critical section), and [starve] is the
+    unbounded-delay adversary of the wait-freedom definition (§2). *)
+
+type t
+
+type decision = Run of int | Postpone of int * int
+(** [Run id] — run that fiber; [Postpone (id, until)] — treat [id] as
+    stolen until step [until], and ask again. *)
+
+val name : t -> string
+
+val round_robin : unit -> t
+(** Fair rotation over runnable fibers.
+
+    All constructors return a {e fresh, stateful} strategy: use one
+    strategy value per scheduler run. *)
+
+val random : seed:int -> t
+(** Uniform choice among runnable fibers; the classic random
+    interleaving explorer. *)
+
+val random_burst : seed:int -> max_burst:int -> t
+(** Uniform fiber choice, but the chosen fiber keeps running for a
+    random burst of scheduling points (up to [max_burst]) — models
+    quantum-based preemption and reaches interleavings plain uniform
+    choice rarely visits. *)
+
+val steal : seed:int -> base:t -> probability:float -> min_pause:int -> max_pause:int -> t
+(** Wrap [base]: at every decision, with [probability], the fiber that
+    would have run is instead "stolen" (descheduled) for a pause drawn
+    uniformly from [min_pause, max_pause] scheduling points —
+    DESIGN.md §2's substitution for the paper's virtualized platform. *)
+
+val steal_fibers :
+  seed:int ->
+  victims:int list ->
+  base:t ->
+  probability:float ->
+  min_pause:int ->
+  max_pause:int ->
+  t
+(** Like {!steal} but only the victim fibers can be stolen — isolates
+    the effect of, e.g., the writer losing its vCPU while everything
+    else keeps running (the Fig. 2 lock-holder-preemption mechanism). *)
+
+val starve : victims:int list -> until_step:int -> base:t -> t
+(** Never schedule the victim fibers before [until_step] as long as
+    any other fiber is runnable — the adversary used to show that
+    wait-free operations still complete while lock-based ones do
+    not. *)
+
+val pct : seed:int -> fibers:int -> depth:int -> expected_steps:int -> t
+(** Probabilistic Concurrency Testing (Burckhardt et al., ASPLOS
+    2010): random distinct priorities, run the highest-priority
+    runnable fiber, and at [depth - 1] random change points demote the
+    running fiber below everyone.  Finds rare bugs of preemption depth
+    [d] with probability ≥ 1/(n·k^(d-1)) — a sharper explorer than
+    uniform random for ordering bugs.
+    @raise Invalid_argument if [fibers < 1], [depth < 1] or
+    [expected_steps < 1]. *)
+
+val custom :
+  name:string -> (step:int -> runnable:(unit -> int array * int) -> decision) -> t
+(** Arbitrary strategy from a pick function — the escape hatch used by
+    {!Replay} and by tests that need full control. *)
+
+(** {2 Used by the scheduler} *)
+
+val decide : t -> step:int -> runnable:(unit -> int array * int) -> decision
+(** [decide t ~step ~runnable] picks among [ids.(0..count-1)] where
+    [runnable ()] returns [(ids, count)].  The array must not be
+    mutated by the strategy. *)

@@ -1,0 +1,1 @@
+lib/workload/payload.ml: Arc_mem Array Printf

@@ -1,0 +1,1 @@
+lib/workload/payload.mli: Arc_mem

@@ -1,0 +1,63 @@
+(* Word-index hash: any fixed injective-looking mixing works; this is
+   the SplitMix64 increment with a squaring mix, truncated to the
+   OCaml int range by the arithmetic itself. *)
+let h i =
+  let x = (i + 1) * 0x9E3779B97F4A7C1 in
+  x lxor (x lsr 31)
+
+module Make (M : Arc_mem.Mem_intf.S) = struct
+  let stamp src ~seq ~len =
+    if seq < 0 then invalid_arg "Payload.stamp: negative seq";
+    if len < 1 || len > Array.length src then invalid_arg "Payload.stamp: bad length";
+    for i = 0 to len - 1 do
+      src.(i) <- seq lxor h i
+    done
+
+  let decode_seq buffer = M.read_word buffer 0 lxor h 0
+
+  let validate buffer ~len =
+    if len < 1 then Error "empty snapshot"
+    else begin
+      let seq = decode_seq buffer in
+      let rec go i =
+        if i >= len then Ok seq
+        else begin
+          let w = M.read_word buffer i in
+          if w lxor h i <> seq then
+            Error
+              (Printf.sprintf "torn snapshot: word %d claims seq %d, word 0 claims %d"
+                 i (w lxor h i) seq)
+          else go (i + 1)
+        end
+      in
+      go 1
+    end
+
+  let validate_words words ~len =
+    if len < 1 || len > Array.length words then Error "empty snapshot"
+    else begin
+      let seq = words.(0) lxor h 0 in
+      let rec go i =
+        if i >= len then Ok seq
+        else if words.(i) lxor h i <> seq then
+          Error
+            (Printf.sprintf "torn snapshot: word %d claims seq %d, word 0 claims %d" i
+               (words.(i) lxor h i) seq)
+        else go (i + 1)
+      in
+      go 1
+    end
+
+  let scan buffer ~len =
+    let acc = ref 0 in
+    for i = 0 to len - 1 do
+      acc := !acc + M.read_word buffer i
+    done;
+    !acc
+end
+
+let size_4kb = 4 * 1024 / 8
+let size_32kb = 32 * 1024 / 8
+let size_128kb = 128 * 1024 / 8
+
+let paper_sizes = [ ("4KB", size_4kb); ("32KB", size_32kb); ("128KB", size_128kb) ]

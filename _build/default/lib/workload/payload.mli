@@ -1,0 +1,40 @@
+(** Register payloads for the experiments and the correctness tests.
+
+    Every snapshot is stamped with the write's sequence number in a
+    way that covers {e every word}: word [i] of write [k] holds
+    [k lxor h i] for a fixed word-index hash [h].  Then
+
+    - the observed sequence number can be decoded from any snapshot
+      (the checker's input, see {!Arc_trace}),
+    - a torn read — words from two different writes, or from the
+      wrong offset — fails validation with overwhelming probability,
+      turning memory-safety-but-torn bugs into test failures. *)
+
+module Make (M : Arc_mem.Mem_intf.S) : sig
+  val stamp : int array -> seq:int -> len:int -> unit
+  (** Fill [src.(0..len-1)] with the stamped payload of write [seq].
+      @raise Invalid_argument on bad length or negative seq. *)
+
+  val decode_seq : M.buffer -> int
+  (** Sequence number claimed by word 0 of a snapshot (requires a
+      snapshot of at least one word). *)
+
+  val validate : M.buffer -> len:int -> (int, string) result
+  (** Check every word of the snapshot against the seq claimed by
+      word 0; [Ok seq] or a description of the first torn word. *)
+
+  val validate_words : int array -> len:int -> (int, string) result
+  (** Same check over an already-copied plain array. *)
+
+  val scan : M.buffer -> len:int -> int
+  (** Touch every word and fold them — the read-side work of the
+      paper's processing workload ("a read scans the whole content of
+      the retrieved buffer"). *)
+end
+
+(** The paper's three register sizes (Fig. 1–3), in 8-byte words. *)
+val size_4kb : int
+
+val size_32kb : int
+val size_128kb : int
+val paper_sizes : (string * int) list

@@ -1,0 +1,1 @@
+test/broken_regs.ml: Arc_mem Array

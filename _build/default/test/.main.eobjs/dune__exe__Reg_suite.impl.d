@@ -1,0 +1,1 @@
+test/reg_suite.ml: Alcotest Arc_core Arc_util Arc_workload Array Gen List Print Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_arc.ml: Alcotest Arc_core Arc_mem Arc_util Arc_workload Array Gen Hashtbl List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_arc_dynamic.ml: Alcotest Arc_core Arc_mem Arc_util Arc_workload Array Printf

@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Arc_harness Arc_trace Arc_vsched Option Printf

@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Arc_util List QCheck QCheck_alcotest Sys

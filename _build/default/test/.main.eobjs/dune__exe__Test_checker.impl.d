@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Arc_trace Arc_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_coherence.ml: Alcotest Arc_coherence Arc_core Arc_harness Arc_vsched Array List Printf

@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest Arc_harness Arc_report List

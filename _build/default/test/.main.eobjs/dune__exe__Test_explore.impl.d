@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Arc_baselines Arc_core Arc_vsched Arc_workload Array Broken_regs Hashtbl List Printf

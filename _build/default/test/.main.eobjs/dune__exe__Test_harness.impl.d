@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Arc_harness Array Atomic Domain List Printf

@@ -1,0 +1,1 @@
+test/test_histogram.ml: Alcotest Arc_util Gen List Printf QCheck QCheck_alcotest

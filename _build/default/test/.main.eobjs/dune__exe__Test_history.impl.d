@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Arc_trace Domain List QCheck QCheck_alcotest

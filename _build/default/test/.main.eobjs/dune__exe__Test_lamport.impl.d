@@ -1,0 +1,1 @@
+test/test_lamport.ml: Alcotest Arc_baselines Arc_mem Arc_vsched Arc_workload Array Printf

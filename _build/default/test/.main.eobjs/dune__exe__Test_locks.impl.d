@@ -1,0 +1,1 @@
+test/test_locks.ml: Alcotest Arc_baselines Arc_core Arc_mem Arc_vsched Arc_workload Array Option Printf

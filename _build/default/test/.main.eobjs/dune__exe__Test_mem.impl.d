@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Arc_mem Array Domain QCheck QCheck_alcotest

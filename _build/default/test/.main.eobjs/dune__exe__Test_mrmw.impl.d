@@ -1,0 +1,1 @@
+test/test_mrmw.ml: Alcotest Arc_core Arc_mem Arc_mrmw Arc_vsched Array Atomic Domain Fun Printf Unix

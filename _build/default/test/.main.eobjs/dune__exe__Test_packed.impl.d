@@ -1,0 +1,1 @@
+test/test_packed.ml: Alcotest Arc_util QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_replay.ml: Alcotest Arc_harness Arc_vsched Array List

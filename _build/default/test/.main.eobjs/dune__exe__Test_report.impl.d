@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Arc_report List Option Printf String

@@ -1,0 +1,1 @@
+test/test_rf.ml: Alcotest Arc_baselines Arc_mem Arc_util Arc_workload Array List Option Printf Sys

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Arc_vsched Array Atomic List Printf

@@ -1,0 +1,1 @@
+test/test_schedules.ml: Alcotest Arc_harness Arc_trace Arc_vsched Broken_regs List Printf

@@ -1,0 +1,1 @@
+test/test_sim_mem.ml: Alcotest Arc_vsched Array List

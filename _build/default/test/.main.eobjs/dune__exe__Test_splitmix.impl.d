@@ -1,0 +1,1 @@
+test/test_splitmix.ml: Alcotest Arc_util Array Fun Printf QCheck QCheck_alcotest

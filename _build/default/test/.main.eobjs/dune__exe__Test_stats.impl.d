@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Arc_util Array Float Gen QCheck QCheck_alcotest

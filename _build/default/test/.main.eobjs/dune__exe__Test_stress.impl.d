@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Arc_harness Arc_trace Float List Printf

@@ -1,0 +1,1 @@
+test/test_typed.ml: Alcotest Arc_core Arc_mem Array Atomic Domain Fun List Unix

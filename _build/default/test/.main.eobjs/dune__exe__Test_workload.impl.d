@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Arc_mem Arc_workload Array Hashtbl List QCheck QCheck_alcotest String

@@ -1,0 +1,97 @@
+(* Deliberately incorrect registers, used as negative controls: the
+   schedule-exploration pipeline must catch each one.  If these ever
+   pass, the test apparatus — not the algorithms — is broken. *)
+
+(* No coordination at all: one shared buffer written in place.  Under
+   word-granular simulated schedules, readers observe torn snapshots. *)
+module Torn (M : Arc_mem.Mem_intf.S) = struct
+  module Mem = M
+
+  type t = { size : M.atomic; content : M.buffer }
+  type reader = t
+
+  let algorithm = "broken-torn"
+  let wait_free = true
+  let max_readers ~capacity_words:_ = None
+
+  let create ~readers:_ ~capacity ~init =
+    let t = { size = M.atomic 0; content = M.alloc capacity } in
+    M.write_words t.content ~src:init ~len:(Array.length init);
+    M.store t.size (Array.length init);
+    t
+
+  let reader t _ = t
+  let read_with t ~f = f t.content (M.load t.size)
+
+  let read_into t ~dst =
+    read_with t ~f:(fun buffer len ->
+        M.read_words buffer ~dst ~len;
+        len)
+
+  let write t ~src ~len =
+    M.write_words t.content ~src ~len;
+    M.store t.size len
+end
+
+(* Properly double-buffered (never torn), but each reader caches its
+   first snapshot forever: blatant regularity (staleness) violation
+   that only the history checker can see. *)
+module Stale (M : Arc_mem.Mem_intf.S) = struct
+  module Mem = M
+
+  type t = {
+    index : M.atomic;
+    sizes : M.atomic array;
+    buffers : M.buffer array;
+    capacity : int;
+  }
+
+  type reader = {
+    reg : t;
+    cache : M.buffer;
+    mutable cached_len : int;
+    mutable primed : bool;
+  }
+
+  let algorithm = "broken-stale"
+  let wait_free = true
+  let max_readers ~capacity_words:_ = None
+
+  let create ~readers:_ ~capacity ~init =
+    let t =
+      {
+        index = M.atomic 0;
+        sizes = [| M.atomic 0; M.atomic 0 |];
+        buffers = [| M.alloc capacity; M.alloc capacity |];
+        capacity;
+      }
+    in
+    M.write_words t.buffers.(0) ~src:init ~len:(Array.length init);
+    M.store t.sizes.(0) (Array.length init);
+    t
+
+  let reader reg _ = { reg; cache = M.alloc reg.capacity; cached_len = 0; primed = false }
+
+  let read_with rd ~f =
+    if not rd.primed then begin
+      let i = M.load rd.reg.index in
+      rd.cached_len <- M.load rd.reg.sizes.(i);
+      M.blit rd.reg.buffers.(i) rd.cache ~len:rd.cached_len;
+      rd.primed <- true
+    end;
+    f rd.cache rd.cached_len
+
+  let read_into rd ~dst =
+    read_with rd ~f:(fun buffer len ->
+        M.read_words buffer ~dst ~len;
+        len)
+
+  (* Ping-pong between two buffers with no reader tracking: the write
+     itself can also race a first read, but the headline defect is
+     staleness. *)
+  let write t ~src ~len =
+    let next = 1 - M.load t.index in
+    M.write_words t.buffers.(next) ~src ~len;
+    M.store t.sizes.(next) len;
+    M.store t.index next
+end

@@ -1,0 +1,213 @@
+(* Generic black-box test suite instantiated for every register
+   algorithm: anything in Register_intf.S must pass these.  Each
+   algorithm's own test module adds white-box cases on top. *)
+
+module Make (R : Arc_core.Register_intf.S) = struct
+  module P = Arc_workload.Payload.Make (R.Mem)
+
+  let stamped ~seq ~len =
+    let a = Array.make len 0 in
+    P.stamp a ~seq ~len;
+    a
+
+  let create ?(readers = 3) ?(capacity = 32) ?(init_len = capacity) () =
+    R.create ~readers ~capacity ~init:(stamped ~seq:0 ~len:init_len)
+
+  let read_seq rd =
+    R.read_with rd ~f:(fun buffer len ->
+        match P.validate buffer ~len with
+        | Ok seq -> seq
+        | Error msg -> Alcotest.failf "torn snapshot: %s" msg)
+
+  let read_len rd = R.read_with rd ~f:(fun _buffer len -> len)
+
+  let test_initial_value () =
+    let reg = create () in
+    for i = 0 to 2 do
+      let rd = R.reader reg i in
+      Alcotest.(check int) "initial seq" 0 (read_seq rd);
+      Alcotest.(check int) "initial length" 32 (read_len rd)
+    done
+
+  let test_write_then_read () =
+    let reg = create () in
+    let rd = R.reader reg 0 in
+    R.write reg ~src:(stamped ~seq:1 ~len:32) ~len:32;
+    Alcotest.(check int) "sees write 1" 1 (read_seq rd);
+    R.write reg ~src:(stamped ~seq:2 ~len:32) ~len:32;
+    Alcotest.(check int) "sees write 2" 2 (read_seq rd)
+
+  let test_repeated_reads_stable () =
+    let reg = create () in
+    let rd = R.reader reg 0 in
+    R.write reg ~src:(stamped ~seq:1 ~len:32) ~len:32;
+    for _ = 1 to 20 do
+      Alcotest.(check int) "unchanged register re-read" 1 (read_seq rd)
+    done
+
+  let test_variable_sizes () =
+    let reg = create ~capacity:64 () in
+    let rd = R.reader reg 0 in
+    List.iteri
+      (fun k len ->
+        let seq = k + 1 in
+        R.write reg ~src:(stamped ~seq ~len) ~len;
+        Alcotest.(check int) "length tracks write" len (read_len rd);
+        Alcotest.(check int) "content tracks write" seq (read_seq rd))
+      [ 1; 64; 7; 33; 2; 64; 1 ]
+
+  let test_slot_recycling () =
+    (* Far more writes than slots: buffers must be reclaimed and the
+       newest value always visible. *)
+    let reg = create ~readers:2 () in
+    let r0 = R.reader reg 0 and r1 = R.reader reg 1 in
+    for seq = 1 to 500 do
+      R.write reg ~src:(stamped ~seq ~len:32) ~len:32;
+      if seq mod 3 = 0 then Alcotest.(check int) "r0 current" seq (read_seq r0);
+      if seq mod 7 = 0 then Alcotest.(check int) "r1 current" seq (read_seq r1)
+    done
+
+  let test_lagging_reader_catches_up () =
+    let reg = create ~readers:2 () in
+    let eager = R.reader reg 0 and lazy_rd = R.reader reg 1 in
+    R.write reg ~src:(stamped ~seq:1 ~len:32) ~len:32;
+    Alcotest.(check int) "eager at 1" 1 (read_seq eager);
+    for seq = 2 to 50 do
+      R.write reg ~src:(stamped ~seq ~len:32) ~len:32;
+      Alcotest.(check int) "eager follows" seq (read_seq eager)
+    done;
+    Alcotest.(check int) "lazy jumps straight to 50" 50 (read_seq lazy_rd)
+
+  let test_read_into () =
+    let reg = create ~capacity:16 () in
+    let rd = R.reader reg 0 in
+    R.write reg ~src:(stamped ~seq:3 ~len:10) ~len:10;
+    let dst = Array.make 16 0 in
+    let len = R.read_into rd ~dst in
+    Alcotest.(check int) "length" 10 len;
+    (match P.validate_words dst ~len with
+    | Ok seq -> Alcotest.(check int) "copied content" 3 seq
+    | Error msg -> Alcotest.fail msg);
+    let short = Array.make 2 0 in
+    (match R.read_into rd ~dst:short with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "short dst accepted")
+
+  let test_create_validation () =
+    let raises f = match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected Invalid_argument"
+    in
+    raises (fun () -> create ~readers:0 ());
+    raises (fun () -> create ~capacity:0 ());
+    raises (fun () ->
+        R.create ~readers:1 ~capacity:4 ~init:(stamped ~seq:0 ~len:8));
+    (match R.max_readers ~capacity_words:8 with
+    | Some bound when bound < 10_000 ->
+      raises (fun () -> create ~readers:(bound + 1) ~capacity:8 ())
+    | _ -> ())
+
+  let test_write_validation () =
+    let reg = create ~capacity:8 () in
+    let raises f = match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected Invalid_argument"
+    in
+    raises (fun () -> R.write reg ~src:(Array.make 4 0) ~len:5);
+    raises (fun () -> R.write reg ~src:(Array.make 16 0) ~len:9);
+    raises (fun () -> R.write reg ~src:(Array.make 4 0) ~len:(-1))
+
+  let test_reader_validation () =
+    let reg = create ~readers:2 () in
+    let raises f = match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected Invalid_argument"
+    in
+    raises (fun () -> ignore (R.reader reg 2));
+    raises (fun () -> ignore (R.reader reg (-1)))
+
+  let test_randomized_sequential () =
+    (* Deterministic fuzz: random sizes and read points, always
+       validating full payloads. *)
+    let rng = Arc_util.Splitmix.of_int 2024 in
+    let reg = create ~readers:4 ~capacity:40 () in
+    let handles = Array.init 4 (R.reader reg) in
+    let current = ref 0 in
+    for step = 1 to 2000 do
+      if Arc_util.Splitmix.bool rng then begin
+        incr current;
+        let len = 1 + Arc_util.Splitmix.int rng 40 in
+        R.write reg ~src:(stamped ~seq:!current ~len) ~len
+      end
+      else begin
+        let rd = handles.(Arc_util.Splitmix.int rng 4) in
+        let seq = read_seq rd in
+        if seq <> !current then
+          Alcotest.failf "step %d: sequential read saw %d, expected %d" step seq
+            !current
+      end
+    done
+
+  (* Model-based property: any sequential op string behaves like the
+     trivial reference register (the freshest write wins), with qcheck
+     shrinking the op string on failure. *)
+  type op = Write of int (* len *) | Read of int (* reader id *)
+
+  let arb_ops readers capacity =
+    let open QCheck in
+    let gen_op =
+      Gen.(
+        frequency
+          [
+            (1, map (fun len -> Write (1 + (len mod capacity))) nat);
+            (3, map (fun r -> Read (r mod readers)) nat);
+          ])
+    in
+    let print_op = function
+      | Write len -> Printf.sprintf "Write %d" len
+      | Read r -> Printf.sprintf "Read %d" r
+    in
+    make ~print:(Print.list print_op) Gen.(list_size (int_range 1 120) gen_op)
+
+  let prop_matches_model =
+    let readers = 3 and capacity = 24 in
+    QCheck.Test.make ~name:"sequential ops match the reference model" ~count:150
+      (arb_ops readers capacity)
+      (fun ops ->
+        let reg = create ~readers ~capacity ~init_len:capacity () in
+        let handles = Array.init readers (R.reader reg) in
+        (* model: the freshest write's (seq, len) *)
+        let model_seq = ref 0 and model_len = ref capacity in
+        let next_seq = ref 0 in
+        List.for_all
+          (fun op ->
+            match op with
+            | Write len ->
+              incr next_seq;
+              R.write reg ~src:(stamped ~seq:!next_seq ~len) ~len;
+              model_seq := !next_seq;
+              model_len := len;
+              true
+            | Read r ->
+              let seq = read_seq handles.(r) in
+              let len = read_len handles.(r) in
+              seq = !model_seq && len = !model_len)
+          ops)
+
+  let suite =
+    [
+      Alcotest.test_case "initial value" `Quick test_initial_value;
+      QCheck_alcotest.to_alcotest prop_matches_model;
+      Alcotest.test_case "write then read" `Quick test_write_then_read;
+      Alcotest.test_case "repeated reads stable" `Quick test_repeated_reads_stable;
+      Alcotest.test_case "variable sizes" `Quick test_variable_sizes;
+      Alcotest.test_case "slot recycling" `Quick test_slot_recycling;
+      Alcotest.test_case "lagging reader catches up" `Quick
+        test_lagging_reader_catches_up;
+      Alcotest.test_case "read_into" `Quick test_read_into;
+      Alcotest.test_case "create validation" `Quick test_create_validation;
+      Alcotest.test_case "write validation" `Quick test_write_validation;
+      Alcotest.test_case "reader validation" `Quick test_reader_validation;
+      Alcotest.test_case "randomized sequential" `Quick test_randomized_sequential;
+    ]
+end

@@ -1,0 +1,118 @@
+(* The dynamic-allocation ARC variant (§3.3 implementation note). *)
+
+module Ad = Arc_core.Arc_dynamic.Make (Arc_mem.Real_mem)
+module P = Arc_workload.Payload.Make (Arc_mem.Real_mem)
+
+let check = Alcotest.(check int)
+
+let stamped ~seq ~len =
+  let a = Array.make len 0 in
+  P.stamp a ~seq ~len;
+  a
+
+let read_seq rd =
+  Ad.read_with rd ~f:(fun buffer len ->
+      match P.validate buffer ~len with
+      | Ok seq -> seq
+      | Error msg -> Alcotest.fail msg)
+
+let test_footprint_tracks_content () =
+  (* Static ARC would allocate (N+2) × capacity up front; the dynamic
+     variant starts with just the initial value. *)
+  let reg = Ad.create ~readers:4 ~capacity:100_000 ~init:(stamped ~seq:0 ~len:10) in
+  check "initial footprint = init only" 10 (Ad.footprint_words reg);
+  Ad.write reg ~src:(stamped ~seq:1 ~len:50) ~len:50;
+  check "one 50-word buffer added" 60 (Ad.footprint_words reg)
+
+let test_small_snapshots_stay_small () =
+  let readers = 3 in
+  let reg = Ad.create ~readers ~capacity:100_000 ~init:(stamped ~seq:0 ~len:8) in
+  for seq = 1 to 100 do
+    Ad.write reg ~src:(stamped ~seq ~len:8) ~len:8
+  done;
+  (* N+2 buffers of ≤ 8 words each, never 100k. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "footprint %d ≤ (N+2)×8" (Ad.footprint_words reg))
+    true
+    (Ad.footprint_words reg <= (readers + 2) * 8)
+
+let test_realloc_policy () =
+  let reg = Ad.create ~readers:1 ~capacity:4096 ~init:(stamped ~seq:0 ~len:64) in
+  let base = Ad.reallocations reg in
+  (* Stable size across many writes: at most one realloc per slot as
+     the 0-word empties grow, then none. *)
+  for seq = 1 to 50 do
+    Ad.write reg ~src:(stamped ~seq ~len:64) ~len:64
+  done;
+  let grown = Ad.reallocations reg - base in
+  Alcotest.(check bool)
+    (Printf.sprintf "steady size reallocates once per slot (%d ≤ 3)" grown)
+    true (grown <= 3);
+  (* Small oscillation within the hysteresis band: no reallocation. *)
+  let before = Ad.reallocations reg in
+  for seq = 51 to 80 do
+    Ad.write reg ~src:(stamped ~seq ~len:(if seq mod 2 = 0 then 64 else 40)) ~len:(if seq mod 2 = 0 then 64 else 40)
+  done;
+  check "no realloc inside the band" before (Ad.reallocations reg);
+  (* Big shrink triggers it. *)
+  Ad.write reg ~src:(stamped ~seq:81 ~len:4) ~len:4;
+  Alcotest.(check bool) "shrink reallocates" true (Ad.reallocations reg > before)
+
+let test_views_survive_recycling () =
+  (* A parked reader's view must stay intact even when its slot's
+     buffer has since been replaced by a smaller one (the GC keeps the
+     old array alive — the OCaml counterpart of the paper's
+     reclamation discussion). *)
+  let reg = Ad.create ~readers:2 ~capacity:1024 ~init:(stamped ~seq:0 ~len:8) in
+  let rd = Ad.reader reg 0 in
+  let other = Ad.reader reg 1 in
+  Ad.write reg ~src:(stamped ~seq:1 ~len:512) ~len:512;
+  let view, len = Ad.read_view rd in
+  (* Force the slots through recycling with very different sizes. *)
+  for seq = 2 to 60 do
+    let size = if seq mod 2 = 0 then 4 else 900 in
+    ignore (Ad.read_with other ~f:(fun _ _ -> ()));
+    Ad.write reg ~src:(stamped ~seq ~len:size) ~len:size
+  done;
+  (match P.validate view ~len with
+  | Ok seq -> check "old view intact" 1 seq
+  | Error msg -> Alcotest.failf "view corrupted: %s" msg);
+  check "len preserved" 512 len;
+  Alcotest.(check bool) "next read is fresh" true (read_seq rd = 60)
+
+module A = Arc_core.Arc.Make (Arc_mem.Real_mem)
+
+let test_sequential_equivalence_with_static () =
+  (* Same op string, same observable results as static ARC. *)
+  let rng = Arc_util.Splitmix.of_int 31 in
+  let cap = 64 in
+  let d = Ad.create ~readers:2 ~capacity:cap ~init:(stamped ~seq:0 ~len:8) in
+  let s = A.create ~readers:2 ~capacity:cap ~init:(stamped ~seq:0 ~len:8) in
+  let drd = Array.init 2 (Ad.reader d) and srd = Array.init 2 (A.reader s) in
+  let seq = ref 0 in
+  for _ = 1 to 1000 do
+    if Arc_util.Splitmix.bool rng then begin
+      incr seq;
+      let len = 1 + Arc_util.Splitmix.int rng cap in
+      let src = stamped ~seq:!seq ~len in
+      Ad.write d ~src ~len;
+      A.write s ~src ~len
+    end
+    else begin
+      let i = Arc_util.Splitmix.int rng 2 in
+      let a = Ad.read_into drd.(i) ~dst:(Array.make cap 0) in
+      let b = A.read_into srd.(i) ~dst:(Array.make cap 0) in
+      check "same snapshot length" b a
+    end
+  done
+
+let suite =
+  [
+    Alcotest.test_case "footprint tracks content" `Quick test_footprint_tracks_content;
+    Alcotest.test_case "small snapshots stay small" `Quick
+      test_small_snapshots_stay_small;
+    Alcotest.test_case "realloc policy" `Quick test_realloc_policy;
+    Alcotest.test_case "views survive recycling" `Quick test_views_survive_recycling;
+    Alcotest.test_case "sequential equivalence with static" `Quick
+      test_sequential_equivalence_with_static;
+  ]

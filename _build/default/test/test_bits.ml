@@ -1,0 +1,89 @@
+(* Bit helpers backing the RF baseline's trace-bit bookkeeping. *)
+
+module Bits = Arc_util.Bits
+
+let check = Alcotest.(check int)
+
+let test_popcount () =
+  check "zero" 0 (Bits.popcount 0);
+  check "one bit" 1 (Bits.popcount 1);
+  check "0b1011" 3 (Bits.popcount 0b1011);
+  check "max_int is all ones but the sign" (Sys.int_size - 1) (Bits.popcount max_int)
+
+let test_lowest_set () =
+  check "bit 0" 0 (Bits.lowest_set 1);
+  check "bit 5" 5 (Bits.lowest_set 0b100000);
+  check "mixed takes lowest" 1 (Bits.lowest_set 0b1010);
+  Alcotest.check_raises "zero rejected" (Invalid_argument "Bits.lowest_set: zero")
+    (fun () -> ignore (Bits.lowest_set 0))
+
+let test_iter_set () =
+  let seen = ref [] in
+  Bits.iter_set (fun i -> seen := i :: !seen) 0b101001;
+  Alcotest.(check (list int)) "ascending order" [ 0; 3; 5 ] (List.rev !seen);
+  let none = ref 0 in
+  Bits.iter_set (fun _ -> incr none) 0;
+  check "no bits in zero" 0 !none
+
+let test_fold_set () =
+  check "sum of indices" (0 + 3 + 5) (Bits.fold_set ( + ) 0 0b101001);
+  check "count equals popcount" (Bits.popcount 0b1111011)
+    (Bits.fold_set (fun acc _ -> acc + 1) 0 0b1111011)
+
+let test_ceil_log2 () =
+  check "1 -> 0" 0 (Bits.ceil_log2 1);
+  check "2 -> 1" 1 (Bits.ceil_log2 2);
+  check "3 -> 2" 2 (Bits.ceil_log2 3);
+  check "4 -> 2" 2 (Bits.ceil_log2 4);
+  check "5 -> 3" 3 (Bits.ceil_log2 5);
+  check "1024 -> 10" 10 (Bits.ceil_log2 1024);
+  check "1025 -> 11" 11 (Bits.ceil_log2 1025);
+  Alcotest.check_raises "non-positive rejected"
+    (Invalid_argument "Bits.ceil_log2: non-positive") (fun () ->
+      ignore (Bits.ceil_log2 0))
+
+let test_mask () =
+  check "mask 0" 0 (Bits.mask 0);
+  check "mask 4" 15 (Bits.mask 4);
+  check "mask 32" ((1 lsl 32) - 1) (Bits.mask 32)
+
+let test_test () =
+  Alcotest.(check bool) "bit set" true (Bits.test 0b100 2);
+  Alcotest.(check bool) "bit clear" false (Bits.test 0b100 1)
+
+let prop_popcount_via_fold =
+  QCheck.Test.make ~name:"popcount agrees with fold_set" ~count:500
+    QCheck.(int_bound max_int)
+    (fun w -> Bits.popcount w = Bits.fold_set (fun acc _ -> acc + 1) 0 w)
+
+let prop_iter_ascending =
+  QCheck.Test.make ~name:"iter_set visits ascending set bits" ~count:500
+    QCheck.(int_bound max_int)
+    (fun w ->
+      let seen = ref [] in
+      Bits.iter_set (fun i -> seen := i :: !seen) w;
+      let l = List.rev !seen in
+      List.for_all (fun i -> Bits.test w i) l
+      && List.sort compare l = l
+      && List.length l = Bits.popcount w)
+
+let prop_ceil_log2_bounds =
+  QCheck.Test.make ~name:"2^(ceil_log2 n - 1) < n <= 2^(ceil_log2 n)" ~count:500
+    QCheck.(int_range 1 (1 lsl 30))
+    (fun n ->
+      let k = Bits.ceil_log2 n in
+      (1 lsl k) >= n && (k = 0 || 1 lsl (k - 1) < n))
+
+let suite =
+  [
+    Alcotest.test_case "popcount" `Quick test_popcount;
+    Alcotest.test_case "lowest_set" `Quick test_lowest_set;
+    Alcotest.test_case "iter_set" `Quick test_iter_set;
+    Alcotest.test_case "fold_set" `Quick test_fold_set;
+    Alcotest.test_case "ceil_log2" `Quick test_ceil_log2;
+    Alcotest.test_case "mask" `Quick test_mask;
+    Alcotest.test_case "test" `Quick test_test;
+    QCheck_alcotest.to_alcotest prop_popcount_via_fold;
+    QCheck_alcotest.to_alcotest prop_iter_ascending;
+    QCheck_alcotest.to_alcotest prop_ceil_log2_bounds;
+  ]

@@ -1,0 +1,240 @@
+(* Exhaustive bounded exploration: sanity of the enumerator itself,
+   then tiny register scenarios verified over ALL interleavings —
+   the paper's §4 case analyses as exhaustively checked facts. *)
+
+module Explore = Arc_vsched.Explore
+module Sched = Arc_vsched.Sched
+module Sim = Arc_vsched.Sim_mem
+module P = Arc_workload.Payload.Make (Arc_vsched.Sim_mem)
+
+let check = Alcotest.(check int)
+
+(* Two fibers, each a single cede: schedules = choices at the points
+   where both are runnable.  Counting them validates the DFS. *)
+let test_enumerates_all_interleavings () =
+  let seen = Hashtbl.create 16 in
+  let outcome =
+    Explore.exhaustive
+      ~scenario:(fun () ->
+        let log = ref [] in
+        let fiber i () =
+          log := (2 * i) :: !log;
+          Sched.cede ();
+          log := (2 * i) + 1 :: !log
+        in
+        let checkf () = Hashtbl.replace seen (List.rev !log) () in
+        ([| fiber 0; fiber 1 |], checkf))
+      ()
+  in
+  Alcotest.(check bool) "exhausted" true outcome.Explore.exhausted;
+  (* Interleavings of two 2-event sequences preserving order: C(4,2) = 6. *)
+  check "all 6 distinct interleavings observed" 6 (Hashtbl.length seen);
+  Alcotest.(check bool) "at least 6 schedules run" true (outcome.Explore.schedules >= 6)
+
+let test_max_schedules_cap () =
+  let outcome =
+    Explore.exhaustive ~max_schedules:3
+      ~scenario:(fun () ->
+        let fiber () =
+          for _ = 1 to 4 do
+            Sched.cede ()
+          done
+        in
+        ([| fiber; fiber; fiber |], fun () -> ()))
+      ()
+  in
+  check "stopped at cap" 3 outcome.Explore.schedules;
+  Alcotest.(check bool) "not exhausted" false outcome.Explore.exhausted
+
+(* ARC micro-scenario, exhaustively: one write of a 3-word snapshot
+   racing one read.  Every schedule must yield an untorn snapshot of
+   either the initial value or the written one, and leave the register
+   in a state satisfying Lemma 4.1. *)
+module Arc = Arc_core.Arc.Make (Arc_vsched.Sim_mem)
+
+let test_arc_write_read_race_exhaustive () =
+  let words = 3 in
+  let outcome =
+    Explore.exhaustive
+      ~scenario:(fun () ->
+        let init = Array.make words 0 in
+        P.stamp init ~seq:0 ~len:words;
+        let reg = Arc.create ~readers:1 ~capacity:words ~init in
+        let observed = ref (-1) in
+        let writer () =
+          let src = Array.make words 0 in
+          P.stamp src ~seq:1 ~len:words;
+          Arc.write reg ~src ~len:words
+        in
+        let reader () =
+          let rd = Arc.reader reg 0 in
+          observed :=
+            Arc.read_with rd ~f:(fun buffer len ->
+                match P.validate buffer ~len with
+                | Ok seq -> seq
+                | Error msg -> Alcotest.failf "torn snapshot: %s" msg)
+        in
+        let checkf () =
+          if not (!observed = 0 || !observed = 1) then
+            Alcotest.failf "impossible value %d" !observed;
+          if not (Arc.Debug.presence_bound_holds reg) then
+            Alcotest.fail "presence ledger broken";
+          if not (Arc.Debug.free_slot_exists reg) then
+            Alcotest.fail "Lemma 4.1 violated"
+        in
+        ([| writer; reader |], checkf))
+      ()
+  in
+  Alcotest.(check bool) "space exhausted" true outcome.Explore.exhausted;
+  Alcotest.(check bool)
+    (Printf.sprintf "non-trivial space (%d schedules)" outcome.Explore.schedules)
+    true
+    (outcome.Explore.schedules > 50)
+
+(* Two sequential reads racing one write: the read pair must never
+   observe new-then-old (Criterion 1's forbidden pattern), in ANY
+   schedule. *)
+let test_arc_no_inversion_exhaustive () =
+  let words = 2 in
+  let outcome =
+    Explore.exhaustive
+      ~scenario:(fun () ->
+        let init = Array.make words 0 in
+        P.stamp init ~seq:0 ~len:words;
+        let reg = Arc.create ~readers:1 ~capacity:words ~init in
+        let first = ref (-1) and second = ref (-1) in
+        let writer () =
+          let src = Array.make words 0 in
+          P.stamp src ~seq:1 ~len:words;
+          Arc.write reg ~src ~len:words
+        in
+        let reader () =
+          let rd = Arc.reader reg 0 in
+          let get () =
+            Arc.read_with rd ~f:(fun buffer len ->
+                match P.validate buffer ~len with
+                | Ok seq -> seq
+                | Error msg -> Alcotest.failf "torn: %s" msg)
+          in
+          first := get ();
+          second := get ()
+        in
+        let checkf () =
+          if !second < !first then
+            Alcotest.failf "new-old inversion: %d then %d" !first !second
+        in
+        ([| writer; reader |], checkf))
+      ()
+  in
+  Alcotest.(check bool) "space exhausted" true outcome.Explore.exhausted
+
+(* The unsound single-buffer register from the negative controls must
+   be convicted by SOME schedule in the exhaustive space — showing the
+   enumerator actually reaches the bad interleavings. *)
+let test_unsound_convicted_exhaustively () =
+  let words = 3 in
+  let torn_schedules = ref 0 in
+  let outcome =
+    Explore.exhaustive
+      ~scenario:(fun () ->
+        let module B = Broken_regs.Torn (Arc_vsched.Sim_mem) in
+        let init = Array.make words 0 in
+        P.stamp init ~seq:0 ~len:words;
+        let reg = B.create ~readers:1 ~capacity:words ~init in
+        let writer () =
+          let src = Array.make words 0 in
+          P.stamp src ~seq:1 ~len:words;
+          B.write reg ~src ~len:words
+        in
+        let reader () =
+          let rd = B.reader reg 0 in
+          B.read_with rd ~f:(fun buffer len ->
+              match P.validate buffer ~len with
+              | Ok _ -> ()
+              | Error _ -> incr torn_schedules)
+        in
+        ([| writer; reader |], fun () -> ()))
+      ()
+  in
+  Alcotest.(check bool) "exhausted" true outcome.Explore.exhausted;
+  Alcotest.(check bool)
+    (Printf.sprintf "torn in %d schedules" !torn_schedules)
+    true (!torn_schedules > 0)
+
+let suite =
+  [
+    Alcotest.test_case "enumerates all interleavings" `Quick
+      test_enumerates_all_interleavings;
+    Alcotest.test_case "max_schedules cap" `Quick test_max_schedules_cap;
+    Alcotest.test_case "arc write/read race exhaustive" `Quick
+      test_arc_write_read_race_exhaustive;
+    Alcotest.test_case "arc no inversion exhaustive" `Quick
+      test_arc_no_inversion_exhaustive;
+    Alcotest.test_case "unsound register convicted exhaustively" `Quick
+      test_unsound_convicted_exhaustively;
+  ]
+
+(* Same exhaustive write/read race for the other wait-free
+   algorithms.  (Lock-based registers are excluded by construction:
+   a spin loop makes the decision tree infinite.) *)
+module Rf = Arc_baselines.Rf.Make (Arc_vsched.Sim_mem)
+module Pt = Arc_baselines.Peterson.Make (Arc_vsched.Sim_mem)
+module Sp = Arc_baselines.Simpson_reg.Make (Arc_vsched.Sim_mem)
+
+let race_scenario (type t r)
+    (module R : Arc_core.Register_intf.S
+      with type t = t
+       and type reader = r
+       and type Mem.buffer = Arc_vsched.Sim_mem.buffer) () =
+  let words = 2 in
+  let init = Array.make words 0 in
+  P.stamp init ~seq:0 ~len:words;
+  let reg = R.create ~readers:1 ~capacity:words ~init in
+  let observed = ref (-1) in
+  let writer () =
+    let src = Array.make words 0 in
+    P.stamp src ~seq:1 ~len:words;
+    R.write reg ~src ~len:words
+  in
+  let reader () =
+    let rd = R.reader reg 0 in
+    observed :=
+      R.read_with rd ~f:(fun buffer len ->
+          match P.validate buffer ~len with
+          | Ok seq -> seq
+          | Error msg -> Alcotest.failf "%s: torn snapshot: %s" R.algorithm msg)
+  in
+  let checkf () =
+    if not (!observed = 0 || !observed = 1) then
+      Alcotest.failf "%s: impossible value %d" R.algorithm !observed
+  in
+  ([| writer; reader |], checkf)
+
+let exhaustive_race ?(require_exhausted = true) ?(max_schedules = 400_000) name
+    scenario =
+  Alcotest.test_case
+    (name
+    ^
+    if require_exhausted then " write/read race exhaustive"
+    else " write/read race (bounded DFS)")
+    `Quick
+    (fun () ->
+      let outcome = Explore.exhaustive ~max_schedules ~scenario () in
+      if require_exhausted then
+        Alcotest.(check bool) "space exhausted" true outcome.Explore.exhausted;
+      Alcotest.(check bool)
+        (Printf.sprintf "non-trivial space (%d schedules)"
+           outcome.Explore.schedules)
+        true
+        (outcome.Explore.schedules > 20))
+
+let suite =
+  suite
+  @ [
+      exhaustive_race "rf" (race_scenario (module Rf));
+      (* Peterson's two-buffer copies make the full space ≈10^8
+         schedules; check a 150k-schedule DFS prefix instead. *)
+      exhaustive_race ~require_exhausted:false ~max_schedules:150_000 "peterson"
+        (race_scenario (module Pt));
+      exhaustive_race "simpson" (race_scenario (module Sp));
+    ]

@@ -1,0 +1,161 @@
+(* Harness machinery: the barrier, the deterministic RMW-count runner
+   (with the paper's E4 comparisons as assertions), and the registry. *)
+
+module Barrier = Arc_harness.Barrier
+module Registry = Arc_harness.Registry
+module Config = Arc_harness.Config
+module Count_runner = Arc_harness.Count_runner
+
+let check = Alcotest.(check int)
+
+let test_barrier_aligns_domains () =
+  let parties = 4 in
+  let b = Barrier.create ~parties in
+  let handles = Array.init parties (fun _ -> Barrier.join b) in
+  let phase = Atomic.make 0 in
+  let errors = Atomic.make 0 in
+  let worker i () =
+    for round = 1 to 50 do
+      Barrier.wait handles.(i);
+      (* Everyone must observe the same round number between waits. *)
+      if i = 0 then Atomic.set phase round
+      else begin
+        Barrier.wait handles.(i);
+        if Atomic.get phase <> round then Atomic.incr errors
+      end;
+      if i = 0 then Barrier.wait handles.(0)
+    done
+  in
+  let domains = Array.init parties (fun i -> Domain.spawn (worker i)) in
+  Array.iter Domain.join domains;
+  check "no phase skew" 0 (Atomic.get errors)
+
+let test_barrier_too_many_joins () =
+  let b = Barrier.create ~parties:1 in
+  let _ = Barrier.join b in
+  match Barrier.join b with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "over-subscription accepted"
+
+let test_registry_contents () =
+  Alcotest.(check (list string))
+    "registry names"
+    [
+      "arc"; "arc-nohint"; "arc-dynamic"; "rf"; "peterson"; "rwlock"; "seqlock";
+      "lamport77"; "simpson";
+    ]
+    Registry.names;
+  check "paper set is the four compared algorithms" 4 (List.length Registry.paper_set);
+  Alcotest.(check bool) "arc is wait-free" true (Registry.find "arc").Registry.wait_free;
+  Alcotest.(check bool) "rwlock is not" false
+    (Registry.find "rwlock").Registry.wait_free;
+  (match Registry.find "no-such" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unknown name found")
+
+let counts name ~reads_per_write =
+  let entry = Registry.find name in
+  entry.Registry.count ~readers:4 ~size_words:32 ~rounds:50 ~reads_per_write
+
+let test_arc_rmw_per_read_shrinks_with_rpw () =
+  (* With r reads between writes, only the first read misses: RMW/read
+     = 2/r for ARC. *)
+  let one = counts "arc" ~reads_per_write:1 in
+  let four = counts "arc" ~reads_per_write:4 in
+  let sixteen = counts "arc" ~reads_per_write:16 in
+  Alcotest.(check (float 1e-9)) "rpw=1: 2 RMW per read" 2. one.Count_runner.rmw_per_read;
+  Alcotest.(check (float 1e-9)) "rpw=4: 0.5 RMW per read" 0.5 four.Count_runner.rmw_per_read;
+  Alcotest.(check (float 1e-9)) "rpw=16: 0.125 RMW per read" 0.125
+    sixteen.Count_runner.rmw_per_read
+
+let test_rf_rmw_per_read_constant () =
+  let one = counts "rf" ~reads_per_write:1 in
+  let sixteen = counts "rf" ~reads_per_write:16 in
+  Alcotest.(check (float 1e-9)) "always 1 RMW per read" 1. one.Count_runner.rmw_per_read;
+  Alcotest.(check (float 1e-9)) "independent of staleness" 1.
+    sixteen.Count_runner.rmw_per_read
+
+let test_e4_ordering () =
+  (* The paper's explanation of Fig. 1: for read-dominated windows,
+     ARC executes strictly fewer RMWs per read than RF, which executes
+     fewer than the lock (two per uncontended read: lock + unlock). *)
+  let arc = counts "arc" ~reads_per_write:8 in
+  let rf = counts "rf" ~reads_per_write:8 in
+  let lock = counts "rwlock" ~reads_per_write:8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "arc (%.3f) < rf (%.3f)" arc.Count_runner.rmw_per_read
+       rf.Count_runner.rmw_per_read)
+    true
+    (arc.Count_runner.rmw_per_read < rf.Count_runner.rmw_per_read);
+  Alcotest.(check bool)
+    (Printf.sprintf "rf (%.3f) < rwlock (%.3f)" rf.Count_runner.rmw_per_read
+       lock.Count_runner.rmw_per_read)
+    true
+    (rf.Count_runner.rmw_per_read < lock.Count_runner.rmw_per_read)
+
+let test_write_side_counts () =
+  let arc = counts "arc" ~reads_per_write:2 in
+  let peterson = counts "peterson" ~reads_per_write:2 in
+  Alcotest.(check (float 1e-9)) "arc writes 1 RMW" 1. arc.Count_runner.rmw_per_write;
+  Alcotest.(check (float 1e-9)) "peterson writes 0 RMW" 0.
+    peterson.Count_runner.rmw_per_write;
+  (* one content copy per ARC write, ≥ 2 copies per Peterson write *)
+  Alcotest.(check (float 1e-9)) "arc copies size words" 32.
+    arc.Count_runner.word_writes_per_write;
+  Alcotest.(check bool)
+    (Printf.sprintf "peterson copies ≥ 2 buffers (%.0f words)"
+       peterson.Count_runner.word_writes_per_write)
+    true
+    (peterson.Count_runner.word_writes_per_write >= 64.)
+
+let test_count_runner_validation () =
+  let entry = Registry.find "arc" in
+  match entry.Registry.count ~readers:0 ~size_words:8 ~rounds:1 ~reads_per_write:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad parameters accepted"
+
+let test_sim_runner_validation () =
+  let entry = Registry.find "arc" in
+  let bad cfg =
+    match entry.Registry.run_sim cfg with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "bad sim config accepted"
+  in
+  bad { Config.default_sim with Config.sim_readers = 0 };
+  bad { Config.default_sim with Config.sim_size_words = 0 };
+  bad { Config.default_sim with Config.max_steps = 0 }
+
+let test_real_runner_validation () =
+  let entry = Registry.find "rf" in
+  match
+    entry.Registry.run_real { Config.default_real with Config.readers = 1000 }
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "RF must reject 1000 readers"
+
+let test_sim_runner_deterministic () =
+  let entry = Registry.find "arc" in
+  let run () =
+    let r =
+      entry.Registry.run_sim
+        { Config.default_sim with Config.max_steps = 20_000; sim_seed = 5 }
+    in
+    (r.Config.reads, r.Config.writes, r.Config.duration)
+  in
+  Alcotest.(check bool) "same seed, same result" true (run () = run ())
+
+let suite =
+  [
+    Alcotest.test_case "barrier aligns domains" `Quick test_barrier_aligns_domains;
+    Alcotest.test_case "barrier over-subscription" `Quick test_barrier_too_many_joins;
+    Alcotest.test_case "registry contents" `Quick test_registry_contents;
+    Alcotest.test_case "arc RMW/read shrinks with rpw" `Quick
+      test_arc_rmw_per_read_shrinks_with_rpw;
+    Alcotest.test_case "rf RMW/read constant" `Quick test_rf_rmw_per_read_constant;
+    Alcotest.test_case "E4 ordering arc < rf < lock" `Quick test_e4_ordering;
+    Alcotest.test_case "write-side counts" `Quick test_write_side_counts;
+    Alcotest.test_case "count runner validation" `Quick test_count_runner_validation;
+    Alcotest.test_case "sim runner validation" `Quick test_sim_runner_validation;
+    Alcotest.test_case "real runner validation" `Quick test_real_runner_validation;
+    Alcotest.test_case "sim runner deterministic" `Quick test_sim_runner_deterministic;
+  ]

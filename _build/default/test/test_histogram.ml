@@ -1,0 +1,84 @@
+(* Power-of-two histogram used for latency tails. *)
+
+module H = Arc_util.Histogram
+
+let check = Alcotest.(check int)
+
+let test_basic () =
+  let h = H.create () in
+  List.iter (H.record h) [ 1; 2; 3; 100; 1000 ];
+  check "count" 5 (H.count h);
+  check "max exact" 1000 (H.max_value h)
+
+let test_percentiles_bounded () =
+  let h = H.create () in
+  for v = 1 to 1000 do
+    H.record h v
+  done;
+  let p50 = H.percentile h 50. in
+  (* Upper bound within a factor of two of the true percentile. *)
+  Alcotest.(check bool) (Printf.sprintf "p50=%d in [500, 1023]" p50) true
+    (p50 >= 500 && p50 <= 1023);
+  check "p100 is the max" 1000 (H.percentile h 100.)
+
+let test_zero_and_negative () =
+  let h = H.create () in
+  H.record h 0;
+  H.record h (-5);
+  check "bucketed at zero" 0 (H.percentile h 100.);
+  check "count" 2 (H.count h)
+
+let test_empty_percentile () =
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Histogram.percentile: empty") (fun () ->
+      ignore (H.percentile (H.create ()) 50.))
+
+let test_merge () =
+  let a = H.create () and b = H.create () in
+  H.record a 10;
+  H.record b 10_000;
+  H.merge_into ~src:a ~dst:b;
+  check "merged count" 2 (H.count b);
+  check "merged max" 10_000 (H.max_value b)
+
+let test_buckets_ascending () =
+  let h = H.create () in
+  List.iter (H.record h) [ 1; 1; 5; 5; 5; 300 ];
+  let bs = H.buckets h in
+  check "three buckets" 3 (List.length bs);
+  let counts = List.map (fun (_, _, c) -> c) bs in
+  Alcotest.(check (list int)) "counts" [ 2; 3; 1 ] counts;
+  List.iter
+    (fun (lo, hi, _) -> Alcotest.(check bool) "lo<=hi" true (lo <= hi))
+    bs
+
+let prop_percentile_upper_bound =
+  QCheck.Test.make ~name:"percentile dominates at least p% of samples" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 200) (int_bound 1_000_000))
+    (fun samples ->
+      let h = H.create () in
+      List.iter (H.record h) samples;
+      let p = 90. in
+      let bound = H.percentile h p in
+      let below = List.length (List.filter (fun v -> max v 0 <= bound) samples) in
+      float_of_int below >= p /. 100. *. float_of_int (List.length samples))
+
+let prop_max_exact =
+  QCheck.Test.make ~name:"max_value is exact" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 100) (int_bound 1_000_000))
+    (fun samples ->
+      let h = H.create () in
+      List.iter (H.record h) samples;
+      H.max_value h = List.fold_left max 0 samples)
+
+let suite =
+  [
+    Alcotest.test_case "basic" `Quick test_basic;
+    Alcotest.test_case "percentiles bounded" `Quick test_percentiles_bounded;
+    Alcotest.test_case "zero and negative" `Quick test_zero_and_negative;
+    Alcotest.test_case "empty percentile" `Quick test_empty_percentile;
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "buckets ascending" `Quick test_buckets_ascending;
+    QCheck_alcotest.to_alcotest prop_percentile_upper_bound;
+    QCheck_alcotest.to_alcotest prop_max_exact;
+  ]

@@ -1,0 +1,83 @@
+(* History construction and the per-thread recorder. *)
+
+module History = Arc_trace.History
+
+let ev kind ~thread ~seq ~i ~r = History.event kind ~thread ~seq ~invoked:i ~returned:r
+
+let test_event_validation () =
+  let raises f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  raises (fun () -> ev History.Read ~thread:0 ~seq:1 ~i:10 ~r:5);
+  raises (fun () -> ev History.Write ~thread:0 ~seq:(-1) ~i:0 ~r:1)
+
+let test_sorting () =
+  let h =
+    History.of_events
+      [
+        ev History.Read ~thread:1 ~seq:2 ~i:30 ~r:40;
+        ev History.Write ~thread:0 ~seq:1 ~i:0 ~r:5;
+        ev History.Write ~thread:0 ~seq:2 ~i:10 ~r:15;
+        ev History.Read ~thread:2 ~seq:1 ~i:6 ~r:9;
+      ]
+  in
+  Alcotest.(check int) "size" 4 (History.size h);
+  let invokes = List.map (fun (e : History.event) -> e.invoked) (History.events h) in
+  Alcotest.(check (list int)) "sorted by invocation" [ 0; 6; 10; 30 ] invokes;
+  let wseqs = List.map (fun (e : History.event) -> e.seq) (History.writes h) in
+  Alcotest.(check (list int)) "writes by seq" [ 1; 2 ] wseqs;
+  Alcotest.(check int) "reads split out" 2 (List.length (History.reads h))
+
+let test_recorder_roundtrip () =
+  let r = History.Recorder.create ~threads:3 ~capacity:10 in
+  History.Recorder.record r ~thread:0 History.Write ~seq:1 ~invoked:0 ~returned:2;
+  History.Recorder.record r ~thread:1 History.Read ~seq:1 ~invoked:3 ~returned:4;
+  History.Recorder.record r ~thread:2 History.Read ~seq:0 ~invoked:1 ~returned:2;
+  let h = History.Recorder.history r in
+  Alcotest.(check int) "all events merged" 3 (History.size h);
+  Alcotest.(check int) "no drops" 0 (History.Recorder.dropped r)
+
+let test_recorder_capacity () =
+  let r = History.Recorder.create ~threads:1 ~capacity:2 in
+  for i = 1 to 5 do
+    History.Recorder.record r ~thread:0 History.Read ~seq:0 ~invoked:i ~returned:i
+  done;
+  Alcotest.(check int) "kept capacity" 2 (History.size (History.Recorder.history r));
+  Alcotest.(check int) "dropped the rest" 3 (History.Recorder.dropped r)
+
+let test_recorder_parallel_threads () =
+  (* Each domain appends only to its own cell: merging after join must
+     lose nothing. *)
+  let r = History.Recorder.create ~threads:4 ~capacity:1000 in
+  let work t () =
+    for i = 0 to 999 do
+      History.Recorder.record r ~thread:t History.Read ~seq:0 ~invoked:i ~returned:i
+    done
+  in
+  let domains = List.init 4 (fun t -> Domain.spawn (work t)) in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "4000 events" 4000 (History.size (History.Recorder.history r))
+
+let prop_of_events_preserves =
+  QCheck.Test.make ~name:"of_events preserves every event" ~count:200
+    QCheck.(small_list (pair (pair small_nat small_nat) small_nat))
+    (fun triples ->
+      let evs =
+        List.map
+          (fun ((a, b), seq) ->
+            let i = min a b and r = max a b in
+            ev History.Read ~thread:0 ~seq ~i ~r)
+          triples
+      in
+      History.size (History.of_events evs) = List.length evs)
+
+let suite =
+  [
+    Alcotest.test_case "event validation" `Quick test_event_validation;
+    Alcotest.test_case "sorting" `Quick test_sorting;
+    Alcotest.test_case "recorder roundtrip" `Quick test_recorder_roundtrip;
+    Alcotest.test_case "recorder capacity" `Quick test_recorder_capacity;
+    Alcotest.test_case "recorder parallel" `Quick test_recorder_parallel_threads;
+    QCheck_alcotest.to_alcotest prop_of_events_preserves;
+  ]

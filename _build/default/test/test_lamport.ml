@@ -1,0 +1,97 @@
+(* Lamport's 1977 register: correctness plus the documented weakness —
+   wait-free writes, merely lock-free reads (§2 of the paper). *)
+
+module Counting = Arc_mem.Counting.Make (Arc_mem.Real_mem)
+module Intf = Arc_mem.Mem_intf
+module Lp = Arc_baselines.Lamport_reg.Make (Arc_mem.Real_mem)
+module Lp_cnt = Arc_baselines.Lamport_reg.Make (Counting)
+module Lp_sim = Arc_baselines.Lamport_reg.Make (Arc_vsched.Sim_mem)
+module P_sim = Arc_workload.Payload.Make (Arc_vsched.Sim_mem)
+module Sched = Arc_vsched.Sched
+module Strategy = Arc_vsched.Strategy
+
+let check = Alcotest.(check int)
+
+let test_no_rmw () =
+  (* Historical construction from plain reads/writes only. *)
+  Counting.reset ();
+  let reg = Lp_cnt.create ~readers:2 ~capacity:8 ~init:(Array.make 8 1) in
+  let rd = Lp_cnt.reader reg 0 in
+  Lp_cnt.write reg ~src:(Array.make 8 2) ~len:8;
+  ignore (Lp_cnt.read_with rd ~f:(fun _ _ -> ()));
+  check "zero RMW" 0 (Counting.counts ()).Intf.rmw
+
+let test_sequential_no_retries () =
+  let reg = Lp.create ~readers:1 ~capacity:8 ~init:(Array.make 8 0) in
+  let rd = Lp.reader reg 0 in
+  for _ = 1 to 20 do
+    ignore (Lp.read_with rd ~f:(fun _ _ -> ()))
+  done;
+  check "no retries uncontended" 0 (Lp.retries rd)
+
+let test_never_torn_under_schedules () =
+  for seed = 0 to 19 do
+    let size = 16 in
+    let init = Array.make size 0 in
+    P_sim.stamp init ~seq:0 ~len:size;
+    let reg = Lp_sim.create ~readers:2 ~capacity:size ~init in
+    let src = Array.make size 0 in
+    let reader i () =
+      let rd = Lp_sim.reader reg i in
+      for _ = 1 to 8 do
+        ignore
+          (Lp_sim.read_with rd ~f:(fun buffer len ->
+               match P_sim.validate buffer ~len with
+               | Ok seq -> seq
+               | Error msg -> Alcotest.failf "seed %d: torn: %s" seed msg))
+      done
+    in
+    let writer () =
+      for seq = 1 to 12 do
+        P_sim.stamp src ~seq ~len:size;
+        Lp_sim.write reg ~src ~len:size
+      done
+    in
+    ignore
+      (Sched.run ~strategy:(Strategy.random ~seed) [| writer; reader 0; reader 1 |])
+  done
+
+let test_reader_starvation_is_real () =
+  (* The §2 critique, demonstrated: a writer favored by the scheduler
+     keeps a reader retrying indefinitely — the read only completes
+     once the writer stops.  Wait-free ARC under the same schedule
+     finishes immediately. *)
+  let size = 32 in
+  let reg = Lp_sim.create ~readers:1 ~capacity:size ~init:(Array.make size 0) in
+  let src = Array.make size 0 in
+  let read_latency = ref 0 in
+  let writer () =
+    for _ = 1 to 30 do
+      Lp_sim.write reg ~src ~len:size
+    done
+  in
+  let reader () =
+    let rd = Lp_sim.reader reg 0 in
+    let t0 = Sched.now () in
+    ignore (Lp_sim.read_with rd ~f:(fun _ _ -> ()));
+    read_latency := Sched.now () - t0
+  in
+  (* Plain fair round-robin suffices: every read attempt overlaps a
+     write (the 32-word copy is slower than the version bump), so the
+     reader retries until the writer has completely stopped. *)
+  ignore (Sched.run ~strategy:(Strategy.round_robin ()) [| writer; reader |]);
+  Alcotest.(check bool)
+    (Printf.sprintf "read could only complete after all 30 writes (latency %d)"
+       !read_latency)
+    true
+    (!read_latency > 500)
+
+let suite =
+  [
+    Alcotest.test_case "no RMW" `Quick test_no_rmw;
+    Alcotest.test_case "sequential no retries" `Quick test_sequential_no_retries;
+    Alcotest.test_case "never torn under schedules" `Quick
+      test_never_torn_under_schedules;
+    Alcotest.test_case "reader starvation (§2 critique)" `Quick
+      test_reader_starvation_is_real;
+  ]

@@ -1,0 +1,164 @@
+(* Lock-based and seqlock baselines: mutual exclusion, retry
+   accounting, and the starvation behaviours that separate them from
+   the wait-free algorithms (DESIGN.md §5, ablation 4). *)
+
+module Rw_sim = Arc_baselines.Rwlock_reg.Make (Arc_vsched.Sim_mem)
+module Sq_sim = Arc_baselines.Seqlock_reg.Make (Arc_vsched.Sim_mem)
+module Arc_sim = Arc_core.Arc.Make (Arc_vsched.Sim_mem)
+module Sq = Arc_baselines.Seqlock_reg.Make (Arc_mem.Real_mem)
+module P_sim = Arc_workload.Payload.Make (Arc_vsched.Sim_mem)
+module Sched = Arc_vsched.Sched
+module Strategy = Arc_vsched.Strategy
+
+let check = Alcotest.(check int)
+
+let stamped_sim ~seq ~len =
+  let a = Array.make len 0 in
+  P_sim.stamp a ~seq ~len;
+  a
+
+let test_rwlock_never_torn_under_schedules () =
+  for seed = 0 to 19 do
+    let size = 8 in
+    let reg =
+      Rw_sim.create ~readers:2 ~capacity:size ~init:(stamped_sim ~seq:0 ~len:size)
+    in
+    let src = Array.make size 0 in
+    let reader i () =
+      let rd = Rw_sim.reader reg i in
+      for _ = 1 to 8 do
+        ignore
+          (Rw_sim.read_with rd ~f:(fun buffer len ->
+               match P_sim.validate buffer ~len with
+               | Ok seq -> seq
+               | Error msg -> Alcotest.failf "seed %d: torn under lock: %s" seed msg))
+      done
+    in
+    let writer () =
+      for seq = 1 to 12 do
+        P_sim.stamp src ~seq ~len:size;
+        Rw_sim.write reg ~src ~len:size
+      done
+    in
+    ignore
+      (Sched.run ~strategy:(Strategy.random ~seed) [| writer; reader 0; reader 1 |])
+  done
+
+let test_seqlock_retries_under_contention () =
+  (* An adversarial schedule that preempts the reader mid-copy forces
+     seqlock retries — the lock-free-but-not-wait-free signature. *)
+  let size = 32 in
+  let total_retries = ref 0 in
+  for seed = 0 to 19 do
+    let reg =
+      Sq_sim.create ~readers:1 ~capacity:size ~init:(stamped_sim ~seq:0 ~len:size)
+    in
+    let src = Array.make size 0 in
+    let rd = ref None in
+    let reader () =
+      let handle = Sq_sim.reader reg 0 in
+      rd := Some handle;
+      for _ = 1 to 5 do
+        ignore
+          (Sq_sim.read_with handle ~f:(fun buffer len ->
+               match P_sim.validate buffer ~len with
+               | Ok seq -> seq
+               | Error msg -> Alcotest.failf "seqlock returned torn data: %s" msg))
+      done
+    in
+    let writer () =
+      for seq = 1 to 30 do
+        P_sim.stamp src ~seq ~len:size;
+        Sq_sim.write reg ~src ~len:size
+      done
+    in
+    ignore (Sched.run ~strategy:(Strategy.random ~seed) [| writer; reader |]);
+    total_retries := !total_retries + Sq_sim.retries (Option.get !rd)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "retries observed across seeds (%d)" !total_retries)
+    true (!total_retries > 0)
+
+let test_seqlock_sequential_no_retries () =
+  let reg = Sq.create ~readers:1 ~capacity:8 ~init:(Array.make 8 0) in
+  let rd = Sq.reader reg 0 in
+  for _ = 1 to 10 do
+    ignore (Sq.read_with rd ~f:(fun _ _ -> ()))
+  done;
+  check "no retries without contention" 0 (Sq.retries rd)
+
+(* The wait-freedom separation (Fig. 2's mechanism): steal the writer
+   while it holds the lock and measure how long a reader op takes.
+   ARC readers finish in bounded simulated time; rwlock readers are
+   blocked for the whole theft. *)
+let max_reader_latency (type t r) ~steal_writer
+    (module R : Arc_core.Register_intf.S
+      with type t = t
+       and type reader = r
+       and type Mem.buffer = Arc_vsched.Sim_mem.buffer) =
+  (* A paced writer (idle gaps between writes) and one reader; only
+     the writer can be stolen, so the reader's worst-case read latency
+     is purely a property of the algorithm's coordination: wait-free
+     reads stay bounded, lock-based reads inherit the theft whenever
+     it lands inside the writer's critical section. *)
+  let size = 64 in
+  let init = Array.make size 0 in
+  P_sim.stamp init ~seq:0 ~len:size;
+  let reg = R.create ~readers:1 ~capacity:size ~init in
+  let src = Array.make size 0 in
+  let worst = ref 0 in
+  let writer () =
+    for seq = 1 to 50 do
+      P_sim.stamp src ~seq ~len:size;
+      R.write reg ~src ~len:size;
+      for _ = 1 to 10 do
+        Sched.cede ()
+      done
+    done
+  in
+  let reader () =
+    (* Keep reading until the final write is observed, so the reads
+       overlap the writer's whole (possibly stolen) lifetime. *)
+    let rd = R.reader reg 0 in
+    let seen = ref 0 in
+    while !seen < 50 do
+      let t0 = Sched.now () in
+      seen := R.read_with rd ~f:(fun buffer _len -> P_sim.decode_seq buffer);
+      let dt = Sched.now () - t0 in
+      if dt > !worst then worst := dt
+    done
+  in
+  let base = Strategy.round_robin () in
+  let strategy =
+    if steal_writer then
+      Strategy.steal_fibers ~seed:3 ~victims:[ 0 ] ~base ~probability:0.3
+        ~min_pause:500 ~max_pause:900
+    else base
+  in
+  ignore (Sched.run ~strategy [| writer; reader |]);
+  !worst
+
+let test_wait_freedom_separation () =
+  let arc_stolen = max_reader_latency ~steal_writer:true (module Arc_sim) in
+  let lock_quiet = max_reader_latency ~steal_writer:false (module Rw_sim) in
+  let lock_stolen = max_reader_latency ~steal_writer:true (module Rw_sim) in
+  Alcotest.(check bool)
+    (Printf.sprintf "ARC worst read latency bounded under writer theft (%d)"
+       arc_stolen)
+    true (arc_stolen < 200);
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "rwlock worst read latency inherits the theft (quiet %d, stolen %d)"
+       lock_quiet lock_stolen)
+    true
+    (lock_stolen > 400 && lock_stolen > 2 * lock_quiet)
+
+let suite =
+  [
+    Alcotest.test_case "rwlock never torn" `Quick test_rwlock_never_torn_under_schedules;
+    Alcotest.test_case "seqlock retries under contention" `Quick
+      test_seqlock_retries_under_contention;
+    Alcotest.test_case "seqlock sequential no retries" `Quick
+      test_seqlock_sequential_no_retries;
+    Alcotest.test_case "wait-freedom separation" `Quick test_wait_freedom_separation;
+  ]

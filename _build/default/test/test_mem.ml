@@ -1,0 +1,161 @@
+(* The memory substrate: real atomics instance and the counting
+   instrumentation. *)
+
+module Real = Arc_mem.Real_mem
+module Intf = Arc_mem.Mem_intf
+module Counting = Arc_mem.Counting.Make (Arc_mem.Real_mem)
+
+let check = Alcotest.(check int)
+
+let test_atomic_basics () =
+  let a = Real.atomic 10 in
+  check "load" 10 (Real.load a);
+  Real.store a 20;
+  check "store" 20 (Real.load a);
+  check "exchange returns old" 20 (Real.exchange a 30);
+  check "exchange stored" 30 (Real.load a)
+
+let test_add_semantics () =
+  let a = Real.atomic 100 in
+  check "fetch_and_add returns old" 100 (Real.fetch_and_add a 5);
+  check "after faa" 105 (Real.load a);
+  check "add_and_fetch returns new" 112 (Real.add_and_fetch a 7);
+  Real.incr a;
+  check "incr" 113 (Real.load a)
+
+let test_cas () =
+  let a = Real.atomic 1 in
+  Alcotest.(check bool) "cas succeeds" true (Real.compare_and_set a 1 2);
+  Alcotest.(check bool) "cas fails on mismatch" false (Real.compare_and_set a 1 3);
+  check "value from successful cas" 2 (Real.load a)
+
+let test_fetch_or_and () =
+  let a = Real.atomic 0b1010 in
+  check "fetch_and_or returns old" 0b1010 (Real.fetch_and_or a 0b0101);
+  check "or applied" 0b1111 (Real.load a);
+  check "fetch_and_and returns old" 0b1111 (Real.fetch_and_and a 0b0110);
+  check "and applied" 0b0110 (Real.load a)
+
+let test_buffers () =
+  let b = Real.alloc 8 in
+  check "capacity" 8 (Real.capacity b);
+  check "zero initialized" 0 (Real.read_word b 3);
+  Real.write_words b ~src:[| 1; 2; 3; 4 |] ~len:4;
+  check "word 0" 1 (Real.read_word b 0);
+  check "word 3" 4 (Real.read_word b 3);
+  let dst = Array.make 4 0 in
+  Real.read_words b ~dst ~len:4;
+  Alcotest.(check (array int)) "read_words" [| 1; 2; 3; 4 |] dst;
+  let b2 = Real.alloc 8 in
+  Real.blit b b2 ~len:4;
+  check "blit copied" 3 (Real.read_word b2 2)
+
+let test_buffer_validation () =
+  let b = Real.alloc 4 in
+  let raises f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  raises (fun () -> Real.write_words b ~src:[| 1 |] ~len:2);
+  raises (fun () -> Real.write_words b ~src:(Array.make 10 0) ~len:5);
+  raises (fun () -> Real.read_words b ~dst:(Array.make 1 0) ~len:2);
+  raises (fun () -> Real.alloc (-1));
+  raises (fun () -> Real.blit b (Real.alloc 2) ~len:3)
+
+let test_counting_classifies () =
+  Counting.reset ();
+  let a = Counting.atomic 0 in
+  ignore (Counting.load a);
+  ignore (Counting.load a);
+  Counting.store a 5;
+  ignore (Counting.exchange a 6);
+  ignore (Counting.add_and_fetch a 1);
+  ignore (Counting.fetch_and_add a 1);
+  Counting.incr a;
+  ignore (Counting.compare_and_set a 9 10);
+  let c = Counting.counts () in
+  check "plain loads" 2 c.Intf.atomic_load;
+  check "plain stores" 1 c.Intf.atomic_store;
+  check "five RMWs" 5 c.Intf.rmw
+
+let test_counting_fetch_or_charges_retries () =
+  Counting.reset ();
+  let a = Counting.atomic 0 in
+  ignore (Counting.fetch_and_or a 1);
+  let c = Counting.counts () in
+  (* emulated with one CAS (uncontended): exactly one RMW *)
+  check "one RMW for uncontended fetch_or" 1 c.Intf.rmw
+
+let test_counting_buffers () =
+  Counting.reset ();
+  let b = Counting.alloc 16 in
+  Counting.write_words b ~src:(Array.make 16 7) ~len:16;
+  ignore (Counting.read_word b 0);
+  let dst = Array.make 8 0 in
+  Counting.read_words b ~dst ~len:8;
+  let c = Counting.counts () in
+  check "word writes" 16 c.Intf.word_write;
+  check "word reads" 9 c.Intf.word_read
+
+let test_counting_reset () =
+  Counting.reset ();
+  let a = Counting.atomic 0 in
+  Counting.incr a;
+  Counting.reset ();
+  check "counts cleared" 0 (Counting.counts ()).Intf.rmw
+
+let test_counts_across_domains () =
+  Counting.reset ();
+  let a = Counting.atomic 0 in
+  let work () =
+    for _ = 1 to 1000 do
+      Counting.incr a
+    done
+  in
+  let d1 = Domain.spawn work and d2 = Domain.spawn work in
+  Domain.join d1;
+  Domain.join d2;
+  check "per-domain counters aggregate" 2000 (Counting.counts ()).Intf.rmw;
+  check "the atomic itself is consistent" 2000 (Counting.load a)
+
+let test_real_atomics_parallel () =
+  (* The substrate's RMWs must be atomic under parallel domains. *)
+  let a = Real.atomic 0 in
+  let n = 50_000 in
+  let work () =
+    for _ = 1 to n do
+      Real.incr a
+    done
+  in
+  let d1 = Domain.spawn work and d2 = Domain.spawn work in
+  Domain.join d1;
+  Domain.join d2;
+  check "no lost increments" (2 * n) (Real.load a)
+
+let prop_exchange_sequence =
+  QCheck.Test.make ~name:"exchange chains return previous values" ~count:200
+    QCheck.(small_list int)
+    (fun xs ->
+      let a = Real.atomic 0 in
+      let rec go prev = function
+        | [] -> true
+        | x :: rest -> Real.exchange a x = prev && go x rest
+      in
+      go 0 xs)
+
+let suite =
+  [
+    Alcotest.test_case "atomic basics" `Quick test_atomic_basics;
+    Alcotest.test_case "add semantics" `Quick test_add_semantics;
+    Alcotest.test_case "cas" `Quick test_cas;
+    Alcotest.test_case "fetch or/and" `Quick test_fetch_or_and;
+    Alcotest.test_case "buffers" `Quick test_buffers;
+    Alcotest.test_case "buffer validation" `Quick test_buffer_validation;
+    Alcotest.test_case "counting classifies ops" `Quick test_counting_classifies;
+    Alcotest.test_case "counting fetch_or" `Quick test_counting_fetch_or_charges_retries;
+    Alcotest.test_case "counting buffers" `Quick test_counting_buffers;
+    Alcotest.test_case "counting reset" `Quick test_counting_reset;
+    Alcotest.test_case "counts across domains" `Quick test_counts_across_domains;
+    Alcotest.test_case "real atomics parallel" `Quick test_real_atomics_parallel;
+    QCheck_alcotest.to_alcotest prop_exchange_sequence;
+  ]

@@ -1,0 +1,145 @@
+(* The (M,N) construction on top of ARC. *)
+
+module Mn = Arc_mrmw.Mn_register.Make (Arc_core.Arc) (Arc_mem.Real_mem)
+module Mn_sim = Arc_mrmw.Mn_register.Make (Arc_core.Arc) (Arc_vsched.Sim_mem)
+module Sched = Arc_vsched.Sched
+module Strategy = Arc_vsched.Strategy
+
+let check = Alcotest.(check int)
+
+let test_initial_value () =
+  let reg = Mn.create ~writers:3 ~readers:2 ~capacity:8 ~init:(Array.init 8 Fun.id) in
+  let rd = Mn.reader reg 0 in
+  let dst = Array.make 8 0 in
+  check "initial length" 8 (Mn.read_into rd ~dst);
+  Alcotest.(check (array int)) "initial content" (Array.init 8 Fun.id) dst;
+  check "initial timestamp" 0 (Mn.last_timestamp rd)
+
+let test_single_writer_behaves () =
+  let reg = Mn.create ~writers:1 ~readers:1 ~capacity:4 ~init:[| 0 |] in
+  let w = Mn.writer reg 0 and rd = Mn.reader reg 0 in
+  Mn.write w ~src:[| 5; 6 |] ~len:2;
+  let dst = Array.make 4 0 in
+  check "length" 2 (Mn.read_into rd ~dst);
+  check "content" 5 dst.(0);
+  check "timestamp advanced" 1 (Mn.last_timestamp rd)
+
+let test_two_writers_alternate () =
+  let reg = Mn.create ~writers:2 ~readers:1 ~capacity:4 ~init:[| 0 |] in
+  let w0 = Mn.writer reg 0 and w1 = Mn.writer reg 1 in
+  let rd = Mn.reader reg 0 in
+  let dst = Array.make 4 0 in
+  Mn.write w0 ~src:[| 100 |] ~len:1;
+  ignore (Mn.read_into rd ~dst);
+  check "sees w0" 100 dst.(0);
+  Mn.write w1 ~src:[| 200 |] ~len:1;
+  ignore (Mn.read_into rd ~dst);
+  check "sees w1 (higher timestamp)" 200 dst.(0);
+  Mn.write w0 ~src:[| 300 |] ~len:1;
+  ignore (Mn.read_into rd ~dst);
+  check "back to w0" 300 dst.(0)
+
+let test_timestamps_strictly_grow () =
+  let reg = Mn.create ~writers:3 ~readers:1 ~capacity:2 ~init:[| 0 |] in
+  let ws = Array.init 3 (Mn.writer reg) in
+  let rd = Mn.reader reg 0 in
+  let dst = Array.make 2 0 in
+  let last = ref 0 in
+  for round = 1 to 30 do
+    let w = ws.(round mod 3) in
+    Mn.write w ~src:[| round |] ~len:1;
+    ignore (Mn.read_into rd ~dst);
+    check (Printf.sprintf "round %d value" round) round dst.(0);
+    let ts = Mn.last_timestamp rd in
+    Alcotest.(check bool) "timestamp grew" true (ts > !last);
+    last := ts
+  done
+
+let test_reader_monotone_under_schedules () =
+  (* Concurrent writers and readers in the simulator: per-reader
+     timestamps never go backwards, and no read blocks. *)
+  for seed = 0 to 14 do
+    let reg = Mn_sim.create ~writers:2 ~readers:2 ~capacity:2 ~init:[| 0 |] in
+    let writer i () =
+      let w = Mn_sim.writer reg i in
+      for k = 1 to 10 do
+        Mn_sim.write w ~src:[| (i * 1000) + k |] ~len:1
+      done
+    in
+    let reader i () =
+      let rd = Mn_sim.reader reg i in
+      let dst = Array.make 2 0 in
+      let last = ref (-1) in
+      for _ = 1 to 15 do
+        ignore (Mn_sim.read_into rd ~dst);
+        let ts = Mn_sim.last_timestamp rd in
+        if ts < !last then
+          Alcotest.failf "seed %d: reader %d timestamp regressed %d -> %d" seed i
+            !last ts;
+        last := ts
+      done
+    in
+    ignore
+      (Sched.run ~strategy:(Strategy.random ~seed)
+         [| writer 0; writer 1; reader 0; reader 1 |])
+  done
+
+let test_concurrent_writers_on_domains () =
+  let reg = Mn.create ~writers:2 ~readers:2 ~capacity:2 ~init:[| 0 |] in
+  let stop = Atomic.make false in
+  let writer i () =
+    let w = Mn.writer reg i in
+    let k = ref 0 in
+    while not (Atomic.get stop) do
+      incr k;
+      Mn.write w ~src:[| (i * 1_000_000) + !k |] ~len:1
+    done
+  in
+  let regressions = Atomic.make 0 in
+  let reader i () =
+    let rd = Mn.reader reg i in
+    let dst = Array.make 2 0 in
+    let last = ref (-1) in
+    while not (Atomic.get stop) do
+      ignore (Mn.read_into rd ~dst);
+      let ts = Mn.last_timestamp rd in
+      if ts < !last then Atomic.incr regressions;
+      last := ts
+    done
+  in
+  let domains =
+    [| Domain.spawn (writer 0); Domain.spawn (writer 1);
+       Domain.spawn (reader 0); Domain.spawn (reader 1) |]
+  in
+  Unix.sleepf 0.1;
+  Atomic.set stop true;
+  Array.iter Domain.join domains;
+  check "no per-reader timestamp regressions" 0 (Atomic.get regressions)
+
+let test_validation () =
+  let raises f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  raises (fun () -> ignore (Mn.create ~writers:0 ~readers:1 ~capacity:2 ~init:[||]));
+  raises (fun () -> ignore (Mn.create ~writers:1 ~readers:0 ~capacity:2 ~init:[||]));
+  raises (fun () ->
+      ignore (Mn.create ~writers:1 ~readers:1 ~capacity:2 ~init:[| 1; 2; 3 |]));
+  let reg = Mn.create ~writers:2 ~readers:1 ~capacity:2 ~init:[| 0 |] in
+  raises (fun () -> ignore (Mn.writer reg 2));
+  raises (fun () -> ignore (Mn.reader reg 1));
+  let w = Mn.writer reg 0 in
+  raises (fun () -> Mn.write w ~src:[| 1; 2; 3 |] ~len:3)
+
+let suite =
+  [
+    Alcotest.test_case "initial value" `Quick test_initial_value;
+    Alcotest.test_case "single writer" `Quick test_single_writer_behaves;
+    Alcotest.test_case "two writers alternate" `Quick test_two_writers_alternate;
+    Alcotest.test_case "timestamps strictly grow" `Quick test_timestamps_strictly_grow;
+    Alcotest.test_case "monotone under schedules" `Quick
+      test_reader_monotone_under_schedules;
+    Alcotest.test_case "concurrent writers on domains" `Quick
+      test_concurrent_writers_on_domains;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

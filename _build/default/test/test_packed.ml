@@ -1,0 +1,106 @@
+(* The ⟨index, count⟩ packing every algorithm's synchronization word
+   relies on (Arc_util.Packed). *)
+
+module Packed = Arc_util.Packed
+
+let check = Alcotest.(check int)
+
+let test_layout () =
+  check "count field keeps the paper's 32 bits" 32 Packed.count_bits;
+  check "index takes the rest of the native int" (Sys.int_size - 32) Packed.index_bits;
+  check "max_count is 2^32 - 1" ((1 lsl 32) - 1) Packed.max_count
+
+let test_roundtrip_simple () =
+  let w = Packed.make ~index:5 ~count:17 in
+  check "index" 5 (Packed.index w);
+  check "count" 17 (Packed.count w)
+
+let test_extremes () =
+  let w = Packed.make ~index:Packed.max_index ~count:Packed.max_count in
+  check "max index" Packed.max_index (Packed.index w);
+  check "max count" Packed.max_count (Packed.count w);
+  let z = Packed.make ~index:0 ~count:0 in
+  check "zero word" 0 z
+
+let test_of_index () =
+  let w = Packed.of_index 42 in
+  check "index preserved" 42 (Packed.index w);
+  check "count cleared" 0 (Packed.count w)
+
+let test_succ_count () =
+  let w = Packed.make ~index:9 ~count:100 in
+  let w' = Packed.succ_count w in
+  check "count incremented" 101 (Packed.count w');
+  check "index untouched" 9 (Packed.index w');
+  (* succ_count is exactly what AtomicAddAndFetch(current, 1) does. *)
+  check "matches +1 on the raw word" (w + 1) w'
+
+let test_succ_overflow_guard () =
+  let w = Packed.make ~index:3 ~count:Packed.max_count in
+  Alcotest.check_raises "overflow rejected"
+    (Invalid_argument "Packed.succ_count: count overflow") (fun () ->
+      ignore (Packed.succ_count w))
+
+let test_field_validation () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  raises (fun () -> Packed.make ~index:(-1) ~count:0);
+  raises (fun () -> Packed.make ~index:0 ~count:(-1));
+  raises (fun () -> Packed.make ~index:(Packed.max_index + 1) ~count:0);
+  raises (fun () -> Packed.make ~index:0 ~count:(Packed.max_count + 1))
+
+let test_paper_init () =
+  (* I1: current ← N means index 0, count N. *)
+  let n = 1000 in
+  let w = Packed.make ~index:0 ~count:n in
+  check "raw value is N as in the paper" n w
+
+let test_independence () =
+  (* Incrementing the count never leaks into the index field below
+     the overflow bound. *)
+  let w = ref (Packed.make ~index:7 ~count:0) in
+  for _ = 1 to 10_000 do
+    w := Packed.succ_count !w
+  done;
+  check "index stable after 10k increments" 7 (Packed.index !w);
+  check "count accumulated" 10_000 (Packed.count !w)
+
+let test_to_string () =
+  let s = Packed.to_string (Packed.make ~index:2 ~count:3) in
+  Alcotest.(check bool) "mentions both fields" true
+    (String.length s > 0
+    && String.length (String.concat "" (String.split_on_char '2' s))
+       < String.length s)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"packed roundtrip for arbitrary fields" ~count:1000
+    QCheck.(pair (int_bound Packed.max_index) (int_bound Packed.max_count))
+    (fun (index, count) ->
+      let w = Packed.make ~index ~count in
+      Packed.index w = index && Packed.count w = count)
+
+let prop_succ_is_incr =
+  QCheck.Test.make ~name:"succ_count = raw +1 below overflow" ~count:1000
+    QCheck.(pair (int_bound Packed.max_index) (int_bound (Packed.max_count - 1)))
+    (fun (index, count) ->
+      let w = Packed.make ~index ~count in
+      Packed.succ_count w = w + 1)
+
+let suite =
+  [
+    Alcotest.test_case "layout" `Quick test_layout;
+    Alcotest.test_case "roundtrip simple" `Quick test_roundtrip_simple;
+    Alcotest.test_case "extremes" `Quick test_extremes;
+    Alcotest.test_case "of_index" `Quick test_of_index;
+    Alcotest.test_case "succ_count" `Quick test_succ_count;
+    Alcotest.test_case "succ overflow guard" `Quick test_succ_overflow_guard;
+    Alcotest.test_case "field validation" `Quick test_field_validation;
+    Alcotest.test_case "paper init encoding" `Quick test_paper_init;
+    Alcotest.test_case "field independence" `Quick test_independence;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_succ_is_incr;
+  ]

@@ -1,0 +1,125 @@
+(* Peterson-specific behaviour: no RMW instructions at all, the
+   copy-based read cost, and the writer-side acknowledge protocol
+   exercised under adversarial simulated schedules. *)
+
+module Counting = Arc_mem.Counting.Make (Arc_mem.Real_mem)
+module Intf = Arc_mem.Mem_intf
+module Pt_cnt = Arc_baselines.Peterson.Make (Counting)
+module Pt_sim = Arc_baselines.Peterson.Make (Arc_vsched.Sim_mem)
+module P_cnt = Arc_workload.Payload.Make (Counting)
+module P_sim = Arc_workload.Payload.Make (Arc_vsched.Sim_mem)
+module Sched = Arc_vsched.Sched
+module Strategy = Arc_vsched.Strategy
+
+let check = Alcotest.(check int)
+
+let test_no_rmw_at_all () =
+  (* Peterson's construction predates RMW reliance: plain reads and
+     writes only (it needs sequential consistency instead). *)
+  let init = Array.make 4 0 in
+  P_cnt.stamp init ~seq:0 ~len:4;
+  let reg = Pt_cnt.create ~readers:3 ~capacity:4 ~init in
+  let rd = Pt_cnt.reader reg 0 in
+  let src = Array.make 4 0 in
+  P_cnt.stamp src ~seq:1 ~len:4;
+  Counting.reset ();
+  Pt_cnt.write reg ~src ~len:4;
+  for _ = 1 to 5 do
+    ignore (Pt_cnt.read_with rd ~f:(fun _ _ -> ()))
+  done;
+  check "zero RMW instructions" 0 (Counting.counts ()).Intf.rmw
+
+let test_read_copies_whole_buffer () =
+  (* Every read copies at least one full buffer — the multi-copy cost
+     the paper's §5 blames for Peterson's collapse at large sizes. *)
+  let size = 64 in
+  let init = Array.make size 0 in
+  P_cnt.stamp init ~seq:0 ~len:size;
+  let reg = Pt_cnt.create ~readers:1 ~capacity:size ~init in
+  let rd = Pt_cnt.reader reg 0 in
+  Counting.reset ();
+  ignore (Pt_cnt.read_with rd ~f:(fun _ _ -> ()));
+  let c = Counting.counts () in
+  Alcotest.(check bool)
+    (Printf.sprintf "read moved %d words (≥ 2 buffers of %d)" c.Intf.word_read size)
+    true
+    (c.Intf.word_read >= 2 * size)
+
+let test_write_refreshes_pending_reader () =
+  (* A writer overlapping an announced read must refresh that reader's
+     copy buffer: forced deterministically with the round-robin
+     scheduler by pausing a reader mid-read. *)
+  let size = 16 in
+  let exercised = ref false in
+  for seed = 0 to 39 do
+    let init = Array.make size 0 in
+    P_sim.stamp init ~seq:0 ~len:size;
+    let reg = Pt_sim.create ~readers:1 ~capacity:size ~init in
+    let rd = Pt_sim.reader reg 0 in
+    let src = Array.make size 0 in
+    let reader () =
+      for _ = 1 to 5 do
+        let seq =
+          Pt_sim.read_with rd ~f:(fun buffer len ->
+              match P_sim.validate buffer ~len with
+              | Ok seq -> seq
+              | Error msg -> Alcotest.failf "torn read (seed %d): %s" seed msg)
+        in
+        if seq < 0 || seq > 10 then Alcotest.failf "impossible seq %d" seq
+      done
+    in
+    let writer () =
+      for seq = 1 to 10 do
+        P_sim.stamp src ~seq ~len:size;
+        Pt_sim.write reg ~src ~len:size
+      done
+    in
+    ignore (Sched.run ~strategy:(Strategy.random ~seed) [| writer; reader |]);
+    exercised := true
+  done;
+  Alcotest.(check bool) "ran" true !exercised
+
+let test_reads_monotone_under_schedules () =
+  (* Per-reader monotonicity (no new-old inversion for a single
+     reader) across many random schedules. *)
+  for seed = 0 to 19 do
+    let size = 8 in
+    let init = Array.make size 0 in
+    P_sim.stamp init ~seq:0 ~len:size;
+    let reg = Pt_sim.create ~readers:2 ~capacity:size ~init in
+    let src = Array.make size 0 in
+    let reader i () =
+      let rd = Pt_sim.reader reg i in
+      let last = ref 0 in
+      for _ = 1 to 10 do
+        let seq =
+          Pt_sim.read_with rd ~f:(fun buffer len ->
+              match P_sim.validate buffer ~len with
+              | Ok seq -> seq
+              | Error msg -> Alcotest.failf "torn (seed %d): %s" seed msg)
+        in
+        if seq < !last then
+          Alcotest.failf "seed %d: reader %d went backwards %d -> %d" seed i !last
+            seq;
+        last := seq
+      done
+    in
+    let writer () =
+      for seq = 1 to 15 do
+        P_sim.stamp src ~seq ~len:size;
+        Pt_sim.write reg ~src ~len:size
+      done
+    in
+    ignore
+      (Sched.run ~strategy:(Strategy.random ~seed) [| writer; reader 0; reader 1 |])
+  done
+
+let suite =
+  [
+    Alcotest.test_case "no RMW at all" `Quick test_no_rmw_at_all;
+    Alcotest.test_case "read copies whole buffer" `Quick test_read_copies_whole_buffer;
+    Alcotest.test_case "pending reader refreshed" `Quick
+      test_write_refreshes_pending_reader;
+    Alcotest.test_case "reads monotone under schedules" `Quick
+      test_reads_monotone_under_schedules;
+  ]

@@ -1,0 +1,86 @@
+(* Schedule recording and exact replay. *)
+
+module Sched = Arc_vsched.Sched
+module Strategy = Arc_vsched.Strategy
+module Replay = Arc_vsched.Replay
+
+let interleaving ~strategy =
+  let order = ref [] in
+  let fiber i () =
+    for _ = 1 to 10 do
+      order := i :: !order;
+      Sched.cede ()
+    done
+  in
+  let _ = Sched.run ~strategy (Array.init 4 fiber) in
+  List.rev !order
+
+let test_record_then_replay () =
+  let recorder, rec_strategy = Replay.recording (Strategy.random ~seed:77) in
+  let original = interleaving ~strategy:rec_strategy in
+  let trace = Replay.captured recorder in
+  Alcotest.(check bool) "trace non-empty" true (Replay.length trace > 0);
+  let replayer, rep_strategy =
+    Replay.replaying trace ~fallback:(Strategy.round_robin ())
+  in
+  let replayed = interleaving ~strategy:rep_strategy in
+  Alcotest.(check (list int)) "identical interleaving" original replayed;
+  Alcotest.(check bool) "no divergence" false (Replay.diverged replayer)
+
+let test_replay_of_different_program_diverges_loudly () =
+  let recorder, rec_strategy = Replay.recording (Strategy.random ~seed:5) in
+  let _ = interleaving ~strategy:rec_strategy in
+  let trace = Replay.captured recorder in
+  (* Replay against a run with fewer fibers: decisions that name the
+     missing fibers cannot apply. *)
+  let replayer, rep_strategy =
+    Replay.replaying trace ~fallback:(Strategy.round_robin ())
+  in
+  let one_fiber = [| (fun () -> for _ = 1 to 3 do Sched.cede () done) |] in
+  let outcome = Sched.run ~strategy:rep_strategy one_fiber in
+  Alcotest.(check int) "run completes via fallback" 1 outcome.Sched.completed;
+  Alcotest.(check bool) "divergence flagged" true (Replay.diverged replayer)
+
+let test_trace_exhaustion_falls_back () =
+  (* Record a short run, replay a longer one. *)
+  let short_fibers = [| (fun () -> Sched.cede ()) |] in
+  let recorder, rec_strategy = Replay.recording (Strategy.round_robin ()) in
+  let _ = Sched.run ~strategy:rec_strategy short_fibers in
+  let trace = Replay.captured recorder in
+  let replayer, rep_strategy =
+    Replay.replaying trace ~fallback:(Strategy.round_robin ())
+  in
+  let long_fibers = [| (fun () -> for _ = 1 to 50 do Sched.cede () done) |] in
+  let outcome = Sched.run ~strategy:rep_strategy long_fibers in
+  Alcotest.(check int) "completes past the trace" 1 outcome.Sched.completed;
+  Alcotest.(check bool) "exhaustion flagged" true (Replay.diverged replayer)
+
+let test_replay_register_run () =
+  (* End to end: record a register workload's schedule, replay it, and
+     get bit-identical operation counts. *)
+  let module Config = Arc_harness.Config in
+  let module Registry = Arc_harness.Registry in
+  let entry = Registry.find "arc" in
+  let cfg = { Config.default_sim with Config.max_steps = 15_000 } in
+  let recorder, rec_strategy = Replay.recording (Strategy.random ~seed:13) in
+  let original = entry.Registry.run_sim ~strategy:rec_strategy cfg in
+  let trace = Replay.captured recorder in
+  let replayer, rep_strategy =
+    Replay.replaying trace ~fallback:(Strategy.round_robin ())
+  in
+  let replayed = entry.Registry.run_sim ~strategy:rep_strategy cfg in
+  Alcotest.(check bool) "no divergence" false (Replay.diverged replayer);
+  Alcotest.(check int) "same reads" original.Config.reads replayed.Config.reads;
+  Alcotest.(check int) "same writes" original.Config.writes replayed.Config.writes;
+  Alcotest.(check (float 1e-9)) "same simulated duration" original.Config.duration
+    replayed.Config.duration
+
+let suite =
+  [
+    Alcotest.test_case "record then replay" `Quick test_record_then_replay;
+    Alcotest.test_case "divergence is loud" `Quick
+      test_replay_of_different_program_diverges_loudly;
+    Alcotest.test_case "trace exhaustion falls back" `Quick
+      test_trace_exhaustion_falls_back;
+    Alcotest.test_case "replay register run" `Quick test_replay_register_run;
+  ]

@@ -1,0 +1,140 @@
+(* White-box tests of the RF (Readers-Field) baseline: reader-capacity
+   bounds, the one-RMW-per-read cost, and trace-table protection. *)
+
+module Counting = Arc_mem.Counting.Make (Arc_mem.Real_mem)
+module Intf = Arc_mem.Mem_intf
+module Rf = Arc_baselines.Rf.Make (Arc_mem.Real_mem)
+module Rf_cnt = Arc_baselines.Rf.Make (Counting)
+module P = Arc_workload.Payload.Make (Arc_mem.Real_mem)
+module P_cnt = Arc_workload.Payload.Make (Counting)
+
+let check = Alcotest.(check int)
+
+let stamped ~seq ~len =
+  let a = Array.make len 0 in
+  P.stamp a ~seq ~len;
+  a
+
+let test_word_bound () =
+  (* The paper's statement: 58 readers on 64-bit words; our 63-bit
+     OCaml ints give 57 (DESIGN.md §2). *)
+  check "paper's 64-bit bound" 58 (Arc_baselines.Rf.max_readers_for_word ~word_bits:64);
+  check "OCaml 63-bit bound" 57 (Arc_baselines.Rf.max_readers_for_word ~word_bits:63);
+  check "advertised bound matches"
+    (Arc_baselines.Rf.max_readers_for_word ~word_bits:Sys.int_size)
+    (Option.get (Rf.max_readers ~capacity_words:8))
+
+let test_bound_formula () =
+  (* n readers + ceil_log2 (n+2) pointer bits must fit the word. *)
+  List.iter
+    (fun bits ->
+      let n = Arc_baselines.Rf.max_readers_for_word ~word_bits:bits in
+      let fits k = k + Arc_util.Bits.ceil_log2 (k + 2) <= bits in
+      Alcotest.(check bool) (Printf.sprintf "%d fits in %d bits" n bits) true (fits n);
+      Alcotest.(check bool)
+        (Printf.sprintf "%d is maximal for %d bits" n bits)
+        false (fits (n + 1)))
+    [ 8; 16; 32; 63; 64 ]
+
+let test_over_bound_rejected () =
+  let bound = Option.get (Rf.max_readers ~capacity_words:4) in
+  match
+    Rf.create ~readers:(bound + 1) ~capacity:4 ~init:(stamped ~seq:0 ~len:4)
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "reader count above the word bound accepted"
+
+let test_bound_reached () =
+  (* The maximum population actually works. *)
+  let bound = Option.get (Rf.max_readers ~capacity_words:4) in
+  let reg = Rf.create ~readers:bound ~capacity:4 ~init:(stamped ~seq:0 ~len:4) in
+  let handles = Array.init bound (Rf.reader reg) in
+  Rf.write reg ~src:(stamped ~seq:1 ~len:4) ~len:4;
+  Array.iter
+    (fun rd ->
+      let seq =
+        Rf.read_with rd ~f:(fun buffer len ->
+            match P.validate buffer ~len with
+            | Ok seq -> seq
+            | Error msg -> Alcotest.fail msg)
+      in
+      check "every reader sees the write" 1 seq)
+    handles;
+  Rf.write reg ~src:(stamped ~seq:2 ~len:4) ~len:4;
+  check "still writable with all trace bits set" 2
+    (Rf.read_with handles.(0) ~f:(fun buffer len ->
+         match P.validate buffer ~len with
+         | Ok seq -> seq
+         | Error msg -> Alcotest.fail msg))
+
+let test_every_read_pays_one_rmw () =
+  (* The cost ARC's fast path avoids: RF's read is one FetchAndOr
+     (one CAS here) even when the register did not change. *)
+  let init = Array.make 4 0 in
+  P_cnt.stamp init ~seq:0 ~len:4;
+  let reg = Rf_cnt.create ~readers:2 ~capacity:4 ~init in
+  let rd = Rf_cnt.reader reg 0 in
+  Counting.reset ();
+  for _ = 1 to 10 do
+    ignore (Rf_cnt.read_with rd ~f:(fun _ _ -> ()))
+  done;
+  check "10 unchanged-register reads cost 10 RMW" 10 (Counting.counts ()).Intf.rmw
+
+let test_write_cost () =
+  let init = Array.make 4 0 in
+  P_cnt.stamp init ~seq:0 ~len:4;
+  let reg = Rf_cnt.create ~readers:2 ~capacity:4 ~init in
+  let src = Array.make 4 0 in
+  P_cnt.stamp src ~seq:1 ~len:4;
+  Counting.reset ();
+  Rf_cnt.write reg ~src ~len:4;
+  check "write costs exactly 1 RMW (the exchange)" 1 (Counting.counts ()).Intf.rmw
+
+let test_view_protected_across_writes () =
+  (* The writer-private trace table must keep a reader's buffer alive
+     until the reader's next read, across many intervening writes. *)
+  let reg = Rf.create ~readers:2 ~capacity:8 ~init:(stamped ~seq:0 ~len:8) in
+  let rd = Rf.reader reg 0 in
+  Rf.write reg ~src:(stamped ~seq:1 ~len:8) ~len:8;
+  let view, len = Rf.read_view rd in
+  for seq = 2 to 100 do
+    Rf.write reg ~src:(stamped ~seq ~len:8) ~len:8
+  done;
+  (match P.validate view ~len with
+  | Ok seq -> check "view survived 99 writes" 1 seq
+  | Error msg -> Alcotest.failf "trace protection failed: %s" msg);
+  check "next read is current" 100
+    (Rf.read_with rd ~f:(fun buffer len ->
+         match P.validate buffer ~len with
+         | Ok seq -> seq
+         | Error msg -> Alcotest.fail msg))
+
+let test_two_readers_two_views () =
+  (* Two parked readers protect two distinct old buffers at once. *)
+  let reg = Rf.create ~readers:2 ~capacity:4 ~init:(stamped ~seq:0 ~len:4) in
+  let r0 = Rf.reader reg 0 and r1 = Rf.reader reg 1 in
+  Rf.write reg ~src:(stamped ~seq:1 ~len:4) ~len:4;
+  let v0, l0 = Rf.read_view r0 in
+  Rf.write reg ~src:(stamped ~seq:2 ~len:4) ~len:4;
+  let v1, l1 = Rf.read_view r1 in
+  for seq = 3 to 50 do
+    Rf.write reg ~src:(stamped ~seq ~len:4) ~len:4
+  done;
+  (match (P.validate v0 ~len:l0, P.validate v1 ~len:l1) with
+  | Ok s0, Ok s1 ->
+    check "r0 still holds write 1" 1 s0;
+    check "r1 still holds write 2" 2 s1
+  | Error msg, _ | _, Error msg -> Alcotest.fail msg)
+
+let suite =
+  [
+    Alcotest.test_case "word-size reader bound" `Quick test_word_bound;
+    Alcotest.test_case "bound formula maximal" `Quick test_bound_formula;
+    Alcotest.test_case "over bound rejected" `Quick test_over_bound_rejected;
+    Alcotest.test_case "bound reached" `Quick test_bound_reached;
+    Alcotest.test_case "one RMW per read" `Quick test_every_read_pays_one_rmw;
+    Alcotest.test_case "write cost" `Quick test_write_cost;
+    Alcotest.test_case "view protected across writes" `Quick
+      test_view_protected_across_writes;
+    Alcotest.test_case "two readers two views" `Quick test_two_readers_two_views;
+  ]

@@ -1,0 +1,296 @@
+(* The virtual scheduler: determinism, fairness, budgets, adversaries. *)
+
+module Sched = Arc_vsched.Sched
+module Strategy = Arc_vsched.Strategy
+
+let check = Alcotest.(check int)
+
+let test_runs_to_completion () =
+  let hits = Array.make 3 0 in
+  let fiber i () =
+    for _ = 1 to 5 do
+      hits.(i) <- hits.(i) + 1;
+      Sched.cede ()
+    done
+  in
+  let outcome =
+    Sched.run ~strategy:(Strategy.round_robin ()) (Array.init 3 fiber)
+  in
+  check "all completed" 3 outcome.Sched.completed;
+  check "none unfinished" 0 outcome.Sched.unfinished;
+  Alcotest.(check (array int)) "every fiber did its work" [| 5; 5; 5 |] hits
+
+let test_round_robin_interleaves () =
+  let order = ref [] in
+  let fiber i () =
+    for _ = 1 to 3 do
+      order := i :: !order;
+      Sched.cede ()
+    done
+  in
+  let _ = Sched.run ~strategy:(Strategy.round_robin ()) (Array.init 3 fiber) in
+  Alcotest.(check (list int)) "strict rotation" [ 0; 1; 2; 0; 1; 2; 0; 1; 2 ]
+    (List.rev !order)
+
+let test_no_cede_runs_atomically () =
+  (* A fiber that never cedes is never preempted. *)
+  let log = ref [] in
+  let a () =
+    log := "a1" :: !log;
+    log := "a2" :: !log
+  in
+  let b () =
+    Sched.cede ();
+    log := "b" :: !log
+  in
+  let _ = Sched.run ~strategy:(Strategy.round_robin ()) [| a; b |] in
+  Alcotest.(check bool) "a's two entries adjacent" true
+    (match List.rev !log with
+    | "a1" :: "a2" :: _ -> true
+    | l -> List.exists (( = ) "b") l && false)
+
+let test_step_budget () =
+  let spins = ref 0 in
+  let fiber () =
+    while true do
+      incr spins;
+      Sched.cede ()
+    done
+  in
+  let outcome =
+    Sched.run ~max_steps:100 ~strategy:(Strategy.round_robin ()) [| fiber |]
+  in
+  check "unfinished fiber counted" 1 outcome.Sched.unfinished;
+  Alcotest.(check bool) "budget respected" true (outcome.Sched.steps >= 100)
+
+let test_weighted_cede () =
+  let fiber () =
+    Sched.cede ~weight:10 ();
+    Sched.cede ~weight:10 ()
+  in
+  let outcome = Sched.run ~strategy:(Strategy.round_robin ()) [| fiber |] in
+  Alcotest.(check bool)
+    (Printf.sprintf "steps %d reflect weights" outcome.Sched.steps)
+    true
+    (outcome.Sched.steps >= 20)
+
+let test_self_and_count () =
+  let seen = Array.make 4 (-1) in
+  let counts = Array.make 4 0 in
+  let fiber i () =
+    seen.(i) <- Sched.self ();
+    counts.(i) <- Sched.fiber_count ()
+  in
+  let _ = Sched.run ~strategy:(Strategy.round_robin ()) (Array.init 4 fiber) in
+  Alcotest.(check (array int)) "self is the spawn index" [| 0; 1; 2; 3 |] seen;
+  Alcotest.(check (array int)) "fiber_count" [| 4; 4; 4; 4 |] counts
+
+let test_outside_scheduler () =
+  Sched.cede ();
+  (* no-op *)
+  check "now is 0 outside" 0 (Sched.now ());
+  check "fiber_count 0 outside" 0 (Sched.fiber_count ());
+  Alcotest.check_raises "self outside fails"
+    (Failure "Sched.self: not inside a fiber") (fun () -> ignore (Sched.self ()))
+
+let test_random_deterministic () =
+  let trace seed =
+    let order = ref [] in
+    let fiber i () =
+      for _ = 1 to 10 do
+        order := i :: !order;
+        Sched.cede ()
+      done
+    in
+    let _ = Sched.run ~strategy:(Strategy.random ~seed) (Array.init 4 fiber) in
+    List.rev !order
+  in
+  Alcotest.(check (list int)) "same seed, same schedule" (trace 7) (trace 7);
+  Alcotest.(check bool) "different seed, different schedule" true
+    (trace 7 <> trace 8)
+
+let test_random_burst_valid () =
+  let hits = Array.make 3 0 in
+  let fiber i () =
+    for _ = 1 to 20 do
+      hits.(i) <- hits.(i) + 1;
+      Sched.cede ()
+    done
+  in
+  let outcome =
+    Sched.run
+      ~strategy:(Strategy.random_burst ~seed:3 ~max_burst:5)
+      (Array.init 3 fiber)
+  in
+  check "all complete under bursts" 3 outcome.Sched.completed
+
+let test_starve_delays_victim () =
+  let finished_at = Array.make 2 0 in
+  let fiber i () =
+    for _ = 1 to 5 do
+      Sched.cede ()
+    done;
+    finished_at.(i) <- Sched.now ()
+  in
+  let strategy =
+    Strategy.starve ~victims:[ 0 ] ~until_step:200
+      ~base:(Strategy.round_robin ())
+  in
+  let outcome = Sched.run ~strategy (Array.init 2 fiber) in
+  check "both eventually finish" 2 outcome.Sched.completed;
+  Alcotest.(check bool)
+    (Printf.sprintf "victim (%d) finished after peer (%d)" finished_at.(0)
+       finished_at.(1))
+    true
+    (finished_at.(0) > finished_at.(1))
+
+let test_steal_still_completes () =
+  let fiber _ () =
+    for _ = 1 to 50 do
+      Sched.cede ()
+    done
+  in
+  let strategy =
+    Strategy.steal ~seed:5
+      ~base:(Strategy.random ~seed:6)
+      ~probability:0.2 ~min_pause:5 ~max_pause:50
+  in
+  let outcome = Sched.run ~strategy (Array.init 4 (fun i -> fiber i)) in
+  check "steal never blocks completion" 4 outcome.Sched.completed
+
+let test_all_stolen_fast_forwards () =
+  (* With one fiber and an aggressive thief, time must skip to wake-ups
+     instead of deadlocking. *)
+  let fiber () =
+    for _ = 1 to 10 do
+      Sched.cede ()
+    done
+  in
+  let strategy =
+    Strategy.steal ~seed:1
+      ~base:(Strategy.round_robin ())
+      ~probability:0.9 ~min_pause:10 ~max_pause:20
+  in
+  let outcome = Sched.run ~strategy [| fiber |] in
+  check "completed despite constant theft" 1 outcome.Sched.completed
+
+let test_nested_run_rejected () =
+  let attempted = ref false in
+  let fiber () =
+    attempted := true;
+    match Sched.run ~strategy:(Strategy.round_robin ()) [| (fun () -> ()) |] with
+    | _ -> Alcotest.fail "nested run should fail"
+    | exception Failure _ -> ()
+  in
+  let _ = Sched.run ~strategy:(Strategy.round_robin ()) [| fiber |] in
+  Alcotest.(check bool) "inner run attempted" true !attempted
+
+let test_exception_propagates () =
+  Alcotest.check_raises "fiber exception surfaces" (Failure "boom") (fun () ->
+      ignore
+        (Sched.run ~strategy:(Strategy.round_robin ())
+           [| (fun () -> failwith "boom") |]));
+  (* ... and the scheduler slot is released for subsequent runs. *)
+  let outcome = Sched.run ~strategy:(Strategy.round_robin ()) [| (fun () -> ()) |] in
+  check "scheduler usable after exception" 1 outcome.Sched.completed
+
+let test_empty_run () =
+  let outcome = Sched.run ~strategy:(Strategy.round_robin ()) [||] in
+  check "empty run trivially done" 0 outcome.Sched.completed
+
+let test_many_fibers () =
+  (* The Fig. 3 regime needs thousands of cheap fibers. *)
+  let n = 4000 in
+  let done_count = Atomic.make 0 in
+  let fiber _ () =
+    for _ = 1 to 3 do
+      Sched.cede ()
+    done;
+    Atomic.incr done_count
+  in
+  let outcome =
+    Sched.run ~strategy:(Strategy.random ~seed:9) (Array.init n (fun i -> fiber i))
+  in
+  check "4000 fibers complete" n outcome.Sched.completed;
+  check "all bodies ran" n (Atomic.get done_count)
+
+let suite =
+  [
+    Alcotest.test_case "runs to completion" `Quick test_runs_to_completion;
+    Alcotest.test_case "round robin interleaves" `Quick test_round_robin_interleaves;
+    Alcotest.test_case "no cede = atomic" `Quick test_no_cede_runs_atomically;
+    Alcotest.test_case "step budget" `Quick test_step_budget;
+    Alcotest.test_case "weighted cede" `Quick test_weighted_cede;
+    Alcotest.test_case "self and fiber_count" `Quick test_self_and_count;
+    Alcotest.test_case "outside scheduler" `Quick test_outside_scheduler;
+    Alcotest.test_case "random deterministic" `Quick test_random_deterministic;
+    Alcotest.test_case "random burst valid" `Quick test_random_burst_valid;
+    Alcotest.test_case "starve delays victim" `Quick test_starve_delays_victim;
+    Alcotest.test_case "steal still completes" `Quick test_steal_still_completes;
+    Alcotest.test_case "all stolen fast-forwards" `Quick test_all_stolen_fast_forwards;
+    Alcotest.test_case "nested run rejected" `Quick test_nested_run_rejected;
+    Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "empty run" `Quick test_empty_run;
+    Alcotest.test_case "many fibers" `Quick test_many_fibers;
+  ]
+
+let test_pct_completes_and_is_deterministic () =
+  let trace seed =
+    let order = ref [] in
+    let fiber i () =
+      for _ = 1 to 8 do
+        order := i :: !order;
+        Sched.cede ()
+      done
+    in
+    let strategy = Strategy.pct ~seed ~fibers:4 ~depth:3 ~expected_steps:100 in
+    let outcome = Sched.run ~strategy (Array.init 4 fiber) in
+    Alcotest.(check int) "all complete" 4 outcome.Sched.completed;
+    List.rev !order
+  in
+  Alcotest.(check (list int)) "same seed same schedule" (trace 11) (trace 11);
+  Alcotest.(check bool) "seeds differ" true (trace 11 <> trace 12)
+
+let test_pct_priority_scheduling () =
+  (* With depth 1 there are no change points: PCT runs the
+     highest-priority fiber to completion before the next. *)
+  let order = ref [] in
+  let fiber i () =
+    for _ = 1 to 3 do
+      order := i :: !order;
+      Sched.cede ()
+    done
+  in
+  let strategy = Strategy.pct ~seed:3 ~fibers:3 ~depth:1 ~expected_steps:50 in
+  let _ = Sched.run ~strategy (Array.init 3 fiber) in
+  (* each fiber's entries must be contiguous *)
+  let runs = List.rev !order in
+  let rec contiguous seen = function
+    | [] -> true
+    | x :: rest ->
+      if List.mem x seen then false
+      else begin
+        let rec eat = function y :: r when y = x -> eat r | r -> r in
+        contiguous (x :: seen) (eat rest)
+      end
+  in
+  Alcotest.(check bool) "no interleaving without change points" true
+    (contiguous [] runs)
+
+let test_pct_validation () =
+  let raises f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  raises (fun () -> Strategy.pct ~seed:1 ~fibers:0 ~depth:1 ~expected_steps:10);
+  raises (fun () -> Strategy.pct ~seed:1 ~fibers:1 ~depth:0 ~expected_steps:10);
+  raises (fun () -> Strategy.pct ~seed:1 ~fibers:1 ~depth:1 ~expected_steps:0)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "pct completes deterministically" `Quick
+        test_pct_completes_and_is_deterministic;
+      Alcotest.test_case "pct priority scheduling" `Quick test_pct_priority_scheduling;
+      Alcotest.test_case "pct validation" `Quick test_pct_validation;
+    ]

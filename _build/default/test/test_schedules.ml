@@ -1,0 +1,172 @@
+(* Schedule exploration (experiment E7): every algorithm, instantiated
+   over simulated shared memory, is driven through hundreds of seeded
+   random / bursty / steal schedules in Verify mode.  Every snapshot
+   is validated word-by-word (no torn reads) and the full history is
+   fed to the atomicity checker (Criterion 1).
+
+   The broken registers of [Broken_regs] run through the identical
+   pipeline as negative controls: the pipeline must convict them. *)
+
+module Config = Arc_harness.Config
+module Registry = Arc_harness.Registry
+module Checker = Arc_trace.Checker
+module Strategy = Arc_vsched.Strategy
+module Sim_runner = Arc_harness.Sim_runner
+
+let base_cfg =
+  {
+    Config.sim_readers = 3;
+    sim_size_words = 16;
+    max_steps = 25_000;
+    sim_workload = Config.Verify;
+    (* Generous: an unfair strategy can let one fast-path reader
+       monopolize the whole budget (~3 steps per read). *)
+    sim_record = 12_000;
+    sim_seed = 0;
+  }
+
+let strategies ~fibers seed =
+  [
+    ("random", Strategy.random ~seed);
+    ("burst", Strategy.random_burst ~seed ~max_burst:40);
+    ( "steal",
+      Strategy.steal ~seed
+        ~base:(Strategy.random ~seed:(seed + 1))
+        ~probability:0.01 ~min_pause:50 ~max_pause:400 );
+    ("pct", Strategy.pct ~seed ~fibers ~depth:4 ~expected_steps:20_000);
+  ]
+
+let assert_clean ~who ~strategy_name ~seed (result : Config.result) =
+  if result.Config.torn > 0 then
+    Alcotest.failf "%s under %s(seed=%d): %d torn snapshots" who strategy_name seed
+      result.Config.torn;
+  if result.Config.dropped_events > 0 then
+    Alcotest.failf "%s under %s(seed=%d): recorder overflow" who strategy_name seed;
+  match result.Config.history with
+  | None -> Alcotest.failf "%s: no history recorded" who
+  | Some h ->
+    (match Checker.check h with
+    | Ok _ -> ()
+    | Error v ->
+      Alcotest.failf "%s under %s(seed=%d): %a" who strategy_name seed
+        Checker.pp_violation v)
+
+let explore (entry : Registry.entry) =
+  let readers =
+    match entry.Registry.max_readers ~capacity_words:base_cfg.Config.sim_size_words with
+    | Some bound -> min bound base_cfg.Config.sim_readers
+    | None -> base_cfg.Config.sim_readers
+  in
+  let total = ref 0 in
+  for seed = 1 to 12 do
+    List.iter
+      (fun (strategy_name, strategy) ->
+        let cfg = { base_cfg with Config.sim_readers = readers; sim_seed = seed } in
+        let result = entry.Registry.run_sim ~strategy cfg in
+        incr total;
+        (* PCT is unfair by design (strict priorities): a low-priority
+           fiber may legitimately never run, so require progress only
+           under the fair-ish strategies. *)
+        if
+          strategy_name <> "pct"
+          && (result.Config.reads = 0 || result.Config.writes = 0)
+        then
+          Alcotest.failf "%s under %s(seed=%d): no progress (r=%d w=%d)"
+            entry.Registry.name strategy_name seed result.Config.reads
+            result.Config.writes;
+        assert_clean ~who:entry.Registry.name ~strategy_name ~seed result)
+      (strategies ~fibers:(readers + 1) seed)
+  done;
+  Alcotest.(check bool) "explored schedules" true (!total = 48)
+
+let algorithm_case (entry : Registry.entry) =
+  Alcotest.test_case
+    (Printf.sprintf "%s: atomic under explored schedules" entry.Registry.name)
+    `Quick
+    (fun () -> explore entry)
+
+(* Negative controls, driven through the very same runner. *)
+module Broken_torn_runner = Sim_runner.Make (Broken_regs.Torn (Arc_vsched.Sim_mem))
+module Broken_stale_runner = Sim_runner.Make (Broken_regs.Stale (Arc_vsched.Sim_mem))
+
+let hunt ~run ~condition ~max_seed =
+  let rec go seed =
+    if seed > max_seed then false
+    else begin
+      let cfg = { base_cfg with Config.sim_seed = seed } in
+      let result = run (Strategy.random ~seed) cfg in
+      if condition result then true else go (seed + 1)
+    end
+  in
+  go 1
+
+let test_torn_register_convicted () =
+  let found =
+    hunt
+      ~run:(fun strategy cfg -> Broken_torn_runner.run ~strategy cfg)
+      ~max_seed:30
+      ~condition:(fun r -> r.Config.torn > 0)
+  in
+  Alcotest.(check bool) "pipeline detects torn snapshots" true found
+
+let test_stale_register_convicted () =
+  let found =
+    hunt
+      ~run:(fun strategy cfg -> Broken_stale_runner.run ~strategy cfg)
+      ~max_seed:30
+      ~condition:(fun r ->
+        match r.Config.history with
+        | None -> false
+        | Some h ->
+          (match Checker.check h with
+          | Error (Checker.Stale_read _) -> true
+          | Error _ -> true
+          | Ok _ -> false))
+  in
+  Alcotest.(check bool) "checker convicts the stale register" true found
+
+(* Wait-freedom (E7): under an adversary that steals everything it
+   can, wait-free algorithms still complete a bounded workload; the
+   run must terminate with every fiber finished. *)
+let test_wait_free_progress_under_adversary () =
+  List.iter
+    (fun (entry : Registry.entry) ->
+      if entry.Registry.wait_free then begin
+        let strategy =
+          Strategy.steal ~seed:11
+            ~base:(Strategy.random ~seed:12)
+            ~probability:0.05 ~min_pause:100 ~max_pause:1_000
+        in
+        let readers =
+          match
+            entry.Registry.max_readers
+              ~capacity_words:base_cfg.Config.sim_size_words
+          with
+          | Some bound -> min bound base_cfg.Config.sim_readers
+          | None -> base_cfg.Config.sim_readers
+        in
+        let cfg =
+          {
+            base_cfg with
+            Config.sim_readers = readers;
+            sim_workload = Config.Hold;
+            sim_record = 0;
+            max_steps = 15_000;
+          }
+        in
+        let result = entry.Registry.run_sim ~strategy cfg in
+        if result.Config.reads = 0 then
+          Alcotest.failf "%s made no reads under the thief" entry.Registry.name
+      end)
+    Registry.all
+
+let suite =
+  List.map algorithm_case Registry.all
+  @ [
+      Alcotest.test_case "negative control: torn register convicted" `Quick
+        test_torn_register_convicted;
+      Alcotest.test_case "negative control: stale register convicted" `Quick
+        test_stale_register_convicted;
+      Alcotest.test_case "wait-free progress under adversary" `Quick
+        test_wait_free_progress_under_adversary;
+    ]

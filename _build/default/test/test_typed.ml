@@ -1,0 +1,96 @@
+(* The typed-snapshot convenience layer. *)
+
+(* A small record codec: a fake service configuration. *)
+module Service_codec = struct
+  type t = { generation : int; replicas : int; endpoints : int list }
+
+  let max_words = 16
+
+  let encode { generation; replicas; endpoints } =
+    Array.of_list
+      ((generation :: replicas :: List.length endpoints :: endpoints)
+      @ [ generation + replicas ] (* trailing checksum-ish word *))
+
+  let decode words ~len =
+    if len < 4 then failwith "Service_codec.decode: short snapshot";
+    let generation = words.(0) and replicas = words.(1) and n = words.(2) in
+    let endpoints = List.init n (fun i -> words.(3 + i)) in
+    if words.(len - 1) <> generation + replicas then
+      failwith "Service_codec.decode: checksum mismatch";
+    { generation; replicas; endpoints }
+end
+
+module Typed =
+  Arc_core.Typed.Make (Arc_core.Arc) (Arc_mem.Real_mem) (Service_codec)
+
+let cfg0 = { Service_codec.generation = 0; replicas = 1; endpoints = [ 80 ] }
+
+let test_roundtrip () =
+  let t = Typed.create ~readers:2 ~init:cfg0 in
+  let rd = Typed.reader t 0 in
+  Alcotest.(check int) "initial generation" 0 (Typed.get rd).Service_codec.generation;
+  let cfg1 = { Service_codec.generation = 1; replicas = 3; endpoints = [ 80; 443 ] } in
+  Typed.publish t cfg1;
+  let seen = Typed.get rd in
+  Alcotest.(check int) "generation" 1 seen.Service_codec.generation;
+  Alcotest.(check (list int)) "endpoints" [ 80; 443 ] seen.Service_codec.endpoints;
+  Alcotest.(check int) "reads counted" 2 (Typed.reads rd)
+
+let test_variable_width_values () =
+  let t = Typed.create ~readers:1 ~init:cfg0 in
+  let rd = Typed.reader t 0 in
+  for g = 1 to 12 do
+    let cfg =
+      { Service_codec.generation = g; replicas = g mod 4; endpoints = List.init g Fun.id }
+    in
+    Typed.publish t cfg;
+    let seen = Typed.get rd in
+    Alcotest.(check int) "generation" g seen.Service_codec.generation;
+    Alcotest.(check int) "endpoint count" g (List.length seen.Service_codec.endpoints)
+  done
+
+let test_oversized_rejected () =
+  let t = Typed.create ~readers:1 ~init:cfg0 in
+  let big =
+    { Service_codec.generation = 1; replicas = 1; endpoints = List.init 20 Fun.id }
+  in
+  match Typed.publish t big with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "oversized encoding accepted"
+
+let test_concurrent_consistency () =
+  (* The codec's checksum word makes torn decodes raise: run it hot
+     across domains. *)
+  let t = Typed.create ~readers:2 ~init:cfg0 in
+  let stop = Atomic.make false in
+  let writer () =
+    let g = ref 0 in
+    while not (Atomic.get stop) do
+      incr g;
+      Typed.publish t
+        { Service_codec.generation = !g; replicas = !g mod 7;
+          endpoints = List.init (!g mod 10) Fun.id }
+    done
+  in
+  let reader i () =
+    let rd = Typed.reader t i in
+    let last = ref (-1) in
+    while not (Atomic.get stop) do
+      let seen = Typed.get rd in
+      if seen.Service_codec.generation < !last then
+        Alcotest.fail "generation went backwards";
+      last := seen.Service_codec.generation
+    done
+  in
+  let ds = [ Domain.spawn writer; Domain.spawn (reader 0); Domain.spawn (reader 1) ] in
+  Unix.sleepf 0.1;
+  Atomic.set stop true;
+  List.iter Domain.join ds
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "variable width" `Quick test_variable_width_values;
+    Alcotest.test_case "oversized rejected" `Quick test_oversized_rejected;
+    Alcotest.test_case "concurrent consistency" `Quick test_concurrent_consistency;
+  ]

@@ -1,0 +1,123 @@
+(* Payload stamping and validation: the torn-read detector must
+   actually detect. *)
+
+module Real = Arc_mem.Real_mem
+module P = Arc_workload.Payload.Make (Arc_mem.Real_mem)
+module Payload = Arc_workload.Payload
+
+let check = Alcotest.(check int)
+
+let buffer_of words =
+  let b = Real.alloc (Array.length words) in
+  Real.write_words b ~src:words ~len:(Array.length words);
+  b
+
+let test_stamp_roundtrip () =
+  let src = Array.make 32 0 in
+  P.stamp src ~seq:17 ~len:32;
+  let b = buffer_of src in
+  check "decode" 17 (P.decode_seq b);
+  match P.validate b ~len:32 with
+  | Ok seq -> check "validate" 17 seq
+  | Error msg -> Alcotest.fail msg
+
+let test_words_differ () =
+  (* Every word must differ from every other, or cross-offset tears
+     would go unnoticed. *)
+  let src = Array.make 64 0 in
+  P.stamp src ~seq:3 ~len:64;
+  let tbl = Hashtbl.create 64 in
+  Array.iter (fun w -> Hashtbl.replace tbl w ()) src;
+  check "all words distinct" 64 (Hashtbl.length tbl)
+
+let test_detects_mixed_writes () =
+  let a = Array.make 16 0 and b = Array.make 16 0 in
+  P.stamp a ~seq:1 ~len:16;
+  P.stamp b ~seq:2 ~len:16;
+  (* splice: words 0-7 from write 1, 8-15 from write 2 *)
+  Array.blit b 8 a 8 8;
+  (match P.validate (buffer_of a) ~len:16 with
+  | Ok _ -> Alcotest.fail "torn snapshot accepted"
+  | Error _ -> ());
+  match P.validate_words a ~len:16 with
+  | Ok _ -> Alcotest.fail "torn snapshot accepted (array)"
+  | Error _ -> ()
+
+let test_detects_single_word_corruption () =
+  let a = Array.make 16 0 in
+  P.stamp a ~seq:5 ~len:16;
+  a.(11) <- a.(11) + 1;
+  match P.validate (buffer_of a) ~len:16 with
+  | Ok _ -> Alcotest.fail "corrupted word accepted"
+  | Error msg ->
+    Alcotest.(check bool) "message names the word" true
+      (String.length msg > 0)
+
+let test_detects_offset_shift () =
+  (* The same write's words at the wrong offsets must fail. *)
+  let a = Array.make 16 0 in
+  P.stamp a ~seq:5 ~len:16;
+  let shifted = Array.make 16 0 in
+  Array.blit a 1 shifted 0 15;
+  shifted.(15) <- a.(0);
+  match P.validate_words shifted ~len:16 with
+  | Ok _ -> Alcotest.fail "shifted snapshot accepted"
+  | Error _ -> ()
+
+let test_scan_touches_everything () =
+  let src = Array.init 32 (fun i -> i) in
+  let b = buffer_of src in
+  check "sum" (31 * 32 / 2) (P.scan b ~len:32)
+
+let test_validation_edges () =
+  (match P.validate (Real.alloc 4) ~len:0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty snapshot accepted");
+  let raises f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  raises (fun () -> P.stamp (Array.make 4 0) ~seq:(-1) ~len:4);
+  raises (fun () -> P.stamp (Array.make 4 0) ~seq:1 ~len:5);
+  raises (fun () -> P.stamp (Array.make 4 0) ~seq:1 ~len:0)
+
+let test_paper_sizes () =
+  check "4KB in words" 512 Payload.size_4kb;
+  check "32KB in words" 4096 Payload.size_32kb;
+  check "128KB in words" 16384 Payload.size_128kb;
+  check "three paper sizes" 3 (List.length Payload.paper_sizes)
+
+let prop_stamp_validate =
+  QCheck.Test.make ~name:"stamp/validate roundtrip for all seqs and lengths"
+    ~count:300
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 128))
+    (fun (seq, len) ->
+      let src = Array.make len 0 in
+      P.stamp src ~seq ~len;
+      match P.validate_words src ~len with Ok s -> s = seq | Error _ -> false)
+
+let prop_mixed_rejected =
+  QCheck.Test.make ~name:"any two-write splice is rejected" ~count:300
+    QCheck.(triple (int_bound 10_000) (int_bound 10_000) (int_range 1 31))
+    (fun (s1, s2, cut) ->
+      QCheck.assume (s1 <> s2);
+      let a = Array.make 32 0 and b = Array.make 32 0 in
+      P.stamp a ~seq:s1 ~len:32;
+      P.stamp b ~seq:s2 ~len:32;
+      Array.blit b cut a cut (32 - cut);
+      match P.validate_words a ~len:32 with Ok _ -> false | Error _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "stamp roundtrip" `Quick test_stamp_roundtrip;
+    Alcotest.test_case "all words distinct" `Quick test_words_differ;
+    Alcotest.test_case "detects mixed writes" `Quick test_detects_mixed_writes;
+    Alcotest.test_case "detects word corruption" `Quick
+      test_detects_single_word_corruption;
+    Alcotest.test_case "detects offset shift" `Quick test_detects_offset_shift;
+    Alcotest.test_case "scan" `Quick test_scan_touches_everything;
+    Alcotest.test_case "validation edges" `Quick test_validation_edges;
+    Alcotest.test_case "paper sizes" `Quick test_paper_sizes;
+    QCheck_alcotest.to_alcotest prop_stamp_validate;
+    QCheck_alcotest.to_alcotest prop_mixed_rejected;
+  ]
