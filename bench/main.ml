@@ -233,6 +233,86 @@ let mrmw_tests =
       (Staged.stage (fun () -> ignore (Mn.read_into rd ~dst)));
   ]
 
+(* --- machine-readable throughput snapshot (BENCH_arc.json) ----------- *)
+
+(* Hold-model throughput at the canonical contention point (32KB
+   register, 8 threads) plus the 4KB point, per paper-set algorithm.
+   Written as JSON so the perf trajectory is diffable across PRs:
+   each record carries algorithm, size, threads and the mean of
+   [reps] runs.  `dune exec bench/main.exe -- --throughput-json
+   [PATH]` emits only this file; without the flag the bechamel run
+   comes first and the JSON is written alongside. *)
+
+module Registry = Arc_harness.Registry
+module Config = Arc_harness.Config
+
+let throughput_grid = [ (4096, "32KB", 8); (512, "4KB", 8) ]
+let throughput_reps = 3
+let throughput_duration_s = 0.2
+
+let throughput_point (entry : Registry.entry) ~size_words ~threads =
+  let cfg =
+    {
+      Config.default_real with
+      Config.readers = threads - 1;
+      size_words;
+      duration_s = throughput_duration_s;
+      workload = Config.Hold;
+      seed = 7;
+    }
+  in
+  let samples =
+    Array.init throughput_reps (fun _ ->
+        (entry.Registry.run_real cfg).Config.total_throughput)
+  in
+  Arc_util.Stats.mean samples
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let emit_throughput_json path =
+  (* Warm-up: the first measured point of a fresh process absorbs
+     cold-start costs (domain spawning, code paths, page faults) worth
+     several percent — run one unrecorded point first so the grid
+     measures steady state. *)
+  ignore
+    (throughput_point (Registry.find "arc") ~size_words:512 ~threads:8);
+  let records =
+    List.concat_map
+      (fun (size_words, size_name, threads) ->
+        List.map
+          (fun (entry : Registry.entry) ->
+            let mean = throughput_point entry ~size_words ~threads in
+            Printf.sprintf
+              "    {\"algorithm\": %S, \"size\": %S, \"size_words\": %d, \
+               \"threads\": %d, \"workload\": \"hold\", \
+               \"mean_throughput_ops_s\": %.1f}"
+              entry.Registry.name size_name size_words threads mean)
+          Registry.paper_set)
+      throughput_grid
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"platform\": \"%s\",\n\
+    \  \"reps\": %d,\n\
+    \  \"duration_s\": %.2f,\n\
+    \  \"results\": [\n%s\n  ]\n}\n"
+    (json_escape (Arc_util.Cpu.describe ()))
+    throughput_reps throughput_duration_s
+    (String.concat ",\n" records);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
 (* --- runner ---------------------------------------------------------- *)
 
 let benchmark tests =
@@ -245,7 +325,18 @@ let benchmark tests =
   let raw = Benchmark.all cfg [ instance ] grouped in
   Analyze.all ols instance raw
 
+let json_path_of_argv () =
+  match Array.to_list Sys.argv with
+  | _ :: "--throughput-json" :: path :: _ -> Some (path, true)
+  | _ :: "--throughput-json" :: _ -> Some ("BENCH_arc.json", true)
+  | _ -> Some ("BENCH_arc.json", false)
+
 let () =
+  (match json_path_of_argv () with
+  | Some (path, true) ->
+    emit_throughput_json path;
+    exit 0
+  | _ -> ());
   Printf.printf "arc_register benchmarks — %s\n" (Arc_util.Cpu.describe ());
   Printf.printf "%-50s %14s %8s\n" "benchmark" "ns/op" "r^2";
   print_endline (String.make 74 '-');
@@ -265,4 +356,7 @@ let () =
   in
   List.iter
     (fun (name, ns, r2) -> Printf.printf "%-50s %14.1f %8.4f\n" name ns r2)
-    (List.sort (fun (a, _, _) (b, _, _) -> compare a b) rows)
+    (List.sort (fun (a, _, _) (b, _, _) -> compare a b) rows);
+  match json_path_of_argv () with
+  | Some (path, false) -> emit_throughput_json path
+  | _ -> ()

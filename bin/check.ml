@@ -46,7 +46,7 @@ and run_one algo seeds strategy_name readers size steps verbose =
       exit 2
   in
   let readers =
-    match entry.Registry.max_readers ~capacity_words:size with
+    match entry.Registry.caps.Arc_core.Register_intf.max_readers ~capacity_words:size with
     | Some bound when readers > bound ->
       Printf.printf "note: %s supports at most %d readers; clamping\n" algo bound;
       bound

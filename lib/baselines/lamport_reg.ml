@@ -15,8 +15,13 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   type reader = { reg : t; scratch : M.buffer; mutable retries : int }
 
   let algorithm = algorithm
-  let wait_free = false
-  let max_readers ~capacity_words:_ = None
+
+  let caps =
+    {
+      Arc_core.Register_intf.wait_free = false;
+      zero_copy = false (* reads validate a private scratch copy *);
+      max_readers = (fun ~capacity_words:_ -> None);
+    }
 
   let create ~readers ~capacity ~init =
     if readers < 1 then invalid_arg "Lamport_reg.create: need at least one reader";
@@ -24,8 +29,10 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     if Array.length init > capacity then invalid_arg "Lamport_reg.create: init too long";
     let reg =
       {
-        v1 = M.atomic 0;
-        v2 = M.atomic 0;
+        (* The version pair is polled by every reader around every
+           copy while the writer bumps both per write. *)
+        v1 = M.atomic_contended 0;
+        v2 = M.atomic_contended 0;
         size = M.atomic 0;
         content = M.alloc capacity;
         capacity;

@@ -27,8 +27,13 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   }
 
   let algorithm = algorithm
-  let wait_free = true
-  let max_readers ~capacity_words:_ = None
+
+  let caps =
+    {
+      Arc_core.Register_intf.wait_free = true;
+      zero_copy = false (* reads return a validated private copy *);
+      max_readers = (fun ~capacity_words:_ -> None);
+    }
 
   let fresh_buf capacity = { size = M.atomic 0; content = M.alloc capacity }
 
@@ -45,10 +50,17 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
         buff1 = fresh_buf capacity;
         buff2 = fresh_buf capacity;
         copybuff = Array.init readers (fun _ -> fresh_buf capacity);
-        wflag = M.atomic 0;
-        switch = M.atomic 0;
-        reading = Array.init readers (fun _ -> M.atomic 0);
-        writing = Array.init readers (fun _ -> M.atomic 0);
+        (* The dirtiness words are loaded by every reader on every
+           read while the writer toggles them; the handshake words
+           pair one reader against the writer.  Contended allocation
+           keeps each of these hot words — in particular the
+           per-reader [reading]/[writing] cells, which an array of
+           plain atomics would pack onto shared lines — from
+           false-sharing with its neighbours. *)
+        wflag = M.atomic_contended 0;
+        switch = M.atomic_contended 0;
+        reading = Array.init readers (fun _ -> M.atomic_contended 0);
+        writing = Array.init readers (fun _ -> M.atomic_contended 0);
         readers;
         capacity;
       }

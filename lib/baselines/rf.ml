@@ -26,10 +26,14 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   type reader = { reg : t; bit : int }
 
   let algorithm = algorithm
-  let wait_free = true
 
-  let max_readers ~capacity_words:_ =
-    Some (max_readers_for_word ~word_bits:Sys.int_size)
+  let caps =
+    {
+      Arc_core.Register_intf.wait_free = true;
+      zero_copy = true;
+      max_readers =
+        (fun ~capacity_words:_ -> Some (max_readers_for_word ~word_bits:Sys.int_size));
+    }
 
   let pointer_of reg word = word lsr reg.readers
   let trace_bits reg word = word land Bits.mask reg.readers
@@ -52,7 +56,9 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     M.store slots.(0).size (Array.length init);
     {
       slots;
-      sync = M.atomic 0 (* pointer = 0, no trace bits *);
+      (* The presence word absorbs one RMW per read from every reader
+         plus the writer's exchange — isolate it on its own line. *)
+      sync = M.atomic_contended 0 (* pointer = 0, no trace bits *);
       readers;
       trace = Array.make readers (-1);
       claimed = Array.make nslots (-1);

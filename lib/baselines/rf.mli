@@ -27,9 +27,7 @@ val max_readers_for_word : word_bits:int -> int
 (** Largest [n] with [n + ceil_log2 (n + 2) <= word_bits]. *)
 
 module Make (M : Arc_mem.Mem_intf.S) : sig
-  include Arc_core.Register_intf.S with module Mem = M
-
-  val read_view : reader -> M.buffer * int
-  (** Zero-copy read; stable until this reader's next read, as the
-      writer-private trace table protects the slot. *)
+  include Arc_core.Register_intf.ZERO_COPY with module Mem = M
+  (** [read_view]: zero-copy read; stable until this reader's next
+      read, as the writer-private trace table protects the slot. *)
 end

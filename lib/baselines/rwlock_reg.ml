@@ -7,15 +7,22 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   type reader = t
 
   let algorithm = algorithm
-  let wait_free = false
-  let max_readers ~capacity_words:_ = None
+
+  let caps =
+    {
+      Arc_core.Register_intf.wait_free = false;
+      zero_copy = true (* the callback runs on the shared buffer, inside the lock *);
+      max_readers = (fun ~capacity_words:_ -> None);
+    }
 
   let create ~readers ~capacity ~init =
     if readers < 1 then invalid_arg "Rwlock_reg.create: need at least one reader";
     if capacity < 1 then invalid_arg "Rwlock_reg.create: capacity must be positive";
     if Array.length init > capacity then invalid_arg "Rwlock_reg.create: init too long";
     let reg =
-      { lock = M.atomic 0; size = M.atomic 0; content = M.alloc capacity; readers }
+      (* Every acquire/release CASes the lock word: own line. *)
+      { lock = M.atomic_contended 0; size = M.atomic 0; content = M.alloc capacity;
+        readers }
     in
     M.write_words reg.content ~src:init ~len:(Array.length init);
     M.store reg.size (Array.length init);

@@ -13,8 +13,13 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   type reader = { reg : t; scratch : M.buffer; mutable retries : int }
 
   let algorithm = algorithm
-  let wait_free = false
-  let max_readers ~capacity_words:_ = None
+
+  let caps =
+    {
+      Arc_core.Register_intf.wait_free = false;
+      zero_copy = false (* reads validate a private scratch copy *);
+      max_readers = (fun ~capacity_words:_ -> None);
+    }
 
   let create ~readers ~capacity ~init =
     if readers < 1 then invalid_arg "Seqlock_reg.create: need at least one reader";
@@ -22,7 +27,9 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     if Array.length init > capacity then invalid_arg "Seqlock_reg.create: init too long";
     let reg =
       {
-        version = M.atomic 0;
+        (* Readers poll [version] around every copy while the writer
+           bumps it twice per write: own line, away from the data. *)
+        version = M.atomic_contended 0;
         size = M.atomic 0;
         content = M.alloc capacity;
         capacity;

@@ -15,8 +15,13 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   type reader = t
 
   let algorithm = algorithm
-  let wait_free = true
-  let max_readers ~capacity_words:_ = Some 1
+
+  let caps =
+    {
+      Arc_core.Register_intf.wait_free = true;
+      zero_copy = true (* the callback runs on the claimed slot *);
+      max_readers = (fun ~capacity_words:_ -> Some 1);
+    }
 
   let create ~readers ~capacity ~init =
     if readers <> 1 then
@@ -27,9 +32,11 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     let reg =
       {
         data = Array.init 2 (fun _ -> Array.init 2 (fun _ -> fresh ()));
-        slot_of = [| M.atomic 0; M.atomic 0 |];
-        latest = M.atomic 0;
-        reading = M.atomic 0;
+        (* The four control words mediate the entire reader/writer
+           handshake; keep each off the others' cache lines. *)
+        slot_of = [| M.atomic_contended 0; M.atomic_contended 0 |];
+        latest = M.atomic_contended 0;
+        reading = M.atomic_contended 0;
       }
     in
     (* Every slot starts with the initial value, so any interleaving

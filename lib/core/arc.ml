@@ -5,6 +5,16 @@ module Packed = Arc_util.Packed
 module Make (M : Arc_mem.Mem_intf.S) = struct
   module Mem = M
 
+  (* Layout note.  [r_start]/[r_end] are hammered by releasing readers
+     while the writer polls them during its free-slot scan, and the
+     writer resets them on every recycle — pair-contended allocation
+     keeps that RMW traffic off the cache lines of [size], the buffer
+     and the neighbouring slots, while keeping the two counters
+     together: every operation that touches one touches the other
+     (read entry/exit, the probe's equality test), so the pair costs
+     one line, not two.  [size] stays a plain cell: it is written once
+     per recycle and read once per read, always adjacent in time to
+     the content accesses of the same slot. *)
   type slot = {
     size : M.atomic;  (* words of the snapshot currently in [content] *)
     r_start : M.atomic;  (* reads started on this slot since its last update *)
@@ -27,8 +37,13 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   type reader = { reg : t; mutable last_index : int }
 
   let algorithm = algorithm
-  let wait_free = true
-  let max_readers ~capacity_words:_ = Some (Packed.max_count - 1)
+
+  let caps =
+    {
+      Register_intf.wait_free = true;
+      zero_copy = true;
+      max_readers = (fun ~capacity_words:_ -> Some (Packed.max_count - 1));
+    }
 
   let create_with ~use_hint ~readers ~capacity ~init =
     if readers < 1 then invalid_arg "Arc.create: need at least one reader";
@@ -41,12 +56,8 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     if nslots - 1 > Packed.max_index then
       invalid_arg "Arc.create: slot count exceeds index field";
     let fresh_slot () =
-      {
-        size = M.atomic 0;
-        r_start = M.atomic 0;
-        r_end = M.atomic 0;
-        content = M.alloc capacity;
-      }
+      let r_start, r_end = M.atomic_contended_pair 0 0 in
+      { size = M.atomic 0; r_start; r_end; content = M.alloc capacity }
     in
     let slots = Array.init nslots (fun _ -> fresh_slot ()) in
     (* I1: the initial value lives in slot 0 and [current] starts as
@@ -58,10 +69,14 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     M.store slots.(0).size (Array.length init);
     {
       slots;
-      current = M.atomic (Packed.make ~index:0 ~count:readers);
+      (* [current] is the single globally hottest word (every reader
+         loads it, misses RMW it, the writer exchanges it) and [hint]
+         is stored by readers while the writer polls it — both get
+         their own cache lines. *)
+      current = M.atomic_contended (Packed.make ~index:0 ~count:readers);
       readers;
       use_hint;
-      hint = M.atomic (-1);
+      hint = M.atomic_contended (-1);
       last_slot = 0;
       probes = 0;
       writes = 0;

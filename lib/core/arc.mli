@@ -30,18 +30,15 @@
 val algorithm : string
 
 module Make (M : Arc_mem.Mem_intf.S) : sig
-  include Register_intf.S with module Mem = M
+  include Register_intf.ZERO_COPY with module Mem = M
+  (** [read_view] is the pinned zero-copy read: the view stays stable
+      until this same reader's {e next} read (the slot cannot be
+      recycled while this reader's presence is accounted on it). *)
 
   val create_with : use_hint:bool -> readers:int -> capacity:int -> init:int array -> t
   (** Like {!create} but choosing whether the §3.4 free-slot hint is
       used ({!create} enables it).  [use_hint:false] is the ablation
       arm of experiment E5. *)
-
-  val read_view : reader -> M.buffer * int
-  (** The raw zero-copy read: returns the slot buffer and the snapshot
-      length.  Stronger guarantee than {!read_with}: the view stays
-      stable until this same reader's {e next} read (the slot cannot
-      be recycled while this reader's presence is accounted on it). *)
 
   val write_probes : t -> int
   (** Total slots examined by all {!write} free-slot searches so far

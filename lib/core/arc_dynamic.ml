@@ -29,8 +29,13 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   type reader = { reg : t; mutable last_index : int }
 
   let algorithm = algorithm
-  let wait_free = true
-  let max_readers ~capacity_words:_ = Some (Packed.max_count - 1)
+
+  let caps =
+    {
+      Register_intf.wait_free = true;
+      zero_copy = true;
+      max_readers = (fun ~capacity_words:_ -> Some (Packed.max_count - 1));
+    }
 
   let create ~readers ~capacity ~init =
     if readers < 1 then invalid_arg "Arc_dynamic.create: need at least one reader";
@@ -43,12 +48,8 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     if nslots - 1 > Packed.max_index then
       invalid_arg "Arc_dynamic.create: slot count exceeds index field";
     let fresh_slot words =
-      {
-        size = M.atomic 0;
-        r_start = M.atomic 0;
-        r_end = M.atomic 0;
-        content = M.alloc words;
-      }
+      let r_start, r_end = M.atomic_contended_pair 0 0 in
+      { size = M.atomic 0; r_start; r_end; content = M.alloc words }
     in
     (* Empty slots start with zero-word buffers: the whole point of
        the dynamic variant is paying only for what is stored. *)
@@ -59,10 +60,10 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     M.store slots.(0).size (Array.length init);
     {
       slots;
-      current = M.atomic (Packed.make ~index:0 ~count:readers);
+      current = M.atomic_contended (Packed.make ~index:0 ~count:readers);
       readers;
       capacity;
-      hint = M.atomic (-1);
+      hint = M.atomic_contended (-1);
       last_slot = 0;
       reallocations = 0;
       writes = 0;

@@ -22,11 +22,9 @@
 val algorithm : string
 
 module Make (M : Arc_mem.Mem_intf.S) : sig
-  include Register_intf.S with module Mem = M
-
-  val read_view : reader -> M.buffer * int
-  (** Zero-copy view, stable until this reader's next read, exactly as
-      in {!Arc}. *)
+  include Register_intf.ZERO_COPY with module Mem = M
+  (** [read_view]: zero-copy view, stable until this reader's next
+      read, exactly as in {!Arc}. *)
 
   val footprint_words : t -> int
   (** Total words currently allocated across all slot buffers. *)

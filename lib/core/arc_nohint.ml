@@ -8,8 +8,7 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   type reader = Inner.reader
 
   let algorithm = algorithm
-  let wait_free = true
-  let max_readers = Inner.max_readers
+  let caps = Inner.caps
 
   let create ~readers ~capacity ~init =
     Inner.create_with ~use_hint:false ~readers ~capacity ~init
@@ -17,6 +16,7 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   let reader = Inner.reader
   let write = Inner.write
   let read_with = Inner.read_with
+  let read_view = Inner.read_view
   let read_into = Inner.read_into
   let write_probes = Inner.write_probes
   let writes = Inner.writes

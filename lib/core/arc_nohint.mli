@@ -6,7 +6,7 @@
 val algorithm : string
 
 module Make (M : Arc_mem.Mem_intf.S) : sig
-  include Register_intf.S with module Mem = M
+  include Register_intf.ZERO_COPY with module Mem = M
 
   val write_probes : t -> int
   val writes : t -> int

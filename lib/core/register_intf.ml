@@ -14,11 +14,41 @@
     passed to the callback is only guaranteed stable for the duration
     of the callback — wait-free algorithms such as ARC give stronger
     guarantees (stable until the same reader's next read), which they
-    expose as extra functions outside this signature.  This formulation
+    expose through the {!ZERO_COPY} capability.  This formulation
     keeps the comparison honest: ARC runs the callback directly on the
     shared slot (zero copies), Peterson and the seqlock run it on a
     validated private copy, and the lock-based register runs it inside
     the critical section. *)
+
+(** What an algorithm can do, as one first-class record: harness
+    layers (registry, figure builders, CLIs) select algorithms by
+    querying [caps] instead of hard-coding name lists, and new
+    capabilities extend this record instead of scattering more ad-hoc
+    [val]s through {!S}. *)
+type caps = {
+  wait_free : bool;
+      (** Both operations complete in a bounded number of steps
+          regardless of the scheduler (true for ARC, RF, Peterson;
+          false for the lock-based, seqlock and Lamport baselines). *)
+  zero_copy : bool;
+      (** [read_with] applies the callback directly to shared memory —
+          no intermediate snapshot copy on the read path (ARC, RF, the
+          lock-based register inside its critical section).  Copy-based
+          algorithms (Peterson, seqlock, Lamport) are [false].
+          Algorithms whose zero-copy view additionally outlives the
+          callback implement the {!ZERO_COPY} sub-signature. *)
+  max_readers : capacity_words:int -> int option;
+      (** Hard bound on the number of reader threads, if the algorithm
+          has one.  RF returns the word-size-dependent bound the paper
+          discusses (58 on 64-bit C; 57 with OCaml's 63-bit ints); ARC
+          returns [Some (2^32 - 2)]; Simpson [Some 1]; others
+          [None]. *)
+}
+
+let supports_readers caps ~readers ~capacity_words =
+  match caps.max_readers ~capacity_words with
+  | Some bound -> readers <= bound
+  | None -> true
 
 module type S = sig
   module Mem : Arc_mem.Mem_intf.S
@@ -30,16 +60,9 @@ module type S = sig
   (** Short name used in reports: "arc", "rf", "peterson", "rwlock",
       "seqlock". *)
 
-  val wait_free : bool
-  (** Whether both operations complete in a bounded number of steps
-      regardless of the scheduler (true for ARC, RF, Peterson; false
-      for the lock-based and seqlock baselines). *)
-
-  val max_readers : capacity_words:int -> int option
-  (** Hard bound on the number of reader threads, if the algorithm has
-      one.  RF returns the word-size-dependent bound the paper
-      discusses (58 on 64-bit C; 57 with OCaml's 63-bit ints); ARC
-      returns [Some (2^32 - 2)]; others [None]. *)
+  val caps : caps
+  (** The algorithm's capability record (wait-freedom, zero-copy
+      reads, reader bound). *)
 
   val create : readers:int -> capacity:int -> init:int array -> t
   (** [create ~readers ~capacity ~init] builds a register for
@@ -67,6 +90,22 @@ module type S = sig
   (** Copy the snapshot into [dst], returning its length.  Derived
       from {!read_with}; convenient for tests.
       @raise Invalid_argument if [dst] is shorter than the snapshot. *)
+end
+
+(** The zero-copy {e pinned view} capability: a read that returns the
+    shared buffer itself, stable until this same reader's {b next}
+    read — the stronger contract ARC's presence accounting (and RF's
+    writer-private trace table) make possible, and the contract
+    consumers such as the (M,N) extension and the zero-allocation
+    examples rely on.  Implementors must have [caps.zero_copy =
+    true]. *)
+module type ZERO_COPY = sig
+  include S
+
+  val read_view : reader -> Mem.buffer * int
+  (** The raw zero-copy read: returns the slot buffer and the snapshot
+      length.  The view stays stable until this same reader's next
+      read; the buffer must not be written through. *)
 end
 
 (** A register algorithm packaged as a functor over the memory

@@ -36,7 +36,7 @@ module Run_of (R : Arc_core.Register_intf.S) = struct
      algorithm does identical logical work. *)
   let run ~readers ~size ~writes_quota ~reads_quota ~seed =
     let supported =
-      match R.max_readers ~capacity_words:size with
+      match R.caps.Arc_core.Register_intf.max_readers ~capacity_words:size with
       | Some bound -> min bound readers
       | None -> readers
     in

@@ -1,8 +1,14 @@
-module Series = Arc_report.Series
-module Table = Arc_report.Table
-module Strategy = Arc_vsched.Strategy
+(** Stable façade over the per-figure drivers.
 
-type opts = {
+    The actual logic lives in {!Grid} (options, grids, point runners,
+    series plumbing) and the figure modules {!Fig_throughput},
+    {!Fig_rmw}, {!Fig_ablation}, {!Fig_latency}; this module re-exports
+    everything under the historical flat names so the CLI and tests
+    keep one entry point. *)
+
+module Table = Arc_report.Table
+
+type opts = Grid.opts = {
   reps : int;
   duration_s : float;
   sim_steps : int;
@@ -10,446 +16,24 @@ type opts = {
   seed : int;
 }
 
-let default = { reps = 3; duration_s = 0.2; sim_steps = 300_000; quick = false; seed = 1 }
-let quick = { reps = 1; duration_s = 0.05; sim_steps = 40_000; quick = true; seed = 1 }
+let default = Grid.default
+let quick = Grid.quick
 
-(* Grids ------------------------------------------------------------- *)
+let fig1_real = Fig_throughput.fig1_real
+let fig1_sim = Fig_throughput.fig1_sim
+let fig2_real = Fig_throughput.fig2_real
+let fig2_sim = Fig_throughput.fig2_sim
+let fig3_sim = Fig_throughput.fig3_sim
+let fig3_real_threads = Fig_throughput.fig3_real_threads
+let processing_real = Fig_throughput.processing_real
+let rmw_table = Fig_rmw.rmw_table
+let ablation_hint = Fig_ablation.ablation_hint
+let ablation_dynamic = Fig_ablation.ablation_dynamic
+let latency_table = Fig_latency.latency_table
+let variability_table = Fig_latency.variability_table
 
-let real_threads opts = if opts.quick then [ 2; 4; 8 ] else [ 2; 4; 8; 16; 32 ]
-
-let real_sizes opts =
-  if opts.quick then [ ("4KB", Arc_workload.Payload.size_4kb) ]
-  else Arc_workload.Payload.paper_sizes
-
-(* Simulated sizes are scaled down (per-word scheduling points make a
-   128KB copy 16384 steps); the copy-cost *ratios* between sizes are
-   preserved, which is what the shape comparison needs. *)
-let sim_sizes opts =
-  if opts.quick then [ ("64w", 64) ] else [ ("64w", 64); ("512w", 512); ("2048w", 2048) ]
-
-let sim_threads opts = if opts.quick then [ 2; 4 ] else [ 2; 4; 8; 16; 32 ]
-let fig3_threads opts = if opts.quick then [ 16; 64 ] else [ 16; 64; 256; 1024; 4096 ]
-
-(* Systhread time-sharing rotates 50ms quanta: joining k spinning
-   threads costs up to k × 50ms, so the real-threads grid stays small
-   (the 4096-thread regime lives in the simulator, fig3_sim). *)
-let fig3_real_thread_counts opts = if opts.quick then [ 8; 32 ] else [ 8; 32; 128 ]
-
-(* Runners ------------------------------------------------------------ *)
-
-let mean_of f ~reps =
-  let samples = Array.init (max reps 1) (fun _ -> f ()) in
-  Arc_util.Stats.mean samples
-
-let real_point (entry : Registry.entry) ~opts ~threads ~size ~workload ~steal =
-  let cfg =
-    {
-      Config.default_real with
-      Config.readers = threads - 1;
-      size_words = size;
-      duration_s = opts.duration_s;
-      workload;
-      steal;
-      seed = opts.seed;
-    }
-  in
-  mean_of ~reps:opts.reps (fun () ->
-      (entry.Registry.run_real cfg).Config.total_throughput)
-
-let sim_point (entry : Registry.entry) ~opts ~threads ~size ~steal =
-  let cfg =
-    {
-      Config.default_sim with
-      Config.sim_readers = threads - 1;
-      sim_size_words = size;
-      max_steps = opts.sim_steps;
-      sim_workload = Config.Hold;
-      sim_seed = opts.seed;
-    }
-  in
-  let strategy =
-    if steal then
-      Strategy.steal ~seed:opts.seed
-        ~base:(Strategy.random ~seed:(opts.seed + 1))
-        ~probability:0.002 ~min_pause:200 ~max_pause:2_000
-    else Strategy.random ~seed:opts.seed
-  in
-  let r = entry.Registry.run_sim ~strategy cfg in
-  (* ops per 1000 simulated steps *)
-  r.Config.total_throughput *. 1000.
-
-let supports (entry : Registry.entry) ~readers ~size =
-  match entry.Registry.max_readers ~capacity_words:size with
-  | Some bound -> readers <= bound
-  | None -> true
-
-(* Figure builders ---------------------------------------------------- *)
-
-let build_series ~title_of ~x_label ~sizes ~threads ~algos ~point =
-  List.map
-    (fun (size_name, size) ->
-      let s = Series.create ~title:(title_of size_name) ~x_label in
-      List.iter
-        (fun t ->
-          List.iter
-            (fun (entry : Registry.entry) ->
-              if supports entry ~readers:(t - 1) ~size then
-                Series.add s ~series:entry.Registry.name ~x:(float_of_int t)
-                  ~y:(point entry ~threads:t ~size))
-            algos)
-        threads;
-      s)
-    sizes
-
-let fig1_real opts =
-  build_series
-    ~title_of:(fun sz ->
-      Printf.sprintf "Fig.1 (real domains) — hold-model throughput, register %s" sz)
-    ~x_label:"threads" ~sizes:(real_sizes opts) ~threads:(real_threads opts)
-    ~algos:Registry.paper_set
-    ~point:(fun entry ~threads ~size ->
-      real_point entry ~opts ~threads ~size ~workload:Config.Hold ~steal:None)
-
-let fig1_sim opts =
-  build_series
-    ~title_of:(fun sz ->
-      Printf.sprintf
-        "Fig.1 (simulated) — hold-model ops per 1000 steps, register %s" sz)
-    ~x_label:"threads" ~sizes:(sim_sizes opts) ~threads:(sim_threads opts)
-    ~algos:Registry.paper_set
-    ~point:(fun entry ~threads ~size -> sim_point entry ~opts ~threads ~size ~steal:false)
-
-let fig2_real opts =
-  let steal = Some { Config.probability = 0.0005; pause_us = 200. } in
-  build_series
-    ~title_of:(fun sz ->
-      Printf.sprintf
-        "Fig.2 (real domains + steal injection) — hold-model throughput, register %s"
-        sz)
-    ~x_label:"threads" ~sizes:(real_sizes opts) ~threads:(real_threads opts)
-    ~algos:Registry.paper_set
-    ~point:(fun entry ~threads ~size ->
-      real_point entry ~opts ~threads ~size ~workload:Config.Hold ~steal)
-
-let fig2_sim opts =
-  build_series
-    ~title_of:(fun sz ->
-      Printf.sprintf
-        "Fig.2 (simulated CPU-steal) — hold-model ops per 1000 steps, register %s" sz)
-    ~x_label:"threads" ~sizes:(sim_sizes opts) ~threads:(sim_threads opts)
-    ~algos:Registry.paper_set
-    ~point:(fun entry ~threads ~size -> sim_point entry ~opts ~threads ~size ~steal:true)
-
-let fig3_algos () =
-  (* RF cannot host these reader counts — excluded, as in the paper. *)
-  [ Registry.find "arc"; Registry.find "peterson"; Registry.find "rwlock";
-    Registry.find "seqlock" ]
-
-let fig3_sim opts =
-  build_series
-    ~title_of:(fun sz ->
-      Printf.sprintf
-        "Fig.3 (simulated) — largely-increased thread counts, register %s" sz)
-    ~x_label:"threads" ~sizes:(sim_sizes opts) ~threads:(fig3_threads opts)
-    ~algos:(fig3_algos ())
-    ~point:(fun entry ~threads ~size ->
-      (* Budget grows with the fiber count so everyone gets scheduled. *)
-      let opts = { opts with sim_steps = opts.sim_steps + (threads * 200) } in
-      sim_point entry ~opts ~threads ~size ~steal:false)
-
-let fig3_real_threads opts =
-  build_series
-    ~title_of:(fun sz ->
-      Printf.sprintf
-        "Fig.3 (real systhreads, time-shared) — throughput, register %s" sz)
-    ~x_label:"threads"
-    ~sizes:(if opts.quick then [ ("4KB", Arc_workload.Payload.size_4kb) ]
-            else [ ("4KB", Arc_workload.Payload.size_4kb);
-                   ("32KB", Arc_workload.Payload.size_32kb) ])
-    ~threads:(fig3_real_thread_counts opts)
-    ~algos:(fig3_algos ())
-    ~point:(fun entry ~threads ~size ->
-      let cfg =
-        {
-          Config.default_real with
-          Config.readers = threads - 1;
-          size_words = size;
-          duration_s = opts.duration_s;
-          workload = Config.Hold;
-          seed = opts.seed;
-          parallelism = `Threads;
-        }
-      in
-      (* Single rep: the join alone dominates at high thread counts. *)
-      (entry.Registry.run_real cfg).Config.total_throughput)
-
-let rmw_table opts =
-  let table =
-    Table.create
-      ~title:
-        "E4 — RMW instructions and plain atomic loads per operation \
-         (deterministic interleaving; r = reads per reader between writes)"
-      ~columns:
-        [ "algorithm"; "readers"; "r"; "rmw/read"; "rmw/write"; "loads/read";
-          "words-copied/write" ]
-  in
-  let readerss = if opts.quick then [ 4 ] else [ 4; 16; 48 ] in
-  let rpws = if opts.quick then [ 1; 8 ] else [ 1; 4; 16 ] in
-  List.iter
-    (fun (entry : Registry.entry) ->
-      List.iter
-        (fun readers ->
-          if supports entry ~readers ~size:64 then
-            List.iter
-              (fun rpw ->
-                let c =
-                  entry.Registry.count ~readers ~size_words:64 ~rounds:100
-                    ~reads_per_write:rpw
-                in
-                Table.add_row table
-                  [
-                    entry.Registry.name;
-                    string_of_int readers;
-                    string_of_int rpw;
-                    Printf.sprintf "%.3f" c.Count_runner.rmw_per_read;
-                    Printf.sprintf "%.3f" c.Count_runner.rmw_per_write;
-                    Printf.sprintf "%.3f" c.Count_runner.atomic_loads_per_read;
-                    Printf.sprintf "%.0f" c.Count_runner.word_writes_per_write;
-                  ])
-              rpws)
-        readerss)
-    Registry.all;
-  table
-
-(* E5: the §3.4 hint — measured slot probes per write with parked
-   readers, plus hold-model throughput of the two variants. *)
-module Arc_direct = Arc_core.Arc.Make (Arc_mem.Real_mem)
-module P_direct = Arc_workload.Payload.Make (Arc_mem.Real_mem)
-
-let probes_per_write ~use_hint ~readers ~writes =
-  let capacity = 16 in
-  let init = Array.make capacity 0 in
-  P_direct.stamp init ~seq:0 ~len:capacity;
-  let reg = Arc_direct.create_with ~use_hint ~readers ~capacity ~init in
-  let handles = Array.init readers (Arc_direct.reader reg) in
-  let src = Array.make capacity 0 in
-  (* Park all but one reader on distinct old snapshots. *)
-  for seq = 1 to readers do
-    P_direct.stamp src ~seq ~len:capacity;
-    Arc_direct.write reg ~src ~len:capacity;
-    ignore (Arc_direct.read_with handles.(seq - 1) ~f:(fun _ _ -> ()))
-  done;
-  let before = Arc_direct.write_probes reg in
-  for seq = readers + 1 to readers + writes do
-    ignore (Arc_direct.read_with handles.(0) ~f:(fun _ _ -> ()));
-    P_direct.stamp src ~seq ~len:capacity;
-    Arc_direct.write reg ~src ~len:capacity
-  done;
-  float_of_int (Arc_direct.write_probes reg - before) /. float_of_int writes
-
-let ablation_hint opts =
-  let table =
-    Table.create
-      ~title:
-        "E5 — §3.4 free-slot hint ablation: write-side slot probes per write \
-         (parked readers) and hold-model throughput"
-      ~columns:[ "variant"; "readers"; "probes/write"; "hold ops/s (3 readers)" ]
-  in
-  let readerss = if opts.quick then [ 8 ] else [ 8; 32; 128 ] in
-  let throughput name =
-    let entry = Registry.find name in
-    let cfg =
-      { Config.default_real with Config.duration_s = opts.duration_s; seed = opts.seed }
-    in
-    mean_of ~reps:opts.reps (fun () ->
-        (entry.Registry.run_real cfg).Config.total_throughput)
-  in
-  let tp_hint = throughput "arc" and tp_nohint = throughput "arc-nohint" in
-  List.iter
-    (fun readers ->
-      List.iter
-        (fun (label, use_hint, tp) ->
-          Table.add_row table
-            [
-              label;
-              string_of_int readers;
-              Printf.sprintf "%.2f" (probes_per_write ~use_hint ~readers ~writes:500);
-              Printf.sprintf "%.3g" tp;
-            ])
-        [ ("arc (hint)", true, tp_hint); ("arc-nohint", false, tp_nohint) ])
-    readerss;
-  table
-
-let processing_real opts =
-  build_series
-    ~title_of:(fun sz ->
-      Printf.sprintf
-        "E6 (real domains) — processing workload (writes generate, reads scan), \
-         register %s"
-        sz)
-    ~x_label:"threads" ~sizes:(real_sizes opts) ~threads:(real_threads opts)
-    ~algos:Registry.paper_set
-    ~point:(fun entry ~threads ~size ->
-      real_point entry ~opts ~threads ~size ~workload:Config.Processing ~steal:None)
-
-(* E7: operation-latency distributions on real domains — the
-   per-operation face of wait-freedom (complements the paper's
-   throughput-only reporting). *)
-let latency_table opts =
-  let table =
-    Table.create
-      ~title:
-        "E7 — read latency distribution on real domains (Verify workload, \
-         3 readers, 4KB register; microseconds)"
-      ~columns:[ "algorithm"; "reads"; "mean µs"; "p99 µs"; "max µs" ]
-  in
-  List.iter
-    (fun (entry : Registry.entry) ->
-      let readers =
-        match entry.Registry.max_readers ~capacity_words:512 with
-        | Some bound -> min bound 3
-        | None -> 3
-      in
-      let cfg =
-        {
-          Config.default_real with
-          Config.readers;
-          size_words = 512;
-          duration_s = opts.duration_s;
-          workload = Config.Verify;
-          record = 200_000;
-          seed = opts.seed;
-        }
-      in
-      let result = entry.Registry.run_real cfg in
-      match result.Config.history with
-      | None -> ()
-      | Some h ->
-        let audit = Arc_trace.Audit.of_history h in
-        let reads = audit.Arc_trace.Audit.reads in
-        let us ns = ns /. 1e3 in
-        Table.add_row table
-          [
-            entry.Registry.name;
-            string_of_int reads.Arc_trace.Audit.count;
-            Printf.sprintf "%.2f" (us reads.Arc_trace.Audit.mean_duration);
-            Printf.sprintf "%.2f" (us reads.Arc_trace.Audit.p99_duration);
-            Printf.sprintf "%.2f"
-              (us (float_of_int reads.Arc_trace.Audit.max_duration));
-          ])
-    Registry.all;
-  table
-
-(* E8: the dynamic-allocation variant's memory footprint under
-   different snapshot-size distributions. *)
-module Arc_dyn = Arc_core.Arc_dynamic.Make (Arc_mem.Real_mem)
-
-let ablation_dynamic _opts =
-  let table =
-    Table.create
-      ~title:
-        "E8 — dynamic buffer allocation (§3.3 note): memory footprint vs static \
-         ARC (3 readers, capacity 16384 words, 2000 writes)"
-      ~columns:
-        [ "size distribution"; "static words"; "dynamic words"; "reallocs/write" ]
-  in
-  let readers = 3 in
-  let capacity = 16384 in
-  let static_words = (readers + 2) * capacity in
-  let run_distribution name sample =
-    let rng = Arc_util.Splitmix.of_int 11 in
-    let reg = Arc_dyn.create ~readers ~capacity ~init:[| 0 |] in
-    let handles = Array.init readers (Arc_dyn.reader reg) in
-    let src = Array.make capacity 0 in
-    let writes = 2000 in
-    for _ = 1 to writes do
-      let len = sample rng in
-      P_direct.stamp src ~seq:1 ~len;
-      Arc_dyn.write reg ~src ~len;
-      (* a reader occasionally follows, cycling the slots *)
-      if Arc_util.Splitmix.bernoulli rng 0.5 then
-        ignore
-          (Arc_dyn.read_with handles.(Arc_util.Splitmix.int rng readers)
-             ~f:(fun _ _ -> ()))
-    done;
-    Table.add_row table
-      [
-        name;
-        string_of_int static_words;
-        string_of_int (Arc_dyn.footprint_words reg);
-        Printf.sprintf "%.3f"
-          (float_of_int (Arc_dyn.reallocations reg) /. float_of_int writes);
-      ]
-  in
-  run_distribution "constant 256w" (fun _ -> 256);
-  run_distribution "uniform 1..512w" (fun rng -> 1 + Arc_util.Splitmix.int rng 512);
-  run_distribution "bimodal 64w/16384w" (fun rng ->
-      if Arc_util.Splitmix.bernoulli rng 0.95 then 64 else capacity);
-  table
-
-(* Measurement-noise quantification: repeat one canonical point many
-   times and report dispersion, so EXPERIMENTS.md can state how much
-   of any real-mode gap is noise. *)
-let variability_table opts =
-  let table =
-    Table.create
-      ~title:
-        (Printf.sprintf
-           "Measurement variability — hold model, 3+1 threads, 4KB register, \
-            %d repetitions per algorithm"
-           (max (opts.reps * 3) 8))
-      ~columns:[ "algorithm"; "mean ops/s"; "stddev"; "CV %"; "min"; "max" ]
-  in
-  let reps = max (opts.reps * 3) 8 in
-  List.iter
-    (fun (entry : Registry.entry) ->
-      let cfg =
-        {
-          Config.default_real with
-          Config.readers = 3;
-          size_words = Arc_workload.Payload.size_4kb;
-          duration_s = opts.duration_s;
-          seed = opts.seed;
-        }
-      in
-      let samples =
-        Array.init reps (fun _ ->
-            (entry.Registry.run_real cfg).Config.total_throughput)
-      in
-      let s = Arc_util.Stats.summarize samples in
-      Table.add_row table
-        [
-          entry.Registry.name;
-          Printf.sprintf "%.3g" s.Arc_util.Stats.mean;
-          Printf.sprintf "%.3g" s.Arc_util.Stats.stddev;
-          Printf.sprintf "%.1f"
-            (100. *. s.Arc_util.Stats.stddev /. s.Arc_util.Stats.mean);
-          Printf.sprintf "%.3g" s.Arc_util.Stats.min;
-          Printf.sprintf "%.3g" s.Arc_util.Stats.max;
-        ])
-    Registry.paper_set;
-  table
-
-(* Output ------------------------------------------------------------- *)
-
-let dump_csv ~out_dir ~name contents =
-  match out_dir with
-  | None -> ()
-  | Some dir ->
-    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-    let oc = open_out (Filename.concat dir (name ^ ".csv")) in
-    output_string oc contents;
-    close_out oc
-
-let print_series ~out_dir ~stem series_list =
-  List.iteri
-    (fun i s ->
-      Table.print (Series.to_table s);
-      print_newline ();
-      print_string (Series.render_chart s);
-      print_newline ();
-      dump_csv ~out_dir ~name:(Printf.sprintf "%s_%d" stem i) (Series.to_csv s))
-    series_list
+let dump_csv = Grid.dump_csv
+let print_series = Grid.print_series
 
 let run_all opts ~out_dir =
   Printf.printf "platform: %s\n\n" (Arc_util.Cpu.describe ());

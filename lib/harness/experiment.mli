@@ -1,12 +1,15 @@
 (** Drivers regenerating every figure and table of the paper's
     evaluation (§5), per the experiment index in DESIGN.md §4.
 
-    Every driver returns report structures; the [bin/experiments]
-    CLI renders and optionally dumps them as CSV.  Absolute numbers
-    are machine-dependent — EXPERIMENTS.md records the shape
-    comparisons (orderings, ratios, crossovers) against the paper. *)
+    This module is a stable façade: the shared grid/runner core lives
+    in {!Grid} and the figure logic in {!Fig_throughput}, {!Fig_rmw},
+    {!Fig_ablation} and {!Fig_latency}.  Every driver returns report
+    structures; the [bin/experiments] CLI renders and optionally dumps
+    them as CSV.  Absolute numbers are machine-dependent —
+    EXPERIMENTS.md records the shape comparisons (orderings, ratios,
+    crossovers) against the paper. *)
 
-type opts = {
+type opts = Grid.opts = {
   reps : int;  (** repetitions per real-mode point (paper: 10) *)
   duration_s : float;  (** measured window per real-mode point *)
   sim_steps : int;  (** simulated-step budget per sim-mode point *)

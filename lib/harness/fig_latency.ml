@@ -1,0 +1,95 @@
+(** E7: operation-latency distributions on real domains — the
+    per-operation face of wait-freedom (complements the paper's
+    throughput-only reporting) — plus the measurement-noise
+    quantification table. *)
+
+module Table = Arc_report.Table
+module RI = Arc_core.Register_intf
+
+let latency_table (opts : Grid.opts) =
+  let table =
+    Table.create
+      ~title:
+        "E7 — read latency distribution on real domains (Verify workload, \
+         3 readers, 4KB register; microseconds)"
+      ~columns:[ "algorithm"; "reads"; "mean µs"; "p99 µs"; "max µs" ]
+  in
+  List.iter
+    (fun (entry : Registry.entry) ->
+      let readers =
+        match entry.Registry.caps.RI.max_readers ~capacity_words:512 with
+        | Some bound -> min bound 3
+        | None -> 3
+      in
+      let cfg =
+        {
+          Config.default_real with
+          Config.readers;
+          size_words = 512;
+          duration_s = opts.Grid.duration_s;
+          workload = Config.Verify;
+          record = 200_000;
+          seed = opts.Grid.seed;
+        }
+      in
+      let result = entry.Registry.run_real cfg in
+      match result.Config.history with
+      | None -> ()
+      | Some h ->
+        let audit = Arc_trace.Audit.of_history h in
+        let reads = audit.Arc_trace.Audit.reads in
+        let us ns = ns /. 1e3 in
+        Table.add_row table
+          [
+            entry.Registry.name;
+            string_of_int reads.Arc_trace.Audit.count;
+            Printf.sprintf "%.2f" (us reads.Arc_trace.Audit.mean_duration);
+            Printf.sprintf "%.2f" (us reads.Arc_trace.Audit.p99_duration);
+            Printf.sprintf "%.2f"
+              (us (float_of_int reads.Arc_trace.Audit.max_duration));
+          ])
+    Registry.all;
+  table
+
+(* Measurement-noise quantification: repeat one canonical point many
+   times and report dispersion, so EXPERIMENTS.md can state how much
+   of any real-mode gap is noise. *)
+let variability_table (opts : Grid.opts) =
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Measurement variability — hold model, 3+1 threads, 4KB register, \
+            %d repetitions per algorithm"
+           (max (opts.Grid.reps * 3) 8))
+      ~columns:[ "algorithm"; "mean ops/s"; "stddev"; "CV %"; "min"; "max" ]
+  in
+  let reps = max (opts.Grid.reps * 3) 8 in
+  List.iter
+    (fun (entry : Registry.entry) ->
+      let cfg =
+        {
+          Config.default_real with
+          Config.readers = 3;
+          size_words = Arc_workload.Payload.size_4kb;
+          duration_s = opts.Grid.duration_s;
+          seed = opts.Grid.seed;
+        }
+      in
+      let samples =
+        Array.init reps (fun _ ->
+            (entry.Registry.run_real cfg).Config.total_throughput)
+      in
+      let s = Arc_util.Stats.summarize samples in
+      Table.add_row table
+        [
+          entry.Registry.name;
+          Printf.sprintf "%.3g" s.Arc_util.Stats.mean;
+          Printf.sprintf "%.3g" s.Arc_util.Stats.stddev;
+          Printf.sprintf "%.1f"
+            (100. *. s.Arc_util.Stats.stddev /. s.Arc_util.Stats.mean);
+          Printf.sprintf "%.3g" s.Arc_util.Stats.min;
+          Printf.sprintf "%.3g" s.Arc_util.Stats.max;
+        ])
+    Registry.paper_set;
+  table

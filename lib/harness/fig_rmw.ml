@@ -1,0 +1,43 @@
+(** E4: RMW instructions and plain atomic loads per operation, counted
+    on the instrumented memory instance under a deterministic
+    round-robin interleaving ({!Count_runner}). *)
+
+module Table = Arc_report.Table
+
+let rmw_table (opts : Grid.opts) =
+  let table =
+    Table.create
+      ~title:
+        "E4 — RMW instructions and plain atomic loads per operation \
+         (deterministic interleaving; r = reads per reader between writes)"
+      ~columns:
+        [ "algorithm"; "readers"; "r"; "rmw/read"; "rmw/write"; "loads/read";
+          "words-copied/write" ]
+  in
+  let readerss = if opts.Grid.quick then [ 4 ] else [ 4; 16; 48 ] in
+  let rpws = if opts.Grid.quick then [ 1; 8 ] else [ 1; 4; 16 ] in
+  List.iter
+    (fun (entry : Registry.entry) ->
+      List.iter
+        (fun readers ->
+          if Grid.supports entry ~readers ~size:64 then
+            List.iter
+              (fun rpw ->
+                let c =
+                  entry.Registry.count ~readers ~size_words:64 ~rounds:100
+                    ~reads_per_write:rpw
+                in
+                Table.add_row table
+                  [
+                    entry.Registry.name;
+                    string_of_int readers;
+                    string_of_int rpw;
+                    Printf.sprintf "%.3f" c.Count_runner.rmw_per_read;
+                    Printf.sprintf "%.3f" c.Count_runner.rmw_per_write;
+                    Printf.sprintf "%.3f" c.Count_runner.atomic_loads_per_read;
+                    Printf.sprintf "%.0f" c.Count_runner.word_writes_per_write;
+                  ])
+              rpws)
+        readerss)
+    Registry.all;
+  table

@@ -1,0 +1,112 @@
+(** Throughput figures (E1–E3, E6): Fig. 1 hold-model scaling, Fig. 2
+    CPU-steal, Fig. 3 largely-increased thread counts, and the E6
+    processing workload.  Algorithm sets are selected by {e capability}
+    ({!Registry.supporting}) against each figure's design grid, not by
+    hard-coded name lists. *)
+
+let fig1_real opts =
+  Grid.build_series
+    ~title_of:(fun sz ->
+      Printf.sprintf "Fig.1 (real domains) — hold-model throughput, register %s" sz)
+    ~x_label:"threads" ~sizes:(Grid.real_sizes opts) ~threads:(Grid.real_threads opts)
+    ~algos:Registry.paper_set
+    ~point:(fun entry ~threads ~size ->
+      Grid.real_point entry ~opts ~threads ~size ~workload:Config.Hold ~steal:None)
+
+let fig1_sim opts =
+  Grid.build_series
+    ~title_of:(fun sz ->
+      Printf.sprintf
+        "Fig.1 (simulated) — hold-model ops per 1000 steps, register %s" sz)
+    ~x_label:"threads" ~sizes:(Grid.sim_sizes opts) ~threads:(Grid.sim_threads opts)
+    ~algos:Registry.paper_set
+    ~point:(fun entry ~threads ~size ->
+      Grid.sim_point entry ~opts ~threads ~size ~steal:false)
+
+let fig2_real opts =
+  let steal = Some { Config.probability = 0.0005; pause_us = 200. } in
+  Grid.build_series
+    ~title_of:(fun sz ->
+      Printf.sprintf
+        "Fig.2 (real domains + steal injection) — hold-model throughput, register %s"
+        sz)
+    ~x_label:"threads" ~sizes:(Grid.real_sizes opts) ~threads:(Grid.real_threads opts)
+    ~algos:Registry.paper_set
+    ~point:(fun entry ~threads ~size ->
+      Grid.real_point entry ~opts ~threads ~size ~workload:Config.Hold ~steal)
+
+let fig2_sim opts =
+  Grid.build_series
+    ~title_of:(fun sz ->
+      Printf.sprintf
+        "Fig.2 (simulated CPU-steal) — hold-model ops per 1000 steps, register %s" sz)
+    ~x_label:"threads" ~sizes:(Grid.sim_sizes opts) ~threads:(Grid.sim_threads opts)
+    ~algos:Registry.paper_set
+    ~point:(fun entry ~threads ~size ->
+      Grid.sim_point entry ~opts ~threads ~size ~steal:true)
+
+(* Fig. 3 candidates: the paper set plus seqlock, filtered by whether
+   the capability record admits the figure's *design* thread count —
+   the grid maximum at full scale, regardless of --quick, so the
+   series set is stable across quick and full runs.  RF's word-size
+   reader bound (~57 on 63-bit words) always drops it here, matching
+   the paper's own exclusion. *)
+let fig3_algos ~max_threads ~capacity_words =
+  Registry.supporting ~readers:(max_threads - 1) ~capacity_words
+    (Registry.paper_set @ [ Registry.find "seqlock" ])
+
+let fig3_design_threads = 4096 (* full fig3_threads grid maximum *)
+let fig3_real_design_threads = 128 (* full fig3_real_thread_counts maximum *)
+
+let fig3_sim opts =
+  Grid.build_series
+    ~title_of:(fun sz ->
+      Printf.sprintf
+        "Fig.3 (simulated) — largely-increased thread counts, register %s" sz)
+    ~x_label:"threads" ~sizes:(Grid.sim_sizes opts) ~threads:(Grid.fig3_threads opts)
+    ~algos:(fig3_algos ~max_threads:fig3_design_threads ~capacity_words:2048)
+    ~point:(fun entry ~threads ~size ->
+      (* Budget grows with the fiber count so everyone gets scheduled. *)
+      let opts = { opts with Grid.sim_steps = opts.Grid.sim_steps + (threads * 200) } in
+      Grid.sim_point entry ~opts ~threads ~size ~steal:false)
+
+let fig3_real_threads opts =
+  Grid.build_series
+    ~title_of:(fun sz ->
+      Printf.sprintf
+        "Fig.3 (real systhreads, time-shared) — throughput, register %s" sz)
+    ~x_label:"threads"
+    ~sizes:(if opts.Grid.quick then [ ("4KB", Arc_workload.Payload.size_4kb) ]
+            else [ ("4KB", Arc_workload.Payload.size_4kb);
+                   ("32KB", Arc_workload.Payload.size_32kb) ])
+    ~threads:(Grid.fig3_real_thread_counts opts)
+    ~algos:
+      (fig3_algos ~max_threads:fig3_real_design_threads
+         ~capacity_words:Arc_workload.Payload.size_32kb)
+    ~point:(fun entry ~threads ~size ->
+      let cfg =
+        {
+          Config.default_real with
+          Config.readers = threads - 1;
+          size_words = size;
+          duration_s = opts.Grid.duration_s;
+          workload = Config.Hold;
+          seed = opts.Grid.seed;
+          parallelism = `Threads;
+        }
+      in
+      (* Single rep: the join alone dominates at high thread counts. *)
+      (entry.Registry.run_real cfg).Config.total_throughput)
+
+let processing_real opts =
+  Grid.build_series
+    ~title_of:(fun sz ->
+      Printf.sprintf
+        "E6 (real domains) — processing workload (writes generate, reads scan), \
+         register %s"
+        sz)
+    ~x_label:"threads" ~sizes:(Grid.real_sizes opts) ~threads:(Grid.real_threads opts)
+    ~algos:Registry.paper_set
+    ~point:(fun entry ~threads ~size ->
+      Grid.real_point entry ~opts ~threads ~size ~workload:Config.Processing
+        ~steal:None)

@@ -103,7 +103,7 @@ module Make (R : Arc_core.Register_intf.S) = struct
   let run (cfg : Config.real) : Config.result =
     if cfg.readers < 1 then invalid_arg "Real_runner.run: need at least one reader";
     if cfg.size_words < 1 then invalid_arg "Real_runner.run: empty register";
-    (match R.max_readers ~capacity_words:cfg.size_words with
+    (match R.caps.Arc_core.Register_intf.max_readers ~capacity_words:cfg.size_words with
     | Some bound when cfg.readers > bound ->
       invalid_arg
         (Printf.sprintf "Real_runner.run: %s supports at most %d readers"

@@ -1,11 +1,11 @@
 module Real = Arc_mem.Real_mem
 module Counting_real = Arc_mem.Counting.Make (Arc_mem.Real_mem)
 module Sim = Arc_vsched.Sim_mem
+module RI = Arc_core.Register_intf
 
 type entry = {
   name : string;
-  wait_free : bool;
-  max_readers : capacity_words:int -> int option;
+  caps : RI.caps;
   run_real : Config.real -> Config.result;
   run_sim : ?strategy:Arc_vsched.Strategy.t -> Config.sim -> Config.result;
   count :
@@ -27,8 +27,7 @@ module Entry_of (A : Arc_core.Register_intf.ALGORITHM) = struct
   let entry =
     {
       name = A.algorithm;
-      wait_free = R_real.wait_free;
-      max_readers = R_real.max_readers;
+      caps = R_real.caps;
       run_real = Run_real.run;
       run_sim = Run_sim.run;
       count = Count.measure;
@@ -63,3 +62,9 @@ let paper_set =
 
 let find name = List.find (fun e -> e.name = name) all
 let names = List.map (fun e -> e.name) all
+
+let supports entry ~readers ~capacity_words =
+  RI.supports_readers entry.caps ~readers ~capacity_words
+
+let supporting ~readers ~capacity_words entries =
+  List.filter (fun e -> supports e ~readers ~capacity_words) entries

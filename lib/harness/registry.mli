@@ -1,11 +1,14 @@
 (** All algorithm × memory-instance combinations, pre-instantiated and
     exposed behind one uniform record, so experiment drivers and the
-    CLI can iterate over algorithms as data. *)
+    CLI can iterate over algorithms as data and select them by
+    {e capability} (the {!Arc_core.Register_intf.caps} record) instead
+    of hard-coded name lists. *)
 
 type entry = {
   name : string;
-  wait_free : bool;
-  max_readers : capacity_words:int -> int option;
+  caps : Arc_core.Register_intf.caps;
+      (** wait-freedom, zero-copy reads, reader bound — queried by the
+          figure builders to pick which algorithms a grid can host *)
   run_real : Config.real -> Config.result;
       (** on {!Arc_mem.Real_mem} via {!Real_runner} *)
   run_sim : ?strategy:Arc_vsched.Strategy.t -> Config.sim -> Config.result;
@@ -31,3 +34,12 @@ val find : string -> entry
 (** @raise Not_found for unknown names. *)
 
 val names : string list
+
+val supports : entry -> readers:int -> capacity_words:int -> bool
+(** Whether the algorithm's reader bound admits [readers]. *)
+
+val supporting : readers:int -> capacity_words:int -> entry list -> entry list
+(** The entries whose capability record admits [readers] reader
+    threads — the capability filter the figure builders use (e.g.
+    Fig. 3 drops RF because its word-size bound cannot host the
+    figure's thread counts). *)

@@ -70,7 +70,7 @@ module Make (R : Arc_core.Register_intf.S) = struct
     if cfg.sim_readers < 1 then invalid_arg "Sim_runner.run: need at least one reader";
     if cfg.sim_size_words < 1 then invalid_arg "Sim_runner.run: empty register";
     if cfg.max_steps < 1 then invalid_arg "Sim_runner.run: no step budget";
-    (match R.max_readers ~capacity_words:cfg.sim_size_words with
+    (match R.caps.Arc_core.Register_intf.max_readers ~capacity_words:cfg.sim_size_words with
     | Some bound when cfg.sim_readers > bound ->
       invalid_arg
         (Printf.sprintf "Sim_runner.run: %s supports at most %d readers" R.algorithm

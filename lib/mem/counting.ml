@@ -67,6 +67,11 @@ module Make (M : Mem_intf.S) = struct
 
   let atomic = M.atomic
 
+  (* Allocation is not an operation class; contended cells count
+     exactly like plain ones, so layout changes never skew E4. *)
+  let atomic_contended = M.atomic_contended
+  let atomic_contended_pair = M.atomic_contended_pair
+
   let load a =
     (cell ()).atomic_load <- (cell ()).atomic_load + 1;
     M.load a

@@ -49,6 +49,27 @@ module type S = sig
   (** An int-valued single-word synchronization variable. *)
 
   val atomic : int -> atomic
+
+  val atomic_contended : int -> atomic
+  (** Like {!atomic}, but for {e hot} synchronization words that
+      distinct threads hammer concurrently (ARC's [current] and the
+      per-slot [r_start]/[r_end] counters, RF's presence word, lock
+      and seqlock control words): the cell is allocated with
+      cache-line isolation so that RMW traffic on it does not
+      false-share a line with unrelated heap neighbours.  Semantics
+      are identical to {!atomic} — instances that model per-access
+      cost rather than layout (simulation, counting) may alias the
+      two, so operation counts and scheduling points are unchanged. *)
+
+  val atomic_contended_pair : int -> int -> atomic * atomic
+  (** Two hot words that the {e same} operations always touch together
+      (ARC's per-slot [r_start]/[r_end]), allocated co-located inside
+      one isolated region: isolated from other slots' words — that is
+      where cross-reader false sharing lives — but deliberately
+      sharing a line with each other, so the pair costs one cache line
+      rather than two.  Same aliasing freedom as
+      {!atomic_contended}. *)
+
   val load : atomic -> int
   (** Plain (non-RMW) load.  Statement R1 of the paper's read path. *)
 
@@ -93,22 +114,31 @@ module type S = sig
   val capacity : buffer -> int
 
   val write_words : buffer -> src:int array -> len:int -> unit
-  (** Word-by-word copy of [src.(0..len-1)] into the buffer — the
-      single content copy a register write performs.
-      @raise Invalid_argument if [len] exceeds source or capacity. *)
+  (** Copy [src.(0..len-1)] into the buffer — the single content copy
+      a register write performs.  A {e bulk} operation: hardware
+      instances ({!Real_mem}) use one memmove-class copy; simulated
+      instances decompose it into per-word plain stores so every word
+      remains a scheduling point and the counting instance still
+      charges [len] word-writes.  [len = 0] is a valid no-op.
+      @raise Invalid_argument if [len] is negative or exceeds source
+      or capacity. *)
 
   val read_word : buffer -> int -> int
   (** Plain load of one word; the zero-copy read path. *)
 
   val read_words : buffer -> dst:int array -> len:int -> unit
-  (** Word-by-word copy out, for consumers that need a stable snapshot
-      beyond their next read. *)
+  (** Bulk copy out (same bulk/per-word split as {!write_words}), for
+      consumers that need a stable snapshot beyond their next read.
+      @raise Invalid_argument if [len] is negative or exceeds
+      destination or capacity. *)
 
   val blit : buffer -> buffer -> len:int -> unit
-  (** [blit src dst ~len]: word-by-word buffer-to-buffer copy — the
+  (** [blit src dst ~len]: buffer-to-buffer copy — the
       intermediate-copy operation of copy-based algorithms (Peterson,
-      seqlock).  ARC never calls it.
-      @raise Invalid_argument if [len] exceeds either capacity. *)
+      seqlock).  ARC never calls it.  Bulk on hardware instances,
+      per-word in simulation, like {!write_words}.
+      @raise Invalid_argument if [len] is negative or exceeds either
+      capacity. *)
 
   (** {1 Scheduling} *)
 

@@ -39,7 +39,7 @@ module Make (A : Arc_core.Register_intf.ALGORITHM) (M : Arc_mem.Mem_intf.S) = st
     if capacity < 1 then invalid_arg "Mn_register.create: capacity must be positive";
     if Array.length init > capacity then invalid_arg "Mn_register.create: init too long";
     let sub_readers = writers - 1 + readers in
-    (match R.max_readers ~capacity_words:(capacity + header) with
+    (match R.caps.Arc_core.Register_intf.max_readers ~capacity_words:(capacity + header) with
     | Some bound when sub_readers > bound ->
       invalid_arg
         (Printf.sprintf

@@ -8,6 +8,12 @@ type atomic = int ref
 
 let atomic v = ref v
 
+(* The simulator models interleavings, not layout: a contended cell is
+   an ordinary cell (and, like [atomic], allocation is not a
+   scheduling point), so schedule exploration is unchanged. *)
+let atomic_contended = atomic
+let atomic_contended_pair v1 v2 = (atomic v1, atomic v2)
+
 let load a =
   plain ();
   !a

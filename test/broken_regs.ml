@@ -11,8 +11,13 @@ module Torn (M : Arc_mem.Mem_intf.S) = struct
   type reader = t
 
   let algorithm = "broken-torn"
-  let wait_free = true
-  let max_readers ~capacity_words:_ = None
+
+  let caps =
+    {
+      Arc_core.Register_intf.wait_free = true;
+      zero_copy = true;
+      max_readers = (fun ~capacity_words:_ -> None);
+    }
 
   let create ~readers:_ ~capacity ~init =
     let t = { size = M.atomic 0; content = M.alloc capacity } in
@@ -54,8 +59,13 @@ module Stale (M : Arc_mem.Mem_intf.S) = struct
   }
 
   let algorithm = "broken-stale"
-  let wait_free = true
-  let max_readers ~capacity_words:_ = None
+
+  let caps =
+    {
+      Arc_core.Register_intf.wait_free = true;
+      zero_copy = false;
+      max_readers = (fun ~capacity_words:_ -> None);
+    }
 
   let create ~readers:_ ~capacity ~init =
     let t =

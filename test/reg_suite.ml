@@ -102,7 +102,7 @@ module Make (R : Arc_core.Register_intf.S) = struct
     raises (fun () -> create ~capacity:0 ());
     raises (fun () ->
         R.create ~readers:1 ~capacity:4 ~init:(stamped ~seq:0 ~len:8));
-    (match R.max_readers ~capacity_words:8 with
+    (match R.caps.Arc_core.Register_intf.max_readers ~capacity_words:8 with
     | Some bound when bound < 10_000 ->
       raises (fun () -> create ~readers:(bound + 1) ~capacity:8 ())
     | _ -> ())

@@ -178,7 +178,7 @@ let test_read_view_stability () =
          | Error msg -> Alcotest.fail msg))
 
 let test_max_readers_capacity () =
-  match Arc.max_readers ~capacity_words:1 with
+  match Arc.caps.Arc_core.Register_intf.max_readers ~capacity_words:1 with
   | Some bound ->
     check "2^32 - 2 readers as in the paper" ((1 lsl 32) - 2) bound
   | None -> Alcotest.fail "ARC advertises a bound"

@@ -46,9 +46,15 @@ let test_registry_contents () =
     ]
     Registry.names;
   check "paper set is the four compared algorithms" 4 (List.length Registry.paper_set);
-  Alcotest.(check bool) "arc is wait-free" true (Registry.find "arc").Registry.wait_free;
+  let caps name = (Registry.find name).Registry.caps in
+  Alcotest.(check bool) "arc is wait-free" true
+    (caps "arc").Arc_core.Register_intf.wait_free;
   Alcotest.(check bool) "rwlock is not" false
-    (Registry.find "rwlock").Registry.wait_free;
+    (caps "rwlock").Arc_core.Register_intf.wait_free;
+  Alcotest.(check bool) "arc reads are zero-copy" true
+    (caps "arc").Arc_core.Register_intf.zero_copy;
+  Alcotest.(check bool) "peterson reads are not" false
+    (caps "peterson").Arc_core.Register_intf.zero_copy;
   (match Registry.find "no-such" with
   | exception Not_found -> ()
   | _ -> Alcotest.fail "unknown name found")

@@ -4,6 +4,7 @@
 module Real = Arc_mem.Real_mem
 module Intf = Arc_mem.Mem_intf
 module Counting = Arc_mem.Counting.Make (Arc_mem.Real_mem)
+module Sim = Arc_vsched.Sim_mem
 
 let check = Alcotest.(check int)
 
@@ -132,6 +133,98 @@ let test_real_atomics_parallel () =
   Domain.join d2;
   check "no lost increments" (2 * n) (Real.load a)
 
+(* Bulk-operation edge cases, uniform across every instance of the
+   signature: length 0 is a valid no-op, full capacity is legal, and
+   any length exceeding a buffer (or negative) raises. *)
+module Bulk_edges (M : Intf.S) = struct
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+
+  let run () =
+    let b = M.alloc 4 in
+    (* len = 0: valid no-op, even with empty sources *)
+    M.write_words b ~src:[||] ~len:0;
+    M.read_words b ~dst:[||] ~len:0;
+    M.blit b b ~len:0;
+    check (M.name ^ ": untouched by len-0 ops") 0 (M.read_word b 0);
+    (* full capacity *)
+    M.write_words b ~src:[| 1; 2; 3; 4 |] ~len:4;
+    let dst = Array.make 4 0 in
+    M.read_words b ~dst ~len:4;
+    Alcotest.(check (array int))
+      (M.name ^ ": full-capacity roundtrip")
+      [| 1; 2; 3; 4 |] dst;
+    let b2 = M.alloc 4 in
+    M.blit b b2 ~len:4;
+    check (M.name ^ ": full-capacity blit") 4 (M.read_word b2 3);
+    (* a zero-capacity buffer is legal and only hosts len-0 ops *)
+    let z = M.alloc 0 in
+    check (M.name ^ ": zero capacity") 0 (M.capacity z);
+    M.write_words z ~src:[||] ~len:0;
+    raises (fun () -> M.write_words z ~src:[| 1 |] ~len:1);
+    (* overflow: len past the buffer, past the source, past the dst *)
+    raises (fun () -> M.write_words b ~src:(Array.make 8 0) ~len:5);
+    raises (fun () -> M.write_words b ~src:[| 1; 2 |] ~len:3);
+    raises (fun () -> M.read_words b ~dst:(Array.make 2 0) ~len:3);
+    raises (fun () -> M.read_words b ~dst:(Array.make 8 0) ~len:5);
+    raises (fun () -> M.blit b b2 ~len:5);
+    (* negative lengths *)
+    raises (fun () -> M.write_words b ~src:[||] ~len:(-1));
+    raises (fun () -> M.read_words b ~dst:[||] ~len:(-1));
+    raises (fun () -> M.blit b b2 ~len:(-1))
+end
+
+module Real_edges = Bulk_edges (Real)
+module Counting_edges = Bulk_edges (Counting)
+module Sim_edges = Bulk_edges (Sim)
+
+let test_atomic_contended_semantics () =
+  (* A contended cell is an ordinary atomic apart from its placement. *)
+  let a = Real.atomic_contended 7 in
+  check "initial" 7 (Real.load a);
+  Real.store a 9;
+  check "store" 9 (Real.load a);
+  check "faa returns old" 9 (Real.fetch_and_add a 3);
+  Alcotest.(check bool) "cas" true (Real.compare_and_set a 12 13);
+  check "after cas" 13 (Real.load a);
+  let s = Sim.atomic_contended 5 in
+  check "sim contended aliases atomic" 5 (Sim.load s)
+
+let test_counting_contended_alloc_free () =
+  (* Allocation placement is a layout concern, not an operation: a
+     contended cell must count exactly like a plain one. *)
+  Counting.reset ();
+  let a = Counting.atomic_contended 0 in
+  check "allocation charges nothing" 0 (Counting.counts ()).Intf.rmw;
+  Counting.incr a;
+  ignore (Counting.load a);
+  let c = Counting.counts () in
+  check "one RMW" 1 c.Intf.rmw;
+  check "one load" 1 c.Intf.atomic_load
+
+module Arc_cnt = Arc_core.Arc.Make (Counting)
+module P_cnt = Arc_workload.Payload.Make (Counting)
+
+let test_arc_fast_path_rmw_free () =
+  (* The paper's fast path (§3.2): re-reading an unchanged register
+     performs zero RMW instructions — only plain atomic loads. *)
+  Counting.reset ();
+  let capacity = 8 in
+  let init = Array.make capacity 0 in
+  P_cnt.stamp init ~seq:0 ~len:capacity;
+  let reg = Arc_cnt.create ~readers:1 ~capacity ~init in
+  let rd = Arc_cnt.reader reg 0 in
+  (* First read claims the slot (pays the RMWs once). *)
+  ignore (Arc_cnt.read_with rd ~f:(fun _ _ -> ()));
+  let before = (Counting.counts ()).Intf.rmw in
+  for _ = 1 to 10 do
+    ignore (Arc_cnt.read_with rd ~f:(fun _ _ -> ()))
+  done;
+  let after = (Counting.counts ()).Intf.rmw in
+  check "10 fast-path reads, 0 RMWs" 0 (after - before)
+
 let prop_exchange_sequence =
   QCheck.Test.make ~name:"exchange chains return previous values" ~count:200
     QCheck.(small_list int)
@@ -157,5 +250,14 @@ let suite =
     Alcotest.test_case "counting reset" `Quick test_counting_reset;
     Alcotest.test_case "counts across domains" `Quick test_counts_across_domains;
     Alcotest.test_case "real atomics parallel" `Quick test_real_atomics_parallel;
+    Alcotest.test_case "bulk edges (real)" `Quick Real_edges.run;
+    Alcotest.test_case "bulk edges (counting)" `Quick Counting_edges.run;
+    Alcotest.test_case "bulk edges (sim)" `Quick Sim_edges.run;
+    Alcotest.test_case "atomic_contended semantics" `Quick
+      test_atomic_contended_semantics;
+    Alcotest.test_case "atomic_contended counting" `Quick
+      test_counting_contended_alloc_free;
+    Alcotest.test_case "arc fast-path read is RMW-free" `Quick
+      test_arc_fast_path_rmw_free;
     QCheck_alcotest.to_alcotest prop_exchange_sequence;
   ]

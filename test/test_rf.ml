@@ -22,7 +22,7 @@ let test_word_bound () =
   check "OCaml 63-bit bound" 57 (Arc_baselines.Rf.max_readers_for_word ~word_bits:63);
   check "advertised bound matches"
     (Arc_baselines.Rf.max_readers_for_word ~word_bits:Sys.int_size)
-    (Option.get (Rf.max_readers ~capacity_words:8))
+    (Option.get (Rf.caps.Arc_core.Register_intf.max_readers ~capacity_words:8))
 
 let test_bound_formula () =
   (* n readers + ceil_log2 (n+2) pointer bits must fit the word. *)
@@ -37,7 +37,9 @@ let test_bound_formula () =
     [ 8; 16; 32; 63; 64 ]
 
 let test_over_bound_rejected () =
-  let bound = Option.get (Rf.max_readers ~capacity_words:4) in
+  let bound =
+    Option.get (Rf.caps.Arc_core.Register_intf.max_readers ~capacity_words:4)
+  in
   match
     Rf.create ~readers:(bound + 1) ~capacity:4 ~init:(stamped ~seq:0 ~len:4)
   with
@@ -46,7 +48,9 @@ let test_over_bound_rejected () =
 
 let test_bound_reached () =
   (* The maximum population actually works. *)
-  let bound = Option.get (Rf.max_readers ~capacity_words:4) in
+  let bound =
+    Option.get (Rf.caps.Arc_core.Register_intf.max_readers ~capacity_words:4)
+  in
   let reg = Rf.create ~readers:bound ~capacity:4 ~init:(stamped ~seq:0 ~len:4) in
   let handles = Array.init bound (Rf.reader reg) in
   Rf.write reg ~src:(stamped ~seq:1 ~len:4) ~len:4;

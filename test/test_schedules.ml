@@ -53,7 +53,10 @@ let assert_clean ~who ~strategy_name ~seed (result : Config.result) =
 
 let explore (entry : Registry.entry) =
   let readers =
-    match entry.Registry.max_readers ~capacity_words:base_cfg.Config.sim_size_words with
+    match
+      entry.Registry.caps.Arc_core.Register_intf.max_readers
+        ~capacity_words:base_cfg.Config.sim_size_words
+    with
     | Some bound -> min bound base_cfg.Config.sim_readers
     | None -> base_cfg.Config.sim_readers
   in
@@ -131,7 +134,7 @@ let test_stale_register_convicted () =
 let test_wait_free_progress_under_adversary () =
   List.iter
     (fun (entry : Registry.entry) ->
-      if entry.Registry.wait_free then begin
+      if entry.Registry.caps.Arc_core.Register_intf.wait_free then begin
         let strategy =
           Strategy.steal ~seed:11
             ~base:(Strategy.random ~seed:12)
@@ -139,7 +142,7 @@ let test_wait_free_progress_under_adversary () =
         in
         let readers =
           match
-            entry.Registry.max_readers
+            entry.Registry.caps.Arc_core.Register_intf.max_readers
               ~capacity_words:base_cfg.Config.sim_size_words
           with
           | Some bound -> min bound base_cfg.Config.sim_readers

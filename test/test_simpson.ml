@@ -24,7 +24,8 @@ let read_seq rd =
       | Error msg -> Alcotest.fail msg)
 
 let test_single_reader_only () =
-  check "advertised bound" 1 (Option.get (Sp.max_readers ~capacity_words:4));
+  check "advertised bound" 1
+    (Option.get (Sp.caps.Arc_core.Register_intf.max_readers ~capacity_words:4));
   match Sp.create ~readers:2 ~capacity:4 ~init:(stamped ~seq:0 ~len:4) with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "two readers accepted by a four-slot register"

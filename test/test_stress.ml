@@ -37,7 +37,10 @@ let assert_clean ~who (result : Config.result) =
     end
 
 let clamp_readers (entry : Registry.entry) (cfg : Config.real) =
-  match entry.Registry.max_readers ~capacity_words:cfg.Config.size_words with
+  match
+    entry.Registry.caps.Arc_core.Register_intf.max_readers
+      ~capacity_words:cfg.Config.size_words
+  with
   | Some bound when cfg.Config.readers > bound -> { cfg with Config.readers = bound }
   | _ -> cfg
 
