@@ -8,6 +8,15 @@
 
      dune exec bin/check.exe -- --algo arc --seeds 100
      dune exec bin/check.exe -- --algo rwlock --strategy steal --readers 7
+
+   --faults switches to the bounded fault campaign (ISSUE 2): every
+   wait-free algorithm runs through seeded (schedule, fault-plan)
+   pairs — crash-stop readers, stalled threads, torn writer copies,
+   crashed writers — judged by the crash-aware checker, the liveness
+   checks and (for ARC) the presence-ledger audit, plus a
+   silent-tear negative control that must be rejected:
+
+     dune exec bin/check.exe -- --faults --seeds 100
 *)
 
 module Config = Arc_harness.Config
@@ -30,10 +39,92 @@ let strategy_of ~name ~seed ~fibers ~steps =
   | "pct" -> Strategy.pct ~seed ~fibers ~depth:4 ~expected_steps:steps
   | other -> invalid_arg (Printf.sprintf "unknown strategy %S" other)
 
-let rec run algo seeds strategy_name readers size steps verbose =
-  if algo = "all" then
+(* {1 The --faults campaign} *)
+
+module Campaign = Arc_fault.Campaign
+module Fault_plan = Arc_fault.Fault_plan
+module RA = Arc_core.Arc.Make (Campaign.Mem)
+module CA = Campaign.Make (RA)
+module RN = Arc_core.Arc_nohint.Make (Campaign.Mem)
+module CN = Campaign.Make (RN)
+module RD = Arc_core.Arc_dynamic.Make (Campaign.Mem)
+module CD = Campaign.Make (RD)
+module RF_reg = Arc_baselines.Rf.Make (Campaign.Mem)
+module CF = Campaign.Make (RF_reg)
+
+let arc_audit reg ~crashed_readers ~writer_crashed =
+  Campaign.arc_audit
+    {
+      Campaign.presence_slack = (fun () -> RA.Debug.presence_slack reg);
+      free_slot_exists = (fun () -> RA.Debug.free_slot_exists reg);
+    }
+    ~crashed_readers ~writer_crashed
+
+let run_faults seeds readers size steps =
+  let mk caps =
+    let readers =
+      match caps.Arc_core.Register_intf.max_readers ~capacity_words:size with
+      | Some bound when readers > bound -> bound
+      | _ -> readers
+    in
+    {
+      Campaign.default with
+      readers;
+      size_words = size;
+      max_steps = steps;
+      schedules = seeds;
+      seed = 2024;
+    }
+  in
+  Printf.printf
+    "fault campaign: %d schedules/algorithm (seed base 2024), %d readers, %d \
+     words, %d steps\n\n"
+    seeds readers size steps;
+  Printf.printf "%-14s %9s %11s %6s %5s %8s %11s  %s\n" "algorithm" "schedules"
+    "crashes r/w" "stalls" "tears" "reads" "pending v/e" "verdict";
+  let failures = ref 0 in
+  let row name run =
+    let o = run () in
+    let ok = Campaign.clean o in
+    if not ok then incr failures;
+    Printf.printf "%-14s %9d %11s %6d %5d %8d %11s  %s\n" name
+      o.Campaign.schedules_run
+      (Printf.sprintf "%d/%d" o.Campaign.reader_crashes o.Campaign.writer_crashes)
+      o.Campaign.stalls o.Campaign.tears o.Campaign.reads_checked
+      (Printf.sprintf "%d/%d" o.Campaign.vanished o.Campaign.took_effect)
+      (if ok then "PASS" else "FAIL");
+    if not ok then
+      List.iter
+        (fun (seed, msg) -> Printf.printf "    violation [seed %d]: %s\n" seed msg)
+        (List.rev o.Campaign.violations)
+  in
+  row "arc" (fun () -> CA.run ~audit:arc_audit (mk RA.caps));
+  row "arc-nohint" (fun () -> CN.run (mk RN.caps));
+  row "arc-dynamic" (fun () -> CD.run (mk RD.caps));
+  row "rf" (fun () -> CF.run (mk RF_reg.caps));
+  (* Negative control proving non-vacuity: a silently torn writer copy
+     (an unsound fault: the copy stops early yet reports success) must
+     be detected as torn snapshots by the readers. *)
+  let plan =
+    Fault_plan.tear ~fiber:0 ~at_copy:2
+      ~at_word:(max 1 (size / 4))
+      ~silent:true Fault_plan.empty
+  in
+  let control, _ =
+    CA.run_plan ~plan ~strategy:(Strategy.random ~seed:2024) (mk RA.caps)
+  in
+  let detected = control.Campaign.torn > 0 in
+  if not detected then incr failures;
+  Printf.printf "%-14s %s\n" "tear-control"
+    (if detected then "REJECTED (expected)"
+     else "MISSED — fault layer or checker is broken");
+  if !failures > 0 then exit 1
+
+let rec run faults algo seeds strategy_name readers size steps verbose =
+  if faults then run_faults seeds readers size steps
+  else if algo = "all" then
     List.iter
-      (fun name -> run name seeds strategy_name readers size steps verbose)
+      (fun name -> run false name seeds strategy_name readers size steps verbose)
       Registry.names
   else run_one algo seeds strategy_name readers size steps verbose
 
@@ -130,11 +221,24 @@ let cmd =
       & info [ "steps" ] ~docv:"N" ~doc:"Simulated steps per schedule.")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-seed lines.") in
+  let faults =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:
+            "Run the bounded fault campaign (crash-stop readers, stalls, torn \
+             copies, writer crashes) across the wait-free algorithms and print \
+             a pass/fail table; exit 1 on any violation or a missed negative \
+             control.")
+  in
   Cmd.v
     (Cmd.info "arc-check"
        ~doc:
          "Explore schedules of a register algorithm and check atomicity \
-          (Criterion 1) plus snapshot integrity.")
-    Term.(const run $ algo $ seeds $ strategy $ readers $ size $ steps $ verbose)
+          (Criterion 1) plus snapshot integrity; --faults runs the \
+          fault-injection campaign instead.")
+    Term.(
+      const run $ faults $ algo $ seeds $ strategy $ readers $ size $ steps
+      $ verbose)
 
 let () = exit (Cmd.eval cmd)

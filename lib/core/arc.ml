@@ -42,13 +42,15 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     {
       Register_intf.wait_free = true;
       zero_copy = true;
-      max_readers = (fun ~capacity_words:_ -> Some (Packed.max_count - 1));
+      max_readers = (fun ~capacity_words:_ -> Some Packed.max_readers);
     }
 
   let create_with ~use_hint ~readers ~capacity ~init =
     if readers < 1 then invalid_arg "Arc.create: need at least one reader";
-    if readers > Packed.max_count - 1 then
-      invalid_arg "Arc.create: readers exceed the 2^32 - 2 capacity";
+    if readers > Packed.max_readers then
+      invalid_arg
+        (Printf.sprintf "Arc.create: readers = %d exceed the 2^32 - 2 capacity"
+           readers);
     if capacity < 1 then invalid_arg "Arc.create: capacity must be positive";
     if Array.length init > capacity then
       invalid_arg "Arc.create: init longer than capacity";
@@ -105,6 +107,20 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
         if fin = M.load released.r_start then M.store reg.hint rd.last_index
       end;
       let now = M.add_and_fetch reg.current 1 (* R4 *) in
+      (* Saturation guard: with count ≤ readers ≤ 2^32 - 2 by
+         construction this cannot fire; if the count word is ever
+         corrupted (or force-saturated by a fault campaign), the next
+         increment must not silently carry into the index bits.  A
+         post-increment count of 0 is a wrap that already happened;
+         count = max_count means this increment consumed the last
+         head-room unit above the documented 2^32 - 2 bound. *)
+      let c = Packed.count now in
+      if c = 0 || c > Packed.max_readers then
+        raise
+          (Register_intf.Saturated
+             (Printf.sprintf
+                "Arc.read: presence count saturated (count = %d, bound = %d)" c
+                Packed.max_readers));
       rd.last_index <- Packed.index now (* R5 *)
     end;
     let entry = reg.slots.(rd.last_index) in
@@ -183,12 +199,25 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     let r_end reg j = M.load reg.slots.(j).r_end
     let slot_size reg j = M.load reg.slots.(j).size
 
-    let presence_bound_holds reg =
+    (* readers − (Σ_j (r_start j − r_end j) + count current).  0 in any
+       quiescent live state; under crash-stop readers each crash can
+       leak at most one unit of presence out of the ledger (a reader
+       that died between its R3 release and R4 subscribe), so the
+       slack stays within [0, crashed readers] and never goes
+       negative — negative slack means presence was double-counted
+       (e.g. a lost R3 release). *)
+    let presence_slack reg =
       let frozen = ref 0 in
       Array.iter
         (fun s -> frozen := !frozen + (M.load s.r_start - M.load s.r_end))
         reg.slots;
-      !frozen + Packed.count (M.load reg.current) = reg.readers
+      reg.readers - (!frozen + Packed.count (M.load reg.current))
+
+    let presence_bound_holds reg = presence_slack reg = 0
+
+    (* Test-only: overwrite the synchronization word, e.g. to place
+       the count at the saturation boundary. *)
+    let force_current reg w = M.store reg.current w
 
     let free_slot_exists reg =
       let published = Packed.index (M.load reg.current) in

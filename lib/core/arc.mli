@@ -60,13 +60,30 @@ module Make (M : Arc_mem.Mem_intf.S) : sig
     val r_end : t -> int -> int
     val slot_size : t -> int -> int
 
+    val presence_slack : t -> int
+    (** [readers - (Σ_j (r_start(j) - r_end(j)) + count(current))] —
+        the presence units missing from Lemma 4.1's ledger.  0 in any
+        quiescent live state.  Under crash-stop readers, each crash
+        can leak at most one unit (a reader that died between its R3
+        release and R4 subscribe), so a valid quiescent state has
+        slack in [0, crashed readers]; negative slack means presence
+        was double-counted (e.g. a lost release increment).
+        Quiescent-state check (call while no operation is in
+        flight). *)
+
     val presence_bound_holds : t -> bool
-    (** Lemma 4.1's ledger: [Σ_j (r_start(j) - r_end(j)) + count(current)]
-        never exceeds the number of readers.  Quiescent-state check
-        (call while no operation is in flight). *)
+    (** [presence_slack t = 0] — Lemma 4.1's ledger balanced exactly,
+        the crash-free quiescent invariant. *)
 
     val free_slot_exists : t -> bool
     (** Lemma 4.1: at least one slot other than the published one has
-        [r_start = r_end].  Quiescent-state check. *)
+        [r_start = r_end].  Quiescent-state check; must keep holding
+        under any number of crash-stop readers (N readers pin at most
+        N of the N+2 slots). *)
+
+    val force_current : t -> int -> unit
+    (** Test-only: overwrite the packed synchronization word, e.g. to
+        place the count at the saturation boundary and exercise the
+        {!Register_intf.Saturated} guard. *)
   end
 end

@@ -7,12 +7,22 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
 
   type slot = {
     size : M.atomic;
+        (* words of the snapshot in [content]; -1 is the revocation
+           marker: the slot's storage was reclaimed while a laggard
+           (possibly crashed) reader still pins it *)
     r_start : M.atomic;
     r_end : M.atomic;
     mutable content : M.buffer;
-        (* Written only by the writer, and only while the slot is
-           free; published to readers by the exchange on [current]
-           (same happens-before edge as the slot's data). *)
+        (* Written by the writer while the slot is free (published to
+           readers by the exchange on [current], the same
+           happens-before edge as the slot's data) — and by
+           [reclaim_stale] while the slot is pinned, which is exactly
+           the race the size-validation handshake in [acquire]
+           resolves. *)
+    mutable superseded_at : int;
+        (* Writer-private: the write count at which this slot was last
+           superseded (W3); -1 while free or published.  Drives the
+           staleness test of [reclaim_stale]. *)
   }
 
   type t = {
@@ -22,11 +32,25 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     capacity : int;
     hint : M.atomic;
     mutable last_slot : int;
+    mutable lease : int option;
     mutable reallocations : int;
+    mutable reclaimed : int;
     mutable writes : int;
   }
 
-  type reader = { reg : t; mutable last_index : int }
+  (* Readers cache the validated (buffer, length) view at subscribe
+     time.  A slot can only be revoked after it was superseded, and a
+     subscribed reader took its view while the slot was current (or
+     validated it against the revocation marker), so the cache always
+     points at intact storage — storage reclaim is invisible to
+     already-subscribed readers, whose cached buffer stays alive
+     through the GC. *)
+  type reader = {
+    reg : t;
+    mutable last_index : int;
+    mutable view_buf : M.buffer;
+    mutable view_len : int;
+  }
 
   let algorithm = algorithm
 
@@ -34,13 +58,16 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     {
       Register_intf.wait_free = true;
       zero_copy = true;
-      max_readers = (fun ~capacity_words:_ -> Some (Packed.max_count - 1));
+      max_readers = (fun ~capacity_words:_ -> Some Packed.max_readers);
     }
 
   let create ~readers ~capacity ~init =
     if readers < 1 then invalid_arg "Arc_dynamic.create: need at least one reader";
-    if readers > Packed.max_count - 1 then
-      invalid_arg "Arc_dynamic.create: readers exceed the 2^32 - 2 capacity";
+    if readers > Packed.max_readers then
+      invalid_arg
+        (Printf.sprintf
+           "Arc_dynamic.create: readers = %d exceed the 2^32 - 2 capacity"
+           readers);
     if capacity < 1 then invalid_arg "Arc_dynamic.create: capacity must be positive";
     if Array.length init > capacity then
       invalid_arg "Arc_dynamic.create: init longer than capacity";
@@ -49,7 +76,13 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       invalid_arg "Arc_dynamic.create: slot count exceeds index field";
     let fresh_slot words =
       let r_start, r_end = M.atomic_contended_pair 0 0 in
-      { size = M.atomic 0; r_start; r_end; content = M.alloc words }
+      {
+        size = M.atomic 0;
+        r_start;
+        r_end;
+        content = M.alloc words;
+        superseded_at = -1;
+      }
     in
     (* Empty slots start with zero-word buffers: the whole point of
        the dynamic variant is paying only for what is stored. *)
@@ -65,28 +98,80 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       capacity;
       hint = M.atomic_contended (-1);
       last_slot = 0;
+      lease = None;
       reallocations = 0;
+      reclaimed = 0;
       writes = 0;
     }
 
+  let saturation_guard now =
+    let c = Packed.count now in
+    if c = 0 || c > Packed.max_readers then
+      raise
+        (Register_intf.Saturated
+           (Printf.sprintf
+              "Arc_dynamic.read: presence count saturated (count = %d, bound = %d)"
+              c Packed.max_readers))
+
+  (* R3 + R4: release the subscribed slot (posting the §3.4 hint) and
+     subscribe to the current one.  Shared by the normal slow path and
+     the revocation-recovery retry. *)
+  let release_and_subscribe rd =
+    let reg = rd.reg in
+    let released = reg.slots.(rd.last_index) in
+    M.incr released.r_end;
+    let fin = M.load released.r_end in
+    if fin = M.load released.r_start then M.store reg.hint rd.last_index;
+    let now = M.add_and_fetch reg.current 1 in
+    saturation_guard now;
+    rd.last_index <- Packed.index now
+
+  (* Validate-and-cache the view of the slot the reader is subscribed
+     to.  The revocation marker is checked on both sides of the
+     [content] read: [reclaim_stale] stores size = -1 {e before}
+     swapping the buffer, so [s1 >= 0 && s2 = s1] certifies that no
+     revocation overlapped the two loads and [buf] is the intact
+     storage.  On a revoked slot the reader recovers by releasing and
+     re-subscribing — each retry means the register advanced at least
+     a full lease of writes while this reader was between R4 and the
+     validation, so retries are vanishingly rare and the path degrades
+     gracefully rather than returning reclaimed storage. *)
+  let rec acquire rd =
+    let entry = rd.reg.slots.(rd.last_index) in
+    let s1 = M.load entry.size in
+    let buf = entry.content in
+    let s2 = M.load entry.size in
+    if s1 >= 0 && s2 = s1 then begin
+      rd.view_buf <- buf;
+      rd.view_len <- s1
+    end
+    else begin
+      release_and_subscribe rd;
+      acquire rd
+    end
+
   let reader reg i =
     if i < 0 || i >= reg.readers then
-      invalid_arg "Arc_dynamic.reader: identity out of range";
-    { reg; last_index = 0 }
+      invalid_arg
+        (Printf.sprintf
+           "Arc_dynamic.reader: identity %d out of range [0, %d)" i reg.readers);
+    let rd =
+      { reg; last_index = 0; view_buf = reg.slots.(0).content; view_len = -1 }
+    in
+    (* A handle claimed long after creation may find slot 0 already
+       revoked (its presence from I1 pins it until this reader's first
+       release); acquire validates and recovers either way. *)
+    acquire rd;
+    rd
 
   let read_view rd =
     let reg = rd.reg in
-    let index = Packed.index (M.load reg.current) in
+    let index = Packed.index (M.load reg.current) (* R1 *) in
     if rd.last_index <> index then begin
-      let released = reg.slots.(rd.last_index) in
-      M.incr released.r_end;
-      let fin = M.load released.r_end in
-      if fin = M.load released.r_start then M.store reg.hint rd.last_index;
-      let now = M.add_and_fetch reg.current 1 in
-      rd.last_index <- Packed.index now
+      release_and_subscribe rd (* R3-R5 *);
+      acquire rd
     end;
-    let entry = reg.slots.(rd.last_index) in
-    (entry.content, M.load entry.size)
+    (rd.view_buf, rd.view_len)
 
   let read_with rd ~f =
     let buffer, len = read_view rd in
@@ -129,6 +214,50 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     let cap = M.capacity entry.content in
     len > cap || len * 2 < cap
 
+  (* Revoke the {e storage} (never the accounting) of slots that have
+     been superseded for more than [lease] writes yet are still
+     pinned — the signature of a crashed or indefinitely paused
+     reader.  The slot stays pinned: presence accounting is what keeps
+     the algorithm wait-free and a crashed reader's pin is permanent
+     by design (Lemma 4.1 tolerates it: N readers pin at most N of the
+     N+2 slots).  What is reclaimed is the buffer, which for the
+     dynamic variant is the part whose cost scales with snapshot size.
+     A paused-but-alive reader keeps its cached view alive through the
+     GC and recovers via [acquire]'s validation on its next
+     subscribe. *)
+  let reclaim_stale reg ~lease =
+    if lease < 0 then
+      invalid_arg
+        (Printf.sprintf "Arc_dynamic.reclaim_stale: lease = %d (need >= 0)" lease);
+    let reclaimed = ref 0 in
+    Array.iteri
+      (fun j s ->
+        if
+          j <> reg.last_slot
+          && s.superseded_at >= 0
+          && reg.writes - s.superseded_at > lease
+          && M.load s.r_start <> M.load s.r_end
+          && M.load s.size >= 0
+        then begin
+          (* Marker first, swap second: a reader's [acquire] re-reads
+             [size] after reading [content], so it can never validate
+             a view that mixes the old length with the empty buffer. *)
+          M.store s.size (-1);
+          s.content <- M.alloc 0;
+          reg.reclaimed <- reg.reclaimed + 1;
+          incr reclaimed
+        end)
+      reg.slots;
+    !reclaimed
+
+  let set_lease reg lease =
+    (match lease with
+    | Some l when l < 1 ->
+      invalid_arg
+        (Printf.sprintf "Arc_dynamic.set_lease: lease = %d (need >= 1)" l)
+    | _ -> ());
+    reg.lease <- lease
+
   let write reg ~src ~len =
     if len < 0 || len > Array.length src then invalid_arg "Arc_dynamic.write: bad length";
     if len > reg.capacity then invalid_arg "Arc_dynamic.write: exceeds capacity";
@@ -137,7 +266,9 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     if needs_realloc entry len then begin
       (* The slot is free: no reader presence is accounted on it, so
          swapping the buffer races with nobody.  Readers holding views
-         of the old buffer keep it alive via the GC. *)
+         of the old buffer keep it alive via the GC.  A revoked slot
+         (capacity 0) is regrown here, which also clears its -1
+         marker via the size store below. *)
       entry.content <- M.alloc len;
       reg.reallocations <- reg.reallocations + 1
     end;
@@ -145,14 +276,20 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     M.store entry.size len;
     M.store entry.r_start 0;
     M.store entry.r_end 0;
+    entry.superseded_at <- -1;
     let old = M.exchange reg.current (Packed.of_index slot) in
     let old_slot = Packed.index old in
     M.store reg.slots.(old_slot).r_start (Packed.count old);
+    reg.slots.(old_slot).superseded_at <- reg.writes;
     reg.last_slot <- slot;
-    reg.writes <- reg.writes + 1
+    reg.writes <- reg.writes + 1;
+    match reg.lease with
+    | Some l when reg.writes mod l = 0 -> ignore (reclaim_stale reg ~lease:l)
+    | _ -> ()
 
   let footprint_words reg =
     Array.fold_left (fun acc s -> acc + M.capacity s.content) 0 reg.slots
 
   let reallocations reg = reg.reallocations
+  let reclaimed reg = reg.reclaimed
 end

@@ -17,7 +17,26 @@
     Worth its footprint when snapshot sizes vary wildly: N+2 buffers
     of the {e maximum} size become N+2 buffers near their actual
     sizes.  {!footprint_words} exposes the current total for the
-    memory experiments. *)
+    memory experiments.
+
+    {b Crash-tolerant storage reclaim (ISSUE 2).}  A crashed (or
+    indefinitely paused) reader pins its subscribed slot forever; the
+    algorithm tolerates that — Lemma 4.1's free-slot guarantee only
+    needs 2 spare slots — but in the dynamic variant the pinned slot
+    may hold an arbitrarily large buffer.  {!reclaim_stale} lets the
+    writer revoke the {e storage} (never the presence accounting) of
+    slots superseded more than a lease of writes ago yet still
+    pinned: the slot's [size] is marked [-1] and its buffer replaced
+    by an empty one, making the old buffer reclaimable by the GC as
+    soon as no live reader view references it.  Readers validate
+    [size] on both sides of reading [content] when they subscribe, so
+    a reader racing a revocation releases and re-subscribes instead
+    of returning reclaimed storage; readers already holding a
+    validated cached view are unaffected (their buffer stays
+    GC-alive).  The recovery retry is the one documented departure
+    from strict per-operation wait-freedom, and it can only trigger
+    when a reader rests between subscription and validation for an
+    entire lease of writes. *)
 
 val algorithm : string
 
@@ -31,4 +50,22 @@ module Make (M : Arc_mem.Mem_intf.S) : sig
 
   val reallocations : t -> int
   (** Number of buffer replacements performed by writes so far. *)
+
+  val reclaim_stale : t -> lease:int -> int
+  (** [reclaim_stale t ~lease] revokes the storage of every slot that
+      was superseded more than [lease] writes ago and is still pinned
+      by reader presence — the signature of a crashed or stalled
+      reader.  Returns the number of slots revoked by this call.
+      Writer-thread only (it is part of the writer's side of the
+      protocol).
+      @raise Invalid_argument if [lease < 0]. *)
+
+  val set_lease : t -> int option -> unit
+  (** [set_lease t (Some l)] makes every [l]-th write run
+      [reclaim_stale ~lease:l] automatically; [None] (the default)
+      disables auto-reclaim.  Writer-thread only.
+      @raise Invalid_argument if [l < 1]. *)
+
+  val reclaimed : t -> int
+  (** Total slots whose storage has been revoked so far. *)
 end

@@ -45,6 +45,16 @@ type caps = {
           [None]. *)
 }
 
+exception Saturated of string
+(** Raised by an operation that detects its synchronization state at a
+    documented capacity bound — e.g. ARC's packed readers-presence
+    count reaching [2^32 - 2] (see {!Arc_util.Packed.max_readers}).
+    The alternative is a silent wraparound of the count into the index
+    bits, which would corrupt the register undetectably; saturating
+    with a diagnostic error is the only safe degradation.  Cannot
+    occur when [create]'s reader bound is respected: the guard is
+    defense in depth for memory corruption and fault injection. *)
+
 let supports_readers caps ~readers ~capacity_words =
   match caps.max_readers ~capacity_words with
   | Some bound -> readers <= bound

@@ -1,0 +1,43 @@
+(** Fault-injecting memory substrate: wraps any {!Arc_mem.Mem_intf.S}
+    instance and applies a {!Fault_plan.t} to the shared-memory
+    accesses flowing through it, addressed by (fiber, per-class access
+    index).  Register algorithms run under faults {e unmodified} —
+    they are functors over the memory signature, and this is just one
+    more instance.
+
+    Intended use (see {!Campaign}): instantiate over
+    {!Arc_vsched.Sim_mem}, [install] a plan, run a scenario on the
+    virtual scheduler, then [drain] the injection statistics.  Faults
+    only fire for accesses made from inside scheduler fibers; setup
+    code (register creation) runs fault-free.
+
+    Crash-stop is delivered by raising {!Fault_plan.Crashed} out of
+    the faulted access; the harness must catch it at the fiber's top
+    level.  Stalls call {!Arc_vsched.Sched.sleep}.  [Drop] skips only
+    unit-returning accesses (stores, [incr]); value-returning accesses
+    proceed normally under [Drop].  [Tear] applies to bulk copies:
+    the first [at_word] words are copied, then the fiber either
+    crashes ([silent:false]) or the operation silently reports
+    success ([silent:true] — the unsound negative-control variant). *)
+
+type stats = {
+  crashes : (int * int) list;  (** (fiber, total-access index at crash) *)
+  tears : (int * int) list;  (** (fiber, words completed before the tear) *)
+  stalls : int;
+  drops : int;
+}
+
+val zero_stats : stats
+
+module Make (M : Arc_mem.Mem_intf.S) : sig
+  include
+    Arc_mem.Mem_intf.S with type atomic = M.atomic and type buffer = M.buffer
+
+  val install : Fault_plan.t -> unit
+  (** Arm the injector: resets all per-fiber counters and statistics.
+      Call before each scenario run. *)
+
+  val drain : unit -> stats
+  (** Disarm and return what fired.  Also clears state, so a
+      forgotten [install] leaves the instance fault-free. *)
+end

@@ -26,6 +26,17 @@ let workload_name = function
     anywhere-preemption version. *)
 type steal = { probability : float; pause_us : float }
 
+(** Watchdog for real runs: after the stop flag is raised, the
+    coordinator polls per-thread completion flags every [poll_s]
+    seconds; threads that have not finished within [grace_s] make the
+    run fail with a per-thread progress diagnostic
+    ({!Real_runner.Hung}) instead of blocking the join forever — a
+    hung register operation turns into an explained test failure, not
+    a CI timeout. *)
+type watchdog = { poll_s : float; grace_s : float }
+
+let default_watchdog = { poll_s = 0.05; grace_s = 10. }
+
 type real = {
   readers : int;
   size_words : int;
@@ -39,6 +50,8 @@ type real = {
           by the runtime's domain limit).  [`Threads]: systhreads on
           one domain — pure time-sharing, the Fig. 3 regime, feasible
           for thousands of threads. *)
+  watchdog : watchdog option;
+      (** [None] restores the unguarded blocking join. *)
 }
 
 let default_real =
@@ -51,6 +64,7 @@ let default_real =
     record = 0;
     seed = 42;
     parallelism = `Domains;
+    watchdog = Some default_watchdog;
   }
 
 type sim = {

@@ -2,6 +2,8 @@ module Splitmix = Arc_util.Splitmix
 module Cpu = Arc_util.Cpu
 module History = Arc_trace.History
 
+exception Hung of string
+
 module Make (R : Arc_core.Register_intf.S) = struct
   module P = Arc_workload.Payload.Make (R.Mem)
 
@@ -101,13 +103,34 @@ module Make (R : Arc_core.Register_intf.S) = struct
     ()
 
   let run (cfg : Config.real) : Config.result =
-    if cfg.readers < 1 then invalid_arg "Real_runner.run: need at least one reader";
-    if cfg.size_words < 1 then invalid_arg "Real_runner.run: empty register";
+    if cfg.readers < 1 then
+      invalid_arg
+        (Printf.sprintf "Real_runner.run: readers = %d (need at least one reader)"
+           cfg.readers);
+    if cfg.size_words < 1 then
+      invalid_arg
+        (Printf.sprintf "Real_runner.run: size_words = %d (need a positive size)"
+           cfg.size_words);
+    if cfg.duration_s <= 0. then
+      invalid_arg
+        (Printf.sprintf "Real_runner.run: duration_s = %g (need a positive duration)"
+           cfg.duration_s);
+    if cfg.record < 0 then
+      invalid_arg
+        (Printf.sprintf "Real_runner.run: record = %d (need >= 0)" cfg.record);
+    (match cfg.watchdog with
+    | Some w when w.Config.poll_s <= 0. || w.Config.grace_s <= 0. ->
+      invalid_arg
+        (Printf.sprintf
+           "Real_runner.run: watchdog poll_s = %g, grace_s = %g (both must be positive)"
+           w.Config.poll_s w.Config.grace_s)
+    | _ -> ());
     (match R.caps.Arc_core.Register_intf.max_readers ~capacity_words:cfg.size_words with
     | Some bound when cfg.readers > bound ->
       invalid_arg
-        (Printf.sprintf "Real_runner.run: %s supports at most %d readers"
-           R.algorithm bound)
+        (Printf.sprintf
+           "Real_runner.run: readers = %d but %s supports at most %d readers"
+           cfg.readers R.algorithm bound)
     | _ -> ());
     let init = Array.make cfg.size_words 0 in
     P.stamp init ~seq:0 ~len:cfg.size_words;
@@ -121,12 +144,18 @@ module Make (R : Arc_core.Register_intf.S) = struct
       else None
     in
     let outs = Array.init (cfg.readers + 1) (fun _ -> { ops = 0; torn = 0 }) in
+    let finished = Array.init (cfg.readers + 1) (fun _ -> Atomic.make false) in
     let bodies =
       Array.init (cfg.readers + 1) (fun i ->
           let handle = Barrier.join barrier in
-          if i = 0 then writer_body ~reg ~cfg ~stop ~handle ~recorder ~out:outs.(0)
-          else
-            reader_body ~reg ~id:(i - 1) ~cfg ~stop ~handle ~recorder ~out:outs.(i))
+          let body =
+            if i = 0 then writer_body ~reg ~cfg ~stop ~handle ~recorder ~out:outs.(0)
+            else
+              reader_body ~reg ~id:(i - 1) ~cfg ~stop ~handle ~recorder ~out:outs.(i)
+          in
+          fun () ->
+            body ();
+            Atomic.set finished.(i) true)
     in
     let coordinator_handle = Barrier.join barrier in
     let joiners =
@@ -143,6 +172,41 @@ module Make (R : Arc_core.Register_intf.S) = struct
     Unix.sleepf cfg.duration_s;
     Atomic.set stop true;
     let t1 = Cpu.now_ns () in
+    (* Watchdog: a register bug that hangs an operation (a lock never
+       released, a validation loop that never settles) would turn
+       [joiners] into an infinite wait.  Workers cannot be killed, so
+       the guarded join polls completion flags and, past the grace
+       period, raises a diagnostic instead of blocking — the stuck
+       workers leak, but CI gets a per-thread progress report rather
+       than a timeout.  The ops counters are sampled racily
+       (plain mutable fields across threads), which is fine for a
+       diagnostic: "ops then vs ops now" distinguishes a stuck thread
+       from a slowly draining one. *)
+    (match cfg.watchdog with
+    | None -> ()
+    | Some wd ->
+      let ops_at_stop = Array.map (fun o -> o.ops) outs in
+      let all_finished () = Array.for_all Atomic.get finished in
+      let deadline = Unix.gettimeofday () +. wd.Config.grace_s in
+      while (not (all_finished ())) && Unix.gettimeofday () < deadline do
+        Unix.sleepf wd.Config.poll_s
+      done;
+      if not (all_finished ()) then begin
+        let b = Buffer.create 256 in
+        Buffer.add_string b
+          (Printf.sprintf
+             "Real_runner.run (%s): %g s grace expired after stop; thread status:"
+             R.algorithm wd.Config.grace_s);
+        Array.iteri
+          (fun i o ->
+            let role = if i = 0 then "writer" else Printf.sprintf "reader %d" (i - 1) in
+            Buffer.add_string b
+              (Printf.sprintf "\n  %-9s %s  ops at stop: %d, ops now: %d" role
+                 (if Atomic.get finished.(i) then "finished" else "STUCK")
+                 ops_at_stop.(i) o.ops))
+          outs;
+        raise (Hung (Buffer.contents b))
+      end);
     joiners ();
     let elapsed = Cpu.seconds_of_ns (Int64.sub t1 t0) in
     let reads = ref 0 and torn = ref 0 in

@@ -9,8 +9,19 @@
     (systhreads, one domain) for the heavily time-shared Fig. 3
     regime with thousands of threads. *)
 
+exception Hung of string
+(** Raised by a watchdog-guarded run whose worker threads did not all
+    finish within the grace period after the stop flag was raised (see
+    {!Config.watchdog}).  The payload is a per-thread progress report
+    (role, finished/stuck, operation counts at stop and at the
+    deadline).  The stuck workers cannot be killed and are leaked;
+    treat the process as tainted and exit after reporting. *)
+
 module Make (_ : Arc_core.Register_intf.S) : sig
   val run : Config.real -> Config.result
   (** @raise Invalid_argument on nonsensical configurations (no
-      readers, readers above the algorithm's bound, bad sizes). *)
+      readers, readers above the algorithm's bound, bad sizes); the
+      message names the offending field and its value.
+      @raise Hung when the watchdog grace period expires with a worker
+      still running. *)
 end

@@ -142,3 +142,37 @@ let check h =
   let* () = regularity h writes in
   let* () = no_new_old_inversion h in
   Ok (report h)
+
+type crash_outcome = No_crash | Vanished | Took_effect
+
+let crash_outcome_name = function
+  | No_crash -> "no-crash"
+  | Vanished -> "vanished"
+  | Took_effect -> "took-effect"
+
+(* A write pending at the writer's crash has no return event: it is
+   allowed to either never take effect (no read returns it) or to take
+   effect at any point after its invocation (reads from then on may
+   return it).  Both candidate completions reuse the full checker; a
+   history is crash-consistent iff at least one passes.  The
+   took-effect candidate models the open-ended linearization window
+   with [returned = max_int], which the interval arithmetic of
+   {!regularity} treats as "never completed before anything" — it can
+   satisfy reads but never forces staleness on them. *)
+let check_crash ?pending_write h =
+  match pending_write with
+  | None -> Result.map (fun r -> (r, No_crash)) (check h)
+  | Some (seq, invoked) -> (
+    match check h with
+    | Ok r -> Ok (r, Vanished)
+    | Error vanished_violation -> (
+      let ev =
+        History.event History.Write ~thread:0 ~seq ~invoked ~returned:max_int
+      in
+      let h' = History.of_events (ev :: History.events h) in
+      match check h' with
+      | Ok r -> Ok (r, Took_effect)
+      | Error _ ->
+        (* Neither completion explains the history; report the verdict
+           on the as-recorded events, which names real reads. *)
+        Error vanished_violation))

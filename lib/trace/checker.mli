@@ -49,3 +49,29 @@ val check_regular_only : History.t -> (report, violation) result
 (** Same but skipping the new-old-inversion pass — used by tests that
     demonstrate the checker can tell regular-but-not-atomic histories
     apart. *)
+
+(** {2 Crash-aware checking (ISSUE 2)}
+
+    Under crash-stop faults, an operation in flight when its thread
+    crashed never returns and is never recorded — which is already the
+    right treatment for {e reads} (an unreturned read constrains
+    nothing).  The single writer is different: its pending write may
+    have published (crash after the exchange) or not (crash during the
+    copy), and reads by surviving readers are correct in either case.
+    {!check_crash} accepts a history iff one of the two completions —
+    the write vanished, or the write took effect with an open-ended
+    completion time — satisfies the full atomicity check, and reports
+    which one did. *)
+
+type crash_outcome = No_crash | Vanished | Took_effect
+
+val crash_outcome_name : crash_outcome -> string
+
+val check_crash :
+  ?pending_write:int * int ->
+  History.t ->
+  (report * crash_outcome, violation) result
+(** [check_crash ~pending_write:(seq, invoked) h] — [seq] must be the
+    successor of the last recorded write's sequence number and
+    [invoked] its invocation time.  Without [pending_write] this is
+    {!check}. *)

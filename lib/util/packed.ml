@@ -3,6 +3,7 @@ let index_bits = Sys.int_size - count_bits
 let max_index = (1 lsl index_bits) - 1
 let max_count = (1 lsl count_bits) - 1
 let count_mask = max_count
+let max_readers = max_count - 1
 
 let make ~index ~count =
   if index < 0 || index > max_index then
@@ -16,7 +17,11 @@ let count w = w land count_mask
 let of_index i = make ~index:i ~count:0
 
 let succ_count w =
-  if count w = max_count then invalid_arg "Packed.succ_count: count overflow";
+  if count w >= max_readers then
+    invalid_arg
+      (Printf.sprintf
+         "Packed.succ_count: count overflow (count = %d, bound = %d)" (count w)
+         max_readers);
   w + 1
 
 let pp ppf w = Format.fprintf ppf "@[<h>⟨index=%d,@ count=%d⟩@]" (index w) (count w)

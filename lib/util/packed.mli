@@ -24,6 +24,12 @@ val max_count : int
     up to [2^32 - 2] concurrent readers so that the count can never
     saturate between two writes. *)
 
+val max_readers : int
+(** The paper's concurrent-readers capacity bound, [2^32 - 2]
+    ([max_count - 1]).  Keeping the count at or below this value
+    guarantees one increment of head-room, so a saturated count is
+    always distinguishable from a wrapped one. *)
+
 val make : index:int -> count:int -> int
 (** [make ~index ~count] packs the two fields.
     @raise Invalid_argument if either field is out of range. *)
@@ -43,8 +49,12 @@ val of_index : int -> int
 val succ_count : int -> int
 (** [succ_count w] is the packed word with the count field incremented
     — what [AtomicAddAndFetch (current, 1)] (statement R4) produces.
-    @raise Invalid_argument on count overflow (cannot occur when the
-    number of readers respects {!max_count}). *)
+    @raise Invalid_argument when [count w >= max_readers] — the
+    saturation bound of the paper.  Incrementing past {!max_count}
+    would silently carry into the index bits; the guard fires one
+    increment early ({!max_readers} = [2^32 - 2]) so the error is
+    raised exactly at the documented capacity, never after a wrap.
+    Cannot occur when the number of readers respects {!max_readers}. *)
 
 val pp : Format.formatter -> int -> unit
 (** Prints as [⟨index=i, count=c⟩] for debugging and test failures. *)

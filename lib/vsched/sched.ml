@@ -2,6 +2,7 @@ open Effect
 open Effect.Deep
 
 type _ Effect.t += Cede : int -> unit Effect.t
+type _ Effect.t += Sleep : int -> unit Effect.t
 
 type status =
   | Fresh of (unit -> unit)
@@ -32,6 +33,11 @@ let cede ?(weight = 1) () =
   match current () with
   | None -> ()
   | Some t -> if t.running >= 0 then perform (Cede weight) else ()
+
+let sleep d =
+  match current () with
+  | None -> ()
+  | Some t -> if t.running >= 0 && d > 0 then perform (Sleep d) else ()
 
 let current_fiber () =
   match current () with
@@ -103,6 +109,16 @@ let step_fiber t id =
                 (fun (k : (a, _) continuation) ->
                   t.steps <- t.steps + weight;
                   t.status.(id) <- Suspended k)
+            | Sleep d ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  t.steps <- t.steps + 1;
+                  t.status.(id) <- Suspended k;
+                  (* Unlike Cede, a sleeping fiber leaves the runnable
+                     set entirely until its wake step — fault stalls
+                     must not depend on the strategy's goodwill. *)
+                  remove_runnable t id;
+                  t.postponed <- (id, t.steps + d) :: t.postponed)
             | _ -> None);
       }
     in

@@ -47,6 +47,16 @@ val cede : ?weight:int -> unit -> unit
     any scheduler this is a no-op, so code instrumented with [cede]
     also runs standalone. *)
 
+val sleep : int -> unit
+(** [sleep d] suspends the calling fiber for [d] simulated steps: it
+    leaves the runnable set and is woken once the run's step count
+    reaches [now () + d], regardless of the strategy.  The fault layer
+    uses this to model a thread stalled by the OS or hypervisor
+    (ISSUE 2); unlike a strategy-driven {!Strategy.steal} postponement
+    it is part of the {e scenario}, so it replays deterministically
+    under {!Explore.exhaustive} and {!Replay}.  [d <= 0] and calls
+    outside a scheduler are no-ops. *)
+
 val self : unit -> int
 (** Id of the running fiber (its index in the [run] array).
     @raise Failure outside a fiber. *)

@@ -105,3 +105,77 @@ module Stale (M : Arc_mem.Mem_intf.S) = struct
     M.store t.sizes.(next) len;
     M.store t.index next
 end
+
+(* Fault-layer-driven breakage: the {e correct} ARC turned broken by
+   an unsound fault plan, for the crash-aware checking pipeline to
+   convict.  Unlike [Torn]/[Stale] these need no bespoke bad
+   algorithm — the defect is injected by Arc_fault.Fault_mem, which is
+   exactly what makes them good controls for the fault campaign: if
+   the crash-aware checker and the invariant auditor accept runs with
+   these plans installed, the fault layer or the checks are broken. *)
+module Faulty_plans = struct
+  module Fault_plan = Arc_fault.Fault_plan
+
+  (* Torn write: the writer's [at_copy]-th bulk copy stops after
+     [at_word] words but {e reports success}, so a half-new half-old
+     snapshot gets published.  Readers must observe payload
+     validation failures (torn > 0). *)
+  let silent_tear ~at_copy ~at_word =
+    Fault_plan.tear ~fiber:0 ~at_copy ~at_word ~silent:true Fault_plan.empty
+
+  (* Lost release: the given reader's first RMW — its R3 release
+     increment of [r_end] — is dropped, so its presence stays
+     double-counted.  The history stays atomic; only the
+     presence-ledger audit (negative slack) can convict this. *)
+  let lost_release ~reader_fiber =
+    Fault_plan.drop ~fiber:reader_fiber ~kind:`Rmw ~nth:1 Fault_plan.empty
+end
+
+(* Escape hatch for the watchdog test: [Hang]'s writer spins until
+   [release] is set.  Lives outside the functor so the test can free
+   the leaked worker after the watchdog has fired. *)
+module Hang_control = struct
+  let release : bool Atomic.t = Atomic.make false
+  let arm () = Atomic.set release false
+  let free () = Atomic.set release true
+end
+
+(* A register whose write hangs (a model of a lost unlock / livelocked
+   retry loop): reads are fine, but the writer spins on an external
+   flag and never observes the harness stop signal.  The real runner's
+   watchdog must convert this into a diagnostic failure instead of
+   blocking the join forever. *)
+module Hang (M : Arc_mem.Mem_intf.S) = struct
+  module Mem = M
+
+  type t = { size : M.atomic; content : M.buffer }
+  type reader = t
+
+  let algorithm = "broken-hang"
+
+  let caps =
+    {
+      Arc_core.Register_intf.wait_free = false;
+      zero_copy = true;
+      max_readers = (fun ~capacity_words:_ -> None);
+    }
+
+  let create ~readers:_ ~capacity ~init =
+    let t = { size = M.atomic 0; content = M.alloc capacity } in
+    M.write_words t.content ~src:init ~len:(Array.length init);
+    M.store t.size (Array.length init);
+    t
+
+  let reader t _ = t
+  let read_with t ~f = f t.content (M.load t.size)
+
+  let read_into t ~dst =
+    read_with t ~f:(fun buffer len ->
+        M.read_words buffer ~dst ~len;
+        len)
+
+  let write _t ~src:_ ~len:_ =
+    while not (Atomic.get Hang_control.release) do
+      Domain.cpu_relax ()
+    done
+end

@@ -73,5 +73,6 @@ let () =
       ("audit", Test_audit.suite);
       ("typed", Test_typed.suite);
       ("replay", Test_replay.suite);
+      ("fault", Test_fault.suite);
       ("mrmw", Test_mrmw.suite);
     ]

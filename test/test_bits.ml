@@ -74,9 +74,27 @@ let prop_ceil_log2_bounds =
       let k = Bits.ceil_log2 n in
       (1 lsl k) >= n && (k = 0 || 1 lsl (k - 1) < n))
 
+(* The count-field boundary shared with Arc_util.Packed: the packed
+   word's 32-bit count saturates at 2^32 - 2, one unit below the field
+   mask.  Pin down the bit identities the saturation guard relies on. *)
+let test_count_field_boundary () =
+  let module Packed = Arc_util.Packed in
+  check "mask 32 is the count mask" Packed.max_count (Bits.mask 32);
+  check "2^32 - 2 is all count bits but bit 0" 31 (Bits.popcount Packed.max_readers);
+  Alcotest.(check bool)
+    "bit 0 clear at 2^32 - 2" false
+    (Bits.test Packed.max_readers 0);
+  check "2^32 - 3 keeps 31 bits set" 31 (Bits.popcount (Packed.max_readers - 1));
+  check "2^32 - 1 sets the full field" 32 (Bits.popcount Packed.max_count);
+  (* One count above max_count escapes the field: exactly the carry
+     into index bit 0 the saturation guard must pre-empt. *)
+  check "max_count + 1 leaves the count field" 32
+    (Bits.lowest_set (Packed.max_count + 1))
+
 let suite =
   [
     Alcotest.test_case "popcount" `Quick test_popcount;
+    Alcotest.test_case "count-field boundary" `Quick test_count_field_boundary;
     Alcotest.test_case "lowest_set" `Quick test_lowest_set;
     Alcotest.test_case "iter_set" `Quick test_iter_set;
     Alcotest.test_case "fold_set" `Quick test_fold_set;

@@ -1,0 +1,423 @@
+(* Fault-injection subsystem (ISSUE 2): crash-stop readers, stalled
+   threads, torn writer copies — driven through the register
+   algorithms by seeded campaigns, judged by the crash-aware checker
+   and the presence-ledger auditor, with fault-layer-driven broken
+   registers as negative controls proving none of it is vacuous. *)
+
+module Fault_plan = Arc_fault.Fault_plan
+module Campaign = Arc_fault.Campaign
+module Checker = Arc_trace.Checker
+module Packed = Arc_util.Packed
+module Strategy = Arc_vsched.Strategy
+module Sched = Arc_vsched.Sched
+module Explore = Arc_vsched.Explore
+module Replay = Arc_vsched.Replay
+module Config = Arc_harness.Config
+
+module RA = Arc_core.Arc.Make (Campaign.Mem)
+module CA = Campaign.Make (RA)
+module RN = Arc_core.Arc_nohint.Make (Campaign.Mem)
+module CN = Campaign.Make (RN)
+module RD = Arc_core.Arc_dynamic.Make (Campaign.Mem)
+module CD = Campaign.Make (RD)
+module RF = Arc_baselines.Rf.Make (Campaign.Mem)
+module CF = Campaign.Make (RF)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* White-box probes wiring ARC's Debug into the campaign's invariant
+   audit (presence-ledger slack within [0, crashed]; Lemma 4.1's free
+   slot survives crashes). *)
+let arc_audit reg ~crashed_readers ~writer_crashed =
+  Campaign.arc_audit
+    {
+      Campaign.presence_slack = (fun () -> RA.Debug.presence_slack reg);
+      free_slot_exists = (fun () -> RA.Debug.free_slot_exists reg);
+    }
+    ~crashed_readers ~writer_crashed
+
+let fail_violations who (o : Campaign.outcome) =
+  match o.Campaign.violations with
+  | [] -> ()
+  | (seed, msg) :: _ ->
+    Alcotest.failf "%s: %d violations, first (seed %d): %s" who
+      (List.length o.Campaign.violations)
+      seed msg
+
+(* {1 The bounded fault campaigns} *)
+
+let test_campaign_arc () =
+  let cfg = { Campaign.default with schedules = 100; seed = 2024 } in
+  let o = CA.run ~audit:arc_audit cfg in
+  fail_violations "arc" o;
+  Alcotest.(check int) "all schedules ran" 100 o.Campaign.schedules_run;
+  (* Non-vacuity: over 100 random plans the fault classes must all
+     actually fire. *)
+  Alcotest.(check bool) "reader crashes fired" true (o.Campaign.reader_crashes > 0);
+  Alcotest.(check bool) "stalls fired" true (o.Campaign.stalls > 0);
+  Alcotest.(check bool) "writer crashes fired" true (o.Campaign.writer_crashes > 0);
+  Alcotest.(check bool) "histories checked" true (o.Campaign.reads_checked > 0);
+  (* Both crash-completion verdicts must occur: some pending writes
+     vanish, some take effect. *)
+  Alcotest.(check bool) "some pending writes resolved" true
+    (o.Campaign.vanished + o.Campaign.took_effect > 0)
+
+let test_campaign_arc_nohint () =
+  let cfg = { Campaign.default with schedules = 40; seed = 31 } in
+  let o = CN.run cfg in
+  fail_violations "arc-nohint" o;
+  Alcotest.(check bool) "faults fired" true (o.Campaign.reader_crashes > 0)
+
+let test_campaign_arc_dynamic () =
+  let cfg = { Campaign.default with schedules = 40; seed = 47 } in
+  let o = CD.run cfg in
+  fail_violations "arc-dynamic" o;
+  Alcotest.(check bool) "faults fired" true (o.Campaign.reader_crashes > 0)
+
+let test_campaign_rf () =
+  let cfg = { Campaign.default with schedules = 40; seed = 53 } in
+  let o = CF.run cfg in
+  fail_violations "rf" o;
+  Alcotest.(check bool) "faults fired" true (o.Campaign.reader_crashes > 0)
+
+let test_campaign_deterministic () =
+  let cfg = { Campaign.default with schedules = 20; seed = 7 } in
+  let o1 = CA.run ~audit:arc_audit cfg in
+  let o2 = CA.run ~audit:arc_audit cfg in
+  Alcotest.(check bool) "same seed, same outcome" true (o1 = o2)
+
+(* {1 Negative controls: the pipeline must convict} *)
+
+(* Torn write via the fault layer: the writer's second bulk copy stops
+   after 3 of 16 words but reports success — readers must observe
+   payload validation failures. *)
+let test_silent_tear_convicted () =
+  let plan = Broken_regs.Faulty_plans.silent_tear ~at_copy:2 ~at_word:3 in
+  let cfg = { Campaign.default with max_steps = 20_000 } in
+  let result, _reg = CA.run_plan ~plan ~strategy:(Strategy.random ~seed:9) cfg in
+  Alcotest.(check int) "the tear fired" 1
+    (List.length result.Campaign.stats.Arc_fault.Fault_mem.tears);
+  Alcotest.(check bool) "torn snapshots detected" true (result.Campaign.torn > 0)
+
+(* Lost release via the fault layer: reader fiber 1's first RMW — its
+   R3 release increment — is dropped.  The history stays atomic, so
+   only the presence-ledger audit can convict: slack goes negative
+   (presence double-counted).  If the leaked presence instead starves
+   the writer of free slots first, that failure is an equally valid
+   conviction. *)
+let test_lost_release_convicted () =
+  let plan = Broken_regs.Faulty_plans.lost_release ~reader_fiber:1 in
+  let cfg = { Campaign.default with max_steps = 20_000 } in
+  match CA.run_plan ~plan ~strategy:(Strategy.random ~seed:11) cfg with
+  | exception Failure msg ->
+    Alcotest.(check bool) "writer starved of free slots" true
+      (contains msg "no free slot")
+  | result, reg ->
+    Alcotest.(check int) "the drop fired" 1
+      result.Campaign.stats.Arc_fault.Fault_mem.drops;
+    let slack = RA.Debug.presence_slack reg in
+    Alcotest.(check bool)
+      (Printf.sprintf "negative ledger slack convicts (slack = %d)" slack)
+      true (slack < 0);
+    (* ... and the generic audit hook turns that into a violation. *)
+    (match arc_audit reg ~crashed_readers:0 ~writer_crashed:false with
+    | [] -> Alcotest.fail "audit accepted a lost release"
+    | _ -> ())
+
+(* A stale register (broken independently of the fault layer) must
+   still be convicted when run through the crash-aware campaign. *)
+module RS = Broken_regs.Stale (Campaign.Mem)
+module CS = Campaign.Make (RS)
+
+let test_stale_register_convicted () =
+  let cfg =
+    {
+      Campaign.default with
+      schedules = 5;
+      max_crash_readers = 0;
+      stall_threads = false;
+      crash_writer = false;
+    }
+  in
+  let o = CS.run cfg in
+  Alcotest.(check bool) "stale register convicted" true
+    (not (Campaign.clean o))
+
+(* {1 Saturation guard at the packed-count boundary} *)
+
+let test_saturation_guard () =
+  let init = [| 1; 2; 3; 4 |] in
+  let reg = RA.create ~readers:2 ~capacity:4 ~init in
+  let rd = RA.reader reg 0 in
+  (* Below the bound: a slow-path subscribe that lands the count at
+     exactly max_readers (2^32 - 2) is legal... *)
+  RA.Debug.force_current reg
+    (Packed.make ~index:1 ~count:(Packed.max_readers - 1));
+  let _, _ = RA.read_view rd in
+  Alcotest.(check int) "count landed on the bound" Packed.max_readers
+    (Packed.count (RA.Debug.current reg));
+  (* ... the next subscribe would exceed it and must raise, not wrap. *)
+  RA.Debug.force_current reg (Packed.make ~index:0 ~count:Packed.max_readers);
+  (match RA.read_view rd with
+  | exception Arc_core.Register_intf.Saturated msg ->
+    Alcotest.(check bool) "error names the bound" true
+      (contains msg (string_of_int Packed.max_readers))
+  | _ -> Alcotest.fail "increment past 2^32 - 2 must raise Saturated");
+  (* A wrap that already happened (count field at the raw maximum, so
+     the increment carries into the index bits) is also caught. *)
+  let rd2 = RA.reader reg 1 in
+  RA.Debug.force_current reg (Packed.make ~index:1 ~count:Packed.max_count);
+  match RA.read_view rd2 with
+  | exception Arc_core.Register_intf.Saturated _ -> ()
+  | _ -> Alcotest.fail "count wraparound must raise Saturated"
+
+(* {1 arc-dynamic: storage reclaim under a crashed reader} *)
+
+let write_seq reg ~len v =
+  let src = Array.make len v in
+  RD.write reg ~src ~len
+
+let check_reads rd ~len v =
+  RD.read_with rd ~f:(fun buf n ->
+      Alcotest.(check int) "snapshot length" len n;
+      for i = 0 to n - 1 do
+        Alcotest.(check int) "snapshot word" v (Campaign.Mem.read_word buf i)
+      done)
+
+let test_reclaim_stale () =
+  let reg = RD.create ~readers:2 ~capacity:1024 ~init:(Array.make 256 7) in
+  let r0 = RD.reader reg 0 in
+  let r1 = RD.reader reg 1 in
+  check_reads r0 ~len:256 7;
+  check_reads r1 ~len:256 7;
+  (* r1 now "crashes": it never reads again, pinning slot 0 and its
+     256-word buffer forever. *)
+  for i = 1 to 6 do
+    write_seq reg ~len:256 i;
+    check_reads r0 ~len:256 i
+  done;
+  let before = RD.footprint_words reg in
+  Alcotest.(check int) "lease not expired yet: nothing reclaimed" 0
+    (RD.reclaim_stale reg ~lease:100);
+  let n = RD.reclaim_stale reg ~lease:3 in
+  Alcotest.(check int) "exactly the crashed reader's slot reclaimed" 1 n;
+  Alcotest.(check int) "reclaimed counter" 1 (RD.reclaimed reg);
+  Alcotest.(check int) "footprint dropped by the pinned buffer" (before - 256)
+    (RD.footprint_words reg);
+  Alcotest.(check int) "reclaim is idempotent" 0 (RD.reclaim_stale reg ~lease:3);
+  (* The live reader is unaffected, before and after more writes
+     (which may reuse the revoked slot, regrowing its buffer). *)
+  check_reads r0 ~len:256 6;
+  for i = 7 to 12 do
+    write_seq reg ~len:256 i;
+    check_reads r0 ~len:256 i
+  done;
+  (* r1 was merely paused after all: its next read recovers via the
+     size-validation handshake — release, resubscribe, current value,
+     never reclaimed storage. *)
+  check_reads r1 ~len:256 12
+
+let test_auto_reclaim () =
+  let reg = RD.create ~readers:2 ~capacity:1024 ~init:(Array.make 512 1) in
+  let r0 = RD.reader reg 0 in
+  let r1 = RD.reader reg 1 in
+  check_reads r0 ~len:512 1;
+  check_reads r1 ~len:512 1;
+  RD.set_lease reg (Some 2);
+  (* r1 silent from here on.  Every 2nd write auto-runs reclaim with
+     lease 2, so the pinned 512-word slot is revoked without any
+     explicit call. *)
+  for i = 1 to 8 do
+    write_seq reg ~len:64 i;
+    check_reads r0 ~len:64 i
+  done;
+  Alcotest.(check int) "auto-reclaim revoked the pinned slot" 1
+    (RD.reclaimed reg);
+  RD.set_lease reg None;
+  check_reads r1 ~len:64 8
+
+(* {1 Fault schedules are explorable and replayable} *)
+
+(* Exhaustive bounded exploration of a micro-scenario under a fault
+   plan: one write that tears and crashes mid-copy racing one reader.
+   In every interleaving the reader must see only the intact initial
+   snapshot (the torn copy is never published) and the crash must
+   fire. *)
+let test_explore_with_faults () =
+  let module P = Arc_workload.Payload.Make (Campaign.Mem) in
+  let scenario () =
+    let init = Array.make 4 0 in
+    P.stamp init ~seq:0 ~len:4;
+    let reg = RA.create ~readers:1 ~capacity:4 ~init in
+    let rd = RA.reader reg 0 in
+    let torn = ref 0 in
+    let crashed = ref false in
+    Campaign.Mem.install
+      (Fault_plan.tear ~fiber:0 ~at_copy:1 ~at_word:2 ~silent:false
+         Fault_plan.empty);
+    let writer () =
+      try
+        let src = Array.make 4 0 in
+        P.stamp src ~seq:1 ~len:4;
+        RA.write reg ~src ~len:4
+      with Fault_plan.Crashed -> crashed := true
+    in
+    let reader () =
+      RA.read_with rd ~f:(fun buf len ->
+          match P.validate buf ~len with
+          | Ok _ -> ()
+          | Error _ -> incr torn)
+    in
+    let check () =
+      ignore (Campaign.Mem.drain ());
+      if !torn > 0 then Alcotest.fail "explore: torn snapshot observed";
+      if not !crashed then Alcotest.fail "explore: tear crash did not fire"
+    in
+    ([| writer; reader |], check)
+  in
+  let out = Explore.exhaustive ~max_schedules:2_000 ~scenario () in
+  Alcotest.(check bool) "many interleavings checked" true (out.Explore.schedules > 100)
+
+(* Record a faulty run's schedule, replay it: the same crashes, tears
+   and stalls fire at the same access indices. *)
+let test_replay_with_faults () =
+  let module P = Arc_workload.Payload.Make (Campaign.Mem) in
+  let plan =
+    Fault_plan.empty
+    |> Fault_plan.crash ~fiber:2 ~at_access:7
+    |> Fault_plan.stall ~fiber:0 ~at_access:5 ~steps:120
+    |> Fault_plan.tear ~fiber:0 ~at_copy:3 ~at_word:2 ~silent:false
+  in
+  let run_once strategy =
+    let init = Array.make 4 0 in
+    P.stamp init ~seq:0 ~len:4;
+    let reg = RA.create ~readers:2 ~capacity:4 ~init in
+    let reads = ref [] in
+    Campaign.Mem.install plan;
+    let writer () =
+      try
+        let src = Array.make 4 0 in
+        for seq = 1 to 5 do
+          P.stamp src ~seq ~len:4;
+          RA.write reg ~src ~len:4
+        done
+      with Fault_plan.Crashed -> ()
+    in
+    let reader id () =
+      try
+        let rd = RA.reader reg id in
+        for _ = 1 to 6 do
+          RA.read_with rd ~f:(fun buf _len ->
+              reads := P.decode_seq buf :: !reads)
+        done
+      with Fault_plan.Crashed -> ()
+    in
+    let (_ : Sched.outcome) =
+      Sched.run ~strategy [| writer; reader 0; reader 1 |]
+    in
+    (Campaign.Mem.drain (), !reads)
+  in
+  let recorder, recording = Replay.recording (Strategy.random ~seed:5) in
+  let stats1, reads1 = run_once recording in
+  let trace = Replay.captured recorder in
+  let replayer, replaying =
+    Replay.replaying trace ~fallback:(Strategy.random ~seed:99)
+  in
+  let stats2, reads2 = run_once replaying in
+  Alcotest.(check bool) "replay never diverged" false (Replay.diverged replayer);
+  Alcotest.(check bool) "identical fault firings" true (stats1 = stats2);
+  Alcotest.(check (list int)) "identical reads" reads1 reads2
+
+(* {1 Watchdog: a hung run becomes a diagnostic failure} *)
+
+module Hang_runner = Arc_harness.Real_runner.Make (Broken_regs.Hang (Arc_mem.Real_mem))
+module Arc_runner = Arc_harness.Real_runner.Make (Arc_core.Arc.Make (Arc_mem.Real_mem))
+
+let test_watchdog_kills_hung_run () =
+  Broken_regs.Hang_control.arm ();
+  let cfg =
+    {
+      Config.default_real with
+      readers = 1;
+      size_words = 8;
+      duration_s = 0.05;
+      parallelism = `Threads;
+      watchdog = Some { Config.poll_s = 0.01; grace_s = 0.3 };
+    }
+  in
+  match Hang_runner.run cfg with
+  | _ ->
+    Broken_regs.Hang_control.free ();
+    Alcotest.fail "watchdog did not fire on a hung writer"
+  | exception Arc_harness.Real_runner.Hung report ->
+    (* Free the leaked worker before judging the report. *)
+    Broken_regs.Hang_control.free ();
+    Alcotest.(check bool) "report names the stuck writer" true
+      (contains report "writer" && contains report "STUCK");
+    Alcotest.(check bool) "report shows reader finished" true
+      (contains report "reader 0" && contains report "finished")
+
+let test_watchdog_passes_healthy_run () =
+  let cfg =
+    {
+      Config.default_real with
+      readers = 2;
+      size_words = 32;
+      duration_s = 0.05;
+      parallelism = `Threads;
+      watchdog = Some { Config.poll_s = 0.01; grace_s = 5. };
+    }
+  in
+  let r = Arc_runner.run cfg in
+  Alcotest.(check bool) "reads happened" true (r.Config.reads > 0)
+
+(* Satellite: configuration errors name the offending field and value. *)
+let test_config_error_messages () =
+  let expect_msg part cfg =
+    match Arc_runner.run cfg with
+    | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "message %S mentions %S" msg part)
+        true (contains msg part)
+    | _ -> Alcotest.failf "config accepted; expected rejection on %s" part
+  in
+  expect_msg "readers = 0" { Config.default_real with readers = 0 };
+  expect_msg "size_words = -3" { Config.default_real with size_words = -3 };
+  expect_msg "duration_s = 0" { Config.default_real with duration_s = 0. };
+  expect_msg "record = -1" { Config.default_real with record = -1 };
+  expect_msg "grace_s = 0"
+    {
+      Config.default_real with
+      watchdog = Some { Config.poll_s = 0.05; grace_s = 0. };
+    }
+
+let suite =
+  [
+    Alcotest.test_case "campaign: arc (100 schedules)" `Quick test_campaign_arc;
+    Alcotest.test_case "campaign: arc-nohint" `Quick test_campaign_arc_nohint;
+    Alcotest.test_case "campaign: arc-dynamic" `Quick test_campaign_arc_dynamic;
+    Alcotest.test_case "campaign: rf" `Quick test_campaign_rf;
+    Alcotest.test_case "campaign: deterministic from seed" `Quick
+      test_campaign_deterministic;
+    Alcotest.test_case "negative: silent tear convicted" `Quick
+      test_silent_tear_convicted;
+    Alcotest.test_case "negative: lost release convicted" `Quick
+      test_lost_release_convicted;
+    Alcotest.test_case "negative: stale register convicted" `Quick
+      test_stale_register_convicted;
+    Alcotest.test_case "saturation guard at 2^32-2" `Quick test_saturation_guard;
+    Alcotest.test_case "arc-dynamic: reclaim stale slot" `Quick test_reclaim_stale;
+    Alcotest.test_case "arc-dynamic: auto-reclaim lease" `Quick test_auto_reclaim;
+    Alcotest.test_case "explore: exhaustive under faults" `Quick
+      test_explore_with_faults;
+    Alcotest.test_case "replay: faults replay exactly" `Quick
+      test_replay_with_faults;
+    Alcotest.test_case "watchdog kills hung run" `Quick test_watchdog_kills_hung_run;
+    Alcotest.test_case "watchdog passes healthy run" `Quick
+      test_watchdog_passes_healthy_run;
+    Alcotest.test_case "config errors name the field" `Quick
+      test_config_error_messages;
+  ]

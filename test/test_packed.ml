@@ -36,10 +36,38 @@ let test_succ_count () =
   check "matches +1 on the raw word" (w + 1) w'
 
 let test_succ_overflow_guard () =
-  let w = Packed.make ~index:3 ~count:Packed.max_count in
-  Alcotest.check_raises "overflow rejected"
-    (Invalid_argument "Packed.succ_count: count overflow") (fun () ->
-      ignore (Packed.succ_count w))
+  let raises w =
+    match Packed.succ_count w with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  raises (Packed.make ~index:3 ~count:Packed.max_count);
+  raises (Packed.make ~index:3 ~count:Packed.max_readers)
+
+(* The exact saturation boundary: 2^32 - 3 is the last count that may
+   be incremented; 2^32 - 2 (= max_readers, the paper's capacity
+   claim) must refuse — one increment of head-room below the raw
+   field maximum, so saturation is always detected before any bits
+   can carry into the index field. *)
+let test_saturation_boundary () =
+  check "max_readers is 2^32 - 2" ((1 lsl 32) - 2) Packed.max_readers;
+  let last_ok = Packed.make ~index:1 ~count:(Packed.max_readers - 1) in
+  let w' = Packed.succ_count last_ok in
+  check "count 2^32 - 3 increments to the bound" Packed.max_readers
+    (Packed.count w');
+  check "index intact at the boundary" 1 (Packed.index w');
+  (match Packed.succ_count w' with
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool)
+      "guard message names the bound" true
+      (String.length msg > 0
+      && String.split_on_char ' ' msg <> [ msg ] (* has detail *))
+  | _ -> Alcotest.fail "count 2^32 - 2 must refuse to increment");
+  (* The raw wraparound the guard prevents: +1 on a max_count word
+     would carry into the index bits. *)
+  let raw = Packed.make ~index:1 ~count:Packed.max_count + 1 in
+  check "unguarded +1 would corrupt the index" 2 (Packed.index raw);
+  check "unguarded +1 would wrap the count" 0 (Packed.count raw)
 
 let test_field_validation () =
   let raises f =
@@ -84,7 +112,7 @@ let prop_roundtrip =
 
 let prop_succ_is_incr =
   QCheck.Test.make ~name:"succ_count = raw +1 below overflow" ~count:1000
-    QCheck.(pair (int_bound Packed.max_index) (int_bound (Packed.max_count - 1)))
+    QCheck.(pair (int_bound Packed.max_index) (int_bound (Packed.max_readers - 1)))
     (fun (index, count) ->
       let w = Packed.make ~index ~count in
       Packed.succ_count w = w + 1)
@@ -97,6 +125,7 @@ let suite =
     Alcotest.test_case "of_index" `Quick test_of_index;
     Alcotest.test_case "succ_count" `Quick test_succ_count;
     Alcotest.test_case "succ overflow guard" `Quick test_succ_overflow_guard;
+    Alcotest.test_case "saturation boundary" `Quick test_saturation_boundary;
     Alcotest.test_case "field validation" `Quick test_field_validation;
     Alcotest.test_case "paper init encoding" `Quick test_paper_init;
     Alcotest.test_case "field independence" `Quick test_independence;
