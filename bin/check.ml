@@ -60,22 +60,118 @@ let arc_audit reg ~crashed_readers ~writer_crashed =
     }
     ~crashed_readers ~writer_crashed
 
-let run_faults seeds readers size steps =
-  let mk caps =
-    let readers =
-      match caps.Arc_core.Register_intf.max_readers ~capacity_words:size with
-      | Some bound when readers > bound -> bound
-      | _ -> readers
-    in
+(* One row per wait-free algorithm, with both entry points of its
+   campaign instantiation: the seeded sweep and the single-seed replay
+   (campaign outcome/result types are shared, so the functor results
+   store as plain functions). *)
+type fault_algo = {
+  fname : string;
+  caps : Arc_core.Register_intf.caps;
+  frun : Campaign.cfg -> Campaign.outcome;
+  freplay :
+    seed:int ->
+    Campaign.cfg ->
+    Fault_plan.t * Campaign.run_result * (int * string) list;
+}
+
+let fault_algos =
+  [
     {
-      Campaign.default with
-      readers;
-      size_words = size;
-      max_steps = steps;
-      schedules = seeds;
-      seed = 2024;
-    }
+      fname = "arc";
+      caps = RA.caps;
+      frun = (fun cfg -> CA.run ~audit:arc_audit cfg);
+      freplay = (fun ~seed cfg -> CA.run_seed ~audit:arc_audit ~seed cfg);
+    };
+    {
+      fname = "arc-nohint";
+      caps = RN.caps;
+      frun = (fun cfg -> CN.run cfg);
+      freplay = (fun ~seed cfg -> CN.run_seed ~seed cfg);
+    };
+    {
+      fname = "arc-dynamic";
+      caps = RD.caps;
+      frun = (fun cfg -> CD.run cfg);
+      freplay = (fun ~seed cfg -> CD.run_seed ~seed cfg);
+    };
+    {
+      fname = "rf";
+      caps = RF_reg.caps;
+      frun = (fun cfg -> CF.run cfg);
+      freplay = (fun ~seed cfg -> CF.run_seed ~seed cfg);
+    };
+  ]
+
+let fault_cfg ~caps ~seeds ~readers ~size ~steps =
+  let readers =
+    match caps.Arc_core.Register_intf.max_readers ~capacity_words:size with
+    | Some bound when readers > bound -> bound
+    | _ -> readers
   in
+  {
+    Campaign.default with
+    readers;
+    size_words = size;
+    max_steps = steps;
+    schedules = seeds;
+    seed = 2024;
+  }
+
+let fault_replay_command ~name ~readers ~size ~steps ~seed =
+  Printf.sprintf
+    "dune exec bin/check.exe -- --faults --algo %s --readers %d --size %d \
+     --steps %d --replay-seed %d"
+    name readers size steps seed
+
+let selected_fault_algos algo =
+  if algo = "all" then fault_algos
+  else
+    match List.find_opt (fun a -> a.fname = algo) fault_algos with
+    | Some a -> [ a ]
+    | None ->
+      Printf.eprintf "unknown fault-campaign algorithm %S; known: %s, all\n" algo
+        (String.concat ", " (List.map (fun a -> a.fname) fault_algos));
+      exit 2
+
+(* Re-execute one derived campaign seed (as printed by a violation
+   line) for one algorithm, showing the fault plan it maps to and the
+   full judgement. *)
+let run_fault_replay algo seed readers size steps =
+  let a =
+    match List.find_opt (fun a -> a.fname = algo) fault_algos with
+    | Some a -> a
+    | None ->
+      Printf.eprintf
+        "--replay-seed needs a single algorithm (--algo); known: %s\n"
+        (String.concat ", " (List.map (fun a -> a.fname) fault_algos));
+      exit 2
+  in
+  let cfg = fault_cfg ~caps:a.caps ~seeds:1 ~readers ~size ~steps in
+  Printf.printf "replaying seed %d on %s (%d readers, %d words, %d steps)\n"
+    seed algo cfg.Campaign.readers size steps;
+  let plan, r, violations = a.freplay ~seed cfg in
+  if Fault_plan.size plan = 0 then Printf.printf "fault plan: (empty)\n"
+  else Format.printf "fault plan:@,%a@." Fault_plan.pp plan;
+  Printf.printf
+    "result: %d writes, %d reads, %d torn; writer crashed: %b; stalls %d; %s\n"
+    r.Campaign.writes r.Campaign.reads r.Campaign.torn r.Campaign.crashed.(0)
+    r.Campaign.stats.Arc_fault.Fault_mem.stalls
+    (match r.Campaign.check with
+    | Ok (rep, o) ->
+      Printf.sprintf "check ok (%d reads, pending write %s)"
+        rep.Checker.reads_checked
+        (Checker.crash_outcome_name o)
+    | Error v -> Format.asprintf "check FAILED: %a" Checker.pp_violation v);
+  if violations = [] then Printf.printf "verdict: PASS\n"
+  else begin
+    List.iter
+      (fun (_, msg) -> Printf.printf "violation: %s\n" msg)
+      (List.rev violations);
+    Printf.printf "verdict: FAIL\n";
+    exit 1
+  end
+
+let run_faults algo seeds readers size steps =
   Printf.printf
     "fault campaign: %d schedules/algorithm (seed base 2024), %d readers, %d \
      words, %d steps\n\n"
@@ -83,11 +179,12 @@ let run_faults seeds readers size steps =
   Printf.printf "%-14s %9s %11s %6s %5s %8s %11s  %s\n" "algorithm" "schedules"
     "crashes r/w" "stalls" "tears" "reads" "pending v/e" "verdict";
   let failures = ref 0 in
-  let row name run =
-    let o = run () in
+  let row a =
+    let cfg = fault_cfg ~caps:a.caps ~seeds ~readers ~size ~steps in
+    let o = a.frun cfg in
     let ok = Campaign.clean o in
     if not ok then incr failures;
-    Printf.printf "%-14s %9d %11s %6d %5d %8d %11s  %s\n" name
+    Printf.printf "%-14s %9d %11s %6d %5d %8d %11s  %s\n" a.fname
       o.Campaign.schedules_run
       (Printf.sprintf "%d/%d" o.Campaign.reader_crashes o.Campaign.writer_crashes)
       o.Campaign.stalls o.Campaign.tears o.Campaign.reads_checked
@@ -95,13 +192,13 @@ let run_faults seeds readers size steps =
       (if ok then "PASS" else "FAIL");
     if not ok then
       List.iter
-        (fun (seed, msg) -> Printf.printf "    violation [seed %d]: %s\n" seed msg)
+        (fun (seed, msg) ->
+          Printf.printf "    violation [seed %d]: %s\n      replay: %s\n" seed
+            msg
+            (fault_replay_command ~name:a.fname ~readers ~size ~steps ~seed))
         (List.rev o.Campaign.violations)
   in
-  row "arc" (fun () -> CA.run ~audit:arc_audit (mk RA.caps));
-  row "arc-nohint" (fun () -> CN.run (mk RN.caps));
-  row "arc-dynamic" (fun () -> CD.run (mk RD.caps));
-  row "rf" (fun () -> CF.run (mk RF_reg.caps));
+  List.iter row (selected_fault_algos algo);
   (* Negative control proving non-vacuity: a silently torn writer copy
      (an unsound fault: the copy stops early yet reports success) must
      be detected as torn snapshots by the readers. *)
@@ -111,7 +208,9 @@ let run_faults seeds readers size steps =
       ~silent:true Fault_plan.empty
   in
   let control, _ =
-    CA.run_plan ~plan ~strategy:(Strategy.random ~seed:2024) (mk RA.caps)
+    CA.run_plan ~plan
+      ~strategy:(Strategy.random ~seed:2024)
+      (fault_cfg ~caps:RA.caps ~seeds ~readers ~size ~steps)
   in
   let detected = control.Campaign.torn > 0 in
   if not detected then incr failures;
@@ -120,11 +219,23 @@ let run_faults seeds readers size steps =
      else "MISSED — fault layer or checker is broken");
   if !failures > 0 then exit 1
 
-let rec run faults algo seeds strategy_name readers size steps verbose =
-  if faults then run_faults seeds readers size steps
+let rec run faults replay_seed algo seeds strategy_name readers size steps
+    verbose =
+  match replay_seed with
+  | Some seed ->
+    run_fault_replay (Option.value algo ~default:"arc") seed readers size steps
+  | None ->
+    (* The default algorithm set differs per mode: single-algorithm
+       schedule checks default to arc, the fault campaign to all. *)
+    let algo = Option.value algo ~default:(if faults then "all" else "arc") in
+    run_checks faults algo seeds strategy_name readers size steps verbose
+
+and run_checks faults algo seeds strategy_name readers size steps verbose =
+  if faults then run_faults algo seeds readers size steps
   else if algo = "all" then
     List.iter
-      (fun name -> run false name seeds strategy_name readers size steps verbose)
+      (fun name ->
+        run_checks false name seeds strategy_name readers size steps verbose)
       Registry.names
   else run_one algo seeds strategy_name readers size steps verbose
 
@@ -197,8 +308,11 @@ and run_one algo seeds strategy_name readers size steps verbose =
 let cmd =
   let algo =
     Arg.(
-      value & opt string "arc"
-      & info [ "algo" ] ~docv:"NAME" ~doc:"Algorithm, or \"all\".")
+      value & opt (some string) None
+      & info [ "algo" ] ~docv:"NAME"
+          ~doc:
+            "Algorithm, or \"all\" (default: arc for schedule checks, all \
+             for --faults).")
   in
   let seeds =
     Arg.(value & opt int 50 & info [ "seeds" ] ~docv:"N" ~doc:"Schedules to explore.")
@@ -231,6 +345,15 @@ let cmd =
              a pass/fail table; exit 1 on any violation or a missed negative \
              control.")
   in
+  let replay_seed =
+    Arg.(
+      value & opt (some int) None
+      & info [ "replay-seed" ] ~docv:"SEED"
+          ~doc:
+            "Re-execute one fault-campaign schedule from its derived seed (as \
+             printed by a --faults violation line) for the algorithm given \
+             with --algo, showing its fault plan and full judgement.")
+  in
   Cmd.v
     (Cmd.info "arc-check"
        ~doc:
@@ -238,7 +361,7 @@ let cmd =
           (Criterion 1) plus snapshot integrity; --faults runs the \
           fault-injection campaign instead.")
     Term.(
-      const run $ faults $ algo $ seeds $ strategy $ readers $ size $ steps
-      $ verbose)
+      const run $ faults $ replay_seed $ algo $ seeds $ strategy $ readers
+      $ size $ steps $ verbose)
 
 let () = exit (Cmd.eval cmd)

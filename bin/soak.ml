@@ -1,0 +1,173 @@
+(* arc-soak: chaos soak for the supervised register service (ISSUE 3).
+
+   Long randomized crash/stall/tear runs over the full resilience
+   stack — epoch-fenced writer failover, deadline-aware reader
+   sessions, circuit-breaker degradation — on the virtual scheduler,
+   each run judged for torn snapshots, crash-aware atomicity (the
+   promotion time as the fence), bounded staleness of degraded serves,
+   liveness, and the ARC presence-ledger audit; plus the unfenced
+   negative control that must be convicted.
+
+     dune exec bin/soak.exe -- --runs 200
+     dune exec bin/soak.exe -- --replay 2025002025042 --verbose
+
+   Exit status 0 = clean (and the negative control convicted);
+   1 = violations (each printed with the exact replay command);
+   2 = the unfenced control went unconvicted (the fence is vacuous).
+
+   A failing soak also writes the replay commands to --fail-log (if
+   given) so CI can upload them as an artifact. *)
+
+module Soak = Arc_resilience.Soak
+module Outcomes = Arc_util.Stats.Outcomes
+open Cmdliner
+
+let cfg_of runs seed readers size steps lease deadline max_stale crash_readers =
+  {
+    Soak.runs;
+    seed;
+    readers;
+    size_words = size;
+    max_steps = steps;
+    lease;
+    deadline;
+    max_stale;
+    max_crash_readers = crash_readers;
+  }
+
+let print_report ~verbose (r : Soak.run_report) =
+  if verbose || r.violations <> [] then begin
+    Printf.printf
+      "run [seed %d]: fate=%s flaky=%.2f writes=%d (standby %d) failovers=%d \
+       fenced=%d reader-crashes=%d stalls=%d tears=%d serves-checked=%d %s— %s\n"
+      r.seed r.fate r.flaky_rate r.writes r.standby_writes r.failovers
+      r.fenced_writes r.reader_crashes r.stalls r.tears r.serves_checked
+      (Format.asprintf "[%a] " Outcomes.pp r.outcomes)
+      (if r.violations = [] then "ok"
+       else String.concat "; " r.violations);
+    if verbose && Arc_fault.Fault_plan.size r.plan > 0 then
+      Format.printf "  plan:@,%a@." Arc_fault.Fault_plan.pp r.plan
+  end
+
+let run_replay seed cfg verbose =
+  Printf.printf "replaying seed %d\n" seed;
+  let r = Soak.run_one ~seed cfg in
+  print_report ~verbose:true r;
+  ignore verbose;
+  if r.violations <> [] then exit 1
+
+let run_soak cfg verbose fail_log skip_control =
+  let failing = ref [] in
+  let o = Soak.run ~on_run:(print_report ~verbose) cfg in
+  Format.printf "%a@." Soak.pp_outcome o;
+  List.iter
+    (fun (seed, msg) ->
+      Printf.printf "violation [seed %d]: %s\n  replay: %s\n" seed msg
+        (Soak.replay_command ~seed cfg);
+      failing := seed :: !failing)
+    (List.rev o.Soak.violations);
+  (match fail_log with
+  | Some path when !failing <> [] ->
+    let oc = open_out path in
+    List.iter
+      (fun seed ->
+        output_string oc (Soak.replay_command ~seed cfg);
+        output_char oc '\n')
+      (List.sort_uniq compare !failing);
+    close_out oc;
+    Printf.printf "replay commands written to %s\n" path
+  | _ -> ());
+  let control_ok =
+    if skip_control then true
+    else begin
+      let convicted, reasons =
+        Soak.unfenced_control ~seed:(Soak.derive_seed cfg 0) cfg
+      in
+      Printf.printf "unfenced-control %s\n"
+        (if convicted then
+           Printf.sprintf "CONVICTED (expected): %s" (String.concat "; " reasons)
+         else "UNCONVICTED — the epoch fence is not load-bearing");
+      convicted
+    end
+  in
+  if not (Soak.clean o) then exit 1;
+  if not control_ok then exit 2
+
+let run runs seed readers size steps lease deadline max_stale crash_readers
+    replay verbose fail_log skip_control =
+  let cfg =
+    cfg_of runs seed readers size steps lease deadline max_stale crash_readers
+  in
+  match replay with
+  | Some s -> run_replay s cfg verbose
+  | None -> run_soak cfg verbose fail_log skip_control
+
+let cmd =
+  let runs =
+    Arg.(value & opt int 50 & info [ "runs" ] ~docv:"N" ~doc:"Soak runs.")
+  in
+  let seed =
+    Arg.(value & opt int 2025 & info [ "seed" ] ~docv:"N" ~doc:"Base seed.")
+  in
+  let readers =
+    Arg.(value & opt int 3 & info [ "readers" ] ~docv:"N" ~doc:"Reader sessions.")
+  in
+  let size =
+    Arg.(value & opt int 16 & info [ "size" ] ~docv:"WORDS" ~doc:"Snapshot words.")
+  in
+  let steps =
+    Arg.(
+      value & opt int 30_000
+      & info [ "steps" ] ~docv:"N" ~doc:"Simulated steps per run.")
+  in
+  let lease =
+    Arg.(
+      value & opt int 2_000
+      & info [ "lease" ] ~docv:"STEPS" ~doc:"Writer lease (heartbeat timeout).")
+  in
+  let deadline =
+    Arg.(
+      value & opt int 1_500
+      & info [ "deadline" ] ~docv:"STEPS" ~doc:"Per-read deadline.")
+  in
+  let max_stale =
+    Arg.(
+      value & opt int 6_000
+      & info [ "max-stale" ] ~docv:"STEPS"
+          ~doc:"Oldest snapshot a degraded read may serve.")
+  in
+  let crash_readers =
+    Arg.(
+      value & opt int 2
+      & info [ "crash-readers" ] ~docv:"N" ~doc:"Max reader crashes per run.")
+  in
+  let replay =
+    Arg.(
+      value & opt (some int) None
+      & info [ "replay" ] ~docv:"SEED"
+          ~doc:"Replay one run seed (as printed by a failing soak) and exit.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-run lines.") in
+  let fail_log =
+    Arg.(
+      value & opt (some string) None
+      & info [ "fail-log" ] ~docv:"PATH"
+          ~doc:"Write failing-seed replay commands to this file (CI artifact).")
+  in
+  let skip_control =
+    Arg.(
+      value & flag
+      & info [ "skip-control" ] ~doc:"Skip the unfenced negative control.")
+  in
+  Cmd.v
+    (Cmd.info "arc-soak"
+       ~doc:
+         "Chaos-soak the supervised register service: randomized writer \
+          crashes, zombies, stalls and reader faults over epoch-fenced \
+          failover, deadline reads and breaker degradation, with crash-aware \
+          atomicity and bounded-staleness checking.")
+    Term.(
+      const run $ runs $ seed $ readers $ size $ steps $ lease $ deadline
+      $ max_stale $ crash_readers $ replay $ verbose $ fail_log $ skip_control)
+
+let () = exit (Cmd.eval cmd)

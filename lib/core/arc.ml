@@ -28,7 +28,17 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     readers : int;
     use_hint : bool;
     hint : M.atomic;  (* §3.4 free-slot proposal; -1 when empty *)
-    (* Writer-private state: accessed only by the single writer thread. *)
+    (* Crash-recovery journal (ISSUE 3): the index of the slot whose
+       supersede-freeze (W3) is in flight, -1 when no write is mid-
+       publish.  Written by the writer around W2/W3; read only by a
+       {e successor} writer in [recover_crash] after a failover, so a
+       plain cell would do on real hardware — it is atomic so the
+       handoff is well-defined on any substrate. *)
+    prefreeze : M.atomic;
+    (* Writer-private state: accessed only by the single writer thread
+       (writer {e role} — under supervised failover the role moves
+       between threads, but lease discipline guarantees no overlap). *)
+    mutable quarantined : int list;  (* slots retired by [recover_crash] *)
     mutable last_slot : int;
     mutable probes : int;
     mutable writes : int;
@@ -79,6 +89,8 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       readers;
       use_hint;
       hint = M.atomic_contended (-1);
+      prefreeze = M.atomic (-1);
+      quarantined = [];
       last_slot = 0;
       probes = 0;
       writes = 0;
@@ -136,8 +148,19 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
         M.read_words buffer ~dst ~len;
         len)
 
+  (* [j <> last_slot] excludes the current slot: the current slot's
+     subscribers live in [current]'s count field, not in
+     r_start/r_end, so the counter test alone would call it free.
+     Between writes last_slot = current's index for an uninterrupted
+     writer; a crashed predecessor may have died between its publish
+     and the last_slot update, which is why [recover_crash]
+     re-establishes the invariant from the synchronization word before
+     a successor's first search.  [quarantined] is writer-private —
+     membership costs no shared-memory access. *)
   let slot_free reg j =
-    j <> reg.last_slot && M.load reg.slots.(j).r_start = M.load reg.slots.(j).r_end
+    j <> reg.last_slot
+    && (not (List.memq j reg.quarantined))
+    && M.load reg.slots.(j).r_start = M.load reg.slots.(j).r_end
 
   (* W1: free-slot search.  Try the readers' proposal first (O(1)
      amortized), then scan — Lemma 4.1 guarantees a free slot exists
@@ -170,8 +193,13 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       scan 1
     end
 
-  (* Algorithm 3. *)
-  let write reg ~src ~len =
+  (* Algorithm 3.  [guard] is the epoch-fence hook
+     (Register_intf.FENCEABLE): it runs once the slot is fully
+     prepared, immediately before the W2 publish.  If it raises, the
+     write aborts with nothing published — the slot was free and both
+     its counters are 0/0, so the ledger is untouched and the next
+     write reuses it. *)
+  let write_guarded reg ~guard ~src ~len =
     if len < 0 || len > Array.length src then invalid_arg "Arc.write: bad length";
     let slot = find_free reg (* W1 *) in
     let entry = reg.slots.(slot) in
@@ -180,6 +208,21 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     M.store entry.size len;
     M.store entry.r_start 0;
     M.store entry.r_end 0;
+    (* W1.5: journal the slot about to be superseded.  Its subscriber
+       count exists only in [current] until W3 freezes it into
+       r_start; if this writer dies in between, a successor's
+       [recover_crash] reads the journal and quarantines the slot
+       instead of handing it back to [find_free] with readers still on
+       it.  [last_slot] names the slot about to be superseded (it
+       equals [current]'s index between writes, by [recover_crash] for
+       a successor's first write).  Journalled before [guard] so the
+       fencing residual window (guard load → publish) stays a single
+       instruction. *)
+    M.store reg.prefreeze reg.last_slot;
+    (try guard ()
+     with e ->
+       M.store reg.prefreeze (-1);
+       raise e);
     let old = M.exchange reg.current (Packed.of_index slot) (* W2 *) in
     let old_slot = Packed.index old in
     (* W3: freeze the readers-presence of the superseded slot into its
@@ -187,8 +230,29 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
        bring r_end up to this value. *)
     M.store reg.slots.(old_slot).r_start (Packed.count old);
     reg.last_slot <- slot;
+    M.store reg.prefreeze (-1);
     reg.writes <- reg.writes + 1
 
+  (* Successor-writer recovery (Register_intf.FENCEABLE): quarantine
+     the journaled mid-publish slot, if any, and re-establish the
+     last_slot = current-index invariant the predecessor may have died
+     without restoring.  The quarantine is a deliberate bounded leak:
+     one slot per writer crash at most, paid for by over-provisioning
+     reader identities (each unused identity is a net spare slot). *)
+  let recover_crash reg =
+    let j = M.load reg.prefreeze in
+    reg.last_slot <- Packed.index (M.load reg.current);
+    if j >= 0 then begin
+      M.store reg.prefreeze (-1);
+      if List.memq j reg.quarantined then 0
+      else begin
+        reg.quarantined <- j :: reg.quarantined;
+        1
+      end
+    end
+    else 0
+
+  let write reg ~src ~len = write_guarded reg ~guard:ignore ~src ~len
   let write_probes reg = reg.probes
   let writes reg = reg.writes
 
@@ -225,7 +289,9 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       let rec go j =
         if j >= n then false
         else if
-          j <> published && M.load reg.slots.(j).r_start = M.load reg.slots.(j).r_end
+          j <> published
+          && (not (List.memq j reg.quarantined))
+          && M.load reg.slots.(j).r_start = M.load reg.slots.(j).r_end
         then true
         else go (j + 1)
       in

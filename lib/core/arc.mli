@@ -40,6 +40,29 @@ module Make (M : Arc_mem.Mem_intf.S) : sig
       used ({!create} enables it).  [use_hint:false] is the ablation
       arm of experiment E5. *)
 
+  val write_guarded : t -> guard:(unit -> unit) -> src:int array -> len:int -> unit
+  (** {!Register_intf.FENCEABLE}: [write] with [guard ()] run between
+      the content copy and the W2 publish exchange.  A raising guard
+      aborts the write with nothing published (the prepared slot stays
+      free with counters 0/0) — the epoch-fence hook of
+      [Arc_resilience.Fenced]. *)
+
+  val recover_crash : t -> int
+  (** {!Register_intf.FENCEABLE}: successor-writer recovery after a
+      failover.  A writer that crashed between its W2 publish and the
+      W3 supersede-freeze leaves the superseded slot's subscriber
+      count recorded nowhere (it lived in the synchronization word the
+      exchange replaced), so the slot can look free while readers are
+      still on it.  Every write journals that slot index before
+      publishing; [recover_crash] quarantines the journaled slot
+      (returning 1) or is a no-op on a clean journal (returning 0),
+      and re-establishes the writer-local [last_slot] invariant.  A
+      quarantined slot is a permanent but bounded leak — at most one
+      per writer crash — paid for by over-provisioning reader
+      identities (each unused identity is a net spare slot, keeping
+      Lemma 4.1 strict).  Writer-role only, to be called once when
+      taking over the role. *)
+
   val write_probes : t -> int
   (** Total slots examined by all {!write} free-slot searches so far
       (writer-thread view).  With the hint enabled this grows as

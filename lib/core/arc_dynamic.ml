@@ -31,6 +31,11 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     readers : int;
     capacity : int;
     hint : M.atomic;
+    (* Crash-recovery journal + quarantine: see Arc.  [prefreeze]
+       names the slot whose supersede-freeze is in flight; a successor
+       writer quarantines it via [recover_crash]. *)
+    prefreeze : M.atomic;
+    mutable quarantined : int list;
     mutable last_slot : int;
     mutable lease : int option;
     mutable reallocations : int;
@@ -97,6 +102,8 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       readers;
       capacity;
       hint = M.atomic_contended (-1);
+      prefreeze = M.atomic (-1);
+      quarantined = [];
       last_slot = 0;
       lease = None;
       reallocations = 0;
@@ -184,8 +191,14 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
         M.read_words buffer ~dst ~len;
         len)
 
+  (* See Arc.slot_free: [last_slot] excludes the current slot (its
+     subscribers live in [current]'s count, not r_start/r_end);
+     [recover_crash] re-establishes that invariant for a successor
+     writer, and quarantined slots stay retired. *)
   let slot_free reg j =
-    j <> reg.last_slot && M.load reg.slots.(j).r_start = M.load reg.slots.(j).r_end
+    j <> reg.last_slot
+    && (not (List.memq j reg.quarantined))
+    && M.load reg.slots.(j).r_start = M.load reg.slots.(j).r_end
 
   let find_free reg =
     let proposal =
@@ -258,7 +271,12 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     | _ -> ());
     reg.lease <- lease
 
-  let write reg ~src ~len =
+  (* [guard] is the epoch-fence hook (Register_intf.FENCEABLE), run
+     after the slot is prepared and immediately before the publish —
+     see Arc.write_guarded.  An aborted write leaves the free slot
+     with counters 0/0 and a valid (non-negative) size, so a later
+     write or an I1-laggard's acquire treats it normally. *)
+  let write_guarded reg ~guard ~src ~len =
     if len < 0 || len > Array.length src then invalid_arg "Arc_dynamic.write: bad length";
     if len > reg.capacity then invalid_arg "Arc_dynamic.write: exceeds capacity";
     let slot = find_free reg in
@@ -277,15 +295,38 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     M.store entry.r_start 0;
     M.store entry.r_end 0;
     entry.superseded_at <- -1;
+    (* W1.5 crash journal — see Arc.write_guarded. *)
+    M.store reg.prefreeze reg.last_slot;
+    (try guard ()
+     with e ->
+       M.store reg.prefreeze (-1);
+       raise e);
     let old = M.exchange reg.current (Packed.of_index slot) in
     let old_slot = Packed.index old in
     M.store reg.slots.(old_slot).r_start (Packed.count old);
     reg.slots.(old_slot).superseded_at <- reg.writes;
     reg.last_slot <- slot;
+    M.store reg.prefreeze (-1);
     reg.writes <- reg.writes + 1;
     match reg.lease with
     | Some l when reg.writes mod l = 0 -> ignore (reclaim_stale reg ~lease:l)
     | _ -> ()
+
+  let write reg ~src ~len = write_guarded reg ~guard:ignore ~src ~len
+
+  (* Successor-writer recovery — see Arc.recover_crash. *)
+  let recover_crash reg =
+    let j = M.load reg.prefreeze in
+    reg.last_slot <- Packed.index (M.load reg.current);
+    if j >= 0 then begin
+      M.store reg.prefreeze (-1);
+      if List.memq j reg.quarantined then 0
+      else begin
+        reg.quarantined <- j :: reg.quarantined;
+        1
+      end
+    end
+    else 0
 
   let footprint_words reg =
     Array.fold_left (fun acc s -> acc + M.capacity s.content) 0 reg.slots

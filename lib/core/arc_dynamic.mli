@@ -45,6 +45,16 @@ module Make (M : Arc_mem.Mem_intf.S) : sig
   (** [read_view]: zero-copy view, stable until this reader's next
       read, exactly as in {!Arc}. *)
 
+  val write_guarded : t -> guard:(unit -> unit) -> src:int array -> len:int -> unit
+  (** {!Register_intf.FENCEABLE}: [write] with [guard ()] run between
+      slot preparation and the publish exchange; a raising guard
+      aborts the write with nothing published.  See {!Arc.Make}. *)
+
+  val recover_crash : t -> int
+  (** {!Register_intf.FENCEABLE}: successor-writer recovery after a
+      failover — quarantine the slot whose supersede-freeze the
+      crashed predecessor left in flight.  See {!Arc.Make}. *)
+
   val footprint_words : t -> int
   (** Total words currently allocated across all slot buffers. *)
 

@@ -8,6 +8,12 @@ val algorithm : string
 module Make (M : Arc_mem.Mem_intf.S) : sig
   include Register_intf.ZERO_COPY with module Mem = M
 
+  val write_guarded : t -> guard:(unit -> unit) -> src:int array -> len:int -> unit
+  (** {!Register_intf.FENCEABLE}: see {!Arc.Make}. *)
+
+  val recover_crash : t -> int
+  (** {!Register_intf.FENCEABLE}: see {!Arc.Make}. *)
+
   val write_probes : t -> int
   val writes : t -> int
 end

@@ -118,6 +118,48 @@ module type ZERO_COPY = sig
       read; the buffer must not be written through. *)
 end
 
+(** The {e guarded-publish} capability: a write entry point that runs
+    a caller-supplied guard {b after} the snapshot copy but
+    {b immediately before} the publish step (ARC's W2 exchange).  A
+    guard that raises aborts the write with {e nothing published} —
+    the target slot was free, so its half-written content is invisible
+    and the next write simply reuses it.
+
+    This is the register-side hook epoch-fenced writer failover
+    ({!Arc_resilience.Fenced}) builds on: a supervisor that promotes a
+    standby writer bumps an epoch, and the deposed writer's in-flight
+    write re-validates the epoch at the last step before publication,
+    so its late write raises instead of regressing the register.  The
+    guard narrows the unfenced window to the single publish
+    instruction; the residual race (deposed writer descheduled between
+    guard and publish for the whole promotion) is excluded by the
+    supervision layer's lease discipline — see DESIGN.md §6c. *)
+module type FENCEABLE = sig
+  include S
+
+  val write_guarded : t -> guard:(unit -> unit) -> src:int array -> len:int -> unit
+  (** [write_guarded t ~guard ~src ~len] is {!S.write} with [guard ()]
+      invoked between the content copy and the publish; whatever
+      [guard] raises propagates and the register is unchanged (the
+      write never took effect).  Single-writer discipline still
+      applies to the set of {e non-aborted} writes. *)
+
+  val recover_crash : t -> int
+  (** Writer-succession hook: called by a {e new} writer taking over
+      from one that may have crashed mid-write (see
+      {!Arc_resilience.Supervisor}).  The paper's single-immortal-
+      writer model never revisits a half-finished write, but a
+      successor must: a crash between the publish exchange and the
+      supersede-freeze leaves a slot whose subscribed readers are
+      recorded nowhere — it looks free while still being read.
+      Implementations journal the at-risk slot before publishing;
+      [recover_crash] quarantines the journaled slot (permanently
+      excluding it from reuse — a bounded leak covered by
+      over-provisioned slots) and returns the number of slots
+      quarantined by this call (0 when the journal is clean, i.e. the
+      predecessor died between writes). *)
+end
+
 (** A register algorithm packaged as a functor over the memory
     substrate, so one implementation serves real execution, counting,
     and simulation. *)

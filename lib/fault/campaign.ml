@@ -303,6 +303,29 @@ struct
     List.iter (fun msg -> fail "invariant: %s" msg) audit_errors;
     !violations
 
+  (* One campaign iteration, addressable by its derived seed: the
+     exact (plan, strategy) pair [run] explores as
+     [seed = cfg.seed * 1_000_003 + schedule].  Callers (bin/check
+     --replay-seed) use it to re-execute a failing schedule from the
+     seed a violation line printed. *)
+  let run_seed ?audit ~seed (cfg : cfg) :
+      Fault_plan.t * run_result * (int * string) list =
+    let rng = Splitmix.of_int seed in
+    let plan = random_plan rng cfg in
+    let strategy = Strategy.random ~seed:(seed + 1) in
+    let result, reg = run_plan ~plan ~strategy cfg in
+    let crashed_readers =
+      let n = ref 0 in
+      Array.iteri (fun i c -> if i > 0 && c then incr n) result.crashed;
+      !n
+    in
+    let audit_errors =
+      match audit with
+      | None -> []
+      | Some f -> f reg ~crashed_readers ~writer_crashed:result.crashed.(0)
+    in
+    (plan, result, judge ~seed ~result ~audit_errors)
+
   let run ?audit (cfg : cfg) : outcome =
     let acc =
       ref
@@ -320,10 +343,7 @@ struct
     in
     for schedule = 1 to cfg.schedules do
       let seed = (cfg.seed * 1_000_003) + schedule in
-      let rng = Splitmix.of_int seed in
-      let plan = random_plan rng cfg in
-      let strategy = Strategy.random ~seed:(seed + 1) in
-      match run_plan ~plan ~strategy cfg with
+      match run_seed ?audit ~seed cfg with
       | exception Fault_plan.Crashed ->
         (* a Crashed escaping the fiber wrappers is a harness bug *)
         acc :=
@@ -337,16 +357,11 @@ struct
               (seed, Printf.sprintf "run raised: %s" (Printexc.to_string e))
               :: !acc.violations;
           }
-      | result, reg ->
+      | _plan, result, violations ->
         let crashed_readers =
           let n = ref 0 in
           Array.iteri (fun i c -> if i > 0 && c then incr n) result.crashed;
           !n
-        in
-        let audit_errors =
-          match audit with
-          | None -> []
-          | Some f -> f reg ~crashed_readers ~writer_crashed:result.crashed.(0)
         in
         let o = !acc in
         acc :=
@@ -375,7 +390,7 @@ struct
               match result.check with
               | Ok (_, Checker.Took_effect) -> 1
               | _ -> 0);
-            violations = judge ~seed ~result ~audit_errors @ o.violations;
+            violations = violations @ o.violations;
           }
     done;
     !acc

@@ -186,12 +186,33 @@ module Make (R : Arc_core.Register_intf.S) = struct
     | None -> ()
     | Some wd ->
       let ops_at_stop = Array.map (fun o -> o.ops) outs in
+      (* Per-thread progress tracking across the poll loop: the op
+         count last seen and the wall-clock instant it last moved, so
+         a Hung report can tell a thread that froze at stop time from
+         one that kept making progress until seconds ago (a livelock or
+         a very slow drain rather than a deadlock). *)
+      let stop_walltime = Unix.gettimeofday () in
+      let last_ops = Array.copy ops_at_stop in
+      let last_progress = Array.map (fun _ -> stop_walltime) last_ops in
+      let sample () =
+        let t = Unix.gettimeofday () in
+        Array.iteri
+          (fun i o ->
+            if o.ops <> last_ops.(i) then begin
+              last_ops.(i) <- o.ops;
+              last_progress.(i) <- t
+            end)
+          outs
+      in
       let all_finished () = Array.for_all Atomic.get finished in
-      let deadline = Unix.gettimeofday () +. wd.Config.grace_s in
+      let deadline = stop_walltime +. wd.Config.grace_s in
       while (not (all_finished ())) && Unix.gettimeofday () < deadline do
-        Unix.sleepf wd.Config.poll_s
+        Unix.sleepf wd.Config.poll_s;
+        sample ()
       done;
       if not (all_finished ()) then begin
+        sample ();
+        let now = Unix.gettimeofday () in
         let b = Buffer.create 256 in
         Buffer.add_string b
           (Printf.sprintf
@@ -200,10 +221,20 @@ module Make (R : Arc_core.Register_intf.S) = struct
         Array.iteri
           (fun i o ->
             let role = if i = 0 then "writer" else Printf.sprintf "reader %d" (i - 1) in
-            Buffer.add_string b
-              (Printf.sprintf "\n  %-9s %s  ops at stop: %d, ops now: %d" role
-                 (if Atomic.get finished.(i) then "finished" else "STUCK")
-                 ops_at_stop.(i) o.ops))
+            if Atomic.get finished.(i) then
+              Buffer.add_string b
+                (Printf.sprintf "\n  %-9s finished  ops at stop: %d, ops now: %d"
+                   role ops_at_stop.(i) o.ops)
+            else
+              Buffer.add_string b
+                (Printf.sprintf
+                   "\n  %-9s STUCK  ops at stop: %d, ops now: %d, last progress \
+                    %.2f s ago%s"
+                   role ops_at_stop.(i) o.ops
+                   (now -. last_progress.(i))
+                   (if last_progress.(i) = stop_walltime then
+                      " (none since stop)"
+                    else "")))
           outs;
         raise (Hung (Buffer.contents b))
       end);

@@ -1,0 +1,26 @@
+(** Jittered exponential backoff for retry loops (ISSUE 3).
+
+    Deterministic given its seed (SplitMix-driven jitter), so retry
+    schedules replay exactly in the simulator and failing soak seeds
+    stay reproducible.  Delays follow the "full jitter" scheme: the
+    [n]-th delay is drawn uniformly from [[1, min (base·2ⁿ⁻¹) cap]],
+    which decorrelates competing retriers while keeping the expected
+    delay exponential — the standard cure for retry stampedes on a
+    saturated register. *)
+
+type t
+
+val create : ?base:int -> ?cap:int -> seed:int -> unit -> t
+(** [base] is the first attempt's maximum delay (default 4 clock
+    units); [cap] bounds every delay (default 1024).
+    @raise Invalid_argument if [base < 1] or [cap < base]. *)
+
+val next : t -> int
+(** Draw the next delay (in the caller's clock units — simulated steps
+    or microseconds) and advance the attempt counter. *)
+
+val attempts : t -> int
+(** Delays drawn since creation or the last {!reset}. *)
+
+val reset : t -> unit
+(** Back to the first-attempt delay range (call after a success). *)

@@ -1,0 +1,66 @@
+type state = Closed | Open | Half_open
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type t = {
+  failure_threshold : int;
+  cooldown : int;
+  now : unit -> int;
+  mutable st : state;
+  mutable failures : int;  (* consecutive failures while Closed *)
+  mutable opened_at : int;
+  mutable trips : int;
+}
+
+let create ?(failure_threshold = 3) ?(cooldown = 256) ~now () =
+  if failure_threshold < 1 then
+    invalid_arg
+      (Printf.sprintf "Breaker.create: failure_threshold = %d" failure_threshold);
+  if cooldown < 1 then
+    invalid_arg (Printf.sprintf "Breaker.create: cooldown = %d" cooldown);
+  { failure_threshold; cooldown; now; st = Closed; failures = 0; opened_at = 0;
+    trips = 0 }
+
+(* Cooldown expiry is folded in lazily: nobody drives the breaker
+   between calls, so Open -> Half_open happens on the first
+   observation after the deadline. *)
+let refresh t =
+  match t.st with
+  | Open when t.now () - t.opened_at >= t.cooldown -> t.st <- Half_open
+  | _ -> ()
+
+let state t =
+  refresh t;
+  t.st
+
+let open_now t =
+  t.st <- Open;
+  t.opened_at <- t.now ();
+  t.failures <- 0;
+  t.trips <- t.trips + 1
+
+let allow t =
+  refresh t;
+  match t.st with Closed | Half_open -> true | Open -> false
+
+let record_success t =
+  refresh t;
+  t.failures <- 0;
+  match t.st with
+  | Half_open | Open -> t.st <- Closed
+  | Closed -> ()
+
+let record_failure t =
+  refresh t;
+  match t.st with
+  | Half_open -> open_now t
+  | Closed ->
+    t.failures <- t.failures + 1;
+    if t.failures >= t.failure_threshold then open_now t
+  | Open -> ()
+
+let trip t = open_now t
+let trips t = t.trips

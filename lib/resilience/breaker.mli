@@ -1,0 +1,55 @@
+(** Per-register circuit breaker (ISSUE 3, graceful degradation).
+
+    Wraps the decision "is this register worth querying right now?"
+    so a reader session can stop hammering a saturated or failed
+    register and serve its last-known-good snapshot instead (see
+    {!Session}).  Classic three-state protocol:
+
+    - [Closed]: traffic flows; [failure_threshold] {e consecutive}
+      failures trip it;
+    - [Open]: traffic short-circuits for [cooldown] clock units,
+      then the next {!allow} transitions to [Half_open];
+    - [Half_open]: probes are admitted; the first success closes the
+      breaker, the first failure re-opens it (restarting the
+      cooldown).
+
+    The clock is caller-supplied ([~now]) so the breaker works
+    unchanged over simulated steps (vsched) and wall-clock
+    microseconds.  External watchdog signals (e.g. a supervisor
+    declaring the writer dead) can force the trip with {!trip}. *)
+
+type state = Closed | Open | Half_open
+
+val state_name : state -> string
+
+type t
+
+val create :
+  ?failure_threshold:int -> ?cooldown:int -> now:(unit -> int) -> unit -> t
+(** Defaults: [failure_threshold = 3], [cooldown = 256] clock units.
+    @raise Invalid_argument if either is [< 1]. *)
+
+val state : t -> state
+(** Current state, {e after} folding in cooldown expiry (an [Open]
+    breaker whose cooldown has elapsed reports [Half_open]). *)
+
+val allow : t -> bool
+(** Should the caller attempt a live operation?  [Closed] and
+    [Half_open] say yes; [Open] says no until the cooldown elapses
+    (at which point the breaker moves to [Half_open] and admits the
+    probe). *)
+
+val record_success : t -> unit
+(** Live operation succeeded: resets the failure run and closes the
+    breaker from [Half_open]. *)
+
+val record_failure : t -> unit
+(** Live operation failed: extends the failure run; trips [Closed] at
+    the threshold and re-opens [Half_open] immediately. *)
+
+val trip : t -> unit
+(** Force the breaker [Open] now (watchdog signal), restarting the
+    cooldown. *)
+
+val trips : t -> int
+(** Times the breaker has transitioned to [Open] since creation. *)

@@ -1,0 +1,83 @@
+(* Epoch-fenced writer handles (ISSUE 3).
+
+   A register's writer role is represented by a revocable handle
+   carrying the generation ([gen]) it was issued under.  Issuing a new
+   handle bumps the shared epoch word, which fences every older
+   handle: their subsequent writes raise {!Fenced_out} instead of
+   publishing.  The epoch is re-validated twice per write —
+
+   - at entry, which catches a deposed writer cheaply before it does
+     any work (the common zombie case: a writer that was paused past
+     its lease and resumed {e between} writes);
+   - inside {!Register_intf.FENCEABLE.write_guarded}'s guard, i.e.
+     after the content copy and immediately before the publish
+     exchange, which catches a writer deposed {e mid-write} and aborts
+     with nothing published.
+
+   The residual window is the single publish instruction after the
+   guard's load: a writer descheduled exactly there for an entire
+   promotion could still publish one stale write.  That window is
+   closed by the supervision layer's lease discipline ({!Supervisor}):
+   a standby is only promoted once the incumbent has missed heartbeats
+   for a full lease, and the lease is chosen larger than any
+   mid-operation pause the deployment can suffer — the classic
+   lease-fencing argument.  DESIGN.md §6c states the assumption; the
+   soak's fault plans draw mid-write stalls strictly below the lease,
+   and the negative-control test shows what an {e unfenced} handoff
+   does to the history. *)
+
+exception
+  Fenced_out of {
+    writer_epoch : int;
+    current_epoch : int;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Fenced_out { writer_epoch; current_epoch } ->
+      Some
+        (Printf.sprintf "Fenced_out (writer epoch %d, current epoch %d)"
+           writer_epoch current_epoch)
+    | _ -> None)
+
+module Make (R : Arc_core.Register_intf.FENCEABLE) = struct
+  module M = R.Mem
+
+  type t = {
+    reg : R.t;
+    epoch : M.atomic;
+    mutable fenced_writes : int;  (* writes aborted by the fence *)
+  }
+
+  let create ~readers ~capacity ~init =
+    {
+      reg = R.create ~readers ~capacity ~init;
+      epoch = M.atomic_contended 0;
+      fenced_writes = 0;
+    }
+
+  let inner t = t.reg
+  let reader t i = R.reader t.reg i
+  let epoch t = M.load t.epoch
+  let fenced_writes t = t.fenced_writes
+  let recover_crash t = R.recover_crash t.reg
+
+  (** A revocable writer handle: valid while its generation matches
+      the register's epoch. *)
+  type writer = { t : t; gen : int }
+
+  let issue t = { t; gen = M.add_and_fetch t.epoch 1 }
+  let writer_epoch w = w.gen
+  let current w = M.load w.t.epoch = w.gen
+
+  let reject w current_epoch =
+    w.t.fenced_writes <- w.t.fenced_writes + 1;
+    raise (Fenced_out { writer_epoch = w.gen; current_epoch })
+
+  let write w ~src ~len =
+    let e = M.load w.t.epoch in
+    if e <> w.gen then reject w e;
+    R.write_guarded w.t.reg ~src ~len ~guard:(fun () ->
+        let e = M.load w.t.epoch in
+        if e <> w.gen then reject w e)
+end

@@ -1,0 +1,678 @@
+(* Chaos soak for the supervised register service (ISSUE 3).
+
+   Composes the whole resilience stack — {!Fenced} epoch fencing,
+   {!Supervisor} heartbeat failover, {!Session} deadline/backoff/
+   breaker reads — over a fault-injecting simulated register
+   ([Arc] over {!Arc_fault.Campaign.Mem}) and soaks it through many
+   seeded randomized scenarios:
+
+   - fiber 0 is the incumbent writer: it may crash at a random access,
+     crash mid-copy (torn slot), or turn {e zombie} — pause between
+     writes for several leases (a GC/OS pause), get deposed, and have
+     its post-fence write rejected by [Fenced_out];
+   - fiber 1 is the standby: it polls the supervisor, promotes itself
+     once the lease expires, learns the last published value through a
+     spare reader handle, and continues the write sequence (it can be
+     stalled to model a supervisor outage);
+   - fibers 2.. are deadline-aware reader sessions; the read path
+     additionally suffers {e injected transient saturation} (a seeded
+     probability of {!Register_intf.Saturated} per live read, standing
+     in for the capacity/revocation guards that are — by design —
+     nearly unreachable in healthy runs), which drives the retry,
+     breaker and stale-serve machinery at scale.
+
+   Every run is judged: no torn snapshots, crash-aware atomicity with
+   the promotion time as the fence ({!Checker.check_crash} [?fence]),
+   every degraded serve within the declared staleness bound
+   ({!Checker.check_bounded_staleness}), liveness (no fiber left
+   unfinished, no surviving reader starved) and the ARC presence-ledger
+   audit on the quiescent final state.  A failing run prints nothing
+   by itself but carries its seed; {!replay_command} renders the exact
+   command line that reproduces it.
+
+   Fault soundness.  Mid-write writer stalls are drawn strictly below
+   half the lease, so a live writer is never deposed while it sits
+   between the epoch-guard load and the publish exchange — the
+   residual window of {!Fenced} — matching the lease discipline
+   documented in DESIGN.md §6c.  Zombie pauses, which do exceed the
+   lease, are taken {e between} writes, where the entry epoch check
+   fences the returnee before it touches the register.  The
+   {!unfenced_control} shows the same handoff without fencing is
+   convicted by the checker — the negative control that proves the
+   fence is load-bearing. *)
+
+module Splitmix = Arc_util.Splitmix
+module Outcomes = Arc_util.Stats.Outcomes
+module Sched = Arc_vsched.Sched
+module Strategy = Arc_vsched.Strategy
+module History = Arc_trace.History
+module Checker = Arc_trace.Checker
+module Fault_plan = Arc_fault.Fault_plan
+module Mem = Arc_fault.Campaign.Mem
+module R = Arc_core.Arc.Make (Mem)
+module Sup = Supervisor.Make (R)
+module F = Sup.Fenced_reg
+module P = Arc_workload.Payload.Make (Mem)
+
+(* Injected transient read failures: each live read fails with the
+   run's probability, drawn from one seeded stream (deterministic
+   because the schedule itself is).  Wrapping the register — rather
+   than patching the session — keeps the session code honest: it
+   retries exactly what a real register would throw at it. *)
+module Flaky = struct
+  include R
+
+  let rate = ref 0.
+  let rng = ref (Splitmix.of_int 0)
+
+  let set ~seed ~rate:r =
+    rate := r;
+    rng := Splitmix.of_int seed
+
+  let read_with rd ~f =
+    if !rate > 0. && Splitmix.bernoulli !rng !rate then
+      raise
+        (Arc_core.Register_intf.Saturated "injected transient saturation");
+    R.read_with rd ~f
+end
+
+module S = Session.Make (Flaky)
+
+type cfg = {
+  runs : int;
+  seed : int;
+  readers : int;
+  size_words : int;
+  max_steps : int;  (** per run; fibers self-terminate past this *)
+  lease : int;  (** writer lease, in simulated steps *)
+  deadline : int;  (** per-read budget, in simulated steps *)
+  max_stale : int;  (** oldest snapshot a session may serve, in steps *)
+  max_crash_readers : int;
+}
+
+let default =
+  {
+    runs = 50;
+    seed = 2025;
+    readers = 3;
+    size_words = 16;
+    max_steps = 30_000;
+    lease = 2_000;
+    deadline = 1_500;
+    max_stale = 6_000;
+    max_crash_readers = 2;
+  }
+
+(* The declared bounded-staleness contract, in writes.  A serve at time
+   [t] returns a snapshot captured by a live read invoked at
+   [t - max_stale - D] at the earliest, where [D] bounds that read's
+   own duration (~3 passes over the snapshot).  Every write costs at
+   least [size_words] simulated steps (its content copy alone), so the
+   writes that completed in the window number at most
+   [(max_stale + D) / size_words] plus small slack for the in-flight
+   write at each end — rounded up into a margin of 10. *)
+let staleness_bound cfg = (cfg.max_stale / cfg.size_words) + 10
+
+(* {1 Scenarios} *)
+
+type fate =
+  | Healthy
+  | Crash  (** writer crashes at a random access *)
+  | Tear  (** writer crashes mid-copy, tearing the slot *)
+  | Zombie of { after : int; pause : int }
+      (** writer pauses [pause] steps after its [after]-th write *)
+
+let fate_name = function
+  | Healthy -> "healthy"
+  | Crash -> "crash"
+  | Tear -> "tear"
+  | Zombie _ -> "zombie"
+
+type scenario = {
+  fate : fate;
+  plan : Fault_plan.t;
+  flaky_rate : float;
+}
+
+let scenario_of rng cfg =
+  let plan = ref Fault_plan.empty in
+  let fate =
+    let u = Splitmix.float rng in
+    if u < 0.20 then Healthy
+    else if u < 0.40 then begin
+      plan := Fault_plan.crash ~fiber:0 ~at_access:(1 + Splitmix.int rng 600) !plan;
+      Crash
+    end
+    else if u < 0.55 then begin
+      plan :=
+        Fault_plan.tear ~fiber:0
+          ~at_copy:(1 + Splitmix.int rng 8)
+          ~at_word:(Splitmix.int rng cfg.size_words)
+          ~silent:false !plan;
+      Tear
+    end
+    else
+      Zombie
+        {
+          after = 1 + Splitmix.int rng 6;
+          pause = (2 * cfg.lease) + Splitmix.int rng cfg.lease;
+        }
+  in
+  (* At most one mid-write writer stall, strictly below lease/2: a
+     stalled-but-live writer must never be deposed mid-write (see the
+     module comment on fault soundness). *)
+  if Splitmix.bernoulli rng 0.4 then
+    plan :=
+      Fault_plan.stall ~fiber:0
+        ~at_access:(1 + Splitmix.int rng 400)
+        ~steps:(100 + Splitmix.int rng ((cfg.lease / 2) - 150))
+        !plan;
+  (* Standby stalls model a supervisor outage: failover is delayed and
+     readers ride through on degraded serves. *)
+  if Splitmix.bernoulli rng 0.3 then
+    plan :=
+      Fault_plan.stall ~fiber:1
+        ~at_access:(1 + Splitmix.int rng 50)
+        ~steps:(cfg.lease + Splitmix.int rng (2 * cfg.lease))
+        !plan;
+  (* Crash-stop readers (crash mid-read, holding their slot pins). *)
+  let ncrash =
+    if cfg.max_crash_readers = 0 then 0
+    else Splitmix.int rng (min cfg.max_crash_readers cfg.readers + 1)
+  in
+  let victims = Array.init cfg.readers (fun i -> i + 2) in
+  Splitmix.shuffle rng victims;
+  for v = 0 to ncrash - 1 do
+    plan :=
+      Fault_plan.crash ~fiber:victims.(v)
+        ~at_access:(1 + Splitmix.int rng 300)
+        !plan
+  done;
+  if cfg.readers > 0 && Splitmix.bernoulli rng 0.5 then
+    plan :=
+      Fault_plan.stall
+        ~fiber:(2 + Splitmix.int rng cfg.readers)
+        ~at_access:(1 + Splitmix.int rng 200)
+        ~steps:(100 + Splitmix.int rng (2 * cfg.lease))
+        !plan;
+  let flaky_rate =
+    (* A heavy-saturation tail (rates ~0.5-0.7) makes sessions trip
+       their breaker before any snapshot exists, exercising the
+       [Exhausted] outcome; the common tail drives retries and stale
+       serves. *)
+    if Splitmix.bernoulli rng 0.15 then 0.5 +. (0.2 *. Splitmix.float rng)
+    else if Splitmix.bernoulli rng 0.6 then 0.05 +. (0.25 *. Splitmix.float rng)
+    else 0.
+  in
+  { fate; plan = !plan; flaky_rate }
+
+(* {1 One run} *)
+
+type run_report = {
+  seed : int;
+  fate : string;
+  flaky_rate : float;
+  plan : Fault_plan.t;
+  writes : int;  (** incumbent + standby, as recorded *)
+  standby_writes : int;
+  outcomes : Outcomes.t;  (** merged across sessions *)
+  serves_checked : int;  (** degraded serves checked against the bound *)
+  torn : int;
+  failovers : int;
+  quarantined : int;  (** slots retired by crash recovery at promote *)
+  fenced_writes : int;
+  writer_crashed : bool;
+  reader_crashes : int;
+  stalls : int;
+  tears : int;
+  crash_outcome : Checker.crash_outcome option;
+  violations : string list;
+}
+
+let check_cfg cfg =
+  if cfg.readers < 1 then
+    invalid_arg (Printf.sprintf "Soak: readers = %d (need >= 1)" cfg.readers);
+  if cfg.size_words < 1 then
+    invalid_arg (Printf.sprintf "Soak: size_words = %d (need >= 1)" cfg.size_words);
+  if cfg.lease < 400 then
+    invalid_arg (Printf.sprintf "Soak: lease = %d (need >= 400)" cfg.lease);
+  if cfg.deadline < 1 then
+    invalid_arg (Printf.sprintf "Soak: deadline = %d (need >= 1)" cfg.deadline);
+  if cfg.max_stale < 0 then
+    invalid_arg (Printf.sprintf "Soak: max_stale = %d (need >= 0)" cfg.max_stale)
+
+let run_one ~seed (cfg : cfg) : run_report =
+  check_cfg cfg;
+  let rng = Splitmix.of_int seed in
+  let scen = scenario_of rng cfg in
+  let strategy = Strategy.random ~seed:(seed + 1) in
+  Flaky.set ~seed:(seed + 2) ~rate:scen.flaky_rate;
+  let size = cfg.size_words in
+  let init = Array.make size 0 in
+  P.stamp init ~seq:0 ~len:size;
+  (* Identities: [0, readers) for the sessions, [readers] the standby's
+     spare; two more stay unclaimed as over-provisioned slots — a
+     writer crash between its publish (W2) and freeze (W3) leaks the
+     superseded slot's accounting, and the spares keep Lemma 4.1's
+     free-slot guarantee strict even then (both unclaimed units pin
+     the initial slot together, so each spare is a net extra slot). *)
+  let freg = F.create ~readers:(cfg.readers + 3) ~capacity:size ~init in
+  let sup = Sup.create ~now:Sched.now ~lease:cfg.lease freg in
+  let threads = cfg.readers + 2 in
+  let recorder = History.Recorder.create ~threads ~capacity:20_000 in
+  let crashed = Array.make threads false in
+  let ops = Array.make threads 0 in
+  let torn = ref 0 in
+  let pending = ref None in
+  let stale_serves = ref [] in
+  let sessions = Array.make cfg.readers None in
+
+  let writer_a () =
+    try
+      let w = Sup.acquire sup in
+      let src = Array.make size 0 in
+      let seq = ref 0 in
+      try
+        while Sched.now () < cfg.max_steps do
+          (match scen.fate with
+          | Zombie { after; pause } when !seq = after -> Sched.sleep pause
+          | _ -> ());
+          incr seq;
+          P.stamp src ~seq:!seq ~len:size;
+          let invoked = Sched.now () in
+          pending := Some (!seq, invoked);
+          F.write w ~src ~len:size;
+          History.Recorder.record recorder ~thread:0 History.Write ~seq:!seq
+            ~invoked ~returned:(Sched.now ());
+          pending := None;
+          ops.(0) <- ops.(0) + 1;
+          Sup.heartbeat sup w;
+          Sched.cede ()
+        done
+      with Fenced.Fenced_out _ ->
+        (* Deposed: the aborted attempt published nothing. *)
+        pending := None
+    with Fault_plan.Crashed -> crashed.(0) <- true
+  in
+
+  let standby_b () =
+    let continue_writing w start_seq =
+      let src = Array.make size 0 in
+      let seq = ref start_seq in
+      try
+        while Sched.now () < cfg.max_steps do
+          incr seq;
+          P.stamp src ~seq:!seq ~len:size;
+          let invoked = Sched.now () in
+          F.write w ~src ~len:size;
+          History.Recorder.record recorder ~thread:1 History.Write ~seq:!seq
+            ~invoked ~returned:(Sched.now ());
+          ops.(1) <- ops.(1) + 1;
+          Sup.heartbeat sup w;
+          Sched.cede ()
+        done
+      with Fenced.Fenced_out _ -> ()
+    in
+    let rec monitor () =
+      if Sched.now () >= cfg.max_steps then ()
+      else if Sup.expired sup then begin
+        let w = Sup.promote sup in
+        (* Learn where the write sequence stands through the spare
+           reader handle; a pending write that published before the
+           fence is picked up here and continued from. *)
+        let rd = F.reader freg cfg.readers in
+        let last = R.read_with rd ~f:(fun buf _len -> P.decode_seq buf) in
+        continue_writing w last
+      end
+      else begin
+        Sched.cede ();
+        monitor ()
+      end
+    in
+    monitor ()
+  in
+
+  let reader_body id () =
+    try
+      let rd = F.reader freg id in
+      let session =
+        S.create
+          ~backoff:
+            (Backoff.create ~base:8
+               ~cap:(max 8 (cfg.deadline / 2))
+               ~seed:(seed + 100 + id) ())
+          ~breaker:
+            (Breaker.create ~failure_threshold:3
+               ~cooldown:(max 16 (cfg.lease / 2))
+               ~now:Sched.now ())
+          ~max_stale:cfg.max_stale ~now:Sched.now ~sleep:Sched.sleep
+          ~capacity:size rd
+      in
+      sessions.(id) <- Some session;
+      let f buf len =
+        match P.validate buf ~len with
+        | Ok s -> s
+        | Error _ ->
+          incr torn;
+          P.decode_seq buf
+      in
+      while Sched.now () < cfg.max_steps do
+        let invoked = Sched.now () in
+        let deadline = invoked + cfg.deadline in
+        (match S.read_with ~deadline session ~f with
+        | S.Fresh s ->
+          History.Recorder.record recorder ~thread:(id + 2) History.Read ~seq:s
+            ~invoked ~returned:(Sched.now ())
+        | S.Stale { value = s; age = _ } ->
+          stale_serves :=
+            { Checker.thread = id + 2; seq = s; at = Sched.now () }
+            :: !stale_serves
+        | S.Exhausted _ -> ());
+        ops.(id + 2) <- ops.(id + 2) + 1;
+        Sched.cede ()
+      done
+    with Fault_plan.Crashed -> crashed.(id + 2) <- true
+  in
+
+  let fibers =
+    Array.init threads (fun i ->
+        if i = 0 then writer_a
+        else if i = 1 then standby_b
+        else reader_body (i - 2))
+  in
+  Mem.install scen.plan;
+  let backstop = (cfg.max_steps * 3) + 100_000 in
+  let sched_outcome = Sched.run ~max_steps:backstop ~strategy fibers in
+  let fstats = Mem.drain () in
+  Flaky.set ~seed:0 ~rate:0.;
+
+  (* Judge. *)
+  let outcomes = Outcomes.create () in
+  Array.iter
+    (function
+      | Some s -> Outcomes.merge_into ~src:(S.outcomes s) ~dst:outcomes
+      | None -> ())
+    sessions;
+  let history = History.Recorder.history recorder in
+  let pending_write = if crashed.(0) then !pending else None in
+  let fence = Sup.last_fence sup in
+  let check = Checker.check_crash ?pending_write ?fence history in
+  let serves = List.rev !stale_serves in
+  let stale_check =
+    Checker.check_bounded_staleness history ~bound:(staleness_bound cfg) serves
+  in
+  let reader_crashes =
+    let n = ref 0 in
+    Array.iteri (fun i c -> if i >= 2 && c then incr n) crashed;
+    !n
+  in
+  let violations = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
+  if !torn > 0 then fail "%d torn snapshots" !torn;
+  if History.Recorder.dropped recorder > 0 then
+    fail "recorder overflow (%d events dropped)"
+      (History.Recorder.dropped recorder);
+  if sched_outcome.Sched.unfinished > 0 then
+    fail "%d fibers never finished (hang/livelock inside the backstop)"
+      sched_outcome.Sched.unfinished;
+  Array.iteri
+    (fun i o ->
+      if i >= 2 && (not crashed.(i)) && o = 0 then
+        fail "surviving reader %d completed no operation" (i - 2))
+    ops;
+  (match check with
+  | Ok _ -> ()
+  | Error v -> fail "%s" (Format.asprintf "%a" Checker.pp_violation v));
+  (match stale_check with
+  | Ok _ -> ()
+  | Error v -> fail "%s" (Format.asprintf "%a" Checker.pp_staleness_violation v));
+  if not crashed.(0) then begin
+    (* Quiescent ARC ledger audit (skipped when the incumbent crashed
+       mid-operation: its half-done slot legitimately unbalances the
+       ledger; a fence-aborted write does not). *)
+    let reg = F.inner freg in
+    let slack = R.Debug.presence_slack reg in
+    if slack < 0 || slack > reader_crashes then
+      fail "presence-ledger slack %d outside [0, %d crashed readers]" slack
+        reader_crashes;
+    if not (R.Debug.free_slot_exists reg) then
+      fail "no free slot among the N+2 (Lemma 4.1 violated)"
+  end;
+  {
+    seed;
+    fate = fate_name scen.fate;
+    flaky_rate = scen.flaky_rate;
+    plan = scen.plan;
+    writes = ops.(0) + ops.(1);
+    standby_writes = ops.(1);
+    outcomes;
+    serves_checked = (match stale_check with Ok n -> n | Error _ -> 0);
+    torn = !torn;
+    failovers = Sup.failovers sup;
+    quarantined = Sup.quarantined sup;
+    fenced_writes = F.fenced_writes freg;
+    writer_crashed = crashed.(0);
+    reader_crashes;
+    stalls = fstats.Arc_fault.Fault_mem.stalls;
+    tears = List.length fstats.Arc_fault.Fault_mem.tears;
+    crash_outcome = (match check with Ok (_, o) -> Some o | Error _ -> None);
+    violations = List.rev !violations;
+  }
+
+(* {1 The soak loop} *)
+
+type outcome = {
+  runs : int;
+  writes : int;
+  reads_fresh : int;
+  stale_serves : int;
+  exhausted : int;
+  retries : int;
+  injected_errors : int;
+  failovers : int;
+  handoffs : int;  (** runs where a promoted standby went on to write *)
+  quarantined : int;  (** slots retired by successor crash recovery *)
+  fenced_writes : int;
+  writer_crashes : int;
+  reader_crashes : int;
+  zombies : int;
+  stalls : int;
+  tears : int;
+  vanished : int;
+  took_effect : int;
+  violations : (int * string) list;  (** (run seed, description) *)
+}
+
+let clean o = o.violations = []
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "@[<v>%d runs: %d writes, %d fresh reads, %d stale serves, %d exhausted, \
+     %d retries (%d injected errors)@,\
+     %d failovers (%d completed handoffs, %d slots quarantined), %d fenced \
+     writes; %d writer crashes, %d zombies, %d reader crashes, %d stalls, \
+     %d tears@,\
+     pending writes: %d vanished, %d took effect — %s@]"
+    o.runs o.writes o.reads_fresh o.stale_serves o.exhausted o.retries
+    o.injected_errors o.failovers o.handoffs o.quarantined o.fenced_writes
+    o.writer_crashes o.zombies o.reader_crashes o.stalls o.tears o.vanished
+    o.took_effect
+    (if o.violations = [] then "CLEAN"
+     else Printf.sprintf "%d VIOLATIONS" (List.length o.violations))
+
+let derive_seed (cfg : cfg) k = (cfg.seed * 1_000_003) + k
+
+let replay_command ~seed cfg =
+  Printf.sprintf
+    "dune exec bin/soak.exe -- --replay %d --readers %d --size %d --steps %d \
+     --lease %d --deadline %d --max-stale %d"
+    seed cfg.readers cfg.size_words cfg.max_steps cfg.lease cfg.deadline
+    cfg.max_stale
+
+let run ?(on_run = fun (_ : run_report) -> ()) (cfg : cfg) : outcome =
+  check_cfg cfg;
+  let o =
+    ref
+      {
+        runs = 0;
+        writes = 0;
+        reads_fresh = 0;
+        stale_serves = 0;
+        exhausted = 0;
+        retries = 0;
+        injected_errors = 0;
+        failovers = 0;
+        handoffs = 0;
+        quarantined = 0;
+        fenced_writes = 0;
+        writer_crashes = 0;
+        reader_crashes = 0;
+        zombies = 0;
+        stalls = 0;
+        tears = 0;
+        vanished = 0;
+        took_effect = 0;
+        violations = [];
+      }
+  in
+  for k = 1 to cfg.runs do
+    let seed = derive_seed cfg k in
+    match run_one ~seed cfg with
+    | exception e ->
+      o :=
+        {
+          !o with
+          runs = !o.runs + 1;
+          violations =
+            (seed, Printf.sprintf "run raised: %s" (Printexc.to_string e))
+            :: !o.violations;
+        }
+    | r ->
+      on_run r;
+      let a = !o in
+      o :=
+        {
+          runs = a.runs + 1;
+          writes = a.writes + r.writes;
+          reads_fresh = a.reads_fresh + Outcomes.ok_count r.outcomes;
+          stale_serves = a.stale_serves + Outcomes.stale_count r.outcomes;
+          exhausted = a.exhausted + Outcomes.exhausted_count r.outcomes;
+          retries = a.retries + Outcomes.retry_count r.outcomes;
+          injected_errors = a.injected_errors + Outcomes.error_count r.outcomes;
+          failovers = a.failovers + r.failovers;
+          handoffs =
+            (a.handoffs + if r.failovers > 0 && r.standby_writes > 0 then 1 else 0);
+          quarantined = a.quarantined + r.quarantined;
+          fenced_writes = a.fenced_writes + r.fenced_writes;
+          writer_crashes = (a.writer_crashes + if r.writer_crashed then 1 else 0);
+          reader_crashes = a.reader_crashes + r.reader_crashes;
+          zombies = (a.zombies + if r.fate = "zombie" then 1 else 0);
+          stalls = a.stalls + r.stalls;
+          tears = a.tears + r.tears;
+          vanished =
+            (a.vanished
+            + match r.crash_outcome with Some Checker.Vanished -> 1 | _ -> 0);
+          took_effect =
+            (a.took_effect
+            + match r.crash_outcome with Some Checker.Took_effect -> 1 | _ -> 0);
+          violations =
+            List.map (fun m -> (seed, m)) r.violations @ a.violations;
+        }
+  done;
+  !o
+
+(* {1 Negative control: the same handoff, unfenced}
+
+   Both the deposed incumbent and the promoted standby write through
+   the raw register — no epoch, no guard.  After the incumbent's pause
+   the two writers overlap: duplicate sequence numbers (both continue
+   from the same history), torn slots (both preparing the same "free"
+   slot), or a broken free-slot invariant.  The run is {e convicted}
+   if the checker or the integrity probes catch any of it — showing
+   the fence, not luck, is what keeps the fenced soak clean. *)
+
+let unfenced_control ~seed (cfg : cfg) : bool * string list =
+  check_cfg cfg;
+  Flaky.set ~seed ~rate:0.;
+  let strategy = Strategy.random ~seed:(seed + 1) in
+  let size = cfg.size_words in
+  let init = Array.make size 0 in
+  P.stamp init ~seq:0 ~len:size;
+  let reg = R.create ~readers:(cfg.readers + 3) ~capacity:size ~init in
+  let threads = cfg.readers + 2 in
+  let recorder = History.Recorder.create ~threads ~capacity:20_000 in
+  let torn = ref 0 in
+  let anomalies = ref [] in
+  let hb = ref 0 in
+  let pause_after = 3 in
+  let writer thread start_delay () =
+    try
+      (* The "failure detector" of this control is deliberately naive:
+         wall-clock heartbeat age, no fencing on promotion. *)
+      let rec wait () =
+        if Sched.now () >= cfg.max_steps then None
+        else if thread = 0 then Some 0
+        else if Sched.now () - !hb > cfg.lease then begin
+          let rd = R.reader reg cfg.readers in
+          Some (R.read_with rd ~f:(fun buf _len -> P.decode_seq buf))
+        end
+        else begin
+          Sched.cede ();
+          wait ()
+        end
+      in
+      match wait () with
+      | None -> ()
+      | Some start_seq ->
+        let src = Array.make size 0 in
+        let seq = ref start_seq in
+        while Sched.now () < cfg.max_steps do
+          if thread = 0 && !seq = start_delay then Sched.sleep (3 * cfg.lease);
+          incr seq;
+          P.stamp src ~seq:!seq ~len:size;
+          let invoked = Sched.now () in
+          R.write reg ~src ~len:size;
+          History.Recorder.record recorder ~thread History.Write ~seq:!seq
+            ~invoked ~returned:(Sched.now ());
+          hb := Sched.now ();
+          Sched.cede ()
+        done
+    with Failure msg -> anomalies := msg :: !anomalies
+  in
+  let reader_body id () =
+    let rd = R.reader reg id in
+    while Sched.now () < cfg.max_steps do
+      let invoked = Sched.now () in
+      let seq =
+        R.read_with rd ~f:(fun buf len ->
+            match P.validate buf ~len with
+            | Ok s -> s
+            | Error _ ->
+              incr torn;
+              P.decode_seq buf)
+      in
+      History.Recorder.record recorder ~thread:(id + 2) History.Read ~seq
+        ~invoked ~returned:(Sched.now ());
+      Sched.cede ()
+    done
+  in
+  let fibers =
+    Array.init threads (fun i ->
+        if i = 0 then writer 0 pause_after
+        else if i = 1 then writer 1 (-1)
+        else reader_body (i - 2))
+  in
+  Mem.install Fault_plan.empty;
+  let backstop = (cfg.max_steps * 3) + 100_000 in
+  let sched_outcome = Sched.run ~max_steps:backstop ~strategy fibers in
+  ignore (Mem.drain ());
+  let reasons = ref !anomalies in
+  if !torn > 0 then reasons := Printf.sprintf "%d torn snapshots" !torn :: !reasons;
+  if sched_outcome.Sched.unfinished > 0 then
+    reasons :=
+      Printf.sprintf "%d fibers never finished" sched_outcome.Sched.unfinished
+      :: !reasons;
+  (match Checker.check (History.Recorder.history recorder) with
+  | Ok _ -> ()
+  | Error v -> reasons := Format.asprintf "%a" Checker.pp_violation v :: !reasons);
+  (!reasons <> [], !reasons)

@@ -1,0 +1,83 @@
+(* Heartbeat-monitored writer lease + promotion (ISSUE 3).
+
+   The supervisor owns the failure-detection half of writer failover:
+   the incumbent writer refreshes a heartbeat word after every write;
+   a standby polls {!expired} and, once the incumbent has been silent
+   for more than a full lease, calls {!promote} — which issues a fresh
+   {!Fenced} handle (bumping the epoch and thereby fencing the
+   incumbent) and records the fence time for the crash checker
+   ({!Arc_trace.Checker.check_crash}'s [?fence]).
+
+   Failure detection over heartbeats is necessarily approximate: a
+   slow-but-alive writer can be deposed (a {e spurious} failover).
+   That is safe here — the deposed writer's next write raises
+   [Fenced_out] and it retires — so the lease only trades availability
+   (how long writes stall after a real crash) against the rate of
+   spurious handoffs.  What the lease must strictly dominate is any
+   {e mid-write} pause of the incumbent; see the residual-window note
+   in {!Fenced} and DESIGN.md §6c.
+
+   Clocks are caller-supplied so the same supervisor drives simulated
+   steps (vsched) and wall-clock time.  [heartbeat] ignores handles
+   whose epoch is no longer current: a zombie's heartbeat must not
+   re-arm the lease it already lost. *)
+
+module Make (R : Arc_core.Register_intf.FENCEABLE) = struct
+  module Fenced_reg = Fenced.Make (R)
+  module M = R.Mem
+
+  type t = {
+    reg : Fenced_reg.t;
+    now : unit -> int;
+    lease : int;
+    hb : M.atomic;  (* time of the last accepted heartbeat *)
+    mutable failovers : int;
+    mutable quarantined : int;  (* slots retired by crash recovery *)
+    mutable last_fence : int option;
+  }
+
+  let create ~now ~lease reg =
+    if lease < 1 then
+      invalid_arg (Printf.sprintf "Supervisor.create: lease = %d" lease);
+    {
+      reg;
+      now;
+      lease;
+      hb = M.atomic_contended (now ());
+      failovers = 0;
+      quarantined = 0;
+      last_fence = None;
+    }
+
+  let register t = t.reg
+
+  let acquire t =
+    let w = Fenced_reg.issue t.reg in
+    M.store t.hb (t.now ());
+    w
+
+  let heartbeat t w = if Fenced_reg.current w then M.store t.hb (t.now ())
+  let age t = t.now () - M.load t.hb
+  let expired t = age t > t.lease
+
+  let promote t =
+    let w = Fenced_reg.issue t.reg in
+    (* The deposed writer may have died mid-publish; quarantine the
+       slot its journal names before this successor's first free-slot
+       search can hand it out with readers still on it.  Safe to run
+       after the fence: lease discipline guarantees the incumbent is
+       not inside a write at promotion time (see Fenced). *)
+    t.quarantined <- t.quarantined + Fenced_reg.recover_crash t.reg;
+    (* The fence time is taken after the epoch bump, so every write the
+       deposed writer managed to publish precedes it — the bound
+       [check_crash ?fence] needs. *)
+    let at = t.now () in
+    M.store t.hb at;
+    t.failovers <- t.failovers + 1;
+    t.last_fence <- Some at;
+    w
+
+  let failovers t = t.failovers
+  let quarantined t = t.quarantined
+  let last_fence t = t.last_fence
+end

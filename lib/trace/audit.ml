@@ -3,15 +3,23 @@ type op_stats = {
   max_duration : int;
   mean_duration : float;
   p99_duration : float;
+  p999_duration : float;
 }
 
 let pp_op_stats ppf s =
-  Format.fprintf ppf "@[<h>n=%d, max=%d, mean=%.1f, p99=%.1f@]" s.count
-    s.max_duration s.mean_duration s.p99_duration
+  Format.fprintf ppf "@[<h>n=%d, max=%d, mean=%.1f, p99=%.1f, p99.9=%.1f@]" s.count
+    s.max_duration s.mean_duration s.p99_duration s.p999_duration
 
 type t = { reads : op_stats; writes : op_stats }
 
-let zero = { count = 0; max_duration = 0; mean_duration = 0.; p99_duration = 0. }
+let zero =
+  {
+    count = 0;
+    max_duration = 0;
+    mean_duration = 0.;
+    p99_duration = 0.;
+    p999_duration = 0.;
+  }
 
 let stats_of events =
   match events with
@@ -28,6 +36,7 @@ let stats_of events =
       max_duration = int_of_float (Array.fold_left max durations.(0) durations);
       mean_duration = Arc_util.Stats.mean durations;
       p99_duration = Arc_util.Stats.percentile durations 99.;
+      p999_duration = Arc_util.Stats.percentile durations 99.9;
     }
 
 let of_history h =

@@ -14,6 +14,9 @@ type op_stats = {
   max_duration : int;
   mean_duration : float;
   p99_duration : float;
+  p999_duration : float;
+      (** the soak-triage tail: one stuck retry in 10^3 reads shows
+          here long before it moves p99 *)
 }
 
 val pp_op_stats : Format.formatter -> op_stats -> unit

@@ -158,17 +158,25 @@ let crash_outcome_name = function
    took-effect candidate models the open-ended linearization window
    with [returned = max_int], which the interval arithmetic of
    {!regularity} treats as "never completed before anything" — it can
-   satisfy reads but never forces staleness on them. *)
-let check_crash ?pending_write h =
+   satisfy reads but never forces staleness on them.
+
+   [?fence] bounds that window: under epoch-fenced failover
+   (Arc_resilience.Fenced) the crashed writer's pending write can only
+   have been published before the supervisor fenced its epoch, so the
+   took-effect candidate completes at the fence instead of never.
+   This is strictly stronger — a post-fence history in which the
+   successor's writes interleave after the fence must still be
+   writer-sequential relative to the pending write, which [max_int]
+   would wrongly forgive. *)
+let check_crash ?pending_write ?fence h =
   match pending_write with
   | None -> Result.map (fun r -> (r, No_crash)) (check h)
   | Some (seq, invoked) -> (
     match check h with
     | Ok r -> Ok (r, Vanished)
     | Error vanished_violation -> (
-      let ev =
-        History.event History.Write ~thread:0 ~seq ~invoked ~returned:max_int
-      in
+      let returned = match fence with None -> max_int | Some f -> max f invoked in
+      let ev = History.event History.Write ~thread:0 ~seq ~invoked ~returned in
       let h' = History.of_events (ev :: History.events h) in
       match check h' with
       | Ok r -> Ok (r, Took_effect)
@@ -176,3 +184,45 @@ let check_crash ?pending_write h =
         (* Neither completion explains the history; report the verdict
            on the as-recorded events, which names real reads. *)
         Error vanished_violation))
+
+(* {1 Bounded staleness of degraded reads}
+
+   Degraded reads served from a circuit breaker's last-known-good
+   snapshot are deliberately excluded from the atomic history — they
+   are the documented departure.  What they owe instead is the
+   breaker's bounded-staleness contract: a serve at time [t] returning
+   value [seq] must not lag the register by more than [bound] writes,
+   i.e. [seq >= completed_writes_before(t) - bound].  The writes used
+   as the yardstick are the recorded (atomic) history's writes. *)
+
+type stale_serve = { thread : int; seq : int; at : int }
+
+type staleness_violation = {
+  serve : stale_serve;
+  completed : int;  (** writes completed before the serve *)
+  bound : int;
+}
+
+let pp_staleness_violation ppf v =
+  Format.fprintf ppf
+    "stale serve out of bound: thread %d served seq %d at %d, but %d writes had \
+     completed (allowed lag %d, floor seq %d)"
+    v.serve.thread v.serve.seq v.serve.at v.completed v.bound (v.completed - v.bound)
+
+let check_bounded_staleness h ~bound serves =
+  if bound < 0 then
+    invalid_arg
+      (Printf.sprintf "Checker.check_bounded_staleness: bound = %d (need >= 0)" bound);
+  let write_ends =
+    Array.of_list
+      (List.map (fun (w : History.event) -> w.returned) (History.writes h))
+  in
+  Array.sort compare write_ends;
+  let rec go checked = function
+    | [] -> Ok checked
+    | s :: rest ->
+      let completed = count_below write_ends s.at in
+      if s.seq < completed - bound then Error { serve = s; completed; bound }
+      else go (checked + 1) rest
+  in
+  go 0 serves

@@ -69,9 +69,46 @@ val crash_outcome_name : crash_outcome -> string
 
 val check_crash :
   ?pending_write:int * int ->
+  ?fence:int ->
   History.t ->
   (report * crash_outcome, violation) result
 (** [check_crash ~pending_write:(seq, invoked) h] — [seq] must be the
     successor of the last recorded write's sequence number and
     [invoked] its invocation time.  Without [pending_write] this is
-    {!check}. *)
+    {!check}.
+
+    [?fence] (ISSUE 3) tightens the took-effect completion for
+    epoch-fenced failover: the pending write can only have been
+    published before the supervisor's fence, so its candidate
+    completion time is [max fence invoked] rather than open-ended —
+    required as soon as a promoted successor's writes continue the
+    history past the crash, and strictly stronger (a fenced-out late
+    publish that somehow took effect after the fence is convicted
+    instead of forgiven). *)
+
+(** {2 Bounded staleness of degraded reads (ISSUE 3)}
+
+    Reads a circuit breaker serves from its last-known-good snapshot
+    are excluded from the atomic history by design; their contract is
+    instead that the served value lags the register by at most a
+    declared number of writes at serve time. *)
+
+type stale_serve = { thread : int; seq : int; at : int }
+(** One degraded serve: [thread] returned the snapshot carrying write
+    [seq] at time [at] (same clock as the history). *)
+
+type staleness_violation = {
+  serve : stale_serve;
+  completed : int;  (** writes completed before the serve *)
+  bound : int;
+}
+
+val pp_staleness_violation : Format.formatter -> staleness_violation -> unit
+
+val check_bounded_staleness :
+  History.t -> bound:int -> stale_serve list -> (int, staleness_violation) result
+(** [check_bounded_staleness h ~bound serves] verifies every serve
+    returned a seq no older than [bound] writes behind the writes of
+    [h] completed at its serve time; [Ok n] is the number of serves
+    checked.
+    @raise Invalid_argument if [bound < 0]. *)

@@ -12,6 +12,7 @@ type summary = {
   max : float;
   median : float;
   p95 : float;
+  p999 : float;  (** 99.9th percentile — the soak/bench tail column *)
   ci95 : float;  (** half-width of a normal-approximation 95% CI on the mean *)
 }
 
@@ -26,6 +27,41 @@ val percentile : float array -> float -> float
     @raise Invalid_argument on empty input or [p] outside [0, 100]. *)
 
 val pp_summary : Format.formatter -> summary -> unit
+
+(** Error/degraded-outcome counters for harness and soak summaries:
+    reads resolve as fresh ([ok]), served from a stale snapshot by a
+    tripped circuit breaker ([stale]), or abandoned at their deadline
+    ([exhausted]); [errors] counts raw register errors absorbed by the
+    retry loop and [retries] the backoff retries taken.  Mutations are
+    plain (single-thread or post-join accumulation); merge per-thread
+    instances with {!Outcomes.merge_into} after workers are joined. *)
+module Outcomes : sig
+  type t
+
+  val create : unit -> t
+  val ok : t -> unit
+  val stale : t -> unit
+  val exhausted : t -> unit
+  val error : t -> unit
+  val retry : t -> unit
+  val ok_count : t -> int
+  val stale_count : t -> int
+  val exhausted_count : t -> int
+  val error_count : t -> int
+  val retry_count : t -> int
+
+  val total : t -> int
+  (** [ok + stale + exhausted] — completed read outcomes. *)
+
+  val degraded : t -> int
+  (** [stale + exhausted]. *)
+
+  val degraded_rate : t -> float
+  (** [degraded / total]; 0 on an empty counter. *)
+
+  val merge_into : src:t -> dst:t -> unit
+  val pp : Format.formatter -> t -> unit
+end
 
 (** Online mean/variance accumulator (Welford), usable when samples
     are too many to buffer. *)

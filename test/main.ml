@@ -74,5 +74,6 @@ let () =
       ("typed", Test_typed.suite);
       ("replay", Test_replay.suite);
       ("fault", Test_fault.suite);
+      ("resilience", Test_resilience.suite);
       ("mrmw", Test_mrmw.suite);
     ]

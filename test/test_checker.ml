@@ -220,6 +220,105 @@ let suite =
     QCheck_alcotest.to_alcotest prop_no_false_positives;
   ]
 
+(* --- crash completions under an epoch fence (ISSUE 3) ----------------
+   [check_crash ?fence] bounds the took-effect completion of the
+   pending write at the supervisor's fence time: a post-fence history
+   that only works if the zombie's publish landed AFTER the fence must
+   be convicted, while the same publish landing before the fence is
+   accepted. *)
+
+let crash_outcome = function
+  | Ok ((_ : Checker.report), o) -> o
+  | Error v -> Alcotest.failf "unexpected violation: %a" Checker.pp_violation v
+
+let test_crash_vanished () =
+  (* Pending write 2 never observed; surviving reads see only 1. *)
+  let h =
+    History.of_events [ w ~seq:1 ~i:0 ~r:10; rd ~thread:1 ~seq:1 ~i:25 ~r:30 ]
+  in
+  match crash_outcome (Checker.check_crash ~pending_write:(2, 20) h) with
+  | Checker.Vanished -> ()
+  | o -> Alcotest.failf "expected Vanished, got %s" (Checker.crash_outcome_name o)
+
+let test_crash_took_effect_before_fence () =
+  (* Pending write 2 (invoked 20) observed after the fence at 30: fine,
+     the fenced candidate completes at 30 and the read at 32 follows
+     it with nothing newer in between. *)
+  let h =
+    History.of_events
+      [
+        w ~seq:1 ~i:0 ~r:10;
+        rd ~thread:1 ~seq:2 ~i:32 ~r:35;
+        w ~seq:3 ~i:40 ~r:50;
+        rd ~thread:1 ~seq:3 ~i:60 ~r:70;
+      ]
+  in
+  (match
+     crash_outcome (Checker.check_crash ~pending_write:(2, 20) ~fence:30 h)
+   with
+  | Checker.Took_effect -> ()
+  | o ->
+    Alcotest.failf "expected Took_effect, got %s" (Checker.crash_outcome_name o));
+  (* Without the fence the took-effect candidate is open-ended and
+     overlaps the successor's write 3 — the history is unjudgeable.
+     The fence is what makes successor-continued histories checkable. *)
+  expect_violation "unfenced successor history"
+    (Checker.check_crash ~pending_write:(2, 20) h)
+    (fun _ -> true)
+
+let test_crash_fence_convicts_late_publish () =
+  (* A read of the pending seq AFTER the successor's write 3 completed:
+     under the fence the pending candidate completed at 30, so the read
+     at 60 is stale — a zombie publish that somehow landed post-fence
+     is convicted, not forgiven. *)
+  let h =
+    History.of_events
+      [
+        w ~seq:1 ~i:0 ~r:10;
+        w ~seq:3 ~i:40 ~r:50;
+        rd ~thread:1 ~seq:2 ~i:60 ~r:70;
+      ]
+  in
+  expect_violation "fenced late publish"
+    (Checker.check_crash ~pending_write:(2, 20) ~fence:30 h)
+    (fun _ -> true)
+
+let test_bounded_staleness_ok () =
+  let h =
+    History.of_events
+      [ w ~seq:1 ~i:0 ~r:10; w ~seq:2 ~i:20 ~r:30; w ~seq:3 ~i:40 ~r:50 ]
+  in
+  (* Serve at t=55: all 3 writes completed; seq 2 lags by 1 ≤ 2. *)
+  match
+    Checker.check_bounded_staleness h ~bound:2
+      [ { Checker.thread = 1; seq = 2; at = 55 } ]
+  with
+  | Ok n -> Alcotest.(check int) "serves checked" 1 n
+  | Error v ->
+    Alcotest.failf "unexpected staleness violation: %a"
+      Checker.pp_staleness_violation v
+
+let test_bounded_staleness_violation () =
+  let h =
+    History.of_events
+      [
+        w ~seq:1 ~i:0 ~r:10;
+        w ~seq:2 ~i:20 ~r:30;
+        w ~seq:3 ~i:40 ~r:50;
+        w ~seq:4 ~i:60 ~r:70;
+      ]
+  in
+  (* Serve at t=75 returning seq 1: 4 completed writes, lag 3 > 2. *)
+  match
+    Checker.check_bounded_staleness h ~bound:2
+      [ { Checker.thread = 1; seq = 1; at = 75 } ]
+  with
+  | Ok _ -> Alcotest.fail "expected a staleness violation"
+  | Error v ->
+    Alcotest.(check int) "completed" 4 v.Checker.completed;
+    Alcotest.(check int) "bound" 2 v.Checker.bound;
+    Alcotest.(check int) "served seq" 1 v.Checker.serve.Checker.seq
+
 (* --- mutation properties ---------------------------------------------
    Generate a valid atomic history, apply a targeted corruption, and
    require the checker to convict — the complement of
@@ -331,4 +430,12 @@ let suite =
       QCheck_alcotest.to_alcotest prop_stale_mutation_caught;
       QCheck_alcotest.to_alcotest prop_future_mutation_caught;
       QCheck_alcotest.to_alcotest prop_swap_mutation_caught;
+      Alcotest.test_case "crash: vanished" `Quick test_crash_vanished;
+      Alcotest.test_case "crash: took effect before fence" `Quick
+        test_crash_took_effect_before_fence;
+      Alcotest.test_case "crash: fence convicts late publish" `Quick
+        test_crash_fence_convicts_late_publish;
+      Alcotest.test_case "bounded staleness ok" `Quick test_bounded_staleness_ok;
+      Alcotest.test_case "bounded staleness violation" `Quick
+        test_bounded_staleness_violation;
     ]

@@ -97,7 +97,10 @@ let test_arc_write_read_race_exhaustive () =
 let test_arc_no_inversion_exhaustive () =
   let words = 2 in
   let outcome =
-    Explore.exhaustive
+    (* The crash-recovery journal (ISSUE 3) adds two writer-side
+       accesses per write, pushing this space just past the 1M
+       default; it exhausts at ~1.04M schedules. *)
+    Explore.exhaustive ~max_schedules:2_000_000
       ~scenario:(fun () ->
         let init = Array.make words 0 in
         P.stamp init ~seq:0 ~len:words;
@@ -127,6 +130,105 @@ let test_arc_no_inversion_exhaustive () =
       ()
   in
   Alcotest.(check bool) "space exhausted" true outcome.Explore.exhausted
+
+(* Dynamic-ARC storage reclaim racing a reader (satellite of ISSUE 3):
+   the writer supersedes the initial slot and immediately revokes its
+   storage with [reclaim_stale ~lease:0] while a reader may still be
+   pinning it.  The reader's size-validation handshake must detect the
+   revocation and release-and-resubscribe rather than return reclaimed
+   storage.  Exhaustive over ALL interleavings, and the space must
+   actually contain both branches: schedules where the revocation hit
+   a pinned slot and schedules where it found nothing to reclaim. *)
+module Ad = Arc_core.Arc_dynamic.Make (Arc_vsched.Sim_mem)
+
+let test_dynamic_reclaim_race_exhaustive () =
+  let words = 2 in
+  let reclaim_hit = ref 0 and reclaim_miss = ref 0 in
+  let outcome =
+    (* ~1.13M schedules — just past the 1M default (see the journal
+       note on the arc test above). *)
+    Explore.exhaustive ~max_schedules:2_000_000
+      ~scenario:(fun () ->
+        let init = Array.make words 0 in
+        P.stamp init ~seq:0 ~len:words;
+        let reg = Ad.create ~readers:1 ~capacity:words ~init in
+        let observed = ref (-1) in
+        let writer () =
+          let src = Array.make words 0 in
+          P.stamp src ~seq:1 ~len:words;
+          Ad.write reg ~src ~len:words;
+          (* lease 0: anything superseded and still pinned is revoked
+             right away — the harshest setting for the handshake. *)
+          if Ad.reclaim_stale reg ~lease:0 > 0 then incr reclaim_hit
+          else incr reclaim_miss
+        in
+        let reader () =
+          let rd = Ad.reader reg 0 in
+          observed :=
+            Ad.read_with rd ~f:(fun buffer len ->
+                match P.validate buffer ~len with
+                | Ok seq -> seq
+                | Error msg ->
+                  Alcotest.failf "reclaimed storage served torn: %s" msg)
+        in
+        let checkf () =
+          if not (!observed = 0 || !observed = 1) then
+            Alcotest.failf "impossible value %d" !observed
+        in
+        ([| writer; reader |], checkf))
+      ()
+  in
+  Alcotest.(check bool) "space exhausted" true outcome.Explore.exhausted;
+  Alcotest.(check bool)
+    (Printf.sprintf "revocation branch reached (%d schedules)" !reclaim_hit)
+    true (!reclaim_hit > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "no-revocation branch reached (%d schedules)" !reclaim_miss)
+    true (!reclaim_miss > 0)
+
+(* Same race, but the reader takes TWO reads bracketing the
+   revocation: the re-subscription forced by a revoked slot must not
+   let the pair regress (Criterion 1 still holds through recovery).
+   The doubled read makes the full space exceed the 1M-schedule
+   budget, so — as with Peterson above — check a DFS prefix. *)
+let test_dynamic_reclaim_no_inversion () =
+  let words = 2 in
+  let outcome =
+    Explore.exhaustive ~max_schedules:200_000
+      ~scenario:(fun () ->
+        let init = Array.make words 0 in
+        P.stamp init ~seq:0 ~len:words;
+        let reg = Ad.create ~readers:1 ~capacity:words ~init in
+        let first = ref (-1) and second = ref (-1) in
+        let writer () =
+          let src = Array.make words 0 in
+          P.stamp src ~seq:1 ~len:words;
+          Ad.write reg ~src ~len:words;
+          ignore (Ad.reclaim_stale reg ~lease:0)
+        in
+        let reader () =
+          let rd = Ad.reader reg 0 in
+          let get () =
+            Ad.read_with rd ~f:(fun buffer len ->
+                match P.validate buffer ~len with
+                | Ok seq -> seq
+                | Error msg -> Alcotest.failf "torn: %s" msg)
+          in
+          first := get ();
+          second := get ()
+        in
+        let checkf () =
+          if !second < !first then
+            Alcotest.failf "new-old inversion across recovery: %d then %d"
+              !first !second
+        in
+        ([| writer; reader |], checkf))
+      ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "non-trivial prefix (%d schedules)" outcome.Explore.schedules)
+    true
+    (outcome.Explore.schedules > 50)
 
 (* The unsound single-buffer register from the negative controls must
    be convicted by SOME schedule in the exhaustive space — showing the
@@ -170,6 +272,10 @@ let suite =
       test_arc_write_read_race_exhaustive;
     Alcotest.test_case "arc no inversion exhaustive" `Quick
       test_arc_no_inversion_exhaustive;
+    Alcotest.test_case "dynamic reclaim race exhaustive" `Quick
+      test_dynamic_reclaim_race_exhaustive;
+    Alcotest.test_case "dynamic reclaim no inversion" `Quick
+      test_dynamic_reclaim_no_inversion;
     Alcotest.test_case "unsound register convicted exhaustively" `Quick
       test_unsound_convicted_exhaustively;
   ]

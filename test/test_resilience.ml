@@ -1,0 +1,443 @@
+(* The supervision layer (ISSUE 3): backoff, breaker, epoch fencing,
+   lease supervision, degraded reader sessions — each over a manual
+   clock, no scheduler — then the chaos soak end to end (simulated
+   scheduler, injected faults) plus its unfenced negative control. *)
+
+module Backoff = Arc_resilience.Backoff
+module Breaker = Arc_resilience.Breaker
+module Fenced = Arc_resilience.Fenced
+module Soak = Arc_resilience.Soak
+module Outcomes = Arc_util.Stats.Outcomes
+
+(* --- backoff --------------------------------------------------------- *)
+
+let test_backoff_deterministic () =
+  let draw () =
+    let b = Backoff.create ~seed:42 () in
+    List.init 10 (fun _ -> Backoff.next b)
+  in
+  Alcotest.(check (list int)) "same seed, same delays" (draw ()) (draw ())
+
+let test_backoff_envelope () =
+  let base = 4 and cap = 64 in
+  let b = Backoff.create ~base ~cap ~seed:7 () in
+  for n = 0 to 19 do
+    let d = Backoff.next b in
+    let ceiling = min cap (base * (1 lsl min n 20)) in
+    if d < 1 || d > ceiling then
+      Alcotest.failf "delay %d of attempt %d outside [1, %d]" d n ceiling
+  done;
+  Alcotest.(check int) "attempts counted" 20 (Backoff.attempts b)
+
+let test_backoff_reset () =
+  let b = Backoff.create ~base:2 ~cap:1024 ~seed:11 () in
+  for _ = 1 to 8 do
+    ignore (Backoff.next b)
+  done;
+  Backoff.reset b;
+  Alcotest.(check int) "attempts back to 0" 0 (Backoff.attempts b);
+  let d = Backoff.next b in
+  Alcotest.(check bool)
+    (Printf.sprintf "first delay after reset (%d) within base range" d)
+    true
+    (d >= 1 && d <= 2)
+
+let test_backoff_validation () =
+  Alcotest.check_raises "base < 1" (Invalid_argument "Backoff.create: base = 0")
+    (fun () -> ignore (Backoff.create ~base:0 ~seed:1 ()));
+  Alcotest.check_raises "cap < base"
+    (Invalid_argument "Backoff.create: cap = 2 < base = 8") (fun () ->
+      ignore (Backoff.create ~base:8 ~cap:2 ~seed:1 ()))
+
+(* --- breaker --------------------------------------------------------- *)
+
+let test_breaker_transitions () =
+  let t = ref 0 in
+  let b = Breaker.create ~failure_threshold:3 ~cooldown:10 ~now:(fun () -> !t) () in
+  Alcotest.(check bool) "starts closed, allows" true (Breaker.allow b);
+  Breaker.record_failure b;
+  Breaker.record_failure b;
+  Alcotest.(check string) "two failures: still closed" "closed"
+    (Breaker.state_name (Breaker.state b));
+  Breaker.record_failure b;
+  Alcotest.(check string) "third failure trips" "open"
+    (Breaker.state_name (Breaker.state b));
+  Alcotest.(check bool) "open blocks" false (Breaker.allow b);
+  Alcotest.(check int) "one trip" 1 (Breaker.trips b);
+  t := 11;
+  Alcotest.(check string) "cooldown elapsed: half-open" "half-open"
+    (Breaker.state_name (Breaker.state b));
+  Alcotest.(check bool) "half-open admits the probe" true (Breaker.allow b);
+  Breaker.record_failure b;
+  Alcotest.(check string) "probe failure re-opens" "open"
+    (Breaker.state_name (Breaker.state b));
+  Alcotest.(check int) "second trip" 2 (Breaker.trips b);
+  t := 22;
+  Alcotest.(check bool) "second probe admitted" true (Breaker.allow b);
+  Breaker.record_success b;
+  Alcotest.(check string) "probe success closes" "closed"
+    (Breaker.state_name (Breaker.state b));
+  (* The failure run restarts after a success: two more failures must
+     not trip. *)
+  Breaker.record_failure b;
+  Breaker.record_failure b;
+  Alcotest.(check string) "run restarted" "closed"
+    (Breaker.state_name (Breaker.state b))
+
+let test_breaker_forced_trip () =
+  let t = ref 0 in
+  let b = Breaker.create ~cooldown:5 ~now:(fun () -> !t) () in
+  Breaker.trip b;
+  Alcotest.(check bool) "tripped open" false (Breaker.allow b);
+  t := 6;
+  Alcotest.(check bool) "recovers via half-open" true (Breaker.allow b)
+
+(* --- fenced writer handles ------------------------------------------- *)
+
+module R = Arc_core.Arc.Make (Arc_mem.Real_mem)
+module F = Fenced.Make (R)
+module P = Arc_workload.Payload.Make (Arc_mem.Real_mem)
+
+let stamped ~seq ~len =
+  let a = Array.make len 0 in
+  P.stamp a ~seq ~len;
+  a
+
+let read_seq rd =
+  R.read_with rd ~f:(fun buffer len ->
+      match P.validate buffer ~len with
+      | Ok seq -> seq
+      | Error msg -> Alcotest.fail msg)
+
+let test_fenced_write_and_revoke () =
+  let words = 4 in
+  let freg = F.create ~readers:1 ~capacity:words ~init:(stamped ~seq:0 ~len:words) in
+  let rd = F.reader freg 0 in
+  let w1 = F.issue freg in
+  Alcotest.(check bool) "w1 current" true (F.current w1);
+  F.write w1 ~src:(stamped ~seq:1 ~len:words) ~len:words;
+  Alcotest.(check int) "w1's write lands" 1 (read_seq rd);
+  let w2 = F.issue freg in
+  Alcotest.(check bool) "w1 fenced by issue" false (F.current w1);
+  Alcotest.(check bool) "w2 current" true (F.current w2);
+  (match F.write w1 ~src:(stamped ~seq:99 ~len:words) ~len:words with
+  | () -> Alcotest.fail "fenced write must not publish"
+  | exception Fenced.Fenced_out { writer_epoch; current_epoch } ->
+    Alcotest.(check int) "writer epoch" 1 writer_epoch;
+    Alcotest.(check int) "current epoch" 2 current_epoch);
+  Alcotest.(check int) "fenced write counted" 1 (F.fenced_writes freg);
+  Alcotest.(check int) "old value still served" 1 (read_seq rd);
+  F.write w2 ~src:(stamped ~seq:2 ~len:words) ~len:words;
+  Alcotest.(check int) "successor writes flow" 2 (read_seq rd)
+
+let test_guard_abort_publishes_nothing () =
+  (* The primitive Fenced relies on: a guard raising between the
+     content copy and the publish exchange aborts with nothing
+     published and no slot leaked. *)
+  let words = 4 in
+  let reg = R.create ~readers:1 ~capacity:words ~init:(stamped ~seq:0 ~len:words) in
+  let rd = R.reader reg 0 in
+  (try
+     R.write_guarded reg
+       ~src:(stamped ~seq:1 ~len:words)
+       ~len:words
+       ~guard:(fun () -> raise Exit)
+   with Exit -> ());
+  Alcotest.(check int) "nothing published" 0 (read_seq rd);
+  (* No slot leaked: a long run of further writes still finds slots. *)
+  for seq = 1 to 20 do
+    R.write reg ~src:(stamped ~seq ~len:words) ~len:words
+  done;
+  Alcotest.(check int) "register healthy after abort" 20 (read_seq rd)
+
+let test_recover_crash_clean_journal () =
+  (* Taking over from a writer that died BETWEEN writes (or was merely
+     deposed): the journal is clean, nothing is quarantined, and the
+     register keeps full slot capacity. *)
+  let words = 4 in
+  let reg = R.create ~readers:1 ~capacity:words ~init:(stamped ~seq:0 ~len:words) in
+  let rd = R.reader reg 0 in
+  for seq = 1 to 5 do
+    R.write reg ~src:(stamped ~seq ~len:words) ~len:words
+  done;
+  Alcotest.(check int) "clean journal: nothing quarantined" 0
+    (R.recover_crash reg);
+  Alcotest.(check int) "idempotent" 0 (R.recover_crash reg);
+  for seq = 6 to 25 do
+    R.write reg ~src:(stamped ~seq ~len:words) ~len:words
+  done;
+  Alcotest.(check int) "register unaffected" 25 (read_seq rd)
+
+(* --- supervisor ------------------------------------------------------ *)
+
+module Sup = Arc_resilience.Supervisor.Make (R)
+
+let test_supervisor_lease_and_promotion () =
+  let words = 4 in
+  let t = ref 0 in
+  let freg =
+    Sup.Fenced_reg.create ~readers:1 ~capacity:words
+      ~init:(stamped ~seq:0 ~len:words)
+  in
+  let sup = Sup.create ~now:(fun () -> !t) ~lease:10 freg in
+  let w1 = Sup.acquire sup in
+  Alcotest.(check bool) "fresh lease not expired" false (Sup.expired sup);
+  t := 8;
+  Sup.heartbeat sup w1;
+  t := 15;
+  Alcotest.(check bool) "heartbeat re-armed the lease" false (Sup.expired sup);
+  t := 19;
+  Alcotest.(check bool) "silent past the lease" true (Sup.expired sup);
+  let w2 = Sup.promote sup in
+  Alcotest.(check int) "failover counted" 1 (Sup.failovers sup);
+  Alcotest.(check (option int)) "fence time recorded" (Some 19)
+    (Sup.last_fence sup);
+  Alcotest.(check bool) "promotion re-armed the lease" false (Sup.expired sup);
+  (* The deposed incumbent is fenced... *)
+  (match Sup.Fenced_reg.write w1 ~src:(stamped ~seq:7 ~len:words) ~len:words with
+  | () -> Alcotest.fail "zombie write must be fenced"
+  | exception Fenced.Fenced_out _ -> ());
+  (* ...and its heartbeats no longer re-arm the lease it lost. *)
+  t := 35;
+  Sup.heartbeat sup w1;
+  Alcotest.(check bool) "zombie heartbeat ignored" true (Sup.expired sup);
+  Sup.heartbeat sup w2;
+  Alcotest.(check bool) "successor heartbeat counts" false (Sup.expired sup)
+
+(* --- sessions -------------------------------------------------------- *)
+
+(* Saturation injector: [fail_next] upcoming live reads raise
+   [Saturated], then reads flow again — the unit-test stand-in for the
+   soak's probabilistic Flaky wrapper. *)
+module Flaky = struct
+  include R
+
+  let fail_next = ref 0
+
+  let read_with rd ~f =
+    if !fail_next > 0 then begin
+      decr fail_next;
+      raise (Arc_core.Register_intf.Saturated "injected saturation")
+    end
+    else read_with rd ~f
+end
+
+module S = Arc_resilience.Session.Make (Flaky)
+
+let session_env ?backoff ?breaker ?max_stale ~words () =
+  Flaky.fail_next := 0;
+  let t = ref 0 in
+  let now () = !t in
+  let sleep d = t := !t + d in
+  let reg = R.create ~readers:1 ~capacity:words ~init:(stamped ~seq:0 ~len:words) in
+  let s =
+    S.create ?backoff ?breaker ?max_stale ~now ~sleep ~capacity:words
+      (R.reader reg 0)
+  in
+  (t, reg, s)
+
+let get_seq buffer len =
+  match P.validate buffer ~len with
+  | Ok seq -> seq
+  | Error msg -> Alcotest.fail msg
+
+let test_session_fresh () =
+  let words = 4 in
+  let _t, reg, s = session_env ~words () in
+  R.write reg ~src:(stamped ~seq:1 ~len:words) ~len:words;
+  (match S.read_with s ~f:get_seq with
+  | S.Fresh 1 -> ()
+  | _ -> Alcotest.fail "expected Fresh 1");
+  Alcotest.(check int) "ok counted" 1 (Outcomes.ok_count (S.outcomes s))
+
+let test_session_retry_then_fresh () =
+  let words = 4 in
+  let t, reg, s = session_env ~words () in
+  R.write reg ~src:(stamped ~seq:1 ~len:words) ~len:words;
+  Flaky.fail_next := 2;
+  (match S.read_with ~deadline:100_000 s ~f:get_seq with
+  | S.Fresh 1 -> ()
+  | _ -> Alcotest.fail "expected Fresh 1 after retries");
+  Alcotest.(check int) "two errors absorbed" 2
+    (Outcomes.error_count (S.outcomes s));
+  Alcotest.(check int) "two retries taken" 2
+    (Outcomes.retry_count (S.outcomes s));
+  Alcotest.(check bool) "backoff slept" true (!t > 0)
+
+let test_session_stale_within_bound () =
+  let words = 4 in
+  let t, reg, s = session_env ~max_stale:50 ~words () in
+  R.write reg ~src:(stamped ~seq:3 ~len:words) ~len:words;
+  (match S.read_with s ~f:get_seq with
+  | S.Fresh 3 -> ()
+  | _ -> Alcotest.fail "snapshot priming read");
+  t := !t + 20;
+  Flaky.fail_next := max_int;
+  (* Deadline already in the past: the first failure degrades. *)
+  (match S.read_with ~deadline:!t s ~f:get_seq with
+  | S.Stale { value = 3; age } ->
+    Alcotest.(check bool)
+      (Printf.sprintf "age %d within bound" age)
+      true
+      (age >= 20 && age <= 50)
+  | _ -> Alcotest.fail "expected Stale 3");
+  Alcotest.(check int) "stale counted" 1 (Outcomes.stale_count (S.outcomes s));
+  Alcotest.(check (option int)) "snapshot age exposed" (Some 20)
+    (S.snapshot_age s)
+
+let test_session_exhausted_without_snapshot () =
+  let words = 4 in
+  let _t, _reg, s = session_env ~words () in
+  Flaky.fail_next := max_int;
+  (match S.read_with ~deadline:0 s ~f:get_seq with
+  | S.Exhausted { attempts; last_error } ->
+    Alcotest.(check int) "one live attempt" 1 attempts;
+    Alcotest.(check string) "typed error" "injected saturation" last_error
+  | _ -> Alcotest.fail "expected Exhausted (no snapshot yet)");
+  Alcotest.(check int) "exhausted counted" 1
+    (Outcomes.exhausted_count (S.outcomes s))
+
+let test_session_stale_bound_exceeded () =
+  let words = 4 in
+  let t, reg, s = session_env ~max_stale:10 ~words () in
+  R.write reg ~src:(stamped ~seq:1 ~len:words) ~len:words;
+  ignore (S.read_with s ~f:get_seq);
+  t := !t + 11;
+  Flaky.fail_next := max_int;
+  (match S.read_with ~deadline:!t s ~f:get_seq with
+  | S.Exhausted _ -> ()
+  | S.Stale _ -> Alcotest.fail "snapshot past max_stale must not be served"
+  | S.Fresh _ -> Alcotest.fail "reads are failing")
+
+let test_session_breaker_short_circuit_and_recovery () =
+  let words = 4 in
+  let t = ref 0 in
+  let now () = !t in
+  let breaker = Breaker.create ~failure_threshold:2 ~cooldown:100 ~now () in
+  let _, reg, s =
+    let reg = R.create ~readers:1 ~capacity:words ~init:(stamped ~seq:0 ~len:words) in
+    Flaky.fail_next := 0;
+    ( t,
+      reg,
+      S.create ~breaker ~max_stale:1_000_000 ~now
+        ~sleep:(fun d -> t := !t + d)
+        ~capacity:words (R.reader reg 0) )
+  in
+  R.write reg ~src:(stamped ~seq:1 ~len:words) ~len:words;
+  ignore (S.read_with s ~f:get_seq);
+  (* Two failures trip the breaker (deadline stops the retry loop
+     after each). *)
+  Flaky.fail_next := max_int;
+  ignore (S.read_with ~deadline:!t s ~f:get_seq);
+  ignore (S.read_with ~deadline:!t s ~f:get_seq);
+  Alcotest.(check string) "breaker tripped" "open"
+    (Breaker.state_name (Breaker.state breaker));
+  (* Open breaker: served from snapshot without a live attempt. *)
+  let errors_before = Outcomes.error_count (S.outcomes s) in
+  (match S.read_with s ~f:get_seq with
+  | S.Stale { value = 1; _ } -> ()
+  | _ -> Alcotest.fail "open breaker must serve the snapshot");
+  Alcotest.(check int) "no live attempt through open breaker" errors_before
+    (Outcomes.error_count (S.outcomes s));
+  (* Cooldown elapses, register recovers: half-open probe succeeds and
+     closes the breaker. *)
+  t := !t + 101;
+  Flaky.fail_next := 0;
+  R.write reg ~src:(stamped ~seq:2 ~len:words) ~len:words;
+  (match S.read_with s ~f:get_seq with
+  | S.Fresh 2 -> ()
+  | _ -> Alcotest.fail "half-open probe must go live");
+  Alcotest.(check string) "breaker closed again" "closed"
+    (Breaker.state_name (Breaker.state breaker))
+
+(* --- chaos soak (end to end, simulated) ------------------------------ *)
+
+let test_soak_clean_and_non_vacuous () =
+  let cfg = { Soak.default with Soak.runs = 12 } in
+  let o = Soak.run cfg in
+  if not (Soak.clean o) then
+    List.iter
+      (fun (seed, msg) -> Printf.printf "seed %d: %s\n%!" seed msg)
+      o.Soak.violations;
+  Alcotest.(check bool) "soak clean" true (Soak.clean o);
+  Alcotest.(check int) "all runs executed" 12 o.Soak.runs;
+  Alcotest.(check bool) "writes happened" true (o.Soak.writes > 0);
+  Alcotest.(check bool) "fresh reads happened" true (o.Soak.reads_fresh > 0);
+  (* Non-vacuity: the machinery under test must actually fire. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "failovers (%d) occurred" o.Soak.failovers)
+    true (o.Soak.failovers > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "fenced writes (%d) occurred" o.Soak.fenced_writes)
+    true (o.Soak.fenced_writes > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "degraded serves (%d stale, %d exhausted) occurred"
+       o.Soak.stale_serves o.Soak.exhausted)
+    true
+    (o.Soak.stale_serves + o.Soak.exhausted > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "crash completions (%d vanished, %d took effect) judged"
+       o.Soak.vanished o.Soak.took_effect)
+    true
+    (o.Soak.vanished + o.Soak.took_effect > 0)
+
+let test_soak_crash_recovery_regression () =
+  (* Regression: a writer crash between the W2 publish and the W3
+     supersede-freeze leaves a slot whose subscribers are recorded
+     nowhere; before [recover_crash] quarantine, the promoted standby
+     recycled it under live readers and these seeds produced torn
+     snapshots. *)
+  List.iter
+    (fun seed ->
+      let r = Soak.run_one ~seed Soak.default in
+      Alcotest.(check (list string))
+        (Printf.sprintf "seed %d clean" seed)
+        [] r.Soak.violations;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d untorn" seed)
+        0 r.Soak.torn)
+    [ 31337094032; 31337094071 ]
+
+let test_soak_unfenced_control_convicted () =
+  let cfg = Soak.default in
+  let convicted, reasons =
+    Soak.unfenced_control ~seed:(Soak.derive_seed cfg 0) cfg
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "unfenced handoff convicted (%d reasons)"
+       (List.length reasons))
+    true convicted
+
+let suite =
+  [
+    Alcotest.test_case "backoff deterministic" `Quick test_backoff_deterministic;
+    Alcotest.test_case "backoff envelope" `Quick test_backoff_envelope;
+    Alcotest.test_case "backoff reset" `Quick test_backoff_reset;
+    Alcotest.test_case "backoff validation" `Quick test_backoff_validation;
+    Alcotest.test_case "breaker transitions" `Quick test_breaker_transitions;
+    Alcotest.test_case "breaker forced trip" `Quick test_breaker_forced_trip;
+    Alcotest.test_case "fenced write and revoke" `Quick test_fenced_write_and_revoke;
+    Alcotest.test_case "guard abort publishes nothing" `Quick
+      test_guard_abort_publishes_nothing;
+    Alcotest.test_case "recover_crash clean journal" `Quick
+      test_recover_crash_clean_journal;
+    Alcotest.test_case "supervisor lease and promotion" `Quick
+      test_supervisor_lease_and_promotion;
+    Alcotest.test_case "session fresh" `Quick test_session_fresh;
+    Alcotest.test_case "session retry then fresh" `Quick
+      test_session_retry_then_fresh;
+    Alcotest.test_case "session stale within bound" `Quick
+      test_session_stale_within_bound;
+    Alcotest.test_case "session exhausted without snapshot" `Quick
+      test_session_exhausted_without_snapshot;
+    Alcotest.test_case "session stale bound exceeded" `Quick
+      test_session_stale_bound_exceeded;
+    Alcotest.test_case "session breaker short-circuit and recovery" `Quick
+      test_session_breaker_short_circuit_and_recovery;
+    Alcotest.test_case "chaos soak clean and non-vacuous" `Slow
+      test_soak_clean_and_non_vacuous;
+    Alcotest.test_case "soak crash-recovery regression seeds" `Quick
+      test_soak_crash_recovery_regression;
+    Alcotest.test_case "unfenced control convicted" `Quick
+      test_soak_unfenced_control_convicted;
+  ]
