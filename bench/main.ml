@@ -233,6 +233,55 @@ let mrmw_tests =
       (Staged.stage (fun () -> ignore (Mn.read_into rd ~dst)));
   ]
 
+(* --- shm: the file-backed substrate's per-op overhead ---------------- *)
+
+(* ARC over an mmap'd file ({!Arc_shm.Shm_mem}) against ARC over the
+   heap, same geometry: the delta is the durability tax — C-stub
+   atomics instead of [Atomic], plus the publish trailer (sequence
+   bracket + checksum over the payload) on every write.  Reads carry
+   no trailer work, so read-hit should be near-identical; write pays
+   roughly one extra payload scan. *)
+
+let shm_ops ~size =
+  let path = Filename.temp_file "arc_bench_shm" ".reg" in
+  let m = Arc_shm.Shm_mem.create ~path ~words:(8 * (size + 64)) in
+  let module M = (val Arc_shm.Shm_mem.mem m) in
+  let module R = Arc_core.Arc.Make (M) in
+  let reg = R.create ~readers:2 ~capacity:size ~init:(stamped ~seq:0 ~len:size) in
+  let rd = R.reader reg 0 in
+  let src = stamped ~seq:1 ~len:size in
+  R.write reg ~src ~len:size;
+  ignore (R.read_with rd ~f:(fun _ _ -> ()));
+  let read_hit () = R.read_with rd ~f:(fun _ _ -> ()) in
+  let write () = R.write reg ~src ~len:size in
+  let write_read () =
+    R.write reg ~src ~len:size;
+    R.read_with rd ~f:(fun _ _ -> ())
+  in
+  at_exit (fun () ->
+      Arc_shm.Shm_mem.close m;
+      try Sys.remove path with Sys_error _ -> ());
+  (read_hit, write, write_read)
+
+let shm_sizes = [ ("4KB", 512); ("32KB", 4096) ]
+
+let shm_tests =
+  List.concat_map
+    (fun (size_name, size) ->
+      let read_hit, write, write_read = shm_ops ~size in
+      [
+        Test.make
+          ~name:(Printf.sprintf "shm/read-hit/arc/%s" size_name)
+          (Staged.stage read_hit);
+        Test.make
+          ~name:(Printf.sprintf "shm/write/arc/%s" size_name)
+          (Staged.stage write);
+        Test.make
+          ~name:(Printf.sprintf "shm/write+read/arc/%s" size_name)
+          (Staged.stage write_read);
+      ])
+    shm_sizes
+
 (* --- machine-readable throughput snapshot (BENCH_arc.json) ----------- *)
 
 (* Hold-model throughput at the canonical contention point (32KB
@@ -313,6 +362,61 @@ let emit_throughput_json path =
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 
+(* --- machine-readable substrate snapshot (BENCH_shm.json) ------------ *)
+
+(* Per-op latencies of the same register over both substrates, so the
+   durability tax is a number the perf trajectory tracks across PRs.
+   Measured with a plain fixed-iteration loop (median of [reps]) —
+   these ops are far above clock resolution, and the simple harness
+   keeps the JSON mode fast enough for CI. *)
+
+let shm_json_reps = 5
+let shm_json_iters = 20_000
+
+let measure_ns f =
+  let sample () =
+    let t0 = Arc_util.Cpu.now_ns () in
+    for _ = 1 to shm_json_iters do
+      f ()
+    done;
+    Int64.to_float (Int64.sub (Arc_util.Cpu.now_ns ()) t0)
+    /. float_of_int shm_json_iters
+  in
+  ignore (sample ());
+  let samples = Array.init shm_json_reps (fun _ -> sample ()) in
+  Array.sort compare samples;
+  samples.(shm_json_reps / 2)
+
+let emit_shm_json path =
+  let records =
+    List.concat_map
+      (fun (size_name, size) ->
+        let substrates = [ ("heap", Arc_ops.make ~size); ("shm", shm_ops ~size) ] in
+        List.concat_map
+          (fun (substrate, (read_hit, write, write_read)) ->
+            List.map
+              (fun (op, f) ->
+                Printf.sprintf
+                  "    {\"substrate\": %S, \"op\": %S, \"size\": %S, \
+                   \"size_words\": %d, \"median_ns_per_op\": %.1f}"
+                  substrate op size_name size (measure_ns f))
+              [ ("read-hit", read_hit); ("write", write); ("write+read", write_read) ])
+          substrates)
+      shm_sizes
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"platform\": \"%s\",\n\
+    \  \"reps\": %d,\n\
+    \  \"iters_per_sample\": %d,\n\
+    \  \"results\": [\n%s\n  ]\n}\n"
+    (json_escape (Arc_util.Cpu.describe ()))
+    shm_json_reps shm_json_iters
+    (String.concat ",\n" records);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
 (* --- runner ---------------------------------------------------------- *)
 
 let benchmark tests =
@@ -331,7 +435,18 @@ let json_path_of_argv () =
   | _ :: "--throughput-json" :: _ -> Some ("BENCH_arc.json", true)
   | _ -> Some ("BENCH_arc.json", false)
 
+let shm_json_of_argv () =
+  match Array.to_list Sys.argv with
+  | _ :: "--shm-json" :: path :: _ -> Some path
+  | _ :: "--shm-json" :: _ -> Some "BENCH_shm.json"
+  | _ -> None
+
 let () =
+  (match shm_json_of_argv () with
+  | Some path ->
+    emit_shm_json path;
+    exit 0
+  | None -> ());
   (match json_path_of_argv () with
   | Some (path, true) ->
     emit_throughput_json path;
@@ -342,6 +457,7 @@ let () =
   print_endline (String.make 74 '-');
   let tests =
     fig1_tests @ fig2_tests @ fig3_tests @ rmw_tests @ ablation_tests @ mrmw_tests
+    @ shm_tests
   in
   let results = benchmark tests in
   let rows =

@@ -219,12 +219,67 @@ let run_faults algo seeds readers size steps =
      else "MISSED — fault layer or checker is broken");
   if !failures > 0 then exit 1
 
-let rec run faults replay_seed algo seeds strategy_name readers size steps
-    verbose =
-  match replay_seed with
-  | Some seed ->
+(* {1 Offline re-judgement (--history)}
+
+   A persisted history — typically dumped by arc-crash next to a kept
+   register mapping — re-run through the crash-aware checker by a
+   process that saw none of the original run.  The crash context
+   (recovery fence, pending write) comes from the dump's meta lines;
+   --shm overrides the fence with the authoritative value persisted in
+   the mapping's superblock, which also cross-checks that the dump and
+   the mapping belong to the same crash. *)
+
+let run_history hist_path shm_path =
+  let h, meta = History.load hist_path in
+  let lookup k = List.assoc_opt k meta in
+  let pending_write =
+    match (lookup "pending_seq", lookup "pending_invoked") with
+    | Some seq, Some invoked -> Some (seq, invoked)
+    | _ -> None
+  in
+  let fence =
+    match shm_path with
+    | None -> lookup "fence"
+    | Some p ->
+      let m = Arc_shm.Shm_mem.attach ~path:p in
+      let f = Arc_shm.Shm_mem.fence_at m in
+      let e = Arc_shm.Shm_mem.epoch m in
+      Printf.printf "shm %s: epoch %d, fence_at %d, %d publishes\n" p e f
+        (Arc_shm.Shm_mem.publish_seq m);
+      (match lookup "epoch" with
+      | Some de when de <> e ->
+        Printf.printf
+          "note: dump records epoch %d but the mapping is at %d — the mapping \
+           was recovered again after this dump\n"
+          de e
+      | _ -> ());
+      Arc_shm.Shm_mem.close m;
+      if f > 0 then Some f else None
+  in
+  Printf.printf "history %s: %d events (%d writes, %d reads), pending %s, fence %s\n"
+    hist_path (History.size h)
+    (List.length (History.writes h))
+    (List.length (History.reads h))
+    (match pending_write with
+    | Some (seq, invoked) -> Printf.sprintf "write %d invoked at %d" seq invoked
+    | None -> "none")
+    (match fence with Some f -> string_of_int f | None -> "none");
+  match Checker.check_crash ?pending_write ?fence h with
+  | Ok (report, outcome) ->
+    Printf.printf "check ok: %d reads, %d writes, pending write %s\n"
+      report.Checker.reads_checked report.Checker.writes_checked
+      (Checker.crash_outcome_name outcome)
+  | Error v ->
+    Format.printf "check FAILED: %a@." Checker.pp_violation v;
+    exit 1
+
+let rec run faults replay_seed history shm algo seeds strategy_name readers size
+    steps verbose =
+  match (history, replay_seed) with
+  | Some hist_path, _ -> run_history hist_path shm
+  | None, Some seed ->
     run_fault_replay (Option.value algo ~default:"arc") seed readers size steps
-  | None ->
+  | None, None ->
     (* The default algorithm set differs per mode: single-algorithm
        schedule checks default to arc, the fault campaign to all. *)
     let algo = Option.value algo ~default:(if faults then "all" else "arc") in
@@ -354,14 +409,34 @@ let cmd =
              printed by a --faults violation line) for the algorithm given \
              with --algo, showing its fault plan and full judgement.")
   in
+  let history =
+    Arg.(
+      value & opt (some file) None
+      & info [ "history" ] ~docv:"FILE"
+          ~doc:
+            "Re-judge a persisted history (History.dump format, e.g. the \
+             .history file arc-crash keeps next to a failing mapping) through \
+             the crash-aware checker, taking the pending write and fence from \
+             its meta lines; exit 1 on violation.")
+  in
+  let shm =
+    Arg.(
+      value & opt (some file) None
+      & info [ "shm" ] ~docv:"FILE"
+          ~doc:
+            "With --history: read the authoritative recovery fence and writer \
+             epoch from this register mapping's superblock instead of the \
+             dump's meta lines.")
+  in
   Cmd.v
     (Cmd.info "arc-check"
        ~doc:
          "Explore schedules of a register algorithm and check atomicity \
           (Criterion 1) plus snapshot integrity; --faults runs the \
-          fault-injection campaign instead.")
+          fault-injection campaign instead; --history re-judges a persisted \
+          cross-process history.")
     Term.(
-      const run $ faults $ replay_seed $ algo $ seeds $ strategy $ readers
-      $ size $ steps $ verbose)
+      const run $ faults $ replay_seed $ history $ shm $ algo $ seeds $ strategy
+      $ readers $ size $ steps $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,686 @@
+(* arc-crash: real-crash durability harness for the shared-memory
+   register substrate (ISSUE 4).
+
+   Each run builds an ARC register inside an mmap'd file
+   (Arc_shm.Shm_mem), forks a writer child, and SIGKILLs it at a
+   seeded random point while reader domains in the parent keep
+   reading.  The parent then reattaches to reality: integrity-scans
+   the mapping (quarantining any torn slot the kill left behind),
+   resolves whether the interrupted write published, takes over the
+   writer role through the epoch fence persisted in the superblock,
+   and finally feeds the whole cross-process history — child writes
+   reconstructed from a shared write-log, reads and successor writes
+   recorded against the mapping's shared clock — through the
+   crash-aware atomicity checker.
+
+     dune exec bin/crash.exe -- --runs 200
+     dune exec bin/crash.exe -- --replay-seed 2049052026 -v
+
+   Exit status 0 = clean (and all conviction controls behaved);
+   1 = violations (each with the exact replay command, also written
+   to --fail-log if given); 2 = a corruption negative control went
+   unconvicted (the integrity layer is vacuous).
+
+   The kill itself is real and therefore not schedulable: a seed
+   reproduces the configuration and the kill-delay draw, not the exact
+   interrupted instruction.  What IS deterministic is the judgement —
+   every surviving byte is either verified or convicted, whichever
+   point the kill landed on. *)
+
+module Shm_mem = Arc_shm.Shm_mem
+module Shm_arc = Arc_shm.Shm_arc
+module Layout = Arc_shm.Shm_layout
+module History = Arc_trace.History
+module Checker = Arc_trace.Checker
+module Splitmix = Arc_util.Splitmix
+module P0 = Arc_workload.Payload.Make (Arc_mem.Real_mem)
+open Cmdliner
+
+type cfg = {
+  runs : int;
+  seed : int;
+  readers : int;
+  capacity : int;
+  writes_max : int;
+  successor_writes : int;
+  dir : string;
+  verbose : bool;
+}
+
+let derive_seed cfg run = (cfg.seed * 1_000_003) + run
+
+let replay_command cfg seed =
+  Printf.sprintf
+    "arc-crash --replay-seed %d --readers %d --capacity %d --writes %d \
+     --successor-writes %d"
+    seed cfg.readers cfg.capacity cfg.writes_max cfg.successor_writes
+
+(* Reader identities: [0, readers) are the reading domains,
+   [readers] is the parent's post-crash probe read, and [readers + 1]
+   is never used — the spare covering the one slot a crash may
+   quarantine (Shm_arc.recover's bounded-leak accounting). *)
+let identities cfg = cfg.readers + 2
+
+let mapping_words cfg =
+  let nslots = identities cfg + 2 in
+  (2 * (cfg.writes_max + 1))
+  + (nslots * (cfg.capacity + (4 * Layout.line_words) + Layout.buf_header + 8))
+  + (8 * Layout.line_words) + 1024
+
+(* {1 The shared write-log}
+
+   A raw region of the mapping (skipped by the integrity scan): two
+   words per write — invocation and return stamps from the shared
+   clock, written around each fenced write.  It is the child's only
+   way to testify: after the kill, entry k with a return stamp is a
+   completed write, and the single entry with an invocation stamp but
+   no return stamp is the write in flight when the kill landed. *)
+
+let log_invoked log k = log + (2 * (k - 1))
+let log_returned log k = log + (2 * (k - 1)) + 1
+
+let child_writer (module I : Shm_arc.INSTANCE) ~log ~cfg ~seed =
+  let module F = Arc_resilience.Fenced.Make (I.R) in
+  let t = F.of_register I.reg ~epoch:(Shm_mem.epoch_cell I.mapping) in
+  let w = F.issue t in
+  let rng = Splitmix.of_int seed in
+  let src = Array.make cfg.capacity 0 in
+  (try
+     for k = 1 to cfg.writes_max do
+       (* Pace the writer to ~1 µs per cycle.  The parent's
+          kill-at-write-K trigger has scheduler-latency slop between
+          observing the log and the SIGKILL landing; pacing keeps that
+          slop to a few hundred writes instead of tens of thousands,
+          so the drawn kill point governs where the crash lands.  The
+          pause sits OUTSIDE the invoked/returned bracket, so it
+          widens no window the checker reasons about. *)
+       for _ = 1 to 600 do
+         Domain.cpu_relax ()
+       done;
+       let len = 1 + Splitmix.int rng cfg.capacity in
+       P0.stamp src ~seq:k ~len;
+       Shm_mem.atomic_set I.mapping (log_invoked log k) (Shm_mem.tick I.mapping);
+       F.write w ~src ~len;
+       Shm_mem.atomic_set I.mapping (log_returned log k) (Shm_mem.tick I.mapping)
+     done
+   with _ -> ());
+  Unix._exit 0
+
+(* {1 Reader domains} *)
+
+let reader_loop (module I : Shm_arc.INSTANCE) recorder stop id =
+  let module P = Arc_workload.Payload.Make (I.M) in
+  let rd = I.R.reader I.reg id in
+  let errors = ref [] in
+  while not (Atomic.get stop) do
+    (* Pace reads so a run's history stays within the recorder's
+       preallocated capacity; the interleaving stress lives in the
+       concurrency, not the raw poll rate. *)
+    for _ = 1 to 512 do
+      Domain.cpu_relax ()
+    done;
+    let invoked = Shm_mem.tick I.mapping in
+    match I.R.read_with rd ~f:(fun buf len -> P.validate buf ~len) with
+    | Ok seq ->
+        let returned = Shm_mem.tick I.mapping in
+        History.Recorder.record recorder ~thread:(1 + id) History.Read ~seq
+          ~invoked ~returned
+    | Error msg ->
+        errors := Printf.sprintf "reader %d: torn snapshot: %s" id msg :: !errors
+  done;
+  List.rev !errors
+
+(* {1 One run} *)
+
+type pending = No_pending | Published of int * int | Vanished of int
+
+type run_result = {
+  seed : int;
+  child_writes : int;
+  pending : pending;
+  convicted : Shm_mem.conviction list;
+  journaled : int;
+  reads : int;
+  dropped : int;
+  outcome : string;
+  violations : string list;
+  path : string;
+}
+
+let pp_pending = function
+  | No_pending -> "none"
+  | Published (k, _) -> Printf.sprintf "published@%d" k
+  | Vanished k -> Printf.sprintf "vanished@%d" k
+
+let pp_convicted cs =
+  if cs = [] then "0"
+  else
+    Printf.sprintf "%d(%s)" (List.length cs)
+      (String.concat ","
+         (List.map
+            (fun (c : Shm_mem.conviction) ->
+              Printf.sprintf "slot%d:%s@%d" c.ordinal
+                (Shm_mem.reason_to_string c.why)
+                c.seq)
+            cs))
+
+let run_one cfg ~seed =
+  let rng = Splitmix.of_int seed in
+  let path =
+    Filename.concat cfg.dir
+      (Printf.sprintf "arc-crash-%d-%d.shm" (Unix.getpid ()) seed)
+  in
+  let m = Shm_mem.create ~path ~words:(mapping_words cfg) in
+  let init = Array.make cfg.capacity 0 in
+  P0.stamp init ~seq:0 ~len:cfg.capacity;
+  let inst =
+    Shm_arc.create m ~readers:(identities cfg) ~capacity:cfg.capacity ~init
+  in
+  let module I = (val inst : Shm_arc.INSTANCE) in
+  let log = Shm_mem.alloc_raw m (2 * (cfg.writes_max + 1)) in
+  Shm_mem.set_harness_region m log;
+  (* The kill point is a seeded write NUMBER, not a wall-clock delay:
+     the parent watches the shared write-log until the child reaches
+     it, then kills.  Wall clocks drift with machine load — a loaded
+     box would land every kill after the child had already finished —
+     while a count always lands the signal inside the writing phase
+     (give or take the signal-delivery handful of writes, which is
+     exactly the randomness a real crash has anyway). *)
+  let kill_at = 1 + Splitmix.int rng cfg.writes_max in
+  let violations = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 -> child_writer inst ~log ~cfg ~seed:(seed lxor 0x5DEECE66) (* child *)
+  | child ->
+      let stop = Atomic.make false in
+      let recorder =
+        History.Recorder.create ~threads:(cfg.readers + 1) ~capacity:(1 lsl 18)
+      in
+      let domains =
+        List.init cfg.readers (fun id ->
+            Domain.spawn (fun () -> reader_loop inst recorder stop id))
+      in
+      let deadline = Unix.gettimeofday () +. 30.0 in
+      let reaped = ref None in
+      let rec await n =
+        if Shm_mem.atomic_get m (log_invoked log kill_at) <> 0 then ()
+        else if n land 4095 = 0 && Unix.gettimeofday () > deadline then ()
+        else begin
+          (if n land 4095 = 0 then
+             match Unix.waitpid [ Unix.WNOHANG ] child with
+             | 0, _ -> ()
+             | _, s -> reaped := Some s);
+          if !reaped = None then begin
+            Domain.cpu_relax ();
+            await (n + 1)
+          end
+        end
+      in
+      await 1;
+      let status =
+        match !reaped with
+        | Some s -> s
+        | None ->
+            Unix.kill child Sys.sigkill;
+            snd (Unix.waitpid [] child)
+      in
+      (match status with
+      | Unix.WSIGNALED s when s = Sys.sigkill -> ()
+      | Unix.WEXITED 0 -> () (* child drained writes_max before the kill *)
+      | _ -> fail "child exited abnormally");
+      Unix.sleepf 0.002;
+      (* Reconstruct the child's testimony from the write-log. *)
+      let n_last = ref 0 in
+      let completed = ref [] in
+      let pending_entry = ref None in
+      (try
+         for k = 1 to cfg.writes_max do
+           let invoked = Shm_mem.atomic_get m (log_invoked log k) in
+           if invoked = 0 then raise Exit;
+           n_last := k;
+           let returned = Shm_mem.atomic_get m (log_returned log k) in
+           if returned > 0 then
+             completed :=
+               History.event History.Write ~thread:0 ~seq:k ~invoked ~returned
+               :: !completed
+           else begin
+             if !pending_entry <> None then
+               fail "write-log: two entries without return stamps";
+             pending_entry := Some (k, invoked)
+           end
+         done
+       with Exit -> ());
+      (match !pending_entry with
+      | Some (k, _) when k <> !n_last ->
+          fail "write-log: unreturned entry %d is not the last (%d)" k !n_last
+      | _ -> ());
+      (* Recovery: integrity-scan the mapping, mirror convictions into
+         the register, recover the prefreeze journal. *)
+      let convicted, journaled =
+        match Shm_arc.recover inst with
+        | Ok (rcv, journaled) ->
+            if List.length rcv.convicted > 1 then
+              fail "recovery convicted %d slots from one crash: %s"
+                (List.length rcv.convicted)
+                (pp_convicted rcv.convicted);
+            (rcv.convicted, journaled)
+        | Error msg ->
+            fail "recovery convicted the whole mapping: %s" msg;
+            ([], 0)
+      in
+      (* Resolve the interrupted write: the register's published state
+         is frozen (the writer is dead), so one probe read settles
+         whether the pending write's W2 exchange happened. *)
+      let module P = Arc_workload.Payload.Make (I.M) in
+      let probe = I.R.reader I.reg cfg.readers in
+      let observed =
+        I.R.read_with probe ~f:(fun buf len ->
+            match P.validate buf ~len with
+            | Ok seq -> seq
+            | Error msg ->
+                fail "probe read torn: %s" msg;
+                -1)
+      in
+      let pending, next_seq =
+        match !pending_entry with
+        | None ->
+            if observed <> !n_last then
+              fail "probe observed seq %d, expected %d (no pending write)"
+                observed !n_last;
+            (No_pending, !n_last + 1)
+        | Some (k, invoked) ->
+            if observed = k then (Published (k, invoked), k + 1)
+            else if observed = k - 1 then (Vanished k, k)
+            else begin
+              fail "probe observed seq %d, expected %d or %d" observed (k - 1) k;
+              (No_pending, !n_last + 1)
+            end
+      in
+      (* A torn content copy can only be the interrupted write's: ARC
+         completes every copy before that write's W2 exchange, so all
+         earlier writes left complete trailers — and the interrupted
+         write cannot have published (the exchange comes after the
+         copy), so a torn conviction must coincide with a vanished
+         pending write.  Readers never see the torn bytes (nothing
+         routed them to that slot, and every read's payload was
+         validated word-by-word above); this checks the bookkeeping
+         agrees. *)
+      List.iter
+        (fun (c : Shm_mem.conviction) ->
+          match (c.why, pending) with
+          | Shm_mem.Torn, Vanished _ -> ()
+          | Shm_mem.Torn, p ->
+              fail
+                "torn slot %d convicted (publish seq %d) but the interrupted \
+                 write is %s — a published write left a torn copy"
+                c.ordinal c.seq (pp_pending p)
+          | _ -> ())
+        convicted;
+      (* Successor writer: a fresh fenced handle over the same
+         register — issuing bumps the epoch the crashed writer's
+         handle was issued under (it lives in the superblock, so the
+         fence survived the kill). *)
+      let module F = Arc_resilience.Fenced.Make (I.R) in
+      let ft = F.of_register I.reg ~epoch:(Shm_mem.epoch_cell m) in
+      let w = F.issue ft in
+      let src = Array.make cfg.capacity 0 in
+      (try
+         for j = 0 to cfg.successor_writes - 1 do
+           let seq = next_seq + j in
+           let len = 1 + Splitmix.int rng cfg.capacity in
+           P0.stamp src ~seq ~len;
+           let invoked = Shm_mem.tick m in
+           F.write w ~src ~len;
+           let returned = Shm_mem.tick m in
+           History.Recorder.record recorder ~thread:0 History.Write ~seq
+             ~invoked ~returned
+         done
+       with e -> fail "successor writer: %s" (Printexc.to_string e));
+      Unix.sleepf 0.002;
+      Atomic.set stop true;
+      List.iter
+        (fun d -> List.iter (fun e -> violations := e :: !violations) (Domain.join d))
+        domains;
+      (* Judgement: the cross-process history through the crash-aware
+         checker, fenced at the recovery stamp. *)
+      let history =
+        History.of_events
+          (!completed @ History.events (History.Recorder.history recorder))
+      in
+      let reads = List.length (History.reads history) in
+      let pending_write =
+        match pending with Published (k, inv) -> Some (k, inv) | _ -> None
+      in
+      let outcome =
+        match
+          Checker.check_crash ?pending_write ~fence:(Shm_mem.fence_at m) history
+        with
+        | Ok (_, o) -> Checker.crash_outcome_name o
+        | Error v ->
+            fail "%s" (Format.asprintf "%a" Checker.pp_violation v);
+            "violation"
+      in
+      let result =
+        {
+          seed;
+          child_writes = !n_last;
+          pending;
+          convicted;
+          journaled;
+          reads;
+          dropped = History.Recorder.dropped recorder;
+          outcome;
+          violations = List.rev !violations;
+          path;
+        }
+      in
+      (* A failing history is kept next to the mapping with its crash
+         context, so arc-check --history can re-judge it offline. *)
+      if result.violations <> [] then begin
+        let meta =
+          ("fence", Shm_mem.fence_at m)
+          :: ("epoch", Shm_mem.epoch m)
+          ::
+          (match pending_write with
+          | Some (k, inv) -> [ ("pending_seq", k); ("pending_invoked", inv) ]
+          | None -> [])
+        in
+        History.dump ~meta history (path ^ ".history")
+      end;
+      Shm_mem.close m;
+      if result.violations = [] then Sys.remove path;
+      result
+
+let print_result ~verbose r =
+  if verbose || r.violations <> [] then begin
+    Printf.printf
+      "run [seed %d]: writes=%d pending=%s convicted=%s journaled=%d reads=%d%s \
+       outcome=%s — %s\n"
+      r.seed r.child_writes (pp_pending r.pending) (pp_convicted r.convicted)
+      r.journaled r.reads
+      (if r.dropped > 0 then Printf.sprintf " (dropped %d)" r.dropped else "")
+      r.outcome
+      (if r.violations = [] then "ok" else String.concat "; " r.violations);
+    if r.violations <> [] then
+      Printf.printf
+        "  mapping kept at %s\n\
+        \  re-judge: dune exec bin/check.exe -- --history %s.history --shm %s\n"
+        r.path r.path r.path
+  end
+
+(* A forked process may not fork again once it has spawned domains
+   (OCaml 5's Unix.fork refuses), and each run needs both — fork the
+   writer child first, then spawn reader domains.  So the campaign
+   driver runs every run in its own forked subprocess, which performs
+   its writer-fork while still single-domain.  The subprocess prints
+   its own per-run line and ships the result record back through a
+   temp file. *)
+let run_one_isolated cfg ~seed =
+  let stub outcome msg =
+    {
+      seed;
+      child_writes = 0;
+      pending = No_pending;
+      convicted = [];
+      journaled = 0;
+      reads = 0;
+      dropped = 0;
+      outcome;
+      violations = [ msg ];
+      path = "";
+    }
+  in
+  let tmp = Filename.temp_file "arc-crash-res" ".bin" in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      let r =
+        try run_one cfg ~seed
+        with e -> stub "exception" (Printexc.to_string e)
+      in
+      print_result ~verbose:cfg.verbose r;
+      flush stdout;
+      let oc = open_out_bin tmp in
+      Marshal.to_channel oc r [];
+      close_out oc;
+      Unix._exit 0
+  | pid -> (
+      let _, _ = Unix.waitpid [] pid in
+      let r =
+        try
+          let ic = open_in_bin tmp in
+          let r : run_result = Marshal.from_channel ic in
+          close_in ic;
+          r
+        with _ -> stub "lost" "run subprocess died without reporting"
+      in
+      (try Sys.remove tmp with Sys_error _ -> ());
+      match r.outcome with
+      | "lost" ->
+          print_result ~verbose:cfg.verbose r;
+          r
+      | _ -> r)
+
+(* {1 Conviction controls}
+
+   The integrity layer must convict known-bad mappings, or the clean
+   soak above proves nothing.  Three corruptions — a flipped payload
+   word, a torn trailer, a stale superblock — plus the clean mapping
+   that must NOT be convicted. *)
+
+let with_control_mapping cfg name f =
+  let path =
+    Filename.concat cfg.dir
+      (Printf.sprintf "arc-crash-ctl-%d-%s.shm" (Unix.getpid ()) name)
+  in
+  let m = Shm_mem.create ~path ~words:(1 lsl 14) in
+  let init = Array.make 8 0 in
+  P0.stamp init ~seq:0 ~len:8;
+  let inst = Shm_arc.create m ~readers:2 ~capacity:8 ~init in
+  let module I = (val inst : Shm_arc.INSTANCE) in
+  let src = Array.make 8 0 in
+  for k = 1 to 5 do
+    P0.stamp src ~seq:k ~len:8;
+    I.R.write I.reg ~src ~len:8
+  done;
+  let verdict = f m in
+  Shm_mem.close m;
+  Sys.remove path;
+  verdict
+
+let newest_buffer m =
+  let best = ref None in
+  Shm_mem.iter_buffers m (fun (info : Shm_mem.buffer_info) ->
+      match !best with
+      | Some (b : Shm_mem.buffer_info) when b.end_seq >= info.end_seq -> ()
+      | _ -> if info.end_seq > 0 then best := Some info);
+  match !best with Some b -> b | None -> failwith "control: nothing published"
+
+let conviction_controls cfg =
+  let check name expect verdict =
+    let ok = expect verdict in
+    Printf.printf "conviction-control %s %s\n" name
+      (match (ok, verdict) with
+      | true, Ok (r : Shm_mem.recovery) when r.convicted = [] ->
+          Printf.sprintf "INTACT (expected): %d intact, 0 convictions" r.intact
+      | true, Ok r -> Printf.sprintf "CONVICTED (expected): %s" (pp_convicted r.convicted)
+      | true, Error msg -> Printf.sprintf "CONVICTED (expected): %s" msg
+      | false, Ok r ->
+          Printf.sprintf "UNCONVICTED — integrity layer is vacuous (%s)"
+            (pp_convicted r.convicted)
+      | false, Error msg -> Printf.sprintf "unexpected whole-mapping conviction: %s" msg);
+    ok
+  in
+  let flipped =
+    with_control_mapping cfg "flip" (fun m ->
+        let b = newest_buffer m in
+        let at = b.base + Layout.buf_header + 1 in
+        Shm_mem.unsafe_set m at (Shm_mem.unsafe_get m at lxor 1);
+        Shm_mem.recover m)
+    |> check "flipped-payload" (function
+         | Ok (r : Shm_mem.recovery) ->
+             List.exists
+               (fun (c : Shm_mem.conviction) -> c.why = Shm_mem.Checksum)
+               r.convicted
+         | Error _ -> false)
+  in
+  let torn =
+    with_control_mapping cfg "torn" (fun m ->
+        let b = newest_buffer m in
+        Shm_mem.unsafe_set m (b.base + Layout.buf_end) 0;
+        Shm_mem.recover m)
+    |> check "torn-trailer" (function
+         | Ok (r : Shm_mem.recovery) ->
+             List.exists
+               (fun (c : Shm_mem.conviction) -> c.why = Shm_mem.Torn)
+               r.convicted
+         | Error _ -> false)
+  in
+  let stale =
+    with_control_mapping cfg "stale" (fun m ->
+        Shm_mem.unsafe_set m Layout.sb_epoch 0;
+        Shm_mem.recover m)
+    |> check "stale-superblock" (function Error _ -> true | Ok _ -> false)
+  in
+  let clean =
+    with_control_mapping cfg "clean" Shm_mem.recover
+    |> check "clean-mapping" (function
+         | Ok (r : Shm_mem.recovery) -> r.convicted = [] && r.intact > 0
+         | Error _ -> false)
+  in
+  flipped && torn && stale && clean
+
+(* {1 Campaign driver} *)
+
+let run_campaign cfg fail_log skip_controls =
+  let failing = ref [] in
+  let outcomes = Hashtbl.create 8 in
+  let convictions = ref 0 and journaled = ref 0 and pendings = ref 0 in
+  for run = 1 to cfg.runs do
+    let seed = derive_seed cfg run in
+    let r = run_one_isolated cfg ~seed in
+    Hashtbl.replace outcomes r.outcome
+      (1 + Option.value ~default:0 (Hashtbl.find_opt outcomes r.outcome));
+    convictions := !convictions + List.length r.convicted;
+    journaled := !journaled + r.journaled;
+    if r.pending <> No_pending then incr pendings;
+    if r.violations <> [] then failing := seed :: !failing
+  done;
+  let total_failing = List.length !failing in
+  Printf.printf
+    "arc-crash: %d runs, %d failing; pending-at-kill %d, slots convicted %d, \
+     journal quarantines %d; outcomes: %s\n"
+    cfg.runs total_failing !pendings !convictions !journaled
+    (String.concat ", "
+       (Hashtbl.fold
+          (fun k v acc -> Printf.sprintf "%s=%d" k v :: acc)
+          outcomes []));
+  List.iter
+    (fun seed ->
+      Printf.printf "violation [seed %d]\n  replay: %s\n" seed
+        (replay_command cfg seed))
+    (List.rev !failing);
+  (match fail_log with
+  | Some path when !failing <> [] ->
+      let oc = open_out path in
+      List.iter
+        (fun seed ->
+          output_string oc (replay_command cfg seed);
+          output_char oc '\n')
+        (List.sort_uniq compare !failing);
+      close_out oc;
+      Printf.printf "replay commands written to %s\n" path
+  | _ -> ());
+  let controls_ok = skip_controls || conviction_controls cfg in
+  if total_failing > 0 then exit 1;
+  if not controls_ok then exit 2
+
+let run runs seed readers capacity writes successor_writes dir replay_seed
+    verbose fail_log skip_controls =
+  let dir = match dir with Some d -> d | None -> Filename.get_temp_dir_name () in
+  let cfg =
+    {
+      runs;
+      seed;
+      readers;
+      capacity;
+      writes_max = writes;
+      successor_writes;
+      dir;
+      verbose;
+    }
+  in
+  match replay_seed with
+  | Some s ->
+      Printf.printf "replaying seed %d\n" s;
+      let r = run_one cfg ~seed:s in
+      print_result ~verbose:true r;
+      if r.violations <> [] then exit 1
+  | None -> run_campaign cfg fail_log skip_controls
+
+let cmd =
+  let runs =
+    Arg.(value & opt int 20 & info [ "runs" ] ~docv:"N" ~doc:"Kill-9 runs.")
+  in
+  let seed =
+    Arg.(value & opt int 2049 & info [ "seed" ] ~docv:"N" ~doc:"Base seed.")
+  in
+  let readers =
+    Arg.(
+      value & opt int 3
+      & info [ "readers" ] ~docv:"N" ~doc:"Reader domains in the parent.")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 32 & info [ "capacity" ] ~docv:"WORDS" ~doc:"Snapshot words.")
+  in
+  let writes =
+    Arg.(
+      value & opt int 30_000
+      & info [ "writes" ] ~docv:"N" ~doc:"Child writes before it stops on its own.")
+  in
+  let successor_writes =
+    Arg.(
+      value & opt int 100
+      & info [ "successor-writes" ] ~docv:"N"
+          ~doc:"Writes by the recovered parent writer after failover.")
+  in
+  let dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Directory for mapping files (default: system temp dir).")
+  in
+  let replay_seed =
+    Arg.(
+      value & opt (some int) None
+      & info [ "replay-seed" ] ~docv:"SEED"
+          ~doc:"Replay one derived seed (as printed by a failing campaign) and \
+                exit.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-run lines.") in
+  let fail_log =
+    Arg.(
+      value & opt (some string) None
+      & info [ "fail-log" ] ~docv:"PATH"
+          ~doc:"Write failing-seed replay commands to this file (CI artifact).")
+  in
+  let skip_controls =
+    Arg.(
+      value & flag
+      & info [ "skip-controls" ] ~doc:"Skip the corruption negative controls.")
+  in
+  Cmd.v
+    (Cmd.info "arc-crash"
+       ~doc:
+         "Kill-9 the writer of a shared-memory ARC register at random points; \
+          verify that recovery convicts exactly the torn state and that the \
+          surviving cross-process history stays atomic.")
+    Term.(
+      const run $ runs $ seed $ readers $ capacity $ writes $ successor_writes
+      $ dir $ replay_seed $ verbose $ fail_log $ skip_controls)
+
+let () = exit (Cmd.eval cmd)

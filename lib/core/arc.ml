@@ -1,5 +1,32 @@
 let algorithm = "arc"
 
+(* Named result signature of [Make] (the .mli documents it): lets
+   consumers of a register built over a runtime-chosen substrate — a
+   first-class [Mem_intf.S] over an mmap'd file — package the functor
+   result as [(module Arc.S with ...)]. *)
+module type S = sig
+  include Register_intf.ZERO_COPY
+
+  val create_with : use_hint:bool -> readers:int -> capacity:int -> init:int array -> t
+  val write_guarded : t -> guard:(unit -> unit) -> src:int array -> len:int -> unit
+  val recover_crash : t -> int
+  val quarantine : t -> int -> unit
+  val write_probes : t -> int
+  val writes : t -> int
+
+  module Debug : sig
+    val slots : t -> int
+    val current : t -> int
+    val r_start : t -> int -> int
+    val r_end : t -> int -> int
+    val slot_size : t -> int -> int
+    val presence_slack : t -> int
+    val presence_bound_holds : t -> bool
+    val free_slot_exists : t -> bool
+    val force_current : t -> int -> unit
+  end
+end
+
 module Packed = Arc_util.Packed
 
 module Make (M : Arc_mem.Mem_intf.S) = struct
@@ -251,6 +278,19 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       end
     end
     else 0
+
+  (* External-evidence quarantine (Register_intf.FENCEABLE): retire a
+     slot convicted by an integrity layer below the register — e.g. a
+     checksum scan of a crash-recovered shared-memory mapping finding
+     the torn content copy of a SIGKILLed writer.  Same writer-private
+     list as [recover_crash], so [slot_free] excludes it from reuse. *)
+  let quarantine reg j =
+    if j < 0 || j >= Array.length reg.slots then
+      invalid_arg
+        (Printf.sprintf "Arc.quarantine: slot %d out of range [0, %d)" j
+           (Array.length reg.slots));
+    if not (List.memq j reg.quarantined) then
+      reg.quarantined <- j :: reg.quarantined
 
   let write reg ~src ~len = write_guarded reg ~guard:ignore ~src ~len
   let write_probes reg = reg.probes

@@ -29,8 +29,14 @@
 
 val algorithm : string
 
-module Make (M : Arc_mem.Mem_intf.S) : sig
-  include Register_intf.ZERO_COPY with module Mem = M
+(** The full ARC register module — {!Register_intf.ZERO_COPY} and
+    {!Register_intf.FENCEABLE} plus the white-box surface.  Named so
+    that consumers holding a register built over a {e runtime}-chosen
+    substrate (e.g. a first-class [Mem_intf.S] over an mmap'd file,
+    {!Arc_shm.Shm_mem.mem}) can still package the functor result:
+    [(module Arc.S with type Mem.atomic = ...)]. *)
+module type S = sig
+  include Register_intf.ZERO_COPY
   (** [read_view] is the pinned zero-copy read: the view stays stable
       until this same reader's {e next} read (the slot cannot be
       recycled while this reader's presence is accounted on it). *)
@@ -62,6 +68,14 @@ module Make (M : Arc_mem.Mem_intf.S) : sig
       identities (each unused identity is a net spare slot, keeping
       Lemma 4.1 strict).  Writer-role only, to be called once when
       taking over the role. *)
+
+  val quarantine : t -> int -> unit
+  (** {!Register_intf.FENCEABLE}: retire a slot convicted by evidence
+      {e outside} the register's own journal — an integrity layer
+      (checksum scan of a crash-recovered mapping) finding a torn
+      content copy.  Idempotent; writer-role only; same bounded-leak
+      accounting as {!recover_crash}.
+      @raise Invalid_argument if the slot index is out of range. *)
 
   val write_probes : t -> int
   (** Total slots examined by all {!write} free-slot searches so far
@@ -110,3 +124,5 @@ module Make (M : Arc_mem.Mem_intf.S) : sig
         {!Register_intf.Saturated} guard. *)
   end
 end
+
+module Make (M : Arc_mem.Mem_intf.S) : S with module Mem = M

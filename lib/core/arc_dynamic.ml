@@ -328,6 +328,15 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     end
     else 0
 
+  (* External-evidence quarantine — see Arc.quarantine. *)
+  let quarantine reg j =
+    if j < 0 || j >= Array.length reg.slots then
+      invalid_arg
+        (Printf.sprintf "Arc_dynamic.quarantine: slot %d out of range [0, %d)" j
+           (Array.length reg.slots));
+    if not (List.memq j reg.quarantined) then
+      reg.quarantined <- j :: reg.quarantined
+
   let footprint_words reg =
     Array.fold_left (fun acc s -> acc + M.capacity s.content) 0 reg.slots
 

@@ -55,6 +55,12 @@ module Make (M : Arc_mem.Mem_intf.S) : sig
       failover — quarantine the slot whose supersede-freeze the
       crashed predecessor left in flight.  See {!Arc.Make}. *)
 
+  val quarantine : t -> int -> unit
+  (** {!Register_intf.FENCEABLE}: retire a slot convicted by evidence
+      outside the register's own journal (e.g. an integrity layer's
+      checksum scan).  Idempotent; writer-role only.  See
+      {!Arc.Make}. *)
+
   val footprint_words : t -> int
   (** Total words currently allocated across all slot buffers. *)
 

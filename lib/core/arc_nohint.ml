@@ -17,6 +17,7 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   let write = Inner.write
   let write_guarded = Inner.write_guarded
   let recover_crash = Inner.recover_crash
+  let quarantine = Inner.quarantine
   let read_with = Inner.read_with
   let read_view = Inner.read_view
   let read_into = Inner.read_into

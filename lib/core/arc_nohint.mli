@@ -12,6 +12,7 @@ module Make (M : Arc_mem.Mem_intf.S) : sig
   (** {!Register_intf.FENCEABLE}: see {!Arc.Make}. *)
 
   val recover_crash : t -> int
+  val quarantine : t -> int -> unit
   (** {!Register_intf.FENCEABLE}: see {!Arc.Make}. *)
 
   val write_probes : t -> int

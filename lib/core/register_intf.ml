@@ -158,6 +158,18 @@ module type FENCEABLE = sig
       over-provisioned slots) and returns the number of slots
       quarantined by this call (0 when the journal is clean, i.e. the
       predecessor died between writes). *)
+
+  val quarantine : t -> int -> unit
+  (** [quarantine t slot] permanently retires [slot] from the free-slot
+      search, exactly as {!recover_crash} does for the journaled slot.
+      The external-evidence companion of [recover_crash]: an integrity
+      layer below the register (e.g. [Arc_shm.Shm_mem.recover]'s
+      checksum scan of a crash-recovered mapping) can convict slots the
+      in-register journal knows nothing about — a torn content copy
+      left by a writer the OS killed mid-[write_words] — and hands the
+      conviction up through this hook.  Writer-role only; idempotent;
+      the same bounded-leak accounting as [recover_crash] applies
+      (provision one spare reader identity per tolerated crash). *)
 end
 
 (** A register algorithm packaged as a functor over the memory

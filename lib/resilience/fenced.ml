@@ -56,6 +56,17 @@ module Make (R : Arc_core.Register_intf.FENCEABLE) = struct
       fenced_writes = 0;
     }
 
+  (* Wrap an existing register, with the epoch cell supplied by the
+     caller instead of freshly allocated.  This is how the fence
+     survives a real process crash: a shared-memory harness backs
+     [epoch] with the mapping's superblock epoch word
+     ({!Arc_shm.Shm_mem.epoch_cell}), so handles issued before a
+     SIGKILL are already fenced when the survivor re-issues —
+     [Shm_mem.recover] bumps the same cell.  The caller owns epoch
+     semantics: issue after any out-of-band bump, never reuse the cell
+     across registers.  [fenced_writes] is process-local either way. *)
+  let of_register reg ~epoch = { reg; epoch; fenced_writes = 0 }
+
   let inner t = t.reg
   let reader t i = R.reader t.reg i
   let epoch t = M.load t.epoch

@@ -1,0 +1,47 @@
+(* ARC over a shared-memory mapping: packaging and the recovery
+   bundle.  See shm_arc.mli. *)
+
+module type INSTANCE = sig
+  module M : Arc_mem.Mem_intf.S with type atomic = int
+  module R : Arc_core.Arc.S with module Mem = M
+
+  val mapping : Shm_mem.mapping
+  val reg : R.t
+end
+
+type instance = (module INSTANCE)
+
+let create ?(use_hint = true) m ~readers ~capacity ~init =
+  (match Shm_mem.geometry m with
+  | Some _ ->
+      invalid_arg
+        "Shm_arc.create: mapping already holds a register (attach-and-\
+         recreate is not supported; fork instead)"
+  | None -> ());
+  let module M = (val Shm_mem.mem m) in
+  let module R = Arc_core.Arc.Make (M) in
+  let reg = R.create_with ~use_hint ~readers ~capacity ~init in
+  Shm_mem.set_geometry m ~readers ~capacity;
+  (module struct
+    module M = M
+    module R = R
+
+    let mapping = m
+    let reg = reg
+  end : INSTANCE)
+
+let recover (module I : INSTANCE) =
+  match Shm_mem.recover I.mapping with
+  | Error _ as e -> e
+  | Ok rcv ->
+      (* Buffer ordinal = slot index: Arc.create allocates slot
+         contents in slot order and is the mapping's only buffer
+         allocator ([create] above refuses mappings with prior
+         geometry). *)
+      let nslots = I.R.Debug.slots I.reg in
+      List.iter
+        (fun (c : Shm_mem.conviction) ->
+          if c.ordinal < nslots then I.R.quarantine I.reg c.ordinal)
+        rcv.convicted;
+      let journaled = I.R.recover_crash I.reg in
+      Ok (rcv, journaled)

@@ -1,0 +1,219 @@
+(** A file-backed shared-memory instance of {!Arc_mem.Mem_intf.S},
+    with the durability layer that makes a register mapping survive
+    real process crashes (DESIGN.md §6d).
+
+    {1 Model}
+
+    A {e mapping} is an mmap'd ([MAP_SHARED]) file of machine words:
+    a superblock, then an arena of self-describing records —
+    synchronization cells, multi-word buffers, raw harness regions
+    (see {!Shm_layout}).  {!mem} packages a mapping as a first-class
+    [Mem_intf.S], so ARC and every baseline run over it {e unchanged};
+    with the register's words living in a shared file instead of the
+    OCaml heap, writer and readers can be different OS processes.
+
+    Synchronization words are accessed through C stubs applying
+    hardware [__atomic] builtins to the mapping (OCaml's [Atomic] only
+    covers heap cells): RMWs are seq-cst — they are the paper's
+    synchronization instructions and their cost is the thing being
+    measured — and plain cell load/store are acquire/release, which on
+    x86-TSO compile to bare MOVs, preserving the paper's §3.3 cost
+    model.
+
+    {1 Sharing discipline}
+
+    Allocation (including register creation) is {b creator-only}: the
+    bump allocator uses plain stores, so build the full register
+    before sharing the mapping.  The supported execution pattern is
+    {e create → fork}: child and parent inherit heap handles ([Arc.t],
+    readers) that point into the same file.  A {e fresh} process may
+    {!attach} a mapping for recovery and inspection ({!recover},
+    {!read_latest}, {!iter_buffers}) but must not rebuild a live
+    register over it — [create] would reallocate, and writer-private
+    heap state ([last_slot], quarantine list) does not survive in the
+    file by design; the supervision story for live handles is fork
+    inheritance plus {!recover}.
+
+    {1 Durability protocol}
+
+    Every multi-word buffer store ([write_words]) is bracketed by a
+    global publish sequence stamped into the buffer's trailer —
+    [begin_seq] before the payload copy, [end_seq] after — together
+    with the current writer epoch and a checksum over (len, epoch,
+    seq, payload).  A SIGKILL loses no {e executed} stores (the pages
+    stay in the kernel page cache); it only stops the program between
+    two instructions.  So a crash mid-copy leaves
+    [begin_seq <> end_seq] (torn), and damage to a completed slot
+    breaks its checksum — both convictable by {!recover} from the
+    bytes alone, with no cooperation from the dead process.  This is
+    process-crash durability, not power-failure durability: nothing
+    here calls [msync], because the crash model is kill-9, not losing
+    the page cache. *)
+
+(** {1 Mappings} *)
+
+type mapping
+
+val create : path:string -> words:int -> mapping
+(** [create ~path ~words] creates (truncating any existing file) and
+    maps a fresh [words]-word mapping.  The magic word is written
+    last, so a creator crash leaves a file {!attach} rejects.
+    @raise Invalid_argument if [words] cannot hold a superblock.
+    @raise Unix.Unix_error on filesystem failure. *)
+
+val attach : path:string -> mapping
+(** Map an existing register file, validating magic, layout version,
+    recorded size and allocation cursor.
+    @raise Failure with a diagnostic if the file is not a healthy
+    register mapping (wrong magic, version skew, size mismatch).
+    @raise Unix.Unix_error on filesystem failure. *)
+
+val close : mapping -> unit
+(** Close the backing descriptor.  The mapping itself lives until the
+    GC finalizes the bigarray; do not use [m] after [close]. *)
+
+val path : mapping -> string
+val size_words : mapping -> int
+
+(** {1 The memory substrate} *)
+
+val mem : mapping -> (module Arc_mem.Mem_intf.S with type atomic = int)
+(** The mapping as a register memory substrate ([name = "shm"]).
+    Exposing [atomic = int] (a word index into the mapping) lets
+    harness code hand superblock cells — e.g. {!epoch_cell} — to
+    consumers of [M.atomic], such as an epoch-fenced writer wrapper
+    whose fence must survive the writer's death.
+
+    [alloc]/[atomic*] are creator-only (see the sharing discipline
+    above); all other operations are cross-process safe.  [blit] does
+    not publish a trailer (copy-based baselines only; the register
+    write path never blits). *)
+
+(** {1 Superblock} *)
+
+val tick : mapping -> int
+(** Fetch-and-add on the shared logical clock: a fresh timestamp
+    totally ordered across {e all} processes of the mapping.  History
+    events recorded against a shared clock are what make
+    cross-process operation intervals comparable to the atomicity
+    checker. *)
+
+val clock : mapping -> int
+(** Current clock value (next [tick] will return at least this). *)
+
+val epoch : mapping -> int
+(** Current writer epoch (starts at 1; bumped by every {!recover}). *)
+
+val epoch_cell : mapping -> int
+(** The superblock epoch word as an [M.atomic] of {!mem}'s instance —
+    back an epoch fence with this cell and the fence survives any
+    process's death. *)
+
+val fence_at : mapping -> int
+(** Shared-clock stamp of the most recent {!recover}; 0 if none.  The
+    crash-aware checker's [?fence] for the crashed writer's pending
+    write. *)
+
+val publish_seq : mapping -> int
+(** Number of buffer publishes performed on this mapping so far. *)
+
+val set_geometry : mapping -> readers:int -> capacity:int -> unit
+(** Record register geometry so a fresh process can interpret the
+    mapping (buffer ordinal [i] = register slot [i]).  Creator-only. *)
+
+val geometry : mapping -> (int * int * int) option
+(** [(readers, capacity, nslots)] as recorded, or [None]. *)
+
+val set_harness_region : mapping -> int -> unit
+(** Record the base index of the harness raw region (e.g. a crash
+    write-log) in the superblock, so the recovering side can find it. *)
+
+val harness_region : mapping -> int
+(** Recorded harness region base, 0 if none. *)
+
+(** {1 Raw words}
+
+    Escape hatches below the substrate abstraction: harness write-logs
+    shared between processes ([atomic_*]) and deliberate corruption in
+    negative-control tests ([unsafe_*] perform plain, unordered
+    accesses). *)
+
+val alloc_raw : mapping -> int -> int
+(** Allocate an [n]-word raw region (skipped by the integrity scan),
+    returning the index of its first word.  Creator-only. *)
+
+val atomic_get : mapping -> int -> int
+val atomic_set : mapping -> int -> int -> unit
+val atomic_add : mapping -> int -> int -> int
+
+val unsafe_get : mapping -> int -> int
+val unsafe_set : mapping -> int -> int -> unit
+
+(** {1 Buffer inspection} *)
+
+type buffer_info = {
+  ordinal : int;  (** allocation order; = register slot for ARC mappings *)
+  base : int;  (** record base word index *)
+  cap : int;
+  state : int;  (** {!Shm_layout.state_live} or [state_quarantined] *)
+  len : int;
+  bepoch : int;  (** writer epoch stamped at publish *)
+  begin_seq : int;
+  end_seq : int;
+  cksum : int;
+}
+
+val iter_buffers : mapping -> (buffer_info -> unit) -> unit
+(** Walk every buffer record in allocation order.
+    @raise Failure if the record arena is structurally damaged. *)
+
+(** {1 Recovery} *)
+
+type reason =
+  | Torn  (** [begin_seq <> end_seq]: the writer died mid-copy *)
+  | Checksum  (** trailer complete but contents do not verify *)
+  | Bad_length  (** trailer length outside the buffer's capacity *)
+
+val reason_to_string : reason -> string
+
+type conviction = {
+  ordinal : int;  (** buffer ordinal = ARC slot index *)
+  at : int;  (** record base word index *)
+  seq : int;  (** publish sequence of the convicted write *)
+  why : reason;
+}
+
+type recovery = {
+  convicted : conviction list;  (** newly quarantined by this scan *)
+  intact : int;  (** buffers holding a verified published snapshot *)
+  unpublished : int;  (** buffers never written (empty trailer) *)
+  quarantined_before : int;  (** already quarantined by an earlier scan *)
+  new_epoch : int;  (** writer epoch after this recovery's bump *)
+  recovery_fence : int;  (** shared-clock stamp of this recovery *)
+  last_seq : int;  (** highest intact publish sequence, 0 if none *)
+}
+
+val recover : mapping -> (recovery, string) result
+(** Post-crash integrity scan: classify every buffer from its bytes
+    (see the durability protocol above), quarantine torn/corrupt ones
+    in the file ([state_quarantined], honoured by later scans and
+    {!read_latest}), then open a new writer epoch and stamp
+    {!fence_at} with a fresh clock tick.
+
+    Returns [Error] — {e convicting the whole mapping} — if the arena
+    is unwalkable, record counts disagree with the superblock, or any
+    trailer carries an epoch {b ahead} of the superblock (a stale
+    superblock: this file is an older copy of a mapping that lived
+    on, so none of its free-slot or fence state can be trusted).
+
+    The caller owning a live register handle must mirror the slot
+    convictions into it ([quarantine]) and run the register's own
+    [recover_crash]; {!Shm_arc.recover} bundles all three steps. *)
+
+val read_latest : mapping -> (int * int array) option
+(** The most recent verified snapshot: scans live, intact buffers and
+    returns [(publish_seq, payload)] for the highest [end_seq], or
+    [None] if nothing verified was ever published.  Works on a freshly
+    attached mapping with no register handle — the crash harness's
+    view of what survived.
+    @raise Failure if the record arena is structurally damaged. *)

@@ -72,10 +72,17 @@ val check_crash :
   ?fence:int ->
   History.t ->
   (report * crash_outcome, violation) result
-(** [check_crash ~pending_write:(seq, invoked) h] — [seq] must be the
-    successor of the last recorded write's sequence number and
-    [invoked] its invocation time.  Without [pending_write] this is
-    {!check}.
+(** [check_crash ~pending_write:(seq, invoked) h] — [seq] is the
+    crashed writer's unreturned sequence number and [invoked] its
+    invocation time.  The recorded writes may stop at [seq - 1], or —
+    when a promoted successor continued the history — run past it
+    with exactly [seq] missing: the took-effect candidate fills that
+    single gap, so a post-crash history where the successor took over
+    at [seq + 1] is judged against both completions like any other.
+    (A successor that instead {e reused} [seq] because it observed the
+    pending write never published needs no [pending_write] at all —
+    the recorded writes are already contiguous.)  Without
+    [pending_write] this is {!check}.
 
     [?fence] (ISSUE 3) tightens the took-effect completion for
     epoch-fenced failover: the pending write can only have been

@@ -40,6 +40,21 @@ val writes : t -> event list
 
 val size : t -> int
 
+val dump : ?meta:(string * int) list -> t -> string -> unit
+(** Write the history to a line-oriented text file, prefixed by
+    [meta] key/value context lines — crash harnesses persist the
+    recovery fence and the pending write here, so a history can be
+    re-judged by a process that saw none of the run ([arc-check
+    --history]).
+    @raise Invalid_argument on a meta key containing whitespace.
+    @raise Sys_error on filesystem failure. *)
+
+val load : string -> t * (string * int) list
+(** Read back a {!dump}ed history and its meta entries (in file
+    order).
+    @raise Failure with file/line diagnostics on malformed input.
+    @raise Sys_error on filesystem failure. *)
+
 (** Mutable per-thread recorder with preallocated storage, so
     recording perturbs measured runs as little as possible.  Each
     thread must only append to its own index; merging happens after

@@ -76,4 +76,5 @@ let () =
       ("fault", Test_fault.suite);
       ("resilience", Test_resilience.suite);
       ("mrmw", Test_mrmw.suite);
+      ("shm", Test_shm.suite);
     ]

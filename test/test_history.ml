@@ -72,9 +72,48 @@ let prop_of_events_preserves =
       in
       History.size (History.of_events evs) = List.length evs)
 
+(* dump/load: the persisted form must reproduce events and meta
+   exactly — the crash harness's offline re-judgement depends on it. *)
+let test_dump_load_roundtrip () =
+  let evs =
+    [
+      ev History.Write ~thread:0 ~seq:1 ~i:10 ~r:20;
+      ev History.Write ~thread:0 ~seq:2 ~i:30 ~r:40;
+      ev History.Read ~thread:1 ~seq:1 ~i:15 ~r:25;
+      ev History.Read ~thread:2 ~seq:2 ~i:35 ~r:45;
+    ]
+  in
+  let meta = [ ("fence", 99); ("pending_seq", 3); ("pending_invoked", 50) ] in
+  let path = Filename.temp_file "arc_history_test" ".history" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      History.dump ~meta (History.of_events evs) path;
+      let h, meta' = History.load path in
+      Alcotest.(check (list (pair string int))) "meta round-trips" meta meta';
+      Alcotest.(check int) "all events survive" (List.length evs) (History.size h);
+      Alcotest.(check bool) "events round-trip exactly" true
+        (History.events (History.of_events evs) = History.events h))
+
+let test_load_rejects_garbage () =
+  let path = Filename.temp_file "arc_history_test" ".history" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "not a history\n";
+      close_out oc;
+      Alcotest.check_raises "bad header is refused"
+        (Failure
+           (Printf.sprintf "History.load: %s:1: bad header %S" path
+              "not a history"))
+        (fun () -> ignore (History.load path)))
+
 let suite =
   [
     Alcotest.test_case "event validation" `Quick test_event_validation;
+    Alcotest.test_case "dump/load roundtrip" `Quick test_dump_load_roundtrip;
+    Alcotest.test_case "load rejects garbage" `Quick test_load_rejects_garbage;
     Alcotest.test_case "sorting" `Quick test_sorting;
     Alcotest.test_case "recorder roundtrip" `Quick test_recorder_roundtrip;
     Alcotest.test_case "recorder capacity" `Quick test_recorder_capacity;

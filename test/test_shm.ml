@@ -1,0 +1,240 @@
+(* The file-backed shared-memory substrate and its durability layer
+   (lib/shm, DESIGN.md §6d).
+
+   The negative controls here mirror the arc-crash harness's built-in
+   conviction controls: each plants one precise kind of damage in an
+   otherwise healthy mapping and demands that {!Shm_mem.recover}
+   convicts it — and, symmetrically, that a clean mapping is NOT
+   convicted.  A recovery scan that never convicts is vacuous; one
+   that convicts healthy slots burns the spare-identity budget.  Both
+   failure modes are silent in the happy-path tests, so they get
+   explicit controls.
+
+   Cross-process behaviour proper (fork + SIGKILL) lives in the
+   arc-crash binary — OCaml 5 forbids [Unix.fork] once any domain has
+   ever been spawned in the process, and the alcotest binary spawns
+   domains freely.  What this suite can and does cover in-process is
+   cross-{e mapping} durability: two independent mmap views of the
+   same file, writes through one visible and verifiable through the
+   other, which is the same page-cache path a second process reads. *)
+
+module L = Arc_shm.Shm_layout
+module S = Arc_shm.Shm_mem
+module Payload = Arc_workload.Payload.Make (Arc_mem.Real_mem)
+
+let with_mapping ?(words = 1 lsl 14) f =
+  let path = Filename.temp_file "arc_shm_test" ".reg" in
+  let m = S.create ~path ~words in
+  Fun.protect
+    ~finally:(fun () ->
+      S.close m;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path m)
+
+(* A small published register: 2 readers, 8-word payloads, five writes
+   beyond the init.  Returns whatever [f] makes of the mapping. *)
+let with_register f =
+  with_mapping (fun path m ->
+      let init = Array.make 8 0 in
+      Payload.stamp init ~seq:0 ~len:8;
+      let inst = Arc_shm.Shm_arc.create m ~readers:2 ~capacity:8 ~init in
+      let module I = (val inst : Arc_shm.Shm_arc.INSTANCE) in
+      let src = Array.make 8 0 in
+      for k = 1 to 5 do
+        Payload.stamp src ~seq:k ~len:8;
+        I.R.write I.reg ~src ~len:8
+      done;
+      f path m inst)
+
+let newest_buffer m =
+  let best = ref None in
+  S.iter_buffers m (fun (info : S.buffer_info) ->
+      match !best with
+      | Some (b : S.buffer_info) when b.end_seq >= info.end_seq -> ()
+      | _ -> if info.end_seq > 0 then best := Some info);
+  match !best with
+  | Some b -> b
+  | None -> Alcotest.fail "nothing published in control mapping"
+
+(* {1 Mapping lifecycle} *)
+
+let test_create_attach () =
+  with_mapping (fun path m ->
+      S.set_geometry m ~readers:3 ~capacity:16;
+      Alcotest.(check (option (triple int int int)))
+        "geometry survives the file round-trip"
+        (Some (3, 16, 3 + 2))
+        (let m' = S.attach ~path in
+         let g = S.geometry m' in
+         S.close m';
+         g);
+      Alcotest.(check bool) "clock ticks are strictly increasing" true
+        (let a = S.tick m and b = S.tick m in
+         a < b && b < S.clock m + 1);
+      Alcotest.(check int) "fresh mapping starts at epoch 1" 1 (S.epoch m);
+      Alcotest.(check int) "never recovered: fence_at = 0" 0 (S.fence_at m))
+
+let test_attach_rejects_garbage () =
+  let path = Filename.temp_file "arc_shm_test" ".reg" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc (String.make 4096 '\xAB');
+      close_out oc;
+      Alcotest.check_raises "wrong magic is refused"
+        (Failure
+           (Printf.sprintf
+              "Shm_mem.attach: %s: bad magic (not a register mapping, or \
+               creation crashed)"
+              path))
+        (fun () -> ignore (S.attach ~path)))
+
+(* {1 Cross-mapping durability}
+
+   Publish through the creator's mapping; verify through a second,
+   independent mmap of the same file — the in-process stand-in for a
+   second OS process. *)
+
+let test_cross_mapping_read_latest () =
+  with_register (fun path _m _inst ->
+      let m' = S.attach ~path in
+      Fun.protect
+        ~finally:(fun () -> S.close m')
+        (fun () ->
+          match S.read_latest m' with
+          | None -> Alcotest.fail "published register reads back empty"
+          | Some (_seq, payload) ->
+              (match Payload.validate_words payload ~len:(Array.length payload) with
+              | Ok seq ->
+                  Alcotest.(check int)
+                    "latest snapshot through the second mapping is write 5" 5 seq
+              | Error e -> Alcotest.fail ("snapshot failed validation: " ^ e))))
+
+(* {1 Conviction controls} *)
+
+let recovery_exn = function
+  | Ok (r : S.recovery) -> r
+  | Error msg -> Alcotest.fail ("unexpected whole-mapping conviction: " ^ msg)
+
+let test_convicts_flipped_payload () =
+  with_register (fun _path m _inst ->
+      let b = newest_buffer m in
+      let at = b.base + L.buf_header + 1 in
+      S.unsafe_set m at (S.unsafe_get m at lxor 1);
+      let r = recovery_exn (S.recover m) in
+      Alcotest.(check bool) "flipped payload byte is convicted as Checksum" true
+        (List.exists
+           (fun (c : S.conviction) ->
+             c.why = S.Checksum && c.ordinal = b.ordinal)
+           r.convicted);
+      (* The damaged slot must never be returned again. *)
+      match S.read_latest m with
+      | None -> Alcotest.fail "conviction wiped out the intact snapshots too"
+      | Some (seq, _) ->
+          Alcotest.(check bool) "read_latest skips the convicted slot" true
+            (seq <> b.end_seq))
+
+let test_convicts_torn_trailer () =
+  with_register (fun _path m _inst ->
+      let b = newest_buffer m in
+      S.unsafe_set m (b.base + L.buf_end) 0;
+      let r = recovery_exn (S.recover m) in
+      Alcotest.(check bool) "begin/end mismatch is convicted as Torn" true
+        (List.exists
+           (fun (c : S.conviction) -> c.why = S.Torn && c.ordinal = b.ordinal)
+           r.convicted);
+      Alcotest.(check bool) "epoch opens past the damage" true
+        (r.new_epoch > b.bepoch))
+
+let test_convicts_stale_superblock () =
+  with_register (fun _path m _inst ->
+      S.unsafe_set m L.sb_epoch 0;
+      match S.recover m with
+      | Error msg ->
+          Alcotest.(check bool)
+            "whole-mapping conviction names the stale superblock" true
+            (let needle = "stale superblock" in
+             let n = String.length needle in
+             String.length msg >= n && String.sub msg 0 n = needle)
+      | Ok _ ->
+          Alcotest.fail
+            "trailer epoch ahead of the superblock must convict the mapping")
+
+let test_clean_mapping_not_convicted () =
+  with_register (fun _path m _inst ->
+      let r = recovery_exn (S.recover m) in
+      Alcotest.(check (list int)) "no healthy slot is convicted" []
+        (List.map (fun (c : S.conviction) -> c.ordinal) r.convicted);
+      Alcotest.(check bool) "scan sees the published snapshots" true
+        (r.intact > 0);
+      Alcotest.(check int) "recovery stamps the shared fence"
+        (S.fence_at m) r.recovery_fence)
+
+(* {1 Quarantine persistence}
+
+   A conviction is recorded in the file, not in the process: a later
+   scan — and a later process — must see the slot as already
+   quarantined, not re-convict it. *)
+
+let test_quarantine_persists () =
+  with_register (fun path m _inst ->
+      let b = newest_buffer m in
+      S.unsafe_set m (b.base + L.buf_end) 0;
+      let r1 = recovery_exn (S.recover m) in
+      Alcotest.(check int) "first scan convicts" 1 (List.length r1.convicted);
+      let m' = S.attach ~path in
+      Fun.protect
+        ~finally:(fun () -> S.close m')
+        (fun () ->
+          let r2 = recovery_exn (S.recover m') in
+          Alcotest.(check int) "second scan re-convicts nothing" 0
+            (List.length r2.convicted);
+          Alcotest.(check int) "second scan sees the prior quarantine" 1
+            r2.quarantined_before))
+
+(* {1 The bundled register recovery} *)
+
+let test_shm_arc_recover_clean () =
+  with_register (fun _path _m inst ->
+      match Arc_shm.Shm_arc.recover inst with
+      | Error msg -> Alcotest.fail ("clean recover failed: " ^ msg)
+      | Ok ((r : S.recovery), journaled) ->
+          Alcotest.(check int) "no slot convicted" 0 (List.length r.convicted);
+          Alcotest.(check int) "no prefreeze journal entry" 0 journaled;
+          (* The epoch bump fences any pre-recovery writer handle
+             backed by the superblock cell. *)
+          let module I = (val inst : Arc_shm.Shm_arc.INSTANCE) in
+          Alcotest.(check int) "epoch advanced in the file" r.new_epoch
+            (I.M.load (S.epoch_cell I.mapping)))
+
+let test_refuses_used_mapping () =
+  with_register (fun _path m _inst ->
+      Alcotest.check_raises "a second register in one mapping is refused"
+        (Invalid_argument
+           "Shm_arc.create: mapping already holds a register (attach-and-\
+            recreate is not supported; fork instead)")
+        (fun () ->
+          ignore (Arc_shm.Shm_arc.create m ~readers:2 ~capacity:8 ~init:[| 0 |])))
+
+let suite =
+  [
+    Alcotest.test_case "create/attach round-trip" `Quick test_create_attach;
+    Alcotest.test_case "attach rejects garbage" `Quick test_attach_rejects_garbage;
+    Alcotest.test_case "cross-mapping read_latest" `Quick
+      test_cross_mapping_read_latest;
+    Alcotest.test_case "control: flipped payload convicted" `Quick
+      test_convicts_flipped_payload;
+    Alcotest.test_case "control: torn trailer convicted" `Quick
+      test_convicts_torn_trailer;
+    Alcotest.test_case "control: stale superblock convicted" `Quick
+      test_convicts_stale_superblock;
+    Alcotest.test_case "control: clean mapping not convicted" `Quick
+      test_clean_mapping_not_convicted;
+    Alcotest.test_case "quarantine persists across attach" `Quick
+      test_quarantine_persists;
+    Alcotest.test_case "Shm_arc.recover on a clean instance" `Quick
+      test_shm_arc_recover_clean;
+    Alcotest.test_case "create refuses a used mapping" `Quick
+      test_refuses_used_mapping;
+  ]
