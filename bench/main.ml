@@ -282,15 +282,53 @@ let shm_tests =
       ])
     shm_sizes
 
+(* --- obs: telemetry overhead on the hot paths ------------------------ *)
+
+(* ISSUE 5's acceptance bar: attaching the wait-free telemetry layer
+   must cost the read fast path at most a few percent.  Same register
+   geometry with and without a telemetry handle; the delta is one
+   per-reader cell increment — a plain store into a cache-line-isolated
+   record, no RMW, no allocation. *)
+
+let obs_ops ~telemetry ~size =
+  let reg =
+    Arc_real.create ~readers:2 ~capacity:size ~init:(stamped ~seq:0 ~len:size)
+  in
+  if telemetry then
+    Arc_real.set_telemetry reg (Some (Arc_real.make_telemetry ~readers:2 ()));
+  let rd = Arc_real.reader reg 0 in
+  let src = stamped ~seq:1 ~len:size in
+  Arc_real.write reg ~src ~len:size;
+  ignore (Arc_real.read_with rd ~f:(fun _ _ -> ()));
+  let read_hit () = Arc_real.read_with rd ~f:(fun _ _ -> ()) in
+  let write () = Arc_real.write reg ~src ~len:size in
+  (read_hit, write)
+
+let obs_tests =
+  List.concat_map
+    (fun (label, telemetry) ->
+      let read_hit, write = obs_ops ~telemetry ~size:512 in
+      [
+        Test.make
+          ~name:(Printf.sprintf "obs/read-hit/%s/4KB" label)
+          (Staged.stage read_hit);
+        Test.make
+          ~name:(Printf.sprintf "obs/write/%s/4KB" label)
+          (Staged.stage write);
+      ])
+    [ ("telemetry-off", false); ("telemetry-on", true) ]
+
 (* --- machine-readable throughput snapshot (BENCH_arc.json) ----------- *)
 
 (* Hold-model throughput at the canonical contention point (32KB
    register, 8 threads) plus the 4KB point, per paper-set algorithm.
    Written as JSON so the perf trajectory is diffable across PRs:
    each record carries algorithm, size, threads and the mean of
-   [reps] runs.  `dune exec bench/main.exe -- --throughput-json
-   [PATH]` emits only this file; without the flag the bechamel run
-   comes first and the JSON is written alongside. *)
+   [reps] runs, and the top level embeds the telemetry-overhead
+   record the perf gate reads.  Emission is opt-in:
+   `dune exec bench/main.exe -- --throughput-json[=PATH]` emits only
+   this file; the default bechamel run writes nothing (the silent
+   default write was the ISSUE 5 CLI bug). *)
 
 module Registry = Arc_harness.Registry
 module Config = Arc_harness.Config
@@ -328,6 +366,82 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* Fixed-iteration median sampler shared by the JSON emitters: these
+   ops are far above clock resolution, and the simple harness keeps
+   the JSON modes fast enough for CI. *)
+
+let shm_json_reps = 5
+let shm_json_iters = 20_000
+
+let measure_ns f =
+  let sample () =
+    let t0 = Arc_util.Cpu.now_ns () in
+    for _ = 1 to shm_json_iters do
+      f ()
+    done;
+    Int64.to_float (Int64.sub (Arc_util.Cpu.now_ns ()) t0)
+    /. float_of_int shm_json_iters
+  in
+  ignore (sample ());
+  let samples = Array.init shm_json_reps (fun _ -> sample ()) in
+  Array.sort compare samples;
+  samples.(shm_json_reps / 2)
+
+(* The telemetry-overhead record embedded in BENCH_arc.json: per-op
+   read-hit cost with the obs layer detached vs attached (the ISSUE 5
+   acceptance number — [read_hit_ns_off] doubles as the perf gate's
+   per-op read cost), plus a live metrics snapshot from a short
+   telemetry-enabled run so the exposition output itself is archived
+   with the trajectory. *)
+let telemetry_overhead_json () =
+  let read_off, _ = obs_ops ~telemetry:false ~size:512 in
+  let read_on, _ = obs_ops ~telemetry:true ~size:512 in
+  (* The effect being measured (~1 plain store on an ~11ns op) is
+     smaller than run-to-run frequency drift, so sequential medians of
+     the two closures are too noisy: interleave the samples and take
+     each closure's minimum, the noise-robust estimator for a
+     fixed-work loop (all noise sources are additive). *)
+  let sample f =
+    let t0 = Arc_util.Cpu.now_ns () in
+    for _ = 1 to shm_json_iters do
+      f ()
+    done;
+    Int64.to_float (Int64.sub (Arc_util.Cpu.now_ns ()) t0)
+    /. float_of_int shm_json_iters
+  in
+  ignore (sample read_off);
+  ignore (sample read_on);
+  let off_min = ref infinity and on_min = ref infinity in
+  for _ = 1 to 9 do
+    off_min := Float.min !off_min (sample read_off);
+    on_min := Float.min !on_min (sample read_on)
+  done;
+  let off_ns = !off_min and on_ns = !on_min in
+  let overhead_pct =
+    if off_ns > 0. then 100. *. (on_ns -. off_ns) /. off_ns else 0.
+  in
+  let reg =
+    Arc_real.create ~readers:1 ~capacity:64 ~init:(stamped ~seq:0 ~len:64)
+  in
+  Arc_real.set_telemetry reg (Some (Arc_real.make_telemetry ~readers:1 ()));
+  let rd = Arc_real.reader reg 0 in
+  let src = stamped ~seq:1 ~len:64 in
+  for _ = 1 to 100 do
+    Arc_real.write reg ~src ~len:64;
+    (* First read misses (fresh write), second hits the cached index. *)
+    ignore (Arc_real.read_with rd ~f:(fun _ _ -> ()));
+    ignore (Arc_real.read_with rd ~f:(fun _ _ -> ()))
+  done;
+  Printf.sprintf
+    "{\n\
+    \    \"read_hit_ns_off\": %.2f,\n\
+    \    \"read_hit_ns_on\": %.2f,\n\
+    \    \"overhead_pct\": %.2f,\n\
+    \    \"metrics\": %s\n\
+    \  }"
+    off_ns on_ns overhead_pct
+    (Arc_obs.Obs.json (Arc_real.metrics reg))
+
 let emit_throughput_json path =
   (* Warm-up: the first measured point of a fresh process absorbs
      cold-start costs (domain spawning, code paths, page faults) worth
@@ -355,9 +469,11 @@ let emit_throughput_json path =
     \  \"platform\": \"%s\",\n\
     \  \"reps\": %d,\n\
     \  \"duration_s\": %.2f,\n\
+    \  \"telemetry\": %s,\n\
     \  \"results\": [\n%s\n  ]\n}\n"
     (json_escape (Arc_util.Cpu.describe ()))
     throughput_reps throughput_duration_s
+    (telemetry_overhead_json ())
     (String.concat ",\n" records);
   close_out oc;
   Printf.printf "wrote %s\n%!" path
@@ -365,27 +481,7 @@ let emit_throughput_json path =
 (* --- machine-readable substrate snapshot (BENCH_shm.json) ------------ *)
 
 (* Per-op latencies of the same register over both substrates, so the
-   durability tax is a number the perf trajectory tracks across PRs.
-   Measured with a plain fixed-iteration loop (median of [reps]) —
-   these ops are far above clock resolution, and the simple harness
-   keeps the JSON mode fast enough for CI. *)
-
-let shm_json_reps = 5
-let shm_json_iters = 20_000
-
-let measure_ns f =
-  let sample () =
-    let t0 = Arc_util.Cpu.now_ns () in
-    for _ = 1 to shm_json_iters do
-      f ()
-    done;
-    Int64.to_float (Int64.sub (Arc_util.Cpu.now_ns ()) t0)
-    /. float_of_int shm_json_iters
-  in
-  ignore (sample ());
-  let samples = Array.init shm_json_reps (fun _ -> sample ()) in
-  Array.sort compare samples;
-  samples.(shm_json_reps / 2)
+   durability tax is a number the perf trajectory tracks across PRs. *)
 
 let emit_shm_json path =
   let records =
@@ -429,35 +525,13 @@ let benchmark tests =
   let raw = Benchmark.all cfg [ instance ] grouped in
   Analyze.all ols instance raw
 
-let json_path_of_argv () =
-  match Array.to_list Sys.argv with
-  | _ :: "--throughput-json" :: path :: _ -> Some (path, true)
-  | _ :: "--throughput-json" :: _ -> Some ("BENCH_arc.json", true)
-  | _ -> Some ("BENCH_arc.json", false)
-
-let shm_json_of_argv () =
-  match Array.to_list Sys.argv with
-  | _ :: "--shm-json" :: path :: _ -> Some path
-  | _ :: "--shm-json" :: _ -> Some "BENCH_shm.json"
-  | _ -> None
-
-let () =
-  (match shm_json_of_argv () with
-  | Some path ->
-    emit_shm_json path;
-    exit 0
-  | None -> ());
-  (match json_path_of_argv () with
-  | Some (path, true) ->
-    emit_throughput_json path;
-    exit 0
-  | _ -> ());
+let run_bechamel () =
   Printf.printf "arc_register benchmarks — %s\n" (Arc_util.Cpu.describe ());
   Printf.printf "%-50s %14s %8s\n" "benchmark" "ns/op" "r^2";
   print_endline (String.make 74 '-');
   let tests =
     fig1_tests @ fig2_tests @ fig3_tests @ rmw_tests @ ablation_tests @ mrmw_tests
-    @ shm_tests
+    @ shm_tests @ obs_tests
   in
   let results = benchmark tests in
   let rows =
@@ -472,7 +546,51 @@ let () =
   in
   List.iter
     (fun (name, ns, r2) -> Printf.printf "%-50s %14.1f %8.4f\n" name ns r2)
-    (List.sort (fun (a, _, _) (b, _, _) -> compare a b) rows);
-  match json_path_of_argv () with
-  | Some (path, false) -> emit_throughput_json path
-  | _ -> ()
+    (List.sort (fun (a, _, _) (b, _, _) -> compare a b) rows)
+
+(* CLI parity with arc-check/arc-soak/arc-crash (cmdliner): unknown
+   flags are rejected with a usage message, and the JSON emitters are
+   strictly opt-in.  The previous hand-rolled parser silently wrote
+   BENCH_arc.json after every default run and ignored unrecognized
+   arguments. *)
+
+open Cmdliner
+
+let throughput_json_arg =
+  let doc =
+    "Write the hold-model throughput grid and the telemetry-overhead \
+     snapshot as JSON to $(docv), skipping the bechamel suite.  A bare \
+     $(opt) writes BENCH_arc.json.  Without this flag no file is written."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "BENCH_arc.json") (some string) None
+    & info [ "throughput-json" ] ~docv:"PATH" ~doc)
+
+let shm_json_arg =
+  let doc =
+    "Write the heap-vs-shm per-op latency snapshot as JSON to $(docv), \
+     skipping the bechamel suite.  A bare $(opt) writes BENCH_shm.json."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "BENCH_shm.json") (some string) None
+    & info [ "shm-json" ] ~docv:"PATH" ~doc)
+
+let main throughput shm =
+  match (throughput, shm) with
+  | None, None -> run_bechamel ()
+  | _ ->
+    Option.iter emit_shm_json shm;
+    Option.iter emit_throughput_json throughput
+
+let cmd =
+  Cmd.v
+    (Cmd.info "arc-bench"
+       ~doc:
+         "Per-operation microbenchmarks for the ARC register (bechamel \
+          suite by default; machine-readable JSON snapshots by opt-in \
+          flag)")
+    Term.(const main $ throughput_json_arg $ shm_json_arg)
+
+let () = exit (Cmd.eval cmd)

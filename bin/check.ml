@@ -274,7 +274,7 @@ let run_history hist_path shm_path =
     exit 1
 
 let rec run faults replay_seed history shm algo seeds strategy_name readers size
-    steps verbose =
+    steps verbose metrics =
   match (history, replay_seed) with
   | Some hist_path, _ -> run_history hist_path shm
   | None, Some seed ->
@@ -283,18 +283,24 @@ let rec run faults replay_seed history shm algo seeds strategy_name readers size
     (* The default algorithm set differs per mode: single-algorithm
        schedule checks default to arc, the fault campaign to all. *)
     let algo = Option.value algo ~default:(if faults then "all" else "arc") in
-    run_checks faults algo seeds strategy_name readers size steps verbose
+    run_checks faults algo seeds strategy_name readers size steps verbose metrics
 
-and run_checks faults algo seeds strategy_name readers size steps verbose =
-  if faults then run_faults algo seeds readers size steps
+and run_checks faults algo seeds strategy_name readers size steps verbose metrics
+    =
+  if faults then begin
+    if metrics then
+      Printf.eprintf "note: --metrics applies to schedule checks, not --faults\n";
+    run_faults algo seeds readers size steps
+  end
   else if algo = "all" then
     List.iter
       (fun name ->
-        run_checks false name seeds strategy_name readers size steps verbose)
+        run_checks false name seeds strategy_name readers size steps verbose
+          metrics)
       Registry.names
-  else run_one algo seeds strategy_name readers size steps verbose
+  else run_one algo seeds strategy_name readers size steps verbose metrics
 
-and run_one algo seeds strategy_name readers size steps verbose =
+and run_one algo seeds strategy_name readers size steps verbose metrics =
   let entry =
     try Registry.find algo
     with Not_found ->
@@ -312,6 +318,7 @@ and run_one algo seeds strategy_name readers size steps verbose =
   let violations = ref 0 in
   let total_reads = ref 0 in
   let worst_read = ref 0 in
+  let last_metrics = ref [] in
   for seed = 1 to seeds do
     let cfg =
       {
@@ -323,11 +330,16 @@ and run_one algo seeds strategy_name readers size steps verbose =
         sim_seed = seed;
       }
     in
+    let strategy =
+      strategy_of ~name:strategy_name ~seed ~fibers:(readers + 1) ~steps
+    in
     let result =
-      entry.Registry.run_sim
-        ~strategy:
-          (strategy_of ~name:strategy_name ~seed ~fibers:(readers + 1) ~steps)
-        cfg
+      match (metrics, entry.Registry.run_sim_telemetry) with
+      | true, Some f ->
+        let r, ms = f ~strategy cfg in
+        last_metrics := ms;
+        r
+      | _ -> entry.Registry.run_sim ~strategy cfg
     in
     total_reads := !total_reads + result.Config.reads;
     let fail fmt =
@@ -358,6 +370,16 @@ and run_one algo seeds strategy_name readers size steps verbose =
     "%s: %d seeds × %s, %d reads checked, worst read duration %d steps — %s\n" algo
     seeds strategy_name !total_reads !worst_read
     (if !violations = 0 then "CLEAN" else Printf.sprintf "%d VIOLATIONS" !violations);
+  if metrics then
+    if !last_metrics = [] then
+      Printf.printf "# no telemetry surface for algorithm %s\n" algo
+    else begin
+      (* Register telemetry of the final explored schedule (each seed
+         runs a fresh register, so cumulative output would just sum
+         identically-shaped runs). *)
+      Printf.printf "# telemetry of seed %d (the final schedule)\n" seeds;
+      print_string (Arc_obs.Obs.prometheus !last_metrics)
+    end;
   if !violations > 0 then exit 1
 
 let cmd =
@@ -390,6 +412,16 @@ let cmd =
       & info [ "steps" ] ~docv:"N" ~doc:"Simulated steps per schedule.")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-seed lines.") in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "After the schedule checks, print the register telemetry of the \
+             final explored schedule as a Prometheus-style text dump \
+             (fast/slow reads per reader, hint hits, write probes, trace \
+             volume).  Only the ARC family has a telemetry surface.")
+  in
   let faults =
     Arg.(
       value & flag
@@ -437,6 +469,6 @@ let cmd =
           cross-process history.")
     Term.(
       const run $ faults $ replay_seed $ history $ shm $ algo $ seeds $ strategy
-      $ readers $ size $ steps $ verbose)
+      $ readers $ size $ steps $ verbose $ metrics)
 
 let () = exit (Cmd.eval cmd)

@@ -555,7 +555,30 @@ let conviction_controls cfg =
 
 (* {1 Campaign driver} *)
 
-let run_campaign cfg fail_log skip_controls =
+(* Campaign counters as an exposition dump.  The per-run recoveries
+   happen in forked subprocesses, so their process-local Shm_mem cells
+   die with them — the campaign aggregates come from the marshalled
+   run results instead, and the Shm_mem section reflects only
+   recoveries this process performed itself (the conviction controls,
+   or a --replay-seed run). *)
+let print_metrics ~runs ~failing ~pendings ~convictions ~journaled =
+  let open Arc_obs.Obs in
+  print_string
+    (prometheus
+       ([
+          counter "crash_runs_total" ~help:"Kill-9 runs executed" runs;
+          counter "crash_failing_runs_total" ~help:"Runs with violations"
+            failing;
+          counter "crash_pending_at_kill_total"
+            ~help:"Runs where the writer died with a write in flight" pendings;
+          counter "crash_slots_convicted_total"
+            ~help:"Register slots convicted by post-crash recovery" convictions;
+          counter "crash_journal_quarantines_total"
+            ~help:"Slots quarantined via the prefreeze journal" journaled;
+        ]
+       @ Shm_mem.metrics ()))
+
+let run_campaign cfg fail_log skip_controls metrics =
   let failing = ref [] in
   let outcomes = Hashtbl.create 8 in
   let convictions = ref 0 and journaled = ref 0 and pendings = ref 0 in
@@ -595,11 +618,14 @@ let run_campaign cfg fail_log skip_controls =
       Printf.printf "replay commands written to %s\n" path
   | _ -> ());
   let controls_ok = skip_controls || conviction_controls cfg in
+  if metrics then
+    print_metrics ~runs:cfg.runs ~failing:total_failing ~pendings:!pendings
+      ~convictions:!convictions ~journaled:!journaled;
   if total_failing > 0 then exit 1;
   if not controls_ok then exit 2
 
 let run runs seed readers capacity writes successor_writes dir replay_seed
-    verbose fail_log skip_controls =
+    verbose fail_log skip_controls metrics =
   let dir = match dir with Some d -> d | None -> Filename.get_temp_dir_name () in
   let cfg =
     {
@@ -618,8 +644,14 @@ let run runs seed readers capacity writes successor_writes dir replay_seed
       Printf.printf "replaying seed %d\n" s;
       let r = run_one cfg ~seed:s in
       print_result ~verbose:true r;
+      if metrics then
+        print_metrics ~runs:1
+          ~failing:(if r.violations <> [] then 1 else 0)
+          ~pendings:(if r.pending <> No_pending then 1 else 0)
+          ~convictions:(List.length r.convicted)
+          ~journaled:r.journaled;
       if r.violations <> [] then exit 1
-  | None -> run_campaign cfg fail_log skip_controls
+  | None -> run_campaign cfg fail_log skip_controls metrics
 
 let cmd =
   let runs =
@@ -673,6 +705,16 @@ let cmd =
       value & flag
       & info [ "skip-controls" ] ~doc:"Skip the corruption negative controls.")
   in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "After the campaign (or replay), print the crash/recovery \
+             counters — runs, pending-at-kill, convictions, journal \
+             quarantines, plus this process's shm recovery cells — as a \
+             Prometheus-style text dump.")
+  in
   Cmd.v
     (Cmd.info "arc-crash"
        ~doc:
@@ -681,6 +723,6 @@ let cmd =
           surviving cross-process history stays atomic.")
     Term.(
       const run $ runs $ seed $ readers $ capacity $ writes $ successor_writes
-      $ dir $ replay_seed $ verbose $ fail_log $ skip_controls)
+      $ dir $ replay_seed $ verbose $ fail_log $ skip_controls $ metrics)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,159 @@
+(* arc-perf-gate: per-op read-cost regression gate (ISSUE 5).
+
+   Reads the telemetry record of a BENCH_arc.json produced by
+   `bench/main.exe --throughput-json`, appends a dated entry to the
+   perf trajectory (results/BENCH_trajectory.jsonl, one JSON object
+   per line), and fails if the per-op read cost — read_hit_ns_off,
+   the telemetry-detached fast-path read — regressed more than
+   --threshold percent against the last committed trajectory entry.
+
+     dune exec bin/perf_gate.exe
+     dune exec bin/perf_gate.exe -- --bench /tmp/BENCH_arc.json --threshold 10
+
+   Exit status 0 = within budget (entry appended), 1 = regression,
+   2 = malformed inputs.
+
+   The JSON handling is deliberately string-level: both files are
+   written by this repository's own emitters with known key spelling,
+   and the toolchain has no JSON library to depend on. *)
+
+open Cmdliner
+
+(* Extract the number following ["key": ] — first occurrence. *)
+let field_of ~key s =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let plen = String.length pat in
+  let slen = String.length s in
+  let rec find i =
+    if i + plen > slen then None
+    else if String.sub s i plen = pat then begin
+      let j = ref (i + plen) in
+      while !j < slen && s.[!j] = ' ' do incr j done;
+      let k = ref !j in
+      while
+        !k < slen
+        && (match s.[!k] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false)
+      do
+        incr k
+      done;
+      if !k > !j then float_of_string_opt (String.sub s !j (!k - !j)) else None
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let last_nonempty_line s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.trim l <> "")
+  |> function
+  | [] -> None
+  | lines -> Some (List.nth lines (List.length lines - 1))
+
+let iso_date () =
+  let t = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+    t.Unix.tm_sec
+
+let run bench trajectory threshold label =
+  let bench_s =
+    try read_file bench
+    with Sys_error msg ->
+      Printf.eprintf "perf-gate: cannot read %s: %s\n" bench msg;
+      exit 2
+  in
+  let need key =
+    match field_of ~key bench_s with
+    | Some v -> v
+    | None ->
+      Printf.eprintf
+        "perf-gate: %s has no \"%s\" field — was it written by \
+         bench/main.exe --throughput-json?\n"
+        bench key;
+      exit 2
+  in
+  let off = need "read_hit_ns_off" in
+  let on_ = need "read_hit_ns_on" in
+  let overhead = need "overhead_pct" in
+  let baseline =
+    if Sys.file_exists trajectory then
+      match last_nonempty_line (read_file trajectory) with
+      | Some line -> field_of ~key:"read_hit_ns_off" line
+      | None -> None
+    else None
+  in
+  let entry =
+    Printf.sprintf
+      "{\"date\": \"%s\", \"label\": \"%s\", \"read_hit_ns_off\": %.2f, \
+       \"read_hit_ns_on\": %.2f, \"overhead_pct\": %.2f}"
+      (iso_date ()) label off on_ overhead
+  in
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 trajectory
+  in
+  output_string oc entry;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "perf-gate: appended to %s\n  %s\n" trajectory entry;
+  match baseline with
+  | None ->
+    Printf.printf "perf-gate: no prior trajectory entry — baseline recorded\n"
+  | Some base ->
+    let limit = base *. (1. +. (threshold /. 100.)) in
+    if off > limit then begin
+      Printf.printf
+        "perf-gate: REGRESSION — read-hit %.2f ns/op exceeds %.2f ns/op \
+         (last committed %.2f + %.0f%%)\n"
+        off limit base threshold;
+      exit 1
+    end
+    else
+      Printf.printf
+        "perf-gate: ok — read-hit %.2f ns/op within %.0f%% of last committed \
+         %.2f\n"
+        off threshold base
+
+let cmd =
+  let bench =
+    Arg.(
+      value
+      & opt string "results/BENCH_arc.json"
+      & info [ "bench" ] ~docv:"PATH"
+          ~doc:"BENCH_arc.json produced by bench/main.exe --throughput-json.")
+  in
+  let trajectory =
+    Arg.(
+      value
+      & opt string "results/BENCH_trajectory.jsonl"
+      & info [ "trajectory" ] ~docv:"PATH"
+          ~doc:
+            "Perf trajectory file (one JSON object per line); the gate \
+             compares against its last line and appends the new entry.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 20.
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:"Maximum allowed read-cost regression, in percent.")
+  in
+  let label =
+    Arg.(
+      value & opt string "local"
+      & info [ "label" ] ~docv:"LABEL"
+          ~doc:"Free-form provenance tag for the entry (e.g. a commit sha).")
+  in
+  Cmd.v
+    (Cmd.info "arc-perf-gate"
+       ~doc:
+         "Append the current per-op read cost to the perf trajectory and \
+          fail on regression beyond the threshold.")
+    Term.(const run $ bench $ trajectory $ threshold $ label)
+
+let () = exit (Cmd.eval cmd)

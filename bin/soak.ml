@@ -56,10 +56,38 @@ let run_replay seed cfg verbose =
   ignore verbose;
   if r.violations <> [] then exit 1
 
-let run_soak cfg verbose fail_log skip_control =
+let run_soak (cfg : Soak.cfg) verbose fail_log skip_control metrics =
   let failing = ref [] in
-  let o = Soak.run ~on_run:(print_report ~verbose) cfg in
+  (* Live progress: a cumulative one-line summary at most once per
+     wall-clock second, so long CI soaks show heartbeat without the
+     per-run flood of --verbose. *)
+  let done_runs = ref 0
+  and live_writes = ref 0
+  and live_fresh = ref 0
+  and live_stale = ref 0
+  and live_bad = ref 0 in
+  let last_tick = ref (Unix.gettimeofday ()) in
+  let live (r : Soak.run_report) =
+    incr done_runs;
+    live_writes := !live_writes + r.writes + r.standby_writes;
+    live_fresh := !live_fresh + Outcomes.ok_count r.outcomes;
+    live_stale := !live_stale + Outcomes.stale_count r.outcomes;
+    if r.violations <> [] then incr live_bad;
+    let now = Unix.gettimeofday () in
+    if (not verbose) && now -. !last_tick >= 1.0 then begin
+      last_tick := now;
+      Printf.printf
+        "[soak] %d/%d runs, %d writes, %d fresh / %d stale reads, %d failing\n%!"
+        !done_runs cfg.Soak.runs !live_writes !live_fresh !live_stale !live_bad
+    end
+  in
+  let on_run r =
+    live r;
+    print_report ~verbose r
+  in
+  let o = Soak.run ~on_run cfg in
   Format.printf "%a@." Soak.pp_outcome o;
+  if metrics then print_string (Arc_obs.Obs.prometheus (Soak.metrics o));
   List.iter
     (fun (seed, msg) ->
       Printf.printf "violation [seed %d]: %s\n  replay: %s\n" seed msg
@@ -94,13 +122,13 @@ let run_soak cfg verbose fail_log skip_control =
   if not control_ok then exit 2
 
 let run runs seed readers size steps lease deadline max_stale crash_readers
-    replay verbose fail_log skip_control =
+    replay verbose fail_log skip_control metrics =
   let cfg =
     cfg_of runs seed readers size steps lease deadline max_stale crash_readers
   in
   match replay with
   | Some s -> run_replay s cfg verbose
-  | None -> run_soak cfg verbose fail_log skip_control
+  | None -> run_soak cfg verbose fail_log skip_control metrics
 
 let cmd =
   let runs =
@@ -159,6 +187,15 @@ let cmd =
       value & flag
       & info [ "skip-control" ] ~doc:"Skip the unfenced negative control.")
   in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "After the soak, print the aggregated campaign counters (runs, \
+             writes, degraded serves, crashes, fence rejections, tears) as a \
+             Prometheus-style text dump.")
+  in
   Cmd.v
     (Cmd.info "arc-soak"
        ~doc:
@@ -168,6 +205,7 @@ let cmd =
           atomicity and bounded-staleness checking.")
     Term.(
       const run $ runs $ seed $ readers $ size $ steps $ lease $ deadline
-      $ max_stale $ crash_readers $ replay $ verbose $ fail_log $ skip_control)
+      $ max_stale $ crash_readers $ replay $ verbose $ fail_log $ skip_control
+      $ metrics)
 
 let () = exit (Cmd.eval cmd)

@@ -14,6 +14,19 @@ module type S = sig
   val write_probes : t -> int
   val writes : t -> int
 
+  type telemetry
+
+  val make_telemetry :
+    ?ring:int -> ?clock:(unit -> int) -> readers:int -> unit -> telemetry
+
+  val set_telemetry : t -> telemetry option -> unit
+  val telemetry : t -> telemetry option
+  val fast_reads : telemetry -> int
+  val slow_reads : telemetry -> int
+  val hint_hits : telemetry -> int
+  val metrics : t -> Arc_obs.Obs.metric list
+  val trace : t -> Arc_obs.Ring.entry list
+
   module Debug : sig
     val slots : t -> int
     val current : t -> int
@@ -31,6 +44,26 @@ module Packed = Arc_util.Packed
 
 module Make (M : Arc_mem.Mem_intf.S) = struct
   module Mem = M
+  module Obs = Arc_obs.Obs
+  module Ring = Arc_obs.Ring
+
+  (* Telemetry (ISSUE 5).  All counters are host-heap {!Obs.Cell}s —
+     plain single-writer words outside the substrate [M] — so
+     recording adds no substrate operations: nothing for
+     {!Arc_mem.Counting} to charge to the algorithm and no scheduling
+     points under the virtual scheduler (attaching telemetry changes
+     no checker-visible history).  Fast/slow read cells are
+     per-reader-identity, cached in the reader handle at {!reader}
+     time; the ring records only slow-path writer/recovery
+     transitions.  When no telemetry is attached every hook is a
+     single [None] branch. *)
+  type telemetry = {
+    fast_hits : Obs.Group.t;  (* per reader identity: R2 fast-path reads *)
+    slow_cells : Obs.Group.t;  (* per reader identity: R3+R4 slow reads *)
+    hint_cell : Obs.Cell.t;  (* writer: §3.4 proposals accepted by W1 *)
+    tel_ring : Ring.t;  (* slot-state transition trace *)
+    clock : unit -> int;  (* timestamp source for ring entries *)
+  }
 
   (* Layout note.  [r_start]/[r_end] are hammered by releasing readers
      while the writer polls them during its free-slot scan, and the
@@ -69,9 +102,13 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     mutable last_slot : int;
     mutable probes : int;
     mutable writes : int;
+    mutable tel : telemetry option;
   }
 
-  type reader = { reg : t; mutable last_index : int }
+  (* Per-identity counter cells, resolved once at handle creation so
+     the fast path pays one option check and one plain increment. *)
+  type rcells = { fast : Obs.Cell.t; slow : Obs.Cell.t }
+  type reader = { reg : t; mutable last_index : int; cells : rcells option }
 
   let algorithm = algorithm
 
@@ -121,13 +158,48 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       last_slot = 0;
       probes = 0;
       writes = 0;
+      tel = None;
     }
 
   let create ~readers ~capacity ~init = create_with ~use_hint:true ~readers ~capacity ~init
 
+  let make_telemetry ?(ring = 256) ?(clock = fun () -> 0) ~readers () =
+    {
+      fast_hits =
+        Obs.Group.create ~name:"arc_reads_fast_total"
+          ~help:"Reads served on the RMW-free fast path (R2)" readers;
+      slow_cells =
+        Obs.Group.create ~name:"arc_reads_slow_total"
+          ~help:"Reads that paid the R3+R4 RMW pair" readers;
+      hint_cell = Obs.Cell.create ();
+      tel_ring = Ring.create ring;
+      clock;
+    }
+
+  (* Attach before creating reader handles: handles resolve their
+     counter cells once, at [reader] time. *)
+  let set_telemetry reg tel = reg.tel <- tel
+  let telemetry reg = reg.tel
+  let fast_reads tel = Obs.Group.value tel.fast_hits
+  let slow_reads tel = Obs.Group.value tel.slow_cells
+  let hint_hits tel = Obs.Cell.get tel.hint_cell
+
+  let trace reg =
+    match reg.tel with None -> [] | Some tel -> Ring.dump tel.tel_ring
+
   let reader reg i =
     if i < 0 || i >= reg.readers then invalid_arg "Arc.reader: identity out of range";
-    { reg; last_index = 0 }
+    let cells =
+      match reg.tel with
+      | None -> None
+      | Some tel ->
+        Some
+          {
+            fast = Obs.Group.cell tel.fast_hits i;
+            slow = Obs.Group.cell tel.slow_cells i;
+          }
+    in
+    { reg; last_index = 0; cells }
 
   (* Algorithm 2.  The fast path (R2) performs a single plain load of
      [current]; only when a newer value was published does the reader
@@ -135,7 +207,17 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   let read_view rd =
     let reg = rd.reg in
     let index = Packed.index (M.load reg.current) (* R1 *) in
-    if rd.last_index <> index then begin
+    if rd.last_index = index then begin
+      (* R2 fast path: zero RMW — the telemetry hit marker is a plain
+         store to this identity's private cell, never an atomic. *)
+      match rd.cells with
+      | Some c -> c.fast.Obs.Cell.v <- c.fast.Obs.Cell.v + 1
+      | None -> ()
+    end
+    else begin
+      (match rd.cells with
+      | Some c -> c.slow.Obs.Cell.v <- c.slow.Obs.Cell.v + 1
+      | None -> ());
       let released = reg.slots.(rd.last_index) in
       M.incr released.r_end (* R3 *);
       if reg.use_hint then begin
@@ -204,6 +286,12 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     if proposal >= 0 && proposal < Array.length reg.slots && slot_free reg proposal
     then begin
       reg.probes <- reg.probes + 1;
+      (match reg.tel with
+      | Some tel ->
+        Obs.Cell.incr tel.hint_cell;
+        Ring.record tel.tel_ring ~at:(tel.clock ()) ~code:Ring.code_slot_claim
+          proposal 1 0
+      | None -> ());
       proposal
     end
     else begin
@@ -214,7 +302,15 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
           let j = (reg.last_slot + step) mod n in
           reg.probes <- reg.probes + 1;
           M.cede ();
-          if slot_free reg j then j else scan (step + 1)
+          if slot_free reg j then begin
+            (match reg.tel with
+            | Some tel ->
+              Ring.record tel.tel_ring ~at:(tel.clock ())
+                ~code:Ring.code_slot_claim j 0 step
+            | None -> ());
+            j
+          end
+          else scan (step + 1)
         end
       in
       scan 1
@@ -258,7 +354,14 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     M.store reg.slots.(old_slot).r_start (Packed.count old);
     reg.last_slot <- slot;
     M.store reg.prefreeze (-1);
-    reg.writes <- reg.writes + 1
+    reg.writes <- reg.writes + 1;
+    match reg.tel with
+    | Some tel ->
+      let at = tel.clock () in
+      Ring.record tel.tel_ring ~at ~code:Ring.code_publish slot old_slot 0;
+      Ring.record tel.tel_ring ~at ~code:Ring.code_freeze old_slot
+        (Packed.count old) 0
+    | None -> ()
 
   (* Successor-writer recovery (Register_intf.FENCEABLE): quarantine
      the journaled mid-publish slot, if any, and re-establish the
@@ -269,15 +372,23 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   let recover_crash reg =
     let j = M.load reg.prefreeze in
     reg.last_slot <- Packed.index (M.load reg.current);
-    if j >= 0 then begin
-      M.store reg.prefreeze (-1);
-      if List.memq j reg.quarantined then 0
-      else begin
-        reg.quarantined <- j :: reg.quarantined;
-        1
+    let quarantined =
+      if j >= 0 then begin
+        M.store reg.prefreeze (-1);
+        if List.memq j reg.quarantined then 0
+        else begin
+          reg.quarantined <- j :: reg.quarantined;
+          1
+        end
       end
-    end
-    else 0
+      else 0
+    in
+    (match reg.tel with
+    | Some tel ->
+      Ring.record tel.tel_ring ~at:(tel.clock ()) ~code:Ring.code_recover
+        reg.last_slot quarantined j
+    | None -> ());
+    quarantined
 
   (* External-evidence quarantine (Register_intf.FENCEABLE): retire a
      slot convicted by an integrity layer below the register — e.g. a
@@ -289,12 +400,52 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       invalid_arg
         (Printf.sprintf "Arc.quarantine: slot %d out of range [0, %d)" j
            (Array.length reg.slots));
-    if not (List.memq j reg.quarantined) then
-      reg.quarantined <- j :: reg.quarantined
+    if not (List.memq j reg.quarantined) then begin
+      reg.quarantined <- j :: reg.quarantined;
+      match reg.tel with
+      | Some tel ->
+        Ring.record tel.tel_ring ~at:(tel.clock ()) ~code:Ring.code_quarantine
+          j 0 0
+      | None -> ()
+    end
 
   let write reg ~src ~len = write_guarded reg ~guard:ignore ~src ~len
   let write_probes reg = reg.probes
   let writes reg = reg.writes
+
+  let metrics reg =
+    let base =
+      [
+        Obs.counter "arc_writes_total" ~help:"Completed register writes"
+          reg.writes;
+        Obs.counter "arc_write_probes_total"
+          ~help:"Slots examined by W1 free-slot searches" reg.probes;
+        Obs.counter "arc_quarantined_slots"
+          ~help:"Slots retired by crash recovery or external conviction"
+          (List.length reg.quarantined);
+      ]
+    in
+    match reg.tel with
+    | None -> base
+    | Some tel ->
+      let per_reader group =
+        Array.to_list
+          (Array.mapi
+             (fun i v ->
+               Obs.counter (Obs.Group.name group)
+                 ~labels:[ ("reader", string_of_int i) ]
+                 ~help:(Obs.Group.help group) v)
+             (Obs.Group.per_domain group))
+      in
+      per_reader tel.fast_hits
+      @ per_reader tel.slow_cells
+      @ Obs.counter "arc_hint_hits_total"
+          ~help:"§3.4 free-slot proposals accepted by the writer"
+          (Obs.Cell.get tel.hint_cell)
+        :: Obs.counter "arc_trace_events_total"
+             ~help:"Slot-state transitions recorded in the trace ring"
+             (Ring.recorded tel.tel_ring)
+        :: base
 
   module Debug = struct
     let slots reg = Array.length reg.slots

@@ -86,6 +86,56 @@ module type S = sig
   val writes : t -> int
   (** Number of completed writes (writer-thread view). *)
 
+  (** {2 Telemetry (ISSUE 5)}
+
+      Always-on wait-free observability.  All counters are host-heap
+      {!Arc_obs.Obs.Cell}s — plain single-writer words outside the
+      memory substrate — so recording adds {e no} substrate
+      operations: nothing for {!Arc_mem.Counting} to charge to the
+      algorithm, no scheduling points under the virtual scheduler
+      (attaching telemetry changes no checker-visible history), and no
+      RMW or fence on the R2 read fast path (the fast-path hit marker
+      is a plain increment of the reader's private cache-line-isolated
+      cell).  With no telemetry attached, every hook is a single
+      [None] branch. *)
+
+  type telemetry
+
+  val make_telemetry :
+    ?ring:int -> ?clock:(unit -> int) -> readers:int -> unit -> telemetry
+  (** [ring] bounds the slot-transition trace (default 256 entries,
+      rounded up to a power of two); [clock] supplies ring timestamps
+      (default constant 0 — pass the substrate clock or a wall-time
+      reader as appropriate; it must itself be observation-free). *)
+
+  val set_telemetry : t -> telemetry option -> unit
+  (** Attach {e before} creating reader handles: a handle resolves its
+      per-identity counter cells once, at {!reader} time; handles
+      created earlier never record. *)
+
+  val telemetry : t -> telemetry option
+
+  val fast_reads : telemetry -> int
+  (** Total reads served on the RMW-free R2 fast path (racy sum over
+      per-reader cells; exact once readers are joined). *)
+
+  val slow_reads : telemetry -> int
+  (** Total reads that paid the R3+R4 RMW pair.  [fast_reads +
+      slow_reads] = total reads by telemetry-carrying handles. *)
+
+  val hint_hits : telemetry -> int
+  (** §3.4 free-slot proposals accepted by W1 searches. *)
+
+  val metrics : t -> Arc_obs.Obs.metric list
+  (** Register counters (writes, probes, quarantined) plus — when
+      telemetry is attached — per-reader fast/slow read counters, hint
+      hits and trace-ring depth, ready for
+      {!Arc_obs.Obs.prometheus}/{!Arc_obs.Obs.json}. *)
+
+  val trace : t -> Arc_obs.Ring.entry list
+  (** Surviving slot-state transitions, oldest first ([] when no
+      telemetry is attached). *)
+
   (** White-box access for tests: the §4 lemmas as executable
       checks. *)
   module Debug : sig

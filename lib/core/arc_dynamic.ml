@@ -4,6 +4,19 @@ module Packed = Arc_util.Packed
 
 module Make (M : Arc_mem.Mem_intf.S) = struct
   module Mem = M
+  module Obs = Arc_obs.Obs
+  module Ring = Arc_obs.Ring
+
+  (* Telemetry — same host-heap design as {!Arc.Make}: plain
+     single-writer cells outside the substrate, so recording adds no
+     substrate operations and no vsched scheduling points. *)
+  type telemetry = {
+    fast_hits : Obs.Group.t;
+    slow_cells : Obs.Group.t;
+    hint_cell : Obs.Cell.t;
+    tel_ring : Ring.t;
+    clock : unit -> int;
+  }
 
   type slot = {
     size : M.atomic;
@@ -41,6 +54,7 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     mutable reallocations : int;
     mutable reclaimed : int;
     mutable writes : int;
+    mutable tel : telemetry option;
   }
 
   (* Readers cache the validated (buffer, length) view at subscribe
@@ -50,11 +64,14 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
      points at intact storage — storage reclaim is invisible to
      already-subscribed readers, whose cached buffer stays alive
      through the GC. *)
+  type rcells = { fast : Obs.Cell.t; slow : Obs.Cell.t }
+
   type reader = {
     reg : t;
     mutable last_index : int;
     mutable view_buf : M.buffer;
     mutable view_len : int;
+    cells : rcells option;
   }
 
   let algorithm = algorithm
@@ -109,7 +126,30 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       reallocations = 0;
       reclaimed = 0;
       writes = 0;
+      tel = None;
     }
+
+  let make_telemetry ?(ring = 256) ?(clock = fun () -> 0) ~readers () =
+    {
+      fast_hits =
+        Obs.Group.create ~name:"arc_reads_fast_total"
+          ~help:"Reads served on the RMW-free fast path (R2)" readers;
+      slow_cells =
+        Obs.Group.create ~name:"arc_reads_slow_total"
+          ~help:"Reads that paid the R3+R4 RMW pair" readers;
+      hint_cell = Obs.Cell.create ();
+      tel_ring = Ring.create ring;
+      clock;
+    }
+
+  let set_telemetry reg tel = reg.tel <- tel
+  let telemetry reg = reg.tel
+  let fast_reads tel = Obs.Group.value tel.fast_hits
+  let slow_reads tel = Obs.Group.value tel.slow_cells
+  let hint_hits tel = Obs.Cell.get tel.hint_cell
+
+  let trace reg =
+    match reg.tel with None -> [] | Some tel -> Ring.dump tel.tel_ring
 
   let saturation_guard now =
     let c = Packed.count now in
@@ -162,8 +202,24 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       invalid_arg
         (Printf.sprintf
            "Arc_dynamic.reader: identity %d out of range [0, %d)" i reg.readers);
+    let cells =
+      match reg.tel with
+      | None -> None
+      | Some tel ->
+        Some
+          {
+            fast = Obs.Group.cell tel.fast_hits i;
+            slow = Obs.Group.cell tel.slow_cells i;
+          }
+    in
     let rd =
-      { reg; last_index = 0; view_buf = reg.slots.(0).content; view_len = -1 }
+      {
+        reg;
+        last_index = 0;
+        view_buf = reg.slots.(0).content;
+        view_len = -1;
+        cells;
+      }
     in
     (* A handle claimed long after creation may find slot 0 already
        revoked (its presence from I1 pins it until this reader's first
@@ -174,7 +230,17 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   let read_view rd =
     let reg = rd.reg in
     let index = Packed.index (M.load reg.current) (* R1 *) in
-    if rd.last_index <> index then begin
+    if rd.last_index = index then begin
+      (* R2 fast path: the hit marker is a plain store to this
+         identity's private cell — zero RMW preserved. *)
+      match rd.cells with
+      | Some c -> c.fast.Obs.Cell.v <- c.fast.Obs.Cell.v + 1
+      | None -> ()
+    end
+    else begin
+      (match rd.cells with
+      | Some c -> c.slow.Obs.Cell.v <- c.slow.Obs.Cell.v + 1
+      | None -> ());
       release_and_subscribe rd (* R3-R5 *);
       acquire rd
     end;
@@ -207,7 +273,12 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       h
     in
     if proposal >= 0 && proposal < Array.length reg.slots && slot_free reg proposal
-    then proposal
+    then begin
+      (match reg.tel with
+      | Some tel -> Obs.Cell.incr tel.hint_cell
+      | None -> ());
+      proposal
+    end
     else begin
       let n = Array.length reg.slots in
       let rec scan step =
@@ -258,7 +329,14 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
           M.store s.size (-1);
           s.content <- M.alloc 0;
           reg.reclaimed <- reg.reclaimed + 1;
-          incr reclaimed
+          incr reclaimed;
+          match reg.tel with
+          | Some tel ->
+            Ring.record tel.tel_ring ~at:(tel.clock ())
+              ~code:Ring.code_reclaim j
+              (reg.writes - s.superseded_at)
+              0
+          | None -> ()
         end)
       reg.slots;
     !reclaimed
@@ -287,8 +365,14 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
          of the old buffer keep it alive via the GC.  A revoked slot
          (capacity 0) is regrown here, which also clears its -1
          marker via the size store below. *)
+      let old_cap = M.capacity entry.content in
       entry.content <- M.alloc len;
-      reg.reallocations <- reg.reallocations + 1
+      reg.reallocations <- reg.reallocations + 1;
+      match reg.tel with
+      | Some tel ->
+        Ring.record tel.tel_ring ~at:(tel.clock ()) ~code:Ring.code_realloc
+          slot old_cap len
+      | None -> ()
     end;
     M.write_words entry.content ~src ~len;
     M.store entry.size len;
@@ -308,6 +392,13 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     reg.last_slot <- slot;
     M.store reg.prefreeze (-1);
     reg.writes <- reg.writes + 1;
+    (match reg.tel with
+    | Some tel ->
+      let at = tel.clock () in
+      Ring.record tel.tel_ring ~at ~code:Ring.code_publish slot old_slot 0;
+      Ring.record tel.tel_ring ~at ~code:Ring.code_freeze old_slot
+        (Packed.count old) 0
+    | None -> ());
     match reg.lease with
     | Some l when reg.writes mod l = 0 -> ignore (reclaim_stale reg ~lease:l)
     | _ -> ()
@@ -342,4 +433,40 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
 
   let reallocations reg = reg.reallocations
   let reclaimed reg = reg.reclaimed
+
+  let metrics reg =
+    let base =
+      [
+        Obs.counter "arc_writes_total" ~help:"Completed register writes"
+          reg.writes;
+        Obs.counter "arc_reallocations_total"
+          ~help:"Buffer replacements performed by writes" reg.reallocations;
+        Obs.counter "arc_reclaimed_slots_total"
+          ~help:"Stale pinned slots whose storage was revoked" reg.reclaimed;
+        Obs.gauge "arc_footprint_words"
+          ~help:"Words currently allocated across slot buffers"
+          (float_of_int (footprint_words reg));
+      ]
+    in
+    match reg.tel with
+    | None -> base
+    | Some tel ->
+      let per_reader group =
+        Array.to_list
+          (Array.mapi
+             (fun i v ->
+               Obs.counter (Obs.Group.name group)
+                 ~labels:[ ("reader", string_of_int i) ]
+                 ~help:(Obs.Group.help group) v)
+             (Obs.Group.per_domain group))
+      in
+      per_reader tel.fast_hits
+      @ per_reader tel.slow_cells
+      @ Obs.counter "arc_hint_hits_total"
+          ~help:"§3.4 free-slot proposals accepted by the writer"
+          (Obs.Cell.get tel.hint_cell)
+        :: Obs.counter "arc_trace_events_total"
+             ~help:"Slot-state transitions recorded in the trace ring"
+             (Ring.recorded tel.tel_ring)
+        :: base
 end

@@ -84,4 +84,26 @@ module Make (M : Arc_mem.Mem_intf.S) : sig
 
   val reclaimed : t -> int
   (** Total slots whose storage has been revoked so far. *)
+
+  (** {2 Telemetry} — same wait-free host-heap design as
+      {!Arc.Make}: plain per-identity counter cells (no substrate
+      operations, no vsched scheduling points, no RMW on the fast
+      path) plus a bounded transition trace that additionally records
+      reallocations and stale-slot reclaims. *)
+
+  type telemetry
+
+  val make_telemetry :
+    ?ring:int -> ?clock:(unit -> int) -> readers:int -> unit -> telemetry
+
+  val set_telemetry : t -> telemetry option -> unit
+  (** Attach {e before} creating reader handles (handles resolve their
+      cells at creation). *)
+
+  val telemetry : t -> telemetry option
+  val fast_reads : telemetry -> int
+  val slow_reads : telemetry -> int
+  val hint_hits : telemetry -> int
+  val metrics : t -> Arc_obs.Obs.metric list
+  val trace : t -> Arc_obs.Ring.entry list
 end

@@ -8,6 +8,11 @@ type entry = {
   caps : RI.caps;
   run_real : Config.real -> Config.result;
   run_sim : ?strategy:Arc_vsched.Strategy.t -> Config.sim -> Config.result;
+  run_sim_telemetry :
+    (?strategy:Arc_vsched.Strategy.t ->
+    Config.sim ->
+    Config.result * Arc_obs.Obs.metric list)
+    option;
   count :
     readers:int ->
     size_words:int ->
@@ -29,9 +34,57 @@ module Entry_of (A : Arc_core.Register_intf.ALGORITHM) = struct
       name = A.algorithm;
       caps = R_real.caps;
       run_real = Run_real.run;
-      run_sim = Run_sim.run;
+      run_sim = (fun ?strategy cfg -> Run_sim.run ?strategy cfg);
+      run_sim_telemetry = None;
       count = Count.measure;
     }
+end
+
+(* Telemetry-capable sim runners for the ARC family.  [Entry_of] sees
+   registers only through {!Arc_core.Register_intf.S}, which has no
+   observability surface; these concrete instantiations expose the
+   full [Arc.Make]/[Arc_dynamic.Make] signature, attach a telemetry
+   handle before the fibers start (clocked by the virtual scheduler,
+   so trace timestamps are simulated time), and return the run's
+   metric snapshot alongside the result. *)
+module Arc_tel = struct
+  module R = Arc_core.Arc.Make (Sim)
+  module Run = Sim_runner.Make (R)
+
+  let run ?strategy (cfg : Config.sim) =
+    let attached = ref None in
+    let prepare reg =
+      R.set_telemetry reg
+        (Some
+           (R.make_telemetry ~clock:Arc_vsched.Sched.now
+              ~readers:cfg.Config.sim_readers ()));
+      attached := Some reg
+    in
+    let r = Run.run ~prepare ?strategy cfg in
+    let metrics =
+      match !attached with Some reg -> R.metrics reg | None -> []
+    in
+    (r, metrics)
+end
+
+module Arc_dynamic_tel = struct
+  module R = Arc_core.Arc_dynamic.Make (Sim)
+  module Run = Sim_runner.Make (R)
+
+  let run ?strategy (cfg : Config.sim) =
+    let attached = ref None in
+    let prepare reg =
+      R.set_telemetry reg
+        (Some
+           (R.make_telemetry ~clock:Arc_vsched.Sched.now
+              ~readers:cfg.Config.sim_readers ()));
+      attached := Some reg
+    in
+    let r = Run.run ~prepare ?strategy cfg in
+    let metrics =
+      match !attached with Some reg -> R.metrics reg | None -> []
+    in
+    (r, metrics)
 end
 
 module Arc_entry = Entry_of (Arc_core.Arc)
@@ -44,11 +97,17 @@ module Seqlock_entry = Entry_of (Arc_baselines.Seqlock_reg)
 module Lamport_entry = Entry_of (Arc_baselines.Lamport_reg)
 module Simpson_entry = Entry_of (Arc_baselines.Simpson_reg)
 
+let arc_entry =
+  { Arc_entry.entry with run_sim_telemetry = Some Arc_tel.run }
+
+let arc_dynamic_entry =
+  { Arc_dynamic_entry.entry with run_sim_telemetry = Some Arc_dynamic_tel.run }
+
 let all =
   [
-    Arc_entry.entry;
+    arc_entry;
     Arc_nohint_entry.entry;
-    Arc_dynamic_entry.entry;
+    arc_dynamic_entry;
     Rf_entry.entry;
     Peterson_entry.entry;
     Rwlock_entry.entry;
@@ -58,7 +117,7 @@ let all =
   ]
 
 let paper_set =
-  [ Arc_entry.entry; Rf_entry.entry; Peterson_entry.entry; Rwlock_entry.entry ]
+  [ arc_entry; Rf_entry.entry; Peterson_entry.entry; Rwlock_entry.entry ]
 
 let find name = List.find (fun e -> e.name = name) all
 let names = List.map (fun e -> e.name) all

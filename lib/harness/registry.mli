@@ -13,6 +13,15 @@ type entry = {
       (** on {!Arc_mem.Real_mem} via {!Real_runner} *)
   run_sim : ?strategy:Arc_vsched.Strategy.t -> Config.sim -> Config.result;
       (** on {!Arc_vsched.Sim_mem} via {!Sim_runner} *)
+  run_sim_telemetry :
+    (?strategy:Arc_vsched.Strategy.t ->
+    Config.sim ->
+    Config.result * Arc_obs.Obs.metric list)
+    option;
+      (** like [run_sim] but with a telemetry handle attached for the
+          run (trace clocked by the virtual scheduler), returning the
+          run's metric snapshot; [None] for algorithms without an
+          observability surface (only the ARC family has one) *)
   count :
     readers:int ->
     size_words:int ->

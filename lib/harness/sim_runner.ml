@@ -66,7 +66,10 @@ module Make (R : Arc_core.Register_intf.S) = struct
       Sched.cede ()
     done
 
-  let run ?strategy (cfg : Config.sim) : Config.result =
+  (* [prepare] runs on the freshly created register before any fiber
+     starts — the attach point for telemetry, which must be wired
+     before reader handles are created. *)
+  let run ?prepare ?strategy (cfg : Config.sim) : Config.result =
     if cfg.sim_readers < 1 then invalid_arg "Sim_runner.run: need at least one reader";
     if cfg.sim_size_words < 1 then invalid_arg "Sim_runner.run: empty register";
     if cfg.max_steps < 1 then invalid_arg "Sim_runner.run: no step budget";
@@ -84,6 +87,7 @@ module Make (R : Arc_core.Register_intf.S) = struct
     let init = Array.make cfg.sim_size_words 0 in
     P.stamp init ~seq:0 ~len:cfg.sim_size_words;
     let reg = R.create ~readers:cfg.sim_readers ~capacity:cfg.sim_size_words ~init in
+    (match prepare with Some f -> f reg | None -> ());
     let recorder =
       if cfg.sim_record > 0 then
         Some

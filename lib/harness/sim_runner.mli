@@ -10,8 +10,15 @@
     Fig. 2 with anywhere-preemption steal, and Fig. 3's
     thousands-of-threads regime. *)
 
-module Make (_ : Arc_core.Register_intf.S) : sig
-  val run : ?strategy:Arc_vsched.Strategy.t -> Config.sim -> Config.result
+module Make (R : Arc_core.Register_intf.S) : sig
+  val run :
+    ?prepare:(R.t -> unit) ->
+    ?strategy:Arc_vsched.Strategy.t ->
+    Config.sim ->
+    Config.result
   (** Default strategy: [Strategy.random ~seed:cfg.sim_seed].
+      [prepare] is called on the register after creation, before any
+      fiber runs — the attach point for register telemetry (which must
+      precede reader-handle creation).
       @raise Invalid_argument on nonsensical configurations. *)
 end

@@ -1,0 +1,17 @@
+(** Cache-line isolation for hot heap words: the spacer-boxing scheme
+    behind {!Real_mem.atomic_contended}, exported as a reusable
+    allocator so layers above the substrate (the telemetry counter
+    cells of [Arc_obs]) get the same treatment without duplicating the
+    topology probe or the spacer-retention discipline. *)
+
+val alloc : (unit -> 'a) -> 'a
+(** [alloc f] allocates whatever [f] builds with cache-line isolation:
+    on a multi-core machine the fresh block is bracketed by retained
+    line-sized spacers so no other hot heap word shares its line; on a
+    uniprocessor it is a plain [f ()].  [f] must allocate a small
+    block (at most a few words) and nothing else, or the bracketing is
+    void. *)
+
+val isolate_hot_words : bool
+(** Whether the topology probe chose the isolated layout
+    ([Domain.recommended_domain_count () > 1]). *)

@@ -17,62 +17,18 @@ type atomic = int Atomic.t
 
 let atomic = Atomic.make
 
-(* Cache-line isolation for hot synchronization words.  OCaml 5.1 has
-   no [Atomic.make_contended] (it arrives in 5.2), so the atomic is
-   spacer-boxed instead: the minor heap allocates sequentially, so
-   bracketing the cell between two line-sized dummy blocks keeps any
-   other hot object off its cache line, and promotion preserves the
-   neighbourhood (the 5.1 major heap never compacts).  The spacers
-   must stay reachable — a freed spacer is a hole the allocator could
-   refill with someone else's hot word — so they are retained in a
-   global list.  128 bytes of padding per side covers the common
-   64-byte line plus the adjacent-line prefetcher pair.  When the
-   toolchain moves to >= 5.2 this becomes [Atomic.make_contended].
-
-   The whole treatment is conditional on the machine actually having
-   more than one core: false sharing is cross-core line ping-pong, so
-   on a uniprocessor isolation can buy nothing and measurably loses
-   (the extra lines enlarge the hot working set — about 5% of ARC
-   32KB hold-model throughput on the 1-core reference container).  A
-   single topology probe at module load picks the layout. *)
-let isolate_hot_words = Domain.recommended_domain_count () > 1
-let spacer_words = (128 / (Sys.word_size / 8)) - 1 (* block + header = 128B *)
-
-let retained_spacers : int array list Atomic.t = Atomic.make []
-
-let retain spacer =
-  let rec go () =
-    let old = Atomic.get retained_spacers in
-    if not (Atomic.compare_and_set retained_spacers old (spacer :: old)) then go ()
-  in
-  go ()
-
-let atomic_contended v =
-  if not isolate_hot_words then Atomic.make v
-  else begin
-    let lead = Array.make spacer_words 0 in
-    let cell = Atomic.make v in
-    let trail = Array.make spacer_words 0 in
-    retain lead;
-    retain trail;
-    cell
-  end
+(* Cache-line isolation for hot synchronization words lives in
+   {!Isolate} (shared with the telemetry cells of [Arc_obs]): the
+   spacer-boxing stand-in for 5.2's [Atomic.make_contended], gated on
+   the machine actually having more than one core. *)
+let atomic_contended v = Isolate.alloc (fun () -> Atomic.make v)
 
 (* Co-located pair: the two cells are allocated back to back inside
    the padded region, so operations that touch both (ARC's read entry
    and exit, the writer's slot probe) pay one cache line, while other
    slots' counters stay off it. *)
 let atomic_contended_pair v1 v2 =
-  if not isolate_hot_words then (Atomic.make v1, Atomic.make v2)
-  else begin
-    let lead = Array.make spacer_words 0 in
-    let a = Atomic.make v1 in
-    let b = Atomic.make v2 in
-    let trail = Array.make spacer_words 0 in
-    retain lead;
-    retain trail;
-    (a, b)
-  end
+  Isolate.alloc (fun () -> (Atomic.make v1, Atomic.make v2))
 
 let load = Atomic.get
 let store = Atomic.set

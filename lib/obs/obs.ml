@@ -1,0 +1,249 @@
+(* Wait-free telemetry cells and metric exposition (ISSUE 5).
+
+   The observability layer's contract is the same as the register's:
+   recording must never block, never retry, and — on the read fast
+   path — never execute an RMW instruction.  The design that delivers
+   it is the one the paper uses for presence accounting: give every
+   domain its own word.
+
+   A {!Cell} is a single-writer counter: a plain [mutable int] record
+   field, allocated cache-line-isolated through the same spacer-boxing
+   machinery as the substrate's hot synchronization words
+   ({!Arc_mem.Isolate}, extracted from PR 1's [atomic_contended]).  The owner increments it with
+   a plain load + store — one or two cycles, no fence, no RMW — and
+   any other domain may read it concurrently.  A racy read of a
+   word-sized field cannot tear in OCaml's memory model (it returns
+   some previously written value), so observers see a possibly-stale
+   but never-corrupt count; joining the owner (or any other
+   happens-before edge) makes the value exact.  This is deliberately
+   NOT an [Atomic]: a seq-cst store carries a full fence on x86, which
+   is most of an RMW's cost — exactly the tax the §3.3 fast path
+   exists to avoid.
+
+   Cells live on the host heap, outside the register's memory
+   substrate [M], for two reasons: counting must not add scheduling
+   points under the virtual scheduler (enabling telemetry must not
+   change any schedule, and therefore no checker-visible history), and
+   it must not add operations the {!Arc_mem.Counting} instance would
+   charge to the algorithm.  The vsched counter test in
+   [test/test_obs.ml] verifies both. *)
+
+module Cell = struct
+  type t = { mutable v : int }
+
+  let create () = Arc_mem.Isolate.alloc (fun () -> { v = 0 })
+
+  (* Owner-only: plain read-modify-write of a private word.  Not
+     atomic, by design — see the module comment. *)
+  let incr c = c.v <- c.v + 1
+  let add c n = c.v <- c.v + n
+  let get c = c.v
+  let reset c = c.v <- 0
+end
+
+module Group = struct
+  type t = { name : string; help : string; cells : Cell.t array }
+
+  let create ~name ~help n =
+    if n < 1 then
+      invalid_arg (Printf.sprintf "Obs.Group.create: %d cells (need >= 1)" n);
+    { name; help; cells = Array.init n (fun _ -> Cell.create ()) }
+
+  let cell t i = t.cells.(i)
+  let domains t = Array.length t.cells
+  let name t = t.name
+  let help t = t.help
+  let value t = Array.fold_left (fun acc c -> acc + Cell.get c) 0 t.cells
+  let per_domain t = Array.map Cell.get t.cells
+end
+
+(* {1 Read outcomes}
+
+   The per-domain replacement for {!Arc_util.Stats.Outcomes} wherever
+   a counter is read while its owner is still running: each class is
+   its own single-writer cell, so a supervisor or live-summary thread
+   can snapshot a session's outcomes mid-run with no possibility of a
+   torn or half-merged read.  [Stats.Outcomes] remains the right type
+   for merge-after-join aggregation; [snapshot] bridges into it. *)
+
+module Outcomes = struct
+  type t = {
+    ok : Cell.t;
+    stale : Cell.t;
+    exhausted : Cell.t;
+    errors : Cell.t;
+    retries : Cell.t;
+  }
+
+  let create () =
+    {
+      ok = Cell.create ();
+      stale = Cell.create ();
+      exhausted = Cell.create ();
+      errors = Cell.create ();
+      retries = Cell.create ();
+    }
+
+  let ok t = Cell.incr t.ok
+  let stale t = Cell.incr t.stale
+  let exhausted t = Cell.incr t.exhausted
+  let error t = Cell.incr t.errors
+  let retry t = Cell.incr t.retries
+  let ok_count t = Cell.get t.ok
+  let stale_count t = Cell.get t.stale
+  let exhausted_count t = Cell.get t.exhausted
+  let error_count t = Cell.get t.errors
+  let retry_count t = Cell.get t.retries
+  let total t = ok_count t + stale_count t + exhausted_count t
+  let degraded t = stale_count t + exhausted_count t
+
+  let degraded_rate t =
+    let n = total t in
+    if n = 0 then 0. else float_of_int (degraded t) /. float_of_int n
+
+  (* A fresh merge-safe copy.  Each field is read once; concurrent
+     increments may land between field reads, so the copy is a
+     point-in-time view in which every count is individually valid and
+     monotone across successive snapshots — not a linearized cut, but
+     never torn or half-merged. *)
+  let snapshot t =
+    Arc_util.Stats.Outcomes.of_counts ~ok:(ok_count t)
+      ~stale:(stale_count t) ~exhausted:(exhausted_count t)
+      ~errors:(error_count t) ~retries:(retry_count t)
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "@[<h>ok=%d, stale=%d, exhausted=%d (degraded %.2f%%), errors=%d, \
+       retries=%d@]"
+      (ok_count t) (stale_count t) (exhausted_count t)
+      (100. *. degraded_rate t)
+      (error_count t) (retry_count t)
+end
+
+(* {1 Metrics and exposition} *)
+
+type kind = Counter | Gauge
+
+type metric = {
+  mname : string;
+  mhelp : string;
+  mkind : kind;
+  labels : (string * string) list;
+  value : float;
+}
+
+let metric ?(labels = []) ?(help = "") kind name value =
+  { mname = name; mhelp = help; mkind = kind; labels; value }
+
+let counter ?labels ?help name v =
+  metric ?labels ?help Counter name (float_of_int v)
+
+let gauge ?labels ?help name v = metric ?labels ?help Gauge name v
+
+let kind_name = function Counter -> "counter" | Gauge -> "gauge"
+
+(* Prometheus text exposition format (version 0.0.4): HELP/TYPE once
+   per family, one sample line per labelled metric.  Metrics are
+   emitted in first-appearance order with same-name samples grouped,
+   as the format requires. *)
+
+let escape_label v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let escape_help v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let pp_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let sample_line m =
+  let labels =
+    if m.labels = [] then ""
+    else
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v))
+             m.labels)
+      ^ "}"
+  in
+  Printf.sprintf "%s%s %s" m.mname labels (pp_value m.value)
+
+let prometheus metrics =
+  let b = Buffer.create 1024 in
+  let seen = Hashtbl.create 16 in
+  let families =
+    List.filter
+      (fun m ->
+        if Hashtbl.mem seen m.mname then false
+        else begin
+          Hashtbl.add seen m.mname ();
+          true
+        end)
+      metrics
+  in
+  List.iter
+    (fun fam ->
+      if fam.mhelp <> "" then
+        Buffer.add_string b
+          (Printf.sprintf "# HELP %s %s\n" fam.mname (escape_help fam.mhelp));
+      Buffer.add_string b
+        (Printf.sprintf "# TYPE %s %s\n" fam.mname (kind_name fam.mkind));
+      List.iter
+        (fun m ->
+          if m.mname = fam.mname then begin
+            Buffer.add_string b (sample_line m);
+            Buffer.add_char b '\n'
+          end)
+        metrics)
+    families;
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json metrics =
+  let one m =
+    let labels =
+      if m.labels = [] then ""
+      else
+        Printf.sprintf ", \"labels\": {%s}"
+          (String.concat ", "
+             (List.map
+                (fun (k, v) ->
+                  Printf.sprintf "%S: \"%s\"" k (json_escape v))
+                m.labels))
+    in
+    Printf.sprintf "    {\"name\": %S, \"kind\": %S%s, \"value\": %s}" m.mname
+      (kind_name m.mkind) labels (pp_value m.value)
+  in
+  Printf.sprintf "[\n%s\n  ]" (String.concat ",\n" (List.map one metrics))

@@ -1,0 +1,110 @@
+(** Wait-free telemetry: per-domain counter cells, read-outcome
+    accounting, and metric exposition.
+
+    Recording never blocks, never retries, and on the register's read
+    fast path never executes an RMW: a {!Cell} is a plain single-writer
+    [mutable int], cache-line-isolated via {!Arc_mem.Isolate},
+    incremented with an ordinary load + store.  Any domain may read a cell concurrently — a word-sized
+    racy read cannot tear, so observers see a possibly-stale but
+    never-corrupt count, and a happens-before edge (e.g.
+    [Domain.join]) makes it exact.
+
+    Cells live on the host heap, outside the register's memory
+    substrate, so counting adds no scheduling points under the virtual
+    scheduler (enabling telemetry changes no checker-visible history)
+    and no operations to {!Arc_mem.Counting}'s ledger. *)
+
+(** A single-writer counter word on its own cache line.  [incr]/[add]
+    are owner-only (plain, unfenced); [get] is safe from any domain. *)
+module Cell : sig
+  type t = { mutable v : int }
+  (** The word is exposed so register hot paths can compile the
+      increment to a single inline store ([c.v <- c.v + 1]) — without
+      flambda a cross-module [incr] call costs several ns, comparable
+      to the fast-path read itself.  Treat the field as owner-only:
+      one writer mutates, any thread may (racily) read. *)
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+  val reset : t -> unit
+end
+
+(** A named family of per-domain cells — one cell per participant, so
+    every writer owns its word and [value] sums them racily-but-safely. *)
+module Group : sig
+  type t
+
+  val create : name:string -> help:string -> int -> t
+  (** [create ~name ~help n] — [n] cells, one per domain; raises
+      [Invalid_argument] if [n < 1]. *)
+
+  val cell : t -> int -> Cell.t
+  val domains : t -> int
+  val name : t -> string
+  val help : t -> string
+
+  val value : t -> int
+  (** Sum over all cells (racy snapshot; exact after owners join). *)
+
+  val per_domain : t -> int array
+end
+
+(** Per-domain read-outcome counters: the concurrent-safe replacement
+    for {!Arc_util.Stats.Outcomes} wherever counts are read while the
+    owning session is still running (live soak summaries, supervisor
+    probes).  Same counting semantics; {!snapshot} bridges to the
+    merge-after-join [Stats.Outcomes] world. *)
+module Outcomes : sig
+  type t
+
+  val create : unit -> t
+  val ok : t -> unit
+  val stale : t -> unit
+  val exhausted : t -> unit
+  val error : t -> unit
+  val retry : t -> unit
+  val ok_count : t -> int
+  val stale_count : t -> int
+  val exhausted_count : t -> int
+  val error_count : t -> int
+  val retry_count : t -> int
+  val total : t -> int
+  val degraded : t -> int
+  val degraded_rate : t -> float
+
+  val snapshot : t -> Arc_util.Stats.Outcomes.t
+  (** Point-in-time copy, safe to take from any domain mid-run: each
+      count is individually valid and monotone across snapshots (not a
+      linearized cut — concurrent increments may straddle the field
+      reads). *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** {1 Metrics and exposition} *)
+
+type kind = Counter | Gauge
+
+type metric = {
+  mname : string;
+  mhelp : string;
+  mkind : kind;
+  labels : (string * string) list;
+  value : float;
+}
+
+val counter :
+  ?labels:(string * string) list -> ?help:string -> string -> int -> metric
+
+val gauge :
+  ?labels:(string * string) list -> ?help:string -> string -> float -> metric
+
+val prometheus : metric list -> string
+(** Prometheus text exposition (format 0.0.4): [# HELP]/[# TYPE] once
+    per family, one sample line per metric, same-name samples grouped. *)
+
+val json : metric list -> string
+(** The same metrics as a JSON array (for merging into
+    [results/BENCH_arc.json]). *)

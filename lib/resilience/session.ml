@@ -18,11 +18,20 @@
    refuses to serve it is bounded by [max_stale] (in the session's
    clock units); the translation of that clock bound into a
    writes-behind bound is the checker's job
-   ({!Arc_trace.Checker.check_bounded_staleness}). *)
+   ({!Arc_trace.Checker.check_bounded_staleness}).
+
+   Outcome accounting uses {!Arc_obs.Obs.Outcomes} — per-class
+   single-writer cells — not {!Arc_util.Stats.Outcomes}: the soak
+   engine's recorder and live summary read a session's counters from
+   another thread {e while the session is still running}, which the
+   plain mutable Stats record was never licensed for (it documents
+   "merge after join").  Cells make any mid-run read a valid racy
+   snapshot; {!Outcomes.snapshot} bridges back into the Stats world
+   for post-join aggregation. *)
 
 module Make (R : Arc_core.Register_intf.S) = struct
   module M = R.Mem
-  module Outcomes = Arc_util.Stats.Outcomes
+  module Outcomes = Arc_obs.Obs.Outcomes
 
   type 'a outcome =
     | Fresh of 'a
@@ -44,6 +53,9 @@ module Make (R : Arc_core.Register_intf.S) = struct
     mutable snap_len : int;  (* -1 until the first successful read *)
     mutable snap_at : int;
     outcomes : Outcomes.t;
+    latency : Arc_util.Histogram.t;
+        (* per-read_with latency in the session's clock units,
+           including retries/backoff — the caller-observed tail *)
   }
 
   let create ?backoff ?breaker ?(max_stale = max_int) ~now ~sleep ~capacity rd =
@@ -68,13 +80,52 @@ module Make (R : Arc_core.Register_intf.S) = struct
       snap_len = -1;
       snap_at = 0;
       outcomes = Outcomes.create ();
+      latency = Arc_util.Histogram.create ();
     }
 
   let outcomes t = t.outcomes
   let breaker t = t.breaker
+  let latency t = t.latency
 
   let snapshot_age t =
     if t.snap_len < 0 then None else Some (t.now () - t.snap_at)
+
+  (* Safe from any thread mid-run: outcome counts come from the
+     per-class cells, breaker trips from its own counter. *)
+  let metrics t =
+    let open Arc_obs.Obs in
+    [
+      counter "session_reads_fresh_total" ~help:"Live reads served fresh"
+        (Outcomes.ok_count t.outcomes);
+      counter "session_stale_serves_total"
+        ~help:"Reads served from the degradation snapshot"
+        (Outcomes.stale_count t.outcomes);
+      counter "session_exhausted_total"
+        ~help:"Reads that found no live value and no admissible snapshot"
+        (Outcomes.exhausted_count t.outcomes);
+      counter "session_errors_total" ~help:"Live read attempts that failed"
+        (Outcomes.error_count t.outcomes);
+      counter "session_retries_total" ~help:"Backoff retry attempts"
+        (Outcomes.retry_count t.outcomes);
+      counter "session_breaker_trips_total"
+        ~help:"Circuit-breaker Closed->Open transitions"
+        (Breaker.trips t.breaker);
+      gauge "session_snapshot_age"
+        ~help:"Clock units since the snapshot was refreshed (-1 if none)"
+        (match snapshot_age t with None -> -1. | Some a -> float_of_int a);
+    ]
+    @
+    if Arc_util.Histogram.count t.latency = 0 then []
+    else
+      List.map
+        (fun (q, p) ->
+          gauge "session_read_latency"
+            ~labels:[ ("quantile", q) ]
+            ~help:
+              "read_with latency in session clock units (interpolated \
+               histogram percentile)"
+            (float_of_int (Arc_util.Histogram.percentile t.latency p)))
+        [ ("0.5", 50.); ("0.99", 99.); ("1.0", 100.) ]
 
   let serve_degraded t ~attempts ~last_error ~f =
     let age = t.now () - t.snap_at in
@@ -98,22 +149,27 @@ module Make (R : Arc_core.Register_intf.S) = struct
      bounded three ways: the deadline, the breaker (a trip mid-retry
      short-circuits the next attempt), and backoff growth. *)
   let read_with ?(deadline = max_int) t ~f =
+    let started = t.now () in
+    let finish outcome =
+      Arc_util.Histogram.record t.latency (t.now () - started);
+      outcome
+    in
     let rec attempt n last_error =
       if not (Breaker.allow t.breaker) then
-        serve_degraded t ~attempts:(n - 1) ~last_error ~f
+        finish (serve_degraded t ~attempts:(n - 1) ~last_error ~f)
       else
         match live_read t ~f with
         | v ->
           Breaker.record_success t.breaker;
           Backoff.reset t.backoff;
           Outcomes.ok t.outcomes;
-          Fresh v
+          finish (Fresh v)
         | exception Arc_core.Register_intf.Saturated msg ->
           Outcomes.error t.outcomes;
           Breaker.record_failure t.breaker;
           let delay = Backoff.next t.backoff in
           if t.now () + delay > deadline then
-            serve_degraded t ~attempts:n ~last_error:msg ~f
+            finish (serve_degraded t ~attempts:n ~last_error:msg ~f)
           else begin
             Outcomes.retry t.outcomes;
             t.sleep delay;

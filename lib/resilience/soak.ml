@@ -390,7 +390,10 @@ let run_one ~seed (cfg : cfg) : run_report =
   let outcomes = Outcomes.create () in
   Array.iter
     (function
-      | Some s -> Outcomes.merge_into ~src:(S.outcomes s) ~dst:outcomes
+      | Some s ->
+        (* Sessions count in per-domain Obs cells; after the vsched run
+           every fiber is quiescent, so the snapshot is exact. *)
+        Outcomes.merge_into ~src:(S.Outcomes.snapshot (S.outcomes s)) ~dst:outcomes
       | None -> ())
     sessions;
   let history = History.Recorder.history recorder in
@@ -499,6 +502,42 @@ let pp_outcome ppf o =
     o.took_effect
     (if o.violations = [] then "CLEAN"
      else Printf.sprintf "%d VIOLATIONS" (List.length o.violations))
+
+(* Aggregate counters as exposition metrics for the --metrics flag of
+   the soak binary. *)
+let metrics (o : outcome) =
+  let open Arc_obs.Obs in
+  [
+    counter "soak_runs_total" ~help:"Completed soak runs" o.runs;
+    counter "soak_writes_total" ~help:"Writes across all runs" o.writes;
+    counter "soak_reads_fresh_total" ~help:"Fresh session reads" o.reads_fresh;
+    counter "soak_stale_serves_total" ~help:"Degraded stale serves"
+      o.stale_serves;
+    counter "soak_exhausted_total" ~help:"Exhausted session reads" o.exhausted;
+    counter "soak_retries_total" ~help:"Session retry attempts" o.retries;
+    counter "soak_injected_errors_total" ~help:"Injected transient errors"
+      o.injected_errors;
+    counter "soak_failovers_total" ~help:"Supervisor promotions" o.failovers;
+    counter "soak_handoffs_total" ~help:"Promotions followed by standby writes"
+      o.handoffs;
+    counter "soak_quarantined_slots_total"
+      ~help:"Slots retired by successor crash recovery" o.quarantined;
+    counter "soak_fenced_writes_total" ~help:"Writes through the epoch fence"
+      o.fenced_writes;
+    counter "soak_writer_crashes_total" ~help:"Injected writer crashes"
+      o.writer_crashes;
+    counter "soak_reader_crashes_total" ~help:"Injected reader crashes"
+      o.reader_crashes;
+    counter "soak_zombie_runs_total" ~help:"Runs with a zombie incumbent"
+      o.zombies;
+    counter "soak_tears_total"
+      ~help:
+        "Torn snapshots observed in fault windows (injected tears the \
+         session layer must surface as errors, never serve)"
+      o.tears;
+    counter "soak_violations_total" ~help:"Checker violations (must stay 0)"
+      (List.length o.violations);
+  ]
 
 let derive_seed (cfg : cfg) k = (cfg.seed * 1_000_003) + k
 

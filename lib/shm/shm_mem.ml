@@ -421,7 +421,59 @@ let classify m info =
   then Some Checksum
   else None
 
-let recover m =
+(* Process-wide recovery telemetry ({!Arc_obs.Obs.Cell}s, plain
+   single-writer words): [recover] runs on the recovering process's
+   startup path, effectively single-threaded, so the cells are exact.
+   Cumulative across every mapping this process recovers, which is
+   what the crash-campaign exposition wants. *)
+module Tel = struct
+  module Obs = Arc_obs.Obs
+
+  let recoveries = Obs.Cell.create ()
+  let failures = Obs.Cell.create ()
+  let convictions = Obs.Cell.create ()
+  let torn = Obs.Cell.create ()
+  let checksum = Obs.Cell.create ()
+  let bad_length = Obs.Cell.create ()
+  let intact = Obs.Cell.create ()
+end
+
+let metrics () =
+  let open Arc_obs.Obs in
+  [
+    counter "shm_recoveries_total"
+      ~help:"Successful crash-recovery scans of a mapping"
+      (Cell.get Tel.recoveries);
+    counter "shm_recovery_failures_total"
+      ~help:"Recovery scans rejected (unrecoverable mapping)"
+      (Cell.get Tel.failures);
+    counter "shm_convictions_total"
+      ~labels:[ ("reason", "torn") ]
+      ~help:"Buffers convicted and quarantined by recovery, by evidence"
+      (Cell.get Tel.torn);
+    counter "shm_convictions_total"
+      ~labels:[ ("reason", "checksum") ]
+      (Cell.get Tel.checksum);
+    counter "shm_convictions_total"
+      ~labels:[ ("reason", "bad-length") ]
+      (Cell.get Tel.bad_length);
+    counter "shm_intact_buffers_total"
+      ~help:"Buffers that passed the integrity scan" (Cell.get Tel.intact);
+  ]
+
+let reset_metrics () =
+  List.iter Arc_obs.Obs.Cell.reset
+    [
+      Tel.recoveries;
+      Tel.failures;
+      Tel.convictions;
+      Tel.torn;
+      Tel.checksum;
+      Tel.bad_length;
+      Tel.intact;
+    ]
+
+let recover_scan m =
   let sb_epoch_now = unsafe_get m L.sb_epoch in
   let convicted = ref [] in
   let intact = ref 0
@@ -481,6 +533,25 @@ let recover m =
               recovery_fence;
               last_seq = !last_seq;
             })
+
+let recover m =
+  match recover_scan m with
+  | Error _ as e ->
+      Arc_obs.Obs.Cell.incr Tel.failures;
+      e
+  | Ok r ->
+      Arc_obs.Obs.Cell.incr Tel.recoveries;
+      Arc_obs.Obs.Cell.add Tel.convictions (List.length r.convicted);
+      Arc_obs.Obs.Cell.add Tel.intact r.intact;
+      List.iter
+        (fun c ->
+          Arc_obs.Obs.Cell.incr
+            (match c.why with
+            | Torn -> Tel.torn
+            | Checksum -> Tel.checksum
+            | Bad_length -> Tel.bad_length))
+        r.convicted;
+      Ok r
 
 let read_latest m =
   let best = ref None in

@@ -210,6 +210,16 @@ val recover : mapping -> (recovery, string) result
     convictions into it ([quarantine]) and run the register's own
     [recover_crash]; {!Shm_arc.recover} bundles all three steps. *)
 
+val metrics : unit -> Arc_obs.Obs.metric list
+(** Process-cumulative recovery telemetry: successful/rejected scans,
+    convictions by evidence class (torn / checksum / bad-length) and
+    intact buffers, across every mapping this process has recovered.
+    Counters are {!Arc_obs.Obs.Cell}s updated on the (effectively
+    single-threaded) recovery path. *)
+
+val reset_metrics : unit -> unit
+(** Zero the process-cumulative recovery counters (test isolation). *)
+
 val read_latest : mapping -> (int * int array) option
 (** The most recent verified snapshot: scans live, intact buffers and
     returns [(publish_seq, payload)] for the highest [end_seq], or

@@ -17,8 +17,14 @@ val max_value : t -> int
 (** Largest recorded sample (exact). *)
 
 val percentile : t -> float -> int
-(** [percentile t p]: an upper bound on the [p]-th percentile, exact
-    up to the bucket's factor-of-two width.
+(** [percentile t p]: estimate of the [p]-th percentile, linearly
+    interpolated within the power-of-two bucket holding the
+    [⌈p/100·n⌉]-th smallest sample (clamped to {!max_value}, so the
+    top percentile of a single-maximum distribution is exact).  The
+    estimate always lies in the same bucket as that order statistic —
+    within a factor of two of it — whereas returning the raw bucket
+    upper bound (the previous behaviour) overstated mid-bucket
+    percentiles by up to 2x.
     @raise Invalid_argument on an empty histogram or [p] outside
     [0, 100]. *)
 

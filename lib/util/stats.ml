@@ -69,6 +69,9 @@ module Outcomes = struct
   }
 
   let create () = { ok = 0; stale = 0; exhausted = 0; errors = 0; retries = 0 }
+
+  let of_counts ~ok ~stale ~exhausted ~errors ~retries =
+    { ok; stale; exhausted; errors; retries }
   let ok t = t.ok <- t.ok + 1
   let stale t = t.stale <- t.stale + 1
   let exhausted t = t.exhausted <- t.exhausted + 1

@@ -39,6 +39,13 @@ module Outcomes : sig
   type t
 
   val create : unit -> t
+
+  val of_counts :
+    ok:int -> stale:int -> exhausted:int -> errors:int -> retries:int -> t
+  (** A counter pre-loaded with the given counts — the bridge for
+      snapshot copies taken from concurrent-safe per-domain cells
+      ({!Arc_obs.Obs.Outcomes}). *)
+
   val ok : t -> unit
   val stale : t -> unit
   val exhausted : t -> unit

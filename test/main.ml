@@ -77,4 +77,5 @@ let () =
       ("resilience", Test_resilience.suite);
       ("mrmw", Test_mrmw.suite);
       ("shm", Test_shm.suite);
+      ("obs", Test_obs.suite);
     ]

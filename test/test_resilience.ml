@@ -7,7 +7,7 @@ module Backoff = Arc_resilience.Backoff
 module Breaker = Arc_resilience.Breaker
 module Fenced = Arc_resilience.Fenced
 module Soak = Arc_resilience.Soak
-module Outcomes = Arc_util.Stats.Outcomes
+module Outcomes = Arc_obs.Obs.Outcomes
 
 (* --- backoff --------------------------------------------------------- *)
 
