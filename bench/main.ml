@@ -513,6 +513,131 @@ let emit_shm_json path =
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 
+(* --- machine-readable fabric snapshot (BENCH_fabric.json) ------------ *)
+
+(* The ISSUE 6 fan-out campaign: cross-shard snapshot cost as the
+   fabric grows.  The real-memory grid measures steady-state snapshot
+   latency (collect + clean probe pass) per shard count — its 64-shard
+   point, normalized to ns per shard collected, is the perf gate's
+   tracked metric [snapshot_ns_per_shard].  The simulated grid runs
+   the Fig. 3 regime the container cannot host natively (thousands of
+   shards with contending writers under the virtual scheduler) and
+   reports the cost-model counterpart, steps per snapshot. *)
+
+module Fabric_runner = Arc_harness.Fabric_runner
+module Fab = Arc_fabric.Fabric.Make (Arc_core.Arc.Make (Arc_mem.Real_mem))
+
+let fabric_size_words = 64
+let fabric_shard_grid = [ 4; 16; 64; 256; 1024 ]
+let fabric_gate_shards = 64
+
+(* measure_ns's fixed 20k iterations would make the 1024-shard point
+   pay ~7s of sampling for no precision; scale iterations down with
+   the per-op cost instead. *)
+let fabric_measure ~shards f =
+  let iters = max 100 (20_000 / shards) in
+  let sample () =
+    let t0 = Arc_util.Cpu.now_ns () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    Int64.to_float (Int64.sub (Arc_util.Cpu.now_ns ()) t0) /. float_of_int iters
+  in
+  ignore (sample ());
+  let samples = Array.init shm_json_reps (fun _ -> sample ()) in
+  Array.sort compare samples;
+  samples.(shm_json_reps / 2)
+
+let fabric_real_point ~shards =
+  let init = stamped ~seq:0 ~len:fabric_size_words in
+  let fab =
+    Fab.create ~shards ~writers:1 ~readers:1 ~capacity:fabric_size_words ~init
+  in
+  let w = Fab.writer fab 0 in
+  let src = stamped ~seq:1 ~len:fabric_size_words in
+  for s = 0 to shards - 1 do
+    Fab.write w ~shard:s ~src ~len:fabric_size_words
+  done;
+  let sc = Fab.scanner fab 0 in
+  ignore (Fab.snapshot sc);
+  fabric_measure ~shards (fun () -> ignore (Fab.snapshot sc))
+
+let fabric_sim_grid = [ (64, 8, 2); (256, 8, 2); (1024, 8, 2) ]
+
+let fabric_sim_point ~shards ~writers ~scanners =
+  (* The algorithm is discovered by capability, not named. *)
+  let entry = List.hd (Registry.fabric_capable Registry.all) in
+  let run = Option.get entry.Registry.run_fabric_sim in
+  let cfg =
+    {
+      Config.fab_shards = shards;
+      fab_writers = writers;
+      fab_scanners = scanners;
+      fab_size_words = 8;
+      fab_steps = 150_000;
+      fab_seed = 7;
+      fab_atomic = true;
+    }
+  in
+  run cfg
+
+let emit_fabric_json path =
+  let real =
+    List.map
+      (fun shards ->
+        let ns = fabric_real_point ~shards in
+        (shards, ns, ns /. float_of_int shards))
+      fabric_shard_grid
+  in
+  let gate_ns_per_shard =
+    match List.find_opt (fun (s, _, _) -> s = fabric_gate_shards) real with
+    | Some (_, _, per_shard) -> per_shard
+    | None -> 0.
+  in
+  let real_records =
+    List.map
+      (fun (shards, ns, per_shard) ->
+        Printf.sprintf
+          "    {\"shards\": %d, \"median_ns_per_snapshot\": %.1f, \
+           \"ns_per_shard\": %.2f}"
+          shards ns per_shard)
+      real
+  in
+  let sim_records =
+    List.map
+      (fun (shards, writers, scanners) ->
+        let r = fabric_sim_point ~shards ~writers ~scanners in
+        let per_snap =
+          if r.Fabric_runner.fr_snapshots > 0 then
+            float_of_int r.Fabric_runner.fr_steps
+            /. float_of_int r.Fabric_runner.fr_snapshots
+          else 0.
+        in
+        Printf.sprintf
+          "    {\"shards\": %d, \"writers\": %d, \"scanners\": %d, \
+           \"snapshots\": %d, \"borrowed\": %d, \"retries\": %d, \
+           \"steps\": %d, \"steps_per_snapshot\": %.1f}"
+          shards writers scanners r.Fabric_runner.fr_snapshots
+          r.Fabric_runner.fr_borrowed r.Fabric_runner.fr_retries
+          r.Fabric_runner.fr_steps per_snap)
+      fabric_sim_grid
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"platform\": \"%s\",\n\
+    \  \"size_words\": %d,\n\
+    \  \"gate_shards\": %d,\n\
+    \  \"snapshot_ns_per_shard\": %.2f,\n\
+    \  \"real\": [\n%s\n  ],\n\
+    \  \"sim\": [\n%s\n  ]\n}\n"
+    (json_escape (Arc_util.Cpu.describe ()))
+    fabric_size_words fabric_gate_shards gate_ns_per_shard
+    (String.concat ",\n" real_records)
+    (String.concat ",\n" sim_records);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
 (* --- runner ---------------------------------------------------------- *)
 
 let benchmark tests =
@@ -577,12 +702,24 @@ let shm_json_arg =
     & opt ~vopt:(Some "BENCH_shm.json") (some string) None
     & info [ "shm-json" ] ~docv:"PATH" ~doc)
 
-let main throughput shm =
-  match (throughput, shm) with
-  | None, None -> run_bechamel ()
+let fabric_json_arg =
+  let doc =
+    "Write the fabric fan-out campaign (cross-shard snapshot cost per shard \
+     count, real and simulated) as JSON to $(docv), skipping the bechamel \
+     suite.  A bare $(opt) writes BENCH_fabric.json."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "BENCH_fabric.json") (some string) None
+    & info [ "fabric-json" ] ~docv:"PATH" ~doc)
+
+let main throughput shm fabric =
+  match (throughput, shm, fabric) with
+  | None, None, None -> run_bechamel ()
   | _ ->
     Option.iter emit_shm_json shm;
-    Option.iter emit_throughput_json throughput
+    Option.iter emit_throughput_json throughput;
+    Option.iter emit_fabric_json fabric
 
 let cmd =
   Cmd.v
@@ -591,6 +728,6 @@ let cmd =
          "Per-operation microbenchmarks for the ARC register (bechamel \
           suite by default; machine-readable JSON snapshots by opt-in \
           flag)")
-    Term.(const main $ throughput_json_arg $ shm_json_arg)
+    Term.(const main $ throughput_json_arg $ shm_json_arg $ fabric_json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -21,6 +21,7 @@
 
 module Config = Arc_harness.Config
 module Registry = Arc_harness.Registry
+module Fabric_runner = Arc_harness.Fabric_runner
 module Checker = Arc_trace.Checker
 module Audit = Arc_trace.Audit
 module History = Arc_trace.History
@@ -219,6 +220,119 @@ let run_faults algo seeds readers size steps =
      else "MISSED — fault layer or checker is broken");
   if !failures > 0 then exit 1
 
+(* {1 The --fabric campaign (ISSUE 6)}
+
+   Every fabric-capable algorithm (discovered by the snapshot_read
+   capability, never by name) runs seeded fabric campaigns: writer
+   fibers over their owned shards, scanner fibers taking cross-shard
+   snapshots, every run judged by the cross-shard checker and against
+   the wait-freedom retry bound.  A collect-only negative control must
+   be convicted, proving the judgement is not vacuous. *)
+
+let run_fabric algo seeds strategy_name shards readers size steps =
+  let eligible = Registry.fabric_capable Registry.all in
+  let entries =
+    if algo = "all" then eligible
+    else
+      match List.find_opt (fun e -> e.Registry.name = algo) eligible with
+      | Some e -> [ e ]
+      | None ->
+        Printf.eprintf "algorithm %S is not fabric-capable; eligible: %s, all\n"
+          algo
+          (String.concat ", " (List.map (fun e -> e.Registry.name) eligible));
+        exit 2
+  in
+  let writers = max 1 (shards / 2) in
+  let cfg =
+    {
+      Config.fab_shards = shards;
+      fab_writers = writers;
+      fab_scanners = readers;
+      fab_size_words = size;
+      fab_steps = steps;
+      fab_seed = 0;
+      fab_atomic = true;
+    }
+  in
+  Printf.printf
+    "fabric campaign: %d seeds × %s, %d shards × %d writers × %d scanners, %d \
+     words, %d steps\n\n"
+    seeds strategy_name shards writers readers size steps;
+  Printf.printf "%-16s %9s %9s %8s %9s %8s  %s\n" "algorithm" "snapshots"
+    "borrowed" "retries" "deposits" "writes" "verdict";
+  let failures = ref 0 in
+  let retry_cap (r : Fabric_runner.result) =
+    (* Public snapshots plus writers' helping scans (one per deposit),
+       each allowed at most 2·shards + 3 failed probe passes. *)
+    (r.Fabric_runner.fr_snapshots + r.Fabric_runner.fr_deposits)
+    * ((2 * shards) + 3)
+  in
+  let row (entry : Registry.entry) =
+    let run = Option.get entry.Registry.run_fabric_sim in
+    let snaps = ref 0 and borrowed = ref 0 and retries = ref 0 in
+    let deposits = ref 0 and writes = ref 0 in
+    let violations = ref [] in
+    for seed = 1 to seeds do
+      let strategy =
+        strategy_of ~name:strategy_name ~seed ~fibers:(writers + readers) ~steps
+      in
+      let r = run ~strategy { cfg with Config.fab_seed = seed } in
+      snaps := !snaps + r.Fabric_runner.fr_snapshots;
+      borrowed := !borrowed + r.Fabric_runner.fr_borrowed;
+      retries := !retries + r.Fabric_runner.fr_retries;
+      deposits := !deposits + r.Fabric_runner.fr_deposits;
+      writes := !writes + r.Fabric_runner.fr_writes;
+      if r.Fabric_runner.fr_torn > 0 then
+        violations :=
+          (seed,
+           Printf.sprintf "%d within-shard torn values" r.Fabric_runner.fr_torn)
+          :: !violations;
+      if r.Fabric_runner.fr_retries > retry_cap r then
+        violations :=
+          (seed,
+           Printf.sprintf "wait-freedom bound violated: %d retries"
+             r.Fabric_runner.fr_retries)
+          :: !violations;
+      match Fabric_runner.check r with
+      | Ok _ -> ()
+      | Error v ->
+        violations :=
+          (seed, Format.asprintf "%a" Checker.pp_fabric_violation v)
+          :: !violations
+    done;
+    let ok = !violations = [] in
+    if not ok then incr failures;
+    Printf.printf "%-16s %9d %9d %8d %9d %8d  %s\n" entry.Registry.name !snaps
+      !borrowed !retries !deposits !writes
+      (if ok then "PASS" else "FAIL");
+    List.iter
+      (fun (seed, msg) -> Printf.printf "    violation [seed %d]: %s\n" seed msg)
+      (List.rev !violations)
+  in
+  List.iter row entries;
+  (* Negative control: the collect-only arm of the first eligible
+     algorithm must be convicted as a torn snapshot by the checker. *)
+  let entry = List.hd entries in
+  let run = Option.get entry.Registry.run_fabric_sim in
+  let convicted = ref false in
+  let control_runs = max 8 (min seeds 32) in
+  for seed = 1 to control_runs do
+    if not !convicted then
+      let r =
+        run
+          ~strategy:(Strategy.random ~seed)
+          { cfg with Config.fab_seed = seed; fab_atomic = false }
+      in
+      match Fabric_runner.check r with
+      | Error (Checker.Torn_snapshot _) -> convicted := true
+      | Ok _ | Error _ -> ()
+  done;
+  if not !convicted then incr failures;
+  Printf.printf "%-16s %s\n" "torn-control"
+    (if !convicted then "REJECTED (expected)"
+     else "MISSED — fabric checker is broken");
+  if !failures > 0 then exit 1
+
 (* {1 Offline re-judgement (--history)}
 
    A persisted history — typically dumped by arc-crash next to a kept
@@ -273,12 +387,17 @@ let run_history hist_path shm_path =
     Format.printf "check FAILED: %a@." Checker.pp_violation v;
     exit 1
 
-let rec run faults replay_seed history shm algo seeds strategy_name readers size
-    steps verbose metrics =
+let rec run faults fabric shards replay_seed history shm algo seeds strategy_name
+    readers size steps verbose metrics =
   match (history, replay_seed) with
   | Some hist_path, _ -> run_history hist_path shm
   | None, Some seed ->
     run_fault_replay (Option.value algo ~default:"arc") seed readers size steps
+  | None, None when fabric ->
+    (* Fabric campaigns default to every fabric-capable algorithm. *)
+    run_fabric
+      (Option.value algo ~default:"all")
+      seeds strategy_name shards readers size steps
   | None, None ->
     (* The default algorithm set differs per mode: single-algorithm
        schedule checks default to arc, the fault campaign to all. *)
@@ -432,6 +551,24 @@ let cmd =
              a pass/fail table; exit 1 on any violation or a missed negative \
              control.")
   in
+  let fabric =
+    Arg.(
+      value & flag
+      & info [ "fabric" ]
+          ~doc:
+            "Run the sharded-fabric snapshot campaign (ISSUE 6) across every \
+             fabric-capable algorithm (discovered via the snapshot_read \
+             capability): seeded adversarial schedules judged by the \
+             cross-shard checker and the wait-freedom retry bound, plus a \
+             collect-only negative control that must be convicted; exit 1 on \
+             any violation.  --readers sets the scanner count.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"With --fabric: shard count (writers = max 1 (shards/2)).")
+  in
   let replay_seed =
     Arg.(
       value & opt (some int) None
@@ -465,10 +602,11 @@ let cmd =
        ~doc:
          "Explore schedules of a register algorithm and check atomicity \
           (Criterion 1) plus snapshot integrity; --faults runs the \
-          fault-injection campaign instead; --history re-judges a persisted \
-          cross-process history.")
+          fault-injection campaign instead; --fabric runs the cross-shard \
+          snapshot campaign; --history re-judges a persisted cross-process \
+          history.")
     Term.(
-      const run $ faults $ replay_seed $ history $ shm $ algo $ seeds $ strategy
-      $ readers $ size $ steps $ verbose $ metrics)
+      const run $ faults $ fabric $ shards $ replay_seed $ history $ shm $ algo
+      $ seeds $ strategy $ readers $ size $ steps $ verbose $ metrics)
 
 let () = exit (Cmd.eval cmd)

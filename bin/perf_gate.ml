@@ -1,4 +1,4 @@
-(* arc-perf-gate: per-op read-cost regression gate (ISSUE 5).
+(* arc-perf-gate: per-op regression gate (ISSUE 5, extended by ISSUE 6).
 
    Reads the telemetry record of a BENCH_arc.json produced by
    `bench/main.exe --throughput-json`, appends a dated entry to the
@@ -6,6 +6,9 @@
    per line), and fails if the per-op read cost — read_hit_ns_off,
    the telemetry-detached fast-path read — regressed more than
    --threshold percent against the last committed trajectory entry.
+   When a BENCH_fabric.json (bench/main.exe --fabric-json) is present,
+   the fabric's cross-shard snapshot cost per shard collected is
+   tracked and gated the same way.
 
      dune exec bin/perf_gate.exe
      dune exec bin/perf_gate.exe -- --bench /tmp/BENCH_arc.json --threshold 10
@@ -62,7 +65,7 @@ let iso_date () =
     (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
     t.Unix.tm_sec
 
-let run bench trajectory threshold label =
+let run bench fabric_bench trajectory threshold label =
   let bench_s =
     try read_file bench
     with Sys_error msg ->
@@ -82,18 +85,36 @@ let run bench trajectory threshold label =
   let off = need "read_hit_ns_off" in
   let on_ = need "read_hit_ns_on" in
   let overhead = need "overhead_pct" in
-  let baseline =
-    if Sys.file_exists trajectory then
-      match last_nonempty_line (read_file trajectory) with
-      | Some line -> field_of ~key:"read_hit_ns_off" line
-      | None -> None
+  (* The fabric metric (ISSUE 6) is optional so older checkouts and
+     read-only gates keep working: tracked and gated whenever a
+     BENCH_fabric.json is present. *)
+  let snap_per_shard =
+    if Sys.file_exists fabric_bench then
+      match field_of ~key:"snapshot_ns_per_shard" (read_file fabric_bench) with
+      | Some v -> Some v
+      | None ->
+        Printf.eprintf
+          "perf-gate: %s has no \"snapshot_ns_per_shard\" field — was it \
+           written by bench/main.exe --fabric-json?\n"
+          fabric_bench;
+        exit 2
     else None
   in
+  let last_line =
+    if Sys.file_exists trajectory then last_nonempty_line (read_file trajectory)
+    else None
+  in
+  let baseline_of key = Option.bind last_line (field_of ~key) in
+  let baseline = baseline_of "read_hit_ns_off" in
+  let snap_baseline = baseline_of "snapshot_ns_per_shard" in
   let entry =
     Printf.sprintf
       "{\"date\": \"%s\", \"label\": \"%s\", \"read_hit_ns_off\": %.2f, \
-       \"read_hit_ns_on\": %.2f, \"overhead_pct\": %.2f}"
+       \"read_hit_ns_on\": %.2f, \"overhead_pct\": %.2f%s}"
       (iso_date ()) label off on_ overhead
+      (match snap_per_shard with
+      | Some v -> Printf.sprintf ", \"snapshot_ns_per_shard\": %.2f" v
+      | None -> "")
   in
   let oc =
     open_out_gen [ Open_append; Open_creat ] 0o644 trajectory
@@ -102,23 +123,31 @@ let run bench trajectory threshold label =
   output_char oc '\n';
   close_out oc;
   Printf.printf "perf-gate: appended to %s\n  %s\n" trajectory entry;
-  match baseline with
-  | None ->
-    Printf.printf "perf-gate: no prior trajectory entry — baseline recorded\n"
-  | Some base ->
-    let limit = base *. (1. +. (threshold /. 100.)) in
-    if off > limit then begin
-      Printf.printf
-        "perf-gate: REGRESSION — read-hit %.2f ns/op exceeds %.2f ns/op \
-         (last committed %.2f + %.0f%%)\n"
-        off limit base threshold;
-      exit 1
-    end
-    else
-      Printf.printf
-        "perf-gate: ok — read-hit %.2f ns/op within %.0f%% of last committed \
-         %.2f\n"
-        off threshold base
+  let failures = ref 0 in
+  let gate ~metric ~current ~baseline =
+    match (current, baseline) with
+    | None, _ -> ()
+    | Some _, None ->
+      Printf.printf "perf-gate: no prior %s in trajectory — baseline recorded\n"
+        metric
+    | Some v, Some base ->
+      let limit = base *. (1. +. (threshold /. 100.)) in
+      if v > limit then begin
+        incr failures;
+        Printf.printf
+          "perf-gate: REGRESSION — %s %.2f ns exceeds %.2f ns (last committed \
+           %.2f + %.0f%%)\n"
+          metric v limit base threshold
+      end
+      else
+        Printf.printf
+          "perf-gate: ok — %s %.2f ns within %.0f%% of last committed %.2f\n"
+          metric v threshold base
+  in
+  gate ~metric:"read-hit" ~current:(Some off) ~baseline;
+  gate ~metric:"snapshot-ns-per-shard" ~current:snap_per_shard
+    ~baseline:snap_baseline;
+  if !failures > 0 then exit 1
 
 let cmd =
   let bench =
@@ -127,6 +156,15 @@ let cmd =
       & opt string "results/BENCH_arc.json"
       & info [ "bench" ] ~docv:"PATH"
           ~doc:"BENCH_arc.json produced by bench/main.exe --throughput-json.")
+  in
+  let fabric_bench =
+    Arg.(
+      value
+      & opt string "results/BENCH_fabric.json"
+      & info [ "fabric-bench" ] ~docv:"PATH"
+          ~doc:
+            "BENCH_fabric.json produced by bench/main.exe --fabric-json; when \
+             present its snapshot_ns_per_shard is tracked and gated too.")
   in
   let trajectory =
     Arg.(
@@ -152,8 +190,9 @@ let cmd =
   Cmd.v
     (Cmd.info "arc-perf-gate"
        ~doc:
-         "Append the current per-op read cost to the perf trajectory and \
-          fail on regression beyond the threshold.")
-    Term.(const run $ bench $ trajectory $ threshold $ label)
+         "Append the current per-op read cost (and, when measured, the \
+          fabric snapshot cost per shard) to the perf trajectory and fail on \
+          regression beyond the threshold.")
+    Term.(const run $ bench $ fabric_bench $ trajectory $ threshold $ label)
 
 let () = exit (Cmd.eval cmd)

@@ -21,6 +21,7 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       Arc_core.Register_intf.wait_free = false;
       zero_copy = false (* reads validate a private scratch copy *);
       max_readers = (fun ~capacity_words:_ -> None);
+      snapshot_read = false;
     }
 
   let create ~readers ~capacity ~init =

@@ -33,6 +33,7 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       Arc_core.Register_intf.wait_free = true;
       zero_copy = false (* reads return a validated private copy *);
       max_readers = (fun ~capacity_words:_ -> None);
+      snapshot_read = false;
     }
 
   let fresh_buf capacity = { size = M.atomic 0; content = M.alloc capacity }

@@ -33,6 +33,7 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       zero_copy = true;
       max_readers =
         (fun ~capacity_words:_ -> Some (max_readers_for_word ~word_bits:Sys.int_size));
+      snapshot_read = false;
     }
 
   let pointer_of reg word = word lsr reg.readers

@@ -13,6 +13,7 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       Arc_core.Register_intf.wait_free = false;
       zero_copy = true (* the callback runs on the shared buffer, inside the lock *);
       max_readers = (fun ~capacity_words:_ -> None);
+      snapshot_read = false;
     }
 
   let create ~readers ~capacity ~init =

@@ -21,6 +21,7 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       Arc_core.Register_intf.wait_free = true;
       zero_copy = true (* the callback runs on the claimed slot *);
       max_readers = (fun ~capacity_words:_ -> Some 1);
+      snapshot_read = false;
     }
 
   let create ~readers ~capacity ~init =

@@ -7,6 +7,8 @@ let algorithm = "arc"
 module type S = sig
   include Register_intf.ZERO_COPY
 
+  val read_stamped : reader -> f:(Mem.buffer -> int -> 'a) -> int * 'a
+  val probe_stamp : t -> int
   val create_with : use_hint:bool -> readers:int -> capacity:int -> init:int array -> t
   val write_guarded : t -> guard:(unit -> unit) -> src:int array -> len:int -> unit
   val recover_crash : t -> int
@@ -77,6 +79,7 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
      the content accesses of the same slot. *)
   type slot = {
     size : M.atomic;  (* words of the snapshot currently in [content] *)
+    seq : M.atomic;  (* publish stamp of the write living in [content] *)
     r_start : M.atomic;  (* reads started on this slot since its last update *)
     r_end : M.atomic;  (* reads completed on this slot since its last update *)
     content : M.buffer;
@@ -102,6 +105,12 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     mutable last_slot : int;
     mutable probes : int;
     mutable writes : int;
+    (* Publish-stamp counter (Register_intf.STAMPED): strictly
+       increasing over the writer role's lifetime, one fresh value per
+       prepared slot, stored into the slot's [seq] before the W2
+       publish.  Writer-private; a successor resyncs it from the slots
+       in [recover_crash] so stamps stay unique across failover. *)
+    mutable stamp : int;
     mutable tel : telemetry option;
   }
 
@@ -117,6 +126,7 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       Register_intf.wait_free = true;
       zero_copy = true;
       max_readers = (fun ~capacity_words:_ -> Some Packed.max_readers);
+      snapshot_read = true;
     }
 
   let create_with ~use_hint ~readers ~capacity ~init =
@@ -133,7 +143,7 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       invalid_arg "Arc.create: slot count exceeds index field";
     let fresh_slot () =
       let r_start, r_end = M.atomic_contended_pair 0 0 in
-      { size = M.atomic 0; r_start; r_end; content = M.alloc capacity }
+      { size = M.atomic 0; seq = M.atomic 0; r_start; r_end; content = M.alloc capacity }
     in
     let slots = Array.init nslots (fun _ -> fresh_slot ()) in
     (* I1: the initial value lives in slot 0 and [current] starts as
@@ -143,6 +153,7 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
        already on the RMW-free fast path. *)
     M.write_words slots.(0).content ~src:init ~len:(Array.length init);
     M.store slots.(0).size (Array.length init);
+    M.store slots.(0).seq 1;
     {
       slots;
       (* [current] is the single globally hottest word (every reader
@@ -158,6 +169,7 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       last_slot = 0;
       probes = 0;
       writes = 0;
+      stamp = 1;
       tel = None;
     }
 
@@ -251,6 +263,28 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     let buffer, len = read_view rd in
     f buffer len
 
+  (* Register_intf.STAMPED.  The subscribed slot is pinned by this
+     reader's presence (count or frozen r_start unit), so its [seq] is
+     exactly the stamp of the write whose content [read_view] just
+     returned — one extra plain load over a plain read. *)
+  let read_stamped rd ~f =
+    let buffer, len = read_view rd in
+    let stamp = M.load rd.reg.slots.(rd.last_index).seq in
+    (stamp, f buffer len)
+
+  (* Register_intf.STAMPED.  Two plain loads, no RMW, no presence
+     accounting — safe from any thread.  The published slot is never
+     the one being prepared ([find_free] excludes [last_slot]), so a
+     probe either reads the stamp of the currently published value or,
+     if the slot was superseded, drained and recycled between the two
+     loads, a strictly {e greater} stamp of a later write mid-
+     preparation.  Stamps are writer-unique and increasing, so a probe
+     can spuriously mismatch a concurrent collect but never falsely
+     match it. *)
+  let probe_stamp reg =
+    let index = Packed.index (M.load reg.current) in
+    M.load reg.slots.(index).seq
+
   let read_into rd ~dst =
     read_with rd ~f:(fun buffer len ->
         if Array.length dst < len then invalid_arg "Arc.read_into: dst too short";
@@ -329,6 +363,12 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     if len > M.capacity entry.content then invalid_arg "Arc.write: exceeds capacity";
     M.write_words entry.content ~src ~len;
     M.store entry.size len;
+    (* Stamp the prepared slot before it can be published: strictly
+       increasing per writer role, so [probe_stamp] equality certifies
+       an unchanged published value (see [probe_stamp]).  A guard
+       abort burns the stamp — stamps are unique, not dense. *)
+    reg.stamp <- reg.stamp + 1;
+    M.store entry.seq reg.stamp;
     M.store entry.r_start 0;
     M.store entry.r_end 0;
     (* W1.5: journal the slot about to be superseded.  Its subscriber
@@ -372,6 +412,11 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   let recover_crash reg =
     let j = M.load reg.prefreeze in
     reg.last_slot <- Packed.index (M.load reg.current);
+    (* Stamp resync: the predecessor's counter was heap-local and died
+       with it.  Every issued stamp is visible in some slot's [seq]
+       (quarantined slots keep theirs), so the max over slots restores
+       strict monotonicity for the successor's writes. *)
+    Array.iter (fun s -> reg.stamp <- max reg.stamp (M.load s.seq)) reg.slots;
     let quarantined =
       if j >= 0 then begin
         M.store reg.prefreeze (-1);

@@ -41,6 +41,21 @@ module type S = sig
       until this same reader's {e next} read (the slot cannot be
       recycled while this reader's presence is accounted on it). *)
 
+  val read_stamped : reader -> f:(Mem.buffer -> int -> 'a) -> int * 'a
+  (** {!Register_intf.STAMPED}: [read_with] returning additionally the
+      publish stamp of the snapshot — one extra plain load of the
+      pinned slot's stamp word. *)
+
+  val probe_stamp : t -> int
+  (** {!Register_intf.STAMPED}: the stamp of the currently published
+      value in two plain loads (synchronization word, then that slot's
+      stamp), no RMW, callable from any thread.  Stamps are strictly
+      increasing over the writer role (resynced across failover by
+      {!recover_crash}), so equality with a previously collected stamp
+      certifies the register still publishes the collected value; a
+      probe racing a recycle can read a {e newer} stamp — a spurious
+      mismatch — but never an older one. *)
+
   val create_with : use_hint:bool -> readers:int -> capacity:int -> init:int array -> t
   (** Like {!create} but choosing whether the §3.4 free-slot hint is
       used ({!create} enables it).  [use_hint:false] is the ablation

@@ -23,6 +23,7 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
         (* words of the snapshot in [content]; -1 is the revocation
            marker: the slot's storage was reclaimed while a laggard
            (possibly crashed) reader still pins it *)
+    seq : M.atomic;  (* publish stamp of the write living in [content] *)
     r_start : M.atomic;
     r_end : M.atomic;
     mutable content : M.buffer;
@@ -54,6 +55,8 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     mutable reallocations : int;
     mutable reclaimed : int;
     mutable writes : int;
+    (* Publish-stamp counter (Register_intf.STAMPED) — see Arc. *)
+    mutable stamp : int;
     mutable tel : telemetry option;
   }
 
@@ -81,6 +84,7 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       Register_intf.wait_free = true;
       zero_copy = true;
       max_readers = (fun ~capacity_words:_ -> Some Packed.max_readers);
+      snapshot_read = true;
     }
 
   let create ~readers ~capacity ~init =
@@ -100,6 +104,7 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       let r_start, r_end = M.atomic_contended_pair 0 0 in
       {
         size = M.atomic 0;
+        seq = M.atomic 0;
         r_start;
         r_end;
         content = M.alloc words;
@@ -113,6 +118,7 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     in
     M.write_words slots.(0).content ~src:init ~len:(Array.length init);
     M.store slots.(0).size (Array.length init);
+    M.store slots.(0).seq 1;
     {
       slots;
       current = M.atomic_contended (Packed.make ~index:0 ~count:readers);
@@ -126,6 +132,7 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       reallocations = 0;
       reclaimed = 0;
       writes = 0;
+      stamp = 1;
       tel = None;
     }
 
@@ -249,6 +256,19 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   let read_with rd ~f =
     let buffer, len = read_view rd in
     f buffer len
+
+  (* Register_intf.STAMPED — see Arc.  The subscribed slot is pinned,
+     so its [seq] cannot be recycled out from under the cached view;
+     storage revocation swaps [content] but never touches [seq], and
+     the cached view and the stamp still describe the same write. *)
+  let read_stamped rd ~f =
+    let buffer, len = read_view rd in
+    let stamp = M.load rd.reg.slots.(rd.last_index).seq in
+    (stamp, f buffer len)
+
+  let probe_stamp reg =
+    let index = Packed.index (M.load reg.current) in
+    M.load reg.slots.(index).seq
 
   let read_into rd ~dst =
     read_with rd ~f:(fun buffer len ->
@@ -376,6 +396,9 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     end;
     M.write_words entry.content ~src ~len;
     M.store entry.size len;
+    (* Stamp before publish — see Arc.write_guarded. *)
+    reg.stamp <- reg.stamp + 1;
+    M.store entry.seq reg.stamp;
     M.store entry.r_start 0;
     M.store entry.r_end 0;
     entry.superseded_at <- -1;
@@ -409,6 +432,8 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   let recover_crash reg =
     let j = M.load reg.prefreeze in
     reg.last_slot <- Packed.index (M.load reg.current);
+    (* Stamp resync across writer succession — see Arc.recover_crash. *)
+    Array.iter (fun s -> reg.stamp <- max reg.stamp (M.load s.seq)) reg.slots;
     if j >= 0 then begin
       M.store reg.prefreeze (-1);
       if List.memq j reg.quarantined then 0

@@ -61,6 +61,13 @@ module Make (M : Arc_mem.Mem_intf.S) : sig
       checksum scan).  Idempotent; writer-role only.  See
       {!Arc.Make}. *)
 
+  val read_stamped : reader -> f:(Mem.buffer -> int -> 'a) -> int * 'a
+  val probe_stamp : t -> int
+  (** {!Register_intf.STAMPED}: see {!Arc.Make}.  Storage revocation
+      ({!reclaim_stale}) never touches a slot's stamp word, so a
+      pinned reader's cached view and its stamp always describe the
+      same write. *)
+
   val footprint_words : t -> int
   (** Total words currently allocated across all slot buffers. *)
 

@@ -21,6 +21,8 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   let read_with = Inner.read_with
   let read_view = Inner.read_view
   let read_into = Inner.read_into
+  let read_stamped = Inner.read_stamped
+  let probe_stamp = Inner.probe_stamp
   let write_probes = Inner.write_probes
   let writes = Inner.writes
 end

@@ -17,4 +17,8 @@ module Make (M : Arc_mem.Mem_intf.S) : sig
 
   val write_probes : t -> int
   val writes : t -> int
+
+  val read_stamped : reader -> f:(Mem.buffer -> int -> 'a) -> int * 'a
+  val probe_stamp : t -> int
+  (** {!Register_intf.STAMPED}: see {!Arc.Make}. *)
 end

@@ -43,6 +43,16 @@ type caps = {
           discusses (58 on 64-bit C; 57 with OCaml's 63-bit ints); ARC
           returns [Some (2^32 - 2)]; Simpson [Some 1]; others
           [None]. *)
+  snapshot_read : bool;
+      (** The versioned-read capability: reads can report a publish
+          stamp that changes with every write, and the stamp of the
+          currently published value can be probed without copying the
+          payload — the two operations of the {!STAMPED} sub-signature.
+          This is what makes an algorithm {e fabric-eligible}: the
+          cross-shard double-collect snapshot ([Arc_fabric.Fabric])
+          compares stamps, not payloads, to detect a shard modified
+          during a collect.  Algorithms with [snapshot_read = true]
+          must implement {!STAMPED}. *)
 }
 
 exception Saturated of string
@@ -172,6 +182,43 @@ module type FENCEABLE = sig
       (provision one spare reader identity per tolerated crash). *)
 end
 
+(** The {e versioned-read} capability ([caps.snapshot_read = true]):
+    every published value carries a {b stamp} — a per-register integer
+    that differs between any two writes whose values could be
+    distinguished — and the register exposes both a stamped read and a
+    payload-free stamp probe.
+
+    Contract:
+    - {b Monotone per slot}: once a stamp has been returned for a
+      storage location, a later different value in that location
+      carries a strictly greater stamp, so [probe = collected stamp]
+      certifies the location still holds the collected value.
+    - {b Probe is cheap}: [probe_stamp] performs O(1) plain loads and
+      no RMW — it is the building block of the fabric's double
+      collect, executed once per shard per collect pass.
+    - A probe that races a write may return a stamp no read ever
+      observes; that only causes a (bounded) re-collect, never a false
+      match.
+
+    This is the capability the cross-shard snapshot
+    ([Arc_fabric.Fabric]) is built on: Afek et al.'s double collect
+    needs to ask "was this component modified since I read it?"
+    without re-copying multi-KB payloads, and the stamp answers that
+    in two loads. *)
+module type STAMPED = sig
+  include S
+
+  val read_stamped : reader -> f:(Mem.buffer -> int -> 'a) -> int * 'a
+  (** [read_stamped rd ~f] is {!S.read_with} returning additionally
+      the publish stamp of the snapshot [f] was applied to. *)
+
+  val probe_stamp : t -> int
+  (** The stamp of the currently published value — no payload access,
+      no RMW, safe from any thread.  Equality with a previously
+      collected stamp certifies the register still publishes the
+      collected value (see the contract above). *)
+end
+
 (** A register algorithm packaged as a functor over the memory
     substrate, so one implementation serves real execution, counting,
     and simulation. *)
@@ -179,4 +226,11 @@ module type ALGORITHM = sig
   val algorithm : string
 
   module Make (M : Arc_mem.Mem_intf.S) : S with module Mem = M
+end
+
+(** A fabric-eligible algorithm: same packaging, stamped result. *)
+module type STAMPED_ALGORITHM = sig
+  val algorithm : string
+
+  module Make (M : Arc_mem.Mem_intf.S) : STAMPED with module Mem = M
 end

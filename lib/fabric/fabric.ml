@@ -1,0 +1,375 @@
+(* Sharded register fabric with wait-free atomic cross-shard
+   snapshots (ISSUE 6).
+
+   One (1,N) register per shard — any algorithm exposing the
+   {!Arc_core.Register_intf.STAMPED} capability slots in — aggregated
+   into a single keyed store whose [snapshot] returns a vector of
+   shard values that were all simultaneously published at some instant
+   within the snapshot's interval.  The construction is the classic
+   double collect with modified-twice helping (Afek et al.), adapted
+   to the repository's stamped registers:
+
+   - {b Collect} reads every shard once with [read_stamped], recording
+     value and publish stamp.
+   - {b Probe pass} re-reads only the stamps ([probe_stamp] — two
+     plain loads per shard, no RMW, no payload copy).  If every stamp
+     still matches its collected value, all collected values were
+     simultaneously published at the pass start: stamps are strictly
+     monotone per register, so a matching probe certifies the shard
+     publishes the collected value at probe time, and all probes of
+     the pass happen after all (re)collects — the vector was intact
+     throughout [last re-collect, first probe].
+   - {b Modified twice ⇒ borrow.}  A shard whose observed stamp grew
+     twice during the scan identifies a writer whose second write was
+     {e invoked after the scan began}.  That writer observed the
+     scanner's announcement and deposited a full snapshot of its own
+     (taken entirely within this scan's interval) before publishing —
+     the scanner adopts the deposit instead of collecting further.
+
+   {b Lazy helping.}  Textbook helping embeds a snapshot in every
+   update; here writers consult a substrate counter [active_scans] and
+   only produce deposits while a scan is announced, so the write fast
+   path (no scanner active) costs one extra load.  Deposits are
+   immutable host-heap records published through an [Atomic.t] pointer
+   per writer — payload vectors cannot live in substrate words, which
+   confines the fabric to a single process (shards themselves may use
+   any substrate, including shared memory; only the helping channel is
+   heap-local).
+
+   {b Wait-freedom bound.}  Each failed probe pass either increments
+   some shard's observed-change count or catches a previously counted
+   in-preparation stamp up to its publication (at most one such pass
+   per counted change — see [attempt]).  Change counts reach 2 on some
+   shard after at most [shards + 1] counted changes, and a shard
+   counted twice always has a qualifying deposit (proved in
+   DESIGN.md §8), so a snapshot runs at most [2·shards + 3] passes of
+   O(shards) plain loads each — bounded by fabric size, independent of
+   scheduling. *)
+
+module Register_intf = Arc_core.Register_intf
+module Obs = Arc_obs.Obs
+
+module Make (R : Register_intf.STAMPED) = struct
+  module M = R.Mem
+
+  (* A snapshot vector.  Direct results alias the scanner's scratch
+     (stable until that scanner's next snapshot); borrowed results are
+     immutable deposits shared by reference. *)
+  type snap = {
+    s_stamps : int array;
+    s_lens : int array;
+    s_data : int array array;
+    s_borrowed : bool;
+  }
+
+  type t = {
+    regs : R.t array;
+    nwriters : int;
+    nreaders : int;
+    capacity : int;
+    active_scans : M.atomic;  (* scanners (and helping writers) in flight *)
+    deposits : snap option Atomic.t array;  (* per writer: latest helping snapshot *)
+    scan_stats : Obs.Scan.t;  (* readers + writers cells, writers after readers *)
+    shard_writes : Obs.Group.t;  (* per shard; single-writer per cell *)
+    deposit_counts : Obs.Group.t;  (* per writer *)
+  }
+
+  (* A scanner context: per-shard reader handles plus collect scratch.
+     Writers embed one (with a reader identity above the public range)
+     for their helping collects. *)
+  type scanner = {
+    fab : t;
+    handles : R.reader array;
+    stamps : int array;  (* per shard: stamp of the collected value *)
+    high : int array;  (* per shard: largest stamp observed this scan *)
+    changes : int array;  (* per shard: counted stamp growths this scan *)
+    lens : int array;
+    data : int array array;
+    c_direct : Obs.Cell.t;
+    c_borrowed : Obs.Cell.t;
+    c_retries : Obs.Cell.t;
+  }
+
+  type writer = { ctx : scanner; wid : int; c_deposits : Obs.Cell.t; w_writes : Obs.Cell.t array }
+
+  let algorithm = Printf.sprintf "fabric(%s)" R.algorithm
+
+  let shards t = Array.length t.regs
+  let writers t = t.nwriters
+  let readers t = t.nreaders
+  let capacity t = t.capacity
+
+  (* Static shard ownership: writer [s mod writers] owns shard [s].
+     The scanner's borrow rule depends on knowing which deposit cell
+     the second modifier of a shard publishes through, so ownership is
+     part of the fabric's construction, not caller convention. *)
+  let owner_of t s = s mod t.nwriters
+
+  let create ~shards ~writers ~readers ~capacity ~init =
+    if shards < 1 then invalid_arg "Fabric.create: need at least one shard";
+    if writers < 1 || writers > shards then
+      invalid_arg
+        (Printf.sprintf "Fabric.create: writers = %d (need 1 <= writers <= shards)"
+           writers);
+    if readers < 1 then invalid_arg "Fabric.create: need at least one reader";
+    (* Each register hosts the public readers plus one identity per
+       writer thread (for helping collects): identities scale with
+       thread counts, not with shards — a fabric of thousands of
+       shards costs readers + writers + 2 slots per shard, never
+       shards². *)
+    let per_reg = readers + writers in
+    let regs =
+      Array.init shards (fun _ -> R.create ~readers:per_reg ~capacity ~init)
+    in
+    {
+      regs;
+      nwriters = writers;
+      nreaders = readers;
+      capacity;
+      active_scans = M.atomic_contended 0;
+      deposits = Array.init writers (fun _ -> Atomic.make None);
+      scan_stats = Obs.Scan.create ~scanners:per_reg;
+      shard_writes =
+        Obs.Group.create ~name:"fabric_shard_writes_total"
+          ~help:"Writes published per shard" shards;
+      deposit_counts =
+        Obs.Group.create ~name:"fabric_deposits_total"
+          ~help:"Helping snapshots deposited per writer" writers;
+    }
+
+  let make_ctx fab identity =
+    let n = Array.length fab.regs in
+    {
+      fab;
+      handles = Array.map (fun r -> R.reader r identity) fab.regs;
+      stamps = Array.make n 0;
+      high = Array.make n 0;
+      changes = Array.make n 0;
+      lens = Array.make n 0;
+      data = Array.init n (fun _ -> Array.make fab.capacity 0);
+      c_direct = Obs.Scan.direct fab.scan_stats identity;
+      c_borrowed = Obs.Scan.borrowed fab.scan_stats identity;
+      c_retries = Obs.Scan.retries fab.scan_stats identity;
+    }
+
+  let scanner fab i =
+    if i < 0 || i >= fab.nreaders then
+      invalid_arg
+        (Printf.sprintf "Fabric.scanner: identity %d out of range [0, %d)" i
+           fab.nreaders);
+    make_ctx fab i
+
+  let writer fab w =
+    if w < 0 || w >= fab.nwriters then
+      invalid_arg
+        (Printf.sprintf "Fabric.writer: identity %d out of range [0, %d)" w
+           fab.nwriters);
+    let w_writes =
+      Array.init (Array.length fab.regs) (fun s ->
+          Obs.Group.cell fab.shard_writes s)
+    in
+    {
+      ctx = make_ctx fab (fab.nreaders + w);
+      wid = w;
+      c_deposits = Obs.Group.cell fab.deposit_counts w;
+      w_writes;
+    }
+
+  (* Plain per-shard read through the scanner's handle — the fabric's
+     point-read path, unchanged register semantics. *)
+  let read ctx ~shard ~dst = R.read_into ctx.handles.(shard) ~dst
+
+  let read_with ctx ~shard ~f = R.read_with ctx.handles.(shard) ~f
+
+  (* One collect of shard [s]: value into scratch, stamp recorded as
+     both the collected baseline and (if larger) the high-water
+     mark. *)
+  let collect ctx s =
+    let stamp, () =
+      R.read_stamped ctx.handles.(s) ~f:(fun buf len ->
+          M.read_words buf ~dst:ctx.data.(s) ~len;
+          ctx.lens.(s) <- len)
+    in
+    ctx.stamps.(s) <- stamp;
+    if stamp > ctx.high.(s) then begin
+      ctx.changes.(s) <- ctx.changes.(s) + 1;
+      ctx.high.(s) <- stamp
+    end
+
+  (* Announce the scan and take the initial collect.  The announcement
+     must precede the first collect: a writer invoked after any
+     observation this scan makes must see [active_scans > 0]. *)
+  let announce ctx =
+    let fab = ctx.fab in
+    M.incr fab.active_scans;
+    Array.fill ctx.changes 0 (Array.length ctx.changes) 0;
+    Array.fill ctx.high 0 (Array.length ctx.high) 0;
+    for s = 0 to Array.length fab.regs - 1 do
+      ctx.changes.(s) <- -1 (* baseline collect is not a change *);
+      collect ctx s
+    done
+
+  let finish ctx = ignore (M.fetch_and_add ctx.fab.active_scans (-1))
+
+  (* One probe pass over all shards.  A mismatching probe re-collects
+     that shard; a stamp growing {e beyond} the scan's high-water mark
+     counts as a change (strictly-greater comparison: a probe that
+     races a slot recycle can observe a stamp still in preparation,
+     and its eventual publication must not be double-counted).  A
+     shard counted twice names a writer whose second write began after
+     this scan's announcement — its deposit cell necessarily holds a
+     snapshot taken within this scan (DESIGN.md §8); adopt it. *)
+  let attempt ctx =
+    let fab = ctx.fab in
+    let n = Array.length fab.regs in
+    let dirty = ref false in
+    let found = ref None in
+    let s = ref 0 in
+    while !found = None && !s < n do
+      let p = R.probe_stamp fab.regs.(!s) in
+      if p <> ctx.stamps.(!s) then begin
+        dirty := true;
+        if p > ctx.high.(!s) then begin
+          ctx.changes.(!s) <- ctx.changes.(!s) + 1;
+          ctx.high.(!s) <- p
+        end;
+        collect ctx !s;
+        if ctx.changes.(!s) >= 2 then
+          found := Atomic.get fab.deposits.(owner_of fab !s)
+      end;
+      incr s
+    done;
+    match !found with
+    | Some d -> `Borrowed d
+    | None -> if !dirty then `Dirty else `Clean
+
+  let direct_of ctx =
+    {
+      s_stamps = ctx.stamps;
+      s_lens = ctx.lens;
+      s_data = ctx.data;
+      s_borrowed = false;
+    }
+
+  (* The scan loop shared by public snapshots and writers' helping
+     collects.  Structurally unbounded; bounded in fact by the
+     counting argument above (≤ 2·shards + 3 passes). *)
+  let scan ctx =
+    announce ctx;
+    Fun.protect
+      ~finally:(fun () -> finish ctx)
+      (fun () ->
+        let rec go () =
+          match attempt ctx with
+          | `Clean ->
+            ctx.c_direct.Obs.Cell.v <- ctx.c_direct.Obs.Cell.v + 1;
+            direct_of ctx
+          | `Borrowed d ->
+            ctx.c_borrowed.Obs.Cell.v <- ctx.c_borrowed.Obs.Cell.v + 1;
+            d
+          | `Dirty ->
+            ctx.c_retries.Obs.Cell.v <- ctx.c_retries.Obs.Cell.v + 1;
+            go ()
+        in
+        go ())
+
+  let snapshot ctx = scan ctx
+
+  (* Negative-control arm: one collect pass, no announcement, no
+     probe.  Deliberately non-atomic — writers racing the collect
+     leave torn vectors behind — so harnesses can prove the fabric
+     checker convicts exactly what [snapshot] prevents.  Never a real
+     read path. *)
+  let snapshot_unvalidated ctx =
+    for s = 0 to Array.length ctx.fab.regs - 1 do
+      collect ctx s
+    done;
+    direct_of ctx
+
+  (* Freeze a scan result into an immutable deposit.  A direct result
+     aliases the writer's scratch (about to be reused), so it is
+     copied; a borrowed result is already immutable and is re-shared
+     as is — its scan interval nests inside ours, which keeps it a
+     valid deposit for any scanner ours qualifies for. *)
+  let freeze snap =
+    if snap.s_borrowed then snap
+    else
+      {
+        s_stamps = Array.copy snap.s_stamps;
+        s_lens = Array.copy snap.s_lens;
+        s_data = Array.map Array.copy snap.s_data;
+        s_borrowed = true;
+      }
+
+  (* Publish [src] to [shard].  The helping check is the write's only
+     snapshot-related cost when no scan is announced: one substrate
+     load.  While scans are active, the writer takes a full scan of
+     its own (announced, so other writers keep helping it) and
+     deposits the frozen result {e before} publishing — a scanner that
+     observes this write's stamp is therefore guaranteed to find the
+     deposit. *)
+  let write w ~shard ~src ~len =
+    let fab = w.ctx.fab in
+    if shard < 0 || shard >= Array.length fab.regs then
+      invalid_arg
+        (Printf.sprintf "Fabric.write: shard %d out of range [0, %d)" shard
+           (Array.length fab.regs));
+    if owner_of fab shard <> w.wid then
+      invalid_arg
+        (Printf.sprintf "Fabric.write: shard %d is owned by writer %d, not %d"
+           shard (owner_of fab shard) w.wid);
+    if M.load fab.active_scans > 0 then begin
+      let d = freeze (scan w.ctx) in
+      Atomic.set fab.deposits.(w.wid) (Some d);
+      Obs.Cell.incr w.c_deposits
+    end;
+    R.write fab.regs.(shard) ~src ~len;
+    let c = w.w_writes.(shard) in
+    c.Obs.Cell.v <- c.Obs.Cell.v + 1
+
+  (* {2 Snapshot accessors} *)
+
+  let shard_len snap s = snap.s_lens.(s)
+  let shard_stamp snap s = snap.s_stamps.(s)
+  let shard_word snap s i = snap.s_data.(s).(i)
+  let borrowed snap = snap.s_borrowed
+
+  let shard_copy snap s ~dst =
+    let len = snap.s_lens.(s) in
+    if Array.length dst < len then invalid_arg "Fabric.shard_copy: dst too short";
+    Array.blit snap.s_data.(s) 0 dst 0 len;
+    len
+
+  (* {2 Telemetry} *)
+
+  let snapshots_direct fab = Obs.Scan.direct_count fab.scan_stats
+  let snapshots_borrowed fab = Obs.Scan.borrowed_count fab.scan_stats
+  let snapshot_retries fab = Obs.Scan.retry_count fab.scan_stats
+  let deposits_made fab = Obs.Group.value fab.deposit_counts
+  let shard_writes fab s = Obs.Cell.get (Obs.Group.cell fab.shard_writes s)
+
+  let metrics fab =
+    let per group =
+      Array.to_list
+        (Array.mapi
+           (fun i v ->
+             Obs.counter (Obs.Group.name group)
+               ~labels:[ ("shard", string_of_int i) ]
+               ~help:(Obs.Group.help group) v)
+           (Obs.Group.per_domain group))
+    in
+    Obs.gauge "fabric_shards" ~help:"Shards in the fabric"
+      (float_of_int (Array.length fab.regs))
+    :: Obs.counter "fabric_snapshots_direct_total"
+         ~help:"Snapshots certified by a clean probe pass"
+         (snapshots_direct fab)
+    :: Obs.counter "fabric_snapshots_borrowed_total"
+         ~help:"Snapshots served from a writer's helping deposit"
+         (snapshots_borrowed fab)
+    :: Obs.counter "fabric_snapshot_retries_total"
+         ~help:"Probe passes that failed and forced a re-collect"
+         (snapshot_retries fab)
+    :: Obs.counter "fabric_deposits_total"
+         ~help:"Helping snapshots deposited by writers" (deposits_made fab)
+    :: per fab.shard_writes
+end

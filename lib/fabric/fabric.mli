@@ -1,0 +1,141 @@
+(** Sharded register fabric with wait-free atomic cross-shard
+    snapshots (ISSUE 6).
+
+    A keyed array of (1,N) registers — one shard per key, any
+    algorithm with the {!Arc_core.Register_intf.STAMPED} capability
+    ([caps.snapshot_read = true]) slots in — plus an atomic
+    multi-shard [snapshot]: a vector of shard values that were all
+    simultaneously published at one instant inside the snapshot's
+    interval.
+
+    The snapshot is Afek et al.'s double collect with modified-twice
+    helping, driven by publish stamps instead of payload comparison:
+    collect every shard once ([read_stamped]), then certify the vector
+    with a probe pass of stamp-only re-reads ([probe_stamp], two plain
+    loads per shard).  A shard whose stamp moved is re-collected and
+    the pass retried; a shard that moves {e twice} identifies a writer
+    whose second write began inside this scan — that writer, having
+    seen the scan announced, deposited a complete snapshot of its own
+    before publishing, and the scanner adopts it.  Helping is lazy: a
+    substrate counter announces active scans, and writers only pay the
+    embedded collect while one is in flight (one extra load
+    otherwise).  Total cost is bounded by fabric shape — at most
+    [2·shards + 3] probe passes — regardless of scheduling, so
+    [snapshot] is wait-free whenever the underlying registers are.
+    See DESIGN.md §8 for the linearization and helping-validity
+    arguments.
+
+    Threading model: [writers] writer threads, writer [w] owning
+    shards [s] with [s mod writers = w] (enforced); [readers] scanner
+    threads, each with its own {!Make.scanner} context.  Deposits
+    travel through host-heap pointers, so all participants must share
+    one OCaml heap (the shard registers themselves may live on any
+    substrate, including shared memory). *)
+
+module Make (R : Arc_core.Register_intf.STAMPED) : sig
+  type t
+  (** A fabric of [shards] registers over [R]. *)
+
+  type scanner
+  (** A reader's context: per-shard register handles plus collect
+      scratch.  One per reader thread; never shared. *)
+
+  type writer
+  (** A writer thread's context (shard ownership + helping state).
+      One per writer identity; never shared. *)
+
+  type snap
+  (** A snapshot vector.  {b Stability}: a direct snapshot aliases its
+      scanner's scratch and stays valid until that scanner's next
+      {!snapshot}; a {!borrowed} one is immutable. *)
+
+  val algorithm : string
+  (** ["fabric(<R.algorithm>)"]. *)
+
+  val create :
+    shards:int -> writers:int -> readers:int -> capacity:int -> init:int array -> t
+  (** [create ~shards ~writers ~readers ~capacity ~init] builds
+      [shards] registers of [capacity] words initialized to [init],
+      provisioned for [readers] scanner threads and [writers] writer
+      threads.  Register identities scale with [readers + writers]
+      (thread counts), never with [shards].
+      @raise Invalid_argument unless [1 <= writers <= shards] and
+      [readers >= 1] (plus the register's own constraints). *)
+
+  val shards : t -> int
+  val writers : t -> int
+  val readers : t -> int
+  val capacity : t -> int
+
+  val owner_of : t -> int -> int
+  (** [owner_of t s = s mod writers t] — the writer identity that owns
+      shard [s]. *)
+
+  val scanner : t -> int -> scanner
+  (** Context for reader identity [i] in [0, readers).
+      @raise Invalid_argument if out of range. *)
+
+  val writer : t -> int -> writer
+  (** Context for writer identity [w] in [0, writers).
+      @raise Invalid_argument if out of range. *)
+
+  val write : writer -> shard:int -> src:int array -> len:int -> unit
+  (** Publish [src.(0..len-1)] to [shard].  While a snapshot is
+      announced, first takes and deposits a helping snapshot (the
+      wait-free helping protocol); otherwise adds a single load to the
+      plain register write.
+      @raise Invalid_argument if [shard] is out of range or not owned
+      by this writer. *)
+
+  val read : scanner -> shard:int -> dst:int array -> int
+  (** Plain single-shard read (no cross-shard guarantee): the
+      register's own [read_into] through this scanner's handle. *)
+
+  val read_with : scanner -> shard:int -> f:(R.Mem.buffer -> int -> 'a) -> 'a
+  (** Zero-copy single-shard read, as the register's [read_with]. *)
+
+  val snapshot : scanner -> snap
+  (** The wait-free atomic cross-shard snapshot.  Linearizes at an
+      instant within its own interval: either the start of the final
+      (clean) probe pass, or inside the interval of the helping
+      deposit it adopted — which itself nests in this call's
+      interval. *)
+
+  val snapshot_unvalidated : scanner -> snap
+  (** {b Negative control} — one collect pass with no announcement and
+      no probe, deliberately non-atomic: concurrent writes leave torn
+      vectors.  Exists so tests and campaigns can demonstrate the
+      fabric checker convicts what {!snapshot} prevents.  Never a real
+      read path. *)
+
+  val shard_len : snap -> int -> int
+  val shard_stamp : snap -> int -> int
+  val shard_word : snap -> int -> int -> int
+  (** [shard_word snap s i] — word [i] of shard [s]'s value. *)
+
+  val shard_copy : snap -> int -> dst:int array -> int
+  (** Copy shard [s]'s value into [dst], returning its length.
+      @raise Invalid_argument if [dst] is too short. *)
+
+  val borrowed : snap -> bool
+  (** [true] iff the snapshot was served from a helping deposit. *)
+
+  (** {2 Telemetry}
+
+      Same wait-free discipline as the registers': host-heap
+      single-writer cells, no substrate operations, no RMW. *)
+
+  val snapshots_direct : t -> int
+  val snapshots_borrowed : t -> int
+
+  val snapshot_retries : t -> int
+  (** Failed probe passes — bounded by [2·shards + 3] per snapshot;
+      soaks watch this to falsify the wait-freedom bound. *)
+
+  val deposits_made : t -> int
+  val shard_writes : t -> int -> int
+
+  val metrics : t -> Arc_obs.Obs.metric list
+  (** Fabric counters (snapshot outcomes, retries, deposits, per-shard
+      writes) for {!Arc_obs.Obs.prometheus}/{!Arc_obs.Obs.json}. *)
+end

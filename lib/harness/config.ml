@@ -86,6 +86,34 @@ let default_sim =
     sim_seed = 42;
   }
 
+(** Fabric snapshot campaign under the simulator (ISSUE 6): a sharded
+    register fabric with [fab_writers] writer fibers round-robining
+    over their owned shards and [fab_scanners] fibers taking
+    cross-shard snapshots, every snapshot validated word-by-word per
+    shard and recorded for {!Arc_trace.Checker.check_fabric}.
+    [fab_atomic = false] selects the fabric's collect-only negative
+    control, whose torn vectors the checker must convict. *)
+type fabric_sim = {
+  fab_shards : int;
+  fab_writers : int;
+  fab_scanners : int;
+  fab_size_words : int;
+  fab_steps : int;
+  fab_seed : int;
+  fab_atomic : bool;
+}
+
+let default_fabric_sim =
+  {
+    fab_shards = 4;
+    fab_writers = 2;
+    fab_scanners = 2;
+    fab_size_words = 32;
+    fab_steps = 60_000;
+    fab_seed = 42;
+    fab_atomic = true;
+  }
+
 type result = {
   reads : int;
   writes : int;

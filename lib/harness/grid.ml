@@ -42,6 +42,15 @@ let fig3_threads opts = if opts.quick then [ 16; 64 ] else [ 16; 64; 256; 1024; 
    (the 4096-thread regime lives in the simulator, fig3_sim). *)
 let fig3_real_thread_counts opts = if opts.quick then [ 8; 32 ] else [ 8; 32; 128 ]
 
+(* Fabric fan-out shapes (ISSUE 6): (shards, writers, scanners) for
+   the cross-shard snapshot campaign.  Covers both directions of the
+   Fig. 3 regime — shard fan-out with few scanners (probe-pass cost
+   scales with shards) and scanner fan-out over few shards (helping
+   pressure scales with concurrent scans). *)
+let fabric_shapes opts =
+  if opts.quick then [ (4, 2, 2) ]
+  else [ (2, 1, 2); (4, 2, 2); (8, 4, 4); (16, 4, 2); (4, 2, 8) ]
+
 (* Runners ------------------------------------------------------------ *)
 
 let mean_of f ~reps =

@@ -13,6 +13,9 @@ type entry = {
     Config.sim ->
     Config.result * Arc_obs.Obs.metric list)
     option;
+  run_fabric_sim :
+    (?strategy:Arc_vsched.Strategy.t -> Config.fabric_sim -> Fabric_runner.result)
+    option;
   count :
     readers:int ->
     size_words:int ->
@@ -36,6 +39,7 @@ module Entry_of (A : Arc_core.Register_intf.ALGORITHM) = struct
       run_real = Run_real.run;
       run_sim = (fun ?strategy cfg -> Run_sim.run ?strategy cfg);
       run_sim_telemetry = None;
+      run_fabric_sim = None;
       count = Count.measure;
     }
 end
@@ -87,6 +91,17 @@ module Arc_dynamic_tel = struct
     (r, metrics)
 end
 
+(* Fabric runners for the stamped family (ISSUE 6).  Like telemetry,
+   the versioned-read surface ([read_stamped]/[probe_stamp]) is wider
+   than {!Arc_core.Register_intf.S}, so [Entry_of] cannot build these;
+   they are instantiated per stamped algorithm and advertised through
+   the [snapshot_read] capability bit — consumers discover them with
+   {!fabric_capable}, never by name. *)
+module Arc_nohint_sim = Arc_core.Arc_nohint.Make (Sim)
+module Arc_fab = Fabric_runner.Make (Arc_tel.R)
+module Arc_nohint_fab = Fabric_runner.Make (Arc_nohint_sim)
+module Arc_dynamic_fab = Fabric_runner.Make (Arc_dynamic_tel.R)
+
 module Arc_entry = Entry_of (Arc_core.Arc)
 module Arc_nohint_entry = Entry_of (Arc_core.Arc_nohint)
 module Arc_dynamic_entry = Entry_of (Arc_core.Arc_dynamic)
@@ -98,15 +113,29 @@ module Lamport_entry = Entry_of (Arc_baselines.Lamport_reg)
 module Simpson_entry = Entry_of (Arc_baselines.Simpson_reg)
 
 let arc_entry =
-  { Arc_entry.entry with run_sim_telemetry = Some Arc_tel.run }
+  {
+    Arc_entry.entry with
+    run_sim_telemetry = Some Arc_tel.run;
+    run_fabric_sim = Some (fun ?strategy cfg -> Arc_fab.run ?strategy cfg);
+  }
+
+let arc_nohint_entry =
+  {
+    Arc_nohint_entry.entry with
+    run_fabric_sim = Some (fun ?strategy cfg -> Arc_nohint_fab.run ?strategy cfg);
+  }
 
 let arc_dynamic_entry =
-  { Arc_dynamic_entry.entry with run_sim_telemetry = Some Arc_dynamic_tel.run }
+  {
+    Arc_dynamic_entry.entry with
+    run_sim_telemetry = Some Arc_dynamic_tel.run;
+    run_fabric_sim = Some (fun ?strategy cfg -> Arc_dynamic_fab.run ?strategy cfg);
+  }
 
 let all =
   [
     arc_entry;
-    Arc_nohint_entry.entry;
+    arc_nohint_entry;
     arc_dynamic_entry;
     Rf_entry.entry;
     Peterson_entry.entry;
@@ -127,3 +156,20 @@ let supports entry ~readers ~capacity_words =
 
 let supporting ~readers ~capacity_words entries =
   List.filter (fun e -> supports e ~readers ~capacity_words) entries
+
+let fabric_capable entries =
+  List.filter (fun e -> e.caps.RI.snapshot_read) entries
+
+(* The invariant behind capability discovery: every entry advertising
+   [snapshot_read] carries a fabric runner.  Checked eagerly so a new
+   stamped algorithm registered without its fabric instantiation fails
+   at module load, not at first use. *)
+let () =
+  List.iter
+    (fun e ->
+      if e.caps.RI.snapshot_read && Option.is_none e.run_fabric_sim then
+        invalid_arg
+          (Printf.sprintf
+             "Registry: %s advertises snapshot_read but has no fabric runner"
+             e.name))
+    all

@@ -22,6 +22,13 @@ type entry = {
           run (trace clocked by the virtual scheduler), returning the
           run's metric snapshot; [None] for algorithms without an
           observability surface (only the ARC family has one) *)
+  run_fabric_sim :
+    (?strategy:Arc_vsched.Strategy.t -> Config.fabric_sim -> Fabric_runner.result)
+    option;
+      (** sharded-fabric snapshot campaign via {!Fabric_runner} —
+          present exactly when [caps.snapshot_read] holds (the
+          versioned-read capability the fabric requires); discover
+          with {!fabric_capable}, never by name *)
   count :
     readers:int ->
     size_words:int ->
@@ -52,3 +59,8 @@ val supporting : readers:int -> capacity_words:int -> entry list -> entry list
     threads — the capability filter the figure builders use (e.g.
     Fig. 3 drops RF because its word-size bound cannot host the
     figure's thread counts). *)
+
+val fabric_capable : entry list -> entry list
+(** The entries whose capability record advertises [snapshot_read] —
+    the fabric-eligibility query (ISSUE 6).  Every such entry carries
+    a [run_fabric_sim] (enforced at module load). *)

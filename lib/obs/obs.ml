@@ -120,6 +120,43 @@ module Outcomes = struct
       (error_count t) (retry_count t)
 end
 
+(* {1 Snapshot outcomes}
+
+   Counter cells for the fabric's cross-shard snapshot (ISSUE 6): each
+   scanner owns one cell per outcome class, same single-writer
+   discipline as {!Outcomes}.  [retries] counts failed probe passes —
+   the quantity the wait-freedom bound (at most shards + 1 failed
+   passes before a helping deposit must exist) caps, so a soak that
+   watches it can falsify the bound. *)
+
+module Scan = struct
+  type t = {
+    direct : Group.t;  (* clean double-collect snapshots *)
+    borrowed : Group.t;  (* snapshots served from a helping deposit *)
+    retries : Group.t;  (* failed probe passes (per-shard re-collects) *)
+  }
+
+  let create ~scanners =
+    {
+      direct =
+        Group.create ~name:"fabric_snapshots_direct_total"
+          ~help:"Snapshots certified by a clean probe pass" scanners;
+      borrowed =
+        Group.create ~name:"fabric_snapshots_borrowed_total"
+          ~help:"Snapshots served from a writer's helping deposit" scanners;
+      retries =
+        Group.create ~name:"fabric_snapshot_retries_total"
+          ~help:"Probe passes that failed and forced a re-collect" scanners;
+    }
+
+  let direct t i = Group.cell t.direct i
+  let borrowed t i = Group.cell t.borrowed i
+  let retries t i = Group.cell t.retries i
+  let direct_count t = Group.value t.direct
+  let borrowed_count t = Group.value t.borrowed
+  let retry_count t = Group.value t.retries
+end
+
 (* {1 Metrics and exposition} *)
 
 type kind = Counter | Gauge

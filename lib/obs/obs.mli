@@ -83,6 +83,32 @@ module Outcomes : sig
   val pp : Format.formatter -> t -> unit
 end
 
+(** Per-scanner snapshot-outcome cells for the register fabric's
+    cross-shard snapshot (ISSUE 6) — same single-writer cell
+    discipline as {!Outcomes}.  [retries] counts failed probe passes,
+    the quantity bounded by the fabric's wait-freedom argument (at
+    most shards + 1 failed passes per snapshot), so soaks can watch it
+    to falsify the bound. *)
+module Scan : sig
+  type t = {
+    direct : Group.t;  (** clean double-collect snapshots *)
+    borrowed : Group.t;  (** snapshots served from a helping deposit *)
+    retries : Group.t;  (** failed probe passes (per-shard re-collects) *)
+  }
+
+  val create : scanners:int -> t
+
+  val direct : t -> int -> Cell.t
+  val borrowed : t -> int -> Cell.t
+  val retries : t -> int -> Cell.t
+  (** The given scanner's cell — resolve once, increment inline. *)
+
+  val direct_count : t -> int
+  val borrowed_count : t -> int
+  val retry_count : t -> int
+  (** Racy sums over scanners; exact after owners join. *)
+end
+
 (** {1 Metrics and exposition} *)
 
 type kind = Counter | Gauge

@@ -209,6 +209,134 @@ let pp_staleness_violation ppf v =
      completed (allowed lag %d, floor seq %d)"
     v.serve.thread v.serve.seq v.serve.at v.completed v.bound (v.completed - v.bound)
 
+(* {1 Cross-shard snapshot checking (ISSUE 6)}
+
+   A fabric snapshot claims its whole vector was simultaneously
+   published at one instant inside the snapshot's interval.  Checking
+   decomposes:
+
+   - {b per shard}: project every snapshot onto shard [i] as an
+     ordinary read event (same interval, the shard's observed seq) and
+     run the full single-register check against that shard's writes —
+     regularity and new-old inversions per component come for free
+     from the existing machinery;
+   - {b cross shard}: intersect the validity windows.  Value [v] of
+     shard [i] can have been current no earlier than the invocation of
+     write [v] and no later than the return of write [v + 1]
+     (maximally permissive endpoints — a conviction can never be a
+     timestamping artifact).  The intersection of all shard windows,
+     clipped to the snapshot's own interval, must be non-empty;
+     otherwise some shard was observed fresh after another's observed
+     value was already dead — a torn snapshot. *)
+
+type snapshot_obs = {
+  sthread : int;
+  invoked : int;
+  returned : int;
+  observed : int array;  (** per shard: seq of the value in the vector *)
+}
+
+type fabric_violation =
+  | Shard_violation of { shard : int; violation : violation }
+  | Torn_snapshot of {
+      snapshot : snapshot_obs;
+      fresh_shard : int;  (** its observed write was invoked last *)
+      stale_shard : int;  (** its observed value died first *)
+      earliest : int;  (** earliest instant the vector could exist *)
+      latest : int;  (** latest instant it could still exist *)
+    }
+
+let pp_fabric_violation ppf = function
+  | Shard_violation { shard; violation } ->
+    Format.fprintf ppf "shard %d: %a" shard pp_violation violation
+  | Torn_snapshot { snapshot; fresh_shard; stale_shard; earliest; latest } ->
+    Format.fprintf ppf
+      "torn snapshot: thread %d [%d, %d] observed shard %d's seq %d (alive from \
+       %d) after shard %d's seq %d was already superseded (dead by %d)"
+      snapshot.sthread snapshot.invoked snapshot.returned fresh_shard
+      snapshot.observed.(fresh_shard) earliest stale_shard
+      snapshot.observed.(stale_shard) latest
+
+type fabric_report = {
+  fshards : int;
+  snapshots_checked : int;
+  shard_reports : report array;
+}
+
+let check_fabric ~writes ~snapshots =
+  let nshards = Array.length writes in
+  if nshards = 0 then invalid_arg "Checker.check_fabric: no shards";
+  List.iter
+    (fun s ->
+      if Array.length s.observed <> nshards then
+        invalid_arg
+          (Printf.sprintf
+             "Checker.check_fabric: snapshot observed %d shards, expected %d"
+             (Array.length s.observed) nshards))
+    snapshots;
+  (* Per-shard pass: shard writes + projected snapshot reads through
+     the full single-register checker. *)
+  let shard_reports = Array.make nshards (report (History.of_events [])) in
+  let rec per_shard i =
+    if i >= nshards then Ok ()
+    else begin
+      let reads =
+        List.map
+          (fun s ->
+            History.event History.Read ~thread:s.sthread ~seq:s.observed.(i)
+              ~invoked:s.invoked ~returned:s.returned)
+          snapshots
+      in
+      let h = History.of_events (reads @ History.events writes.(i)) in
+      match check h with
+      | Ok r ->
+        shard_reports.(i) <- r;
+        per_shard (i + 1)
+      | Error violation -> Error (Shard_violation { shard = i; violation })
+    end
+  in
+  let* () = per_shard 0 in
+  (* Cross-shard pass: non-empty intersection of validity windows. *)
+  let shard_writes =
+    Array.map (fun h -> Array.of_list (History.writes h)) writes
+  in
+  let rec per_snapshot checked = function
+    | [] -> Ok { fshards = nshards; snapshots_checked = checked; shard_reports }
+    | s :: rest ->
+      let earliest = ref s.invoked and fresh = ref (-1) in
+      let latest = ref s.returned and stale = ref (-1) in
+      for i = 0 to nshards - 1 do
+        let v = s.observed.(i) in
+        let ws = shard_writes.(i) in
+        (* well_formed (inside [check]) already certified seq j lives
+           at index j - 1 and that v is in range. *)
+        let birth = if v = 0 then min_int else ws.(v - 1).History.invoked in
+        let death =
+          if v >= Array.length ws then max_int else ws.(v).History.returned
+        in
+        if birth > !earliest then begin
+          earliest := birth;
+          fresh := i
+        end;
+        if death < !latest then begin
+          latest := death;
+          stale := i
+        end
+      done;
+      if !earliest > !latest then
+        Error
+          (Torn_snapshot
+             {
+               snapshot = s;
+               fresh_shard = (if !fresh >= 0 then !fresh else 0);
+               stale_shard = (if !stale >= 0 then !stale else 0);
+               earliest = !earliest;
+               latest = !latest;
+             })
+      else per_snapshot (checked + 1) rest
+  in
+  per_snapshot 0 snapshots
+
 let check_bounded_staleness h ~bound serves =
   if bound < 0 then
     invalid_arg

@@ -93,6 +93,56 @@ val check_crash :
     publish that somehow took effect after the fence is convicted
     instead of forgiven). *)
 
+(** {2 Cross-shard snapshot checking (ISSUE 6)}
+
+    A register-fabric snapshot claims its whole vector of shard values
+    was simultaneously published at one instant inside the snapshot's
+    interval.  {!check_fabric} judges recorded fabric histories in two
+    passes: every snapshot is projected onto each shard as an ordinary
+    read and run through the full single-register {!check} (per-shard
+    regularity and new-old inversions come free), then each snapshot's
+    per-shard validity windows are intersected — value [v] of shard
+    [i] can have been current no earlier than write [v]'s invocation
+    and no later than write [v+1]'s return (maximally permissive, so a
+    conviction is never a timestamping artifact).  An empty
+    intersection means the vector never coexisted: a torn snapshot. *)
+
+type snapshot_obs = {
+  sthread : int;
+  invoked : int;
+  returned : int;
+  observed : int array;  (** per shard: seq of the value in the vector *)
+}
+
+type fabric_violation =
+  | Shard_violation of { shard : int; violation : violation }
+  | Torn_snapshot of {
+      snapshot : snapshot_obs;
+      fresh_shard : int;  (** its observed write was invoked last *)
+      stale_shard : int;  (** its observed value died first *)
+      earliest : int;  (** earliest instant the vector could exist *)
+      latest : int;  (** latest instant it could still exist *)
+    }
+
+val pp_fabric_violation : Format.formatter -> fabric_violation -> unit
+
+type fabric_report = {
+  fshards : int;
+  snapshots_checked : int;
+  shard_reports : report array;
+}
+
+val check_fabric :
+  writes:History.t array ->
+  snapshots:snapshot_obs list ->
+  (fabric_report, fabric_violation) result
+(** [check_fabric ~writes ~snapshots] — [writes.(i)] holds shard
+    [i]'s write events (per-shard seqs 1..k, writer-sequential, as
+    {!check} requires); each snapshot contributes one projected read
+    per shard plus one window-intersection test.
+    @raise Invalid_argument if there are no shards or a snapshot's
+    [observed] length disagrees with the shard count. *)
+
 (** {2 Bounded staleness of degraded reads (ISSUE 3)}
 
     Reads a circuit breaker serves from its last-known-good snapshot

@@ -33,6 +33,8 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       go 1
     end
 
+  let decode_words words = words.(0) lxor h 0
+
   let validate_words words ~len =
     if len < 1 || len > Array.length words then Error "empty snapshot"
     else begin

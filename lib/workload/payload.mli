@@ -23,6 +23,11 @@ module Make (M : Arc_mem.Mem_intf.S) : sig
   (** Check every word of the snapshot against the seq claimed by
       word 0; [Ok seq] or a description of the first torn word. *)
 
+  val decode_words : int array -> int
+  (** Sequence number claimed by word 0 of an already-copied plain
+      array — meaningful even when {!validate_words} rejects it, so a
+      torn vector can still be attributed to a write. *)
+
   val validate_words : int array -> len:int -> (int, string) result
   (** Same check over an already-copied plain array. *)
 

@@ -17,6 +17,7 @@ module Torn (M : Arc_mem.Mem_intf.S) = struct
       Arc_core.Register_intf.wait_free = true;
       zero_copy = true;
       max_readers = (fun ~capacity_words:_ -> None);
+      snapshot_read = false;
     }
 
   let create ~readers:_ ~capacity ~init =
@@ -65,6 +66,7 @@ module Stale (M : Arc_mem.Mem_intf.S) = struct
       Arc_core.Register_intf.wait_free = true;
       zero_copy = false;
       max_readers = (fun ~capacity_words:_ -> None);
+      snapshot_read = false;
     }
 
   let create ~readers:_ ~capacity ~init =
@@ -158,6 +160,7 @@ module Hang (M : Arc_mem.Mem_intf.S) = struct
       Arc_core.Register_intf.wait_free = false;
       zero_copy = true;
       max_readers = (fun ~capacity_words:_ -> None);
+      snapshot_read = false;
     }
 
   let create ~readers:_ ~capacity ~init =

@@ -78,4 +78,5 @@ let () =
       ("mrmw", Test_mrmw.suite);
       ("shm", Test_shm.suite);
       ("obs", Test_obs.suite);
+      ("fabric", Test_fabric.suite);
     ]

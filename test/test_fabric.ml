@@ -1,0 +1,337 @@
+(* Sharded register fabric (ISSUE 6): single-threaded semantics,
+   capability discovery, adversarial vsched campaigns judged by the
+   cross-shard checker, the wait-freedom retry bound, and the
+   collect-only negative control the checker must convict. *)
+
+module Config = Arc_harness.Config
+module Registry = Arc_harness.Registry
+module Fabric_runner = Arc_harness.Fabric_runner
+module Checker = Arc_trace.Checker
+module History = Arc_trace.History
+module Strategy = Arc_vsched.Strategy
+module F = Arc_fabric.Fabric.Make (Arc_core.Arc.Make (Arc_mem.Real_mem))
+
+(* {2 Single-threaded fabric semantics (Real_mem)} *)
+
+let mk ?(shards = 4) ?(writers = 2) ?(readers = 2) ?(capacity = 8) () =
+  F.create ~shards ~writers ~readers ~capacity ~init:(Array.make capacity 0)
+
+let test_create_validation () =
+  let raises f = Alcotest.check_raises "invalid_arg" (Invalid_argument "") f in
+  let check_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  ignore raises;
+  check_invalid (fun () -> mk ~shards:0 ());
+  check_invalid (fun () -> mk ~writers:0 ());
+  check_invalid (fun () -> mk ~writers:5 ~shards:4 ());
+  check_invalid (fun () -> mk ~readers:0 ());
+  let fab = mk () in
+  Alcotest.(check int) "shards" 4 (F.shards fab);
+  Alcotest.(check int) "writers" 2 (F.writers fab);
+  Alcotest.(check int) "readers" 2 (F.readers fab);
+  Alcotest.(check int) "capacity" 8 (F.capacity fab);
+  check_invalid (fun () -> F.scanner fab 2);
+  check_invalid (fun () -> F.writer fab 2)
+
+let test_ownership () =
+  let fab = mk () in
+  Alcotest.(check int) "shard 0" 0 (F.owner_of fab 0);
+  Alcotest.(check int) "shard 1" 1 (F.owner_of fab 1);
+  Alcotest.(check int) "shard 2" 0 (F.owner_of fab 2);
+  let w1 = F.writer fab 1 in
+  let src = Array.make 8 7 in
+  (match F.write w1 ~shard:0 ~src ~len:8 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "foreign-shard write must be rejected");
+  F.write w1 ~shard:1 ~src ~len:8
+
+let test_snapshot_contents () =
+  let fab = mk () in
+  let w0 = F.writer fab 0 and w1 = F.writer fab 1 in
+  let sc = F.scanner fab 0 in
+  let buf = Array.make 8 0 in
+  (* Initial snapshot: all shards hold the init value, stamp 1. *)
+  let snap = F.snapshot sc in
+  Alcotest.(check bool) "direct" false (F.borrowed snap);
+  for s = 0 to 3 do
+    Alcotest.(check int) "init len" 8 (F.shard_len snap s);
+    Alcotest.(check int) "init stamp" 1 (F.shard_stamp snap s);
+    Alcotest.(check int) "init word" 0 (F.shard_word snap s 0)
+  done;
+  (* Distinct payloads per shard, then snapshot again. *)
+  for s = 0 to 3 do
+    Array.fill buf 0 8 (100 + s);
+    let w = if s mod 2 = 0 then w0 else w1 in
+    F.write w ~shard:s ~src:buf ~len:6
+  done;
+  let snap = F.snapshot sc in
+  for s = 0 to 3 do
+    Alcotest.(check int) "len" 6 (F.shard_len snap s);
+    Alcotest.(check int) "stamp" 2 (F.shard_stamp snap s);
+    Alcotest.(check int) "word" (100 + s) (F.shard_word snap s 5);
+    let dst = Array.make 8 0 in
+    Alcotest.(check int) "copy len" 6 (F.shard_copy snap s ~dst);
+    Alcotest.(check int) "copy word" (100 + s) dst.(0)
+  done;
+  (* Point reads agree with the snapshot. *)
+  let dst = Array.make 8 0 in
+  Alcotest.(check int) "read len" 6 (F.read sc ~shard:2 ~dst);
+  Alcotest.(check int) "read word" 102 dst.(0);
+  Alcotest.(check int) "read_with" 103 (F.read_with sc ~shard:3 ~f:(fun b _ ->
+      Arc_mem.Real_mem.read_word b 0));
+  (* Telemetry: two direct snapshots, no helping traffic. *)
+  Alcotest.(check int) "direct total" 2 (F.snapshots_direct fab);
+  Alcotest.(check int) "borrowed total" 0 (F.snapshots_borrowed fab);
+  Alcotest.(check int) "retries" 0 (F.snapshot_retries fab);
+  Alcotest.(check int) "deposits" 0 (F.deposits_made fab);
+  Alcotest.(check int) "shard writes" 1 (F.shard_writes fab 2);
+  Alcotest.(check bool) "metrics nonempty" true (F.metrics fab <> [])
+
+let test_unvalidated_single_threaded () =
+  (* Without concurrency the negative control is indistinguishable
+     from the real snapshot — its defect exists only under races. *)
+  let fab = mk () in
+  let w0 = F.writer fab 0 in
+  let src = Array.make 8 42 in
+  F.write w0 ~shard:0 ~src ~len:8;
+  let snap = F.snapshot_unvalidated (F.scanner fab 0) in
+  Alcotest.(check int) "word" 42 (F.shard_word snap 0 0);
+  Alcotest.(check int) "stamp" 2 (F.shard_stamp snap 0)
+
+(* {2 Capability discovery (satellite: no hard-coded name lists)} *)
+
+let test_discovery () =
+  let eligible = Registry.fabric_capable Registry.all in
+  let names = List.map (fun e -> e.Registry.name) eligible in
+  Alcotest.(check (list string))
+    "exactly the stamped family" [ "arc"; "arc-nohint"; "arc-dynamic" ] names;
+  List.iter
+    (fun (e : Registry.entry) ->
+      Alcotest.(check bool)
+        (e.Registry.name ^ " caps bit")
+        true e.Registry.caps.Arc_core.Register_intf.snapshot_read;
+      Alcotest.(check bool)
+        (e.Registry.name ^ " has runner")
+        true
+        (Option.is_some e.Registry.run_fabric_sim))
+    eligible;
+  List.iter
+    (fun (e : Registry.entry) ->
+      if not (List.mem e.Registry.name names) then
+        Alcotest.(check bool)
+          (e.Registry.name ^ " not eligible")
+          false e.Registry.caps.Arc_core.Register_intf.snapshot_read)
+    Registry.all
+
+(* {2 Adversarial campaigns under the virtual scheduler} *)
+
+let base_cfg =
+  {
+    Config.fab_shards = 4;
+    fab_writers = 2;
+    fab_scanners = 2;
+    fab_size_words = 16;
+    fab_steps = 20_000;
+    fab_seed = 0;
+    fab_atomic = true;
+  }
+
+let strategies ~fibers seed =
+  [
+    ("random", Strategy.random ~seed);
+    ("burst", Strategy.random_burst ~seed ~max_burst:60);
+    ( "steal",
+      Strategy.steal ~seed
+        ~base:(Strategy.random ~seed:(seed + 1))
+        ~probability:0.01 ~min_pause:50 ~max_pause:400 );
+    ("pct", Strategy.pct ~seed ~fibers ~depth:4 ~expected_steps:20_000);
+  ]
+
+let run_campaign ~(cfg : Config.fabric_sim) ~seeds (entry : Registry.entry) =
+  let run = Option.get entry.Registry.run_fabric_sim in
+  let fibers = cfg.Config.fab_writers + cfg.Config.fab_scanners in
+  let acc = ref [] in
+  for seed = 1 to seeds do
+    List.iter
+      (fun (strategy_name, strategy) ->
+        let r = run ~strategy { cfg with Config.fab_seed = seed } in
+        acc := (strategy_name, seed, r) :: !acc)
+      (strategies ~fibers seed)
+  done;
+  List.rev !acc
+
+let test_atomic_campaign () =
+  let bound_passes (cfg : Config.fabric_sim) (r : Fabric_runner.result) =
+    (* Every scan — public or a writer's helping scan (one per
+       deposit) — retries at most 2·shards + 3 times. *)
+    let scans = r.Fabric_runner.fr_snapshots + r.Fabric_runner.fr_deposits in
+    r.Fabric_runner.fr_retries <= scans * ((2 * cfg.Config.fab_shards) + 3)
+  in
+  let direct = ref 0 and borrowed = ref 0 and retries = ref 0 in
+  List.iter
+    (fun (entry : Registry.entry) ->
+      List.iter
+        (fun (strategy_name, seed, (r : Fabric_runner.result)) ->
+          let fail fmt =
+            Alcotest.failf
+              ("%s under %s(seed=%d): " ^^ fmt)
+              entry.Registry.name strategy_name seed
+          in
+          if r.Fabric_runner.fr_torn > 0 then
+            fail "%d within-shard torn values" r.Fabric_runner.fr_torn;
+          if strategy_name <> "pct" then begin
+            (* PCT's strict priorities may legitimately starve a fiber
+               class; the fair-ish strategies must make progress. *)
+            if r.Fabric_runner.fr_writes = 0 then fail "no writes";
+            if r.Fabric_runner.fr_snapshots = 0 then fail "no snapshots"
+          end;
+          if not (bound_passes base_cfg r) then
+            fail "retry bound violated: %d retries over %d scans"
+              r.Fabric_runner.fr_retries
+              (r.Fabric_runner.fr_snapshots + r.Fabric_runner.fr_deposits);
+          (match Fabric_runner.check r with
+          | Ok report ->
+            Alcotest.(check int)
+              "all snapshots judged" (List.length r.Fabric_runner.fr_snapshot_obs)
+              report.Checker.snapshots_checked
+          | Error v -> fail "%a" Checker.pp_fabric_violation v);
+          direct := !direct + (r.Fabric_runner.fr_snapshots - r.Fabric_runner.fr_borrowed);
+          borrowed := !borrowed + r.Fabric_runner.fr_borrowed;
+          retries := !retries + r.Fabric_runner.fr_retries)
+        (run_campaign ~cfg:base_cfg ~seeds:6 entry))
+    (Registry.fabric_capable Registry.all);
+  (* Both snapshot regimes must actually occur across the campaign:
+     clean/once-modified collects certified directly, and
+     twice-modified shards served from a helping deposit. *)
+  Alcotest.(check bool) "direct regime exercised" true (!direct > 0);
+  Alcotest.(check bool) "borrowed regime exercised" true (!borrowed > 0);
+  Alcotest.(check bool) "retry (modified-once) regime exercised" true (!retries > 0)
+
+let test_starved_writers_all_direct () =
+  (* The unbounded-delay adversary on every writer: scanners must
+     still complete (wait-freedom), and with no writes moving, every
+     snapshot is certified on its first probe pass. *)
+  let entry = List.hd (Registry.fabric_capable Registry.all) in
+  let run = Option.get entry.Registry.run_fabric_sim in
+  let cfg = { base_cfg with Config.fab_steps = 5_000 } in
+  let strategy =
+    Strategy.starve
+      ~victims:[ 0; 1 ] (* writer fibers come first *)
+      ~until_step:1_000_000
+      ~base:(Strategy.random ~seed:7)
+  in
+  let r = run ~strategy cfg in
+  Alcotest.(check int) "no writes" 0 r.Fabric_runner.fr_writes;
+  Alcotest.(check bool) "snapshots complete" true (r.Fabric_runner.fr_snapshots > 0);
+  Alcotest.(check int) "no retries" 0 r.Fabric_runner.fr_retries;
+  Alcotest.(check int) "no borrows" 0 r.Fabric_runner.fr_borrowed;
+  match Fabric_runner.check r with
+  | Ok _ -> ()
+  | Error v -> Alcotest.failf "starved run: %a" Checker.pp_fabric_violation v
+
+(* {2 Negative control: the collect-only fabric must be convicted} *)
+
+let test_torn_control_convicted () =
+  let entry = List.hd (Registry.fabric_capable Registry.all) in
+  let run = Option.get entry.Registry.run_fabric_sim in
+  let cfg = { base_cfg with Config.fab_atomic = false } in
+  let convicted = ref 0 and runs = ref 0 in
+  for seed = 1 to 8 do
+    let r = run ~strategy:(Strategy.random ~seed) { cfg with Config.fab_seed = seed } in
+    incr runs;
+    (* Shard values still arrive through atomic register reads, so
+       within-shard validation cannot fail even here. *)
+    Alcotest.(check int) "no within-shard tearing" 0 r.Fabric_runner.fr_torn;
+    match Fabric_runner.check r with
+    | Ok _ -> ()
+    | Error (Checker.Torn_snapshot _) -> incr convicted
+    | Error (Checker.Shard_violation _ as v) ->
+      Alcotest.failf "collect-only fabric produced a per-shard violation: %a"
+        Checker.pp_fabric_violation v
+  done;
+  if !convicted = 0 then
+    Alcotest.failf "collect-only negative control never convicted in %d runs" !runs
+
+(* {2 Handcrafted histories for the cross-shard checker} *)
+
+let w ~thread ~seq ~invoked ~returned =
+  History.event History.Write ~thread ~seq ~invoked ~returned
+
+let test_checker_handcrafted () =
+  (* Shard 0: v1 over [10,20], v2 over [30,40]; shard 1: v1 over
+     [50,60].  A snapshot over [25,70] observing (v2, v1) is fine —
+     both values coexist from 50 (shard 1's v1 born) while shard 0's
+     v2 is still current.  Observing (v1, v1) over the same interval
+     is {e per-shard} regular for both shards (v1 of shard 0 is the
+     last completed write at invocation; v1 of shard 1 is concurrent)
+     yet torn: shard 0's v1 died at 40 (v2's return), before shard
+     1's v1 was born at 50 — exactly the tear only the window
+     intersection can see. *)
+  let writes =
+    [|
+      History.of_events
+        [
+          w ~thread:0 ~seq:1 ~invoked:10 ~returned:20;
+          w ~thread:0 ~seq:2 ~invoked:30 ~returned:40;
+        ];
+      History.of_events [ w ~thread:1 ~seq:1 ~invoked:50 ~returned:60 ];
+    |]
+  in
+  let ok_snap =
+    { Checker.sthread = 2; invoked = 25; returned = 70; observed = [| 2; 1 |] }
+  in
+  (match Checker.check_fabric ~writes ~snapshots:[ ok_snap ] with
+  | Ok r ->
+    Alcotest.(check int) "shards" 2 r.Checker.fshards;
+    Alcotest.(check int) "snapshots" 1 r.Checker.snapshots_checked
+  | Error v ->
+    Alcotest.failf "coexisting vector rejected: %a" Checker.pp_fabric_violation v);
+  let torn_snap =
+    { Checker.sthread = 2; invoked = 25; returned = 70; observed = [| 1; 1 |] }
+  in
+  match Checker.check_fabric ~writes ~snapshots:[ torn_snap ] with
+  | Ok _ -> Alcotest.fail "torn vector accepted"
+  | Error (Checker.Torn_snapshot { fresh_shard; stale_shard; earliest; latest; _ })
+    ->
+    Alcotest.(check int) "stale shard" 0 stale_shard;
+    Alcotest.(check int) "fresh shard" 1 fresh_shard;
+    Alcotest.(check bool) "empty window" true (earliest > latest)
+  | Error v ->
+    Alcotest.failf "wrong conviction: %a" Checker.pp_fabric_violation v
+
+let test_checker_shard_projection () =
+  (* A snapshot observing a seq that was never written on that shard
+     must fall out of the per-shard projection as a violation. *)
+  let writes =
+    [| History.of_events [ w ~thread:0 ~seq:1 ~invoked:10 ~returned:20 ] |]
+  in
+  let ghost =
+    { Checker.sthread = 1; invoked = 30; returned = 40; observed = [| 5 |] }
+  in
+  match Checker.check_fabric ~writes ~snapshots:[ ghost ] with
+  | Ok _ -> Alcotest.fail "ghost value accepted"
+  | Error (Checker.Shard_violation { shard; _ }) ->
+    Alcotest.(check int) "shard" 0 shard
+  | Error v -> Alcotest.failf "wrong conviction: %a" Checker.pp_fabric_violation v
+
+let suite =
+  [
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    Alcotest.test_case "shard ownership" `Quick test_ownership;
+    Alcotest.test_case "snapshot contents" `Quick test_snapshot_contents;
+    Alcotest.test_case "unvalidated single-threaded" `Quick
+      test_unvalidated_single_threaded;
+    Alcotest.test_case "capability discovery" `Quick test_discovery;
+    Alcotest.test_case "adversarial campaign" `Slow test_atomic_campaign;
+    Alcotest.test_case "starved writers stay wait-free" `Quick
+      test_starved_writers_all_direct;
+    Alcotest.test_case "torn negative control convicted" `Slow
+      test_torn_control_convicted;
+    Alcotest.test_case "checker: handcrafted windows" `Quick
+      test_checker_handcrafted;
+    Alcotest.test_case "checker: shard projection" `Quick
+      test_checker_shard_projection;
+  ]
