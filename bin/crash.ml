@@ -1,31 +1,36 @@
-(* arc-crash: real-crash durability harness for the shared-memory
-   register substrate (ISSUE 4).
+(* arc-crash: real-crash durability + writer-election harness for the
+   shared-memory register substrate (ISSUE 4, reworked by ISSUE 7).
 
    Each run builds an ARC register inside an mmap'd file
-   (Arc_shm.Shm_mem), forks a writer child, and SIGKILLs it at a
-   seeded random point while reader domains in the parent keep
-   reading.  The parent then reattaches to reality: integrity-scans
-   the mapping (quarantining any torn slot the kill left behind),
-   resolves whether the interrupted write published, takes over the
-   writer role through the epoch fence persisted in the superblock,
-   and finally feeds the whole cross-process history — child writes
-   reconstructed from a shared write-log, reads and successor writes
-   recorded against the mapping's shared clock — through the
-   crash-aware atomicity checker.
+   (Arc_shm.Shm_mem), forks a LEADER writer (candidate 0, which wins
+   term 1 of the superblock election) and k hot-standby candidates,
+   then SIGKILLs the leader at a seeded write count while reader
+   domains in the parent keep reading.  The standbys detect the
+   failure through a shared-clock heartbeat lease and arbitrate the
+   succession through the superblock's [term ∥ vote] word: each
+   campaigns from a common snapshot of term 1, CAS atomicity elects
+   exactly one of them into term 2, and only the winner — after the
+   election's vote → prefence → recovery → issue sequence — continues
+   the write sequence.  The parent then asserts exactly one successor
+   won, reconstructs every process's testimony from shared write-logs
+   stamped against the mapping's shared clock, and feeds the merged
+   cross-process history through the crash-aware atomicity checker.
 
-     dune exec bin/crash.exe -- --runs 200
+     dune exec bin/crash.exe -- --runs 200 --candidates 3
      dune exec bin/crash.exe -- --replay-seed 2049052026 -v
 
-   Exit status 0 = clean (and all conviction controls behaved);
+   Exit status 0 = clean (and all negative controls behaved);
    1 = violations (each with the exact replay command, also written
-   to --fail-log if given); 2 = a corruption negative control went
-   unconvicted (the integrity layer is vacuous).
+   to --fail-log if given); 2 = a negative control went unconvicted
+   (corruption controls: the integrity layer is vacuous; election
+   controls: the split-vote / dueling-epoch safety argument is).
 
    The kill itself is real and therefore not schedulable: a seed
-   reproduces the configuration and the kill-delay draw, not the exact
+   reproduces the configuration and the kill-point draw, not the exact
    interrupted instruction.  What IS deterministic is the judgement —
-   every surviving byte is either verified or convicted, whichever
-   point the kill landed on. *)
+   every surviving byte is either verified or convicted, and every
+   claimed reign is either voted or fenced, whichever point the kill
+   landed on. *)
 
 module Shm_mem = Arc_shm.Shm_mem
 module Shm_arc = Arc_shm.Shm_arc
@@ -33,6 +38,7 @@ module Layout = Arc_shm.Shm_layout
 module History = Arc_trace.History
 module Checker = Arc_trace.Checker
 module Splitmix = Arc_util.Splitmix
+module Term_vote = Arc_util.Term_vote
 module P0 = Arc_workload.Payload.Make (Arc_mem.Real_mem)
 open Cmdliner
 
@@ -40,8 +46,10 @@ type cfg = {
   runs : int;
   seed : int;
   readers : int;
+  candidates : int;  (* hot standbys forked beside the leader *)
   capacity : int;
   writes_max : int;
+  kill_at : int;  (* 0 = draw the kill write count from the seed *)
   successor_writes : int;
   dir : string;
   verbose : bool;
@@ -51,59 +59,213 @@ let derive_seed cfg run = (cfg.seed * 1_000_003) + run
 
 let replay_command cfg seed =
   Printf.sprintf
-    "arc-crash --replay-seed %d --readers %d --capacity %d --writes %d \
-     --successor-writes %d"
-    seed cfg.readers cfg.capacity cfg.writes_max cfg.successor_writes
+    "arc-crash --replay-seed %d --readers %d --candidates %d --kill-at %d \
+     --capacity %d --writes %d --successor-writes %d"
+    seed cfg.readers cfg.candidates cfg.kill_at cfg.capacity cfg.writes_max
+    cfg.successor_writes
 
 (* Reader identities: [0, readers) are the reading domains,
-   [readers] is the parent's post-crash probe read, and [readers + 1]
-   is never used — the spare covering the one slot a crash may
-   quarantine (Shm_arc.recover's bounded-leak accounting). *)
+   [readers] is the elected successor's post-crash probe read, and
+   [readers + 1] is never used — the spare covering the one slot a
+   crash may quarantine (Shm_arc.recover's bounded-leak accounting). *)
 let identities cfg = cfg.readers + 2
+
+(* Heartbeat lease, in shared-clock ticks.  Readers and standbys keep
+   the clock moving (a few ticks per µs between them), the leader
+   re-stamps the heartbeat word every ~µs write cycle, so the live age
+   stays a few dozen ticks; the lease must dominate an OS-level
+   preemption of the leader (tens of ms), not a write cycle.  A
+   spurious failover under extreme load is SAFE — the fence converts
+   it into an early, orderly succession — it just moves the kill test
+   off the intended write. *)
+let lease_ticks = 50_000
 
 let mapping_words cfg =
   let nslots = identities cfg + 2 in
   (2 * (cfg.writes_max + 1))
+  + (3 * (cfg.successor_writes + 1))
+  + (8 * (cfg.candidates + 1))
   + (nslots * (cfg.capacity + (4 * Layout.line_words) + Layout.buf_header + 8))
   + (8 * Layout.line_words) + 1024
 
-(* {1 The shared write-log}
+(* {1 The shared logs}
 
-   A raw region of the mapping (skipped by the integrity scan): two
-   words per write — invocation and return stamps from the shared
-   clock, written around each fenced write.  It is the child's only
-   way to testify: after the kill, entry k with a return stamp is a
-   completed write, and the single entry with an invocation stamp but
-   no return stamp is the write in flight when the kill landed. *)
+   Raw regions of the mapping (skipped by the integrity scan), the
+   dead and surviving processes' only way to testify.
+
+   Leader write-log: two words per write — invocation and return
+   stamps from the shared clock, written around each fenced write.
+   After the kill, entry k with a return stamp is a completed write;
+   the single entry with an invocation stamp but no return stamp is
+   the write in flight when the kill landed.
+
+   Successor write-log: three words per write — seq, invocation and
+   return stamps — because unlike the leader's (whose seqs are its
+   entry ordinals) the successor's first seq depends on how the
+   interrupted write resolved.
+
+   Status blocks: 8 words per candidate, the standby's verdict on its
+   own campaign (won/lost/error, term, takeover accounting, probe). *)
 
 let log_invoked log k = log + (2 * (k - 1))
 let log_returned log k = log + (2 * (k - 1)) + 1
 
-let child_writer (module I : Shm_arc.INSTANCE) ~log ~cfg ~seed =
-  let module F = Arc_resilience.Fenced.Make (I.R) in
-  let t = F.of_register I.reg ~epoch:(Shm_mem.epoch_cell I.mapping) in
-  let w = F.issue t in
-  let rng = Splitmix.of_int seed in
-  let src = Array.make cfg.capacity 0 in
-  (try
-     for k = 1 to cfg.writes_max do
-       (* Pace the writer to ~1 µs per cycle.  The parent's
-          kill-at-write-K trigger has scheduler-latency slop between
-          observing the log and the SIGKILL landing; pacing keeps that
-          slop to a few hundred writes instead of tens of thousands,
-          so the drawn kill point governs where the crash lands.  The
-          pause sits OUTSIDE the invoked/returned bracket, so it
-          widens no window the checker reasons about. *)
-       for _ = 1 to 600 do
-         Domain.cpu_relax ()
-       done;
-       let len = 1 + Splitmix.int rng cfg.capacity in
-       P0.stamp src ~seq:k ~len;
-       Shm_mem.atomic_set I.mapping (log_invoked log k) (Shm_mem.tick I.mapping);
-       F.write w ~src ~len;
-       Shm_mem.atomic_set I.mapping (log_returned log k) (Shm_mem.tick I.mapping)
-     done
-   with _ -> ());
+let slog_seq slog j = slog + (3 * j)
+let slog_invoked slog j = slog + (3 * j) + 1
+let slog_returned slog j = slog + (3 * j) + 2
+
+let st_status = 0
+and st_term = 1
+and st_winner = 2 (* observed winner + 1; 0 = none *)
+and st_convictions = 3
+and st_torn = 4
+and st_journaled = 5
+and st_probe = 6 (* observed probe seq + 2; 0 = unset, 1 = torn *)
+and st_swrites = 7
+
+let status_won = 1
+and status_lost = 2
+and status_error = 3
+
+(* {1 The leader (candidate 0)}
+
+   Wins term 1 of a fresh election word — uncontested, but going
+   through the campaign keeps the invariant that every writer handle
+   in the system was voted for — then writes until killed, bracketing
+   each write in the log and re-stamping the heartbeat after it. *)
+
+let leader_writer (module I : Shm_arc.INSTANCE) ~log ~hb ~cfg ~seed =
+  let module E = Arc_resilience.Election.Make (I.R) in
+  let module F = E.Fenced_reg in
+  let freg = F.of_register I.reg ~epoch:(Shm_mem.epoch_cell I.mapping) in
+  let el = E.create ~word:(Shm_mem.election_cell I.mapping) ~candidate:0 freg in
+  (match E.campaign el with
+  | E.Lost _ -> () (* impossible on a fresh word; die silent, run fails *)
+  | E.Won { writer = w; _ } -> (
+      Shm_mem.atomic_set I.mapping hb (Shm_mem.tick I.mapping);
+      let rng = Splitmix.of_int seed in
+      let src = Array.make cfg.capacity 0 in
+      try
+        for k = 1 to cfg.writes_max do
+          (* Pace the writer to ~1 µs per cycle.  The parent's
+             kill-at-write-K trigger has scheduler-latency slop between
+             observing the log and the SIGKILL landing; pacing keeps
+             that slop to a few hundred writes instead of tens of
+             thousands, so the drawn kill point governs where the crash
+             lands.  The pause sits OUTSIDE the invoked/returned
+             bracket, so it widens no window the checker reasons
+             about. *)
+          for _ = 1 to 600 do
+            Domain.cpu_relax ()
+          done;
+          let len = 1 + Splitmix.int rng cfg.capacity in
+          P0.stamp src ~seq:k ~len;
+          Shm_mem.atomic_set I.mapping (log_invoked log k) (Shm_mem.tick I.mapping);
+          F.write w ~src ~len;
+          Shm_mem.atomic_set I.mapping (log_returned log k) (Shm_mem.tick I.mapping);
+          Shm_mem.atomic_set I.mapping hb (Shm_mem.tick I.mapping)
+        done
+      with _ -> () (* incl. Fenced_out after a spurious failover *)));
+  Unix._exit 0
+
+(* {1 The hot standbys (candidates 1..k)}
+
+   Snapshot the election word while the leader reigns, monitor the
+   heartbeat lease (failure DETECTION), and on expiry campaign from
+   that common snapshot (failure ARBITRATION): every standby aims at
+   the same succession term, so the CAS admits exactly one.  The
+   winner's takeover is the full recovery pipeline — integrity scan,
+   quarantine, prefreeze journal — run between the prefence and its
+   own issue; then it resolves the interrupted write with a probe read
+   and continues the sequence.  Losers record who beat them and
+   exit. *)
+
+let standby_candidate (module I : Shm_arc.INSTANCE) inst ~hb ~status ~slog ~cfg
+    ~candidate =
+  let module E = Arc_resilience.Election.Make (I.R) in
+  let module F = E.Fenced_reg in
+  let freg = F.of_register I.reg ~epoch:(Shm_mem.epoch_cell I.mapping) in
+  let el = E.create ~word:(Shm_mem.election_cell I.mapping) ~candidate freg in
+  let base = status + (8 * candidate) in
+  let put f v = Shm_mem.atomic_set I.mapping (base + f) v in
+  (* The common snapshot: the parent forked us only after observing
+     the leader's term, so every standby sees the same reign here. *)
+  let snap = E.observe el in
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let rec monitor n =
+    let age = Shm_mem.clock I.mapping - Shm_mem.atomic_get I.mapping hb in
+    if age > lease_ticks then `Expired
+    else if n land 1023 = 0 && Unix.gettimeofday () > deadline then `Gave_up
+    else begin
+      for _ = 1 to 256 do
+        Domain.cpu_relax ()
+      done;
+      (* Keep the shared clock moving even before the readers spin up:
+         lease age is measured in ticks, and a frozen clock would mask
+         a dead leader. *)
+      ignore (Shm_mem.tick I.mapping);
+      monitor (n + 1)
+    end
+  in
+  (match monitor 1 with
+  | `Gave_up -> put st_status status_error
+  | `Expired -> (
+      let takeover () =
+        match Shm_arc.recover inst with
+        | Ok ((rcv : Shm_mem.recovery), journaled) ->
+            put st_convictions (List.length rcv.convicted);
+            put st_torn
+              (List.length
+                 (List.filter
+                    (fun (c : Shm_mem.conviction) -> c.why = Shm_mem.Torn)
+                    rcv.convicted));
+            put st_journaled journaled;
+            List.length rcv.convicted
+        | Error _ ->
+            put st_status status_error;
+            0
+      in
+      match E.campaign ~from:snap ~takeover el with
+      | E.Lost { term; winner } ->
+          put st_term term;
+          put st_winner (match winner with Some c -> c + 1 | None -> 0);
+          put st_status status_lost
+      | E.Won { writer = w; term; _ } -> (
+          put st_term term;
+          put st_winner (candidate + 1);
+          (* Resolve the interrupted write: the register's published
+             state is frozen (the leader is dead and fenced), so one
+             probe read settles whether its pending W2 exchange
+             happened. *)
+          let module P = Arc_workload.Payload.Make (I.M) in
+          let probe = I.R.reader I.reg cfg.readers in
+          let observed =
+            I.R.read_with probe ~f:(fun buf len ->
+                match P.validate buf ~len with Ok seq -> seq | Error _ -> -1)
+          in
+          put st_probe (observed + 2);
+          if observed < 0 then put st_status status_error
+          else begin
+            let rng = Splitmix.of_int (Shm_mem.publish_seq I.mapping) in
+            let src = Array.make cfg.capacity 0 in
+            let written = ref 0 in
+            (try
+               for j = 0 to cfg.successor_writes - 1 do
+                 let seq = observed + 1 + j in
+                 let len = 1 + Splitmix.int rng cfg.capacity in
+                 P0.stamp src ~seq ~len;
+                 let invoked = Shm_mem.tick I.mapping in
+                 F.write w ~src ~len;
+                 let returned = Shm_mem.tick I.mapping in
+                 Shm_mem.atomic_set I.mapping (slog_invoked slog j) invoked;
+                 Shm_mem.atomic_set I.mapping (slog_returned slog j) returned;
+                 Shm_mem.atomic_set I.mapping (slog_seq slog j) seq;
+                 incr written
+               done
+             with _ -> ());
+            put st_swrites !written;
+            put st_status status_won
+          end)));
   Unix._exit 0
 
 (* {1 Reader domains} *)
@@ -138,8 +300,13 @@ type run_result = {
   seed : int;
   child_writes : int;
   pending : pending;
-  convicted : Shm_mem.conviction list;
+  convictions : int;
+  torn_convictions : int;
   journaled : int;
+  winner : int;  (* elected successor's candidate id; -1 = none *)
+  term : int;  (* the term the successor reigns under *)
+  losers : int;  (* candidates that campaigned and lost *)
+  successor_writes_done : int;
   reads : int;
   dropped : int;
   outcome : string;
@@ -179,21 +346,53 @@ let run_one cfg ~seed =
   let module I = (val inst : Shm_arc.INSTANCE) in
   let log = Shm_mem.alloc_raw m (2 * (cfg.writes_max + 1)) in
   Shm_mem.set_harness_region m log;
+  let hb = Shm_mem.alloc_raw m 1 in
+  let status = Shm_mem.alloc_raw m (8 * (cfg.candidates + 1)) in
+  let slog = Shm_mem.alloc_raw m (3 * (cfg.successor_writes + 1)) in
   (* The kill point is a seeded write NUMBER, not a wall-clock delay:
-     the parent watches the shared write-log until the child reaches
+     the parent watches the shared write-log until the leader reaches
      it, then kills.  Wall clocks drift with machine load — a loaded
-     box would land every kill after the child had already finished —
+     box would land every kill after the leader had already finished —
      while a count always lands the signal inside the writing phase
      (give or take the signal-delivery handful of writes, which is
-     exactly the randomness a real crash has anyway). *)
-  let kill_at = 1 + Splitmix.int rng cfg.writes_max in
+     exactly the randomness a real crash has anyway).  --kill-at pins
+     it instead of drawing it (the draw still runs, keeping later
+     draws aligned between pinned and drawn runs of one seed). *)
+  let drawn = 1 + Splitmix.int rng cfg.writes_max in
+  let kill_at = if cfg.kill_at > 0 then cfg.kill_at else drawn in
   let violations = ref [] in
   let fail fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
   flush stdout;
   flush stderr;
   match Unix.fork () with
-  | 0 -> child_writer inst ~log ~cfg ~seed:(seed lxor 0x5DEECE66) (* child *)
-  | child ->
+  | 0 -> leader_writer inst ~log ~hb ~cfg ~seed:(seed lxor 0x5DEECE66)
+  | leader ->
+      (* Wait for the leader's term before forking standbys, so every
+         standby snapshots the same reign to campaign from — the
+         exactly-one-successor argument starts at this common
+         snapshot. *)
+      let lead_deadline = Unix.gettimeofday () +. 10.0 in
+      let rec await_leader () =
+        if Term_vote.term (Shm_mem.election m) >= 1 then true
+        else if Unix.gettimeofday () > lead_deadline then false
+        else begin
+          Domain.cpu_relax ();
+          await_leader ()
+        end
+      in
+      if not (await_leader ()) then fail "leader never opened term 1";
+      (* Arm the lease before any standby can look at it. *)
+      if Shm_mem.atomic_get m hb = 0 then
+        Shm_mem.atomic_set m hb (Shm_mem.tick m);
+      let standbys =
+        List.init cfg.candidates (fun i ->
+            let candidate = i + 1 in
+            flush stdout;
+            flush stderr;
+            match Unix.fork () with
+            | 0 -> standby_candidate inst inst ~hb ~status ~slog ~cfg ~candidate
+            | pid -> pid)
+      in
       let stop = Atomic.make false in
       let recorder =
         History.Recorder.create ~threads:(cfg.readers + 1) ~capacity:(1 lsl 18)
@@ -209,7 +408,7 @@ let run_one cfg ~seed =
         else if n land 4095 = 0 && Unix.gettimeofday () > deadline then ()
         else begin
           (if n land 4095 = 0 then
-             match Unix.waitpid [ Unix.WNOHANG ] child with
+             match Unix.waitpid [ Unix.WNOHANG ] leader with
              | 0, _ -> ()
              | _, s -> reaped := Some s);
           if !reaped = None then begin
@@ -219,19 +418,27 @@ let run_one cfg ~seed =
         end
       in
       await 1;
-      let status =
+      let leader_status =
         match !reaped with
         | Some s -> s
         | None ->
-            Unix.kill child Sys.sigkill;
-            snd (Unix.waitpid [] child)
+            Unix.kill leader Sys.sigkill;
+            snd (Unix.waitpid [] leader)
       in
-      (match status with
+      (match leader_status with
       | Unix.WSIGNALED s when s = Sys.sigkill -> ()
-      | Unix.WEXITED 0 -> () (* child drained writes_max before the kill *)
-      | _ -> fail "child exited abnormally");
+      | Unix.WEXITED 0 -> () (* leader drained writes_max before the kill *)
+      | _ -> fail "leader exited abnormally");
+      (* The election now runs among the standbys; wait them all out
+         (losers exit as soon as they lose; the winner after its
+         successor writes). *)
+      List.iter (fun pid -> ignore (Unix.waitpid [] pid)) standbys;
       Unix.sleepf 0.002;
-      (* Reconstruct the child's testimony from the write-log. *)
+      Atomic.set stop true;
+      List.iter
+        (fun d -> List.iter (fun e -> violations := e :: !violations) (Domain.join d))
+        domains;
+      (* Reconstruct the leader's testimony from its write-log. *)
       let n_last = ref 0 in
       let completed = ref [] in
       let pending_entry = ref None in
@@ -256,98 +463,110 @@ let run_one cfg ~seed =
       | Some (k, _) when k <> !n_last ->
           fail "write-log: unreturned entry %d is not the last (%d)" k !n_last
       | _ -> ());
-      (* Recovery: integrity-scan the mapping, mirror convictions into
-         the register, recover the prefreeze journal. *)
-      let convicted, journaled =
-        match Shm_arc.recover inst with
-        | Ok (rcv, journaled) ->
-            if List.length rcv.convicted > 1 then
-              fail "recovery convicted %d slots from one crash: %s"
-                (List.length rcv.convicted)
-                (pp_convicted rcv.convicted);
-            (rcv.convicted, journaled)
-        | Error msg ->
-            fail "recovery convicted the whole mapping: %s" msg;
-            ([], 0)
+      (* Collect the candidates' verdicts: EXACTLY one elected
+         successor, everyone else an explicit loser — the property the
+         whole term-vote word exists to provide. *)
+      let verdict i =
+        let base = status + (8 * i) in
+        let g f = Shm_mem.atomic_get m (base + f) in
+        ( g st_status,
+          g st_term,
+          g st_winner - 1,
+          g st_convictions,
+          g st_torn,
+          g st_journaled,
+          g st_probe - 2,
+          g st_swrites )
       in
-      (* Resolve the interrupted write: the register's published state
-         is frozen (the writer is dead), so one probe read settles
-         whether the pending write's W2 exchange happened. *)
-      let module P = Arc_workload.Payload.Make (I.M) in
-      let probe = I.R.reader I.reg cfg.readers in
-      let observed =
-        I.R.read_with probe ~f:(fun buf len ->
-            match P.validate buf ~len with
-            | Ok seq -> seq
-            | Error msg ->
-                fail "probe read torn: %s" msg;
-                -1)
+      let winners = ref [] and losers = ref 0 in
+      for i = 1 to cfg.candidates do
+        let st, term, win, _, _, _, _, _ = verdict i in
+        if st = status_won then winners := i :: !winners
+        else if st = status_lost then begin
+          incr losers;
+          if win >= 0 && not (List.mem win (List.init (cfg.candidates + 1) Fun.id))
+          then fail "candidate %d lost to unknown candidate %d (term %d)" i win term
+        end
+        else fail "candidate %d ended in status %d (neither won nor lost)" i st
+      done;
+      (match !winners with
+      | [ _ ] -> ()
+      | [] -> fail "no candidate won the succession"
+      | ws ->
+          fail "split election: candidates %s all believe they won"
+            (String.concat "," (List.map string_of_int ws)));
+      let winner, term, convictions, torn_convictions, journaled, probe, swrites =
+        match !winners with
+        | w :: _ ->
+            let _, term, _, conv, torn, jr, probe, sw = verdict w in
+            (w, term, conv, torn, jr, probe, sw)
+        | [] -> (-1, 0, 0, 0, 0, -2, 0)
       in
-      let pending, next_seq =
-        match !pending_entry with
-        | None ->
-            if observed <> !n_last then
-              fail "probe observed seq %d, expected %d (no pending write)"
-                observed !n_last;
-            (No_pending, !n_last + 1)
-        | Some (k, invoked) ->
-            if observed = k then (Published (k, invoked), k + 1)
-            else if observed = k - 1 then (Vanished k, k)
-            else begin
-              fail "probe observed seq %d, expected %d or %d" observed (k - 1) k;
-              (No_pending, !n_last + 1)
-            end
+      if winner >= 0 && term < 2 then
+        fail "successor reigns under term %d (the leader held term 1)" term;
+      if convictions > 1 then
+        fail "recovery convicted %d slots from one crash" convictions;
+      (* Resolve the interrupted write from the winner's probe. *)
+      let pending =
+        if winner < 0 then No_pending
+        else
+          match !pending_entry with
+          | None ->
+              if probe <> !n_last then
+                fail "probe observed seq %d, expected %d (no pending write)"
+                  probe !n_last;
+              No_pending
+          | Some (k, invoked) ->
+              if probe = k then Published (k, invoked)
+              else if probe = k - 1 then Vanished k
+              else begin
+                fail "probe observed seq %d, expected %d or %d" probe (k - 1) k;
+                No_pending
+              end
       in
       (* A torn content copy can only be the interrupted write's: ARC
          completes every copy before that write's W2 exchange, so all
          earlier writes left complete trailers — and the interrupted
          write cannot have published (the exchange comes after the
          copy), so a torn conviction must coincide with a vanished
-         pending write.  Readers never see the torn bytes (nothing
-         routed them to that slot, and every read's payload was
-         validated word-by-word above); this checks the bookkeeping
-         agrees. *)
-      List.iter
-        (fun (c : Shm_mem.conviction) ->
-          match (c.why, pending) with
-          | Shm_mem.Torn, Vanished _ -> ()
-          | Shm_mem.Torn, p ->
-              fail
-                "torn slot %d convicted (publish seq %d) but the interrupted \
-                 write is %s — a published write left a torn copy"
-                c.ordinal c.seq (pp_pending p)
-          | _ -> ())
-        convicted;
-      (* Successor writer: a fresh fenced handle over the same
-         register — issuing bumps the epoch the crashed writer's
-         handle was issued under (it lives in the superblock, so the
-         fence survived the kill). *)
-      let module F = Arc_resilience.Fenced.Make (I.R) in
-      let ft = F.of_register I.reg ~epoch:(Shm_mem.epoch_cell m) in
-      let w = F.issue ft in
-      let src = Array.make cfg.capacity 0 in
-      (try
-         for j = 0 to cfg.successor_writes - 1 do
-           let seq = next_seq + j in
-           let len = 1 + Splitmix.int rng cfg.capacity in
-           P0.stamp src ~seq ~len;
-           let invoked = Shm_mem.tick m in
-           F.write w ~src ~len;
-           let returned = Shm_mem.tick m in
-           History.Recorder.record recorder ~thread:0 History.Write ~seq
-             ~invoked ~returned
-         done
-       with e -> fail "successor writer: %s" (Printexc.to_string e));
-      Unix.sleepf 0.002;
-      Atomic.set stop true;
-      List.iter
-        (fun d -> List.iter (fun e -> violations := e :: !violations) (Domain.join d))
-        domains;
-      (* Judgement: the cross-process history through the crash-aware
-         checker, fenced at the recovery stamp. *)
+         pending write.  Readers never see the torn bytes; this checks
+         the bookkeeping agrees. *)
+      if torn_convictions > 0 && (match pending with Vanished _ -> false | _ -> true)
+      then
+        fail
+          "torn slot convicted but the interrupted write is %s — a published \
+           write left a torn copy"
+          (pp_pending pending);
+      (* Reconstruct the successor's writes from its log. *)
+      let successor = ref [] in
+      if winner >= 0 then begin
+        (try
+           for j = 0 to swrites - 1 do
+             let seq = Shm_mem.atomic_get m (slog_seq slog j) in
+             if seq = 0 then raise Exit;
+             successor :=
+               History.event History.Write
+                 ~thread:(cfg.readers + 1)
+                 ~seq
+                 ~invoked:(Shm_mem.atomic_get m (slog_invoked slog j))
+                 ~returned:(Shm_mem.atomic_get m (slog_returned slog j))
+             :: !successor
+           done
+         with Exit -> ());
+        match List.rev !successor with
+        | (first : History.event) :: _ ->
+            let expect = probe + 1 in
+            if first.seq <> expect then
+              fail "successor started at seq %d, probe says %d" first.seq expect
+        | [] -> fail "elected successor published nothing"
+      end;
+      (* Judgement: the merged cross-process history — leader writes,
+         successor writes, every recorded read — through the
+         crash-aware checker, fenced at the recovery stamp. *)
       let history =
         History.of_events
-          (!completed @ History.events (History.Recorder.history recorder))
+          (!completed @ !successor
+          @ History.events (History.Recorder.history recorder))
       in
       let reads = List.length (History.reads history) in
       let pending_write =
@@ -367,8 +586,13 @@ let run_one cfg ~seed =
           seed;
           child_writes = !n_last;
           pending;
-          convicted;
+          convictions;
+          torn_convictions;
           journaled;
+          winner;
+          term;
+          losers = !losers;
+          successor_writes_done = swrites;
           reads;
           dropped = History.Recorder.dropped recorder;
           outcome;
@@ -382,6 +606,8 @@ let run_one cfg ~seed =
         let meta =
           ("fence", Shm_mem.fence_at m)
           :: ("epoch", Shm_mem.epoch m)
+          :: ("term", term)
+          :: ("winner", winner)
           ::
           (match pending_write with
           | Some (k, inv) -> [ ("pending_seq", k); ("pending_invoked", inv) ]
@@ -396,10 +622,10 @@ let run_one cfg ~seed =
 let print_result ~verbose r =
   if verbose || r.violations <> [] then begin
     Printf.printf
-      "run [seed %d]: writes=%d pending=%s convicted=%s journaled=%d reads=%d%s \
-       outcome=%s — %s\n"
-      r.seed r.child_writes (pp_pending r.pending) (pp_convicted r.convicted)
-      r.journaled r.reads
+      "run [seed %d]: writes=%d pending=%s winner=c%d term=%d losers=%d \
+       convicted=%d torn=%d journaled=%d swrites=%d reads=%d%s outcome=%s — %s\n"
+      r.seed r.child_writes (pp_pending r.pending) r.winner r.term r.losers
+      r.convictions r.torn_convictions r.journaled r.successor_writes_done r.reads
       (if r.dropped > 0 then Printf.sprintf " (dropped %d)" r.dropped else "")
       r.outcome
       (if r.violations = [] then "ok" else String.concat "; " r.violations);
@@ -412,19 +638,24 @@ let print_result ~verbose r =
 
 (* A forked process may not fork again once it has spawned domains
    (OCaml 5's Unix.fork refuses), and each run needs both — fork the
-   writer child first, then spawn reader domains.  So the campaign
-   driver runs every run in its own forked subprocess, which performs
-   its writer-fork while still single-domain.  The subprocess prints
-   its own per-run line and ships the result record back through a
-   temp file. *)
+   leader and every standby first, then spawn reader domains.  So the
+   campaign driver runs every run in its own forked subprocess, which
+   performs its forks while still single-domain.  The subprocess
+   prints its own per-run line and ships the result record back
+   through a temp file. *)
 let run_one_isolated cfg ~seed =
   let stub outcome msg =
     {
       seed;
       child_writes = 0;
       pending = No_pending;
-      convicted = [];
+      convictions = 0;
+      torn_convictions = 0;
       journaled = 0;
+      winner = -1;
+      term = 0;
+      losers = 0;
+      successor_writes_done = 0;
       reads = 0;
       dropped = 0;
       outcome;
@@ -545,23 +776,195 @@ let conviction_controls cfg =
         Shm_mem.recover m)
     |> check "stale-superblock" (function Error _ -> true | Ok _ -> false)
   in
+  let skewed =
+    with_control_mapping cfg "version" (fun m ->
+        Shm_mem.unsafe_set m Layout.sb_version (Layout.version - 1);
+        Shm_mem.recover m)
+    |> check "stale-layout-version" (function Error _ -> true | Ok _ -> false)
+  in
   let clean =
     with_control_mapping cfg "clean" Shm_mem.recover
     |> check "clean-mapping" (function
          | Ok (r : Shm_mem.recovery) -> r.convicted = [] && r.intact > 0
          | Error _ -> false)
   in
-  flipped && torn && stale && clean
+  flipped && torn && stale && skewed && clean
+
+(* {1 Election negative controls}
+
+   The election's safety argument (one writer per term, zombies
+   fenced) must be FALSIFIABLE, or the clean campaign above proves
+   nothing about it.  Two arms, each simulating one way the argument
+   could break and demanding the checker convicts the result.  Both
+   run in-process over heap substrates: what is under test is the
+   judgement, not the kill. *)
+
+(* Split vote: candidate B's vote CAS LIES (reports success without
+   storing — Fault_plan.Cas_lie through the fault-injecting memory),
+   so A and B both believe they won term 1.  Under vote-only authority
+   — writing without the epoch fence, which is exactly what the fence
+   exists to forbid — their write sequences collide, and the merged
+   history must be convicted. *)
+let split_vote_control () =
+  let module Mem = Arc_fault.Campaign.Mem in
+  let module R = Arc_core.Arc.Make (Mem) in
+  let module E = Arc_resilience.Election.Make (R) in
+  let module P = Arc_workload.Payload.Make (Mem) in
+  let capacity = 8 in
+  let init = Array.make capacity 0 in
+  P.stamp init ~seq:0 ~len:capacity;
+  let freg = E.Fenced_reg.create ~readers:1 ~capacity ~init in
+  let reg = E.Fenced_reg.inner freg in
+  let word = Mem.atomic_contended Term_vote.none in
+  let a = E.create ~word ~candidate:0 freg in
+  let b = E.create ~word ~candidate:1 freg in
+  let snap = E.observe a in
+  let won_a = E.request_vote ~from:snap a <> None in
+  (* Arm the lie AFTER A's honest vote: B's CAS is the ambient
+     context's first rmw from here on. *)
+  Mem.install
+    (Arc_fault.Fault_plan.cas_lie ~fiber:0 ~nth:1 Arc_fault.Fault_plan.empty);
+  Mem.set_ambient_fiber (Some 0);
+  let won_b = E.request_vote ~from:snap b <> None in
+  Mem.set_ambient_fiber None;
+  let stats = Mem.drain () in
+  if not (won_a && won_b) || stats.Arc_fault.Fault_mem.cas_lies <> 1 then
+    (false, "the lie did not produce a split vote (control is vacuous)")
+  else begin
+    let clock = ref 0 in
+    let tick () =
+      incr clock;
+      !clock
+    in
+    let src = Array.make capacity 0 in
+    let ev = ref [] in
+    let write ~thread ~seq =
+      P.stamp src ~seq ~len:capacity;
+      let invoked = tick () in
+      R.write reg ~src ~len:capacity;
+      ev :=
+        History.event History.Write ~thread ~seq ~invoked ~returned:(tick ())
+        :: !ev
+    in
+    (* Both reigns write "their" term-1 sequence. *)
+    write ~thread:0 ~seq:1;
+    write ~thread:1 ~seq:1;
+    write ~thread:0 ~seq:2;
+    write ~thread:1 ~seq:2;
+    match Checker.check (History.of_events !ev) with
+    | Error v -> (true, Format.asprintf "%a" Checker.pp_violation v)
+    | Ok _ -> (false, "merged split-vote history accepted")
+  end
+
+(* Dueling epochs: the deposed leader keeps trying to publish after
+   losing its term.  The healthy path — its fenced write raising
+   Fenced_out — is asserted as the non-vacuity guard; then the control
+   BREAKS the rule by writing through the raw register underneath the
+   fence, and a reader observing that late publish after the
+   successor's writes must be convicted as a new/old inversion. *)
+let dueling_epoch_control () =
+  let module Mem = Arc_mem.Real_mem in
+  let module R = Arc_core.Arc.Make (Mem) in
+  let module E = Arc_resilience.Election.Make (R) in
+  let module F = E.Fenced_reg in
+  let module P = Arc_workload.Payload.Make (Mem) in
+  let capacity = 8 in
+  let init = Array.make capacity 0 in
+  P.stamp init ~seq:0 ~len:capacity;
+  let freg = F.create ~readers:1 ~capacity ~init in
+  let word = Mem.atomic_contended Term_vote.none in
+  let el0 = E.create ~word ~candidate:0 freg in
+  let el1 = E.create ~word ~candidate:1 freg in
+  let clock = ref 0 in
+  let tick () =
+    incr clock;
+    !clock
+  in
+  let ev = ref [] in
+  let src = Array.make capacity 0 in
+  let fwrite w ~thread ~seq =
+    P.stamp src ~seq ~len:capacity;
+    let invoked = tick () in
+    F.write w ~src ~len:capacity;
+    ev :=
+      History.event History.Write ~thread ~seq ~invoked ~returned:(tick ()) :: !ev
+  in
+  let rd = F.reader freg 0 in
+  let read ~thread =
+    let invoked = tick () in
+    let seq =
+      R.read_with rd ~f:(fun buf len ->
+          match P.validate buf ~len with Ok s -> s | Error _ -> -1)
+    in
+    ev := History.event History.Read ~thread ~seq ~invoked ~returned:(tick ()) :: !ev;
+    seq
+  in
+  match E.campaign el0 with
+  | E.Lost _ -> (false, "leader's uncontested campaign lost (control is vacuous)")
+  | E.Won { writer = w0; _ } -> (
+      (* The leader's completed reign: writes 1..5 under term 1. *)
+      for seq = 1 to 5 do
+        fwrite w0 ~thread:0 ~seq
+      done;
+      match E.campaign el1 with
+      | E.Lost _ ->
+          (false, "successor's campaign lost (control is vacuous)")
+      | E.Won { writer = w1; _ } -> (
+      (* el1's campaign deposed w0 the moment it won term 2. *)
+      let zombified =
+        (* The healthy path: the zombie's fenced write must abort. *)
+        match fwrite w0 ~thread:0 ~seq:99 with
+        | () -> false
+        | exception Arc_resilience.Fenced.Fenced_out _ -> true
+      in
+      if not zombified then
+        (false, "deposed leader's write was not fenced (control is vacuous)")
+      else begin
+        for seq = 6 to 10 do
+          fwrite w1 ~thread:1 ~seq
+        done;
+        let before = read ~thread:2 in
+        (* The broken zombie: publish its stale pending write (seq 6)
+           THROUGH the raw register, underneath the fence.  Not
+           recorded as a history event — the zombie is dead as far as
+           the model knows; the damage must surface through what
+           readers then observe. *)
+        P.stamp src ~seq:6 ~len:capacity;
+        R.write (F.inner freg) ~src ~len:capacity;
+        let after = read ~thread:2 in
+        if before <> 10 || after <> 6 then
+          ( false,
+            Printf.sprintf
+              "zombie publish not reader-visible (read %d then %d; control is \
+               vacuous)"
+              before after )
+        else
+          match Checker.check (History.of_events !ev) with
+          | Error v -> (true, Format.asprintf "%a" Checker.pp_violation v)
+          | Ok _ -> (false, "zombie's late publish accepted by the checker")
+      end))
+
+let election_controls () =
+  let report name (convicted, detail) =
+    Printf.printf "election-control %s %s\n" name
+      (if convicted then "CONVICTED (expected): " ^ detail
+       else "UNCONVICTED — election safety is unfalsified: " ^ detail);
+    convicted
+  in
+  let sv = report "split-vote" (split_vote_control ()) in
+  let de = report "dueling-epoch" (dueling_epoch_control ()) in
+  sv && de
 
 (* {1 Campaign driver} *)
 
-(* Campaign counters as an exposition dump.  The per-run recoveries
-   happen in forked subprocesses, so their process-local Shm_mem cells
-   die with them — the campaign aggregates come from the marshalled
-   run results instead, and the Shm_mem section reflects only
-   recoveries this process performed itself (the conviction controls,
+(* Campaign counters as an exposition dump.  The per-run elections and
+   recoveries happen in forked subprocesses, so their process-local
+   Obs cells die with them — the campaign aggregates come from the
+   marshalled run results instead, while the Election/Shm_mem sections
+   reflect only what this process did itself (the negative controls,
    or a --replay-seed run). *)
-let print_metrics ~runs ~failing ~pendings ~convictions ~journaled =
+let print_metrics ~runs ~failing ~pendings ~convictions ~journaled ~elected
+    ~losers =
   let open Arc_obs.Obs in
   print_string
     (prometheus
@@ -570,33 +973,45 @@ let print_metrics ~runs ~failing ~pendings ~convictions ~journaled =
           counter "crash_failing_runs_total" ~help:"Runs with violations"
             failing;
           counter "crash_pending_at_kill_total"
-            ~help:"Runs where the writer died with a write in flight" pendings;
+            ~help:"Runs where the leader died with a write in flight" pendings;
           counter "crash_slots_convicted_total"
             ~help:"Register slots convicted by post-crash recovery" convictions;
           counter "crash_journal_quarantines_total"
             ~help:"Slots quarantined via the prefreeze journal" journaled;
+          counter "crash_elected_successors_total"
+            ~help:"Runs where exactly one standby won the succession" elected;
+          counter "crash_losing_candidates_total"
+            ~help:"Standby campaigns that lost their election" losers;
         ]
+       @ Arc_resilience.Election.metrics ()
        @ Shm_mem.metrics ()))
 
 let run_campaign cfg fail_log skip_controls metrics =
   let failing = ref [] in
   let outcomes = Hashtbl.create 8 in
-  let convictions = ref 0 and journaled = ref 0 and pendings = ref 0 in
+  let convictions = ref 0
+  and journaled = ref 0
+  and pendings = ref 0
+  and elected = ref 0
+  and losers = ref 0 in
   for run = 1 to cfg.runs do
     let seed = derive_seed cfg run in
     let r = run_one_isolated cfg ~seed in
     Hashtbl.replace outcomes r.outcome
       (1 + Option.value ~default:0 (Hashtbl.find_opt outcomes r.outcome));
-    convictions := !convictions + List.length r.convicted;
+    convictions := !convictions + r.convictions;
     journaled := !journaled + r.journaled;
+    if r.winner >= 0 then incr elected;
+    losers := !losers + r.losers;
     if r.pending <> No_pending then incr pendings;
     if r.violations <> [] then failing := seed :: !failing
   done;
   let total_failing = List.length !failing in
   Printf.printf
     "arc-crash: %d runs, %d failing; pending-at-kill %d, slots convicted %d, \
-     journal quarantines %d; outcomes: %s\n"
-    cfg.runs total_failing !pendings !convictions !journaled
+     journal quarantines %d, elected successors %d, losing candidates %d; \
+     outcomes: %s\n"
+    cfg.runs total_failing !pendings !convictions !journaled !elected !losers
     (String.concat ", "
        (Hashtbl.fold
           (fun k v acc -> Printf.sprintf "%s=%d" k v :: acc)
@@ -617,28 +1032,37 @@ let run_campaign cfg fail_log skip_controls metrics =
       close_out oc;
       Printf.printf "replay commands written to %s\n" path
   | _ -> ());
-  let controls_ok = skip_controls || conviction_controls cfg in
+  let controls_ok =
+    skip_controls || (conviction_controls cfg && election_controls ())
+  in
   if metrics then
     print_metrics ~runs:cfg.runs ~failing:total_failing ~pendings:!pendings
-      ~convictions:!convictions ~journaled:!journaled;
+      ~convictions:!convictions ~journaled:!journaled ~elected:!elected
+      ~losers:!losers;
   if total_failing > 0 then exit 1;
   if not controls_ok then exit 2
 
-let run runs seed readers capacity writes successor_writes dir replay_seed
-    verbose fail_log skip_controls metrics =
+let run runs seed readers candidates capacity writes kill_at successor_writes
+    dir replay_seed verbose fail_log skip_controls metrics =
   let dir = match dir with Some d -> d | None -> Filename.get_temp_dir_name () in
   let cfg =
     {
       runs;
       seed;
       readers;
+      candidates;
       capacity;
       writes_max = writes;
+      kill_at;
       successor_writes;
       dir;
       verbose;
     }
   in
+  if candidates < 1 then begin
+    prerr_endline "arc-crash: --candidates must be >= 1";
+    exit 124
+  end;
   match replay_seed with
   | Some s ->
       Printf.printf "replaying seed %d\n" s;
@@ -648,8 +1072,9 @@ let run runs seed readers capacity writes successor_writes dir replay_seed
         print_metrics ~runs:1
           ~failing:(if r.violations <> [] then 1 else 0)
           ~pendings:(if r.pending <> No_pending then 1 else 0)
-          ~convictions:(List.length r.convicted)
-          ~journaled:r.journaled;
+          ~convictions:r.convictions ~journaled:r.journaled
+          ~elected:(if r.winner >= 0 then 1 else 0)
+          ~losers:r.losers;
       if r.violations <> [] then exit 1
   | None -> run_campaign cfg fail_log skip_controls metrics
 
@@ -665,6 +1090,15 @@ let cmd =
       value & opt int 3
       & info [ "readers" ] ~docv:"N" ~doc:"Reader domains in the parent.")
   in
+  let candidates =
+    Arg.(
+      value & opt int 2
+      & info [ "candidates" ] ~docv:"K"
+          ~doc:
+            "Hot-standby candidate processes forked beside the leader; after \
+             the kill they campaign for the succession and exactly one must \
+             win.")
+  in
   let capacity =
     Arg.(
       value & opt int 32 & info [ "capacity" ] ~docv:"WORDS" ~doc:"Snapshot words.")
@@ -672,13 +1106,22 @@ let cmd =
   let writes =
     Arg.(
       value & opt int 30_000
-      & info [ "writes" ] ~docv:"N" ~doc:"Child writes before it stops on its own.")
+      & info [ "writes" ] ~docv:"N" ~doc:"Leader writes before it stops on its own.")
+  in
+  let kill_at =
+    Arg.(
+      value & opt int 0
+      & info [ "kill-at" ] ~docv:"K"
+          ~doc:
+            "Kill the leader at its K-th write instead of drawing K from the \
+             seed (0 = draw).  Printed in every replay command so a replay is \
+             bit-identical in configuration.")
   in
   let successor_writes =
     Arg.(
       value & opt int 100
       & info [ "successor-writes" ] ~docv:"N"
-          ~doc:"Writes by the recovered parent writer after failover.")
+          ~doc:"Writes by the elected successor after failover.")
   in
   let dir =
     Arg.(
@@ -703,26 +1146,29 @@ let cmd =
   let skip_controls =
     Arg.(
       value & flag
-      & info [ "skip-controls" ] ~doc:"Skip the corruption negative controls.")
+      & info [ "skip-controls" ]
+          ~doc:"Skip the corruption and election negative controls.")
   in
   let metrics =
     Arg.(
       value & flag
       & info [ "metrics" ]
           ~doc:
-            "After the campaign (or replay), print the crash/recovery \
+            "After the campaign (or replay), print the crash/recovery/election \
              counters — runs, pending-at-kill, convictions, journal \
-             quarantines, plus this process's shm recovery cells — as a \
-             Prometheus-style text dump.")
+             quarantines, elections — as a Prometheus-style text dump.")
   in
   Cmd.v
     (Cmd.info "arc-crash"
        ~doc:
-         "Kill-9 the writer of a shared-memory ARC register at random points; \
-          verify that recovery convicts exactly the torn state and that the \
-          surviving cross-process history stays atomic.")
+         "Kill-9 the leading writer of a shared-memory ARC register at random \
+          points while hot-standby candidates race to succeed it through the \
+          superblock's term-vote election; verify that recovery convicts \
+          exactly the torn state, that exactly one successor is elected, and \
+          that the merged cross-process history stays atomic.")
     Term.(
-      const run $ runs $ seed $ readers $ capacity $ writes $ successor_writes
-      $ dir $ replay_seed $ verbose $ fail_log $ skip_controls $ metrics)
+      const run $ runs $ seed $ readers $ candidates $ capacity $ writes
+      $ kill_at $ successor_writes $ dir $ replay_seed $ verbose $ fail_log
+      $ skip_controls $ metrics)
 
 let () = exit (Cmd.eval cmd)

@@ -87,7 +87,10 @@ let run_soak (cfg : Soak.cfg) verbose fail_log skip_control metrics =
   in
   let o = Soak.run ~on_run cfg in
   Format.printf "%a@." Soak.pp_outcome o;
-  if metrics then print_string (Arc_obs.Obs.prometheus (Soak.metrics o));
+  if metrics then
+    print_string
+      (Arc_obs.Obs.prometheus
+         (Soak.metrics o @ Arc_resilience.Election.metrics ()));
   List.iter
     (fun (seed, msg) ->
       Printf.printf "violation [seed %d]: %s\n  replay: %s\n" seed msg

@@ -5,9 +5,10 @@ type stats = {
   tears : (int * int) list;  (** (fiber, words completed before the tear) *)
   stalls : int;
   drops : int;
+  cas_lies : int;
 }
 
-let zero_stats = { crashes = []; tears = []; stalls = 0; drops = 0 }
+let zero_stats = { crashes = []; tears = []; stalls = 0; drops = 0; cas_lies = 0 }
 
 module Make (M : Arc_mem.Mem_intf.S) = struct
   let name = "fault(" ^ M.name ^ ")"
@@ -31,6 +32,16 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
      sequential (install / run / drain), matching how Sim_mem treats
      its own global knobs. *)
   let inj = { pending = []; counters = Hashtbl.create 16; stats = zero_stats }
+
+  (* Fault identity for code running OUTSIDE the virtual scheduler: a
+     real OS process has no vsched fiber, so without this every access
+     it makes is invisible to the injector.  A harness that needs to
+     fault real-process code (the crash campaign's split-vote negative
+     control) declares an ambient fiber id; plans address it like any
+     fiber.  Scheduler-delivered actions ([Stall]) must not appear in
+     ambient plans — there is no scheduler to sleep on. *)
+  let ambient = ref None
+  let set_ambient_fiber f = ambient := f
 
   let install plan =
     inj.pending <- Fault_plan.events plan;
@@ -74,8 +85,11 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
      fire the first matching pending event, and tell the operation how
      to proceed.  Crash raises out of here; Stall sleeps, then lets
      the operation proceed (the access happens after the stall). *)
-  let before (cls : Fault_plan.op_class) : [ `Proceed | `Skip | `Tear of int * bool ] =
-    match Sched.current_fiber () with
+  let before (cls : Fault_plan.op_class) :
+      [ `Proceed | `Skip | `Tear of int * bool | `Lie ] =
+    match
+      (match Sched.current_fiber () with None -> !ambient | f -> f)
+    with
     | None -> `Proceed
     | Some fiber ->
       let c = counters_for fiber in
@@ -100,7 +114,10 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
             `Skip
           | Fault_plan.Tear { at_word; silent } ->
             if cls = `Bulk then `Tear (at_word, silent)
-            else `Proceed (* tear points are `Bulk-typed by construction *))
+            else `Proceed (* tear points are `Bulk-typed by construction *)
+          | Fault_plan.Cas_lie ->
+            if cls = `Rmw then `Lie
+            else `Proceed (* cas-lie points are `Rmw-typed by construction *))
         | _ :: rest -> fire rest
       in
       fire inj.pending
@@ -133,9 +150,15 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
 
   let incr a = match before `Rmw with `Skip -> () | _ -> M.incr a
 
+  (* Only [compare_and_set] honours `Lie — it is the one rmw whose
+     result is a won/lost verdict a protocol can be deceived about.
+     Other rmws receiving `Lie proceed normally (the event is spent). *)
   let compare_and_set a old v =
-    ignore (before `Rmw);
-    M.compare_and_set a old v
+    match before `Rmw with
+    | `Lie ->
+      inj.stats <- { inj.stats with cas_lies = inj.stats.cas_lies + 1 };
+      true
+    | _ -> M.compare_and_set a old v
 
   let fetch_and_or a mask =
     ignore (before `Rmw);
@@ -164,7 +187,7 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
 
   let write_words buf ~src ~len =
     match before `Bulk with
-    | `Proceed -> M.write_words buf ~src ~len
+    | `Proceed | `Lie -> M.write_words buf ~src ~len
     | `Skip -> ()
     | `Tear (at_word, silent) ->
       torn_copy ~len ~at_word ~silent (fun words -> M.write_words buf ~src ~len:words)
@@ -175,14 +198,14 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
 
   let read_words buf ~dst ~len =
     match before `Bulk with
-    | `Proceed -> M.read_words buf ~dst ~len
+    | `Proceed | `Lie -> M.read_words buf ~dst ~len
     | `Skip -> ()
     | `Tear (at_word, silent) ->
       torn_copy ~len ~at_word ~silent (fun words -> M.read_words buf ~dst ~len:words)
 
   let blit src dst ~len =
     match before `Bulk with
-    | `Proceed -> M.blit src dst ~len
+    | `Proceed | `Lie -> M.blit src dst ~len
     | `Skip -> ()
     | `Tear (at_word, silent) ->
       torn_copy ~len ~at_word ~silent (fun words -> M.blit src dst ~len:words)

@@ -25,6 +25,7 @@ type stats = {
   tears : (int * int) list;  (** (fiber, words completed before the tear) *)
   stalls : int;
   drops : int;
+  cas_lies : int;  (** compare-and-sets that reported success untruthfully *)
 }
 
 val zero_stats : stats
@@ -40,4 +41,13 @@ module Make (M : Arc_mem.Mem_intf.S) : sig
   val drain : unit -> stats
   (** Disarm and return what fired.  Also clears state, so a
       forgotten [install] leaves the instance fault-free. *)
+
+  val set_ambient_fiber : int option -> unit
+  (** Fault identity for accesses made {e outside} any vsched fiber
+      (a real OS process): [Some f] makes such accesses count — and
+      fire plan events — as fiber [f]; [None] (the default) restores
+      the original behaviour of leaving them fault-free.  For
+      real-process negative controls (the crash campaign's split-vote
+      arm); plans used under an ambient fiber must not contain
+      [Stall] events, which need a scheduler to sleep on. *)
 end

@@ -9,6 +9,7 @@ type action =
   | Stall of int
   | Tear of { at_word : int; silent : bool }
   | Drop
+  | Cas_lie
 
 type point = { fiber : int; kind : kind; nth : int }
 
@@ -43,6 +44,10 @@ let drop ~fiber ~kind ~nth plan =
   check_point ~who:"Fault_plan.drop" ~fiber ~nth;
   { point = { fiber; kind = (kind :> kind); nth }; action = Drop } :: plan
 
+let cas_lie ~fiber ~nth plan =
+  check_point ~who:"Fault_plan.cas_lie" ~fiber ~nth;
+  { point = { fiber; kind = `Rmw; nth }; action = Cas_lie } :: plan
+
 let events = Fun.id
 let size = List.length
 
@@ -59,6 +64,7 @@ let pp_action ppf = function
   | Tear { at_word; silent } ->
     Format.fprintf ppf "tear(word=%d%s)" at_word (if silent then ",silent" else "")
   | Drop -> Format.fprintf ppf "drop"
+  | Cas_lie -> Format.fprintf ppf "cas-lie"
 
 let pp ppf plan =
   Format.fprintf ppf "@[<v>";

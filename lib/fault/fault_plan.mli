@@ -34,7 +34,14 @@
       torn slot is never published by a correct algorithm.)
     - {!drop} — a unit-returning operation (an [incr] or [store]) is
       silently skipped: a lost release, breaking slot accounting in a
-      way the presence-ledger auditor must catch. *)
+      way the presence-ledger auditor must catch.
+    - {!cas_lie} — a compare-and-set {e reports success without
+      applying}: the shared word is untouched but the caller proceeds
+      as a winner.  This is the split-vote forcer for the writer
+      election's negative control ({!Arc_resilience.Election}): a
+      candidate whose vote CAS lies believes it won a term someone
+      else actually holds, and a history written under that belief
+      must be convicted by the atomicity checker. *)
 
 exception Crashed
 (** Raised by {!Fault_mem} at a [Crash] (or non-silent [Tear]) point.
@@ -54,6 +61,7 @@ type action =
   | Stall of int  (** steps to stay off the runnable set *)
   | Tear of { at_word : int; silent : bool }
   | Drop
+  | Cas_lie  (** CAS reports success without applying (unsound) *)
 
 type point = { fiber : int; kind : kind; nth : int }
 (** Fires at the fiber's [nth] access of class [kind] (1-based;
@@ -72,6 +80,11 @@ val tear : fiber:int -> at_copy:int -> at_word:int -> silent:bool -> t -> t
     many words of it complete. *)
 
 val drop : fiber:int -> kind:[ `Store | `Rmw ] -> nth:int -> t -> t
+
+val cas_lie : fiber:int -> nth:int -> t -> t
+(** [nth] is the fiber's nth {e rmw} access; if it is a
+    [compare_and_set], it reports success without storing.  (Any other
+    rmw proceeds normally — the event is still consumed.) *)
 
 val events : t -> event list
 val size : t -> int

@@ -40,6 +40,14 @@ let () =
            writer_epoch current_epoch)
     | _ -> None)
 
+(* Process-wide count of writes aborted by the fence, across every
+   [Make] instantiation: the election exposes it as
+   [arc_election_zombie_fences_total] ({!Election.metrics}) — each one
+   is a deposed leader whose late publish the fence convicted.
+   Single-writer cell discipline holds: fenced writers execute on the
+   (one) thread that held the handle. *)
+let zombie_fences = Arc_obs.Obs.Cell.create ()
+
 module Make (R : Arc_core.Register_intf.FENCEABLE) = struct
   module M = R.Mem
 
@@ -78,11 +86,22 @@ module Make (R : Arc_core.Register_intf.FENCEABLE) = struct
   type writer = { t : t; gen : int }
 
   let issue t = { t; gen = M.add_and_fetch t.epoch 1 }
+
+  (* Bump the epoch WITHOUT issuing a handle: every outstanding handle
+     is fenced, and nobody holds the new generation.  This is the
+     election's fence-after-vote step ({!Election.campaign}): the
+     moment a candidate wins the vote it prefences, so the deposed
+     leader is already convictable while the winner is still
+     inspecting the wreckage (recovery, quarantine) — the winner only
+     [issue]s once takeover is complete. *)
+  let prefence t = ignore (M.add_and_fetch t.epoch 1)
+
   let writer_epoch w = w.gen
   let current w = M.load w.t.epoch = w.gen
 
   let reject w current_epoch =
     w.t.fenced_writes <- w.t.fenced_writes + 1;
+    Arc_obs.Obs.Cell.incr zombie_fences;
     raise (Fenced_out { writer_epoch = w.gen; current_epoch })
 
   let write w ~src ~len =

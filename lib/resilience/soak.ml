@@ -316,13 +316,18 @@ let run_one ~seed (cfg : cfg) : run_report =
     let rec monitor () =
       if Sched.now () >= cfg.max_steps then ()
       else if Sup.expired sup then begin
-        let w = Sup.promote sup in
-        (* Learn where the write sequence stands through the spare
-           reader handle; a pending write that published before the
-           fence is picked up here and continued from. *)
-        let rd = F.reader freg cfg.readers in
-        let last = R.read_with rd ~f:(fun buf _len -> P.decode_seq buf) in
-        continue_writing w last
+        match Sup.promote sup with
+        | Sup.Election.Won { writer = w; _ } ->
+          (* Learn where the write sequence stands through the spare
+             reader handle; a pending write that published before the
+             fence is picked up here and continued from. *)
+          let rd = F.reader freg cfg.readers in
+          let last = R.read_with rd ~f:(fun buf _len -> P.decode_seq buf) in
+          continue_writing w last
+        | Sup.Election.Lost _ ->
+          (* Another candidate won this suspicion; keep monitoring. *)
+          Sched.cede ();
+          monitor ()
       end
       else begin
         Sched.cede ();

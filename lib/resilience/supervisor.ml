@@ -1,21 +1,26 @@
-(* Heartbeat-monitored writer lease + promotion (ISSUE 3).
+(* Heartbeat-monitored writer lease + term-voted promotion (ISSUE 3,
+   reworked by ISSUE 7).
 
-   The supervisor owns the failure-detection half of writer failover:
-   the incumbent writer refreshes a heartbeat word after every write;
-   a standby polls {!expired} and, once the incumbent has been silent
-   for more than a full lease, calls {!promote} — which issues a fresh
-   {!Fenced} handle (bumping the epoch and thereby fencing the
-   incumbent) and records the fence time for the crash checker
-   ({!Arc_trace.Checker.check_crash}'s [?fence]).
+   The supervisor owns the failure-{e detection} half of writer
+   failover: the incumbent refreshes a heartbeat word after every
+   write; a standby polls {!expired} and, once the incumbent has been
+   silent past a full lease, tries to {!promote}.  Failure
+   {e arbitration} — which of several suspicious standbys actually
+   takes over — is delegated to {!Election}: promotion is a term-voted
+   campaign on the shared [term ∥ vote] word, and only the vote's
+   unique winner gets a writer handle.  Losing an election is a normal
+   outcome ([Lost]), not an error: some other standby won the same
+   suspicion, and the loser goes back to monitoring its heartbeats.
 
    Failure detection over heartbeats is necessarily approximate: a
    slow-but-alive writer can be deposed (a {e spurious} failover).
-   That is safe here — the deposed writer's next write raises
-   [Fenced_out] and it retires — so the lease only trades availability
-   (how long writes stall after a real crash) against the rate of
-   spurious handoffs.  What the lease must strictly dominate is any
-   {e mid-write} pause of the incumbent; see the residual-window note
-   in {!Fenced} and DESIGN.md §6c.
+   That is safe here — the winning campaign prefences before anything
+   else, so the deposed writer's next write raises [Fenced_out] and it
+   retires — and the lease only trades availability (how long writes
+   stall after a real crash) against the rate of spurious handoffs.
+   What the lease must strictly dominate is any {e mid-write} pause of
+   the incumbent; see the residual-window note in {!Fenced} and
+   DESIGN.md §6c/§6e.
 
    Clocks are caller-supplied so the same supervisor drives simulated
    steps (vsched) and wall-clock time.  [heartbeat] ignores handles
@@ -23,11 +28,17 @@
    re-arm the lease it already lost. *)
 
 module Make (R : Arc_core.Register_intf.FENCEABLE) = struct
-  module Fenced_reg = Fenced.Make (R)
+  module Election = Election.Make (R)
+
+  (* Alias the election's instance rather than re-applying
+     [Fenced.Make (R)] — one canonical fenced-register module per
+     supervisor keeps handle provenance obvious (every handle here
+     came out of a campaign). *)
+  module Fenced_reg = Election.Fenced_reg
   module M = R.Mem
 
   type t = {
-    reg : Fenced_reg.t;
+    election : Election.t;
     now : unit -> int;
     lease : int;
     hb : M.atomic;  (* time of the last accepted heartbeat *)
@@ -36,11 +47,14 @@ module Make (R : Arc_core.Register_intf.FENCEABLE) = struct
     mutable last_fence : int option;
   }
 
-  let create ~now ~lease reg =
+  (* [?word] backs the election word with a caller-owned cell (the shm
+     superblock's, for cross-process supervision); [?candidate] names
+     this supervisor's process in vote outcomes. *)
+  let create ?word ?(candidate = 0) ~now ~lease reg =
     if lease < 1 then
       invalid_arg (Printf.sprintf "Supervisor.create: lease = %d" lease);
     {
-      reg;
+      election = Election.create ?word ~candidate reg;
       now;
       lease;
       hb = M.atomic_contended (now ());
@@ -49,33 +63,54 @@ module Make (R : Arc_core.Register_intf.FENCEABLE) = struct
       last_fence = None;
     }
 
-  let register t = t.reg
+  let register t = Election.fenced t.election
+  let election t = t.election
 
+  (* First acquisition is an election too — an uncontested one on a
+     fresh word, but going through the campaign keeps the invariant
+     that {e every} writer handle ever issued was voted for, so the
+     term history names every reign. *)
   let acquire t =
-    let w = Fenced_reg.issue t.reg in
-    M.store t.hb (t.now ());
-    w
+    match Election.campaign t.election with
+    | Election.Won { writer; _ } ->
+      M.store t.hb (t.now ());
+      writer
+    | Election.Lost { term; winner } ->
+      failwith
+        (Printf.sprintf
+           "Supervisor.acquire: lost the initial election (term %d held by %s)"
+           term
+           (match winner with Some c -> string_of_int c | None -> "nobody"))
 
   let heartbeat t w = if Fenced_reg.current w then M.store t.hb (t.now ())
   let age t = t.now () - M.load t.hb
   let expired t = age t > t.lease
 
+  (* Campaign for the succession.  On [Won], the election has already
+     ordered vote → prefence → takeover → issue; the takeover here is
+     the register's own crash recovery — the deposed writer may have
+     died mid-publish, and the slot its journal names must be
+     quarantined before this successor's first free-slot search can
+     hand it out with readers still on it.  The fence time is taken
+     after the issue (epoch bump), so every write the deposed writer
+     managed to publish precedes it — the bound [check_crash ?fence]
+     needs.  On [Lost], nothing changed locally: some other candidate
+     won the term and owns the takeover. *)
   let promote t =
-    let w = Fenced_reg.issue t.reg in
-    (* The deposed writer may have died mid-publish; quarantine the
-       slot its journal names before this successor's first free-slot
-       search can hand it out with readers still on it.  Safe to run
-       after the fence: lease discipline guarantees the incumbent is
-       not inside a write at promotion time (see Fenced). *)
-    t.quarantined <- t.quarantined + Fenced_reg.recover_crash t.reg;
-    (* The fence time is taken after the epoch bump, so every write the
-       deposed writer managed to publish precedes it — the bound
-       [check_crash ?fence] needs. *)
-    let at = t.now () in
-    M.store t.hb at;
-    t.failovers <- t.failovers + 1;
-    t.last_fence <- Some at;
-    w
+    let outcome =
+      Election.campaign
+        ~takeover:(fun () -> Fenced_reg.recover_crash (register t))
+        t.election
+    in
+    (match outcome with
+    | Election.Won { recovered; _ } ->
+      t.quarantined <- t.quarantined + recovered;
+      let at = t.now () in
+      M.store t.hb at;
+      t.failovers <- t.failovers + 1;
+      t.last_fence <- Some at
+    | Election.Lost _ -> ());
+    outcome
 
   let failovers t = t.failovers
   let quarantined t = t.quarantined

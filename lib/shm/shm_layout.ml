@@ -21,7 +21,14 @@
    during creation, so a file that died mid-create never attaches. *)
 
 let magic = 0x2A52_4353_484D_0001 (* "*RCSHM" ++ version tail *)
-let version = 1
+
+let version = 2
+(* Version history:
+   1 — original superblock (PR 4).
+   2 — writer-election word [sb_election] (term ∥ vote, ISSUE 7).
+   Attach rejects any skew outright; recover additionally convicts a
+   pre-bump mapping as stale instead of misreading word 14 as an
+   election state that was never held. *)
 
 (* {1 Superblock word indices} *)
 
@@ -65,6 +72,15 @@ let sb_geom_nslots = 12
 
 let sb_harness = 13
 (* Base offset of the harness raw region (crash write-log), 0 = none. *)
+
+let sb_election = 14
+(* Writer-election word: [term ∥ vote], packed by {!Arc_util.Term_vote}
+   (same single-word discipline as ARC's [current]).  Manipulated only
+   by seq-cst CAS through {!Shm_mem}'s substrate — a candidate that
+   CASes the observed word to (term+1, itself) is the unique winner of
+   that term, and the winner then bumps [sb_epoch] (fencing the deposed
+   leader) before taking a writer handle.  0 = no election ever held
+   (the {!Arc_util.Term_vote.none} word). *)
 
 let super_words = 16
 

@@ -126,6 +126,8 @@ let tick m = atomic_fetch_add_idx m.ba L.sb_clock 1
 let clock m = atomic_load_idx m.ba L.sb_clock
 let epoch m = atomic_load_idx m.ba L.sb_epoch
 let epoch_cell (_ : mapping) = L.sb_epoch
+let election m = atomic_load_idx m.ba L.sb_election
+let election_cell (_ : mapping) = L.sb_election
 let fence_at m = atomic_load_idx m.ba L.sb_fence_at
 let publish_seq m = atomic_load_idx m.ba L.sb_publish
 
@@ -473,7 +475,7 @@ let reset_metrics () =
       Tel.intact;
     ]
 
-let recover_scan m =
+let recover_scan_checked m =
   let sb_epoch_now = unsafe_get m L.sb_epoch in
   let convicted = ref [] in
   let intact = ref 0
@@ -533,6 +535,22 @@ let recover_scan m =
               recovery_fence;
               last_seq = !last_seq;
             })
+
+let recover_scan m =
+  (* Version gate before any interpretation: a pre-bump mapping lays
+     out the same superblock words but never carried the election word,
+     so reading word 14 as a term∥vote state would fabricate election
+     history that no process ever voted for.  Convict the mapping as
+     stale instead of misreading it.  (A version {e ahead} of ours is
+     just as unreadable: some newer layout we cannot interpret.) *)
+  let recorded_version = unsafe_get m L.sb_version in
+  if recorded_version <> L.version then
+    Error
+      (Printf.sprintf
+         "stale layout: mapping records version %d, this build reads version \
+          %d — refusing to reinterpret its superblock"
+         recorded_version L.version)
+  else recover_scan_checked m
 
 let recover m =
   match recover_scan m with

@@ -109,6 +109,18 @@ val epoch_cell : mapping -> int
     back an epoch fence with this cell and the fence survives any
     process's death. *)
 
+val election : mapping -> int
+(** Current writer-election word ([term ∥ vote], see
+    {!Arc_util.Term_vote}); {!Arc_util.Term_vote.none} on a fresh
+    mapping. *)
+
+val election_cell : mapping -> int
+(** The superblock election word as an [M.atomic] of {!mem}'s
+    instance — hand it to {!Arc_resilience.Election} and the election
+    state survives any process's death, exactly like {!epoch_cell}
+    does for the fence.  Manipulate only by seq-cst CAS through the
+    substrate. *)
+
 val fence_at : mapping -> int
 (** Shared-clock stamp of the most recent {!recover}; 0 if none.  The
     crash-aware checker's [?fence] for the crashed writer's pending
@@ -200,11 +212,15 @@ val recover : mapping -> (recovery, string) result
     {!read_latest}), then open a new writer epoch and stamp
     {!fence_at} with a fresh clock tick.
 
-    Returns [Error] — {e convicting the whole mapping} — if the arena
-    is unwalkable, record counts disagree with the superblock, or any
-    trailer carries an epoch {b ahead} of the superblock (a stale
-    superblock: this file is an older copy of a mapping that lived
-    on, so none of its free-slot or fence state can be trusted).
+    Returns [Error] — {e convicting the whole mapping} — if the
+    recorded layout version differs from this build's
+    ({!Shm_layout.version}: a pre-bump mapping has no election word,
+    so interpreting its superblock would fabricate state), if the
+    arena is unwalkable, record counts disagree with the superblock,
+    or any trailer carries an epoch {b ahead} of the superblock (a
+    stale superblock: this file is an older copy of a mapping that
+    lived on, so none of its free-slot or fence state can be
+    trusted).
 
     The caller owning a live register handle must mirror the slot
     convictions into it ([quarantine]) and run the register's own

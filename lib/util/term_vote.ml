@@ -1,0 +1,37 @@
+let vote_bits = 31
+let term_bits = Sys.int_size - vote_bits
+let max_term = (1 lsl term_bits) - 1
+let vote_mask = (1 lsl vote_bits) - 1
+
+(* Vote field encodes candidate + 1, so 0 is "no vote" and candidate 0
+   is representable; the largest encodable candidate is therefore one
+   below the field's maximum value. *)
+let max_candidate = vote_mask - 1
+
+let none = 0
+
+let make ~term ~vote =
+  if term < 0 || term > max_term then
+    invalid_arg (Printf.sprintf "Term_vote.make: term %d out of range" term);
+  (match vote with
+  | Some c when c < 0 || c > max_candidate ->
+    invalid_arg (Printf.sprintf "Term_vote.make: candidate %d out of range" c)
+  | _ -> ());
+  (term lsl vote_bits) lor (match vote with None -> 0 | Some c -> c + 1)
+
+let term w = (w lsr vote_bits) land max_term
+let vote w = match w land vote_mask with 0 -> None | v -> Some (v - 1)
+
+let succ_term w ~candidate =
+  if term w >= max_term then
+    invalid_arg
+      (Printf.sprintf "Term_vote.succ_term: term overflow (term = %d, bound = %d)"
+         (term w) max_term);
+  make ~term:(term w + 1) ~vote:(Some candidate)
+
+let pp ppf w =
+  Format.fprintf ppf "@[<h>⟨term=%d,@ vote=%s⟩@]" (term w)
+    (match vote w with None -> "none" | Some c -> string_of_int c)
+
+let equal = Int.equal
+let to_string w = Format.asprintf "%a" pp w

@@ -1,0 +1,59 @@
+(** Packing of the writer-election word [term ∥ vote].
+
+    Same single-word discipline as {!Packed} (ARC's [current]): two
+    fields in one native [int] so one seq-cst CAS arbitrates both.
+    The {e term} (election round, monotone) lives in the high bits and
+    the {e vote} (winning candidate of that term, or none) in the low
+    bits, so packed words compare monotonically by term and a CAS from
+    an observed word atomically claims term+1 for exactly one
+    candidate — the whole election protocol of
+    {!Arc_resilience.Election} is that one instruction.
+
+    Field widths: the vote keeps 31 bits (candidate ids up to
+    [2^31 - 2]; the field stores candidate + 1 so "no vote" is
+    representable as 0) and the term gets the remaining
+    [Sys.int_size - 31] = 32 bits — enough for one election per
+    nanosecond for over a century. *)
+
+val vote_bits : int
+(** Width of the vote field (31). *)
+
+val term_bits : int
+(** Width of the term field ([Sys.int_size - vote_bits] = 32). *)
+
+val max_term : int
+(** Largest representable term, [2^32 - 1]. *)
+
+val max_candidate : int
+(** Largest representable candidate id, [2^31 - 2] (the vote field
+    stores candidate + 1, reserving 0 for "no vote"). *)
+
+val none : int
+(** The fresh word: term 0, no vote — what a just-created mapping's
+    election cell holds. *)
+
+val make : term:int -> vote:int option -> int
+(** [make ~term ~vote] packs the two fields.
+    @raise Invalid_argument if either field is out of range. *)
+
+val term : int -> int
+(** [term w] extracts the election round. *)
+
+val vote : int -> int option
+(** [vote w] extracts the winning candidate of round [term w], or
+    [None] if the round has no vote (only the fresh word, in this
+    repository's protocol — every CAS installs a vote). *)
+
+val succ_term : int -> candidate:int -> int
+(** [succ_term w ~candidate] is the word a candidate CASes in to claim
+    the next term: [make ~term:(term w + 1) ~vote:(Some candidate)].
+    @raise Invalid_argument at [term w = max_term] — saturating with a
+    diagnostic beats a silent wrap of the term into nowhere (the field
+    is the word's top bits, so a wrap would reset the term to 0 and
+    un-order every comparison). *)
+
+val pp : Format.formatter -> int -> unit
+(** Prints as [⟨term=t, vote=c⟩] for debugging and test failures. *)
+
+val equal : int -> int -> bool
+val to_string : int -> string

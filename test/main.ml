@@ -30,6 +30,7 @@ let () =
   Alcotest.run "arc_register"
     [
       ("packed", Test_packed.suite);
+      ("term-vote", Test_term_vote.suite);
       ("bits", Test_bits.suite);
       ("splitmix", Test_splitmix.suite);
       ("stats", Test_stats.suite);

@@ -127,6 +127,38 @@ let test_lost_release_convicted () =
     | [] -> Alcotest.fail "audit accepted a lost release"
     | _ -> ())
 
+(* The cas-lie action (ISSUE 7's split-vote forcer), exercised through
+   the ambient-fiber identity: the calling context is no vsched fiber
+   — exactly the real-process situation the crash campaign's negative
+   control runs in. *)
+let test_cas_lie_ambient () =
+  let module M = Campaign.Mem in
+  (* Without an ambient identity, out-of-fiber accesses are fault-free
+     even with a plan armed. *)
+  M.install (Fault_plan.cas_lie ~fiber:0 ~nth:1 Fault_plan.empty);
+  let a = M.atomic 5 in
+  Alcotest.(check bool) "no ambient: CAS is honest" true
+    (M.compare_and_set a 5 6);
+  Alcotest.(check int) "no ambient: CAS applied" 6 (M.load a);
+  ignore (M.drain ());
+  (* With the ambient identity, the planned lie fires on this
+     context's first rmw: success reported, word untouched. *)
+  M.install (Fault_plan.cas_lie ~fiber:0 ~nth:1 Fault_plan.empty);
+  M.set_ambient_fiber (Some 0);
+  Fun.protect
+    ~finally:(fun () -> M.set_ambient_fiber None)
+    (fun () ->
+      let b = M.atomic 5 in
+      Alcotest.(check bool) "lying CAS reports success" true
+        (M.compare_and_set b 5 9);
+      Alcotest.(check int) "…but the word is untouched" 5 (M.load b);
+      (* The event is spent: the next CAS is honest again. *)
+      Alcotest.(check bool) "next CAS honest" true (M.compare_and_set b 5 9);
+      Alcotest.(check int) "honest CAS applied" 9 (M.load b);
+      let stats = M.drain () in
+      Alcotest.(check int) "the lie was counted" 1
+        stats.Arc_fault.Fault_mem.cas_lies)
+
 (* A stale register (broken independently of the fault layer) must
    still be convicted when run through the crash-aware campaign. *)
 module RS = Broken_regs.Stale (Campaign.Mem)
@@ -408,6 +440,8 @@ let suite =
       test_lost_release_convicted;
     Alcotest.test_case "negative: stale register convicted" `Quick
       test_stale_register_convicted;
+    Alcotest.test_case "cas-lie under an ambient fiber" `Quick
+      test_cas_lie_ambient;
     Alcotest.test_case "saturation guard at 2^32-2" `Quick test_saturation_guard;
     Alcotest.test_case "arc-dynamic: reclaim stale slot" `Quick test_reclaim_stale;
     Alcotest.test_case "arc-dynamic: auto-reclaim lease" `Quick test_auto_reclaim;

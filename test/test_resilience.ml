@@ -188,7 +188,14 @@ let test_supervisor_lease_and_promotion () =
   Alcotest.(check bool) "heartbeat re-armed the lease" false (Sup.expired sup);
   t := 19;
   Alcotest.(check bool) "silent past the lease" true (Sup.expired sup);
-  let w2 = Sup.promote sup in
+  let w2 =
+    match Sup.promote sup with
+    | Sup.Election.Won { writer; term; _ } ->
+      (* acquire opened term 1; the succession is term 2. *)
+      Alcotest.(check int) "succession term" 2 term;
+      writer
+    | Sup.Election.Lost _ -> Alcotest.fail "uncontested promotion must win"
+  in
   Alcotest.(check int) "failover counted" 1 (Sup.failovers sup);
   Alcotest.(check (option int)) "fence time recorded" (Some 19)
     (Sup.last_fence sup);
@@ -203,6 +210,141 @@ let test_supervisor_lease_and_promotion () =
   Alcotest.(check bool) "zombie heartbeat ignored" true (Sup.expired sup);
   Sup.heartbeat sup w2;
   Alcotest.(check bool) "successor heartbeat counts" false (Sup.expired sup)
+
+(* --- term-voted election (ISSUE 7) ----------------------------------- *)
+
+module E = Arc_resilience.Election.Make (R)
+module TV = Arc_util.Term_vote
+
+let election_env ~words =
+  let freg = F.create ~readers:1 ~capacity:words ~init:(stamped ~seq:0 ~len:words) in
+  let word = Arc_mem.Real_mem.atomic_contended TV.none in
+  (freg, word)
+
+let test_election_exactly_one_winner () =
+  (* Two candidates race from a COMMON snapshot of the word: CAS
+     atomicity admits exactly one into the next term. *)
+  let freg, word = election_env ~words:4 in
+  let el0 = E.create ~word ~candidate:0 freg in
+  let el1 = E.create ~word ~candidate:1 freg in
+  let snap = E.observe el0 in
+  let r0 = E.request_vote ~from:snap el0 in
+  let r1 = E.request_vote ~from:snap el1 in
+  (match (r0, r1) with
+  | Some 1, None -> Alcotest.(check (option int)) "leader" (Some 0) (E.leader el1)
+  | None, Some 1 -> Alcotest.(check (option int)) "leader" (Some 1) (E.leader el0)
+  | _ -> Alcotest.fail "exactly one candidate must win the term");
+  Alcotest.(check int) "term advanced once" 1 (E.term el0)
+
+let test_campaign_orders_fence_before_takeover () =
+  (* Fence-after-vote: by the time the winner's takeover runs, every
+     pre-election handle is already fenced — and the winner holds no
+     handle yet, so nothing can publish during the inspection. *)
+  let freg, word = election_env ~words:4 in
+  let w_old = F.issue freg in
+  let el = E.create ~word ~candidate:3 freg in
+  let fenced_during_takeover = ref false in
+  let outcome =
+    E.campaign el ~takeover:(fun () ->
+        fenced_during_takeover := not (F.current w_old);
+        (match F.write w_old ~src:(stamped ~seq:9 ~len:4) ~len:4 with
+        | () -> Alcotest.fail "old handle must be fenced inside takeover"
+        | exception Fenced.Fenced_out _ -> ());
+        7)
+  in
+  Alcotest.(check bool) "prefence precedes takeover" true !fenced_during_takeover;
+  match outcome with
+  | E.Won { writer; term; recovered } ->
+    Alcotest.(check int) "term" 1 term;
+    Alcotest.(check int) "takeover result surfaced" 7 recovered;
+    Alcotest.(check bool) "winner's handle is current" true (F.current writer);
+    F.write writer ~src:(stamped ~seq:1 ~len:4) ~len:4;
+    Alcotest.(check int) "winner writes flow" 1 (read_seq (F.reader freg 0))
+  | E.Lost _ -> Alcotest.fail "uncontested campaign must win"
+
+let test_campaign_loser_reports_winner () =
+  let freg, word = election_env ~words:4 in
+  let el0 = E.create ~word ~candidate:0 freg in
+  let el1 = E.create ~word ~candidate:1 freg in
+  let snap = E.observe el0 in
+  (match E.campaign ~from:snap el0 with
+  | E.Won { term = 1; _ } -> ()
+  | _ -> Alcotest.fail "first campaign must win term 1");
+  match E.campaign ~from:snap el1 with
+  | E.Won _ -> Alcotest.fail "stale-snapshot campaign must lose"
+  | E.Lost { term; winner } ->
+    Alcotest.(check int) "observed term" 1 term;
+    Alcotest.(check (option int)) "observed winner" (Some 0) winner
+
+(* Satellite: under the virtual scheduler, a heartbeat carried by a
+   stale-epoch handle can NEVER re-arm a lease that was lost — after a
+   promotion, only the successor's handle refreshes the word, so a
+   zombie hammering [heartbeat] still leaves the lease expired. *)
+module Rs = Arc_core.Arc.Make (Arc_vsched.Sim_mem)
+module Sups = Arc_resilience.Supervisor.Make (Rs)
+module Ps = Arc_workload.Payload.Make (Arc_vsched.Sim_mem)
+module Sched = Arc_vsched.Sched
+module Strategy = Arc_vsched.Strategy
+
+let test_vsched_stale_heartbeat_never_rearms () =
+  let words = 4 in
+  let lease = 20 in
+  let init = Array.make words 0 in
+  Ps.stamp init ~seq:0 ~len:words;
+  let freg = Sups.Fenced_reg.create ~readers:1 ~capacity:words ~init in
+  let sup = Sups.create ~now:Sched.now ~lease freg in
+  let promoted = ref false in
+  let zombie_beats = ref 0 in
+  let rearmed = ref false in
+  let zombie_fenced = ref false in
+  let still_expired = ref false in
+  let leader () =
+    let w1 = Sups.acquire sup in
+    Sups.heartbeat sup w1;
+    (* Stall far past the lease: the classic paused-leader zombie. *)
+    Sched.sleep 200;
+    (* Wake up deposed and hammer the lease; none of these beats may
+       re-arm it (the successor is deliberately silent). *)
+    for _ = 1 to 5 do
+      Sups.heartbeat sup w1;
+      incr zombie_beats;
+      if not (Sups.expired sup) then rearmed := true;
+      Sched.sleep 10
+    done;
+    let src = Array.make words 0 in
+    Ps.stamp src ~seq:99 ~len:words;
+    (match Sups.Fenced_reg.write w1 ~src ~len:words with
+    | () -> ()
+    | exception Fenced.Fenced_out _ -> zombie_fenced := true);
+    (* Judged in-fiber: the virtual clock only exists during the run. *)
+    still_expired := Sups.expired sup
+  in
+  let standby () =
+    let rec monitor () =
+      if !promoted then ()
+      else if Sups.expired sup then
+        match Sups.promote sup with
+        | Sups.Election.Won _ ->
+          (* Promote, then fall silent: any later lease refresh could
+             only come from the zombie. *)
+          promoted := true
+        | Sups.Election.Lost _ -> Alcotest.fail "uncontested promotion lost"
+      else begin
+        Sched.cede ();
+        monitor ()
+      end
+    in
+    monitor ()
+  in
+  ignore
+    (Sched.run ~max_steps:100_000
+       ~strategy:(Strategy.random ~seed:4242)
+       [| leader; standby |]);
+  Alcotest.(check bool) "standby promoted" true !promoted;
+  Alcotest.(check bool) "zombie heartbeats attempted" true (!zombie_beats > 0);
+  Alcotest.(check bool) "no zombie beat re-armed the lease" false !rearmed;
+  Alcotest.(check bool) "zombie write fenced" true !zombie_fenced;
+  Alcotest.(check bool) "lease still expired at the end" true !still_expired
 
 (* --- sessions -------------------------------------------------------- *)
 
@@ -423,6 +565,14 @@ let suite =
       test_recover_crash_clean_journal;
     Alcotest.test_case "supervisor lease and promotion" `Quick
       test_supervisor_lease_and_promotion;
+    Alcotest.test_case "election exactly one winner" `Quick
+      test_election_exactly_one_winner;
+    Alcotest.test_case "campaign fences before takeover" `Quick
+      test_campaign_orders_fence_before_takeover;
+    Alcotest.test_case "campaign loser reports winner" `Quick
+      test_campaign_loser_reports_winner;
+    Alcotest.test_case "vsched: stale heartbeat never re-arms" `Quick
+      test_vsched_stale_heartbeat_never_rearms;
     Alcotest.test_case "session fresh" `Quick test_session_fresh;
     Alcotest.test_case "session retry then fresh" `Quick
       test_session_retry_then_fresh;

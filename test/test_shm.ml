@@ -161,6 +161,55 @@ let test_convicts_stale_superblock () =
           Alcotest.fail
             "trailer epoch ahead of the superblock must convict the mapping")
 
+(* Satellite (ISSUE 7): a mapping written by a pre-election build
+   (layout version 1 — no [sb_election] word) must be convicted as
+   stale by [recover], never misread: interpreting its superblock
+   would fabricate election state out of whatever the old layout kept
+   in that word. *)
+let test_convicts_stale_layout_version () =
+  with_register (fun path m _inst ->
+      S.unsafe_set m L.sb_version (L.version - 1);
+      (match S.recover m with
+      | Error msg ->
+          Alcotest.(check bool)
+            "whole-mapping conviction names the stale layout" true
+            (let needle = "stale layout" in
+             let n = String.length needle in
+             String.length msg >= n && String.sub msg 0 n = needle)
+      | Ok _ ->
+          Alcotest.fail "pre-bump layout version must convict the mapping");
+      (* The front door agrees: a fresh process cannot even map it. *)
+      match S.attach ~path with
+      | exception Failure _ -> ()
+      | m' ->
+          S.close m';
+          Alcotest.fail "attach must reject a version-skewed mapping")
+
+let test_election_word_durable () =
+  (* The election word lives in the superblock: a CAS through one
+     mapping is visible through a second, independent mapping of the
+     file — the same page-cache path a standby process reads. *)
+  let module TV = Arc_util.Term_vote in
+  with_register (fun path m inst ->
+      let module I = (val inst : Arc_shm.Shm_arc.INSTANCE) in
+      Alcotest.(check int) "fresh mapping: no election ever held" TV.none
+        (S.election m);
+      let cell = S.election_cell I.mapping in
+      let won =
+        I.M.compare_and_set cell TV.none
+          (TV.succ_term TV.none ~candidate:2)
+      in
+      Alcotest.(check bool) "CAS through the substrate lands" true won;
+      let m' = S.attach ~path in
+      Fun.protect
+        ~finally:(fun () -> S.close m')
+        (fun () ->
+          let w = S.election m' in
+          Alcotest.(check int) "term visible through a second mapping" 1
+            (TV.term w);
+          Alcotest.(check (option int)) "vote visible through a second mapping"
+            (Some 2) (TV.vote w)))
+
 let test_clean_mapping_not_convicted () =
   with_register (fun _path m _inst ->
       let r = recovery_exn (S.recover m) in
@@ -229,6 +278,10 @@ let suite =
       test_convicts_torn_trailer;
     Alcotest.test_case "control: stale superblock convicted" `Quick
       test_convicts_stale_superblock;
+    Alcotest.test_case "control: stale layout version convicted" `Quick
+      test_convicts_stale_layout_version;
+    Alcotest.test_case "election word durable across mappings" `Quick
+      test_election_word_durable;
     Alcotest.test_case "control: clean mapping not convicted" `Quick
       test_clean_mapping_not_convicted;
     Alcotest.test_case "quarantine persists across attach" `Quick

@@ -1,0 +1,112 @@
+(* The [term ∥ vote] packing the writer election CASes on
+   (Arc_util.Term_vote) — field roundtrips, the boundaries at maximum
+   term / maximum candidate, overflow refusal, and a real seq-cst CAS
+   roundtrip through a memory substrate (the word is only ever
+   manipulated that way in production). *)
+
+module TV = Arc_util.Term_vote
+module M = Arc_mem.Real_mem
+
+let check = Alcotest.(check int)
+
+let test_layout () =
+  check "vote field is 31 bits" 31 TV.vote_bits;
+  check "term takes the rest of the native int" (Sys.int_size - 31) TV.term_bits;
+  check "max_candidate leaves room for the none encoding"
+    ((1 lsl 31) - 2) TV.max_candidate;
+  check "fresh word is all-zero" 0 TV.none
+
+let test_roundtrip_simple () =
+  let w = TV.make ~term:5 ~vote:(Some 17) in
+  check "term" 5 (TV.term w);
+  Alcotest.(check (option int)) "vote" (Some 17) (TV.vote w);
+  let v = TV.make ~term:5 ~vote:None in
+  Alcotest.(check (option int)) "open term has no vote" None (TV.vote v)
+
+let test_boundaries () =
+  (* Max term, max candidate: the word must still roundtrip exactly —
+     a carry out of the vote field would silently change the term. *)
+  let w = TV.make ~term:TV.max_term ~vote:(Some TV.max_candidate) in
+  check "max term" TV.max_term (TV.term w);
+  Alcotest.(check (option int)) "max candidate" (Some TV.max_candidate) (TV.vote w);
+  let z = TV.make ~term:0 ~vote:None in
+  check "zero word is none" TV.none z
+
+let test_succ_term () =
+  let w = TV.make ~term:3 ~vote:(Some 9) in
+  let w' = TV.succ_term w ~candidate:1 in
+  check "term advanced" 4 (TV.term w');
+  Alcotest.(check (option int)) "vote renamed to the candidate" (Some 1)
+    (TV.vote w');
+  (* From a fresh word, the first election opens term 1. *)
+  let first = TV.succ_term TV.none ~candidate:0 in
+  check "first term" 1 (TV.term first);
+  Alcotest.(check (option int)) "first winner" (Some 0) (TV.vote first)
+
+let test_succ_term_overflow_guard () =
+  let last = TV.make ~term:TV.max_term ~vote:(Some 2) in
+  match TV.succ_term last ~candidate:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "term past max_term must refuse"
+
+let test_field_validation () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  raises (fun () -> TV.make ~term:(-1) ~vote:None);
+  raises (fun () -> TV.make ~term:(TV.max_term + 1) ~vote:None);
+  raises (fun () -> TV.make ~term:0 ~vote:(Some (-1)));
+  raises (fun () -> TV.make ~term:0 ~vote:(Some (TV.max_candidate + 1)))
+
+(* The word in production: a shared atomic manipulated only by CAS.
+   Check the exactly-one-winner argument at the substrate level, at the
+   extreme encodings too — the CAS compares raw words, so the packing
+   must be injective there. *)
+let cas_roundtrip ~term ~candidate =
+  let a = M.atomic_contended (TV.make ~term ~vote:None) in
+  let from = M.load a in
+  let next = TV.succ_term from ~candidate in
+  Alcotest.(check bool) "first CAS wins" true (M.compare_and_set a from next);
+  Alcotest.(check bool) "second CAS from the same snapshot loses" false
+    (M.compare_and_set a from (TV.succ_term from ~candidate:0));
+  let now = M.load a in
+  check "term readback" (term + 1) (TV.term now);
+  Alcotest.(check (option int)) "vote readback" (Some candidate) (TV.vote now)
+
+let test_cas_roundtrip () = cas_roundtrip ~term:7 ~candidate:3
+
+let test_cas_roundtrip_boundary () =
+  cas_roundtrip ~term:(TV.max_term - 1) ~candidate:TV.max_candidate
+
+let test_to_string () =
+  let s = TV.to_string (TV.make ~term:12 ~vote:(Some 4)) in
+  Alcotest.(check bool) "mentions the term" true
+    (String.length s > 0
+    && String.length (String.concat "" (String.split_on_char '1' s))
+       < String.length s)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"term_vote roundtrip for arbitrary fields" ~count:1000
+    QCheck.(pair (int_bound TV.max_term) (int_bound (TV.max_candidate + 1)))
+    (fun (term, v) ->
+      let vote = if v > TV.max_candidate then None else Some v in
+      let w = TV.make ~term ~vote in
+      TV.term w = term && TV.vote w = vote)
+
+let suite =
+  [
+    Alcotest.test_case "layout" `Quick test_layout;
+    Alcotest.test_case "roundtrip simple" `Quick test_roundtrip_simple;
+    Alcotest.test_case "boundaries" `Quick test_boundaries;
+    Alcotest.test_case "succ_term" `Quick test_succ_term;
+    Alcotest.test_case "succ_term overflow guard" `Quick
+      test_succ_term_overflow_guard;
+    Alcotest.test_case "field validation" `Quick test_field_validation;
+    Alcotest.test_case "CAS roundtrip" `Quick test_cas_roundtrip;
+    Alcotest.test_case "CAS roundtrip at the boundary" `Quick
+      test_cas_roundtrip_boundary;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]
