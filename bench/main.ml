@@ -387,12 +387,54 @@ let measure_ns f =
   Array.sort compare samples;
   samples.(shm_json_reps / 2)
 
+(* Reader join/leave cost (ISSUE 8): one full tenancy — admit through
+   the gate, one read through the leased handle, depart — over the
+   real register on the real clock.  The p99 is what an arriving
+   reader actually waits before its first value, and the perf gate
+   tracks it alongside the read-hit cost. *)
+let reader_join_p99_ns () =
+  let module Gate = Arc_resilience.Admission.Make (Arc_real) in
+  let words = 64 in
+  let capacity = 4 in
+  let reg =
+    Arc_real.create ~readers:capacity ~capacity:words
+      ~init:(stamped ~seq:1 ~len:words)
+  in
+  let tick = ref 0 in
+  let gate =
+    Gate.create
+      ~now:(fun () ->
+        incr tick;
+        !tick)
+      ~sleep:(fun _ -> ())
+      ~base:0 ~capacity reg
+  in
+  let cycle () =
+    match Gate.admit gate with
+    | Arc_core.Register_intf.Admitted tk ->
+      ignore (Arc_real.read_with (Gate.reader gate tk) ~f:(fun _ _ -> ()));
+      ignore (Gate.depart gate tk)
+    | Arc_core.Register_intf.Backpressured _ -> ()
+  in
+  for _ = 1 to 1_000 do
+    cycle ()
+  done;
+  let cycles = 20_000 in
+  let samples = Array.make cycles 0. in
+  for i = 0 to cycles - 1 do
+    let t0 = Arc_util.Cpu.now_ns () in
+    cycle ();
+    samples.(i) <- Int64.to_float (Int64.sub (Arc_util.Cpu.now_ns ()) t0)
+  done;
+  Array.sort compare samples;
+  samples.(cycles * 99 / 100)
+
 (* The telemetry-overhead record embedded in BENCH_arc.json: per-op
    read-hit cost with the obs layer detached vs attached (the ISSUE 5
    acceptance number — [read_hit_ns_off] doubles as the perf gate's
-   per-op read cost), plus a live metrics snapshot from a short
-   telemetry-enabled run so the exposition output itself is archived
-   with the trajectory. *)
+   per-op read cost), plus the reader join p99 above and a live
+   metrics snapshot from a short telemetry-enabled run so the
+   exposition output itself is archived with the trajectory. *)
 let telemetry_overhead_json () =
   let read_off, _ = obs_ops ~telemetry:false ~size:512 in
   let read_on, _ = obs_ops ~telemetry:true ~size:512 in
@@ -437,9 +479,10 @@ let telemetry_overhead_json () =
     \    \"read_hit_ns_off\": %.2f,\n\
     \    \"read_hit_ns_on\": %.2f,\n\
     \    \"overhead_pct\": %.2f,\n\
+    \    \"reader_join_p99_ns\": %.2f,\n\
     \    \"metrics\": %s\n\
     \  }"
-    off_ns on_ns overhead_pct
+    off_ns on_ns overhead_pct (reader_join_p99_ns ())
     (Arc_obs.Obs.json (Arc_real.metrics reg))
 
 let emit_throughput_json path =

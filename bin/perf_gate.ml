@@ -8,7 +8,9 @@
    --threshold percent against the last committed trajectory entry.
    When a BENCH_fabric.json (bench/main.exe --fabric-json) is present,
    the fabric's cross-shard snapshot cost per shard collected is
-   tracked and gated the same way.
+   tracked and gated the same way, as is the reader admission cycle
+   p99 (reader_join_p99_ns, ISSUE 8) whenever the bench file carries
+   it.
 
      dune exec bin/perf_gate.exe
      dune exec bin/perf_gate.exe -- --bench /tmp/BENCH_arc.json --threshold 10
@@ -100,6 +102,10 @@ let run bench fabric_bench trajectory threshold label =
         exit 2
     else None
   in
+  (* The reader-join metric (ISSUE 8) is optional for the same reason:
+     BENCH_arc.json files written before the admission gate existed
+     have no such field, and their gates must keep working. *)
+  let join_p99 = field_of ~key:"reader_join_p99_ns" bench_s in
   let last_line =
     if Sys.file_exists trajectory then last_nonempty_line (read_file trajectory)
     else None
@@ -107,13 +113,17 @@ let run bench fabric_bench trajectory threshold label =
   let baseline_of key = Option.bind last_line (field_of ~key) in
   let baseline = baseline_of "read_hit_ns_off" in
   let snap_baseline = baseline_of "snapshot_ns_per_shard" in
+  let join_baseline = baseline_of "reader_join_p99_ns" in
   let entry =
     Printf.sprintf
       "{\"date\": \"%s\", \"label\": \"%s\", \"read_hit_ns_off\": %.2f, \
-       \"read_hit_ns_on\": %.2f, \"overhead_pct\": %.2f%s}"
+       \"read_hit_ns_on\": %.2f, \"overhead_pct\": %.2f%s%s}"
       (iso_date ()) label off on_ overhead
       (match snap_per_shard with
       | Some v -> Printf.sprintf ", \"snapshot_ns_per_shard\": %.2f" v
+      | None -> "")
+      (match join_p99 with
+      | Some v -> Printf.sprintf ", \"reader_join_p99_ns\": %.2f" v
       | None -> "")
   in
   let oc =
@@ -147,6 +157,7 @@ let run bench fabric_bench trajectory threshold label =
   gate ~metric:"read-hit" ~current:(Some off) ~baseline;
   gate ~metric:"snapshot-ns-per-shard" ~current:snap_per_shard
     ~baseline:snap_baseline;
+  gate ~metric:"reader-join-p99" ~current:join_p99 ~baseline:join_baseline;
   if !failures > 0 then exit 1
 
 let cmd =

@@ -56,6 +56,91 @@ let run_replay seed cfg verbose =
   ignore verbose;
   if r.violations <> [] then exit 1
 
+(* {1 Churn mode (ISSUE 8): --churn RATE} *)
+
+let print_churn_report ~verbose (r : Soak.churn_report) =
+  if verbose || r.cviolations <> [] then
+    Printf.printf
+      "churn [seed %d]: arrivals=%d admitted=%d backpressured=%d departed=%d \
+       evicted=%d abandoned=%d lane-crashes=%d writes=%d high-water=%d \
+       live-buffers-max=%d refused-serves=%d %s— %s\n"
+      r.cseed r.arrivals r.cadmitted r.cbackpressured r.cdeparted r.cevicted
+      r.abandoned r.lane_crashes r.cwrites r.chigh_water r.live_buffers_max
+      r.refused_serves
+      (Format.asprintf "[%a] " Outcomes.pp r.coutcomes)
+      (if r.cviolations = [] then "ok" else String.concat "; " r.cviolations)
+
+let run_churn_replay seed (ccfg : Soak.churn_cfg) =
+  Printf.printf "replaying churn seed %d\n" seed;
+  let join = Arc_util.Histogram.create () in
+  let leave = Arc_util.Histogram.create () in
+  let r = Soak.run_churn_one ~seed ~join ~leave ccfg in
+  print_churn_report ~verbose:true r;
+  if r.cviolations <> [] then exit 1
+
+let run_churn_soak (ccfg : Soak.churn_cfg) verbose fail_log skip_control metrics
+    =
+  let failing = ref [] in
+  let done_runs = ref 0
+  and live_arrivals = ref 0
+  and live_admitted = ref 0
+  and live_bp = ref 0
+  and live_bad = ref 0 in
+  let last_tick = ref (Unix.gettimeofday ()) in
+  let on_run (r : Soak.churn_report) =
+    incr done_runs;
+    live_arrivals := !live_arrivals + r.arrivals;
+    live_admitted := !live_admitted + r.cadmitted;
+    live_bp := !live_bp + r.cbackpressured;
+    if r.cviolations <> [] then incr live_bad;
+    let now = Unix.gettimeofday () in
+    if (not verbose) && now -. !last_tick >= 1.0 then begin
+      last_tick := now;
+      Printf.printf
+        "[churn] %d/%d runs, %d arrivals -> %d admitted / %d backpressured, \
+         %d failing\n\
+         %!"
+        !done_runs ccfg.Soak.base.Soak.runs !live_arrivals !live_admitted
+        !live_bp !live_bad
+    end;
+    print_churn_report ~verbose r
+  in
+  let o = Soak.run_churn ~on_run ccfg in
+  Format.printf "%a@." Soak.pp_churn_outcome o;
+  if metrics then print_string (Arc_obs.Obs.prometheus (Soak.churn_metrics o));
+  List.iter
+    (fun (seed, msg) ->
+      Printf.printf "violation [seed %d]: %s\n  replay: %s\n" seed msg
+        (Soak.churn_replay_command ~seed ccfg);
+      failing := seed :: !failing)
+    (List.rev o.Soak.churn_violations);
+  (match fail_log with
+  | Some path when !failing <> [] ->
+    let oc = open_out path in
+    List.iter
+      (fun seed ->
+        output_string oc (Soak.churn_replay_command ~seed ccfg);
+        output_char oc '\n')
+      (List.sort_uniq compare !failing);
+    close_out oc;
+    Printf.printf "replay commands written to %s\n" path
+  | _ -> ());
+  let control_ok =
+    if skip_control then true
+    else begin
+      let convicted, reasons =
+        Soak.churn_control ~seed:(Soak.derive_seed ccfg.Soak.base 0) ccfg
+      in
+      Printf.printf "gate-bypass control %s\n"
+        (if convicted then
+           Printf.sprintf "CONVICTED (expected): %s" (String.concat "; " reasons)
+         else "UNCONVICTED — the admission gate is not load-bearing");
+      convicted
+    end
+  in
+  if not (Soak.churn_clean o) then exit 1;
+  if not control_ok then exit 2
+
 let run_soak (cfg : Soak.cfg) verbose fail_log skip_control metrics =
   let failing = ref [] in
   (* Live progress: a cumulative one-line summary at most once per
@@ -125,13 +210,30 @@ let run_soak (cfg : Soak.cfg) verbose fail_log skip_control metrics =
   if not control_ok then exit 2
 
 let run runs seed readers size steps lease deadline max_stale crash_readers
-    replay verbose fail_log skip_control metrics =
+    churn gate lanes room crash_frac replay verbose fail_log skip_control
+    metrics =
   let cfg =
     cfg_of runs seed readers size steps lease deadline max_stale crash_readers
   in
-  match replay with
-  | Some s -> run_replay s cfg verbose
-  | None -> run_soak cfg verbose fail_log skip_control metrics
+  match churn with
+  | Some rate -> (
+    let ccfg =
+      {
+        Soak.base = cfg;
+        rate;
+        gate_capacity = gate;
+        lanes;
+        waiting_room = room;
+        crash_frac;
+      }
+    in
+    match replay with
+    | Some s -> run_churn_replay s ccfg
+    | None -> run_churn_soak ccfg verbose fail_log skip_control metrics)
+  | None -> (
+    match replay with
+    | Some s -> run_replay s cfg verbose
+    | None -> run_soak cfg verbose fail_log skip_control metrics)
 
 let cmd =
   let runs =
@@ -172,6 +274,41 @@ let cmd =
       value & opt int 2
       & info [ "crash-readers" ] ~docv:"N" ~doc:"Max reader crashes per run.")
   in
+  let churn =
+    Arg.(
+      value & opt (some float) None
+      & info [ "churn" ] ~docv:"RATE"
+          ~doc:
+            "Run the reader-churn campaign instead of the failover soak: \
+             short-lived readers arrive on each lane with probability RATE \
+             per scheduling point, admitted through the gate, and depart or \
+             abandon their ticket (lease sweep evicts).")
+  in
+  let gate =
+    Arg.(
+      value & opt int 4
+      & info [ "gate" ] ~docv:"N"
+          ~doc:"Admission-gate capacity (reader identities leased out).")
+  in
+  let lanes =
+    Arg.(
+      value & opt int 6
+      & info [ "lanes" ] ~docv:"N" ~doc:"Concurrent churner lanes.")
+  in
+  let room =
+    Arg.(
+      value & opt int 2
+      & info [ "room" ] ~docv:"N"
+          ~doc:"Bounded waiting-room size for refused arrivals.")
+  in
+  let crash_frac =
+    Arg.(
+      value & opt float 0.3
+      & info [ "crash-frac" ] ~docv:"F"
+          ~doc:
+            "Fraction of tenancies that abandon their ticket without \
+             departing (kill -9 model).")
+  in
   let replay =
     Arg.(
       value & opt (some int) None
@@ -208,7 +345,7 @@ let cmd =
           atomicity and bounded-staleness checking.")
     Term.(
       const run $ runs $ seed $ readers $ size $ steps $ lease $ deadline
-      $ max_stale $ crash_readers $ replay $ verbose $ fail_log $ skip_control
-      $ metrics)
+      $ max_stale $ crash_readers $ churn $ gate $ lanes $ room $ crash_frac
+      $ replay $ verbose $ fail_log $ skip_control $ metrics)
 
 let () = exit (Cmd.eval cmd)

@@ -246,14 +246,11 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
          increment must not silently carry into the index bits.  A
          post-increment count of 0 is a wrap that already happened;
          count = max_count means this increment consumed the last
-         head-room unit above the documented 2^32 - 2 bound. *)
-      let c = Packed.count now in
-      if c = 0 || c > Packed.max_readers then
-        raise
-          (Register_intf.Saturated
-             (Printf.sprintf
-                "Arc.read: presence count saturated (count = %d, bound = %d)" c
-                Packed.max_readers));
+         head-room unit above the documented 2^32 - 2 bound.  The
+         typed error and message shape are the repository-wide ones
+         (Arc_util.Saturation = Register_intf.Saturated, ISSUE 8). *)
+      Arc_util.Saturation.guard_count ~who:"Arc.read"
+        ~bound:Packed.max_readers (Packed.count now);
       rd.last_index <- Packed.index now (* R5 *)
     end;
     let entry = reg.slots.(rd.last_index) in

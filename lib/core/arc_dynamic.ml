@@ -158,14 +158,12 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   let trace reg =
     match reg.tel with None -> [] | Some tel -> Ring.dump tel.tel_ring
 
+  (* Post-increment presence check — the same typed error and message
+     shape as Arc's and Packed's guards (Arc_util.Saturation =
+     Register_intf.Saturated, ISSUE 8). *)
   let saturation_guard now =
-    let c = Packed.count now in
-    if c = 0 || c > Packed.max_readers then
-      raise
-        (Register_intf.Saturated
-           (Printf.sprintf
-              "Arc_dynamic.read: presence count saturated (count = %d, bound = %d)"
-              c Packed.max_readers))
+    Arc_util.Saturation.guard_count ~who:"Arc_dynamic.read"
+      ~bound:Packed.max_readers (Packed.count now)
 
   (* R3 + R4: release the subscribed slot (posting the §3.4 hint) and
      subscribe to the current one.  Shared by the normal slow path and
@@ -494,4 +492,55 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
              ~help:"Slot-state transitions recorded in the trace ring"
              (Ring.recorded tel.tel_ring)
         :: base
+
+  (* Slots currently holding non-empty storage — the dynamic variant's
+     footprint in {e slots} rather than words.  The paper's Lemma 4.1
+     bounds pinned slots by N, so with reclaim active the live-buffer
+     count must stay within N + 2 for the {e admitted} population N —
+     the churn soak tracks this against the gate capacity even as the
+     arrival population grows unboundedly. *)
+  let live_buffers reg =
+    Array.fold_left
+      (fun acc s -> if M.capacity s.content > 0 then acc + 1 else acc)
+      0 reg.slots
+
+  (* Same white-box surface as {!Arc.Make.Debug} — the invariant
+     auditors (soak presence audit, gate-bypass control) are written
+     against it. *)
+  module Debug = struct
+    let slots reg = Array.length reg.slots
+    let current reg = M.load reg.current
+    let r_start reg j = M.load reg.slots.(j).r_start
+    let r_end reg j = M.load reg.slots.(j).r_end
+    let slot_size reg j = M.load reg.slots.(j).size
+
+    (* readers − (Σ_j (r_start j − r_end j) + count current); see
+       Arc.Debug.presence_slack for the ledger argument. *)
+    let presence_slack reg =
+      let frozen = ref 0 in
+      Array.iter
+        (fun s -> frozen := !frozen + (M.load s.r_start - M.load s.r_end))
+        reg.slots;
+      reg.readers - (!frozen + Packed.count (M.load reg.current))
+
+    let presence_bound_holds reg = presence_slack reg = 0
+
+    (* Test-only: overwrite the synchronization word, e.g. to place
+       the count at the saturation boundary. *)
+    let force_current reg w = M.store reg.current w
+
+    let free_slot_exists reg =
+      let published = Packed.index (M.load reg.current) in
+      let n = Array.length reg.slots in
+      let rec go j =
+        if j >= n then false
+        else if
+          j <> published
+          && (not (List.memq j reg.quarantined))
+          && M.load reg.slots.(j).r_start = M.load reg.slots.(j).r_end
+        then true
+        else go (j + 1)
+      in
+      go 0
+  end
 end

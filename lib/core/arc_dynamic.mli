@@ -92,6 +92,39 @@ module Make (M : Arc_mem.Mem_intf.S) : sig
   val reclaimed : t -> int
   (** Total slots whose storage has been revoked so far. *)
 
+  val live_buffers : t -> int
+  (** Slots currently holding non-empty storage — the dynamic
+      variant's footprint in {e slots} rather than words.  With
+      reclaim active this must stay within N + 2 for the {e admitted}
+      reader population N, however many readers have come and gone;
+      the churn soak (ISSUE 8) tracks it against the admission gate's
+      capacity. *)
+
+  (** White-box invariant surface, identical to {!Arc.Make.Debug} —
+      the soak's presence audit and the gate-bypass control are
+      written against it.  Test/audit use only. *)
+  module Debug : sig
+    val slots : t -> int
+    val current : t -> int
+    val r_start : t -> int -> int
+    val r_end : t -> int -> int
+    val slot_size : t -> int -> int
+
+    val presence_slack : t -> int
+    (** readers − (frozen presence + live count); 0 in any quiescent
+        uncorrupted state, in [0, crashed readers] under crash-stop
+        faults, negative only if presence was double-released — the
+        gate-bypass control's conviction signal. *)
+
+    val presence_bound_holds : t -> bool
+
+    val force_current : t -> int -> unit
+    (** Test-only: overwrite the synchronization word (e.g. to plant
+        the count at the saturation boundary). *)
+
+    val free_slot_exists : t -> bool
+  end
+
   (** {2 Telemetry} — same wait-free host-heap design as
       {!Arc.Make}: plain per-identity counter cells (no substrate
       operations, no vsched scheduling points, no RMW on the fast

@@ -55,7 +55,7 @@ type caps = {
           must implement {!STAMPED}. *)
 }
 
-exception Saturated of string
+exception Saturated = Arc_util.Saturation.Saturated
 (** Raised by an operation that detects its synchronization state at a
     documented capacity bound — e.g. ARC's packed readers-presence
     count reaching [2^32 - 2] (see {!Arc_util.Packed.max_readers}).
@@ -63,7 +63,43 @@ exception Saturated of string
     bits, which would corrupt the register undetectably; saturating
     with a diagnostic error is the only safe degradation.  Cannot
     occur when [create]'s reader bound is respected: the guard is
-    defense in depth for memory corruption and fault injection. *)
+    defense in depth for memory corruption and fault injection.
+
+    This is a rebinding of {!Arc_util.Saturation.Saturated} (ISSUE 8):
+    one exception and one message shape shared by the packed-word
+    guard ({!Arc_util.Packed.succ_count}), the registers'
+    post-increment presence checks, and the admission gate's terminal
+    backpressure ([Arc_resilience.Admission]) — so a handler written
+    against either name catches all of them. *)
+
+(** {2 Reader admission (ISSUE 8)}
+
+    The graceful alternative to {!Saturated}: instead of pre-declaring
+    a static reader population and raising at the capacity bound, an
+    {e admission gate} ([Arc_resilience.Admission]) sits in front of
+    reader registration and converts capacity pressure into a typed
+    verdict.  The verdict vocabulary lives here, next to the error it
+    replaces, so core-layer consumers (sessions, harnesses, fabrics)
+    can speak it without depending on the gate implementation. *)
+
+type backpressure = {
+  retry_after : int;
+      (** Suggested delay before retrying admission, in the gate's
+          clock units — full-jitter drawn, so synchronized rejected
+          arrivals do not stampede back in lockstep. *)
+  live : int;  (** Tickets currently held (the load that refused us). *)
+  high_water : int;  (** Max simultaneous tickets ever held. *)
+}
+
+type 'ticket admission =
+  | Admitted of 'ticket
+      (** The caller holds a ticket: a leased claim on one reader
+          identity, released by an explicit depart or — if the holder
+          crashes without departing — reclaimed by the gate's lease
+          sweep. *)
+  | Backpressured of backpressure
+      (** No identity free (and the bounded waiting room, if any, was
+          exhausted): retry after [retry_after], or degrade. *)
 
 let supports_readers caps ~readers ~capacity_words =
   match caps.max_readers ~capacity_words with

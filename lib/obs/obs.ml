@@ -284,3 +284,56 @@ let json metrics =
       (kind_name m.mkind) labels (pp_value m.value)
   in
   Printf.sprintf "[\n%s\n  ]" (String.concat ",\n" (List.map one metrics))
+
+(* {1 Admission accounting (ISSUE 8)}
+
+   The reader admission gate's event counters.  Unlike {!Cell}s these
+   are [Atomic.t]: admission events are {e multi}-writer by nature
+   (any arriving thread admits, any departing thread departs, a
+   sweeper evicts) and they sit on the connection-churn path, not the
+   read fast path — a fenced RMW per arrival is noise next to the
+   admission scan itself.  The family carries the canonical metric
+   names every binary exposes: arc_admission_{admitted,backpressured,
+   departed,evicted}_total. *)
+
+module Admission = struct
+  type t = {
+    admitted : int Atomic.t;
+    backpressured : int Atomic.t;
+    departed : int Atomic.t;
+    evicted : int Atomic.t;
+  }
+
+  let create () =
+    {
+      admitted = Atomic.make 0;
+      backpressured = Atomic.make 0;
+      departed = Atomic.make 0;
+      evicted = Atomic.make 0;
+    }
+
+  let admitted t = Atomic.fetch_and_add t.admitted 1 |> ignore
+  let backpressured t = Atomic.fetch_and_add t.backpressured 1 |> ignore
+  let departed t = Atomic.fetch_and_add t.departed 1 |> ignore
+  let evicted t = Atomic.fetch_and_add t.evicted 1 |> ignore
+  let admitted_count t = Atomic.get t.admitted
+  let backpressured_count t = Atomic.get t.backpressured
+  let departed_count t = Atomic.get t.departed
+  let evicted_count t = Atomic.get t.evicted
+
+  let metrics ?labels t =
+    [
+      counter ?labels "arc_admission_admitted_total"
+        ~help:"Reader admissions granted by the gate"
+        (admitted_count t);
+      counter ?labels "arc_admission_backpressured_total"
+        ~help:"Admission attempts refused with a typed backpressure verdict"
+        (backpressured_count t);
+      counter ?labels "arc_admission_departed_total"
+        ~help:"Tickets released by an explicit depart"
+        (departed_count t);
+      counter ?labels "arc_admission_evicted_total"
+        ~help:"Expired tickets reclaimed by the lease sweep"
+        (evicted_count t);
+    ]
+end

@@ -134,3 +134,26 @@ val prometheus : metric list -> string
 val json : metric list -> string
 (** The same metrics as a JSON array (for merging into
     [results/BENCH_arc.json]). *)
+
+(** Event counters for the reader admission gate (ISSUE 8), carrying
+    the canonical [arc_admission_*_total] metric names.  Backed by
+    [Atomic.t], not {!Cell}s: admission events are multi-writer (any
+    arriving or departing thread, plus the eviction sweeper) and live
+    on the connection-churn path, never the read fast path. *)
+module Admission : sig
+  type t
+
+  val create : unit -> t
+  val admitted : t -> unit
+  val backpressured : t -> unit
+  val departed : t -> unit
+  val evicted : t -> unit
+  val admitted_count : t -> int
+  val backpressured_count : t -> int
+  val departed_count : t -> int
+  val evicted_count : t -> int
+
+  val metrics : ?labels:(string * string) list -> t -> metric list
+  (** The four [arc_admission_{admitted,backpressured,departed,
+      evicted}_total] counters. *)
+end

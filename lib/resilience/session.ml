@@ -41,9 +41,17 @@ module Make (R : Arc_core.Register_intf.S) = struct
     | Exhausted of { attempts : int; last_error : string }
         (** No live read before the deadline and no admissible
             snapshot.  [attempts] counts live attempts made. *)
+    | Backpressured of Arc_core.Register_intf.backpressure
+        (** The session's admission guard refused service — its ticket
+            was revoked by the gate's lease sweep (ISSUE 8) — and no
+            admissible snapshot remained.  Unlike [Exhausted] this is
+            not worth retrying on this session: re-admit through the
+            gate for a fresh ticket. *)
 
   type t = {
     rd : R.reader;
+    admission : (unit -> Arc_core.Register_intf.backpressure option) option;
+        (* checked before each live attempt; [Some bp] = refused *)
     now : unit -> int;
     sleep : int -> unit;
     backoff : Backoff.t;
@@ -53,12 +61,15 @@ module Make (R : Arc_core.Register_intf.S) = struct
     mutable snap_len : int;  (* -1 until the first successful read *)
     mutable snap_at : int;
     outcomes : Outcomes.t;
+    backpressured : Arc_obs.Obs.Cell.t;
+        (* admission-refused serves; single-writer like all cells *)
     latency : Arc_util.Histogram.t;
         (* per-read_with latency in the session's clock units,
            including retries/backoff — the caller-observed tail *)
   }
 
-  let create ?backoff ?breaker ?(max_stale = max_int) ~now ~sleep ~capacity rd =
+  let create ?admission ?backoff ?breaker ?(max_stale = max_int) ~now ~sleep
+      ~capacity rd =
     if capacity < 1 then
       invalid_arg (Printf.sprintf "Session.create: capacity = %d" capacity);
     if max_stale < 0 then
@@ -71,6 +82,7 @@ module Make (R : Arc_core.Register_intf.S) = struct
     in
     {
       rd;
+      admission;
       now;
       sleep;
       backoff;
@@ -80,6 +92,7 @@ module Make (R : Arc_core.Register_intf.S) = struct
       snap_len = -1;
       snap_at = 0;
       outcomes = Outcomes.create ();
+      backpressured = Arc_obs.Obs.Cell.create ();
       latency = Arc_util.Histogram.create ();
     }
 
@@ -107,6 +120,9 @@ module Make (R : Arc_core.Register_intf.S) = struct
         (Outcomes.error_count t.outcomes);
       counter "session_retries_total" ~help:"Backoff retry attempts"
         (Outcomes.retry_count t.outcomes);
+      counter "session_backpressured_total"
+        ~help:"Reads refused by the admission guard (revoked ticket)"
+        (Cell.get t.backpressured);
       counter "session_breaker_trips_total"
         ~help:"Circuit-breaker Closed->Open transitions"
         (Breaker.trips t.breaker);
@@ -138,6 +154,18 @@ module Make (R : Arc_core.Register_intf.S) = struct
       Exhausted { attempts; last_error }
     end
 
+  (* An admission refusal is not an error to retry through — the gate
+     already said no and told us when to come back — so it degrades
+     immediately: snapshot if admissible, else the typed verdict. *)
+  let serve_refused t ~f bp =
+    Arc_obs.Obs.Cell.incr t.backpressured;
+    let age = t.now () - t.snap_at in
+    if t.snap_len >= 0 && age <= t.max_stale then begin
+      Outcomes.stale t.outcomes;
+      Stale { value = f t.snap t.snap_len; age }
+    end
+    else Backpressured bp
+
   let live_read t ~f =
     R.read_with t.rd ~f:(fun buf len ->
         M.blit buf t.snap ~len;
@@ -155,6 +183,9 @@ module Make (R : Arc_core.Register_intf.S) = struct
       outcome
     in
     let rec attempt n last_error =
+      match match t.admission with Some g -> g () | None -> None with
+      | Some bp -> finish (serve_refused t ~f bp)
+      | None ->
       if not (Breaker.allow t.breaker) then
         finish (serve_degraded t ~attempts:(n - 1) ~last_error ~f)
       else

@@ -58,9 +58,26 @@ module P = Arc_workload.Payload.Make (Mem)
    run's probability, drawn from one seeded stream (deterministic
    because the schedule itself is).  Wrapping the register — rather
    than patching the session — keeps the session code honest: it
-   retries exactly what a real register would throw at it. *)
+   retries exactly what a real register would throw at it.
+
+   The failure itself is no longer a hand-written string (ISSUE 8): it
+   is produced by a {e real} admission-gate refusal — a module-level
+   single-slot {!Admission.Pool} whose one ticket is permanently held,
+   so every injection runs the production scan, takes the production
+   [Backpressured] verdict (ticking the gate's backpressured counter),
+   and raises through the production saturation constructor.  What the
+   session retries against is therefore message-for-message what a
+   saturated register would throw at it. *)
 module Flaky = struct
   include R
+
+  let gate = Admission.Pool.create ~capacity:1 ()
+
+  let () =
+    match Admission.Pool.admit gate ~now:0 with
+    | Arc_core.Register_intf.Admitted _ -> ()
+    | Arc_core.Register_intf.Backpressured _ ->
+      assert false (* a fresh one-slot pool always admits *)
 
   let rate = ref 0.
   let rng = ref (Splitmix.of_int 0)
@@ -70,10 +87,16 @@ module Flaky = struct
     rng := Splitmix.of_int seed
 
   let read_with rd ~f =
-    if !rate > 0. && Splitmix.bernoulli !rng !rate then
-      raise
-        (Arc_core.Register_intf.Saturated "injected transient saturation");
+    (if !rate > 0. && Splitmix.bernoulli !rng !rate then
+       match Admission.Pool.admit gate ~now:(Sched.now ()) with
+       | Arc_core.Register_intf.Admitted _ -> assert false (* held forever *)
+       | Arc_core.Register_intf.Backpressured bp ->
+         Arc_util.Saturation.raise_saturated ~who:"Soak.Flaky.read (injected)"
+           ~count:(bp.Arc_core.Register_intf.live + 1)
+           ~bound:(Admission.Pool.capacity gate));
     R.read_with rd ~f
+
+  let injected () = Arc_obs.Obs.Admission.backpressured_count (Admission.Pool.events gate)
 end
 
 module S = Session.Make (Flaky)
@@ -372,7 +395,7 @@ let run_one ~seed (cfg : cfg) : run_report =
           stale_serves :=
             { Checker.thread = id + 2; seq = s; at = Sched.now () }
             :: !stale_serves
-        | S.Exhausted _ -> ());
+        | S.Exhausted _ | S.Backpressured _ -> ());
         ops.(id + 2) <- ops.(id + 2) + 1;
         Sched.cede ()
       done
@@ -720,3 +743,653 @@ let unfenced_control ~seed (cfg : cfg) : bool * string list =
   | Ok _ -> ()
   | Error v -> reasons := Format.asprintf "%a" Checker.pp_violation v :: !reasons);
   (!reasons <> [], !reasons)
+
+(* {1 Churn campaign (ISSUE 8)}
+
+   The soak above holds its reader population fixed for a run — the
+   paper's model.  The churn campaign is the opposite regime: a small
+   admission gate (capacity N) in front of [Arc_dynamic], and an
+   unbounded stream of short-lived readers arriving on [lanes]
+   concurrent lanes, each tenancy admitted through the gate, reading
+   through a deadline-aware session over the gate's {e persistent}
+   handle, then departing — or abandoning its ticket (modeling
+   kill -9), leaving the lease sweep to evict it.  Lanes can also be
+   crash-stopped mid-read by the fault plan (a pin leaked {e inside}
+   the register, on top of the ticket leaked in the gate).
+
+   Judged like the main soak — atomicity, bounded staleness, presence
+   ledger — plus the gate's own books: ticket conservation
+   (admitted − departed − evicted = live at quiescence), the
+   N + 2 live-buffer bound against an arrival population ≫ N, and the
+   headline guarantee that {e no} [Saturated] raise escapes past the
+   gate to churn code. *)
+
+module D = Arc_core.Arc_dynamic.Make (Mem)
+module DS = Session.Make (D)
+module DGate = Admission.Make (D)
+module Packed = Arc_util.Packed
+
+type churn_cfg = {
+  base : cfg;
+  rate : float;  (** arrival probability per lane per idle scheduling point *)
+  gate_capacity : int;  (** N: reader identities the gate leases out *)
+  lanes : int;  (** concurrent churner fibers *)
+  waiting_room : int;  (** bounded waiting-room size of [admit_wait] *)
+  crash_frac : float;  (** fraction of tenancies that abandon without depart *)
+}
+
+let default_churn =
+  {
+    base = { default with readers = 4 };
+    rate = 0.02;
+    gate_capacity = 4;
+    lanes = 6;
+    waiting_room = 2;
+    crash_frac = 0.3;
+  }
+
+let check_churn_cfg c =
+  check_cfg c.base;
+  if c.rate <= 0. || c.rate > 1. then
+    invalid_arg (Printf.sprintf "Soak churn: rate = %g (need 0 < rate <= 1)" c.rate);
+  if c.gate_capacity < 1 then
+    invalid_arg (Printf.sprintf "Soak churn: gate = %d (need >= 1)" c.gate_capacity);
+  if c.lanes < 1 then
+    invalid_arg (Printf.sprintf "Soak churn: lanes = %d (need >= 1)" c.lanes);
+  if c.waiting_room < 0 then
+    invalid_arg (Printf.sprintf "Soak churn: room = %d (need >= 0)" c.waiting_room);
+  if c.crash_frac < 0. || c.crash_frac > 1. then
+    invalid_arg (Printf.sprintf "Soak churn: crash-frac = %g" c.crash_frac)
+
+type churn_report = {
+  cseed : int;
+  arrivals : int;
+  cadmitted : int;
+  cbackpressured : int;
+  cdeparted : int;
+  cevicted : int;
+  abandoned : int;  (** tenancies that deliberately skipped depart *)
+  lane_crashes : int;
+  cwrites : int;
+  coutcomes : Outcomes.t;
+  refused_serves : int;  (** session reads refused by the admission guard *)
+  cserves_checked : int;
+  chigh_water : int;
+  live_buffers_max : int;
+  cviolations : string list;
+}
+
+(* Lane fates.  Crashes and over-lease pauses are modeled {e between}
+   reads (the [crash_frac] abandonment arm and the oversleep arm in
+   the lane body), never mid-access: an identity whose holder died
+   mid-read cannot be re-leased by anyone — the handle's private
+   cursor and the ledger's pin can disagree, and the paper's model
+   retires such identities forever.  The gate's contract is
+   accordingly that tenancies end between reads (a process-level
+   kill -9 satisfies this trivially: the dead process's handle state
+   dies with it; the gate's persistent handle was last touched at a
+   read boundary).  Fault-plan stalls stay strictly below the ticket
+   lease for the same lease-discipline reason as writer stalls in the
+   failover soak: a slower-but-live holder must not be evicted while a
+   read is in flight on its handle. *)
+let churn_plan rng (c : churn_cfg) =
+  let plan = ref Fault_plan.empty in
+  let nstall = Splitmix.int rng ((c.lanes / 2) + 1) in
+  let victims = Array.init c.lanes (fun i -> i + 2) in
+  Splitmix.shuffle rng victims;
+  for v = 0 to nstall - 1 do
+    plan :=
+      Fault_plan.stall ~fiber:victims.(v)
+        ~at_access:(1 + Splitmix.int rng 2_000)
+        ~steps:(100 + Splitmix.int rng (max 101 ((c.base.lease / 3) - 100)))
+        !plan
+  done;
+  !plan
+
+let run_churn_one ~seed ~join ~leave (c : churn_cfg) : churn_report =
+  check_churn_cfg c;
+  let cfg = c.base in
+  let rng = Splitmix.of_int seed in
+  let plan = churn_plan rng c in
+  let strategy = Strategy.random ~seed:(seed + 1) in
+  let size = cfg.size_words in
+  let init = Array.make size 0 in
+  P.stamp init ~seq:0 ~len:size;
+  let dreg = D.create ~readers:c.gate_capacity ~capacity:size ~init in
+  (* Storage-reclaim lease in writes, derived from the time lease the
+     way [staleness_bound] converts steps to writes. *)
+  let reclaim_lease = max 1 (cfg.lease / size) in
+  D.set_lease dreg (Some reclaim_lease);
+  let reclaim_requested = ref false in
+  let gate =
+    DGate.create ~room:c.waiting_room ~lease:cfg.lease
+      ~on_release:(fun () -> reclaim_requested := true)
+      ~now:Sched.now ~sleep:Sched.sleep ~base:0 ~capacity:c.gate_capacity dreg
+  in
+  let threads = c.lanes + 2 in
+  let recorder = History.Recorder.create ~threads ~capacity:20_000 in
+  let crashed = Array.make threads false in
+  let ops = Array.make threads 0 in
+  let torn = ref 0 in
+  let arrivals = ref 0 in
+  let abandoned = ref 0 in
+  let refused_serves = ref 0 in
+  let escaped = ref [] in
+  let stale_serves = ref [] in
+  let live_buffers_max = ref 0 in
+  let late_frees = ref 0 in
+  let outcomes = Outcomes.create () in
+
+  let writer () =
+    try
+      let src = Array.make size 0 in
+      let seq = ref 0 in
+      while Sched.now () < cfg.max_steps do
+        incr seq;
+        P.stamp src ~seq:!seq ~len:size;
+        let invoked = Sched.now () in
+        D.write dreg ~src ~len:size;
+        History.Recorder.record recorder ~thread:0 History.Write ~seq:!seq
+          ~invoked ~returned:(Sched.now ());
+        ops.(0) <- ops.(0) + 1;
+        (* Depart-triggered reclaim runs here — storage revocation is
+           the writer's side of the protocol, so the gate's
+           [on_release] only raises a flag. *)
+        if !reclaim_requested then begin
+          reclaim_requested := false;
+          ignore (D.reclaim_stale dreg ~lease:reclaim_lease)
+        end;
+        Sched.cede ()
+      done
+    with Fault_plan.Crashed -> crashed.(0) <- true
+  in
+
+  let janitor () =
+    while Sched.now () < cfg.max_steps do
+      Sched.sleep (max 1 (cfg.lease / 2));
+      ignore (DGate.sweep gate);
+      live_buffers_max := max !live_buffers_max (D.live_buffers dreg);
+      ops.(1) <- ops.(1) + 1;
+      Sched.cede ()
+    done
+  in
+
+  let lane k () =
+    let thread = k + 2 in
+    let lrng = Splitmix.of_int ((seed * 31) + 7_777 + k) in
+    let f buf len =
+      match P.validate buf ~len with
+      | Ok s -> s
+      | Error _ ->
+        incr torn;
+        P.decode_seq buf
+    in
+    try
+      while Sched.now () < cfg.max_steps do
+        if Splitmix.float lrng < c.rate then begin
+          incr arrivals;
+          let t0 = Sched.now () in
+          match DGate.admit_wait ~deadline:(t0 + cfg.deadline) gate with
+          | Arc_core.Register_intf.Backpressured bp ->
+            (* Come back later, as told — jittered by the verdict. *)
+            Sched.sleep bp.Arc_core.Register_intf.retry_after
+          | Arc_core.Register_intf.Admitted ticket ->
+            Arc_util.Histogram.record join (Sched.now () - t0);
+            let session =
+              DS.create
+                ~admission:(DGate.guard gate ticket)
+                ~backoff:
+                  (Backoff.create ~base:8
+                     ~cap:(max 8 (cfg.deadline / 2))
+                     ~seed:(seed + 500 + !arrivals) ())
+                ~breaker:
+                  (Breaker.create ~failure_threshold:3
+                     ~cooldown:(max 16 (cfg.lease / 2))
+                     ~now:Sched.now ())
+                ~max_stale:cfg.max_stale ~now:Sched.now ~sleep:Sched.sleep
+                ~capacity:size (DGate.reader gate ticket)
+            in
+            let tenancy_reads = 1 + Splitmix.int lrng 8 in
+            (* The oversleep arm: a holder paused past its lease — a
+               long GC or VM migration — taken {e between} reads, where
+               no operation is in flight on the handle.  The sweep
+               evicts it; on waking, the session's admission guard
+               refuses before the handle is touched, and the late
+               depart below must fail its generation CAS rather than
+               free the identity out from under the next tenant. *)
+            let oversleep =
+              if Splitmix.bernoulli lrng 0.15 then
+                1 + Splitmix.int lrng tenancy_reads
+              else -1
+            in
+            let evicted_underfoot = ref false in
+            (let r = ref 0 in
+             while (not !evicted_underfoot) && !r < tenancy_reads
+                   && Sched.now () < cfg.max_steps do
+               incr r;
+               if !r = oversleep then
+                 Sched.sleep (cfg.lease + (cfg.lease / 2));
+               let invoked = Sched.now () in
+               (match DS.read_with ~deadline:(invoked + cfg.deadline) session ~f with
+               | DS.Fresh s ->
+                 History.Recorder.record recorder ~thread History.Read ~seq:s
+                   ~invoked ~returned:(Sched.now ())
+               | DS.Stale { value = s; _ } ->
+                 stale_serves :=
+                   { Checker.thread; seq = s; at = Sched.now () } :: !stale_serves
+               | DS.Exhausted _ -> ()
+               | DS.Backpressured _ ->
+                 (* Our lease was swept out from under us (a stall made
+                    us look dead).  Stop using the identity at once. *)
+                 incr refused_serves;
+                 evicted_underfoot := true);
+               ops.(thread) <- ops.(thread) + 1;
+               if not (DGate.renew gate ticket) then evicted_underfoot := true;
+               Sched.cede ()
+             done);
+            Outcomes.merge_into
+              ~src:(DS.Outcomes.snapshot (DS.outcomes session))
+              ~dst:outcomes;
+            if !evicted_underfoot then begin
+              (* Reclaim-then-late-release: the evicted zombie's depart
+                 must lose its generation CAS — a success here would
+                 free the identity out from under its next tenant. *)
+              if DGate.depart gate ticket then incr late_frees
+            end
+            else if Splitmix.float lrng < c.crash_frac then
+              (* kill -9: walk away with the ticket held; the sweep
+                 pays for the funeral. *)
+              incr abandoned
+            else ignore (DGate.depart gate ticket);
+            Arc_util.Histogram.record leave (Sched.now () - t0)
+        end
+        else Sched.cede ()
+      done
+    with
+    | Fault_plan.Crashed -> crashed.(thread) <- true
+    | Arc_core.Register_intf.Saturated msg ->
+      (* The headline guarantee: gate-fronted churn must never see
+         this.  Recorded as a violation, not re-raised, so the run
+         still quiesces and reports. *)
+      escaped := msg :: !escaped
+  in
+
+  let fibers =
+    Array.init threads (fun i ->
+        if i = 0 then writer else if i = 1 then janitor else lane (i - 2))
+  in
+  Mem.install plan;
+  let backstop = (cfg.max_steps * 3) + 100_000 in
+  let sched_outcome = Sched.run ~max_steps:backstop ~strategy fibers in
+  ignore (Mem.drain ());
+
+  (* Judge. *)
+  let history = History.Recorder.history recorder in
+  let check = Checker.check history in
+  let serves = List.rev !stale_serves in
+  let stale_check =
+    Checker.check_bounded_staleness history ~bound:(staleness_bound cfg) serves
+  in
+  let lane_crashes =
+    let n = ref 0 in
+    Array.iteri (fun i cr -> if i >= 2 && cr then incr n) crashed;
+    !n
+  in
+  let pool = DGate.pool gate in
+  let ev = Admission.Pool.events pool in
+  let admitted = Arc_obs.Obs.Admission.admitted_count ev in
+  let backpressured = Arc_obs.Obs.Admission.backpressured_count ev in
+  let departed = Arc_obs.Obs.Admission.departed_count ev in
+  let evicted = Arc_obs.Obs.Admission.evicted_count ev in
+  let violations = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
+  List.iter (fun m -> fail "Saturated escaped the admission gate: %s" m) !escaped;
+  if !torn > 0 then fail "%d torn snapshots" !torn;
+  if History.Recorder.dropped recorder > 0 then
+    fail "recorder overflow (%d events dropped)"
+      (History.Recorder.dropped recorder);
+  if sched_outcome.Sched.unfinished > 0 then
+    fail "%d fibers never finished (hang/livelock inside the backstop)"
+      sched_outcome.Sched.unfinished;
+  (match check with
+  | Ok _ -> ()
+  | Error v -> fail "%s" (Format.asprintf "%a" Checker.pp_violation v));
+  (match stale_check with
+  | Ok _ -> ()
+  | Error v -> fail "%s" (Format.asprintf "%a" Checker.pp_staleness_violation v));
+  (* Ticket conservation at quiescence. *)
+  if admitted - departed - evicted <> Admission.Pool.live pool then
+    fail "ticket books don't balance: %d admitted - %d departed - %d evicted <> %d live"
+      admitted departed evicted (Admission.Pool.live pool);
+  if Admission.Pool.high_water pool > c.gate_capacity then
+    fail "high water %d exceeds gate capacity %d"
+      (Admission.Pool.high_water pool) c.gate_capacity;
+  (* The N+2 claim under unbounded arrivals. *)
+  live_buffers_max := max !live_buffers_max (D.live_buffers dreg);
+  if !live_buffers_max > c.gate_capacity + 2 then
+    fail "%d live buffers exceed the N+2 bound (N = %d)" !live_buffers_max
+      c.gate_capacity;
+  if !late_frees > 0 then
+    fail "%d late departs freed an evicted ticket (generation CAS failed open)"
+      !late_frees;
+  (* Presence ledger: abandonment, eviction and late departs all leave
+     the register's ledger untouched (the persistent handle keeps each
+     identity's pin well-formed), so the slack must be exactly zero —
+     unlike the failover soak there are no mid-read crashes here. *)
+  let slack = D.Debug.presence_slack dreg in
+  if slack <> 0 then
+    fail "presence-ledger slack %d (must be 0: tenancies end between reads)"
+      slack;
+  if not (D.Debug.free_slot_exists dreg) then
+    fail "no free slot among the N+2 (Lemma 4.1 violated)";
+  (* Non-vacuity: the campaign must actually churn. *)
+  if !arrivals = 0 then fail "no arrivals (vacuous run)";
+  if admitted = 0 then fail "no admissions (vacuous run)";
+  if ops.(0) = 0 then fail "writer made no writes";
+  {
+    cseed = seed;
+    arrivals = !arrivals;
+    cadmitted = admitted;
+    cbackpressured = backpressured;
+    cdeparted = departed;
+    cevicted = evicted;
+    abandoned = !abandoned;
+    lane_crashes;
+    cwrites = ops.(0);
+    coutcomes = outcomes;
+    refused_serves = !refused_serves;
+    cserves_checked = (match stale_check with Ok n -> n | Error _ -> 0);
+    chigh_water = Admission.Pool.high_water pool;
+    live_buffers_max = !live_buffers_max;
+    cviolations = List.rev !violations;
+  }
+
+type churn_outcome = {
+  cruns : int;
+  arrivals : int;
+  admitted : int;
+  backpressured : int;
+  departed : int;
+  evicted : int;
+  abandoned : int;
+  lane_crashes : int;
+  writes : int;
+  reads_fresh : int;
+  stale_serves : int;
+  exhausted : int;
+  refused_serves : int;
+  serves_checked : int;
+  high_water_max : int;
+  live_buffers_max : int;
+  join : Arc_util.Histogram.t;  (** arrival -> admitted, simulated steps *)
+  leave : Arc_util.Histogram.t;  (** arrival -> tenancy end, simulated steps *)
+  churn_violations : (int * string) list;
+}
+
+let churn_clean o = o.churn_violations = []
+
+let pp_churn_outcome ppf o =
+  let pct h p =
+    if Arc_util.Histogram.count h = 0 then -1
+    else Arc_util.Histogram.percentile h p
+  in
+  Format.fprintf ppf
+    "@[<v>%d churn runs: %d arrivals -> %d admitted, %d backpressured; %d \
+     departed, %d evicted (%d abandoned, %d lane crashes)@,\
+     %d writes, %d fresh reads, %d stale serves, %d exhausted, %d refused \
+     serves; high water %d, live buffers max %d@,\
+     join p50/p99: %d/%d steps, tenancy p50/p99: %d/%d steps — %s@]"
+    o.cruns o.arrivals o.admitted o.backpressured o.departed o.evicted
+    o.abandoned o.lane_crashes o.writes o.reads_fresh o.stale_serves
+    o.exhausted o.refused_serves o.high_water_max o.live_buffers_max
+    (pct o.join 50.) (pct o.join 99.) (pct o.leave 50.) (pct o.leave 99.)
+    (if o.churn_violations = [] then "CLEAN"
+     else Printf.sprintf "%d VIOLATIONS" (List.length o.churn_violations))
+
+let churn_metrics (o : churn_outcome) =
+  let open Arc_obs.Obs in
+  let quantiles name h help =
+    if Arc_util.Histogram.count h = 0 then []
+    else
+      List.map
+        (fun (q, p) ->
+          gauge name
+            ~labels:[ ("quantile", q) ]
+            ~help
+            (float_of_int (Arc_util.Histogram.percentile h p)))
+        [ ("0.5", 50.); ("0.99", 99.) ]
+  in
+  [
+    counter "soak_churn_runs_total" ~help:"Completed churn runs" o.cruns;
+    counter "soak_churn_arrivals_total" ~help:"Reader arrivals offered to the gate"
+      o.arrivals;
+    counter "arc_admission_admitted_total" ~help:"Admissions granted" o.admitted;
+    counter "arc_admission_backpressured_total"
+      ~help:"Arrivals refused with a typed verdict" o.backpressured;
+    counter "arc_admission_departed_total" ~help:"Tickets explicitly departed"
+      o.departed;
+    counter "arc_admission_evicted_total" ~help:"Tickets reclaimed by lease sweep"
+      o.evicted;
+    counter "soak_churn_abandoned_total"
+      ~help:"Tenancies that walked away without departing" o.abandoned;
+    counter "soak_churn_lane_crashes_total" ~help:"Crash-stopped churn lanes"
+      o.lane_crashes;
+    counter "soak_churn_refused_serves_total"
+      ~help:"Session reads refused after a lease sweep revoked the ticket"
+      o.refused_serves;
+    gauge "soak_churn_live_buffers_max"
+      ~help:"Peak live-buffer count (bound: gate capacity + 2)"
+      (float_of_int o.live_buffers_max);
+    counter "soak_churn_violations_total" ~help:"Checker violations (must stay 0)"
+      (List.length o.churn_violations);
+  ]
+  @ quantiles "soak_churn_join_steps" o.join
+      "Arrival-to-admission latency (simulated steps)"
+  @ quantiles "soak_churn_tenancy_steps" o.leave
+      "Arrival-to-tenancy-end latency (simulated steps)"
+
+let churn_replay_command ~seed (c : churn_cfg) =
+  Printf.sprintf
+    "dune exec bin/soak.exe -- --replay %d --churn %g --gate %d --lanes %d \
+     --room %d --crash-frac %g --readers %d --size %d --steps %d --lease %d \
+     --deadline %d --max-stale %d"
+    seed c.rate c.gate_capacity c.lanes c.waiting_room c.crash_frac
+    c.base.readers c.base.size_words c.base.max_steps c.base.lease
+    c.base.deadline c.base.max_stale
+
+let run_churn ?(on_run = fun (_ : churn_report) -> ()) (c : churn_cfg) :
+    churn_outcome =
+  check_churn_cfg c;
+  let join = Arc_util.Histogram.create () in
+  let leave = Arc_util.Histogram.create () in
+  let o =
+    ref
+      {
+        cruns = 0;
+        arrivals = 0;
+        admitted = 0;
+        backpressured = 0;
+        departed = 0;
+        evicted = 0;
+        abandoned = 0;
+        lane_crashes = 0;
+        writes = 0;
+        reads_fresh = 0;
+        stale_serves = 0;
+        exhausted = 0;
+        refused_serves = 0;
+        serves_checked = 0;
+        high_water_max = 0;
+        live_buffers_max = 0;
+        join;
+        leave;
+        churn_violations = [];
+      }
+  in
+  for k = 1 to c.base.runs do
+    let seed = derive_seed c.base k in
+    match run_churn_one ~seed ~join ~leave c with
+    | exception e ->
+      o :=
+        {
+          !o with
+          cruns = !o.cruns + 1;
+          churn_violations =
+            (seed, Printf.sprintf "run raised: %s" (Printexc.to_string e))
+            :: !o.churn_violations;
+        }
+    | r ->
+      on_run r;
+      let a = !o in
+      o :=
+        {
+          a with
+          cruns = a.cruns + 1;
+          arrivals = a.arrivals + r.arrivals;
+          admitted = a.admitted + r.cadmitted;
+          backpressured = a.backpressured + r.cbackpressured;
+          departed = a.departed + r.cdeparted;
+          evicted = a.evicted + r.cevicted;
+          abandoned = a.abandoned + r.abandoned;
+          lane_crashes = a.lane_crashes + r.lane_crashes;
+          writes = a.writes + r.cwrites;
+          reads_fresh = a.reads_fresh + Outcomes.ok_count r.coutcomes;
+          stale_serves = a.stale_serves + Outcomes.stale_count r.coutcomes;
+          exhausted = a.exhausted + Outcomes.exhausted_count r.coutcomes;
+          refused_serves = a.refused_serves + r.refused_serves;
+          serves_checked = a.serves_checked + r.cserves_checked;
+          high_water_max = max a.high_water_max r.chigh_water;
+          live_buffers_max = max a.live_buffers_max r.live_buffers_max;
+          churn_violations =
+            List.map (fun m -> (seed, m)) r.cviolations @ a.churn_violations;
+        }
+  done;
+  !o
+
+(* {1 Negative control: churn without the gate}
+
+   Two arms, each an ungated copy of something the campaign does only
+   through the gate; the control is {e convicted} — the desired
+   outcome — when the damage is caught.
+
+   Arm 1 mints a {e fresh} reader handle per arrival over a live
+   identity, exactly the idiom the gate's persistent handles exist to
+   prevent.  A fresh handle believes the identity's presence pin is on
+   slot 0 (I1); when the pin actually sits elsewhere, the handle's
+   first slow read releases a unit slot 0 never owed and leaks the
+   unit the identity had pinned — per-slot over-release (r_end >
+   r_start), a pinned-forever slot, eventually a writer with no free
+   slot.  Arm 2 plants the packed count at the saturation boundary and
+   performs one raw ungated read: the [Saturated] raise reaches the
+   caller — precisely what gate-fronted churn reports as a violation
+   if it ever happens.  Arm 2's conviction is deterministic, so the
+   control convicts on every invocation; arm 1's evidence (ledger or
+   checker) convicts on virtually every seed and is reported when
+   found. *)
+
+let churn_control ~seed (c : churn_cfg) : bool * string list =
+  check_churn_cfg c;
+  let cfg = c.base in
+  let size = cfg.size_words in
+  let reasons = ref [] in
+  let convict fmt = Printf.ksprintf (fun m -> reasons := m :: !reasons) fmt in
+  (* Arm 1: fresh-handle-per-arrival churn, no gate. *)
+  (let strategy = Strategy.random ~seed:(seed + 1) in
+   let init = Array.make size 0 in
+   P.stamp init ~seq:0 ~len:size;
+   let dreg = D.create ~readers:c.gate_capacity ~capacity:size ~init in
+   let torn = ref 0 in
+   let anomalies = ref [] in
+   let threads = c.lanes + 1 in
+   let recorder = History.Recorder.create ~threads ~capacity:20_000 in
+   let writer () =
+     try
+       let src = Array.make size 0 in
+       let seq = ref 0 in
+       while Sched.now () < cfg.max_steps do
+         incr seq;
+         P.stamp src ~seq:!seq ~len:size;
+         let invoked = Sched.now () in
+         D.write dreg ~src ~len:size;
+         History.Recorder.record recorder ~thread:0 History.Write ~seq:!seq
+           ~invoked ~returned:(Sched.now ());
+         Sched.cede ()
+       done
+     with Failure msg -> anomalies := msg :: !anomalies
+   in
+   let lane k () =
+     let thread = k + 1 in
+     let lrng = Splitmix.of_int ((seed * 131) + k) in
+     try
+       while Sched.now () < cfg.max_steps do
+         if Splitmix.float lrng < c.rate then begin
+           (* The bypass: a brand-new handle for a pooled identity,
+              minted mid-run. *)
+           let rd = D.reader dreg (Splitmix.int lrng c.gate_capacity) in
+           for _ = 1 to 1 + Splitmix.int lrng 4 do
+             if Sched.now () < cfg.max_steps then begin
+               let invoked = Sched.now () in
+               let s =
+                 D.read_with rd ~f:(fun buf len ->
+                     match P.validate buf ~len with
+                     | Ok s -> s
+                     | Error _ ->
+                       incr torn;
+                       P.decode_seq buf)
+               in
+               History.Recorder.record recorder ~thread History.Read ~seq:s
+                 ~invoked ~returned:(Sched.now ())
+             end
+           done
+         end
+         else Sched.cede ()
+       done
+     with
+     | Arc_core.Register_intf.Saturated _ ->
+       anomalies := "Saturated escaped to a churn lane" :: !anomalies
+     | Failure msg -> anomalies := msg :: !anomalies
+   in
+   let fibers =
+     Array.init threads (fun i -> if i = 0 then writer else lane (i - 1))
+   in
+   Mem.install Fault_plan.empty;
+   let backstop = (cfg.max_steps * 3) + 100_000 in
+   let sched_outcome = Sched.run ~max_steps:backstop ~strategy fibers in
+   ignore (Mem.drain ());
+   List.iter (fun m -> convict "%s" m) !anomalies;
+   if !torn > 0 then convict "%d torn snapshots" !torn;
+   if sched_outcome.Sched.unfinished > 0 then
+     convict "%d fibers never finished" sched_outcome.Sched.unfinished;
+   (match Checker.check (History.Recorder.history recorder) with
+   | Ok _ -> ()
+   | Error v -> convict "%s" (Format.asprintf "%a" Checker.pp_violation v));
+   let slack = D.Debug.presence_slack dreg in
+   if slack <> 0 then convict "presence-ledger slack %d (must be 0: no crashes)" slack;
+   for j = 0 to D.Debug.slots dreg - 1 do
+     if D.Debug.r_end dreg j > D.Debug.r_start dreg j then
+       convict "slot %d over-released (r_end %d > r_start %d)" j
+         (D.Debug.r_end dreg j) (D.Debug.r_start dreg j)
+   done;
+   if not (D.Debug.free_slot_exists dreg) then
+     convict "no free slot among the N+2 (pins leaked by fresh handles)");
+  (* Arm 2: ungated read at the saturation boundary — deterministic. *)
+  (let init = Array.make size 0 in
+   P.stamp init ~seq:0 ~len:size;
+   Mem.install Fault_plan.empty;
+   let dreg = D.create ~readers:2 ~capacity:size ~init in
+   let rd = D.reader dreg 0 in
+   let src = Array.make size 0 in
+   P.stamp src ~seq:1 ~len:size;
+   D.write dreg ~src ~len:size;
+   (* The handle still points at slot 0; the next read takes the slow
+      path and its subscribe increments straight past the bound. *)
+   D.Debug.force_current dreg
+     (Packed.make
+        ~index:(Packed.index (D.Debug.current dreg))
+        ~count:Packed.max_readers);
+   (match D.read_with rd ~f:(fun _ len -> len) with
+   | exception Arc_core.Register_intf.Saturated _ ->
+     convict "ungated read let Saturated escape to the caller"
+   | _ -> ());
+   ignore (Mem.drain ()));
+  (!reasons <> [], List.rev !reasons)

@@ -17,11 +17,12 @@ let count w = w land count_mask
 let of_index i = make ~index:i ~count:0
 
 let succ_count w =
+  (* Defer to the repository-wide typed saturation error (ISSUE 8):
+     one exception, one message shape, whether the overflow is caught
+     here (pre-increment) or by the registers' post-increment guard. *)
   if count w >= max_readers then
-    invalid_arg
-      (Printf.sprintf
-         "Packed.succ_count: count overflow (count = %d, bound = %d)" (count w)
-         max_readers);
+    Saturation.raise_saturated ~who:"Packed.succ_count" ~count:(count w)
+      ~bound:max_readers;
   w + 1
 
 let pp ppf w = Format.fprintf ppf "@[<h>⟨index=%d,@ count=%d⟩@]" (index w) (count w)

@@ -49,12 +49,14 @@ val of_index : int -> int
 val succ_count : int -> int
 (** [succ_count w] is the packed word with the count field incremented
     — what [AtomicAddAndFetch (current, 1)] (statement R4) produces.
-    @raise Invalid_argument when [count w >= max_readers] — the
-    saturation bound of the paper.  Incrementing past {!max_count}
-    would silently carry into the index bits; the guard fires one
-    increment early ({!max_readers} = [2^32 - 2]) so the error is
-    raised exactly at the documented capacity, never after a wrap.
-    Cannot occur when the number of readers respects {!max_readers}. *)
+    @raise Saturation.Saturated when [count w >= max_readers] — the
+    saturation bound of the paper, raised as the same typed error the
+    registers' own post-increment guards use ({!Saturation}, ISSUE 8).
+    Incrementing past {!max_count} would silently carry into the index
+    bits; the guard fires one increment early ({!max_readers} =
+    [2^32 - 2]) so the error is raised exactly at the documented
+    capacity, never after a wrap.  Cannot occur when the number of
+    readers respects {!max_readers}. *)
 
 val pp : Format.formatter -> int -> unit
 (** Prints as [⟨index=i, count=c⟩] for debugging and test failures. *)

@@ -1,0 +1,11 @@
+exception Saturated of string
+
+let message ~who ~count ~bound =
+  Printf.sprintf "%s: presence count saturated (count = %d, bound = %d)" who
+    count bound
+
+let error ~who ~count ~bound = Saturated (message ~who ~count ~bound)
+let raise_saturated ~who ~count ~bound = raise (error ~who ~count ~bound)
+
+let guard_count ~who ~bound count =
+  if count = 0 || count > bound then raise_saturated ~who ~count ~bound

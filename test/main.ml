@@ -76,6 +76,7 @@ let () =
       ("replay", Test_replay.suite);
       ("fault", Test_fault.suite);
       ("resilience", Test_resilience.suite);
+      ("admission", Test_admission.suite);
       ("mrmw", Test_mrmw.suite);
       ("shm", Test_shm.suite);
       ("obs", Test_obs.suite);

@@ -35,11 +35,15 @@ let test_succ_count () =
   (* succ_count is exactly what AtomicAddAndFetch(current, 1) does. *)
   check "matches +1 on the raw word" (w + 1) w'
 
+(* The overflow guard raises the repository-wide typed saturation
+   error (ISSUE 8) — the same exception the registers' post-increment
+   guards and the admission gate raise, rebound as
+   [Register_intf.Saturated]. *)
 let test_succ_overflow_guard () =
   let raises w =
     match Packed.succ_count w with
-    | exception Invalid_argument _ -> ()
-    | _ -> Alcotest.fail "expected Invalid_argument"
+    | exception Arc_util.Saturation.Saturated _ -> ()
+    | _ -> Alcotest.fail "expected Saturated"
   in
   raises (Packed.make ~index:3 ~count:Packed.max_count);
   raises (Packed.make ~index:3 ~count:Packed.max_readers)
@@ -57,7 +61,7 @@ let test_saturation_boundary () =
     (Packed.count w');
   check "index intact at the boundary" 1 (Packed.index w');
   (match Packed.succ_count w' with
-  | exception Invalid_argument msg ->
+  | exception Arc_util.Saturation.Saturated msg ->
     Alcotest.(check bool)
       "guard message names the bound" true
       (String.length msg > 0

@@ -449,6 +449,7 @@ let test_session_stale_bound_exceeded () =
   (match S.read_with ~deadline:!t s ~f:get_seq with
   | S.Exhausted _ -> ()
   | S.Stale _ -> Alcotest.fail "snapshot past max_stale must not be served"
+  | S.Backpressured _ -> Alcotest.fail "no admission guard installed"
   | S.Fresh _ -> Alcotest.fail "reads are failing")
 
 let test_session_breaker_short_circuit_and_recovery () =
