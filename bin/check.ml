@@ -119,10 +119,16 @@ let fault_cfg ~caps ~seeds ~readers ~size ~steps =
   }
 
 let fault_replay_command ~name ~readers ~size ~steps ~seed =
-  Printf.sprintf
-    "dune exec bin/check.exe -- --faults --algo %s --readers %d --size %d \
-     --steps %d --replay-seed %d"
-    name readers size steps seed
+  Arc_report.Replay.(
+    render ~exe:"dune exec bin/check.exe --"
+      [
+        flag "--faults";
+        str "--algo" name;
+        int "--readers" readers;
+        int "--size" size;
+        int "--steps" steps;
+        int "--replay-seed" seed;
+      ])
 
 let selected_fault_algos algo =
   if algo = "all" then fault_algos
@@ -229,7 +235,7 @@ let run_faults algo seeds readers size steps =
    the wait-freedom retry bound.  A collect-only negative control must
    be convicted, proving the judgement is not vacuous. *)
 
-let run_fabric algo seeds strategy_name shards readers size steps =
+let run_fabric algo seeds strategy_name shards readers size steps metrics =
   let eligible = Registry.fabric_capable Registry.all in
   let entries =
     if algo = "all" then eligible
@@ -331,6 +337,13 @@ let run_fabric algo seeds strategy_name shards readers size steps =
   Printf.printf "%-16s %s\n" "torn-control"
     (if !convicted then "REJECTED (expected)"
      else "MISSED — fabric checker is broken");
+  if metrics then begin
+    (* The simulated fabric has no elections, so the reign gauges stay
+       at their resting values — printed anyway so the arc_reign_*
+       surface is uniform across arc-check/arc-soak/arc-crash. *)
+    print_newline ();
+    print_string (Arc_obs.Obs.prometheus (Arc_fabric.Fabric.reign_metrics ()))
+  end;
   if !failures > 0 then exit 1
 
 (* {1 Offline re-judgement (--history)}
@@ -397,7 +410,7 @@ let rec run faults fabric shards replay_seed history shm algo seeds strategy_nam
     (* Fabric campaigns default to every fabric-capable algorithm. *)
     run_fabric
       (Option.value algo ~default:"all")
-      seeds strategy_name shards readers size steps
+      seeds strategy_name shards readers size steps metrics
   | None, None ->
     (* The default algorithm set differs per mode: single-algorithm
        schedule checks default to arc, the fault campaign to all. *)

@@ -58,11 +58,17 @@ type cfg = {
 let derive_seed cfg run = (cfg.seed * 1_000_003) + run
 
 let replay_command cfg seed =
-  Printf.sprintf
-    "arc-crash --replay-seed %d --readers %d --candidates %d --kill-at %d \
-     --capacity %d --writes %d --successor-writes %d"
-    seed cfg.readers cfg.candidates cfg.kill_at cfg.capacity cfg.writes_max
-    cfg.successor_writes
+  Arc_report.Replay.(
+    render ~exe:"arc-crash"
+      [
+        int "--replay-seed" seed;
+        int "--readers" cfg.readers;
+        int "--candidates" cfg.candidates;
+        int "--kill-at" cfg.kill_at;
+        int "--capacity" cfg.capacity;
+        int "--writes" cfg.writes_max;
+        int "--successor-writes" cfg.successor_writes;
+      ])
 
 (* Reader identities: [0, readers) are the reading domains,
    [readers] is the elected successor's post-crash probe read, and
@@ -955,6 +961,757 @@ let election_controls () =
   let de = report "dueling-epoch" (dueling_epoch_control ()) in
   sv && de
 
+(* {1 Fabric reign campaign (ISSUE 9)}
+
+   The sharded version of the harness above: one mapping holds
+   [shards] registers (Shm_arc.create_fabric), each with its own
+   leader process elected through its reign-table election word and k
+   hot standbys, while reader domains in the parent take
+   reign-CERTIFIED cross-shard snapshots.  A seeded subset of shard
+   leaders is SIGKILLed mid-run; each killed shard's standbys
+   arbitrate exactly one successor whose campaign (vote → prefence →
+   shard-scoped recovery → config bump → issue) advances the
+   fabric-wide configuration epoch.  The parent then asserts
+   exactly-one-successor PER SHARD, reconstructs the merged per-shard
+   histories from the shared logs, and judges them together with every
+   certified snapshot through the checker's reign dimension: a
+   snapshot certified under epoch e must draw every shard value from a
+   reign <= e. *)
+
+let fab_identities cfg ~shards = cfg.readers + shards + 2
+
+(* Fabric status blocks: the single-register layout plus the winner's
+   config-bump value (the epoch its reign begins at — reign claims key
+   on it). *)
+let fst_config = 8
+let fab_status_words = 10
+
+let fab_mapping_words cfg ~shards =
+  let nslots = fab_identities cfg ~shards + 2 in
+  let per_shard =
+    (2 * (cfg.writes_max + 1))
+    + (3 * (cfg.successor_writes + 1))
+    + (fab_status_words * (cfg.candidates + 1))
+    + (nslots * (cfg.capacity + (4 * Layout.line_words) + Layout.buf_header + 8))
+    + (8 * Layout.line_words)
+  in
+  (shards * per_shard) + ((shards + 3) * Layout.line_words) + 2048
+
+let fab_replay_command cfg ~shards seed =
+  Arc_report.Replay.(
+    render ~exe:"arc-crash"
+      [
+        flag "--fabric";
+        int "--shards" shards;
+        int "--replay-seed" seed;
+        int "--readers" cfg.readers;
+        int "--candidates" cfg.candidates;
+        int "--kill-at" cfg.kill_at;
+        int "--capacity" cfg.capacity;
+        int "--writes" cfg.writes_max;
+        int "--successor-writes" cfg.successor_writes;
+      ])
+
+(* Shard leader: candidate 0 of its shard's election word.  Identical
+   in shape to {!leader_writer}, except the election is reign-fenced —
+   the campaign bumps the fabric's configuration epoch — and the fence
+   epoch is the shard's own reign-table slot, so deposing THIS leader
+   cannot fence any other shard's. *)
+let fab_leader (module I : Shm_arc.FABRIC_INSTANCE) ~shard ~log ~hb ~rlog ~cfg
+    ~seed =
+  let module RG = Arc_resilience.Reign.Make (I.R) in
+  let module F = RG.E.Fenced_reg in
+  let reg = I.regs.(shard) in
+  let freg =
+    F.of_register reg ~epoch:(Shm_mem.shard_epoch_cell I.mapping ~shard)
+  in
+  let el =
+    RG.create
+      ~word:(Shm_mem.shard_election_cell I.mapping ~shard)
+      ~candidate:0
+      ~config:(Shm_mem.config_epoch_cell I.mapping)
+      freg
+  in
+  (match RG.campaign el with
+  | RG.Lost _ -> () (* impossible on a fresh word; die silent, run fails *)
+  | RG.Won { writer = w; config; _ } -> (
+      (* The claim every value this reign publishes is judged under. *)
+      Shm_mem.atomic_set I.mapping (rlog + shard) config;
+      Shm_mem.atomic_set I.mapping hb (Shm_mem.tick I.mapping);
+      let rng = Splitmix.of_int seed in
+      let src = Array.make cfg.capacity 0 in
+      try
+        for k = 1 to cfg.writes_max do
+          for _ = 1 to 600 do
+            Domain.cpu_relax ()
+          done;
+          let len = 1 + Splitmix.int rng cfg.capacity in
+          P0.stamp src ~seq:k ~len;
+          Shm_mem.atomic_set I.mapping (log_invoked log k) (Shm_mem.tick I.mapping);
+          F.write w ~src ~len;
+          Shm_mem.atomic_set I.mapping (log_returned log k) (Shm_mem.tick I.mapping);
+          Shm_mem.atomic_set I.mapping hb (Shm_mem.tick I.mapping)
+        done
+      with _ -> ()));
+  Unix._exit 0
+
+(* Shard hot standby: {!standby_candidate} with the shard-scoped
+   recovery as its takeover — other shards' leaders may be alive and
+   mid-copy, so the scan must not classify their buffers — and the
+   reign campaign's config bump recorded for the judgement's claims. *)
+let fab_standby (module I : Shm_arc.FABRIC_INSTANCE) finst ~shard ~hb ~status
+    ~slog ~cfg ~candidate =
+  let module RG = Arc_resilience.Reign.Make (I.R) in
+  let module F = RG.E.Fenced_reg in
+  let reg = I.regs.(shard) in
+  let freg =
+    F.of_register reg ~epoch:(Shm_mem.shard_epoch_cell I.mapping ~shard)
+  in
+  let el =
+    RG.create
+      ~word:(Shm_mem.shard_election_cell I.mapping ~shard)
+      ~candidate
+      ~config:(Shm_mem.config_epoch_cell I.mapping)
+      freg
+  in
+  let put f v = Shm_mem.atomic_set I.mapping (status + f) v in
+  let snap = RG.observe el in
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  let rec monitor n =
+    let age = Shm_mem.clock I.mapping - Shm_mem.atomic_get I.mapping hb in
+    if age > lease_ticks then `Expired
+    else if n land 1023 = 0 && Unix.gettimeofday () > deadline then `Gave_up
+    else begin
+      for _ = 1 to 256 do
+        Domain.cpu_relax ()
+      done;
+      ignore (Shm_mem.tick I.mapping);
+      monitor (n + 1)
+    end
+  in
+  (match monitor 1 with
+  | `Gave_up -> put st_status status_error
+  | `Expired -> (
+      let takeover () =
+        match Shm_arc.recover_shard finst ~shard with
+        | Ok ((rcv : Shm_mem.recovery), journaled) ->
+            put st_convictions (List.length rcv.convicted);
+            put st_torn
+              (List.length
+                 (List.filter
+                    (fun (c : Shm_mem.conviction) -> c.why = Shm_mem.Torn)
+                    rcv.convicted));
+            put st_journaled journaled;
+            List.length rcv.convicted
+        | Error _ ->
+            put st_status status_error;
+            0
+      in
+      match RG.campaign ~from:snap ~takeover el with
+      | RG.Lost { term; winner } ->
+          put st_term term;
+          put st_winner (match winner with Some c -> c + 1 | None -> 0);
+          put st_status status_lost
+      | RG.Won { writer = w; term; config; _ } -> (
+          put st_term term;
+          put st_winner (candidate + 1);
+          put fst_config config;
+          let module P = Arc_workload.Payload.Make (I.M) in
+          let probe = I.R.reader reg (cfg.readers + I.shards) in
+          let observed =
+            I.R.read_with probe ~f:(fun buf len ->
+                match P.validate buf ~len with Ok seq -> seq | Error _ -> -1)
+          in
+          put st_probe (observed + 2);
+          if observed < 0 then put st_status status_error
+          else begin
+            let rng = Splitmix.of_int (Shm_mem.publish_seq I.mapping + shard) in
+            let src = Array.make cfg.capacity 0 in
+            let written = ref 0 in
+            (try
+               for j = 0 to cfg.successor_writes - 1 do
+                 let seq = observed + 1 + j in
+                 let len = 1 + Splitmix.int rng cfg.capacity in
+                 P0.stamp src ~seq ~len;
+                 let invoked = Shm_mem.tick I.mapping in
+                 F.write w ~src ~len;
+                 let returned = Shm_mem.tick I.mapping in
+                 Shm_mem.atomic_set I.mapping (slog_invoked slog j) invoked;
+                 Shm_mem.atomic_set I.mapping (slog_returned slog j) returned;
+                 Shm_mem.atomic_set I.mapping (slog_seq slog j) seq;
+                 incr written
+               done
+             with _ -> ());
+            put st_swrites !written;
+            put st_status status_won
+          end)));
+  Unix._exit 0
+
+type fab_result = {
+  fseed : int;
+  fshards : int;
+  fkilled : int;  (* shard leaders SIGKILLed by the seeded draw *)
+  felected : int;  (* shards that ended with exactly one successor *)
+  flosers : int;
+  fpendings : int;  (* killed shards with a write in flight *)
+  fconvictions : int;
+  fjournaled : int;
+  fsnapshots : int;  (* certified snapshots served to reader domains *)
+  freign_changed : int;  (* snapshots that returned the typed verdict *)
+  fconfig : int;  (* final configuration epoch *)
+  fviolations : string list;
+  fpath : string;
+}
+
+let fab_run_one cfg ~shards ~seed =
+  let rng = Splitmix.of_int seed in
+  let path =
+    Filename.concat cfg.dir
+      (Printf.sprintf "arc-crash-fab-%d-%d.shm" (Unix.getpid ()) seed)
+  in
+  let m = Shm_mem.create ~path ~words:(fab_mapping_words cfg ~shards) in
+  let init = Array.make cfg.capacity 0 in
+  P0.stamp init ~seq:0 ~len:cfg.capacity;
+  let finst =
+    Shm_arc.create_fabric m ~shards
+      ~readers:(fab_identities cfg ~shards)
+      ~capacity:cfg.capacity ~init
+  in
+  let module I = (val finst : Shm_arc.FABRIC_INSTANCE) in
+  (* Every shared record is allocated before the first fork: children
+     walk the mapping during recovery, and the creator-only bump
+     allocator must be quiescent by then. *)
+  let log_words = 2 * (cfg.writes_max + 1) in
+  let slog_words = 3 * (cfg.successor_writes + 1) in
+  let logs = Shm_mem.alloc_raw m (shards * log_words) in
+  Shm_mem.set_harness_region m logs;
+  let hbs = Shm_mem.alloc_raw m shards in
+  let statuses =
+    Shm_mem.alloc_raw m (fab_status_words * shards * (cfg.candidates + 1))
+  in
+  let slogs = Shm_mem.alloc_raw m (shards * slog_words) in
+  let rlog = Shm_mem.alloc_raw m shards in
+  let log_of s = logs + (s * log_words) in
+  let slog_of s = slogs + (s * slog_words) in
+  let status_of s c = statuses + (fab_status_words * ((s * (cfg.candidates + 1)) + c)) in
+  (* The parent's fabric view: certified snapshots over the shared
+     registers.  Helping deposits are heap-local, so cross-process
+     scans certify by clean probe passes alone — bounded here by the
+     certified scan's round budget, with the typed verdict as the
+     escape during elections. *)
+  let module FB = Arc_fabric.Fabric.Make (I.R) in
+  let fab =
+    FB.of_registers I.regs ~writers:shards ~readers:cfg.readers
+      ~capacity:cfg.capacity
+  in
+  FB.attach_reign fab ~config:(Shm_mem.config_epoch_cell m);
+  (* The kill plan: at least one shard leader dies; each killed shard
+     draws its own kill write-count (--kill-at pins them all).  Draws
+     happen unconditionally so pinned and drawn runs of one seed stay
+     aligned. *)
+  let kill_count = 1 + Splitmix.int rng shards in
+  let kill_order = Array.init shards Fun.id in
+  for i = shards - 1 downto 1 do
+    let j = Splitmix.int rng (i + 1) in
+    let t = kill_order.(i) in
+    kill_order.(i) <- kill_order.(j);
+    kill_order.(j) <- t
+  done;
+  let killed = Array.sub kill_order 0 kill_count in
+  let kill_at =
+    Array.map
+      (fun _ ->
+        let drawn = 1 + Splitmix.int rng cfg.writes_max in
+        if cfg.kill_at > 0 then cfg.kill_at else drawn)
+      killed
+  in
+  let violations = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  (* Fork the leaders shard by shard, awaiting each term-1 election
+     before forking that shard's standbys so they snapshot a common
+     reign; all forks complete before any reader domain spawns. *)
+  let leaders = Array.make shards (-1) in
+  let standbys = ref [] in
+  for s = 0 to shards - 1 do
+    flush stdout;
+    flush stderr;
+    (match Unix.fork () with
+    | 0 ->
+        fab_leader finst ~shard:s ~log:(log_of s) ~hb:(hbs + s) ~rlog ~cfg
+          ~seed:(seed lxor (0x5DEECE66 + s))
+    | pid -> leaders.(s) <- pid);
+    let lead_deadline = Unix.gettimeofday () +. 10.0 in
+    let rec await_leader () =
+      if Term_vote.term (Shm_mem.shard_election m ~shard:s) >= 1 then true
+      else if Unix.gettimeofday () > lead_deadline then false
+      else begin
+        Domain.cpu_relax ();
+        await_leader ()
+      end
+    in
+    if not (await_leader ()) then fail "shard %d: leader never opened term 1" s;
+    if Shm_mem.atomic_get m (hbs + s) = 0 then
+      Shm_mem.atomic_set m (hbs + s) (Shm_mem.tick m);
+    for c = 1 to cfg.candidates do
+      flush stdout;
+      flush stderr;
+      match Unix.fork () with
+      | 0 ->
+          fab_standby finst finst ~shard:s ~hb:(hbs + s)
+            ~status:(status_of s c) ~slog:(slog_of s) ~cfg ~candidate:c
+      | pid -> standbys := pid :: !standbys
+    done
+  done;
+  (* Reader domains: certified snapshots, decoded per shard, one
+     snapshot_obs per certified vector.  The typed Reign_changed
+     verdict is counted, never a violation — it is the designed
+     behavior while a handoff is in flight. *)
+  let stop = Atomic.make false in
+  let domains =
+    List.init cfg.readers (fun id ->
+        Domain.spawn (fun () ->
+            let ctx = FB.scanner fab id in
+            let scratch = Array.make cfg.capacity 0 in
+            let obs = ref [] and changed = ref 0 and errors = ref [] in
+            while not (Atomic.get stop) do
+              for _ = 1 to 512 do
+                Domain.cpu_relax ()
+              done;
+              let invoked = Shm_mem.tick m in
+              match FB.snapshot_certified ctx with
+              | Error (_ : Arc_fabric.Fabric.reign_change) -> incr changed
+              | Ok snap ->
+                  let returned = Shm_mem.tick m in
+                  let observed =
+                    Array.init shards (fun s ->
+                        let len = FB.shard_copy snap s ~dst:scratch in
+                        match P0.validate_words scratch ~len with
+                        | Ok seq -> seq
+                        | Error msg ->
+                            errors :=
+                              Printf.sprintf
+                                "reader %d: shard %d torn in snapshot: %s" id s
+                                msg
+                              :: !errors;
+                            P0.decode_words scratch)
+                  in
+                  obs :=
+                    {
+                      Checker.sthread = 1000 + id;
+                      invoked;
+                      returned;
+                      observed;
+                      sepoch = FB.snap_epoch snap;
+                    }
+                    :: !obs
+            done;
+            (List.rev !obs, !changed, List.rev !errors)))
+  in
+  (* Kill each condemned leader when its shard's log reaches the drawn
+     write count (or the leader drains first — then the "kill" lands
+     on an exited process and that shard fails over on lease expiry
+     like any other). *)
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  Array.iteri
+    (fun i s ->
+      let log = log_of s in
+      let reaped = ref false in
+      let rec await n =
+        if Shm_mem.atomic_get m (log_invoked log kill_at.(i)) <> 0 then ()
+        else if n land 4095 = 0 && Unix.gettimeofday () > deadline then ()
+        else begin
+          (if n land 4095 = 0 then
+             match Unix.waitpid [ Unix.WNOHANG ] leaders.(s) with
+             | 0, _ -> ()
+             | _, _ -> reaped := true);
+          if not !reaped then begin
+            Domain.cpu_relax ();
+            await (n + 1)
+          end
+        end
+      in
+      await 1;
+      if not !reaped then begin
+        Unix.kill leaders.(s) Sys.sigkill;
+        ignore (Unix.waitpid [] leaders.(s))
+      end;
+      leaders.(s) <- -1)
+    killed;
+  (* Unkilled leaders drain their writes and exit on their own; their
+     shards fail over on lease expiry exactly like the killed ones. *)
+  Array.iteri
+    (fun _s pid -> if pid > 0 then ignore (Unix.waitpid [] pid))
+    leaders;
+  List.iter (fun pid -> ignore (Unix.waitpid [] pid)) !standbys;
+  Unix.sleepf 0.002;
+  Atomic.set stop true;
+  let reader_out = List.map Domain.join domains in
+  List.iter
+    (fun (_, _, errs) ->
+      List.iter (fun e -> violations := e :: !violations) errs)
+    reader_out;
+  let snapshots = List.concat_map (fun (obs, _, _) -> obs) reader_out in
+  let reign_changed =
+    List.fold_left (fun acc (_, c, _) -> acc + c) 0 reader_out
+  in
+  (* Per-shard judgement: testimony reconstruction, exactly one
+     successor, pending-write resolution — then the cross-shard reign
+     judgement over the merged histories and certified snapshots. *)
+  let histories = Array.make shards (History.of_events []) in
+  let reigns = ref [] in
+  let elected = ref 0
+  and losers = ref 0
+  and pendings = ref 0
+  and convictions = ref 0
+  and journaled = ref 0 in
+  for s = 0 to shards - 1 do
+    let log = log_of s in
+    let n_last = ref 0 in
+    let completed = ref [] in
+    let pending_entry = ref None in
+    (try
+       for k = 1 to cfg.writes_max do
+         let invoked = Shm_mem.atomic_get m (log_invoked log k) in
+         if invoked = 0 then raise Exit;
+         n_last := k;
+         let returned = Shm_mem.atomic_get m (log_returned log k) in
+         if returned > 0 then
+           completed :=
+             History.event History.Write ~thread:0 ~seq:k ~invoked ~returned
+             :: !completed
+         else begin
+           if !pending_entry <> None then
+             fail "shard %d: write-log has two entries without return stamps" s;
+           pending_entry := Some (k, invoked)
+         end
+       done
+     with Exit -> ());
+    (match !pending_entry with
+    | Some (k, _) when k <> !n_last ->
+        fail "shard %d: unreturned entry %d is not the last (%d)" s k !n_last
+    | _ -> ());
+    (match Shm_mem.atomic_get m (rlog + s) with
+    | 0 -> fail "shard %d: leader never recorded its reign" s
+    | config -> reigns := { Checker.rshard = s; first_seq = 1; config } :: !reigns);
+    let verdict c =
+      let base = status_of s c in
+      let g f = Shm_mem.atomic_get m (base + f) in
+      ( g st_status,
+        g st_term,
+        g st_winner - 1,
+        g st_convictions,
+        g st_torn,
+        g st_journaled,
+        g st_probe - 2,
+        g st_swrites,
+        g fst_config )
+    in
+    let winners = ref [] in
+    for c = 1 to cfg.candidates do
+      let st, term, win, _, _, _, _, _, _ = verdict c in
+      if st = status_won then winners := c :: !winners
+      else if st = status_lost then begin
+        incr losers;
+        if win >= 0 && win > cfg.candidates then
+          fail "shard %d: candidate %d lost to unknown candidate %d (term %d)" s
+            c win term
+      end
+      else
+        fail "shard %d: candidate %d ended in status %d (neither won nor lost)"
+          s c st
+    done;
+    (match !winners with
+    | [ _ ] -> incr elected
+    | [] -> fail "shard %d: no candidate won the succession" s
+    | ws ->
+        fail "shard %d: split election — candidates %s all believe they won" s
+          (String.concat "," (List.map string_of_int ws)));
+    let sw_events = ref [] in
+    (match !winners with
+    | w :: _ ->
+        let _, term, _, conv, torn, jr, probe, swrites, sconfig = verdict w in
+        if term < 2 then
+          fail "shard %d: successor reigns under term %d (leader held term 1)" s
+            term;
+        if conv > 1 then
+          fail "shard %d: recovery convicted %d slots from one crash" s conv;
+        convictions := !convictions + conv;
+        journaled := !journaled + jr;
+        let pending =
+          match !pending_entry with
+          | None ->
+              if probe <> !n_last then
+                fail "shard %d: probe observed seq %d, expected %d (no pending)"
+                  s probe !n_last;
+              No_pending
+          | Some (k, invoked) ->
+              if probe = k then Published (k, invoked)
+              else if probe = k - 1 then Vanished k
+              else begin
+                fail "shard %d: probe observed seq %d, expected %d or %d" s
+                  probe (k - 1) k;
+                No_pending
+              end
+        in
+        if pending <> No_pending then incr pendings;
+        if torn > 0 && (match pending with Vanished _ -> false | _ -> true) then
+          fail
+            "shard %d: torn slot convicted but the interrupted write is %s — a \
+             published write left a torn copy"
+            s (pp_pending pending);
+        (* A published pending write joins the history with the
+           shard's fence as its completion bound: the probe already
+           settled THAT it published, the fence bounds WHEN it still
+           could have. *)
+        (match pending with
+        | Published (k, invoked) ->
+            let fence = Shm_mem.shard_fence_at m ~shard:s in
+            completed :=
+              History.event History.Write ~thread:0 ~seq:k ~invoked
+                ~returned:(max fence invoked)
+              :: !completed
+        | _ -> ());
+        if sconfig <= 0 then
+          fail "shard %d: successor never recorded its reign" s
+        else
+          reigns :=
+            { Checker.rshard = s; first_seq = probe + 1; config = sconfig }
+            :: !reigns;
+        (try
+           let slog = slog_of s in
+           for j = 0 to swrites - 1 do
+             let seq = Shm_mem.atomic_get m (slog_seq slog j) in
+             if seq = 0 then raise Exit;
+             sw_events :=
+               History.event History.Write ~thread:1 ~seq
+                 ~invoked:(Shm_mem.atomic_get m (slog_invoked slog j))
+                 ~returned:(Shm_mem.atomic_get m (slog_returned slog j))
+               :: !sw_events
+           done
+         with Exit -> ());
+        (match List.rev !sw_events with
+        | (first : History.event) :: _ ->
+            if first.seq <> probe + 1 then
+              fail "shard %d: successor started at seq %d, probe says %d" s
+                first.seq (probe + 1)
+        | [] -> fail "shard %d: elected successor published nothing" s)
+    | [] -> ());
+    histories.(s) <- History.of_events (!completed @ !sw_events)
+  done;
+  (match
+     Checker.check_fabric ~reigns:!reigns ~writes:histories ~snapshots ()
+   with
+  | Ok _ -> ()
+  | Error v -> fail "%s" (Format.asprintf "%a" Checker.pp_fabric_violation v));
+  let result =
+    {
+      fseed = seed;
+      fshards = shards;
+      fkilled = kill_count;
+      felected = !elected;
+      flosers = !losers;
+      fpendings = !pendings;
+      fconvictions = !convictions;
+      fjournaled = !journaled;
+      fsnapshots = List.length snapshots;
+      freign_changed = reign_changed;
+      fconfig = Shm_mem.config_epoch m;
+      fviolations = List.rev !violations;
+      fpath = path;
+    }
+  in
+  Shm_mem.close m;
+  if result.fviolations = [] then Sys.remove path;
+  result
+
+let fab_print_result ~verbose r =
+  if verbose || r.fviolations <> [] then
+    Printf.printf
+      "fabric run [seed %d]: shards=%d killed=%d elected=%d losers=%d \
+       pending=%d convicted=%d journaled=%d snapshots=%d reign-changed=%d \
+       config=%d — %s\n"
+      r.fseed r.fshards r.fkilled r.felected r.flosers r.fpendings
+      r.fconvictions r.fjournaled r.fsnapshots r.freign_changed r.fconfig
+      (if r.fviolations = [] then "ok"
+       else String.concat "; " r.fviolations
+            ^ Printf.sprintf " (mapping kept at %s)" r.fpath)
+
+(* Same fork-isolation dance as {!run_one_isolated}: each run forks
+   leaders and standbys and then spawns domains, so the campaign
+   driver gives it a fresh single-domain subprocess to do both in. *)
+let fab_run_one_isolated cfg ~shards ~seed =
+  let stub msg =
+    {
+      fseed = seed;
+      fshards = shards;
+      fkilled = 0;
+      felected = 0;
+      flosers = 0;
+      fpendings = 0;
+      fconvictions = 0;
+      fjournaled = 0;
+      fsnapshots = 0;
+      freign_changed = 0;
+      fconfig = 0;
+      fviolations = [ msg ];
+      fpath = "";
+    }
+  in
+  let tmp = Filename.temp_file "arc-crash-fab-res" ".bin" in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      let r =
+        try fab_run_one cfg ~shards ~seed
+        with e -> stub (Printexc.to_string e)
+      in
+      fab_print_result ~verbose:cfg.verbose r;
+      flush stdout;
+      let oc = open_out_bin tmp in
+      Marshal.to_channel oc r [];
+      close_out oc;
+      Unix._exit 0
+  | pid -> (
+      let _, _ = Unix.waitpid [] pid in
+      let r =
+        try
+          let ic = open_in_bin tmp in
+          let r : fab_result = Marshal.from_channel ic in
+          close_in ic;
+          r
+        with _ -> stub "fabric run subprocess died without reporting"
+      in
+      (try Sys.remove tmp with Sys_error _ -> ());
+      if r.fviolations = [ "fabric run subprocess died without reporting" ] then
+        fab_print_result ~verbose:cfg.verbose r;
+      r)
+
+(* {2 Cross-reign negative control}
+
+   The reign dimension must be FALSIFIABLE: construct a snapshot that
+   is per-shard regular AND window-consistent — it would pass every
+   pre-reign check — but splices a value published by reign 3 into a
+   vector certified under epoch 2.  The checker must convict it as
+   [Cross_reign], and must ACCEPT the same vector when certified under
+   epoch 3 (the conviction is epoch-driven, not a formatting
+   accident). *)
+let cross_reign_control () =
+  let w ~thread ~seq ~invoked ~returned =
+    History.event History.Write ~thread ~seq ~invoked ~returned
+  in
+  let writes =
+    [|
+      History.of_events [ w ~thread:0 ~seq:1 ~invoked:10 ~returned:20 ];
+      History.of_events
+        [
+          w ~thread:1 ~seq:1 ~invoked:10 ~returned:20;
+          w ~thread:1 ~seq:2 ~invoked:30 ~returned:40;
+        ];
+    |]
+  in
+  let reigns =
+    [
+      { Checker.rshard = 0; first_seq = 1; config = 2 };
+      { Checker.rshard = 1; first_seq = 1; config = 2 };
+      { Checker.rshard = 1; first_seq = 2; config = 3 };
+    ]
+  in
+  let snap sepoch =
+    { Checker.sthread = 9; invoked = 35; returned = 50; observed = [| 1; 2 |]; sepoch }
+  in
+  match Checker.check_fabric ~reigns ~writes ~snapshots:[ snap 2 ] () with
+  | Error (Checker.Cross_reign { shard = 1; config = 3; _ }) -> (
+      match Checker.check_fabric ~reigns ~writes ~snapshots:[ snap 3 ] () with
+      | Ok _ ->
+          ( true,
+            "reign-3 value in an epoch-2 snapshot convicted; same vector under \
+             epoch 3 accepted" )
+      | Error v ->
+          ( false,
+            Format.asprintf "epoch-3 certification wrongly convicted: %a"
+              Checker.pp_fabric_violation v ))
+  | Error v ->
+      (false, Format.asprintf "wrong conviction: %a" Checker.pp_fabric_violation v)
+  | Ok _ -> (false, "cross-reign torn snapshot accepted")
+
+let fab_controls () =
+  let convicted, detail = cross_reign_control () in
+  Printf.printf "fabric-control cross-reign %s\n"
+    (if convicted then "CONVICTED (expected): " ^ detail
+     else "UNCONVICTED — the reign dimension is unfalsified: " ^ detail);
+  convicted
+
+let fab_print_metrics ~runs ~failing (acc : fab_result list) =
+  let open Arc_obs.Obs in
+  let sum f = List.fold_left (fun a r -> a + f r) 0 acc in
+  print_string
+    (prometheus
+       ([
+          counter "crash_fabric_runs_total" ~help:"Fabric kill-9 runs executed"
+            runs;
+          counter "crash_fabric_failing_runs_total" ~help:"Runs with violations"
+            failing;
+          counter "crash_fabric_killed_leaders_total"
+            ~help:"Shard leaders SIGKILLed" (sum (fun r -> r.fkilled));
+          counter "crash_fabric_elected_successors_total"
+            ~help:"Shards that elected exactly one successor"
+            (sum (fun r -> r.felected));
+          counter "crash_fabric_snapshots_total"
+            ~help:"Certified cross-shard snapshots served"
+            (sum (fun r -> r.fsnapshots));
+          counter "crash_fabric_reign_changed_total"
+            ~help:"Snapshots that returned the typed Reign_changed verdict"
+            (sum (fun r -> r.freign_changed));
+        ]
+       @ Arc_resilience.Election.metrics ()
+       @ Arc_fabric.Fabric.reign_metrics ()
+       @ Shm_mem.metrics ()))
+
+let fab_run_campaign cfg ~shards fail_log skip_controls metrics =
+  let failing = ref [] in
+  let acc = ref [] in
+  for run = 1 to cfg.runs do
+    let seed = derive_seed cfg run in
+    let r = fab_run_one_isolated cfg ~shards ~seed in
+    acc := r :: !acc;
+    if r.fviolations <> [] then failing := seed :: !failing
+  done;
+  let acc = List.rev !acc in
+  let total_failing = List.length !failing in
+  let sum f = List.fold_left (fun a r -> a + f r) 0 acc in
+  Printf.printf
+    "arc-crash --fabric: %d runs (%d shards each), %d failing; leaders killed \
+     %d, successors elected %d, pending-at-kill %d, slots convicted %d, \
+     snapshots certified %d, reign-changed verdicts %d\n"
+    cfg.runs shards total_failing
+    (sum (fun r -> r.fkilled))
+    (sum (fun r -> r.felected))
+    (sum (fun r -> r.fpendings))
+    (sum (fun r -> r.fconvictions))
+    (sum (fun r -> r.fsnapshots))
+    (sum (fun r -> r.freign_changed));
+  List.iter
+    (fun seed ->
+      Printf.printf "violation [seed %d]\n  replay: %s\n" seed
+        (fab_replay_command cfg ~shards seed))
+    (List.rev !failing);
+  (match fail_log with
+  | Some path when !failing <> [] ->
+      let oc = open_out path in
+      List.iter
+        (fun seed ->
+          output_string oc (fab_replay_command cfg ~shards seed);
+          output_char oc '\n')
+        (List.sort_uniq compare !failing);
+      close_out oc;
+      Printf.printf "replay commands written to %s\n" path
+  | _ -> ());
+  let controls_ok = skip_controls || fab_controls () in
+  if metrics then fab_print_metrics ~runs:cfg.runs ~failing:total_failing acc;
+  if total_failing > 0 then exit 1;
+  if not controls_ok then exit 2
+
 (* {1 Campaign driver} *)
 
 (* Campaign counters as an exposition dump.  The per-run elections and
@@ -984,6 +1741,7 @@ let print_metrics ~runs ~failing ~pendings ~convictions ~journaled ~elected
             ~help:"Standby campaigns that lost their election" losers;
         ]
        @ Arc_resilience.Election.metrics ()
+       @ Arc_fabric.Fabric.reign_metrics ()
        @ Shm_mem.metrics ()))
 
 let run_campaign cfg fail_log skip_controls metrics =
@@ -1043,7 +1801,7 @@ let run_campaign cfg fail_log skip_controls metrics =
   if not controls_ok then exit 2
 
 let run runs seed readers candidates capacity writes kill_at successor_writes
-    dir replay_seed verbose fail_log skip_controls metrics =
+    dir replay_seed verbose fail_log skip_controls metrics fabric shards =
   let dir = match dir with Some d -> d | None -> Filename.get_temp_dir_name () in
   let cfg =
     {
@@ -1063,8 +1821,22 @@ let run runs seed readers candidates capacity writes kill_at successor_writes
     prerr_endline "arc-crash: --candidates must be >= 1";
     exit 124
   end;
-  match replay_seed with
-  | Some s ->
+  if fabric && shards < 1 then begin
+    prerr_endline "arc-crash: --shards must be >= 1";
+    exit 124
+  end;
+  match (fabric, replay_seed) with
+  | true, Some s ->
+      Printf.printf "replaying fabric seed %d (%d shards)\n" s shards;
+      let r = fab_run_one_isolated cfg ~shards ~seed:s in
+      fab_print_result ~verbose:true r;
+      if metrics then
+        fab_print_metrics ~runs:1
+          ~failing:(if r.fviolations <> [] then 1 else 0)
+          [ r ];
+      if r.fviolations <> [] then exit 1
+  | true, None -> fab_run_campaign cfg ~shards fail_log skip_controls metrics
+  | false, Some s ->
       Printf.printf "replaying seed %d\n" s;
       let r = run_one cfg ~seed:s in
       print_result ~verbose:true r;
@@ -1076,7 +1848,7 @@ let run runs seed readers candidates capacity writes kill_at successor_writes
           ~elected:(if r.winner >= 0 then 1 else 0)
           ~losers:r.losers;
       if r.violations <> [] then exit 1
-  | None -> run_campaign cfg fail_log skip_controls metrics
+  | false, None -> run_campaign cfg fail_log skip_controls metrics
 
 let cmd =
   let runs =
@@ -1158,6 +1930,24 @@ let cmd =
              counters — runs, pending-at-kill, convictions, journal \
              quarantines, elections — as a Prometheus-style text dump.")
   in
+  let fabric =
+    Arg.(
+      value & flag
+      & info [ "fabric" ]
+          ~doc:
+            "Run the sharded-fabric campaign instead: one leader and \
+             $(b,--candidates) hot standbys per shard, reign-certified \
+             cross-shard snapshots in the parent, a seeded subset of shard \
+             leaders SIGKILLed mid-run, exactly-one-successor asserted per \
+             shard, and every certified snapshot judged against the reign \
+             claims.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ] ~docv:"S"
+          ~doc:"Registers in the fabric (with --fabric).")
+  in
   Cmd.v
     (Cmd.info "arc-crash"
        ~doc:
@@ -1165,10 +1955,13 @@ let cmd =
           points while hot-standby candidates race to succeed it through the \
           superblock's term-vote election; verify that recovery convicts \
           exactly the torn state, that exactly one successor is elected, and \
-          that the merged cross-process history stays atomic.")
+          that the merged cross-process history stays atomic.  With --fabric, \
+          the sharded version: per-shard elections under a fabric-wide \
+          configuration epoch, proven against reign-certified cross-shard \
+          snapshots.")
     Term.(
       const run $ runs $ seed $ readers $ candidates $ capacity $ writes
       $ kill_at $ successor_writes $ dir $ replay_seed $ verbose $ fail_log
-      $ skip_controls $ metrics)
+      $ skip_controls $ metrics $ fabric $ shards)
 
 let () = exit (Cmd.eval cmd)

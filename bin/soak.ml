@@ -175,7 +175,9 @@ let run_soak (cfg : Soak.cfg) verbose fail_log skip_control metrics =
   if metrics then
     print_string
       (Arc_obs.Obs.prometheus
-         (Soak.metrics o @ Arc_resilience.Election.metrics ()));
+         (Soak.metrics o
+         @ Arc_resilience.Election.metrics ()
+         @ Arc_fabric.Fabric.reign_metrics ()));
   List.iter
     (fun (seed, msg) ->
       Printf.printf "violation [seed %d]: %s\n  replay: %s\n" seed msg

@@ -49,17 +49,71 @@
 module Register_intf = Arc_core.Register_intf
 module Obs = Arc_obs.Obs
 
+(* A certified snapshot's typed failure: the fabric's configuration
+   epoch moved between the collect's opening load and the
+   re-certification load, more times than the retry budget — some
+   shard changed leaders mid-snapshot, and the vector might span two
+   reigns.  The caller decides whether to re-issue the snapshot or
+   surface the verdict; nothing is silently served. *)
+type reign_change = { r_opened : int; r_now : int }
+
+(* Process-wide reign telemetry.  Unlike the per-fabric scan cells
+   these are [Atomic.t]s: the epoch gauge and handoff counter are
+   written by whichever thread completes a takeover
+   ({!Arc_resilience.Reign} bumps them through this module), and the
+   retry/changed counters by any scanner domain — multi-writer, off
+   every fast path (a handoff or a certification failure, never a
+   clean snapshot), so the RMW cost is irrelevant.  Same precedent as
+   the admission gate's counters. *)
+module Reign_tel = struct
+  let epoch = Atomic.make 0
+  let handoffs = Atomic.make 0
+  let retries = Atomic.make 0
+  let changed = Atomic.make 0
+end
+
+let reign_metrics () =
+  let open Obs in
+  [
+    gauge "arc_reign_epoch"
+      ~help:
+        "Fabric configuration epoch as last observed by this process (bumped \
+         once per completed leader handoff)"
+      (float_of_int (Atomic.get Reign_tel.epoch));
+    counter "arc_reign_handoffs_total"
+      ~help:"Shard leader handoffs completed by this process"
+      (Atomic.get Reign_tel.handoffs);
+    counter "arc_reign_snapshot_reign_retries_total"
+      ~help:
+        "Certified snapshots re-run because the configuration epoch moved \
+         inside the probe window"
+      (Atomic.get Reign_tel.retries);
+    counter "arc_reign_changed_total"
+      ~help:
+        "Certified snapshots that exhausted their retry budget and returned \
+         the typed Reign_changed verdict"
+      (Atomic.get Reign_tel.changed);
+  ]
+
+let reset_reign_metrics () =
+  List.iter
+    (fun c -> Atomic.set c 0)
+    [ Reign_tel.epoch; Reign_tel.handoffs; Reign_tel.retries; Reign_tel.changed ]
+
 module Make (R : Register_intf.STAMPED) = struct
   module M = R.Mem
 
   (* A snapshot vector.  Direct results alias the scanner's scratch
      (stable until that scanner's next snapshot); borrowed results are
-     immutable deposits shared by reference. *)
+     immutable deposits shared by reference.  [s_epoch] is the
+     configuration epoch the snapshot was certified under — 0 for
+     plain (uncertified) snapshots. *)
   type snap = {
     s_stamps : int array;
     s_lens : int array;
     s_data : int array array;
     s_borrowed : bool;
+    s_epoch : int;
   }
 
   type t = {
@@ -72,6 +126,10 @@ module Make (R : Register_intf.STAMPED) = struct
     scan_stats : Obs.Scan.t;  (* readers + writers cells, writers after readers *)
     shard_writes : Obs.Group.t;  (* per shard; single-writer per cell *)
     deposit_counts : Obs.Group.t;  (* per writer *)
+    mutable reign : M.atomic option;
+        (* fabric-wide configuration epoch word; attached, not created,
+           because it lives in the substrate's reign table *)
+    mutable reign_max_retries : int;
   }
 
   (* A scanner context: per-shard reader handles plus collect scratch.
@@ -105,6 +163,44 @@ module Make (R : Register_intf.STAMPED) = struct
      part of the fabric's construction, not caller convention. *)
   let owner_of t s = s mod t.nwriters
 
+  (* Wrap pre-built registers into a fabric.  The registers must each
+     have been provisioned with at least [readers + writers]
+     identities (identity [readers + w] is writer [w]'s helping
+     handle) — [create] guarantees this; callers bringing their own
+     registers (e.g. {!Arc_shm.Shm_arc.create_fabric} instances, whose
+     buffers live in a shared mapping) owe the same. *)
+  let of_registers regs ~writers ~readers ~capacity =
+    let shards = Array.length regs in
+    if shards < 1 then invalid_arg "Fabric.of_registers: need at least one shard";
+    if writers < 1 || writers > shards then
+      invalid_arg
+        (Printf.sprintf
+           "Fabric.of_registers: writers = %d (need 1 <= writers <= shards)"
+           writers);
+    if readers < 1 then invalid_arg "Fabric.of_registers: need at least one reader";
+    let per_reg = readers + writers in
+    {
+      regs;
+      nwriters = writers;
+      nreaders = readers;
+      capacity;
+      active_scans = M.atomic_contended 0;
+      deposits = Array.init writers (fun _ -> Atomic.make None);
+      scan_stats = Obs.Scan.create ~scanners:per_reg;
+      shard_writes =
+        Obs.Group.create ~name:"fabric_shard_writes_total"
+          ~help:"Writes published per shard" shards;
+      deposit_counts =
+        Obs.Group.create ~name:"fabric_deposits_total"
+          ~help:"Helping snapshots deposited per writer" writers;
+      reign = None;
+      (* One completed election per shard is the most that can overlap
+         a single snapshot's interval without the epoch check catching
+         the same handoff twice; the budget is overridable but this
+         default makes the bound a function of fabric size. *)
+      reign_max_retries = shards;
+    }
+
   let create ~shards ~writers ~readers ~capacity ~init =
     if shards < 1 then invalid_arg "Fabric.create: need at least one shard";
     if writers < 1 || writers > shards then
@@ -121,21 +217,15 @@ module Make (R : Register_intf.STAMPED) = struct
     let regs =
       Array.init shards (fun _ -> R.create ~readers:per_reg ~capacity ~init)
     in
-    {
-      regs;
-      nwriters = writers;
-      nreaders = readers;
-      capacity;
-      active_scans = M.atomic_contended 0;
-      deposits = Array.init writers (fun _ -> Atomic.make None);
-      scan_stats = Obs.Scan.create ~scanners:per_reg;
-      shard_writes =
-        Obs.Group.create ~name:"fabric_shard_writes_total"
-          ~help:"Writes published per shard" shards;
-      deposit_counts =
-        Obs.Group.create ~name:"fabric_deposits_total"
-          ~help:"Helping snapshots deposited per writer" writers;
-    }
+    of_registers regs ~writers ~readers ~capacity
+
+  let attach_reign ?max_retries fab ~config =
+    fab.reign <- Some config;
+    match max_retries with
+    | Some r -> fab.reign_max_retries <- max 0 r
+    | None -> ()
+
+  let reign_attached fab = match fab.reign with Some _ -> true | None -> false
 
   let make_ctx fab identity =
     let n = Array.length fab.regs in
@@ -218,8 +308,11 @@ module Make (R : Register_intf.STAMPED) = struct
      and its eventual publication must not be double-counted).  A
      shard counted twice names a writer whose second write began after
      this scan's announcement — its deposit cell necessarily holds a
-     snapshot taken within this scan (DESIGN.md §8); adopt it. *)
-  let attempt ctx =
+     snapshot taken within this scan (DESIGN.md §8); adopt it, if
+     [accept] qualifies it (certified scans only borrow deposits
+     certified under the same configuration epoch — see DESIGN.md
+     §8b). *)
+  let attempt ctx ~accept =
     let fab = ctx.fab in
     let n = Array.length fab.regs in
     let dirty = ref false in
@@ -235,7 +328,9 @@ module Make (R : Register_intf.STAMPED) = struct
         end;
         collect ctx !s;
         if ctx.changes.(!s) >= 2 then
-          found := Atomic.get fab.deposits.(owner_of fab !s)
+          match Atomic.get fab.deposits.(owner_of fab !s) with
+          | Some d when accept d -> found := Some d
+          | _ -> ()
       end;
       incr s
     done;
@@ -243,12 +338,13 @@ module Make (R : Register_intf.STAMPED) = struct
     | Some d -> `Borrowed d
     | None -> if !dirty then `Dirty else `Clean
 
-  let direct_of ctx =
+  let direct_of ctx ~epoch =
     {
       s_stamps = ctx.stamps;
       s_lens = ctx.lens;
       s_data = ctx.data;
       s_borrowed = false;
+      s_epoch = epoch;
     }
 
   (* The scan loop shared by public snapshots and writers' helping
@@ -260,10 +356,10 @@ module Make (R : Register_intf.STAMPED) = struct
       ~finally:(fun () -> finish ctx)
       (fun () ->
         let rec go () =
-          match attempt ctx with
+          match attempt ctx ~accept:(fun _ -> true) with
           | `Clean ->
             ctx.c_direct.Obs.Cell.v <- ctx.c_direct.Obs.Cell.v + 1;
-            direct_of ctx
+            direct_of ctx ~epoch:0
           | `Borrowed d ->
             ctx.c_borrowed.Obs.Cell.v <- ctx.c_borrowed.Obs.Cell.v + 1;
             d
@@ -275,6 +371,74 @@ module Make (R : Register_intf.STAMPED) = struct
 
   let snapshot ctx = scan ctx
 
+  (* Reign-certified scan (DESIGN.md §8b).  The configuration epoch is
+     loaded before the round's first probe pass ([opened]) and
+     re-loaded after the clean pass ([now]): the epoch is bumped by an
+     elected successor {e after} its takeover and {e before} its first
+     publish, so [now = opened] proves no handoff completed inside the
+     probe window, and every collected value was published by a reign
+     ≤ [opened].  On the no-election fast path this costs exactly two
+     extra plain loads over [scan].
+
+     Borrowing is epoch-matched: a deposit certifies its own vector
+     only under the epoch {e its} scan opened, so a certified scan
+     adopts only deposits with [s_epoch = opened].  That filter can
+     starve the modified-twice counting bound — but only while the
+     epoch is moving around the scan — so each round also caps its
+     dirty passes at the classic 2·shards + 3 bound and re-opens when
+     the cap hits.  Rounds are bounded by [reign_max_retries]; an
+     exhausted budget returns the typed {!reign_change} verdict rather
+     than a vector that might span two reigns.  Total work is at most
+     [(max_retries + 1) · (2·shards + 3)] passes. *)
+  let scan_certified ctx ~config ~max_retries =
+    let fab = ctx.fab in
+    let pass_cap = (2 * Array.length fab.regs) + 3 in
+    announce ctx;
+    Fun.protect
+      ~finally:(fun () -> finish ctx)
+      (fun () ->
+        let rec round tries =
+          let opened = M.load config in
+          let rec go passes =
+            match attempt ctx ~accept:(fun d -> d.s_epoch = opened) with
+            | `Clean ->
+                let now = M.load config in
+                if now = opened then begin
+                  ctx.c_direct.Obs.Cell.v <- ctx.c_direct.Obs.Cell.v + 1;
+                  Ok (direct_of ctx ~epoch:opened)
+                end
+                else reopen tries opened now
+            | `Borrowed d ->
+                ctx.c_borrowed.Obs.Cell.v <- ctx.c_borrowed.Obs.Cell.v + 1;
+                Ok d
+            | `Dirty ->
+                ctx.c_retries.Obs.Cell.v <- ctx.c_retries.Obs.Cell.v + 1;
+                if passes >= pass_cap then reopen tries opened (M.load config)
+                else go (passes + 1)
+          in
+          go 1
+        and reopen tries opened now =
+          if tries < max_retries then begin
+            Atomic.incr Reign_tel.retries;
+            round (tries + 1)
+          end
+          else begin
+            Atomic.incr Reign_tel.changed;
+            Error { r_opened = opened; r_now = now }
+          end
+        in
+        round 0)
+
+  let snapshot_certified ctx =
+    let fab = ctx.fab in
+    match fab.reign with
+    | None ->
+        invalid_arg
+          "Fabric.snapshot_certified: no configuration epoch attached \
+           (attach_reign first)"
+    | Some config ->
+        scan_certified ctx ~config ~max_retries:fab.reign_max_retries
+
   (* Negative-control arm: one collect pass, no announcement, no
      probe.  Deliberately non-atomic — writers racing the collect
      leave torn vectors behind — so harnesses can prove the fabric
@@ -284,7 +448,7 @@ module Make (R : Register_intf.STAMPED) = struct
     for s = 0 to Array.length ctx.fab.regs - 1 do
       collect ctx s
     done;
-    direct_of ctx
+    direct_of ctx ~epoch:0
 
   (* Freeze a scan result into an immutable deposit.  A direct result
      aliases the writer's scratch (about to be reused), so it is
@@ -299,6 +463,7 @@ module Make (R : Register_intf.STAMPED) = struct
         s_lens = Array.copy snap.s_lens;
         s_data = Array.map Array.copy snap.s_data;
         s_borrowed = true;
+        s_epoch = snap.s_epoch;
       }
 
   (* Publish [src] to [shard].  The helping check is the write's only
@@ -319,9 +484,26 @@ module Make (R : Register_intf.STAMPED) = struct
         (Printf.sprintf "Fabric.write: shard %d is owned by writer %d, not %d"
            shard (owner_of fab shard) w.wid);
     if M.load fab.active_scans > 0 then begin
-      let d = freeze (scan w.ctx) in
-      Atomic.set fab.deposits.(w.wid) (Some d);
-      Obs.Cell.incr w.c_deposits
+      (* With a reign attached, the helping scan runs certified so the
+         deposit carries the epoch scanners match against.  A writer
+         whose helping scan itself hits Reign_changed deposits nothing:
+         helping exists for the counting bound, and during an election
+         the certified scan's own retry budget is what bounds
+         scanners. *)
+      match fab.reign with
+      | None ->
+          let d = freeze (scan w.ctx) in
+          Atomic.set fab.deposits.(w.wid) (Some d);
+          Obs.Cell.incr w.c_deposits
+      | Some config -> (
+          match
+            scan_certified w.ctx ~config ~max_retries:fab.reign_max_retries
+          with
+          | Ok snap ->
+              let d = freeze snap in
+              Atomic.set fab.deposits.(w.wid) (Some d);
+              Obs.Cell.incr w.c_deposits
+          | Error _ -> ())
     end;
     R.write fab.regs.(shard) ~src ~len;
     let c = w.w_writes.(shard) in
@@ -333,6 +515,7 @@ module Make (R : Register_intf.STAMPED) = struct
   let shard_stamp snap s = snap.s_stamps.(s)
   let shard_word snap s i = snap.s_data.(s).(i)
   let borrowed snap = snap.s_borrowed
+  let snap_epoch snap = snap.s_epoch
 
   let shard_copy snap s ~dst =
     let len = snap.s_lens.(s) in

@@ -30,7 +30,43 @@
     threads, each with its own {!Make.scanner} context.  Deposits
     travel through host-heap pointers, so all participants must share
     one OCaml heap (the shard registers themselves may live on any
-    substrate, including shared memory). *)
+    substrate, including shared memory).
+
+    {b Reign fencing (ISSUE 9).}  A fabric whose shards have
+    individually elected writers can {!Make.attach_reign} the
+    fabric-wide configuration epoch (one substrate word, bumped by
+    {!Arc_resilience.Reign} after every completed per-shard handoff).
+    {!Make.snapshot_certified} then brackets each scan round with two
+    plain loads of that word and refuses to serve a vector whose probe
+    window a handoff landed inside — retrying up to a bounded budget,
+    then returning the typed {!reign_change} verdict.  See DESIGN.md
+    §8b. *)
+
+type reign_change = { r_opened : int; r_now : int }
+(** Certification failure: the configuration epoch read [r_opened] when
+    the snapshot's final round opened and [r_now] afterwards, and the
+    retry budget is spent.  The vector was discarded, never served. *)
+
+val reign_metrics : unit -> Arc_obs.Obs.metric list
+(** Process-wide reign telemetry: [arc_reign_epoch] (gauge, last epoch
+    observed by a completed handoff in this process),
+    [arc_reign_handoffs_total], [arc_reign_snapshot_reign_retries_total]
+    and [arc_reign_changed_total]. *)
+
+val reset_reign_metrics : unit -> unit
+
+(**/**)
+
+(** Internal: written by {!Arc_resilience.Reign} on handoff and by
+    certified scans; exposed for that wiring and for tests. *)
+module Reign_tel : sig
+  val epoch : int Atomic.t
+  val handoffs : int Atomic.t
+  val retries : int Atomic.t
+  val changed : int Atomic.t
+end
+
+(**/**)
 
 module Make (R : Arc_core.Register_intf.STAMPED) : sig
   type t
@@ -61,6 +97,33 @@ module Make (R : Arc_core.Register_intf.STAMPED) : sig
       (thread counts), never with [shards].
       @raise Invalid_argument unless [1 <= writers <= shards] and
       [readers >= 1] (plus the register's own constraints). *)
+
+  val of_registers :
+    R.t array -> writers:int -> readers:int -> capacity:int -> t
+  (** Wrap pre-built registers — e.g. an
+      {!Arc_shm.Shm_arc.create_fabric} instance whose shards live in a
+      shared mapping — into a fabric.  Each register must have been
+      created with at least [readers + writers] identities (identity
+      [readers + w] serves writer [w]'s helping collects) and
+      [capacity] words; {!create} is [of_registers] over fresh
+      registers.  The deposit channel stays host-heap, so each process
+      builds its own fabric value over the shared registers and
+      helping crosses threads, not processes.
+      @raise Invalid_argument unless [1 <= writers <= shards] and
+      [readers >= 1]. *)
+
+  val attach_reign : ?max_retries:int -> t -> config:R.Mem.atomic -> unit
+  (** Attach the fabric-wide configuration epoch word (for a shm
+      fabric, {!Arc_shm.Shm_mem.config_epoch_cell} of the mapping's
+      reign table) so {!snapshot_certified} can fence snapshots
+      against leader handoffs.  [max_retries] (default: [shards t])
+      bounds how many times a certified snapshot re-opens after
+      observing the epoch move before it returns {!reign_change}.
+      Writers on this fabric value switch their helping scans to the
+      certified path; in a multi-process fabric every process must
+      attach the same word. *)
+
+  val reign_attached : t -> bool
 
   val shards : t -> int
   val writers : t -> int
@@ -101,6 +164,20 @@ module Make (R : Arc_core.Register_intf.STAMPED) : sig
       deposit it adopted — which itself nests in this call's
       interval. *)
 
+  val snapshot_certified : scanner -> (snap, reign_change) result
+  (** {!snapshot} plus reign certification: the configuration epoch is
+      loaded before the round's first probe pass and re-loaded after
+      its clean pass; equality proves every shard value in the vector
+      was published by a reign ≤ the snapshot's {!snap_epoch}
+      (successors bump the epoch after takeover, before their first
+      publish).  Deposits are adopted only when certified under the
+      same epoch.  Costs exactly two extra plain loads over
+      {!snapshot} when no election is in flight; when the epoch moves,
+      retries up to [max_retries] rounds (each bounded by the classic
+      pass cap) and then returns [Error] — a typed verdict, never a
+      possibly cross-reign vector.
+      @raise Invalid_argument if no reign is attached. *)
+
   val snapshot_unvalidated : scanner -> snap
   (** {b Negative control} — one collect pass with no announcement and
       no probe, deliberately non-atomic: concurrent writes leave torn
@@ -119,6 +196,10 @@ module Make (R : Arc_core.Register_intf.STAMPED) : sig
 
   val borrowed : snap -> bool
   (** [true] iff the snapshot was served from a helping deposit. *)
+
+  val snap_epoch : snap -> int
+  (** The configuration epoch the snapshot was certified under; [0]
+      for plain (uncertified) snapshots. *)
 
   (** {2 Telemetry}
 

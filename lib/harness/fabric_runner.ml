@@ -37,7 +37,7 @@ type result = {
 }
 
 let check (r : result) =
-  Checker.check_fabric ~writes:r.fr_shard_writes ~snapshots:r.fr_snapshot_obs
+  Checker.check_fabric ~writes:r.fr_shard_writes ~snapshots:r.fr_snapshot_obs ()
 
 module Make (R : Arc_core.Register_intf.STAMPED) = struct
   module P = Arc_workload.Payload.Make (R.Mem)
@@ -96,7 +96,13 @@ module Make (R : Arc_core.Register_intf.STAMPED) = struct
       (* Snapshot threads live above the writer range so projected
          reads never collide with writer thread ids. *)
       obs :=
-        { Checker.sthread = cfg.fab_writers + sid; invoked; returned; observed }
+        {
+          Checker.sthread = cfg.fab_writers + sid;
+          invoked;
+          returned;
+          observed;
+          sepoch = 0 (* simulated fabric has no elections *);
+        }
         :: !obs;
       out.ops <- out.ops + 1;
       Sched.cede ()

@@ -1,0 +1,20 @@
+(* One-line replay command rendering.  See replay.mli. *)
+
+type arg =
+  | Flag of string
+  | Int of string * int
+  | Float of string * float
+  | Str of string * string
+
+let flag name = Flag name
+let int name v = Int (name, v)
+let float name v = Float (name, v)
+let str name v = Str (name, v)
+
+let arg_to_string = function
+  | Flag name -> name
+  | Int (name, v) -> Printf.sprintf "%s %d" name v
+  | Float (name, v) -> Printf.sprintf "%s %g" name v
+  | Str (name, v) -> Printf.sprintf "%s %s" name v
+
+let render ~exe args = String.concat " " (exe :: List.map arg_to_string args)

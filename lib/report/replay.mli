@@ -1,0 +1,30 @@
+(** Replay-command rendering (ISSUE 9).
+
+    Every campaign binary prints, next to each violation, the exact
+    command that re-executes the offending seed.  Before this module
+    each binary grew its own [Printf.sprintf] with a dozen positional
+    holes — the classic place for a flag and its value to drift apart
+    silently.  Campaigns instead build a typed argument list and
+    render it here: the flag name and its value travel together, and
+    the formatting conventions ([%d], [%g] for rates and fractions)
+    are stated once.
+
+    The rendered string is for humans to paste into a shell; values
+    are not shell-quoted, which is fine for the numeric and bare-word
+    arguments campaign replays use. *)
+
+type arg
+
+val flag : string -> arg
+(** A bare flag, e.g. [flag "--fabric"]. *)
+
+val int : string -> int -> arg
+val float : string -> float -> arg
+(** Rendered with [%g], matching the parsers' tolerance. *)
+
+val str : string -> string -> arg
+
+val render : exe:string -> arg list -> string
+(** [render ~exe args] — [exe] leads verbatim (use e.g. ["arc-crash"]
+    or ["dune exec bin/soak.exe --"]), arguments follow separated by
+    single spaces. *)

@@ -1,0 +1,115 @@
+(* Reign-fenced fabric elections (ISSUE 9).
+
+   {!Election} arbitrates ONE register's writer seat.  A sharded
+   fabric has one seat per shard — each with its own [term ∥ vote]
+   word in the mapping's reign table ({!Arc_shm.Shm_mem}) — and a new
+   problem the per-shard words cannot see: a cross-shard snapshot
+   certified while some shard changed leaders may splice the old
+   reign's value on one shard with the new reign's on another.  The
+   snapshot algorithm's probe pass certifies simultaneity of
+   {e values}, not of {e leadership}.
+
+   The fix is one more word, fabric-wide: the {b configuration epoch}.
+   Every completed handoff — any shard, any term — bumps it exactly
+   once, after the successor's takeover (recovery of the dead leader's
+   wreckage, DESIGN.md §6d) and {e before} the successor's writer
+   handle is issued, hence before its first publish.  Snapshots
+   bracket their probe window with two plain loads of this word
+   ({!Arc_fabric.Fabric.Make.snapshot_certified}): an unchanged epoch
+   proves no handoff completed inside the window, so every collected
+   value was published by a reign ≤ the opening epoch.  A moved epoch
+   is a typed verdict, never a silently served vector.
+
+   This module supplies the two halves the fabric layer cannot:
+
+   - {!Config}: the epoch word as a tiny substrate-polymorphic
+     abstraction — [bump] is the only mutator, a wait-free
+     fetch-and-add (not CAS-retry: bumps need not be exchanged for a
+     specific prior value, only counted), mirrored into the process's
+     reign telemetry gauge.
+   - {!Make}: {!Election.Make} re-packaged so [campaign] interposes
+     the config bump between the caller's takeover and the issue —
+     the one ordering under which the certification argument above
+     holds.  Everything else (vote CAS, fence discipline, outcome
+     type) is the election's, unchanged. *)
+
+module Reign_tel = Arc_fabric.Fabric.Reign_tel
+
+(* The fabric-wide configuration epoch word.  For a shm fabric this is
+   {!Arc_shm.Shm_mem.config_epoch_cell} (starts at 1, set by
+   [alloc_reign_table]); heap harnesses pass any [atomic_contended]
+   cell. *)
+module Config (M : Arc_mem.Mem_intf.S) = struct
+  type t = { cell : M.atomic }
+
+  let of_cell cell = { cell }
+  let cell t = t.cell
+  let current t = M.load t.cell
+
+  (* Record the handoff: one wait-free add, returning the new epoch.
+     The telemetry gauge takes the max (several threads of one process
+     can complete handoffs on different shards). *)
+  let bump t =
+    let e = 1 + M.fetch_and_add t.cell 1 in
+    Atomic.incr Reign_tel.handoffs;
+    let rec raise_to () =
+      let cur = Atomic.get Reign_tel.epoch in
+      if e > cur && not (Atomic.compare_and_set Reign_tel.epoch cur e) then
+        raise_to ()
+    in
+    raise_to ();
+    e
+end
+
+module Make (R : Arc_core.Register_intf.FENCEABLE) = struct
+  module M = R.Mem
+  module E = Election.Make (R)
+  module C = Config (M)
+
+  type t = { election : E.t; config : C.t }
+
+  (* [word] is this shard's election word (for a shm fabric,
+     {!Arc_shm.Shm_mem.shard_election_cell}); [config] the fabric-wide
+     epoch cell shared by every shard's election. *)
+  let create ?word ~candidate ~config freg =
+    { election = E.create ?word ~candidate freg; config = C.of_cell config }
+
+  let election t = t.election
+  let config t = t.config
+  let config_at t = C.current t.config
+  let observe t = E.observe t.election
+  let term t = E.term t.election
+  let leader t = E.leader t.election
+
+  type outcome =
+    | Won of {
+        writer : E.Fenced_reg.writer;
+        term : int;
+        recovered : int;
+        config : int;
+            (* THIS handoff's bump value — the epoch the new reign
+               begins at.  Reign claims must use it, not a later load
+               of the config word: concurrent handoffs on other shards
+               may have bumped past it by the time the winner looks
+               again, and a claim recorded too high would convict
+               snapshots that legitimately contain this reign. *)
+      }
+    | Lost of { term : int; winner : int option }
+
+  (* vote → prefence → takeover → {b config bump} → issue.  The bump
+     rides inside the election's takeover slot so it lands after the
+     shard's recovery (the successor exists, the deposed leader is
+     fenced) and before [issue] (no publish under the new reign can
+     precede the bump a certified snapshot keys on). *)
+  let campaign ?from ?(takeover = fun () -> 0) t =
+    let bumped = ref 0 in
+    let takeover' () =
+      let recovered = takeover () in
+      bumped := C.bump t.config;
+      recovered
+    in
+    match E.campaign ?from ~takeover:takeover' t.election with
+    | E.Won { writer; term; recovered } ->
+        Won { writer; term; recovered; config = !bumped }
+    | E.Lost { term; winner } -> Lost { term; winner }
+end

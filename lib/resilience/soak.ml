@@ -570,11 +570,17 @@ let metrics (o : outcome) =
 let derive_seed (cfg : cfg) k = (cfg.seed * 1_000_003) + k
 
 let replay_command ~seed cfg =
-  Printf.sprintf
-    "dune exec bin/soak.exe -- --replay %d --readers %d --size %d --steps %d \
-     --lease %d --deadline %d --max-stale %d"
-    seed cfg.readers cfg.size_words cfg.max_steps cfg.lease cfg.deadline
-    cfg.max_stale
+  Arc_report.Replay.(
+    render ~exe:"dune exec bin/soak.exe --"
+      [
+        int "--replay" seed;
+        int "--readers" cfg.readers;
+        int "--size" cfg.size_words;
+        int "--steps" cfg.max_steps;
+        int "--lease" cfg.lease;
+        int "--deadline" cfg.deadline;
+        int "--max-stale" cfg.max_stale;
+      ])
 
 let run ?(on_run = fun (_ : run_report) -> ()) (cfg : cfg) : outcome =
   check_cfg cfg;
@@ -1189,13 +1195,22 @@ let churn_metrics (o : churn_outcome) =
       "Arrival-to-tenancy-end latency (simulated steps)"
 
 let churn_replay_command ~seed (c : churn_cfg) =
-  Printf.sprintf
-    "dune exec bin/soak.exe -- --replay %d --churn %g --gate %d --lanes %d \
-     --room %d --crash-frac %g --readers %d --size %d --steps %d --lease %d \
-     --deadline %d --max-stale %d"
-    seed c.rate c.gate_capacity c.lanes c.waiting_room c.crash_frac
-    c.base.readers c.base.size_words c.base.max_steps c.base.lease
-    c.base.deadline c.base.max_stale
+  Arc_report.Replay.(
+    render ~exe:"dune exec bin/soak.exe --"
+      [
+        int "--replay" seed;
+        float "--churn" c.rate;
+        int "--gate" c.gate_capacity;
+        int "--lanes" c.lanes;
+        int "--room" c.waiting_room;
+        float "--crash-frac" c.crash_frac;
+        int "--readers" c.base.readers;
+        int "--size" c.base.size_words;
+        int "--steps" c.base.max_steps;
+        int "--lease" c.base.lease;
+        int "--deadline" c.base.deadline;
+        int "--max-stale" c.base.max_stale;
+      ])
 
 let run_churn ?(on_run = fun (_ : churn_report) -> ()) (c : churn_cfg) :
     churn_outcome =

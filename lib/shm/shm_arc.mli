@@ -50,3 +50,47 @@ val recover : instance -> (Shm_mem.recovery * int, string) result
     copy and the journaled slot are the same write's target and its
     predecessor — so provision one spare reader identity per crash to
     be tolerated. *)
+
+(** {1 Fabric packaging}
+
+    A multi-process fabric: [shards] identical ARC registers in {b one}
+    mapping, plus the reign table ({!Shm_mem.alloc_reign_table}) that
+    gives each shard its own election word and writer-fence epoch and
+    the whole fabric its configuration epoch.  Wrap the registers with
+    {!Arc_fabric.Fabric.Make}[.of_registers] and attach the
+    configuration-epoch cell for reign-certified snapshots. *)
+
+module type FABRIC_INSTANCE = sig
+  module M : Arc_mem.Mem_intf.S with type atomic = int
+  module R : Arc_core.Arc.S with module Mem = M
+
+  val mapping : Shm_mem.mapping
+  val shards : int
+  val regs : R.t array
+end
+
+type fabric_instance = (module FABRIC_INSTANCE)
+
+val create_fabric :
+  ?use_hint:bool ->
+  Shm_mem.mapping ->
+  shards:int ->
+  readers:int ->
+  capacity:int ->
+  init:int array ->
+  fabric_instance
+(** Build [shards] identical registers inside a fresh mapping —
+    sequentially, so shard [s]'s buffers are mapping ordinals
+    [s·nslots .. (s+1)·nslots − 1] — allocate the reign table, and
+    record the (per-shard) geometry.  Creator-only; create, then fork.
+    @raise Invalid_argument if the mapping already holds a register or
+    cannot fit the footprint. *)
+
+val recover_shard :
+  fabric_instance -> shard:int -> (Shm_mem.recovery * int, string) result
+(** The {!recover} bundle scoped to one shard: {!Shm_mem.recover_shard}
+    (scan only that shard's ordinals; bump the shard's reign-table
+    epoch and fence), mirror its convictions into the shard's register
+    (translating mapping ordinals to register slots), then that
+    register's [recover_crash].  Run by the shard's elected successor
+    as its campaign takeover while other shards' writers stay live. *)

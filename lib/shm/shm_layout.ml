@@ -22,13 +22,16 @@
 
 let magic = 0x2A52_4353_484D_0001 (* "*RCSHM" ++ version tail *)
 
-let version = 2
+let version = 3
 (* Version history:
    1 — original superblock (PR 4).
    2 — writer-election word [sb_election] (term ∥ vote, ISSUE 7).
+   3 — reign table pointer [sb_reign] (per-shard election table plus
+       the fabric-wide configuration epoch, ISSUE 9).
    Attach rejects any skew outright; recover additionally convicts a
    pre-bump mapping as stale instead of misreading word 14 as an
-   election state that was never held. *)
+   election state that was never held, or word 15 as a table pointer
+   that was never allocated. *)
 
 (* {1 Superblock word indices} *)
 
@@ -82,6 +85,13 @@ let sb_election = 14
    leader) before taking a writer handle.  0 = no election ever held
    (the {!Arc_util.Term_vote.none} word). *)
 
+let sb_reign = 15
+(* Base offset of the reign table record ({!tag_reign}), 0 = none —
+   single-register mappings never allocate one.  The table holds one
+   election word per fabric shard plus the single fabric-wide
+   configuration epoch that certifies cross-shard snapshots against
+   leader handoffs (DESIGN.md §8b). *)
+
 let super_words = 16
 
 (* {1 Records} *)
@@ -89,6 +99,7 @@ let super_words = 16
 let tag_cell = 0xCE11
 let tag_buffer = 0xB0FF
 let tag_raw = 0x4A57
+let tag_reign = 0xE1EC
 
 let rec_tag = 0
 let rec_size = 1
@@ -100,6 +111,27 @@ let rec_size = 1
 let cell_value = 2
 
 let line_words = 16 (* 128 bytes *)
+
+(* Reign table record (tag_reign, layout version 3):
+
+     [tag; rec_words; nshards; ...pad...]
+     [config epoch          | line pad ]   <- line-aligned
+     [shard 0: election; epoch; fence_at | line pad]
+     [shard 1: election; epoch; fence_at | line pad]
+     ...
+
+   The configuration epoch and every shard slot each own a full
+   128-byte block: the config word is fetch-add'd by every completed
+   handoff and plain-loaded twice per certified snapshot, and each
+   shard's election word is CAS target for that shard's candidates —
+   none of them may false-share with a neighbour.  Within a shard slot
+   the three words are intentionally co-located: they are touched
+   together, by the same (rare) takeover. *)
+let reign_nshards = 2 (* record-relative: shard count, set at alloc *)
+
+let rs_election = 0 (* slot-relative: [term ∥ vote] word *)
+let rs_epoch = 1 (* slot-relative: the shard's writer-fence epoch *)
+let rs_fence = 2 (* slot-relative: shared-clock stamp of last recovery *)
 
 (* Buffer records: integrity trailer then payload.
 

@@ -60,6 +60,13 @@ let atomic_get m i = atomic_load_idx m.ba i
 let atomic_set m i v = atomic_store_idx m.ba i v
 let atomic_add m i k = atomic_fetch_add_idx m.ba i k
 
+(* Reign-table address arithmetic (layout version 3): deterministic
+   from the record base alone, so a recovering process derives every
+   cell the same way the creator did, with no in-process state. *)
+let align_up x a = (x + a - 1) / a * a
+let reign_config_at base = align_up (base + 3) L.line_words
+let reign_slot_at base shard = reign_config_at base + (L.line_words * (1 + shard))
+
 (* {1 Lifecycle} *)
 
 let create ~path ~words =
@@ -116,6 +123,24 @@ let attach ~path =
   let cursor = unsafe_get m L.sb_cursor in
   if cursor < L.super_words || cursor > words then
     fail "%s: allocation cursor %d out of range" path cursor;
+  (* Fabric mappings carry a reign table; validate the pointer and the
+     table's extent BEFORE anyone reads an election word through it.
+     This runs after the version gate above, so a version-2 mapping is
+     rejected without a single table byte being interpreted. *)
+  let reign = unsafe_get m L.sb_reign in
+  if reign <> 0 then begin
+    if reign < L.super_words || reign + 3 > cursor then
+      fail "%s: reign table pointer %d out of range" path reign;
+    if unsafe_get m (reign + L.rec_tag) <> L.tag_reign then
+      fail "%s: reign table pointer %d does not name a reign record" path reign;
+    let shards = unsafe_get m (reign + L.reign_nshards) in
+    let size = unsafe_get m (reign + L.rec_size) in
+    if
+      shards < 1
+      || reign_slot_at reign shards <> reign + size
+      || reign + size > cursor
+    then fail "%s: truncated reign table (%d shards in %d words)" path shards size
+  end;
   m
 
 let close m = Unix.close m.fd
@@ -148,6 +173,50 @@ let geometry m =
 let set_harness_region m base = unsafe_set m L.sb_harness base
 let harness_region m = unsafe_get m L.sb_harness
 
+(* {1 Reign table (fabric mappings, layout version 3)} *)
+
+let reign_table m = unsafe_get m L.sb_reign
+
+let reign_shards m =
+  let base = reign_table m in
+  if base = 0 then 0 else unsafe_get m (base + L.reign_nshards)
+
+let reign_exn m =
+  let base = reign_table m in
+  if base = 0 then
+    invalid_arg "Shm_mem: mapping has no reign table (not a fabric mapping)";
+  base
+
+let check_shard m base shard =
+  let n = unsafe_get m (base + L.reign_nshards) in
+  if shard < 0 || shard >= n then
+    invalid_arg
+      (Printf.sprintf "Shm_mem: shard %d out of range (table holds %d)" shard n)
+
+let config_epoch_cell m = reign_config_at (reign_exn m)
+let config_epoch m = atomic_load_idx m.ba (config_epoch_cell m)
+
+let shard_election_cell m ~shard =
+  let base = reign_exn m in
+  check_shard m base shard;
+  reign_slot_at base shard + L.rs_election
+
+let shard_election m ~shard = atomic_load_idx m.ba (shard_election_cell m ~shard)
+
+let shard_epoch_cell m ~shard =
+  let base = reign_exn m in
+  check_shard m base shard;
+  reign_slot_at base shard + L.rs_epoch
+
+let shard_epoch m ~shard = atomic_load_idx m.ba (shard_epoch_cell m ~shard)
+
+let shard_fence_cell m ~shard =
+  let base = reign_exn m in
+  check_shard m base shard;
+  reign_slot_at base shard + L.rs_fence
+
+let shard_fence_at m ~shard = atomic_load_idx m.ba (shard_fence_cell m ~shard)
+
 (* {1 Allocator}
 
    Creator-only, pre-sharing: records are carved off a bump cursor
@@ -167,7 +236,6 @@ let bump m n =
   base
 
 let count_record m sb_idx = unsafe_set m sb_idx (unsafe_get m sb_idx + 1)
-let align_up x a = (x + a - 1) / a * a
 
 let alloc_cell m v =
   let base = bump m 3 in
@@ -220,6 +288,28 @@ let alloc_raw m n =
   unsafe_set m (base + L.rec_tag) L.tag_raw;
   unsafe_set m (base + L.rec_size) (2 + n);
   base + 2
+
+(* Reign table: one per mapping, creator-only like every record.  The
+   configuration epoch and the per-shard epochs start at 1 — mirroring
+   [sb_epoch]'s convention that epoch 0 means "before any reign" —
+   and every election word starts at {!Arc_util.Term_vote.none}
+   (which is 0, so the zeroed file already holds it). *)
+let alloc_reign_table m ~shards =
+  if shards < 1 then invalid_arg "Shm_mem.alloc_reign_table: shards must be >= 1";
+  if reign_table m <> 0 then
+    invalid_arg "Shm_mem.alloc_reign_table: mapping already holds a reign table";
+  let base = unsafe_get m L.sb_cursor in
+  let stop = reign_slot_at base shards in
+  let base = bump m (stop - base) in
+  unsafe_set m (base + L.rec_tag) L.tag_reign;
+  unsafe_set m (base + L.rec_size) (stop - base);
+  unsafe_set m (base + L.reign_nshards) shards;
+  unsafe_set m (reign_config_at base) 1;
+  for shard = 0 to shards - 1 do
+    unsafe_set m (reign_slot_at base shard + L.rs_epoch) 1
+  done;
+  unsafe_set m L.sb_reign base;
+  base
 
 (* {1 Checksums} *)
 
@@ -341,7 +431,7 @@ let walk m ~cell ~buffer ~raw =
     Error (Printf.sprintf "allocation cursor %d out of range" cursor)
   else begin
     let exception Stop of string in
-    let cells = ref 0 and buffers = ref 0 in
+    let cells = ref 0 and buffers = ref 0 and reigns = ref 0 in
     try
       let pos = ref L.super_words in
       while !pos < cursor do
@@ -361,11 +451,29 @@ let walk m ~cell ~buffer ~raw =
           incr buffers
         end
         else if tag = L.tag_raw then raw base
+        else if tag = L.tag_reign then begin
+          let shards = unsafe_get m (base + L.reign_nshards) in
+          if shards < 1 || reign_slot_at base shards <> base + size then
+            raise
+              (Stop
+                 (Printf.sprintf
+                    "truncated reign table at word %d (%d shards in %d words)"
+                    base shards size));
+          if unsafe_get m L.sb_reign <> base then
+            raise
+              (Stop
+                 (Printf.sprintf
+                    "reign table at word %d but the superblock points at %d"
+                    base (unsafe_get m L.sb_reign)));
+          incr reigns
+        end
         else
           raise
             (Stop (Printf.sprintf "unknown record tag %#x at word %d" tag base));
         pos := base + size
       done;
+      if unsafe_get m L.sb_reign <> 0 && !reigns = 0 then
+        raise (Stop "superblock points at a reign table the arena does not hold");
       if !cells <> unsafe_get m L.sb_cells then
         raise
           (Stop
@@ -475,7 +583,16 @@ let reset_metrics () =
       Tel.intact;
     ]
 
-let recover_scan_checked m =
+(* The scan engine shared by whole-mapping and shard-scoped recovery.
+   [in_range] selects the buffer ordinals this recovery is responsible
+   for; out-of-range buffers are not even classified — in a fabric
+   mapping they belong to OTHER shards whose writers may be mid-copy
+   right now, so a transiently torn trailer there is live traffic, not
+   evidence.  [epoch_idx]/[fence_idx] name the epoch word this
+   recovery bumps and the fence word it stamps: the superblock pair
+   for a single-register mapping, the shard's reign-table slot for a
+   fabric shard. *)
+let recover_scan_in m ~in_range ~epoch_idx ~fence_idx =
   let sb_epoch_now = unsafe_get m L.sb_epoch in
   let convicted = ref [] in
   let intact = ref 0
@@ -484,30 +601,32 @@ let recover_scan_checked m =
   and last_seq = ref 0
   and stale = ref None in
   let buffer ~ordinal ~base =
-    let info = buffer_info m ~ordinal ~base in
-    (* A trailer stamped with an epoch the superblock has not reached
-       convicts the superblock, not the buffer: this mapping is an
-       older copy of a file that lived on — its free-slot and fence
-       state cannot be trusted at all. *)
-    if info.bepoch > sb_epoch_now && !stale = None then
-      stale :=
-        Some
-          (Printf.sprintf
-             "stale superblock: buffer %d carries epoch %d, superblock at %d"
-             ordinal info.bepoch sb_epoch_now);
-    if info.state = L.state_quarantined then incr quarantined_before
-    else
-      match classify m info with
-      | None ->
-          if info.end_seq = 0 then incr unpublished
-          else begin
-            incr intact;
-            if info.end_seq > !last_seq then last_seq := info.end_seq
-          end
-      | Some why ->
-          unsafe_set m (base + L.buf_state) L.state_quarantined;
-          convicted :=
-            { ordinal; at = base; seq = info.begin_seq; why } :: !convicted
+    if in_range ordinal then begin
+      let info = buffer_info m ~ordinal ~base in
+      (* A trailer stamped with an epoch the superblock has not reached
+         convicts the superblock, not the buffer: this mapping is an
+         older copy of a file that lived on — its free-slot and fence
+         state cannot be trusted at all. *)
+      if info.bepoch > sb_epoch_now && !stale = None then
+        stale :=
+          Some
+            (Printf.sprintf
+               "stale superblock: buffer %d carries epoch %d, superblock at %d"
+               ordinal info.bepoch sb_epoch_now);
+      if info.state = L.state_quarantined then incr quarantined_before
+      else
+        match classify m info with
+        | None ->
+            if info.end_seq = 0 then incr unpublished
+            else begin
+              incr intact;
+              if info.end_seq > !last_seq then last_seq := info.end_seq
+            end
+        | Some why ->
+            unsafe_set m (base + L.buf_state) L.state_quarantined;
+            convicted :=
+              { ordinal; at = base; seq = info.begin_seq; why } :: !convicted
+    end
   in
   match
     walk m ~cell:(fun _ -> ()) ~buffer ~raw:(fun _ -> ())
@@ -517,14 +636,14 @@ let recover_scan_checked m =
       match !stale with
       | Some msg -> Error msg
       | None ->
-          (* The mapping is structurally sound and every damaged slot
-             is quarantined: open a new writer epoch and fence the
+          (* The scanned slots are structurally sound and every damaged
+             one is quarantined: open a new writer epoch and fence the
              crashed one at the current shared-clock instant, so the
              crash-aware checker can bound when the pending write
              could still have taken effect. *)
-          let new_epoch = 1 + atomic_fetch_add_idx m.ba L.sb_epoch 1 in
+          let new_epoch = 1 + atomic_fetch_add_idx m.ba epoch_idx 1 in
           let recovery_fence = tick m in
-          atomic_store_idx m.ba L.sb_fence_at recovery_fence;
+          atomic_store_idx m.ba fence_idx recovery_fence;
           Ok
             {
               convicted = List.rev !convicted;
@@ -535,6 +654,11 @@ let recover_scan_checked m =
               recovery_fence;
               last_seq = !last_seq;
             })
+
+let recover_scan_checked m =
+  recover_scan_in m
+    ~in_range:(fun _ -> true)
+    ~epoch_idx:L.sb_epoch ~fence_idx:L.sb_fence_at
 
 let recover_scan m =
   (* Version gate before any interpretation: a pre-bump mapping lays
@@ -554,6 +678,56 @@ let recover_scan m =
 
 let recover m =
   match recover_scan m with
+  | Error _ as e ->
+      Arc_obs.Obs.Cell.incr Tel.failures;
+      e
+  | Ok r ->
+      Arc_obs.Obs.Cell.incr Tel.recoveries;
+      Arc_obs.Obs.Cell.add Tel.convictions (List.length r.convicted);
+      Arc_obs.Obs.Cell.add Tel.intact r.intact;
+      List.iter
+        (fun c ->
+          Arc_obs.Obs.Cell.incr
+            (match c.why with
+            | Torn -> Tel.torn
+            | Checksum -> Tel.checksum
+            | Bad_length -> Tel.bad_length))
+        r.convicted;
+      Ok r
+
+(* Shard-scoped recovery for fabric mappings: the §6d pipeline run by
+   a shard's elected successor over that shard's slots only.  The
+   mapping interleaves every shard's buffers in one arena (register r
+   owns ordinals [r·nslots, (r+1)·nslots)), and the OTHER shards'
+   writers are alive while this one recovers — so the scan is scoped,
+   and the epoch bump and fence stamp land in the shard's reign-table
+   slot, not the superblock pair. *)
+let recover_shard m ~shard =
+  let scan =
+    let recorded_version = unsafe_get m L.sb_version in
+    if recorded_version <> L.version then
+      Error
+        (Printf.sprintf
+           "stale layout: mapping records version %d, this build reads version \
+            %d — refusing to reinterpret its superblock"
+           recorded_version L.version)
+    else if reign_table m = 0 then
+      Error "recover_shard: mapping has no reign table (not a fabric mapping)"
+    else if shard < 0 || shard >= reign_shards m then
+      Error
+        (Printf.sprintf "recover_shard: shard %d out of range (table holds %d)"
+           shard (reign_shards m))
+    else
+      match geometry m with
+      | None -> Error "recover_shard: mapping records no register geometry"
+      | Some (_, _, nslots) ->
+          let lo = shard * nslots and hi = (shard + 1) * nslots in
+          recover_scan_in m
+            ~in_range:(fun ordinal -> ordinal >= lo && ordinal < hi)
+            ~epoch_idx:(shard_epoch_cell m ~shard)
+            ~fence_idx:(shard_fence_cell m ~shard)
+  in
+  match scan with
   | Error _ as e ->
       Arc_obs.Obs.Cell.incr Tel.failures;
       e

@@ -143,6 +143,70 @@ val set_harness_region : mapping -> int -> unit
 val harness_region : mapping -> int
 (** Recorded harness region base, 0 if none. *)
 
+(** {1 Reign table (fabric mappings)}
+
+    A fabric mapping — one register per shard, all in one file — adds
+    a {e reign table} (layout version 3): per shard, a [term ∥ vote]
+    election word, a writer-fence epoch and a recovery-fence stamp,
+    each shard slot on its own cache line; plus the single fabric-wide
+    {e configuration epoch}, fetch-add-bumped after any shard changes
+    leaders.  Certified snapshots load the configuration epoch before
+    their first probe pass and re-check it after the last — equality
+    proves no handoff completed inside the window (DESIGN.md §8b).
+
+    All [*_cell] accessors return word indices usable as [M.atomic] of
+    {!mem}'s instance, exactly like {!epoch_cell}. *)
+
+val alloc_reign_table : mapping -> shards:int -> int
+(** Allocate the mapping's reign table (creator-only, at most one per
+    mapping), recording its base in the superblock and returning it.
+    Election words start at {!Arc_util.Term_vote.none}; the
+    configuration epoch and every shard epoch start at 1.
+    @raise Invalid_argument on [shards < 1], a second table, or an
+    exhausted mapping. *)
+
+val reign_shards : mapping -> int
+(** Shard count of the reign table; 0 if the mapping has none. *)
+
+val config_epoch : mapping -> int
+(** Current fabric-wide configuration epoch.
+    @raise Invalid_argument if the mapping has no reign table. *)
+
+val config_epoch_cell : mapping -> int
+(** The configuration-epoch word as an [M.atomic] of {!mem}'s
+    instance.  Bumped (fetch-and-add) by a shard's elected successor
+    {e after} its §6d takeover and {e before} its first publish, so
+    epoch equality across a snapshot's probe window certifies that no
+    handoff completed inside it.
+    @raise Invalid_argument if the mapping has no reign table. *)
+
+val shard_election : mapping -> shard:int -> int
+(** Shard [shard]'s election word ([term ∥ vote]).
+    @raise Invalid_argument if out of range or no table. *)
+
+val shard_election_cell : mapping -> shard:int -> int
+(** Shard [shard]'s election word as an [M.atomic] — hand it to
+    {!Arc_resilience.Election} (or {!Arc_resilience.Reign}) and that
+    shard's election state survives any process's death.  Manipulate
+    only by seq-cst CAS through the substrate.
+    @raise Invalid_argument if out of range or no table. *)
+
+val shard_epoch : mapping -> shard:int -> int
+(** Shard [shard]'s writer-fence epoch (starts at 1; bumped by every
+    {!recover_shard} and by fenced-handle issue against the shard's
+    epoch cell).
+    @raise Invalid_argument if out of range or no table. *)
+
+val shard_epoch_cell : mapping -> shard:int -> int
+(** Shard [shard]'s epoch word as an [M.atomic]: the per-shard
+    analogue of {!epoch_cell}, backing that shard's writer fence.
+    @raise Invalid_argument if out of range or no table. *)
+
+val shard_fence_at : mapping -> shard:int -> int
+(** Shared-clock stamp of shard [shard]'s most recent
+    {!recover_shard}; 0 if never recovered.
+    @raise Invalid_argument if out of range or no table. *)
+
 (** {1 Raw words}
 
     Escape hatches below the substrate abstraction: harness write-logs
@@ -225,6 +289,23 @@ val recover : mapping -> (recovery, string) result
     The caller owning a live register handle must mirror the slot
     convictions into it ([quarantine]) and run the register's own
     [recover_crash]; {!Shm_arc.recover} bundles all three steps. *)
+
+val recover_shard : mapping -> shard:int -> (recovery, string) result
+(** Shard-scoped recovery for fabric mappings: the same §6d pipeline
+    as {!recover}, restricted to shard [shard]'s buffer ordinals
+    ([shard·nslots .. (shard+1)·nslots − 1] under the recorded
+    geometry).  Out-of-range buffers are not even classified — their
+    shards' writers may be live and mid-copy, so a transiently torn
+    trailer there is traffic, not evidence.  The epoch bump and fence
+    stamp land in the shard's reign-table slot ({!shard_epoch},
+    {!shard_fence_at}); the superblock pair is untouched.  Conviction
+    ordinals are mapping-wide (subtract [shard·nslots] for the
+    register-local slot).
+
+    [Error] convicts the whole mapping exactly as {!recover} does —
+    version skew is rejected before any table byte is interpreted —
+    plus when the mapping has no reign table, no recorded geometry, or
+    [shard] is out of range. *)
 
 val metrics : unit -> Arc_obs.Obs.metric list
 (** Process-cumulative recovery telemetry: successful/rejected scans,

@@ -234,7 +234,15 @@ type snapshot_obs = {
   invoked : int;
   returned : int;
   observed : int array;  (** per shard: seq of the value in the vector *)
+  sepoch : int;  (** configuration epoch certified under; 0 = uncertified *)
 }
+
+(* A reign claim (ISSUE 9): shard [rshard]'s writes from [first_seq]
+   onward (until a later claim for the same shard takes over) were
+   published under configuration epoch [config].  The harness records
+   one claim per leadership interval — the original leader's and one
+   per elected successor. *)
+type reign = { rshard : int; first_seq : int; config : int }
 
 type fabric_violation =
   | Shard_violation of { shard : int; violation : violation }
@@ -244,6 +252,11 @@ type fabric_violation =
       stale_shard : int;  (** its observed value died first *)
       earliest : int;  (** earliest instant the vector could exist *)
       latest : int;  (** latest instant it could still exist *)
+    }
+  | Cross_reign of {
+      snapshot : snapshot_obs;
+      shard : int;  (** the shard whose observed value postdates the epoch *)
+      config : int;  (** the reign that published it ([> sepoch]) *)
     }
 
 let pp_fabric_violation ppf = function
@@ -256,6 +269,12 @@ let pp_fabric_violation ppf = function
       snapshot.sthread snapshot.invoked snapshot.returned fresh_shard
       snapshot.observed.(fresh_shard) earliest stale_shard
       snapshot.observed.(stale_shard) latest
+  | Cross_reign { snapshot; shard; config } ->
+    Format.fprintf ppf
+      "cross-reign snapshot: thread %d [%d, %d] certified under configuration \
+       epoch %d, but shard %d's seq %d was published by reign %d"
+      snapshot.sthread snapshot.invoked snapshot.returned snapshot.sepoch shard
+      snapshot.observed.(shard) config
 
 type fabric_report = {
   fshards : int;
@@ -263,7 +282,7 @@ type fabric_report = {
   shard_reports : report array;
 }
 
-let check_fabric ~writes ~snapshots =
+let check_fabric ?(reigns = []) ~writes ~snapshots () =
   let nshards = Array.length writes in
   if nshards = 0 then invalid_arg "Checker.check_fabric: no shards";
   List.iter
@@ -300,6 +319,29 @@ let check_fabric ~writes ~snapshots =
   let shard_writes =
     Array.map (fun h -> Array.of_list (History.writes h)) writes
   in
+  (* Reign pass (ISSUE 9): the reign that published shard [i]'s
+     observed value is the largest-[config] claim covering its seq.  A
+     certified snapshot ([sepoch > 0]) must draw every shard value
+     from a reign ≤ its certification epoch; uncertified snapshots
+     ([sepoch = 0]) claim nothing about reigns and are exempt. *)
+  let reign_of i v =
+    List.fold_left
+      (fun acc (r : reign) ->
+        if r.rshard = i && r.first_seq <= v && r.config > acc then r.config
+        else acc)
+      0 reigns
+  in
+  let cross_reign s =
+    if s.sepoch = 0 then None
+    else begin
+      let bad = ref None in
+      for i = nshards - 1 downto 0 do
+        let c = reign_of i s.observed.(i) in
+        if c > s.sepoch then bad := Some (Cross_reign { snapshot = s; shard = i; config = c })
+      done;
+      !bad
+    end
+  in
   let rec per_snapshot checked = function
     | [] -> Ok { fshards = nshards; snapshots_checked = checked; shard_reports }
     | s :: rest ->
@@ -333,7 +375,11 @@ let check_fabric ~writes ~snapshots =
                earliest = !earliest;
                latest = !latest;
              })
-      else per_snapshot (checked + 1) rest
+      else begin
+        match cross_reign s with
+        | Some v -> Error v
+        | None -> per_snapshot (checked + 1) rest
+      end
   in
   per_snapshot 0 snapshots
 

@@ -112,7 +112,18 @@ type snapshot_obs = {
   invoked : int;
   returned : int;
   observed : int array;  (** per shard: seq of the value in the vector *)
+  sepoch : int;
+      (** the configuration epoch the snapshot was certified under
+          ({!Arc_fabric.Fabric.Make.snap_epoch}); [0] = uncertified,
+          exempt from the reign pass *)
 }
+
+type reign = { rshard : int; first_seq : int; config : int }
+(** A reign claim (ISSUE 9): shard [rshard]'s writes from seq
+    [first_seq] onward — until a later claim for the same shard takes
+    over — were published under configuration epoch [config].  Record
+    one per leadership interval: the original leader's and one per
+    elected successor. *)
 
 type fabric_violation =
   | Shard_violation of { shard : int; violation : violation }
@@ -122,6 +133,11 @@ type fabric_violation =
       stale_shard : int;  (** its observed value died first *)
       earliest : int;  (** earliest instant the vector could exist *)
       latest : int;  (** latest instant it could still exist *)
+    }
+  | Cross_reign of {
+      snapshot : snapshot_obs;
+      shard : int;  (** the shard whose observed value postdates the epoch *)
+      config : int;  (** the reign that published it ([> sepoch]) *)
     }
 
 val pp_fabric_violation : Format.formatter -> fabric_violation -> unit
@@ -133,13 +149,22 @@ type fabric_report = {
 }
 
 val check_fabric :
+  ?reigns:reign list ->
   writes:History.t array ->
   snapshots:snapshot_obs list ->
+  unit ->
   (fabric_report, fabric_violation) result
-(** [check_fabric ~writes ~snapshots] — [writes.(i)] holds shard
+(** [check_fabric ~writes ~snapshots ()] — [writes.(i)] holds shard
     [i]'s write events (per-shard seqs 1..k, writer-sequential, as
     {!check} requires); each snapshot contributes one projected read
     per shard plus one window-intersection test.
+
+    [?reigns] adds the reign pass: every snapshot certified under
+    epoch [sepoch > 0] must draw each shard value from a reign
+    [<= sepoch] (the reign of a value is the largest-[config] claim
+    covering its seq); a violation is {!Cross_reign}.  Uncertified
+    snapshots ([sepoch = 0]) are exempt, and shards with no claims
+    default to reign 0 (never convicting).
     @raise Invalid_argument if there are no shards or a snapshot's
     [observed] length disagrees with the shard count. *)
 

@@ -248,7 +248,7 @@ let test_torn_control_convicted () =
     match Fabric_runner.check r with
     | Ok _ -> ()
     | Error (Checker.Torn_snapshot _) -> incr convicted
-    | Error (Checker.Shard_violation _ as v) ->
+    | Error ((Checker.Shard_violation _ | Checker.Cross_reign _) as v) ->
       Alcotest.failf "collect-only fabric produced a per-shard violation: %a"
         Checker.pp_fabric_violation v
   done;
@@ -281,18 +281,18 @@ let test_checker_handcrafted () =
     |]
   in
   let ok_snap =
-    { Checker.sthread = 2; invoked = 25; returned = 70; observed = [| 2; 1 |] }
+    { Checker.sthread = 2; invoked = 25; returned = 70; observed = [| 2; 1 |]; sepoch = 0 }
   in
-  (match Checker.check_fabric ~writes ~snapshots:[ ok_snap ] with
+  (match Checker.check_fabric ~writes ~snapshots:[ ok_snap ] () with
   | Ok r ->
     Alcotest.(check int) "shards" 2 r.Checker.fshards;
     Alcotest.(check int) "snapshots" 1 r.Checker.snapshots_checked
   | Error v ->
     Alcotest.failf "coexisting vector rejected: %a" Checker.pp_fabric_violation v);
   let torn_snap =
-    { Checker.sthread = 2; invoked = 25; returned = 70; observed = [| 1; 1 |] }
+    { Checker.sthread = 2; invoked = 25; returned = 70; observed = [| 1; 1 |]; sepoch = 0 }
   in
-  match Checker.check_fabric ~writes ~snapshots:[ torn_snap ] with
+  match Checker.check_fabric ~writes ~snapshots:[ torn_snap ] () with
   | Ok _ -> Alcotest.fail "torn vector accepted"
   | Error (Checker.Torn_snapshot { fresh_shard; stale_shard; earliest; latest; _ })
     ->
@@ -302,6 +302,214 @@ let test_checker_handcrafted () =
   | Error v ->
     Alcotest.failf "wrong conviction: %a" Checker.pp_fabric_violation v
 
+(* {2 Reign-certified snapshots (ISSUE 9)} *)
+
+let test_certified_epochs () =
+  let fab = mk () in
+  let sc = F.scanner fab 0 in
+  Alcotest.(check bool) "no reign attached on a fresh fabric" false
+    (F.reign_attached fab);
+  (match F.snapshot_certified sc with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "certification without a config epoch must refuse");
+  Alcotest.(check int) "plain snapshots carry epoch 0" 0
+    (F.snap_epoch (F.snapshot sc));
+  let config = Arc_mem.Real_mem.atomic_contended 1 in
+  F.attach_reign fab ~config;
+  Alcotest.(check bool) "attached" true (F.reign_attached fab);
+  let w0 = F.writer fab 0 in
+  let src = Array.make 8 11 in
+  F.write w0 ~shard:0 ~src ~len:8;
+  (match F.snapshot_certified sc with
+  | Ok snap ->
+      Alcotest.(check int) "certified under the opening epoch" 1
+        (F.snap_epoch snap);
+      Alcotest.(check int) "contents are the fabric's" 11 (F.shard_word snap 0 0)
+  | Error _ -> Alcotest.fail "no election is running — certification must hold");
+  (* A completed handoff moves the epoch; the next certification opens
+     under the new reign. *)
+  Arc_mem.Real_mem.store config 7;
+  match F.snapshot_certified sc with
+  | Ok snap ->
+      Alcotest.(check int) "re-certified under the moved epoch" 7
+        (F.snap_epoch snap)
+  | Error _ -> Alcotest.fail "a quiescent epoch must certify"
+
+(* Certification under real interleavings, deterministically: the same
+   fabric on the simulated substrate, driven by seeded vsched
+   schedules.  A bumper fiber plays the role of completing handoffs. *)
+module Rs = Arc_core.Arc.Make (Arc_vsched.Sim_mem)
+module Fs = Arc_fabric.Fabric.Make (Rs)
+module Ps = Arc_workload.Payload.Make (Arc_vsched.Sim_mem)
+module Sched = Arc_vsched.Sched
+
+let certified_sim ?strategy ~seed ~bumping ~max_retries ~steps () =
+  let shards = 4 and size = 16 and writers = 2 and scanners = 2 in
+  let init = Array.make size 0 in
+  Ps.stamp init ~seq:0 ~len:size;
+  let fab = Fs.create ~shards ~writers ~readers:scanners ~capacity:size ~init in
+  let config = Arc_vsched.Sim_mem.atomic_contended 1 in
+  Fs.attach_reign ?max_retries fab ~config;
+  let oks = ref [] and errs = ref [] in
+  let writer wid () =
+    let w = Fs.writer fab wid in
+    let src = Array.make size 0 in
+    let seqs = Array.make shards 0 in
+    while Sched.now () < steps do
+      for s = 0 to shards - 1 do
+        if s mod writers = wid then begin
+          seqs.(s) <- seqs.(s) + 1;
+          Ps.stamp src ~seq:seqs.(s) ~len:size;
+          Fs.write w ~shard:s ~src ~len:size
+        end
+      done;
+      Sched.cede ()
+    done
+  in
+  let scanner sid () =
+    let sc = Fs.scanner fab sid in
+    while Sched.now () < steps do
+      (match Fs.snapshot_certified sc with
+      | Ok snap -> oks := Fs.snap_epoch snap :: !oks
+      | Error rc -> errs := rc :: !errs);
+      Sched.cede ()
+    done
+  in
+  (* [bumping] plays the elected successors: a handoff completing every
+     few scheduler quanta for the whole run. *)
+  let bumper () =
+    while bumping && Sched.now () < steps do
+      ignore (Arc_vsched.Sim_mem.fetch_and_add config 1);
+      Sched.cede ()
+    done
+  in
+  let strategy =
+    match strategy with Some s -> s | None -> Strategy.random ~seed
+  in
+  ignore
+    (Sched.run ~strategy
+       [| writer 0; writer 1; scanner 0; scanner 1; bumper |]);
+  (List.rev !oks, List.rev !errs, Fs.snapshots_borrowed fab)
+
+let test_certified_sim_static_config () =
+  (* No handoffs: every snapshot must certify under epoch 1 — including
+     the ones served from a writer's helping deposit, which is exactly
+     the epoch-matched borrowing claim (a deposit is only borrowed when
+     it was taken under the scan's opening epoch). *)
+  let borrowed = ref 0 in
+  for seed = 1 to 6 do
+    List.iter
+      (fun (strategy_name, strategy) ->
+        let oks, errs, b =
+          certified_sim ~strategy ~seed ~bumping:false ~max_retries:None
+            ~steps:20_000 ()
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "%s(seed=%d): no typed verdicts with a quiescent epoch"
+             strategy_name seed)
+          0 (List.length errs);
+        Alcotest.(check bool)
+          (Printf.sprintf "%s(seed=%d): snapshots completed" strategy_name seed)
+          true (oks <> []);
+        List.iter
+          (fun e ->
+            if e <> 1 then
+              Alcotest.failf "%s(seed=%d): snapshot certified under epoch %d, not 1"
+                strategy_name seed e)
+          oks;
+        borrowed := !borrowed + b)
+      [
+        ("random", Strategy.random ~seed);
+        ("burst", Strategy.random_burst ~seed ~max_burst:60);
+        ( "steal",
+          Strategy.steal ~seed
+            ~base:(Strategy.random ~seed:(seed + 1))
+            ~probability:0.01 ~min_pause:50 ~max_pause:400 );
+      ]
+  done;
+  Alcotest.(check bool) "borrowed regime exercised under certification" true
+    (!borrowed > 0)
+
+let test_certified_sim_reign_changed () =
+  (* With handoffs completing mid-scan and a zero retry budget, the
+     typed verdict must actually be reachable — and every verdict must
+     name a genuinely moved epoch. *)
+  let changed = ref 0 in
+  for seed = 1 to 20 do
+    let oks, errs, _ =
+      certified_sim ~seed ~bumping:true ~max_retries:(Some 0) ~steps:6_000 ()
+    in
+    List.iter
+      (fun (rc : Arc_fabric.Fabric.reign_change) ->
+        incr changed;
+        if rc.r_now <= rc.r_opened then
+          Alcotest.failf
+            "seed %d: verdict names epochs %d -> %d (never moved)" seed
+            rc.r_opened rc.r_now)
+      errs;
+    (* A certified epoch is the opening load's value: ≥ the initial 1,
+       and — since the certifying re-load matched — the snapshot's
+       whole collect ran inside that reign. *)
+    List.iter
+      (fun e ->
+        if e < 1 then
+          Alcotest.failf "seed %d: certified epoch %d below initial" seed e)
+      oks
+  done;
+  Alcotest.(check bool) "Reign_changed reachable across the seed sweep" true
+    (!changed > 0)
+
+let test_checker_cross_reign () =
+  (* Shard 1's seq 2 was published by reign 3.  A snapshot observing it
+     certified under epoch 2 is per-shard regular AND window-consistent
+     — only the reign pass can convict it; the same vector certified
+     under epoch 3 must be accepted, and a plain (epoch-0) snapshot
+     skips the pass entirely. *)
+  let writes =
+    [|
+      History.of_events [ w ~thread:0 ~seq:1 ~invoked:10 ~returned:20 ];
+      History.of_events
+        [
+          w ~thread:1 ~seq:1 ~invoked:10 ~returned:20;
+          w ~thread:1 ~seq:2 ~invoked:30 ~returned:40;
+        ];
+    |]
+  in
+  let reigns =
+    [
+      { Checker.rshard = 0; first_seq = 1; config = 2 };
+      { Checker.rshard = 1; first_seq = 1; config = 2 };
+      { Checker.rshard = 1; first_seq = 2; config = 3 };
+    ]
+  in
+  let snap sepoch =
+    { Checker.sthread = 9; invoked = 35; returned = 50; observed = [| 1; 2 |]; sepoch }
+  in
+  (match Checker.check_fabric ~reigns ~writes ~snapshots:[ snap 2 ] () with
+  | Error (Checker.Cross_reign { shard; config; _ }) ->
+      Alcotest.(check int) "convicted shard" 1 shard;
+      Alcotest.(check int) "the value's reign" 3 config
+  | Error v -> Alcotest.failf "wrong conviction: %a" Checker.pp_fabric_violation v
+  | Ok _ -> Alcotest.fail "cross-reign splice accepted");
+  (match Checker.check_fabric ~reigns ~writes ~snapshots:[ snap 3 ] () with
+  | Ok _ -> ()
+  | Error v ->
+      Alcotest.failf "epoch-3 certification wrongly convicted: %a"
+        Checker.pp_fabric_violation v);
+  (match Checker.check_fabric ~reigns ~writes ~snapshots:[ snap 0 ] () with
+  | Ok _ -> ()
+  | Error v ->
+      Alcotest.failf "plain snapshot must skip the reign pass: %a"
+        Checker.pp_fabric_violation v);
+  (* Unclaimed values default to reign 0 and can never convict — the
+     dimension is opt-in per shard value, not a new obligation on every
+     existing harness. *)
+  match Checker.check_fabric ~writes ~snapshots:[ snap 2 ] () with
+  | Ok _ -> ()
+  | Error v ->
+      Alcotest.failf "unclaimed values wrongly convicted: %a"
+        Checker.pp_fabric_violation v
+
 let test_checker_shard_projection () =
   (* A snapshot observing a seq that was never written on that shard
      must fall out of the per-shard projection as a violation. *)
@@ -309,9 +517,9 @@ let test_checker_shard_projection () =
     [| History.of_events [ w ~thread:0 ~seq:1 ~invoked:10 ~returned:20 ] |]
   in
   let ghost =
-    { Checker.sthread = 1; invoked = 30; returned = 40; observed = [| 5 |] }
+    { Checker.sthread = 1; invoked = 30; returned = 40; observed = [| 5 |]; sepoch = 0 }
   in
-  match Checker.check_fabric ~writes ~snapshots:[ ghost ] with
+  match Checker.check_fabric ~writes ~snapshots:[ ghost ] () with
   | Ok _ -> Alcotest.fail "ghost value accepted"
   | Error (Checker.Shard_violation { shard; _ }) ->
     Alcotest.(check int) "shard" 0 shard
@@ -334,4 +542,11 @@ let suite =
       test_checker_handcrafted;
     Alcotest.test_case "checker: shard projection" `Quick
       test_checker_shard_projection;
+    Alcotest.test_case "certified epochs (heap)" `Quick test_certified_epochs;
+    Alcotest.test_case "certified under static config (vsched)" `Slow
+      test_certified_sim_static_config;
+    Alcotest.test_case "Reign_changed reachable (vsched)" `Slow
+      test_certified_sim_reign_changed;
+    Alcotest.test_case "checker: cross-reign conviction" `Quick
+      test_checker_cross_reign;
   ]

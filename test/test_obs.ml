@@ -200,6 +200,47 @@ let test_json () =
   Alcotest.(check bool) "labels kept" true
     (contains ~needle:"\"k\": \"v\"" j)
 
+(* --- the reign epoch gauge against the superblock word (ISSUE 9):
+   the process-wide [arc_reign_epoch] gauge is fed by {!Reign.Config}'s
+   bump, the durable truth lives in the mapping's config-epoch word —
+   after any number of handoffs the two must agree exactly --- *)
+
+module Shm = Arc_shm.Shm_mem
+
+let test_reign_gauge_crosscheck () =
+  Arc_fabric.Fabric.reset_reign_metrics ();
+  let path = Filename.temp_file "arc_obs_reign" ".reg" in
+  let m = Shm.create ~path ~words:(1 lsl 12) in
+  Fun.protect
+    ~finally:(fun () ->
+      Shm.close m;
+      (try Sys.remove path with Sys_error _ -> ());
+      Arc_fabric.Fabric.reset_reign_metrics ())
+    (fun () ->
+      ignore (Shm.alloc_reign_table m ~shards:2);
+      let module SM = (val Shm.mem m) in
+      let module C = Arc_resilience.Reign.Config (SM) in
+      let c = C.of_cell (Shm.config_epoch_cell m) in
+      Alcotest.(check int) "first handoff's epoch" 2 (C.bump c);
+      Alcotest.(check int) "second handoff's epoch" 3 (C.bump c);
+      Alcotest.(check int) "superblock word through the mapping" 3
+        (Shm.config_epoch m);
+      let find name =
+        List.find_opt
+          (fun (mt : Obs.metric) -> mt.Obs.mname = name)
+          (Arc_fabric.Fabric.reign_metrics ())
+      in
+      (match find "arc_reign_epoch" with
+      | Some g ->
+        Alcotest.(check bool) "gauge kind" true (g.Obs.mkind = Obs.Gauge);
+        Alcotest.(check (float 0.0)) "gauge = superblock word" 3.0 g.Obs.value
+      | None -> Alcotest.fail "arc_reign_epoch not exported");
+      match find "arc_reign_handoffs_total" with
+      | Some h ->
+        Alcotest.(check (float 0.0)) "one handoff counted per bump" 2.0
+          h.Obs.value
+      | None -> Alcotest.fail "arc_reign_handoffs_total not exported")
+
 (* --- the fast-path-hit accounting theorem, under the virtual
    scheduler with an independently counted substrate --- *)
 
@@ -333,6 +374,8 @@ let suite =
     Alcotest.test_case "prometheus: family grouping" `Quick test_prometheus;
     Alcotest.test_case "prometheus/json: escaping" `Quick test_label_escaping;
     Alcotest.test_case "json: shape" `Quick test_json;
+    Alcotest.test_case "reign epoch gauge = superblock word" `Quick
+      test_reign_gauge_crosscheck;
     Alcotest.test_case "vsched: fast hits = reads - RMW reads" `Quick
       test_vsched_fast_path_accounting;
     Alcotest.test_case "telemetry changes no history (arc)" `Quick

@@ -119,10 +119,33 @@ let test_table_accessors () =
   Alcotest.(check (list (list string))) "body in order" [ [ "r1" ]; [ "r2" ] ]
     (Table.body t)
 
+(* --- replay-command rendering (ISSUE 9) ------------------------------ *)
+
+let test_replay_render () =
+  let open Arc_report.Replay in
+  Alcotest.(check string) "flags and typed values render in order"
+    "arc-crash --fabric --shards 2 --replay-seed 2049006148 --churn 0.25 \
+     --algo arc"
+    (render ~exe:"arc-crash"
+       [
+         flag "--fabric";
+         int "--shards" 2;
+         int "--replay-seed" 2049006148;
+         float "--churn" 0.25;
+         str "--algo" "arc";
+       ]);
+  (* %g keeps whole-valued floats shell-short, the way the campaign
+     flag parsers print them back. *)
+  Alcotest.(check string) "whole float renders bare" "x --f 2"
+    (render ~exe:"x" [ float "--f" 2.0 ]);
+  Alcotest.(check string) "exe alone" "dune exec bin/soak.exe --"
+    (render ~exe:"dune exec bin/soak.exe --" [])
+
 let suite =
   suite
   @ [
       Alcotest.test_case "markdown table" `Quick test_markdown_table;
       Alcotest.test_case "markdown series" `Quick test_markdown_series;
       Alcotest.test_case "table accessors" `Quick test_table_accessors;
+      Alcotest.test_case "replay-command rendering" `Quick test_replay_render;
     ]

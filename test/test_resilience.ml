@@ -276,6 +276,71 @@ let test_campaign_loser_reports_winner () =
     Alcotest.(check int) "observed term" 1 term;
     Alcotest.(check (option int)) "observed winner" (Some 0) winner
 
+(* {2 Reign-fenced campaigns (ISSUE 9)} *)
+
+module RG = Arc_resilience.Reign.Make (R)
+
+let reign_env ~words =
+  let freg, word = election_env ~words in
+  let config = Arc_mem.Real_mem.atomic_contended 1 in
+  (freg, word, config)
+
+let test_reign_bump_after_takeover () =
+  (* The certification argument hinges on ordering: the config epoch
+     must still be at its pre-handoff value while the takeover runs
+     (no publish of the new reign precedes the bump), and the Won
+     outcome must carry the bump's OWN return value. *)
+  let freg, word, config = reign_env ~words:4 in
+  let el = RG.create ~word ~candidate:0 ~config freg in
+  let config_during_takeover = ref 0 in
+  (match
+     RG.campaign el ~takeover:(fun () ->
+         config_during_takeover := RG.config_at el;
+         5)
+   with
+  | RG.Won { term; recovered; config = c; writer } ->
+    Alcotest.(check int) "term" 1 term;
+    Alcotest.(check int) "takeover result surfaced" 5 recovered;
+    Alcotest.(check int) "Won carries this handoff's epoch" 2 c;
+    F.write writer ~src:(stamped ~seq:1 ~len:4) ~len:4
+  | RG.Lost _ -> Alcotest.fail "uncontested reign campaign must win");
+  Alcotest.(check int) "takeover ran under the old epoch" 1
+    !config_during_takeover;
+  Alcotest.(check int) "epoch bumped exactly once" 2 (RG.config_at el)
+
+let test_reign_second_handoff () =
+  (* Successive handoffs on the same seat: term and epoch advance in
+     lockstep, each winner keyed to its own bump. *)
+  let freg, word, config = reign_env ~words:4 in
+  let el0 = RG.create ~word ~candidate:0 ~config freg in
+  let el1 = RG.create ~word ~candidate:1 ~config freg in
+  (match RG.campaign el0 with
+  | RG.Won { term = 1; config = 2; _ } -> ()
+  | _ -> Alcotest.fail "first handoff must win term 1 at epoch 2");
+  match RG.campaign el1 with
+  | RG.Won { term; config = c; _ } ->
+    Alcotest.(check int) "second term" 2 term;
+    Alcotest.(check int) "second handoff's epoch" 3 c;
+    Alcotest.(check int) "config word agrees" 3 (RG.config_at el1)
+  | RG.Lost _ -> Alcotest.fail "fresh-snapshot campaign must win"
+
+let test_reign_loser_no_bump () =
+  (* A lost election completes no handoff: the config word must not
+     move — a loser's bump would convict innocent snapshots. *)
+  let freg, word, config = reign_env ~words:4 in
+  let el0 = RG.create ~word ~candidate:0 ~config freg in
+  let el1 = RG.create ~word ~candidate:1 ~config freg in
+  let snap = RG.observe el0 in
+  (match RG.campaign ~from:snap el0 with
+  | RG.Won _ -> ()
+  | RG.Lost _ -> Alcotest.fail "first campaign must win");
+  match RG.campaign ~from:snap el1 with
+  | RG.Won _ -> Alcotest.fail "stale-snapshot campaign must lose"
+  | RG.Lost { term; winner } ->
+    Alcotest.(check int) "observed term" 1 term;
+    Alcotest.(check (option int)) "observed winner" (Some 0) winner;
+    Alcotest.(check int) "loser left the epoch alone" 2 (RG.config_at el1)
+
 (* Satellite: under the virtual scheduler, a heartbeat carried by a
    stale-epoch handle can NEVER re-arm a lease that was lost — after a
    promotion, only the successor's handle refreshes the word, so a
@@ -572,6 +637,12 @@ let suite =
       test_campaign_orders_fence_before_takeover;
     Alcotest.test_case "campaign loser reports winner" `Quick
       test_campaign_loser_reports_winner;
+    Alcotest.test_case "reign: bump after takeover, before issue" `Quick
+      test_reign_bump_after_takeover;
+    Alcotest.test_case "reign: successive handoffs" `Quick
+      test_reign_second_handoff;
+    Alcotest.test_case "reign: loser bumps nothing" `Quick
+      test_reign_loser_no_bump;
     Alcotest.test_case "vsched: stale heartbeat never re-arms" `Quick
       test_vsched_stale_heartbeat_never_rearms;
     Alcotest.test_case "session fresh" `Quick test_session_fresh;

@@ -266,6 +266,176 @@ let test_refuses_used_mapping () =
         (fun () ->
           ignore (Arc_shm.Shm_arc.create m ~readers:2 ~capacity:8 ~init:[| 0 |])))
 
+(* {1 Fabric mappings and the reign table (ISSUE 9)}
+
+   Layout version 3 adds the reign table: per-shard election words
+   plus the fabric-wide configuration epoch.  The migration discipline
+   of ISSUE 7 extends to it — a version-2 mapping carries no table, so
+   a v3 build must convict it on the version word alone, BEFORE any
+   reign-table byte is interpreted — and the shard-scoped recovery
+   must treat other shards' live state as traffic, never evidence. *)
+
+let with_fabric ?(shards = 2) f =
+  with_mapping (fun path m ->
+      let init = Array.make 8 0 in
+      Payload.stamp init ~seq:0 ~len:8;
+      let finst =
+        Arc_shm.Shm_arc.create_fabric m ~shards ~readers:2 ~capacity:8 ~init
+      in
+      let module I = (val finst : Arc_shm.Shm_arc.FABRIC_INSTANCE) in
+      let src = Array.make 8 0 in
+      for s = 0 to shards - 1 do
+        for k = 1 to 3 do
+          Payload.stamp src ~seq:k ~len:8;
+          I.R.write I.regs.(s) ~src ~len:8
+        done
+      done;
+      f path m finst)
+
+let newest_in m ~lo ~hi =
+  let best = ref None in
+  S.iter_buffers m (fun (info : S.buffer_info) ->
+      if info.ordinal >= lo && info.ordinal < hi && info.end_seq > 0 then
+        match !best with
+        | Some (b : S.buffer_info) when b.end_seq >= info.end_seq -> ()
+        | _ -> best := Some info);
+  match !best with
+  | Some b -> b
+  | None -> Alcotest.fail "shard published nothing"
+
+let test_fabric_reign_accessors () =
+  let module TV = Arc_util.Term_vote in
+  with_fabric (fun path m _finst ->
+      Alcotest.(check int) "table records the shard count" 2 (S.reign_shards m);
+      Alcotest.(check int) "configuration epoch starts at 1" 1 (S.config_epoch m);
+      for s = 0 to 1 do
+        Alcotest.(check int) "shard writer-fence epoch starts at 1" 1
+          (S.shard_epoch m ~shard:s);
+        Alcotest.(check int) "no election ever held on the shard" TV.none
+          (S.shard_election m ~shard:s);
+        Alcotest.(check int) "never recovered: shard fence = 0" 0
+          (S.shard_fence_at m ~shard:s)
+      done;
+      (* Durability: a configuration bump through the creator's mapping
+         is visible through a second, independent mapping — the same
+         page-cache path a certified snapshot in another process loads. *)
+      S.atomic_set m (S.config_epoch_cell m) 5;
+      let m' = S.attach ~path in
+      Fun.protect
+        ~finally:(fun () -> S.close m')
+        (fun () ->
+          Alcotest.(check int) "config epoch visible through a second mapping" 5
+            (S.config_epoch m')))
+
+let test_fabric_stale_layout () =
+  with_fabric (fun path m _finst ->
+      (* Poison the reign table FIRST: if the version gate did not fire
+         before table interpretation, attach/recover would trip over
+         this garbage (a different failure) instead of the version
+         conviction the test demands. *)
+      let reign_base = S.unsafe_get m L.sb_reign in
+      S.unsafe_set m (reign_base + L.rec_tag) 0xBAD;
+      S.unsafe_set m L.sb_version (L.version - 1);
+      (match S.attach ~path with
+      | exception Failure msg ->
+          Alcotest.(check bool)
+            "attach convicts the version word, not the poisoned table" true
+            (let has needle =
+               let n = String.length needle and l = String.length msg in
+               let rec go i =
+                 i + n <= l && (String.sub msg i n = needle || go (i + 1))
+               in
+               go 0
+             in
+             has "layout version" && not (has "reign"))
+      | m' ->
+          S.close m';
+          Alcotest.fail "attach must reject a version-2 fabric mapping");
+      match Arc_shm.Shm_arc.recover_shard _finst ~shard:0 with
+      | Error msg ->
+          Alcotest.(check bool)
+            "shard recovery convicts the stale layout before reading the table"
+            true
+            (String.length msg >= 12 && String.sub msg 0 12 = "stale layout")
+      | Ok _ -> Alcotest.fail "recover_shard must refuse a version-2 mapping")
+
+let test_fabric_truncated_table () =
+  with_fabric (fun path m _finst ->
+      let reign_base = S.unsafe_get m L.sb_reign in
+      (* Claim one more shard than the record was sized for. *)
+      S.unsafe_set m (reign_base + L.reign_nshards) 3;
+      match S.attach ~path with
+      | exception Failure msg ->
+          Alcotest.(check bool) "attach names the truncated table" true
+            (let needle = "truncated reign table" in
+             let n = String.length needle and l = String.length msg in
+             let rec go i =
+               i + n <= l && (String.sub msg i n = needle || go (i + 1))
+             in
+             go 0)
+      | m' ->
+          S.close m';
+          Alcotest.fail "attach must reject a truncated reign table")
+
+let test_recover_shard_scoped () =
+  with_fabric (fun _path m finst ->
+      let nslots =
+        match S.geometry m with
+        | Some (_, _, n) -> n
+        | None -> Alcotest.fail "fabric mapping records no geometry"
+      in
+      (* Tear shard 1's newest copy; shard 0 stays pristine. *)
+      let b = newest_in m ~lo:nslots ~hi:(2 * nslots) in
+      S.unsafe_set m (b.base + L.buf_end) 0;
+      (match Arc_shm.Shm_arc.recover_shard finst ~shard:0 with
+      | Error msg -> Alcotest.fail ("clean shard convicted: " ^ msg)
+      | Ok (r, journaled) ->
+          Alcotest.(check (list int))
+            "shard 0's scan never classifies shard 1's torn buffer" []
+            (List.map (fun (c : S.conviction) -> c.ordinal) r.convicted);
+          Alcotest.(check int) "no journal quarantine on the clean shard" 0
+            journaled;
+          Alcotest.(check int) "shard 0's reign epoch bumped by its recovery" 2
+            (S.shard_epoch m ~shard:0);
+          Alcotest.(check int) "shard 1's reign epoch untouched" 1
+            (S.shard_epoch m ~shard:1);
+          Alcotest.(check int) "the superblock fence is not the fabric's" 0
+            (S.fence_at m));
+      match Arc_shm.Shm_arc.recover_shard finst ~shard:1 with
+      | Error msg -> Alcotest.fail ("torn shard conviction failed: " ^ msg)
+      | Ok (r, _) ->
+          Alcotest.(check (list int)) "exactly the torn ordinal is convicted"
+            [ b.ordinal ]
+            (List.map (fun (c : S.conviction) -> c.ordinal) r.convicted);
+          Alcotest.(check bool) "the conviction is Torn" true
+            (List.for_all
+               (fun (c : S.conviction) -> c.why = S.Torn)
+               r.convicted);
+          Alcotest.(check int) "shard 1's reign epoch bumped" 2
+            (S.shard_epoch m ~shard:1);
+          Alcotest.(check bool) "shard 1's fence stamped from the shared clock"
+            true
+            (S.shard_fence_at m ~shard:1 > 0))
+
+let test_recover_shard_errors () =
+  with_fabric (fun _path _m finst ->
+      match Arc_shm.Shm_arc.recover_shard finst ~shard:2 with
+      | Error msg ->
+          Alcotest.(check bool) "out-of-range shard is refused" true
+            (String.length msg > 0)
+      | Ok _ -> Alcotest.fail "shard 2 of a 2-shard fabric must be refused");
+  with_register (fun _path m _inst ->
+      match S.recover_shard m ~shard:0 with
+      | Error msg ->
+          Alcotest.(check bool) "non-fabric mapping is refused" true
+            (let needle = "no reign table" in
+             let n = String.length needle and l = String.length msg in
+             let rec go i =
+               i + n <= l && (String.sub msg i n = needle || go (i + 1))
+             in
+             go 0)
+      | Ok _ -> Alcotest.fail "recover_shard needs a reign table")
+
 let suite =
   [
     Alcotest.test_case "create/attach round-trip" `Quick test_create_attach;
@@ -290,4 +460,14 @@ let suite =
       test_shm_arc_recover_clean;
     Alcotest.test_case "create refuses a used mapping" `Quick
       test_refuses_used_mapping;
+    Alcotest.test_case "fabric: reign-table accessors and durability" `Quick
+      test_fabric_reign_accessors;
+    Alcotest.test_case "fabric control: stale layout convicted before the table"
+      `Quick test_fabric_stale_layout;
+    Alcotest.test_case "fabric control: truncated reign table rejected" `Quick
+      test_fabric_truncated_table;
+    Alcotest.test_case "fabric: shard-scoped recovery" `Quick
+      test_recover_shard_scoped;
+    Alcotest.test_case "fabric: recover_shard refusals" `Quick
+      test_recover_shard_errors;
   ]

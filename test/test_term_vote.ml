@@ -95,6 +95,76 @@ let prop_roundtrip =
       let w = TV.make ~term ~vote in
       TV.term w = term && TV.vote w = vote)
 
+(* {1 Through the shm substrate (ISSUE 9)}
+
+   In a fabric the word no longer lives at a fixed superblock index but
+   at computed reign-table offsets — one election word per shard.  The
+   packing must survive THAT path too: stored through the mapping's
+   atomic substrate at [shard_election_cell], read back field-exact,
+   and a CAS on shard [s] must leave shard [s±1]'s word untouched. *)
+
+module Shm = Arc_shm.Shm_mem
+
+let with_reign_table ~shards f =
+  let path = Filename.temp_file "arc_tv_shm" ".reg" in
+  let m = Shm.create ~path ~words:(1 lsl 12) in
+  Fun.protect
+    ~finally:(fun () ->
+      Shm.close m;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      ignore (Shm.alloc_reign_table m ~shards);
+      f m)
+
+let test_shm_indexed_cas () =
+  with_reign_table ~shards:3 (fun m ->
+      let module SM = (val Shm.mem m) in
+      for shard = 0 to 2 do
+        let cell = Shm.shard_election_cell m ~shard in
+        let from = SM.load cell in
+        check "every shard's word starts at none" TV.none from;
+        let next = TV.succ_term from ~candidate:shard in
+        Alcotest.(check bool) "CAS at the computed offset lands" true
+          (SM.compare_and_set cell from next)
+      done;
+      for shard = 0 to 2 do
+        let w = Shm.shard_election m ~shard in
+        check "term readback through the accessor" 1 (TV.term w);
+        Alcotest.(check (option int)) "each shard kept its own winner"
+          (Some shard) (TV.vote w)
+      done)
+
+let test_shm_indexed_boundary () =
+  with_reign_table ~shards:2 (fun m ->
+      let module SM = (val Shm.mem m) in
+      let cell = Shm.shard_election_cell m ~shard:1 in
+      let w = TV.make ~term:TV.max_term ~vote:(Some TV.max_candidate) in
+      SM.store cell w;
+      let back = Shm.shard_election m ~shard:1 in
+      check "max term survives the mapping roundtrip" TV.max_term (TV.term back);
+      Alcotest.(check (option int)) "max candidate survives"
+        (Some TV.max_candidate) (TV.vote back);
+      check "shard 0's word is untouched" TV.none (Shm.shard_election m ~shard:0))
+
+(* A fresh 3-shard table per case — small enough (a few pages) that
+   the isolation is worth the mmap churn. *)
+let prop_shm_roundtrip =
+  QCheck.Test.make ~name:"term_vote roundtrip through reign-table offsets"
+    ~count:300
+    QCheck.(
+      triple (int_bound 2) (int_bound TV.max_term) (int_bound (TV.max_candidate + 1)))
+    (fun (shard, term, v) ->
+      with_reign_table ~shards:3 (fun m ->
+          let module SM = (val Shm.mem m) in
+          let vote = if v > TV.max_candidate then None else Some v in
+          SM.store (Shm.shard_election_cell m ~shard) (TV.make ~term ~vote);
+          let back = Shm.shard_election m ~shard in
+          TV.term back = term
+          && TV.vote back = vote
+          && List.for_all
+               (fun s -> s = shard || Shm.shard_election m ~shard:s = TV.none)
+               [ 0; 1; 2 ]))
+
 let suite =
   [
     Alcotest.test_case "layout" `Quick test_layout;
@@ -109,4 +179,8 @@ let suite =
       test_cas_roundtrip_boundary;
     Alcotest.test_case "to_string" `Quick test_to_string;
     QCheck_alcotest.to_alcotest prop_roundtrip;
+    Alcotest.test_case "CAS at reign-table offsets" `Quick test_shm_indexed_cas;
+    Alcotest.test_case "boundary word through the mapping" `Quick
+      test_shm_indexed_boundary;
+    QCheck_alcotest.to_alcotest prop_shm_roundtrip;
   ]
