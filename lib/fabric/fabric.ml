@@ -49,12 +49,16 @@
 module Register_intf = Arc_core.Register_intf
 module Obs = Arc_obs.Obs
 
-(* A certified snapshot's typed failure: the fabric's configuration
-   epoch moved between the collect's opening load and the
-   re-certification load, more times than the retry budget — some
-   shard changed leaders mid-snapshot, and the vector might span two
-   reigns.  The caller decides whether to re-issue the snapshot or
-   surface the verdict; nothing is silently served. *)
+(* A certified snapshot's typed failure: the retry budget was spent
+   without certifying a round — because the fabric's configuration
+   epoch moved inside the probe window (some shard changed leaders
+   mid-snapshot; [r_now > r_opened]), or because epoch-matched
+   borrowing starved the final round's dirty-pass cap without an
+   observed epoch move ([r_now = r_opened]; elections elsewhere kept
+   rejecting the deposits the counting bound would otherwise adopt).
+   Either way the vector might span two reigns; the caller decides
+   whether to re-issue the snapshot or surface the verdict, and
+   nothing is silently served. *)
 type reign_change = { r_opened : int; r_now : int }
 
 (* Process-wide reign telemetry.  Unlike the per-fabric scan cells
@@ -69,6 +73,7 @@ module Reign_tel = struct
   let epoch = Atomic.make 0
   let handoffs = Atomic.make 0
   let retries = Atomic.make 0
+  let starved = Atomic.make 0
   let changed = Atomic.make 0
 end
 
@@ -85,9 +90,15 @@ let reign_metrics () =
       (Atomic.get Reign_tel.handoffs);
     counter "arc_reign_snapshot_reign_retries_total"
       ~help:
-        "Certified snapshots re-run because the configuration epoch moved \
-         inside the probe window"
+        "Certified snapshot rounds re-opened because the configuration epoch \
+         was observed to move inside the probe window"
       (Atomic.get Reign_tel.retries);
+    counter "arc_reign_snapshot_starved_reopens_total"
+      ~help:
+        "Certified snapshot rounds re-opened at the dirty-pass cap with the \
+         configuration epoch unmoved (epoch-matched borrowing starved the \
+         counting bound)"
+      (Atomic.get Reign_tel.starved);
     counter "arc_reign_changed_total"
       ~help:
         "Certified snapshots that exhausted their retry budget and returned \
@@ -98,7 +109,13 @@ let reign_metrics () =
 let reset_reign_metrics () =
   List.iter
     (fun c -> Atomic.set c 0)
-    [ Reign_tel.epoch; Reign_tel.handoffs; Reign_tel.retries; Reign_tel.changed ]
+    [
+      Reign_tel.epoch;
+      Reign_tel.handoffs;
+      Reign_tel.retries;
+      Reign_tel.starved;
+      Reign_tel.changed;
+    ]
 
 module Make (R : Register_intf.STAMPED) = struct
   module M = R.Mem
@@ -383,11 +400,16 @@ module Make (R : Register_intf.STAMPED) = struct
      Borrowing is epoch-matched: a deposit certifies its own vector
      only under the epoch {e its} scan opened, so a certified scan
      adopts only deposits with [s_epoch = opened].  That filter can
-     starve the modified-twice counting bound — but only while the
-     epoch is moving around the scan — so each round also caps its
-     dirty passes at the classic 2·shards + 3 bound and re-opens when
-     the cap hits.  Rounds are bounded by [reign_max_retries]; an
-     exhausted budget returns the typed {!reign_change} verdict rather
+     starve the modified-twice counting bound — writers whose own
+     helping certification failed deposit epoch-0 fallbacks the filter
+     rejects — so each round also caps its dirty passes at the classic
+     2·shards + 3 bound and re-opens when the cap hits.  Reopens are
+     counted separately by cause: an observed epoch move
+     ([Reign_tel.retries]) versus a cap hit with the epoch unmoved
+     ([Reign_tel.starved]).  Rounds are bounded by
+     [reign_max_retries]; an exhausted budget returns the typed
+     {!reign_change} verdict — whose [r_now] equals [r_opened] when
+     the final round starved rather than saw the epoch move — rather
      than a vector that might span two reigns.  Total work is at most
      [(max_retries + 1) · (2·shards + 3)] passes. *)
   let scan_certified ctx ~config ~max_retries =
@@ -419,7 +441,8 @@ module Make (R : Register_intf.STAMPED) = struct
           go 1
         and reopen tries opened now =
           if tries < max_retries then begin
-            Atomic.incr Reign_tel.retries;
+            if now <> opened then Atomic.incr Reign_tel.retries
+            else Atomic.incr Reign_tel.starved;
             round (tries + 1)
           end
           else begin
@@ -485,25 +508,29 @@ module Make (R : Register_intf.STAMPED) = struct
            shard (owner_of fab shard) w.wid);
     if M.load fab.active_scans > 0 then begin
       (* With a reign attached, the helping scan runs certified so the
-         deposit carries the epoch scanners match against.  A writer
-         whose helping scan itself hits Reign_changed deposits nothing:
-         helping exists for the counting bound, and during an election
-         the certified scan's own retry budget is what bounds
-         scanners. *)
-      match fab.reign with
-      | None ->
-          let d = freeze (scan w.ctx) in
-          Atomic.set fab.deposits.(w.wid) (Some d);
-          Obs.Cell.incr w.c_deposits
-      | Some config -> (
-          match
-            scan_certified w.ctx ~config ~max_retries:fab.reign_max_retries
-          with
-          | Ok snap ->
-              let d = freeze snap in
-              Atomic.set fab.deposits.(w.wid) (Some d);
-              Obs.Cell.incr w.c_deposits
-          | Error _ -> ())
+         deposit carries the epoch scanners match against.  The cell
+         must be overwritten before EVERY publish that observed an
+         announced scan — the borrow rule's freshness argument is that
+         a shard counted twice implies its owner's deposit was frozen
+         inside the counting scan's window — so a helping scan that
+         itself hits Reign_changed falls back to an uncertified plain
+         scan: plain snapshots keep their freshness and the 2n+3
+         counting bound, while certified scans reject the epoch-0
+         deposit through their epoch-match filter (the configuration
+         epoch starts at 1) and surface the typed verdict through
+         their own retry budget. *)
+      let snap =
+        match fab.reign with
+        | None -> scan w.ctx
+        | Some config -> (
+            match
+              scan_certified w.ctx ~config ~max_retries:fab.reign_max_retries
+            with
+            | Ok snap -> snap
+            | Error (_ : reign_change) -> scan w.ctx)
+      in
+      Atomic.set fab.deposits.(w.wid) (Some (freeze snap));
+      Obs.Cell.incr w.c_deposits
     end;
     R.write fab.regs.(shard) ~src ~len;
     let c = w.w_writes.(shard) in

@@ -45,13 +45,20 @@
 type reign_change = { r_opened : int; r_now : int }
 (** Certification failure: the configuration epoch read [r_opened] when
     the snapshot's final round opened and [r_now] afterwards, and the
-    retry budget is spent.  The vector was discarded, never served. *)
+    retry budget is spent.  [r_now > r_opened] means the epoch was
+    observed to move; [r_now = r_opened] means the final round's retries
+    were spent on deposit starvation (epoch-matched borrowing kept
+    hitting the dirty-pass cap) rather than an observed move.  Either
+    way the vector was discarded, never served. *)
 
 val reign_metrics : unit -> Arc_obs.Obs.metric list
 (** Process-wide reign telemetry: [arc_reign_epoch] (gauge, last epoch
     observed by a completed handoff in this process),
     [arc_reign_handoffs_total], [arc_reign_snapshot_reign_retries_total]
-    and [arc_reign_changed_total]. *)
+    (rounds re-opened on an observed epoch move),
+    [arc_reign_snapshot_starved_reopens_total] (rounds re-opened at the
+    dirty-pass cap with the epoch unmoved) and
+    [arc_reign_changed_total]. *)
 
 val reset_reign_metrics : unit -> unit
 
@@ -63,6 +70,7 @@ module Reign_tel : sig
   val epoch : int Atomic.t
   val handoffs : int Atomic.t
   val retries : int Atomic.t
+  val starved : int Atomic.t
   val changed : int Atomic.t
 end
 
@@ -146,7 +154,12 @@ module Make (R : Arc_core.Register_intf.STAMPED) : sig
   (** Publish [src.(0..len-1)] to [shard].  While a snapshot is
       announced, first takes and deposits a helping snapshot (the
       wait-free helping protocol); otherwise adds a single load to the
-      plain register write.
+      plain register write.  With a reign attached the helping
+      snapshot is certified; if certification fails mid-election the
+      writer still deposits an uncertified (epoch-0) fallback, so the
+      deposit cell is overwritten before {e every} publish that
+      observed an announced scan — the invariant plain snapshots'
+      borrow freshness rests on.
       @raise Invalid_argument if [shard] is out of range or not owned
       by this writer. *)
 
@@ -172,9 +185,10 @@ module Make (R : Arc_core.Register_intf.STAMPED) : sig
       (successors bump the epoch after takeover, before their first
       publish).  Deposits are adopted only when certified under the
       same epoch.  Costs exactly two extra plain loads over
-      {!snapshot} when no election is in flight; when the epoch moves,
-      retries up to [max_retries] rounds (each bounded by the classic
-      pass cap) and then returns [Error] — a typed verdict, never a
+      {!snapshot} when no election is in flight; when the epoch moves
+      (or epoch-matched borrowing starves the dirty-pass cap), retries
+      up to [max_retries] rounds (each bounded by the classic pass
+      cap) and then returns [Error] — a typed verdict, never a
       possibly cross-reign vector.
       @raise Invalid_argument if no reign is attached. *)
 

@@ -432,9 +432,12 @@ let test_certified_sim_static_config () =
 
 let test_certified_sim_reign_changed () =
   (* With handoffs completing mid-scan and a zero retry budget, the
-     typed verdict must actually be reachable — and every verdict must
-     name a genuinely moved epoch. *)
-  let changed = ref 0 in
+     typed verdict must actually be reachable.  A verdict names either
+     a genuinely moved epoch ([r_now > r_opened]) or a starved final
+     round ([r_now = r_opened]: the dirty-pass cap hit while
+     epoch-matched borrowing rejected every deposit); the epoch word is
+     monotone, so [r_now < r_opened] is always a bug. *)
+  let changed = ref 0 and moved = ref 0 in
   for seed = 1 to 20 do
     let oks, errs, _ =
       certified_sim ~seed ~bumping:true ~max_retries:(Some 0) ~steps:6_000 ()
@@ -442,10 +445,11 @@ let test_certified_sim_reign_changed () =
     List.iter
       (fun (rc : Arc_fabric.Fabric.reign_change) ->
         incr changed;
-        if rc.r_now <= rc.r_opened then
+        if rc.r_now > rc.r_opened then incr moved;
+        if rc.r_now < rc.r_opened then
           Alcotest.failf
-            "seed %d: verdict names epochs %d -> %d (never moved)" seed
-            rc.r_opened rc.r_now)
+            "seed %d: verdict names epochs %d -> %d (epoch moved backwards)"
+            seed rc.r_opened rc.r_now)
       errs;
     (* A certified epoch is the opening load's value: ≥ the initial 1,
        and — since the certifying re-load matched — the snapshot's
@@ -457,7 +461,116 @@ let test_certified_sim_reign_changed () =
       oks
   done;
   Alcotest.(check bool) "Reign_changed reachable across the seed sweep" true
-    (!changed > 0)
+    (!changed > 0);
+  Alcotest.(check bool) "moved-epoch verdicts witnessed" true (!moved > 0)
+
+let test_plain_snapshots_linearizable_under_churn () =
+  (* Regression: a writer whose certified helping scan hits
+     Reign_changed must still overwrite its deposit cell before
+     publishing (it falls back to an uncertified helping snapshot).
+     If it published without depositing, a plain scanner counting its
+     shard modified-twice could adopt a deposit frozen {e before} the
+     scan's window — a non-linearizable vector the checker's per-shard
+     projection convicts.  Zero retry budget plus a bumper fiber keeps
+     elections churning so helping certification fails often. *)
+  (* One shard per writer: consecutive writes land on the same shard,
+     so scans observe modified-twice (and borrow) often. *)
+  let shards = 2 and size = 8 and writers = 2 and scanners = 2 in
+  let steps = 20_000 in
+  let borrowed = ref 0 in
+  let churn_one ~name ~strategy ~seed =
+    let init = Array.make size 0 in
+    Ps.stamp init ~seq:0 ~len:size;
+    let fab = Fs.create ~shards ~writers ~readers:scanners ~capacity:size ~init in
+    let config = Arc_vsched.Sim_mem.atomic_contended 1 in
+    Fs.attach_reign ~max_retries:0 fab ~config;
+    let events = Array.init shards (fun _ -> ref []) in
+    let obs = ref [] in
+    let writer wid () =
+      let w = Fs.writer fab wid in
+      let src = Array.make size 0 in
+      let seqs = Array.make shards 0 in
+      while Sched.now () < steps do
+        for s = 0 to shards - 1 do
+          if s mod writers = wid then begin
+            seqs.(s) <- seqs.(s) + 1;
+            Ps.stamp src ~seq:seqs.(s) ~len:size;
+            (* Churning half: a handoff on some other shard completes
+               alongside every write, so the peer writer's helping
+               certification window almost always sees the epoch
+               move. *)
+            if Sched.now () > steps / 2 then
+              ignore (Arc_vsched.Sim_mem.fetch_and_add config 1);
+            let invoked = Sched.now () in
+            Fs.write w ~shard:s ~src ~len:size;
+            let returned = Sched.now () in
+            events.(s) :=
+              History.event History.Write ~thread:wid ~seq:seqs.(s) ~invoked
+                ~returned
+              :: !(events.(s))
+          end
+        done;
+        Sched.cede ()
+      done
+    in
+    let scanner sid () =
+      let sc = Fs.scanner fab sid in
+      let scratch = Array.make size 0 in
+      while Sched.now () < steps do
+        let invoked = Sched.now () in
+        let snap = Fs.snapshot sc in
+        let returned = Sched.now () in
+        let observed =
+          Array.init shards (fun s ->
+              let len = Fs.shard_copy snap s ~dst:scratch in
+              match Ps.validate_words scratch ~len with
+              | Ok seq -> seq
+              | Error e -> Alcotest.failf "seed %d: torn shard %d: %s" seed s e)
+        in
+        obs :=
+          {
+            Checker.sthread = writers + sid;
+            invoked;
+            returned;
+            observed;
+            sepoch = 0 (* plain snapshots carry no reign claim *);
+          }
+          :: !obs;
+        Sched.cede ()
+      done
+    in
+    (* Quiescent first half (helping certifies, deposit cells fill),
+       churning second half (zero budget makes helping certification
+       fail, so only the fallback deposit keeps the cells fresh). *)
+    let bumper () =
+      while Sched.now () < steps do
+        if Sched.now () > steps / 2 then
+          (* Every access is a scheduling point, so back-to-back adds
+             land inside nearly every certification window: helping
+             scans fail their (zero) budget for the whole half. *)
+          ignore (Arc_vsched.Sim_mem.fetch_and_add config 1)
+        else Sched.cede ()
+      done
+    in
+    ignore
+      (Sched.run ~strategy
+         [| writer 0; writer 1; scanner 0; scanner 1; bumper |]);
+    let writes = Array.map (fun l -> History.of_events !l) events in
+    (match Checker.check_fabric ~writes ~snapshots:(List.rev !obs) () with
+    | Ok _ -> ()
+    | Error v ->
+        Alcotest.failf "%s(seed=%d): plain snapshot under reign churn: %a" name
+          seed Checker.pp_fabric_violation v);
+    borrowed := !borrowed + Fs.snapshots_borrowed fab
+  in
+  for seed = 1 to 8 do
+    churn_one ~name:"random" ~strategy:(Strategy.random ~seed) ~seed;
+    churn_one ~name:"burst"
+      ~strategy:(Strategy.random_burst ~seed ~max_burst:60)
+      ~seed
+  done;
+  Alcotest.(check bool) "borrowed regime exercised under churn" true
+    (!borrowed > 0)
 
 let test_checker_cross_reign () =
   (* Shard 1's seq 2 was published by reign 3.  A snapshot observing it
@@ -547,6 +660,8 @@ let suite =
       test_certified_sim_static_config;
     Alcotest.test_case "Reign_changed reachable (vsched)" `Slow
       test_certified_sim_reign_changed;
+    Alcotest.test_case "plain snapshots linearizable under churn (vsched)" `Slow
+      test_plain_snapshots_linearizable_under_churn;
     Alcotest.test_case "checker: cross-reign conviction" `Quick
       test_checker_cross_reign;
   ]
