@@ -1,51 +1,38 @@
-(* arc-perf-gate: per-op regression gate (ISSUE 5, extended by ISSUE 6).
+(* arc-perf-gate: per-op regression gate (ISSUE 5, extended by ISSUEs
+   6, 8 and 10).
 
    Reads the telemetry record of a BENCH_arc.json produced by
    `bench/main.exe --throughput-json`, appends a dated entry to the
    perf trajectory (results/BENCH_trajectory.jsonl, one JSON object
-   per line), and fails if the per-op read cost — read_hit_ns_off,
-   the telemetry-detached fast-path read — regressed more than
-   --threshold percent against the last committed trajectory entry.
-   When a BENCH_fabric.json (bench/main.exe --fabric-json) is present,
-   the fabric's cross-shard snapshot cost per shard collected is
-   tracked and gated the same way, as is the reader admission cycle
-   p99 (reader_join_p99_ns, ISSUE 8) whenever the bench file carries
-   it.
+   per line), and fails if any tracked per-op cost regressed more than
+   --threshold percent against the last committed trajectory entry:
+
+   - read_hit_ns_off — the telemetry-detached classic read hit;
+   - read_plain_ns   — the R2' validated plain-load read (ISSUE 10),
+                       additionally held under an absolute --ceiling
+                       (default 9.8 ns, the pre-R2' classic-path cost
+                       the fast path exists to beat);
+   - snapshot_ns_per_shard and reader_join_p99_ns when their bench
+     files / fields are present (ISSUEs 6 and 8);
+   - read_hit_ns@N / read_plain_ns@N for every core count N found in
+     a BENCH_scaling.json (bench/main.exe --scaling-json --cores ...),
+     so CI enforces scaling, not just single-core cost (ISSUE 10).
 
      dune exec bin/perf_gate.exe
      dune exec bin/perf_gate.exe -- --bench /tmp/BENCH_arc.json --threshold 10
 
-   Exit status 0 = within budget (entry appended), 1 = regression,
-   2 = malformed inputs.
+   Exit status 0 = within budget (entry appended), 1 = regression or
+   ceiling violation, 2 = malformed inputs, 3 = nothing compared (the
+   appended entry seeds the baseline — deliberately non-green so an
+   empty or missing trajectory can never pass silently in CI; commit
+   the seeded trajectory to turn the gate on).
 
-   The JSON handling is deliberately string-level: both files are
-   written by this repository's own emitters with known key spelling,
-   and the toolchain has no JSON library to depend on. *)
+   The decision logic lives in lib/gate (Arc_gate.Gate) so the
+   empty-trajectory behaviour is covered by the tier-1 suite; this
+   file is only IO and exit codes. *)
 
 open Cmdliner
-
-(* Extract the number following ["key": ] — first occurrence. *)
-let field_of ~key s =
-  let pat = Printf.sprintf "\"%s\":" key in
-  let plen = String.length pat in
-  let slen = String.length s in
-  let rec find i =
-    if i + plen > slen then None
-    else if String.sub s i plen = pat then begin
-      let j = ref (i + plen) in
-      while !j < slen && s.[!j] = ' ' do incr j done;
-      let k = ref !j in
-      while
-        !k < slen
-        && (match s.[!k] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false)
-      do
-        incr k
-      done;
-      if !k > !j then float_of_string_opt (String.sub s !j (!k - !j)) else None
-    end
-    else find (i + 1)
-  in
-  find 0
+module Gate = Arc_gate.Gate
 
 let read_file path =
   let ic = open_in_bin path in
@@ -53,6 +40,8 @@ let read_file path =
   let s = really_input_string ic n in
   close_in ic;
   s
+
+let read_opt path = if Sys.file_exists path then Some (read_file path) else None
 
 let last_nonempty_line s =
   String.split_on_char '\n' s
@@ -67,98 +56,40 @@ let iso_date () =
     (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
     t.Unix.tm_sec
 
-let run bench fabric_bench trajectory threshold label =
+let run bench fabric_bench scaling_bench trajectory threshold ceiling label =
   let bench_s =
     try read_file bench
     with Sys_error msg ->
       Printf.eprintf "perf-gate: cannot read %s: %s\n" bench msg;
       exit 2
   in
-  let need key =
-    match field_of ~key bench_s with
-    | Some v -> v
-    | None ->
-      Printf.eprintf
-        "perf-gate: %s has no \"%s\" field — was it written by \
-         bench/main.exe --throughput-json?\n"
-        bench key;
-      exit 2
+  let prior = Option.bind (read_opt trajectory) last_nonempty_line in
+  let result =
+    Gate.evaluate ~bench:bench_s ?fabric:(read_opt fabric_bench)
+      ?scaling:(read_opt scaling_bench) ?prior ~threshold ~ceiling ~label
+      ~date:(iso_date ()) ()
   in
-  let off = need "read_hit_ns_off" in
-  let on_ = need "read_hit_ns_on" in
-  let overhead = need "overhead_pct" in
-  (* The fabric metric (ISSUE 6) is optional so older checkouts and
-     read-only gates keep working: tracked and gated whenever a
-     BENCH_fabric.json is present. *)
-  let snap_per_shard =
-    if Sys.file_exists fabric_bench then
-      match field_of ~key:"snapshot_ns_per_shard" (read_file fabric_bench) with
-      | Some v -> Some v
-      | None ->
-        Printf.eprintf
-          "perf-gate: %s has no \"snapshot_ns_per_shard\" field — was it \
-           written by bench/main.exe --fabric-json?\n"
-          fabric_bench;
-        exit 2
-    else None
-  in
-  (* The reader-join metric (ISSUE 8) is optional for the same reason:
-     BENCH_arc.json files written before the admission gate existed
-     have no such field, and their gates must keep working. *)
-  let join_p99 = field_of ~key:"reader_join_p99_ns" bench_s in
-  let last_line =
-    if Sys.file_exists trajectory then last_nonempty_line (read_file trajectory)
-    else None
-  in
-  let baseline_of key = Option.bind last_line (field_of ~key) in
-  let baseline = baseline_of "read_hit_ns_off" in
-  let snap_baseline = baseline_of "snapshot_ns_per_shard" in
-  let join_baseline = baseline_of "reader_join_p99_ns" in
-  let entry =
-    Printf.sprintf
-      "{\"date\": \"%s\", \"label\": \"%s\", \"read_hit_ns_off\": %.2f, \
-       \"read_hit_ns_on\": %.2f, \"overhead_pct\": %.2f%s%s}"
-      (iso_date ()) label off on_ overhead
-      (match snap_per_shard with
-      | Some v -> Printf.sprintf ", \"snapshot_ns_per_shard\": %.2f" v
-      | None -> "")
-      (match join_p99 with
-      | Some v -> Printf.sprintf ", \"reader_join_p99_ns\": %.2f" v
-      | None -> "")
-  in
-  let oc =
-    open_out_gen [ Open_append; Open_creat ] 0o644 trajectory
-  in
-  output_string oc entry;
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "perf-gate: appended to %s\n  %s\n" trajectory entry;
-  let failures = ref 0 in
-  let gate ~metric ~current ~baseline =
-    match (current, baseline) with
-    | None, _ -> ()
-    | Some _, None ->
-      Printf.printf "perf-gate: no prior %s in trajectory — baseline recorded\n"
-        metric
-    | Some v, Some base ->
-      let limit = base *. (1. +. (threshold /. 100.)) in
-      if v > limit then begin
-        incr failures;
-        Printf.printf
-          "perf-gate: REGRESSION — %s %.2f ns exceeds %.2f ns (last committed \
-           %.2f + %.0f%%)\n"
-          metric v limit base threshold
-      end
-      else
-        Printf.printf
-          "perf-gate: ok — %s %.2f ns within %.0f%% of last committed %.2f\n"
-          metric v threshold base
-  in
-  gate ~metric:"read-hit" ~current:(Some off) ~baseline;
-  gate ~metric:"snapshot-ns-per-shard" ~current:snap_per_shard
-    ~baseline:snap_baseline;
-  gate ~metric:"reader-join-p99" ~current:join_p99 ~baseline:join_baseline;
-  if !failures > 0 then exit 1
+  match result with
+  | Error msg ->
+    Printf.eprintf "perf-gate: %s\n" msg;
+    exit 2
+  | Ok report ->
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 trajectory in
+    output_string oc report.Gate.entry;
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "perf-gate: appended to %s\n  %s\n" trajectory report.Gate.entry;
+    List.iter
+      (fun v -> Format.printf "perf-gate: %a@." Gate.pp_verdict v)
+      report.Gate.verdicts;
+    if report.Gate.failures > 0 then exit 1;
+    if report.Gate.seeded then begin
+      Printf.printf
+        "perf-gate: SEEDED baseline \"%s\" — no prior trajectory entry to \
+         compare against; commit %s to arm the gate (exit 3, not green)\n"
+        label trajectory;
+      exit 3
+    end
 
 let cmd =
   let bench =
@@ -177,6 +108,16 @@ let cmd =
             "BENCH_fabric.json produced by bench/main.exe --fabric-json; when \
              present its snapshot_ns_per_shard is tracked and gated too.")
   in
+  let scaling_bench =
+    Arg.(
+      value
+      & opt string "results/BENCH_scaling.json"
+      & info [ "scaling-bench" ] ~docv:"PATH"
+          ~doc:
+            "BENCH_scaling.json produced by bench/main.exe --scaling-json; \
+             when present every read_hit_ns@N / read_plain_ns@N key it \
+             carries is tracked and gated per core count.")
+  in
   let trajectory =
     Arg.(
       value
@@ -192,6 +133,14 @@ let cmd =
       & info [ "threshold" ] ~docv:"PCT"
           ~doc:"Maximum allowed read-cost regression, in percent.")
   in
+  let ceiling =
+    Arg.(
+      value & opt float 9.8
+      & info [ "ceiling" ] ~docv:"NS"
+          ~doc:
+            "Absolute bound the R2' plain-load read (read_plain_ns) must stay \
+             below — the pre-R2' classic-path cost it exists to beat.")
+  in
   let label =
     Arg.(
       value & opt string "local"
@@ -201,9 +150,12 @@ let cmd =
   Cmd.v
     (Cmd.info "arc-perf-gate"
        ~doc:
-         "Append the current per-op read cost (and, when measured, the \
-          fabric snapshot cost per shard) to the perf trajectory and fail on \
-          regression beyond the threshold.")
-    Term.(const run $ bench $ fabric_bench $ trajectory $ threshold $ label)
+         "Append the current per-op read costs (classic hit, R2' plain load, \
+          per-core-count scaling points, and the fabric/admission metrics \
+          when measured) to the perf trajectory and fail on regression \
+          beyond the threshold; a run that compared nothing exits 3.")
+    Term.(
+      const run $ bench $ fabric_bench $ scaling_bench $ trajectory $ threshold
+      $ ceiling $ label)
 
 let () = exit (Cmd.eval cmd)

@@ -58,14 +58,24 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       end
       else begin
         let len = M.load reg.size in
-        let len = if len < 0 then 0 else if len > reg.capacity then reg.capacity else len in
-        M.blit reg.content rd.scratch ~len;
-        let v2 = M.load reg.version in
-        if v1 = v2 then (rd.scratch, len)
-        else begin
+        if len < 0 || len > reg.capacity then begin
+          (* An out-of-range size word is torn evidence (a racing or
+             corrupted store), not noise to clamp away: treating it as
+             a failed validation keeps the baseline's tear accounting
+             honest in checker comparisons. *)
           rd.retries <- rd.retries + 1;
           M.cede ();
           attempt ()
+        end
+        else begin
+          M.blit reg.content rd.scratch ~len;
+          let v2 = M.load reg.version in
+          if v1 = v2 then (rd.scratch, len)
+          else begin
+            rd.retries <- rd.retries + 1;
+            M.cede ();
+            attempt ()
+          end
         end
       end
     in
@@ -87,4 +97,12 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     M.write_words reg.content ~src ~len;
     M.store reg.size len;
     M.store reg.version (M.load reg.version + 1) (* even: stable *)
+
+  module Debug = struct
+    (* Test-only: plant a (possibly out-of-range) size word as a torn
+       or corrupted store would leave it, without touching the
+       version — the regression harness for the validation above. *)
+    let force_size reg len = M.store reg.size len
+    let capacity reg = reg.capacity
+  end
 end

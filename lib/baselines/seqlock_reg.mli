@@ -16,5 +16,18 @@ module Make (M : Arc_mem.Mem_intf.S) : sig
   include Arc_core.Register_intf.S with module Mem = M
 
   val retries : reader -> int
-  (** Total failed validation attempts by this reader so far. *)
+  (** Total failed validation attempts by this reader so far.  An
+      out-of-range [size] word observed inside the validation window
+      (torn or corrupted store) counts as a failed validation and is
+      re-attempted — never silently clamped. *)
+
+  (** Test-only white-box access, same discipline as
+      {!Arc.Make.S.Debug}. *)
+  module Debug : sig
+    val force_size : t -> int -> unit
+    (** Plant a raw size word (without touching the version), as a
+        torn or corrupted store would leave it. *)
+
+    val capacity : t -> int
+  end
 end

@@ -9,12 +9,22 @@ module type S = sig
 
   val read_stamped : reader -> f:(Mem.buffer -> int -> 'a) -> int * 'a
   val probe_stamp : t -> int
+  val read_plain : reader -> f:(Mem.buffer -> int -> 'a) -> 'a
   val create_with : use_hint:bool -> readers:int -> capacity:int -> init:int array -> t
   val write_guarded : t -> guard:(unit -> unit) -> src:int array -> len:int -> unit
   val recover_crash : t -> int
   val quarantine : t -> int -> unit
   val write_probes : t -> int
   val writes : t -> int
+
+  val write_coalesced :
+    t -> max_pending:int -> max_staleness:int -> src:int array -> len:int -> unit
+
+  val flush_coalesced : t -> unit
+  val pending_writes : t -> int
+  val coalesced_batches : t -> int
+  val coalesced_absorbed : t -> int
+  val max_coalesced_batch : t -> int
 
   type telemetry
 
@@ -26,6 +36,8 @@ module type S = sig
   val fast_reads : telemetry -> int
   val slow_reads : telemetry -> int
   val hint_hits : telemetry -> int
+  val plain_reads : telemetry -> int
+  val plain_fallbacks : telemetry -> int
   val metrics : t -> Arc_obs.Obs.metric list
   val trace : t -> Arc_obs.Ring.entry list
 
@@ -35,10 +47,13 @@ module type S = sig
     val r_start : t -> int -> int
     val r_end : t -> int -> int
     val slot_size : t -> int -> int
+    val slot_seq : t -> int -> int
+    val slot_seq_end : t -> int -> int
     val presence_slack : t -> int
     val presence_bound_holds : t -> bool
     val free_slot_exists : t -> bool
     val force_current : t -> int -> unit
+    val unvalidated_plain : reader -> f:(Mem.buffer -> int -> 'a) -> 'a
   end
 end
 
@@ -62,6 +77,8 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   type telemetry = {
     fast_hits : Obs.Group.t;  (* per reader identity: R2 fast-path reads *)
     slow_cells : Obs.Group.t;  (* per reader identity: R3+R4 slow reads *)
+    plain_cells : Obs.Group.t;  (* per reader identity: validated R2' plain reads *)
+    pfall_cells : Obs.Group.t;  (* per reader identity: R2' stamp-mismatch fallbacks *)
     hint_cell : Obs.Cell.t;  (* writer: §3.4 proposals accepted by W1 *)
     tel_ring : Ring.t;  (* slot-state transition trace *)
     clock : unit -> int;  (* timestamp source for ring entries *)
@@ -79,7 +96,16 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
      the content accesses of the same slot. *)
   type slot = {
     size : M.atomic;  (* words of the snapshot currently in [content] *)
-    seq : M.atomic;  (* publish stamp of the write living in [content] *)
+    seq : M.atomic;  (* begin stamp: stored {e before} the content copy *)
+    seq_end : M.atomic;
+        (* end stamp: stored {e after} content and size.  The pair
+           brackets slot preparation seqlock-style — [seq_end = s]
+           followed (in program order) by [seq = s] read around a plain
+           content scan certifies the scan saw write [s] whole; any
+           overlap with a re-preparation leaves the two unequal, since
+           the writer bumps [seq] to the fresh (strictly greater) stamp
+           before touching a word of content.  This is what makes the
+           copy-free validated R2' read ([read_plain]) sound. *)
     r_start : M.atomic;  (* reads started on this slot since its last update *)
     r_end : M.atomic;  (* reads completed on this slot since its last update *)
     content : M.buffer;
@@ -111,13 +137,46 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
        publish.  Writer-private; a successor resyncs it from the slots
        in [recover_crash] so stamps stay unique across failover. *)
     mutable stamp : int;
+    (* Write-coalescing staging (writer-private, host-heap): the latest
+       absorbed snapshot plus the count of absorbed-but-unpublished
+       writes.  Publishing the staged value is one ordinary write — one
+       W2 exchange and one slot copy for the whole batch. *)
+    co_buf : int array;
+    mutable co_len : int;  (* staged length; -1 = nothing staged *)
+    mutable co_pending : int;  (* absorbed writes since the last publish *)
+    mutable co_batches : int;  (* coalesced publishes *)
+    mutable co_absorbed : int;  (* total writes absorbed into batches *)
+    mutable co_max_batch : int;  (* largest batch published so far *)
     mutable tel : telemetry option;
   }
 
   (* Per-identity counter cells, resolved once at handle creation so
      the fast path pays one option check and one plain increment. *)
-  type rcells = { fast : Obs.Cell.t; slow : Obs.Cell.t }
-  type reader = { reg : t; mutable last_index : int; cells : rcells option }
+  type rcells = {
+    fast : Obs.Cell.t;
+    slow : Obs.Cell.t;
+    plain : Obs.Cell.t;
+    pfall : Obs.Cell.t;
+  }
+
+  (* [last_current]/[view_buf]/[view_len] cache the full packed word
+     observed at the last (re)subscription together with the validated
+     view.  While this reader is subscribed to a slot, that slot can
+     never drain (this reader's release unit is outstanding), hence
+     never be recycled or republished — so [current] reading exactly
+     the cached word certifies both the index {e and} the content are
+     the cached ones, and the hot hit skips the index unpack, the slot
+     array load and the size load.  ABA on the packed word is
+     impossible for the same reason: re-publishing the pinned index
+     requires this reader's release first. *)
+  type reader = {
+    reg : t;
+    mutable last_index : int;
+    mutable last_current : int;
+    mutable view_buf : M.buffer;
+    mutable view_len : int;
+    cells : rcells option;
+  }
 
   let algorithm = algorithm
 
@@ -143,7 +202,14 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       invalid_arg "Arc.create: slot count exceeds index field";
     let fresh_slot () =
       let r_start, r_end = M.atomic_contended_pair 0 0 in
-      { size = M.atomic 0; seq = M.atomic 0; r_start; r_end; content = M.alloc capacity }
+      {
+        size = M.atomic 0;
+        seq = M.atomic 0;
+        seq_end = M.atomic 0;
+        r_start;
+        r_end;
+        content = M.alloc capacity;
+      }
     in
     let slots = Array.init nslots (fun _ -> fresh_slot ()) in
     (* I1: the initial value lives in slot 0 and [current] starts as
@@ -154,6 +220,7 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     M.write_words slots.(0).content ~src:init ~len:(Array.length init);
     M.store slots.(0).size (Array.length init);
     M.store slots.(0).seq 1;
+    M.store slots.(0).seq_end 1;
     {
       slots;
       (* [current] is the single globally hottest word (every reader
@@ -170,6 +237,12 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       probes = 0;
       writes = 0;
       stamp = 1;
+      co_buf = Array.make capacity 0;
+      co_len = -1;
+      co_pending = 0;
+      co_batches = 0;
+      co_absorbed = 0;
+      co_max_batch = 0;
       tel = None;
     }
 
@@ -183,6 +256,13 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       slow_cells =
         Obs.Group.create ~name:"arc_reads_slow_total"
           ~help:"Reads that paid the R3+R4 RMW pair" readers;
+      plain_cells =
+        Obs.Group.create ~name:"arc_reads_plain_total"
+          ~help:"Validated copy-free plain-load reads (R2')" readers;
+      pfall_cells =
+        Obs.Group.create ~name:"arc_reads_plain_fallback_total"
+          ~help:"R2' stamp mismatches that fell back to the classic path"
+          readers;
       hint_cell = Obs.Cell.create ();
       tel_ring = Ring.create ring;
       clock;
@@ -194,6 +274,8 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   let telemetry reg = reg.tel
   let fast_reads tel = Obs.Group.value tel.fast_hits
   let slow_reads tel = Obs.Group.value tel.slow_cells
+  let plain_reads tel = Obs.Group.value tel.plain_cells
+  let plain_fallbacks tel = Obs.Group.value tel.pfall_cells
   let hint_hits tel = Obs.Cell.get tel.hint_cell
 
   let trace reg =
@@ -209,52 +291,92 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
           {
             fast = Obs.Group.cell tel.fast_hits i;
             slow = Obs.Group.cell tel.slow_cells i;
+            plain = Obs.Group.cell tel.plain_cells i;
+            pfall = Obs.Group.cell tel.pfall_cells i;
           }
     in
-    { reg; last_index = 0; cells }
+    (* [last_current = -1] never matches a packed word, so the first
+       read revalidates through the index branch and fills the view
+       cache — keeping handle creation free of substrate operations. *)
+    {
+      reg;
+      last_index = 0;
+      last_current = -1;
+      view_buf = reg.slots.(0).content;
+      view_len = 0;
+      cells;
+    }
 
   (* Algorithm 2.  The fast path (R2) performs a single plain load of
      [current]; only when a newer value was published does the reader
-     pay two RMWs (R3 release + R4 subscribe). *)
+     pay two RMWs (R3 release + R4 subscribe).  The hot hit compares
+     the whole packed word against the cached [last_current]: an exact
+     match certifies nothing moved (the pinned slot cannot be
+     republished, see the [reader] type), so the cached view is
+     returned without unpacking the index or reloading the size.  A
+     word that differs only in the count field still lands on the
+     RMW-free path through the index comparison, merely refreshing the
+     cache — the fast/slow telemetry split is unchanged: fast = reads
+     that paid no RMW. *)
   let read_view rd =
     let reg = rd.reg in
-    let index = Packed.index (M.load reg.current) (* R1 *) in
-    if rd.last_index = index then begin
-      (* R2 fast path: zero RMW — the telemetry hit marker is a plain
-         store to this identity's private cell, never an atomic. *)
-      match rd.cells with
+    let w = M.load reg.current (* R1 *) in
+    if w = rd.last_current then begin
+      (* R2 hot hit: zero RMW, zero further memory traffic — the
+         telemetry hit marker is a plain store to this identity's
+         private cell, never an atomic. *)
+      (match rd.cells with
       | Some c -> c.fast.Obs.Cell.v <- c.fast.Obs.Cell.v + 1
-      | None -> ()
+      | None -> ());
+      (rd.view_buf, rd.view_len)
     end
     else begin
-      (match rd.cells with
-      | Some c -> c.slow.Obs.Cell.v <- c.slow.Obs.Cell.v + 1
-      | None -> ());
-      let released = reg.slots.(rd.last_index) in
-      M.incr released.r_end (* R3 *);
-      if reg.use_hint then begin
-        (* §3.4: if this release made the slot reusable, propose it to
-           the writer.  Plain loads/stores suffice: a stale proposal is
-           re-validated by the writer before use. *)
-        let fin = M.load released.r_end in
-        if fin = M.load released.r_start then M.store reg.hint rd.last_index
+      let index = Packed.index w in
+      if rd.last_index = index then begin
+        (* R2: other readers churned the count but the published slot
+           is still ours — refresh the cached word, stay RMW-free.
+           [w]'s index is the pinned slot, so caching it is sound. *)
+        (match rd.cells with
+        | Some c -> c.fast.Obs.Cell.v <- c.fast.Obs.Cell.v + 1
+        | None -> ());
+        rd.last_current <- w
+      end
+      else begin
+        (match rd.cells with
+        | Some c -> c.slow.Obs.Cell.v <- c.slow.Obs.Cell.v + 1
+        | None -> ());
+        let released = reg.slots.(rd.last_index) in
+        M.incr released.r_end (* R3 *);
+        if reg.use_hint then begin
+          (* §3.4: if this release made the slot reusable, propose it to
+             the writer.  Plain loads/stores suffice: a stale proposal is
+             re-validated by the writer before use. *)
+          let fin = M.load released.r_end in
+          if fin = M.load released.r_start then M.store reg.hint rd.last_index
+        end;
+        let now = M.add_and_fetch reg.current 1 (* R4 *) in
+        (* Saturation guard: with count ≤ readers ≤ 2^32 - 2 by
+           construction this cannot fire; if the count word is ever
+           corrupted (or force-saturated by a fault campaign), the next
+           increment must not silently carry into the index bits.  A
+           post-increment count of 0 is a wrap that already happened;
+           count = max_count means this increment consumed the last
+           head-room unit above the documented 2^32 - 2 bound.  The
+           typed error and message shape are the repository-wide ones
+           (Arc_util.Saturation = Register_intf.Saturated, ISSUE 8). *)
+        Arc_util.Saturation.guard_count ~who:"Arc.read"
+          ~bound:Packed.max_readers (Packed.count now);
+        rd.last_index <- Packed.index now (* R5 *);
+        (* Cache the exact word the subscription returned: its index is
+           the slot this reader now pins, so a later exact match can
+           only mean that same publish is still current. *)
+        rd.last_current <- now
       end;
-      let now = M.add_and_fetch reg.current 1 (* R4 *) in
-      (* Saturation guard: with count ≤ readers ≤ 2^32 - 2 by
-         construction this cannot fire; if the count word is ever
-         corrupted (or force-saturated by a fault campaign), the next
-         increment must not silently carry into the index bits.  A
-         post-increment count of 0 is a wrap that already happened;
-         count = max_count means this increment consumed the last
-         head-room unit above the documented 2^32 - 2 bound.  The
-         typed error and message shape are the repository-wide ones
-         (Arc_util.Saturation = Register_intf.Saturated, ISSUE 8). *)
-      Arc_util.Saturation.guard_count ~who:"Arc.read"
-        ~bound:Packed.max_readers (Packed.count now);
-      rd.last_index <- Packed.index now (* R5 *)
-    end;
-    let entry = reg.slots.(rd.last_index) in
-    (entry.content, M.load entry.size)
+      let entry = reg.slots.(rd.last_index) in
+      rd.view_buf <- entry.content;
+      rd.view_len <- M.load entry.size;
+      (rd.view_buf, rd.view_len)
+    end
 
   let read_with rd ~f =
     let buffer, len = read_view rd in
@@ -281,6 +403,85 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   let probe_stamp reg =
     let index = Packed.index (M.load reg.current) in
     M.load reg.slots.(index).seq
+
+  (* R2': the validated copy-free plain-load read.  One attempt, one
+     bounded fallback — never a retry loop, so wait-freedom is
+     preserved with a worst case of one wasted scan plus one classic
+     read.
+
+     Soundness.  [e1 = seq_end] is loaded before the content scan and
+     [b2 = seq] after it; the writer stores the fresh (strictly
+     greater) stamp into [seq] {e before} touching a word of content
+     and into [seq_end] only once content and size are complete, so
+     [b2 = e1] certifies no re-preparation overlapped the scan — the
+     seqlock argument, split across two words.  The trailing [current]
+     recheck closes the remaining hole: without it the scan could
+     validate a fully-prepared but {e not yet published} write (slot
+     recycled under the reader, new write complete, publish pending),
+     which a later reader might then precede with the older value — a
+     new-old inversion.  With the recheck, the slot is the published
+     one at validation time, and a published slot always holds the
+     write its stamp names (the writer never prepares the current
+     slot), so the validated value was published before we returned.
+     Freshness: the attempt starts from its own [current] load, so the
+     value is the published write at that instant or a later one —
+     independent of this handle's subscription, whose pin is left
+     untouched (a validated R2' read neither releases nor
+     subscribes).
+
+     [f] runs on the shared buffer {e before} validation: on a
+     concurrent overlap it can observe a torn view whose result is
+     discarded.  It must therefore be pure and total on arbitrary
+     word contents (no [f]-visible invariants may be assumed), exactly
+     like a seqlock read section. *)
+  let read_plain_validated rd w ~f =
+    let reg = rd.reg in
+    let index = Packed.index w in
+    let entry = reg.slots.(index) in
+    let e1 = M.load entry.seq_end in
+    let len = M.load entry.size in
+    let buf = entry.content in
+    if len >= 0 && len <= M.capacity buf && M.load entry.seq = e1 then begin
+      let r = f buf len in
+      if
+        M.load entry.seq = e1
+        && Packed.index (M.load reg.current) = index
+      then begin
+        (match rd.cells with
+        | Some c -> c.plain.Obs.Cell.v <- c.plain.Obs.Cell.v + 1
+        | None -> ());
+        r
+      end
+      else begin
+        (match rd.cells with
+        | Some c -> c.pfall.Obs.Cell.v <- c.pfall.Obs.Cell.v + 1
+        | None -> ());
+        read_with rd ~f
+      end
+    end
+    else begin
+      (match rd.cells with
+      | Some c -> c.pfall.Obs.Cell.v <- c.pfall.Obs.Cell.v + 1
+      | None -> ());
+      read_with rd ~f
+    end
+
+  let read_plain rd ~f =
+    let reg = rd.reg in
+    let w = M.load reg.current in
+    if w = rd.last_current then begin
+      (* Pinned hot hit, same argument as [read_view]: the packed word
+         is unchanged since this handle's last subscription, the
+         subscribed slot is presence-pinned and therefore immutable, so
+         the cached view needs no stamp validation at all — a mixed
+         hold loop (read_plain between writes, one classic fallback
+         per write) pays a single load per read at steady state. *)
+      (match rd.cells with
+      | Some c -> c.plain.Obs.Cell.v <- c.plain.Obs.Cell.v + 1
+      | None -> ());
+      f rd.view_buf rd.view_len
+    end
+    else read_plain_validated rd w ~f
 
   let read_into rd ~dst =
     read_with rd ~f:(fun buffer len ->
@@ -355,17 +556,32 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
      write reuses it. *)
   let write_guarded reg ~guard ~src ~len =
     if len < 0 || len > Array.length src then invalid_arg "Arc.write: bad length";
+    (* A direct write supersedes anything still staged by
+       [write_coalesced]: the staged writes are absorbed into this
+       batch (they were older), never resurrected by a later flush. *)
+    if reg.co_pending > 0 then begin
+      let batch = reg.co_pending + 1 in
+      reg.co_pending <- 0;
+      reg.co_len <- -1;
+      reg.co_batches <- reg.co_batches + 1;
+      if batch > reg.co_max_batch then reg.co_max_batch <- batch
+    end;
     let slot = find_free reg (* W1 *) in
     let entry = reg.slots.(slot) in
     if len > M.capacity entry.content then invalid_arg "Arc.write: exceeds capacity";
-    M.write_words entry.content ~src ~len;
-    M.store entry.size len;
-    (* Stamp the prepared slot before it can be published: strictly
-       increasing per writer role, so [probe_stamp] equality certifies
-       an unchanged published value (see [probe_stamp]).  A guard
-       abort burns the stamp — stamps are unique, not dense. *)
+    (* Stamp the slot {e before} the content copy: strictly increasing
+       per writer role, so [probe_stamp] equality certifies an
+       unchanged published value (see [probe_stamp]) and an R2' plain
+       scan overlapping this preparation is guaranteed to observe
+       [seq <> seq_end] on at least one side (see the [slot] type).  A
+       guard abort burns the stamp — stamps are unique, not dense.  A
+       writer crash mid-copy leaves [seq <> seq_end], so no plain read
+       can ever validate the torn content. *)
     reg.stamp <- reg.stamp + 1;
     M.store entry.seq reg.stamp;
+    M.write_words entry.content ~src ~len;
+    M.store entry.size len;
+    M.store entry.seq_end reg.stamp;
     M.store entry.r_start 0;
     M.store entry.r_end 0;
     (* W1.5: journal the slot about to be superseded.  Its subscriber
@@ -452,6 +668,49 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     end
 
   let write reg ~src ~len = write_guarded reg ~guard:ignore ~src ~len
+
+  (* Write coalescing (ROADMAP item 2b).  Absorb into writer-private
+     staging; publish the whole batch with one ordinary write — one W2
+     exchange and one slot copy.  Readers observe the bounded-staleness
+     contract of [Checker.check_bounded_staleness]: a published value
+     lags the newest absorbed write by at most [max_pending - 1]
+     absorbed writes, and [Checker.check_coalesced] judges the publish
+     subsequence (monotone, gaps ≤ the bound, final write never
+     lost provided the caller flushes). *)
+  let flush_coalesced reg =
+    if reg.co_pending > 0 then begin
+      let batch = reg.co_pending and len = reg.co_len in
+      reg.co_pending <- 0;
+      reg.co_len <- -1;
+      reg.co_batches <- reg.co_batches + 1;
+      if batch > reg.co_max_batch then reg.co_max_batch <- batch;
+      write reg ~src:reg.co_buf ~len
+    end
+
+  let write_coalesced reg ~max_pending ~max_staleness ~src ~len =
+    if max_pending < 1 then
+      invalid_arg
+        (Printf.sprintf "Arc.write_coalesced: max_pending = %d (need >= 1)"
+           max_pending);
+    if max_staleness < max_pending then
+      invalid_arg
+        (Printf.sprintf
+           "Arc.write_coalesced: max_pending = %d exceeds max_staleness = %d"
+           max_pending max_staleness);
+    if len < 0 || len > Array.length src then
+      invalid_arg "Arc.write_coalesced: bad length";
+    if len > Array.length reg.co_buf then
+      invalid_arg "Arc.write_coalesced: exceeds capacity";
+    Array.blit src 0 reg.co_buf 0 len;
+    reg.co_len <- len;
+    reg.co_pending <- reg.co_pending + 1;
+    reg.co_absorbed <- reg.co_absorbed + 1;
+    if reg.co_pending >= max_pending then flush_coalesced reg
+
+  let pending_writes reg = reg.co_pending
+  let coalesced_batches reg = reg.co_batches
+  let coalesced_absorbed reg = reg.co_absorbed
+  let max_coalesced_batch reg = reg.co_max_batch
   let write_probes reg = reg.probes
   let writes reg = reg.writes
 
@@ -465,6 +724,14 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
         Obs.counter "arc_quarantined_slots"
           ~help:"Slots retired by crash recovery or external conviction"
           (List.length reg.quarantined);
+        Obs.counter "arc_coalesced_batches_total"
+          ~help:"Coalesced publishes (one exchange per batch)"
+          reg.co_batches;
+        Obs.counter "arc_coalesced_writes_total"
+          ~help:"Writes absorbed into coalescing batches" reg.co_absorbed;
+        Obs.gauge "arc_coalesced_max_batch"
+          ~help:"Largest coalesced batch published so far"
+          (float_of_int reg.co_max_batch);
       ]
     in
     match reg.tel with
@@ -481,6 +748,8 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       in
       per_reader tel.fast_hits
       @ per_reader tel.slow_cells
+      @ per_reader tel.plain_cells
+      @ per_reader tel.pfall_cells
       @ Obs.counter "arc_hint_hits_total"
           ~help:"§3.4 free-slot proposals accepted by the writer"
           (Obs.Cell.get tel.hint_cell)
@@ -495,6 +764,20 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     let r_start reg j = M.load reg.slots.(j).r_start
     let r_end reg j = M.load reg.slots.(j).r_end
     let slot_size reg j = M.load reg.slots.(j).size
+    let slot_seq reg j = M.load reg.slots.(j).seq
+    let slot_seq_end reg j = M.load reg.slots.(j).seq_end
+
+    (* Negative control for the R2' tests: the same plain scan with the
+       stamp validation deliberately skipped — a schedule overlapping a
+       write must let the payload checker convict the torn view. *)
+    let unvalidated_plain rd ~f =
+      let reg = rd.reg in
+      let index = Packed.index (M.load reg.current) in
+      let entry = reg.slots.(index) in
+      let len = M.load entry.size in
+      let buf = entry.content in
+      let len = if len < 0 || len > M.capacity buf then 0 else len in
+      f buf len
 
     (* readers − (Σ_j (r_start j − r_end j) + count current).  0 in any
        quiescent live state; under crash-stop readers each crash can

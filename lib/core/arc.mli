@@ -56,6 +56,33 @@ module type S = sig
       probe racing a recycle can read a {e newer} stamp — a spurious
       mismatch — but never an older one. *)
 
+  val read_plain : reader -> f:(Mem.buffer -> int -> 'a) -> 'a
+  (** R2' (ROADMAP item 2a): the validated copy-free plain-load read.
+      Runs [f] directly on the {e currently published} slot bracketed
+      by the slot's begin/end publish stamps (stored by the writer
+      around the content copy, seqlock-style), skipping even the
+      [last_index] comparison and the presence machinery.  On a stamp
+      mismatch — a write overlapped the scan — it falls back to
+      {!S.read_with} exactly once (never a retry loop), so
+      wait-freedom is preserved: worst case one wasted scan plus one
+      classic read.
+
+      When the packed synchronization word still equals the one this
+      handle cached at its last subscription, the scan and validation
+      are skipped entirely and the pinned cached view is returned (the
+      subscribed slot is presence-pinned, hence immutable) — one load
+      per read at steady state in a mixed hold loop.
+
+      The subscription pin of [rd] is untouched by a validated R2'
+      read; mixing {!read_plain} and {!S.read_with} on one handle
+      stays atomic (a validated plain value is always at least as new
+      as the pinned one, and a later classic read resubscribes past
+      it).
+
+      [f] may run on a torn view whose result is then discarded: it
+      must be pure and total on arbitrary word contents, exactly like
+      a seqlock read section, and must not retain the buffer. *)
+
   val create_with : use_hint:bool -> readers:int -> capacity:int -> init:int array -> t
   (** Like {!create} but choosing whether the §3.4 free-slot hint is
       used ({!create} enables it).  [use_hint:false] is the ablation
@@ -101,6 +128,43 @@ module type S = sig
   val writes : t -> int
   (** Number of completed writes (writer-thread view). *)
 
+  val write_coalesced :
+    t -> max_pending:int -> max_staleness:int -> src:int array -> len:int -> unit
+  (** Write coalescing (ROADMAP item 2b): absorb the write into a
+      writer-private staging buffer (latest value wins) and publish
+      the batch with {e one} W2 exchange and one slot copy once
+      [max_pending] writes are pending.  Readers observe the
+      bounded-staleness contract ({!Arc_trace.Checker}'s
+      [check_bounded_staleness] / [check_coalesced]): a published
+      value lags the newest absorbed write by fewer than [max_pending]
+      writes, and [max_pending <= max_staleness] is enforced here so
+      every batch respects the declared staleness bound.  The final
+      write of a burst is pending until {!flush_coalesced} (or a
+      direct {!S.write}, which absorbs and supersedes the staged
+      batch) — callers must flush at burst end or the tail write is
+      never published.  Writer-thread only.
+      @raise Invalid_argument if [max_pending < 1],
+      [max_staleness < max_pending], or the length is invalid. *)
+
+  val flush_coalesced : t -> unit
+  (** Publish the staged batch now, if any — one classic write.
+      Writer-thread only; a no-op with nothing pending. *)
+
+  val pending_writes : t -> int
+  (** Writes currently absorbed but not yet published. *)
+
+  val coalesced_batches : t -> int
+  (** Batches published so far (by flush, threshold, or a superseding
+      direct write). *)
+
+  val coalesced_absorbed : t -> int
+  (** Total writes absorbed by {!write_coalesced} so far. *)
+
+  val max_coalesced_batch : t -> int
+  (** Largest batch published so far — the property-test bound:
+      must never exceed the [max_staleness] passed to the absorbing
+      writes. *)
+
   (** {2 Telemetry (ISSUE 5)}
 
       Always-on wait-free observability.  All counters are host-heap
@@ -141,6 +205,14 @@ module type S = sig
   val hint_hits : telemetry -> int
   (** §3.4 free-slot proposals accepted by W1 searches. *)
 
+  val plain_reads : telemetry -> int
+  (** Reads served by a validated R2' plain load ({!read_plain}). *)
+
+  val plain_fallbacks : telemetry -> int
+  (** R2' attempts that failed validation and fell back to the classic
+      path (those reads are additionally counted fast or slow by the
+      fallback itself). *)
+
   val metrics : t -> Arc_obs.Obs.metric list
   (** Register counters (writes, probes, quarantined) plus — when
       telemetry is attached — per-reader fast/slow read counters, hint
@@ -161,6 +233,11 @@ module type S = sig
     val r_start : t -> int -> int
     val r_end : t -> int -> int
     val slot_size : t -> int -> int
+
+    val slot_seq : t -> int -> int
+    val slot_seq_end : t -> int -> int
+    (** The R2' begin/end publish stamps of a slot; equal exactly when
+        the slot's content is a complete write. *)
 
     val presence_slack : t -> int
     (** [readers - (Σ_j (r_start(j) - r_end(j)) + count(current))] —
@@ -187,6 +264,13 @@ module type S = sig
     (** Test-only: overwrite the packed synchronization word, e.g. to
         place the count at the saturation boundary and exercise the
         {!Register_intf.Saturated} guard. *)
+
+    val unvalidated_plain : reader -> f:(Mem.buffer -> int -> 'a) -> 'a
+    (** Negative control for the R2' tests: the plain scan with the
+        stamp validation deliberately skipped.  Under a schedule that
+        overlaps a write it returns torn views — the payload checker
+        must convict it, proving the validation in {!read_plain} is
+        load-bearing.  Never use outside tests. *)
   end
 end
 

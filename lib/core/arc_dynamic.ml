@@ -13,6 +13,8 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   type telemetry = {
     fast_hits : Obs.Group.t;
     slow_cells : Obs.Group.t;
+    plain_cells : Obs.Group.t;  (* validated R2' plain reads *)
+    pfall_cells : Obs.Group.t;  (* R2' stamp-mismatch fallbacks *)
     hint_cell : Obs.Cell.t;
     tel_ring : Ring.t;
     clock : unit -> int;
@@ -23,7 +25,13 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
         (* words of the snapshot in [content]; -1 is the revocation
            marker: the slot's storage was reclaimed while a laggard
            (possibly crashed) reader still pins it *)
-    seq : M.atomic;  (* publish stamp of the write living in [content] *)
+    seq : M.atomic;  (* begin stamp: stored before buffer swap and copy *)
+    seq_end : M.atomic;
+        (* end stamp: stored once content and size are complete — the
+           R2' validation bracket, see {!Arc.Make}.  Buffer swaps
+           (realloc, revocation) happen strictly inside a bracket or
+           under the revocation marker, so a plain scan that validates
+           read one complete write out of one buffer. *)
     r_start : M.atomic;
     r_end : M.atomic;
     mutable content : M.buffer;
@@ -57,6 +65,13 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     mutable writes : int;
     (* Publish-stamp counter (Register_intf.STAMPED) — see Arc. *)
     mutable stamp : int;
+    (* Write-coalescing staging — see Arc. *)
+    co_buf : int array;
+    mutable co_len : int;
+    mutable co_pending : int;
+    mutable co_batches : int;
+    mutable co_absorbed : int;
+    mutable co_max_batch : int;
     mutable tel : telemetry option;
   }
 
@@ -67,11 +82,23 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
      points at intact storage — storage reclaim is invisible to
      already-subscribed readers, whose cached buffer stays alive
      through the GC. *)
-  type rcells = { fast : Obs.Cell.t; slow : Obs.Cell.t }
+  type rcells = {
+    fast : Obs.Cell.t;
+    slow : Obs.Cell.t;
+    plain : Obs.Cell.t;
+    pfall : Obs.Cell.t;
+  }
 
+  (* [last_current] caches the packed word observed at the last
+     (re)subscription — an exact match certifies the cached view is
+     still the published value (the pinned slot can never be
+     republished, and revocation only touches {e superseded} slots, so
+     a slot that is still current holds intact storage); see
+     {!Arc.Make.reader}. *)
   type reader = {
     reg : t;
     mutable last_index : int;
+    mutable last_current : int;
     mutable view_buf : M.buffer;
     mutable view_len : int;
     cells : rcells option;
@@ -105,6 +132,7 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       {
         size = M.atomic 0;
         seq = M.atomic 0;
+        seq_end = M.atomic 0;
         r_start;
         r_end;
         content = M.alloc words;
@@ -119,6 +147,7 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     M.write_words slots.(0).content ~src:init ~len:(Array.length init);
     M.store slots.(0).size (Array.length init);
     M.store slots.(0).seq 1;
+    M.store slots.(0).seq_end 1;
     {
       slots;
       current = M.atomic_contended (Packed.make ~index:0 ~count:readers);
@@ -133,6 +162,12 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       reclaimed = 0;
       writes = 0;
       stamp = 1;
+      co_buf = Array.make capacity 0;
+      co_len = -1;
+      co_pending = 0;
+      co_batches = 0;
+      co_absorbed = 0;
+      co_max_batch = 0;
       tel = None;
     }
 
@@ -144,6 +179,13 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       slow_cells =
         Obs.Group.create ~name:"arc_reads_slow_total"
           ~help:"Reads that paid the R3+R4 RMW pair" readers;
+      plain_cells =
+        Obs.Group.create ~name:"arc_reads_plain_total"
+          ~help:"Validated copy-free plain-load reads (R2')" readers;
+      pfall_cells =
+        Obs.Group.create ~name:"arc_reads_plain_fallback_total"
+          ~help:"R2' stamp mismatches that fell back to the classic path"
+          readers;
       hint_cell = Obs.Cell.create ();
       tel_ring = Ring.create ring;
       clock;
@@ -153,6 +195,8 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   let telemetry reg = reg.tel
   let fast_reads tel = Obs.Group.value tel.fast_hits
   let slow_reads tel = Obs.Group.value tel.slow_cells
+  let plain_reads tel = Obs.Group.value tel.plain_cells
+  let plain_fallbacks tel = Obs.Group.value tel.pfall_cells
   let hint_hits tel = Obs.Cell.get tel.hint_cell
 
   let trace reg =
@@ -176,7 +220,9 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     if fin = M.load released.r_start then M.store reg.hint rd.last_index;
     let now = M.add_and_fetch reg.current 1 in
     saturation_guard now;
-    rd.last_index <- Packed.index now
+    rd.last_index <- Packed.index now;
+    (* Cache the exact subscription word — see {!Arc.Make.read_view}. *)
+    rd.last_current <- now
 
   (* Validate-and-cache the view of the slot the reader is subscribed
      to.  The revocation marker is checked on both sides of the
@@ -215,12 +261,15 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
           {
             fast = Obs.Group.cell tel.fast_hits i;
             slow = Obs.Group.cell tel.slow_cells i;
+            plain = Obs.Group.cell tel.plain_cells i;
+            pfall = Obs.Group.cell tel.pfall_cells i;
           }
     in
     let rd =
       {
         reg;
         last_index = 0;
+        last_current = -1;
         view_buf = reg.slots.(0).content;
         view_len = -1;
         cells;
@@ -234,20 +283,30 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
 
   let read_view rd =
     let reg = rd.reg in
-    let index = Packed.index (M.load reg.current) (* R1 *) in
-    if rd.last_index = index then begin
-      (* R2 fast path: the hit marker is a plain store to this
-         identity's private cell — zero RMW preserved. *)
+    let w = M.load reg.current (* R1 *) in
+    if w = rd.last_current then begin
+      (* R2 hot hit: exact packed-word match, cached view returned
+         with no further memory traffic — see {!Arc.Make.read_view}. *)
       match rd.cells with
       | Some c -> c.fast.Obs.Cell.v <- c.fast.Obs.Cell.v + 1
       | None -> ()
     end
     else begin
-      (match rd.cells with
-      | Some c -> c.slow.Obs.Cell.v <- c.slow.Obs.Cell.v + 1
-      | None -> ());
-      release_and_subscribe rd (* R3-R5 *);
-      acquire rd
+      let index = Packed.index w in
+      if rd.last_index = index then begin
+        (* R2: count churn only — still RMW-free; refresh the word. *)
+        (match rd.cells with
+        | Some c -> c.fast.Obs.Cell.v <- c.fast.Obs.Cell.v + 1
+        | None -> ());
+        rd.last_current <- w
+      end
+      else begin
+        (match rd.cells with
+        | Some c -> c.slow.Obs.Cell.v <- c.slow.Obs.Cell.v + 1
+        | None -> ());
+        release_and_subscribe rd (* R3-R5 *);
+        acquire rd
+      end
     end;
     (rd.view_buf, rd.view_len)
 
@@ -267,6 +326,60 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   let probe_stamp reg =
     let index = Packed.index (M.load reg.current) in
     M.load reg.slots.(index).seq
+
+  (* R2' — see {!Arc.Make.read_plain} for the soundness argument.  The
+     dynamic wrinkle is the mutable buffer: the scan captures
+     [entry.content] once and bounds-checks the loaded size against
+     the {e captured} buffer, so a realloc or revocation racing the
+     scan can at worst fail validation, never index out of bounds.
+     The writer swaps buffers only after storing the fresh begin
+     stamp, so a captured-buffer/new-content mix always leaves
+     [seq <> seq_end] visible to the validation. *)
+  let read_plain_validated rd w ~f =
+    let reg = rd.reg in
+    let index = Packed.index w in
+    let entry = reg.slots.(index) in
+    let e1 = M.load entry.seq_end in
+    let len = M.load entry.size in
+    let buf = entry.content in
+    if len >= 0 && len <= M.capacity buf && M.load entry.seq = e1 then begin
+      let r = f buf len in
+      if
+        M.load entry.seq = e1
+        && Packed.index (M.load reg.current) = index
+      then begin
+        (match rd.cells with
+        | Some c -> c.plain.Obs.Cell.v <- c.plain.Obs.Cell.v + 1
+        | None -> ());
+        r
+      end
+      else begin
+        (match rd.cells with
+        | Some c -> c.pfall.Obs.Cell.v <- c.pfall.Obs.Cell.v + 1
+        | None -> ());
+        read_with rd ~f
+      end
+    end
+    else begin
+      (match rd.cells with
+      | Some c -> c.pfall.Obs.Cell.v <- c.pfall.Obs.Cell.v + 1
+      | None -> ());
+      read_with rd ~f
+    end
+
+  let read_plain rd ~f =
+    let reg = rd.reg in
+    let w = M.load reg.current in
+    if w = rd.last_current then begin
+      (* Pinned hot hit, same argument as [read_view] — and revocation
+         cannot touch the cached buffer either, since the slot behind
+         an unchanged packed word is current, not superseded. *)
+      (match rd.cells with
+      | Some c -> c.plain.Obs.Cell.v <- c.plain.Obs.Cell.v + 1
+      | None -> ());
+      f rd.view_buf rd.view_len
+    end
+    else read_plain_validated rd w ~f
 
   let read_into rd ~dst =
     read_with rd ~f:(fun buffer len ->
@@ -375,8 +488,22 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
   let write_guarded reg ~guard ~src ~len =
     if len < 0 || len > Array.length src then invalid_arg "Arc_dynamic.write: bad length";
     if len > reg.capacity then invalid_arg "Arc_dynamic.write: exceeds capacity";
+    (* A direct write supersedes anything staged by [write_coalesced] —
+       see {!Arc.Make.write_guarded}. *)
+    if reg.co_pending > 0 then begin
+      let batch = reg.co_pending + 1 in
+      reg.co_pending <- 0;
+      reg.co_len <- -1;
+      reg.co_batches <- reg.co_batches + 1;
+      if batch > reg.co_max_batch then reg.co_max_batch <- batch
+    end;
     let slot = find_free reg in
     let entry = reg.slots.(slot) in
+    (* Begin stamp before any content mutation — buffer swap included —
+       so an R2' scan overlapping this preparation can never validate
+       (see {!Arc.Make.write_guarded}). *)
+    reg.stamp <- reg.stamp + 1;
+    M.store entry.seq reg.stamp;
     if needs_realloc entry len then begin
       (* The slot is free: no reader presence is accounted on it, so
          swapping the buffer races with nobody.  Readers holding views
@@ -394,9 +521,7 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     end;
     M.write_words entry.content ~src ~len;
     M.store entry.size len;
-    (* Stamp before publish — see Arc.write_guarded. *)
-    reg.stamp <- reg.stamp + 1;
-    M.store entry.seq reg.stamp;
+    M.store entry.seq_end reg.stamp;
     M.store entry.r_start 0;
     M.store entry.r_end 0;
     entry.superseded_at <- -1;
@@ -425,6 +550,42 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     | _ -> ()
 
   let write reg ~src ~len = write_guarded reg ~guard:ignore ~src ~len
+
+  (* Write coalescing — see {!Arc.Make}. *)
+  let flush_coalesced reg =
+    if reg.co_pending > 0 then begin
+      let batch = reg.co_pending and len = reg.co_len in
+      reg.co_pending <- 0;
+      reg.co_len <- -1;
+      reg.co_batches <- reg.co_batches + 1;
+      if batch > reg.co_max_batch then reg.co_max_batch <- batch;
+      write reg ~src:reg.co_buf ~len
+    end
+
+  let write_coalesced reg ~max_pending ~max_staleness ~src ~len =
+    if max_pending < 1 then
+      invalid_arg
+        (Printf.sprintf "Arc_dynamic.write_coalesced: max_pending = %d (need >= 1)"
+           max_pending);
+    if max_staleness < max_pending then
+      invalid_arg
+        (Printf.sprintf
+           "Arc_dynamic.write_coalesced: max_pending = %d exceeds max_staleness = %d"
+           max_pending max_staleness);
+    if len < 0 || len > Array.length src then
+      invalid_arg "Arc_dynamic.write_coalesced: bad length";
+    if len > reg.capacity then
+      invalid_arg "Arc_dynamic.write_coalesced: exceeds capacity";
+    Array.blit src 0 reg.co_buf 0 len;
+    reg.co_len <- len;
+    reg.co_pending <- reg.co_pending + 1;
+    reg.co_absorbed <- reg.co_absorbed + 1;
+    if reg.co_pending >= max_pending then flush_coalesced reg
+
+  let pending_writes reg = reg.co_pending
+  let coalesced_batches reg = reg.co_batches
+  let coalesced_absorbed reg = reg.co_absorbed
+  let max_coalesced_batch reg = reg.co_max_batch
 
   (* Successor-writer recovery — see Arc.recover_crash. *)
   let recover_crash reg =
@@ -469,6 +630,14 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
         Obs.gauge "arc_footprint_words"
           ~help:"Words currently allocated across slot buffers"
           (float_of_int (footprint_words reg));
+        Obs.counter "arc_coalesced_batches_total"
+          ~help:"Coalesced publishes (one exchange per batch)"
+          reg.co_batches;
+        Obs.counter "arc_coalesced_writes_total"
+          ~help:"Writes absorbed into coalescing batches" reg.co_absorbed;
+        Obs.gauge "arc_coalesced_max_batch"
+          ~help:"Largest coalesced batch published so far"
+          (float_of_int reg.co_max_batch);
       ]
     in
     match reg.tel with
@@ -485,6 +654,8 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
       in
       per_reader tel.fast_hits
       @ per_reader tel.slow_cells
+      @ per_reader tel.plain_cells
+      @ per_reader tel.pfall_cells
       @ Obs.counter "arc_hint_hits_total"
           ~help:"§3.4 free-slot proposals accepted by the writer"
           (Obs.Cell.get tel.hint_cell)
@@ -513,6 +684,18 @@ module Make (M : Arc_mem.Mem_intf.S) = struct
     let r_start reg j = M.load reg.slots.(j).r_start
     let r_end reg j = M.load reg.slots.(j).r_end
     let slot_size reg j = M.load reg.slots.(j).size
+    let slot_seq reg j = M.load reg.slots.(j).seq
+    let slot_seq_end reg j = M.load reg.slots.(j).seq_end
+
+    (* Negative control for the R2' tests — see {!Arc.Make.Debug}. *)
+    let unvalidated_plain rd ~f =
+      let reg = rd.reg in
+      let index = Packed.index (M.load reg.current) in
+      let entry = reg.slots.(index) in
+      let len = M.load entry.size in
+      let buf = entry.content in
+      let len = if len < 0 || len > M.capacity buf then 0 else len in
+      f buf len
 
     (* readers − (Σ_j (r_start j − r_end j) + count current); see
        Arc.Debug.presence_slack for the ledger argument. *)

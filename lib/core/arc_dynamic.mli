@@ -68,6 +68,25 @@ module Make (M : Arc_mem.Mem_intf.S) : sig
       pinned reader's cached view and its stamp always describe the
       same write. *)
 
+  val read_plain : reader -> f:(Mem.buffer -> int -> 'a) -> 'a
+  (** R2' validated plain-load read — see {!Arc.Make.S.read_plain}.
+      The scan captures the slot's buffer once and bounds-checks the
+      size against that capture, so a buffer swap (realloc or
+      revocation) racing the scan fails validation instead of faulting;
+      [f] must be pure and total on arbitrary word contents. *)
+
+  val write_coalesced :
+    t -> max_pending:int -> max_staleness:int -> src:int array -> len:int -> unit
+
+  val flush_coalesced : t -> unit
+  val pending_writes : t -> int
+  val coalesced_batches : t -> int
+  val coalesced_absorbed : t -> int
+  val max_coalesced_batch : t -> int
+  (** Write coalescing — see {!Arc.Make.S.write_coalesced}: absorb up
+      to [max_pending] writes and publish the batch with one exchange
+      and one slot copy, under the declared [max_staleness] bound. *)
+
   val footprint_words : t -> int
   (** Total words currently allocated across all slot buffers. *)
 
@@ -110,6 +129,14 @@ module Make (M : Arc_mem.Mem_intf.S) : sig
     val r_end : t -> int -> int
     val slot_size : t -> int -> int
 
+    val slot_seq : t -> int -> int
+    val slot_seq_end : t -> int -> int
+    (** The R2' begin/end publish stamps — see {!Arc.Make.S.Debug}. *)
+
+    val unvalidated_plain : reader -> f:(Mem.buffer -> int -> 'a) -> 'a
+    (** Negative control: the R2' scan without stamp validation — see
+        {!Arc.Make.S.Debug}.  Never use outside tests. *)
+
     val presence_slack : t -> int
     (** readers − (frozen presence + live count); 0 in any quiescent
         uncorrupted state, in [0, crashed readers] under crash-stop
@@ -144,6 +171,8 @@ module Make (M : Arc_mem.Mem_intf.S) : sig
   val fast_reads : telemetry -> int
   val slow_reads : telemetry -> int
   val hint_hits : telemetry -> int
+  val plain_reads : telemetry -> int
+  val plain_fallbacks : telemetry -> int
   val metrics : t -> Arc_obs.Obs.metric list
   val trace : t -> Arc_obs.Ring.entry list
 end

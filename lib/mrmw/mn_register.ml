@@ -25,6 +25,7 @@ module Make (A : Arc_core.Register_intf.ALGORITHM) (M : Arc_mem.Mem_intf.S) = st
     scratch : int array;
     mutable scratch_len : int;  (* value words currently in scratch *)
     mutable last_ts : int;
+    mutable last_wid : int;
   }
 
   (* Handle-identity layout inside sub-register w: other writers take
@@ -75,6 +76,7 @@ module Make (A : Arc_core.Register_intf.ALGORITHM) (M : Arc_mem.Mem_intf.S) = st
       scratch = Array.make t.capacity 0;
       scratch_len = 0;
       last_ts = 0;
+      last_wid = 0;
     }
 
   let timestamp_of buffer = M.read_word buffer 0
@@ -95,10 +97,17 @@ module Make (A : Arc_core.Register_intf.ALGORITHM) (M : Arc_mem.Mem_intf.S) = st
     R.write w.reg.subs.(w.id) ~src:w.buf ~len:(header + len);
     w.own_ts <- ts
 
-  let read_into rd ~dst =
-    (* Collect all sub-registers, keeping the snapshot with the
-       largest ⟨ts, writer-id⟩; the copy happens inside read_with, the
-       only window in which the snapshot is guaranteed stable. *)
+  (* Two writers can legitimately publish {e equal} timestamps (both
+     collect before either publishes, picking the same [1 + max]), so
+     ⟨ts, writer-id⟩ is the register's logical clock: the writer id is
+     the tie-break that makes the winner schedule-independent.  A
+     timestamp-alone comparison leaves equal-ts writes unordered and
+     readers may disagree on the winner — the conviction target of the
+     [read_into_ts_only] negative control below. *)
+  let beats ~ts ~wid ~best_ts ~best_wid =
+    ts > best_ts || (ts = best_ts && wid > best_wid)
+
+  let collect rd ~keep =
     let best_ts = ref (-1) and best_wid = ref (-1) in
     rd.scratch_len <- 0;
     Array.iter
@@ -106,7 +115,7 @@ module Make (A : Arc_core.Register_intf.ALGORITHM) (M : Arc_mem.Mem_intf.S) = st
         R.read_with handle ~f:(fun buffer len ->
             let ts = M.read_word buffer 0 in
             let wid = M.read_word buffer 1 in
-            if ts > !best_ts || (ts = !best_ts && wid > !best_wid) then begin
+            if keep ~ts ~wid ~best_ts:!best_ts ~best_wid:!best_wid then begin
               best_ts := ts;
               best_wid := wid;
               let value_len = len - header in
@@ -116,11 +125,32 @@ module Make (A : Arc_core.Register_intf.ALGORITHM) (M : Arc_mem.Mem_intf.S) = st
               rd.scratch_len <- value_len
             end))
       rd.handles;
+    rd.last_ts <- !best_ts;
+    rd.last_wid <- !best_wid
+
+  let finish rd ~dst =
     if Array.length dst < rd.scratch_len then
       invalid_arg "Mn_register.read_into: dst too short";
     Array.blit rd.scratch 0 dst 0 rd.scratch_len;
-    rd.last_ts <- !best_ts;
     rd.scratch_len
 
+  let read_into rd ~dst =
+    (* Collect all sub-registers, keeping the snapshot with the
+       lexicographically largest ⟨ts, writer-id⟩; the copy happens
+       inside read_with, the only window in which the snapshot is
+       guaranteed stable. *)
+    collect rd ~keep:beats;
+    finish rd ~dst
+
+  (* Negative control: the broken comparison the tie-break exists to
+     rule out.  Keeps the {e first} maximal timestamp scanned, so the
+     winner among equal-ts writes depends on sub-register order and
+     publish timing — the vsched regression convicts it by finding a
+     schedule where a reader's ⟨ts, wid⟩ sequence goes backwards. *)
+  let read_into_ts_only rd ~dst =
+    collect rd ~keep:(fun ~ts ~wid:_ ~best_ts ~best_wid:_ -> ts > best_ts);
+    finish rd ~dst
+
   let last_timestamp rd = rd.last_ts
+  let last_writer rd = rd.last_wid
 end

@@ -38,10 +38,29 @@ module Make (_ : Arc_core.Register_intf.ALGORITHM) (_ : Arc_mem.Mem_intf.S) : si
 
   val read_into : reader -> dst:int array -> int
   (** Copies the winning snapshot's value into [dst], returns its
-      length. *)
+      length.  The winner is the lexicographically largest
+      ⟨timestamp, writer-id⟩: concurrent writers can publish {e equal}
+      timestamps (both collect before either publishes), and the
+      writer-id tie-break is what keeps the winner
+      schedule-independent. *)
+
+  val read_into_ts_only : reader -> dst:int array -> int
+  (** Negative control ({e broken by design} — test use only): the
+      collect with the writer-id tie-break removed, keeping the first
+      maximal timestamp scanned.  Equal-ts writes are left unordered,
+      so readers can disagree on the winner and a reader's
+      ⟨ts, writer-id⟩ sequence can go backwards — the vsched
+      regression convicts exactly this. *)
 
   val last_timestamp : reader -> int
   (** Timestamp of the last snapshot returned by {!read_into} on this
       handle (0 before any read) — lets tests check timestamp
       monotonicity per reader. *)
+
+  val last_writer : reader -> int
+  (** Writer id of that same snapshot (0 before any read).  Together
+      with {!last_timestamp} this exposes the full logical clock
+      ⟨ts, writer-id⟩, the quantity that must be non-decreasing per
+      reader — timestamp alone cannot detect an equal-ts
+      inversion. *)
 end

@@ -40,6 +40,8 @@ let () =
       ("histogram", Test_histogram.suite);
       ("history", Test_history.suite);
       ("checker", Test_checker.suite);
+      ("fastpath", Test_fastpath.suite);
+      ("gate", Test_gate.suite);
       ("generic:arc", Arc_suite.suite);
       ("generic:arc-nohint", Arc_nohint_suite.suite);
       ("generic:rf", Rf_suite.suite);

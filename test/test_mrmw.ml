@@ -116,6 +116,53 @@ let test_concurrent_writers_on_domains () =
   Array.iter Domain.join domains;
   check "no per-reader timestamp regressions" 0 (Atomic.get regressions)
 
+(* ISSUE 10 satellite: equal timestamps are legitimate (two writers
+   collect before either publishes, both picking 1 + max), so the
+   winner must be the lexicographically largest ⟨ts, writer-id⟩.  The
+   oracle is per-reader monotonicity of that pair; the conviction
+   target is [read_into_ts_only], the tie-break removed.  A schedule
+   convicts it when a reader first sees ⟨ts, 1⟩ (only writer 1
+   published yet), then writer 0 publishes the {e same} ts and the
+   scan-order-first rule flips the winner back to ⟨ts, 0⟩. *)
+let lex_regressed read_into seed =
+  let reg = Mn_sim.create ~writers:2 ~readers:2 ~capacity:2 ~init:[| 0 |] in
+  let writer i () =
+    let w = Mn_sim.writer reg i in
+    for k = 1 to 6 do
+      Mn_sim.write w ~src:[| (i * 1000) + k |] ~len:1
+    done
+  in
+  let regressed = ref false in
+  let reader i () =
+    let rd = Mn_sim.reader reg i in
+    let dst = Array.make 2 0 in
+    let last_ts = ref (-1) and last_wid = ref (-1) in
+    for _ = 1 to 12 do
+      ignore (read_into rd ~dst);
+      let ts = Mn_sim.last_timestamp rd and wid = Mn_sim.last_writer rd in
+      if ts < !last_ts || (ts = !last_ts && wid < !last_wid) then regressed := true;
+      last_ts := ts;
+      last_wid := wid
+    done
+  in
+  ignore
+    (Sched.run ~strategy:(Strategy.random ~seed)
+       [| writer 0; writer 1; reader 0; reader 1 |]);
+  !regressed
+
+let test_tie_break_convicts_ts_only () =
+  let convicted = ref 0 in
+  for seed = 0 to 79 do
+    if lex_regressed (fun rd ~dst -> Mn_sim.read_into_ts_only rd ~dst) seed then
+      incr convicted;
+    if lex_regressed (fun rd ~dst -> Mn_sim.read_into rd ~dst) seed then
+      Alcotest.failf
+        "seed %d: lexicographic read let the logical clock go backwards" seed
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "ts-only control convicted (%d/80 seeds)" !convicted)
+    true (!convicted > 0)
+
 let test_validation () =
   let raises f = match f () with
     | exception Invalid_argument _ -> ()
@@ -141,5 +188,7 @@ let suite =
       test_reader_monotone_under_schedules;
     Alcotest.test_case "concurrent writers on domains" `Quick
       test_concurrent_writers_on_domains;
+    Alcotest.test_case "tie-break convicts ts-only control" `Quick
+      test_tie_break_convicts_ts_only;
     Alcotest.test_case "validation" `Quick test_validation;
   ]
